@@ -1,0 +1,172 @@
+//===- bench/bench_bug_hunt.cpp - E4: guard ablations ------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E4: the counterexample experiments behind Section 2.3 and
+// Fig. 4/Fig. 12. For each ablation of the reconfiguration guards the
+// model checker hunts for a replicated-state-safety violation:
+//
+//   - R3 off: the published Raft single-server membership bug. Seeded
+//     with the uncontroversial Fig. 4 prefix (two leaders, one pending
+//     removal), the checker must find a violation and print the
+//     machine-generated counterexample.
+//   - R2 off: the double-reconfiguration overlap bug.
+//   - R1+ off (arbitrary jumps allowed): overlap broken directly. The
+//     checker explores from genesis with candidate configurations not
+//     limited by the scheme (we inject a 2-step jump via no-R1 and a
+//     seed that makes it reachable).
+//   - all guards on: exhaustive search from genesis finds nothing.
+//
+// Reported: states/transitions explored, time to the first violation,
+// counterexample length.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/AdoreModel.h"
+#include "mc/Explorer.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace adore;
+using namespace adore::mc;
+
+namespace {
+
+AdoreState fig4Seed(const Semantics &Sem) {
+  AdoreState St(Sem.scheme(), Config(NodeSet{1, 2, 3, 4}));
+  Sem.pull(St, 1, PullChoice{NodeSet{1, 2, 3}, 1});
+  Sem.reconfig(St, 1, Config(NodeSet{1, 2, 3}));
+  Sem.pull(St, 2, PullChoice{NodeSet{2, 3, 4}, 2});
+  return St;
+}
+
+AdoreState doubleReconfigSeed(const Semantics &Sem) {
+  AdoreState St(Sem.scheme(), Config(NodeSet{1, 2, 3}));
+  Sem.pull(St, 1, PullChoice{NodeSet{1, 2}, 1});
+  Sem.invoke(St, 1, 0);
+  Sem.push(St, 1, PushChoice{NodeSet{1, 2}, St.Tree.activeCache(1)});
+  Sem.reconfig(St, 1, Config(NodeSet{1, 2}));
+  Sem.reconfig(St, 1, Config(NodeSet{1, 2, 4}));
+  return St;
+}
+
+AdoreState r1JumpSeed(const Semantics &Sem) {
+  // With R1+ off a leader may jump from {1,2,3} straight to {1,4,5}:
+  // majorities {2,3} and {4,5,x} need not intersect.
+  AdoreState St(Sem.scheme(), Config(NodeSet{1, 2, 3}));
+  Sem.pull(St, 1, PullChoice{NodeSet{1, 2}, 1});
+  Sem.invoke(St, 1, 0);
+  Sem.push(St, 1, PushChoice{NodeSet{1, 2}, St.Tree.activeCache(1)});
+  Sem.reconfig(St, 1, Config(NodeSet{1, 4, 5}));
+  return St;
+}
+
+struct HuntResult {
+  ExploreResult Res;
+  double Seconds;
+};
+
+HuntResult hunt(const ReconfigScheme &Scheme, Config Initial,
+                SemanticsOptions SemOpts, AdoreModelOptions Opts,
+                std::optional<AdoreState> Seed, size_t MaxStates) {
+  AdoreModel M(Scheme, std::move(Initial), SemOpts, Opts);
+  if (Seed)
+    M.seedWith(std::move(*Seed));
+  ExploreOptions EOpts;
+  EOpts.MaxStates = MaxStates;
+  auto Start = std::chrono::steady_clock::now();
+  ExploreResult Res = explore(M, EOpts);
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  return {std::move(Res), Secs};
+}
+
+void report(const char *Name, const HuntResult &H, bool ExpectBug) {
+  std::printf("%-28s %10zu %12zu %8.2f  %s",
+              Name, H.Res.States, H.Res.Transitions, H.Seconds,
+              H.Res.foundViolation()
+                  ? "VIOLATION"
+                  : (H.Res.exhausted() ? "exhausted, safe" : "cap, safe"));
+  if (H.Res.foundViolation())
+    std::printf(" (%zu-step counterexample)", H.Res.Trace.size());
+  std::printf("  %s\n",
+              H.Res.foundViolation() == ExpectBug ? "[as expected]"
+                                                  : "[UNEXPECTED!]");
+  if (H.Res.foundViolation() && ExpectBug) {
+    for (const std::string &Step : H.Res.Trace)
+      std::printf("    %s\n", Step.c_str());
+  }
+}
+
+} // namespace
+
+int main() {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  InvariantSelection SafetyOnly{true, false, false, false, false};
+  bool AllAsExpected = true;
+
+  std::printf("E4: guard-ablation bug hunts (raft-single-node)\n\n");
+  std::printf("%-28s %10s %12s %8s  %s\n", "configuration", "states",
+              "transitions", "time(s)", "outcome");
+
+  {
+    SemanticsOptions SemOpts;
+    SemOpts.EnforceR3 = false;
+    Semantics Sem(*Scheme, SemOpts);
+    AdoreModelOptions Opts;
+    Opts.MaxCaches = 9;
+    Opts.MaxTime = 3;
+    Opts.Invariants = SafetyOnly;
+    HuntResult H = hunt(*Scheme, Config(NodeSet{1, 2, 3, 4}), SemOpts,
+                        Opts, fig4Seed(Sem), 5000000);
+    report("R3 off (Fig. 4 seed)", H, /*ExpectBug=*/true);
+    AllAsExpected &= H.Res.foundViolation();
+  }
+  {
+    SemanticsOptions SemOpts;
+    SemOpts.EnforceR2 = false;
+    SemOpts.ExtraNodes = NodeSet{4};
+    Semantics Sem(*Scheme, SemOpts);
+    AdoreModelOptions Opts;
+    Opts.MaxCaches = 10;
+    Opts.MaxTime = 3;
+    Opts.Invariants = SafetyOnly;
+    HuntResult H = hunt(*Scheme, Config(NodeSet{1, 2, 3}), SemOpts, Opts,
+                        doubleReconfigSeed(Sem), 5000000);
+    report("R2 off (double reconfig)", H, /*ExpectBug=*/true);
+    AllAsExpected &= H.Res.foundViolation();
+  }
+  {
+    SemanticsOptions SemOpts;
+    SemOpts.EnforceR1 = false;
+    SemOpts.ExtraNodes = NodeSet{4, 5};
+    Semantics Sem(*Scheme, SemOpts);
+    AdoreModelOptions Opts;
+    Opts.MaxCaches = 10;
+    Opts.MaxTime = 3;
+    Opts.Invariants = SafetyOnly;
+    HuntResult H = hunt(*Scheme, Config(NodeSet{1, 2, 3}), SemOpts, Opts,
+                        r1JumpSeed(Sem), 5000000);
+    report("R1+ off (config jump)", H, /*ExpectBug=*/true);
+    AllAsExpected &= H.Res.foundViolation();
+  }
+  {
+    AdoreModelOptions Opts;
+    Opts.MaxCaches = 7;
+    Opts.MaxTime = 3;
+    Opts.Invariants = SafetyOnly;
+    HuntResult H = hunt(*Scheme, Config(NodeSet{1, 2, 3}),
+                        SemanticsOptions(), Opts, std::nullopt, 30000000);
+    report("R1-3 on, from genesis", H, /*ExpectBug=*/false);
+    AllAsExpected &= !H.Res.foundViolation();
+  }
+
+  std::printf("\npaper analog: each guard is load-bearing (Section 4.2); "
+              "the R3 bug escaped review for\nover a year before Ongaro's "
+              "2015 fix, and the checker rediscovers it in seconds.\n");
+  return AllAsExpected ? 0 : 1;
+}

@@ -1,0 +1,153 @@
+//===- bench/bench_effort_statespace.cpp - E2: proof-effort analog ----------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E2: the executable analog of the paper's proof-effort
+// comparison (Section 7). The paper reports Coq line counts and
+// person-time: Adore's safety took 10.8k lines / 5 person-weeks, the
+// reconfiguration-free CADO 1.3k lines / 2 weeks, Advert's network-based
+// multi-Paxos proof 5k lines for a *non*-reconfigurable protocol, and
+// MongoDB's TLA+ network-level reconfiguration proof 5-6 person-months.
+// The underlying claim: the right protocol-level abstraction shrinks the
+// space one must reason over, and reconfiguration multiplies whatever
+// space a model has.
+//
+// We measure that space directly: distinct reachable states (and
+// wall-clock to exhaust them) under equivalent scenario bounds for
+//   - ADO        (baseline abstraction, no configurations at all),
+//   - CADO       (Adore w/o reconfiguration = static scheme),
+//   - ADORE      (full model, single-node reconfiguration),
+//   - SRaft-ish  (network model, atomic heuristics OFF: per-message),
+//   - Raft-net   (network model with reconfiguration).
+//
+// Expected shape, mirroring the paper: network-level models dwarf the
+// protocol-level ones by orders of magnitude; reconfiguration multiplies
+// each; Adore+reconfig remains far below even the reconfig-free network
+// model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mc/AdoExploreModel.h"
+#include "mc/AdoreModel.h"
+#include "mc/Explorer.h"
+#include "mc/RaftNetModel.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace adore;
+using namespace adore::mc;
+
+namespace {
+
+struct Row {
+  const char *Name;
+  const char *PaperAnalog;
+  ExploreResult Res;
+  double Seconds;
+};
+
+template <typename ModelT> Row measure(const char *Name,
+                                       const char *Analog, ModelT &M,
+                                       size_t MaxStates) {
+  ExploreOptions Opts;
+  Opts.MaxStates = MaxStates;
+  auto Start = std::chrono::steady_clock::now();
+  ExploreResult Res = explore(M, Opts);
+  double Secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  return Row{Name, Analog, std::move(Res), Secs};
+}
+
+} // namespace
+
+int main() {
+  std::printf("E2: verification-effort analog — exhaustive state counts "
+              "under equivalent bounds\n");
+  std::printf("(3 replicas; <= 2 election rounds; <= 2 commands; "
+              "single-node scheme where applicable)\n\n");
+
+  std::vector<Row> Rows;
+  // Protocol-level models exhaust comfortably; the network-level spaces
+  // do not fit in memory, so they run to a cap — which is itself the
+  // measurement (">= cap states without exhausting").
+  size_t Cap = 10000000;
+  size_t NetCap = 600000;
+
+  {
+    AdoExploreModelOptions Opts;
+    Opts.NumClients = 3;
+    Opts.MaxTime = 2;
+    Opts.MaxLiveCaches = 2;
+    Opts.MaxCommitted = 2;
+    AdoExploreModel M(Opts);
+    Rows.push_back(measure("ADO", "OOPSLA'21 baseline", M, Cap));
+  }
+  {
+    auto Scheme = makeScheme(SchemeKind::Static);
+    AdoreModelOptions Opts;
+    Opts.MaxCaches = 5; // root + 2 elections + 2 commands/commits mix
+    Opts.MaxTime = 2;
+    AdoreModel M(*Scheme, Config(NodeSet{1, 2, 3}), SemanticsOptions(),
+                 Opts);
+    Rows.push_back(measure("CADO", "1.3k Coq / 2 wk", M, Cap));
+  }
+  {
+    auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+    AdoreModelOptions Opts;
+    Opts.MaxCaches = 5;
+    Opts.MaxTime = 2;
+    AdoreModel M(*Scheme, Config(NodeSet{1, 2, 3}), SemanticsOptions(),
+                 Opts);
+    Rows.push_back(measure("ADORE", "10.8k Coq / 5 wk", M, Cap));
+  }
+  {
+    auto Scheme = makeScheme(SchemeKind::Static);
+    RaftNetModelOptions Opts;
+    Opts.MaxTerm = 2;
+    Opts.MaxLog = 2;
+    Opts.MaxPending = 6;
+    Opts.WithReconfig = false;
+    RaftNetModel M(*Scheme, Config(NodeSet{1, 2, 3}), Opts);
+    Rows.push_back(measure("Raft-net (static)",
+                           "Advert 5k Coq, no reconfig", M, NetCap));
+  }
+  {
+    auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+    RaftNetModelOptions Opts;
+    Opts.MaxTerm = 2;
+    Opts.MaxLog = 2;
+    Opts.MaxPending = 6;
+    Opts.WithReconfig = true;
+    RaftNetModel M(*Scheme, Config(NodeSet{1, 2, 3}), Opts);
+    Rows.push_back(measure("Raft-net (reconfig)", "MongoDB TLA+ 5-6 mo",
+                           M, NetCap));
+  }
+
+  std::printf("%-22s %12s %14s %8s %6s  %s\n", "model", "states",
+              "transitions", "time(s)", "done", "paper analog");
+  double AdoreStates = 1;
+  for (const Row &R : Rows) {
+    if (std::string(R.Name) == "ADORE")
+      AdoreStates = static_cast<double>(R.Res.States);
+    std::printf("%-22s %12zu %14zu %8.2f %6s  %s\n", R.Name, R.Res.States,
+                R.Res.Transitions, R.Seconds,
+                R.Res.exhausted() ? "yes" : "cap", R.PaperAnalog);
+    if (R.Res.foundViolation())
+      std::printf("  !! UNEXPECTED VIOLATION: %s\n",
+                  R.Res.Violation->c_str());
+  }
+
+  std::printf("\nratios vs ADORE: ");
+  for (const Row &R : Rows)
+    std::printf("%s=%.2fx  ", R.Name,
+                static_cast<double>(R.Res.States) / AdoreStates);
+  std::printf("\n\npaper's claim (Section 7/8): protocol-level "
+              "abstraction shrinks the reasoning space by orders of\n"
+              "magnitude versus network-based models, and reconfiguration "
+              "multiplies the space of whichever\nmodel it lands in.\n");
+  return 0;
+}

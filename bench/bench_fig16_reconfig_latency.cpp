@@ -1,0 +1,167 @@
+//===- bench/bench_fig16_reconfig_latency.cpp - E1: Fig. 16 -----------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E1: reproduces Fig. 16 ("OCaml Raft performance under
+// reconfiguration"). The paper runs its extracted OCaml Raft on EC2
+// m4.xlarge instances, reconfiguring after every 1000 client requests:
+// starting at five nodes, dropping to three (via four), then growing
+// back to five, and reports the max/mean/min client-command latency over
+// eight runs.
+//
+// We run the executable C++ Raft over the simulated network with a
+// latency model calibrated to same-AZ EC2 (0.3-1.5 ms per hop). As in
+// the paper, the claim under test is qualitative: reconfiguration adds
+// only a small blip — larger when the cluster grows than when it
+// shrinks — within the normal range of sporadic latency spikes.
+//
+// Output: one row per 100-request window with min/mean/max latency (ms)
+// across the eight runs, with reconfiguration points marked, followed by
+// the per-phase summary table.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cluster.h"
+#include "support/Debug.h"
+#include "support/Stats.h"
+
+#include <functional>
+
+#include <cstdio>
+#include <vector>
+
+using namespace adore;
+using namespace adore::sim;
+
+namespace {
+
+constexpr size_t RequestsPerPhase = 1000;
+constexpr size_t Window = 100;
+constexpr size_t Runs = 8;
+
+/// The Fig. 16 schedule: (5) -> (4) -> (3) -> (4) -> (5), one
+/// single-server step per phase boundary.
+const std::vector<size_t> PhaseSizes = {5, 4, 3, 4, 5};
+
+/// Builds the next configuration of the requested size: shrinking
+/// removes the largest non-leader member (a leader never removes
+/// itself); growing re-admits the smallest absent universe node.
+Config nextConfig(const Cluster &C, size_t TargetSize) {
+  auto Leader = C.leader();
+  NodeId Lead = Leader.value_or(1);
+  NodeSet Members = C.node(Lead).config().Members;
+  while (Members.size() > TargetSize) {
+    for (size_t I = Members.size(); I-- > 0;) {
+      if (Members[I] != Lead) {
+        Members.erase(Members[I]);
+        break;
+      }
+    }
+  }
+  for (NodeId N : C.universe()) {
+    if (Members.size() >= TargetSize)
+      break;
+    Members.insert(N);
+  }
+  return Config(Members);
+}
+
+struct RunResult {
+  /// Latency (ms) of every request, in submission order.
+  std::vector<double> LatenciesMs;
+};
+
+RunResult runOnce(uint64_t Seed) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Config Initial(NodeSet::range(1, PhaseSizes.front()));
+  Cluster C(*Scheme, Initial, NodeSet::range(1, 5), ClusterOptions(),
+            Seed);
+  C.start();
+  if (!C.runUntilLeader(10000000))
+    reportFatalError("no leader emerged");
+
+  RunResult Result;
+  Result.LatenciesMs.resize(RequestsPerPhase * PhaseSizes.size(), -1);
+
+  size_t NextRequest = 0;
+  size_t Completed = 0;
+
+  // Closed-loop client: one request outstanding at a time, as in the
+  // paper's latency measurement.
+  std::function<void()> IssueNext = [&] {
+    if (NextRequest >= Result.LatenciesMs.size())
+      return;
+    size_t Index = NextRequest++;
+    C.submit(Index + 1, [&, Index](bool Ok, SimTime L) {
+      Result.LatenciesMs[Index] =
+          Ok ? static_cast<double>(L) / 1000.0 : -1;
+      ++Completed;
+      // Reconfigure at phase boundaries, concurrently with traffic
+      // ("hot": requests keep flowing).
+      size_t Phase = (Index + 1) / RequestsPerPhase;
+      if ((Index + 1) % RequestsPerPhase == 0 &&
+          Phase < PhaseSizes.size())
+        C.requestReconfig(nextConfig(C, PhaseSizes[Phase]),
+                          [](bool, SimTime) {});
+      IssueNext();
+    });
+  };
+  IssueNext();
+
+  SimTime Deadline = C.queue().now() + 600ull * 1000000; // 10 virtual min.
+  while (Completed < Result.LatenciesMs.size() &&
+         C.queue().now() < Deadline && C.queue().runNext())
+    ;
+  if (auto V = C.checkCommittedAgreement())
+    reportFatalError(V->c_str());
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  std::printf("E1 (Fig. 16): client latency under hot reconfiguration\n");
+  std::printf("schedule: (5) -> (4) -> (3) -> (4) -> (5), reconfig every "
+              "%zu requests, %zu runs\n\n",
+              RequestsPerPhase, Runs);
+
+  std::vector<RunResult> Results;
+  for (uint64_t Run = 0; Run != Runs; ++Run)
+    Results.push_back(runOnce(0xF16 + Run * 7919));
+
+  size_t Total = RequestsPerPhase * PhaseSizes.size();
+  std::printf("%-10s %-6s %8s %8s %8s\n", "requests", "nodes", "min(ms)",
+              "mean(ms)", "max(ms)");
+  for (size_t W = 0; W * Window < Total; ++W) {
+    SampleStats Stats;
+    for (const RunResult &R : Results)
+      for (size_t I = W * Window; I < (W + 1) * Window; ++I)
+        if (R.LatenciesMs[I] >= 0)
+          Stats.add(R.LatenciesMs[I]);
+    size_t Phase = (W * Window) / RequestsPerPhase;
+    bool Boundary = W * Window % RequestsPerPhase == 0 && W != 0;
+    std::printf("%-10zu (%zu)%-3s %8.2f %8.2f %8.2f%s\n", W * Window,
+                PhaseSizes[Phase], "", Stats.min(), Stats.mean(),
+                Stats.max(), Boundary ? "   <- reconfiguration" : "");
+  }
+
+  std::printf("\nper-phase summary (all runs):\n%-8s %-6s %8s %8s %8s\n",
+              "phase", "nodes", "min(ms)", "mean(ms)", "max(ms)");
+  for (size_t P = 0; P != PhaseSizes.size(); ++P) {
+    SampleStats Stats;
+    for (const RunResult &R : Results)
+      for (size_t I = P * RequestsPerPhase;
+           I != (P + 1) * RequestsPerPhase; ++I)
+        if (R.LatenciesMs[I] >= 0)
+          Stats.add(R.LatenciesMs[I]);
+    std::printf("%-8zu (%zu)%-3s %8.2f %8.2f %8.2f\n", P,
+                PhaseSizes[P], "", Stats.min(), Stats.mean(),
+                Stats.max());
+  }
+  std::printf("\npaper's qualitative claim: reconfiguration blips stay "
+              "within the sporadic-spike range;\ngrowth costs more than "
+              "shrinkage (more replicas to reach quorum over).\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+//===- bench/bench_microops.cpp - E6: core-operation microbenchmarks --------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E6: microbenchmarks of the primitives every experiment
+// rests on — cache-tree growth, the rdist metric (Definition 4.2), the
+// selection functions of Fig. 9, canonical fingerprinting, oracle-choice
+// enumeration (the checker's successor fan-out), SRaft protocol rounds,
+// and the ADO baseline's operations. Uses google-benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ado/Ado.h"
+#include "adore/Invariants.h"
+#include "adore/Ops.h"
+#include "kv/KvStore.h"
+#include "raft/SRaft.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace adore;
+
+namespace {
+
+/// Builds a committed chain of N methods with a few forks, as produced
+/// by a leader committing batches with occasional competition.
+AdoreState buildChainState(const ReconfigScheme &Scheme, size_t Methods) {
+  Semantics Sem(Scheme);
+  AdoreState St(Scheme, Config(NodeSet{1, 2, 3}));
+  Sem.pull(St, 1, PullChoice{NodeSet{1, 2}, 1});
+  for (size_t I = 0; I != Methods; ++I)
+    Sem.invoke(St, 1, I + 1);
+  Sem.push(St, 1, PushChoice{NodeSet{1, 2}, St.Tree.activeCache(1)});
+  // A competing fork.
+  Sem.pull(St, 2, PullChoice{NodeSet{2, 3}, 2});
+  Sem.invoke(St, 2, 999);
+  return St;
+}
+
+void BM_CacheTreeAddLeaf(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  for (auto _ : State) {
+    CacheTree Tree(Config(NodeSet{1, 2, 3}), NodeSet{1, 2, 3});
+    CacheId Parent = RootCacheId;
+    for (int I = 0; I != 64; ++I) {
+      Cache C;
+      C.Kind = CacheKind::Method;
+      C.Caller = 1;
+      C.T = 1;
+      C.V = static_cast<Vrsn>(I + 1);
+      C.Conf = Config(NodeSet{1, 2, 3});
+      C.Supporters = NodeSet{1};
+      Parent = Tree.addLeaf(Parent, std::move(C));
+    }
+    benchmark::DoNotOptimize(Tree.size());
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_CacheTreeAddLeaf);
+
+void BM_Rdist(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  AdoreState St = buildChainState(*Scheme, 32);
+  CacheId A = St.Tree.activeCache(1), B = St.Tree.activeCache(2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(St.Tree.rdist(A, B));
+}
+BENCHMARK(BM_Rdist);
+
+void BM_TreeRdist(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  AdoreState St = buildChainState(*Scheme, 24);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(St.Tree.treeRdist());
+}
+BENCHMARK(BM_TreeRdist);
+
+void BM_MostRecent(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  AdoreState St = buildChainState(*Scheme, 48);
+  NodeSet Q{2, 3};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(St.Tree.mostRecent(Q));
+}
+BENCHMARK(BM_MostRecent);
+
+void BM_CanonicalFingerprint(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  AdoreState St = buildChainState(*Scheme, 48);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(St.fingerprint());
+}
+BENCHMARK(BM_CanonicalFingerprint);
+
+void BM_SafetyCheck(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  AdoreState St = buildChainState(*Scheme, 48);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkReplicatedStateSafety(St.Tree));
+}
+BENCHMARK(BM_SafetyCheck);
+
+void BM_EnumeratePullChoices(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Semantics Sem(*Scheme);
+  AdoreState St = buildChainState(*Scheme, 16);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Sem.enumeratePullChoices(St, 3));
+}
+BENCHMARK(BM_EnumeratePullChoices);
+
+void BM_EnumeratePushChoices(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Semantics Sem(*Scheme);
+  AdoreState St = buildChainState(*Scheme, 16);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Sem.enumeratePushChoices(St, 1));
+}
+BENCHMARK(BM_EnumeratePushChoices);
+
+void BM_AdorePullInvokePush(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Semantics Sem(*Scheme);
+  for (auto _ : State) {
+    AdoreState St(*Scheme, Config(NodeSet{1, 2, 3}));
+    Sem.pull(St, 1, PullChoice{NodeSet{1, 2}, 1});
+    Sem.invoke(St, 1, 7);
+    Sem.push(St, 1, PushChoice{NodeSet{1, 2}, St.Tree.activeCache(1)});
+    benchmark::DoNotOptimize(St.Tree.size());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_AdorePullInvokePush);
+
+void BM_AdoPullInvokePush(benchmark::State &State) {
+  for (auto _ : State) {
+    ado::AdoObject Obj;
+    Obj.pull(1, {1, ado::RootCid});
+    Obj.invoke(1, 7);
+    Obj.push(1, *Obj.activeCid(1));
+    benchmark::DoNotOptimize(Obj.persistLog().size());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_AdoPullInvokePush);
+
+void BM_SRaftRound(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  for (auto _ : State) {
+    raft::RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}));
+    raft::SRaftDriver Driver(Sys);
+    Driver.electRound(1, NodeSet{1, 2});
+    Sys.invoke(1, 7);
+    Driver.commitRound(1, NodeSet{1, 2});
+    benchmark::DoNotOptimize(Sys.commitIndex(1));
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SRaftRound);
+
+void BM_KvEncodeDecode(benchmark::State &State) {
+  uint64_t Sink = 0;
+  for (auto _ : State) {
+    kv::KvOp Op{kv::KvOpKind::Put, 12345, 67890};
+    kv::KvOp Back = kv::decodeKvOp(kv::encodeKvOp(Op));
+    Sink += Back.Key;
+  }
+  benchmark::DoNotOptimize(Sink);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_KvEncodeDecode);
+
+void BM_SimClusterRequest(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Config Initial(NodeSet::range(1, 3));
+  sim::Cluster C(*Scheme, Initial, Initial.Members, sim::ClusterOptions(),
+                 99);
+  C.start();
+  C.runUntilLeader(5000000);
+  uint64_t Done = 0;
+  for (auto _ : State) {
+    C.submit(1, [&](bool, sim::SimTime) { ++Done; });
+    uint64_t Target = Done + 1;
+    while (Done < Target && C.queue().runNext())
+      ;
+  }
+  benchmark::DoNotOptimize(Done);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SimClusterRequest);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+//===- bench/bench_refinement.cpp - E3: refinement throughput ---------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E3: the executable counterpart of the paper's refinement
+// results (Section 7). The paper reports a 13.8k-line Coq refinement
+// from a network-based Raft-like protocol to Adore, parameterized by the
+// same isQuorum/R1+ predicates so it "holds for a large family of
+// protocols", with each of the six scheme instantiations costing ~200
+// lines.
+//
+// We check the same statement per run instead of once and for all: for
+// every scheme, many randomized asynchronous network-level runs are
+// recorded, normalized to SRaft order (Lemmas C.3/C.7/C.9), and mirrored
+// into Adore with the logMatch relation verified after every step.
+// Reported per scheme: runs checked, protocol events mirrored,
+// elections/commits/reconfigs exercised, wall time, and violations
+// (must be zero).
+//
+//===----------------------------------------------------------------------===//
+
+#include "refine/RandomRuns.h"
+#include "refine/Refinement.h"
+#include "support/Debug.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace adore;
+using namespace adore::refine;
+
+namespace {
+
+Config initialConfigFor(SchemeKind Kind, size_t Nodes) {
+  Config C(NodeSet::range(1, Nodes));
+  if (Kind == SchemeKind::PrimaryBackup)
+    C.Param = 1;
+  if (Kind == SchemeKind::DynamicQuorum)
+    C.Param = Nodes / 2 + 1;
+  return C;
+}
+
+} // namespace
+
+int main() {
+  constexpr size_t RunsPerScheme = 60;
+  constexpr size_t StepsPerRun = 500;
+
+  std::printf("E3: per-run refinement checking, Raft-net -> SRaft order "
+              "-> Adore (logMatch)\n");
+  std::printf("%zu random runs x %zu scheduler steps per scheme\n\n",
+              RunsPerScheme, StepsPerRun);
+  std::printf("%-19s %5s %8s %7s %8s %9s %8s %6s %5s\n",
+              "scheme/elections", "runs", "events", "elects", "commits",
+              "reconfigs", "invokes", "t(s)", "viol");
+
+  size_t TotalViolations = 0;
+  // The whole sweep runs twice: once for Raft-style elections (voters
+  // refuse stale candidates) and once for Paxos-style (voters ship
+  // their logs; the candidate adopts the quorum maximum) — the paper's
+  // "various Paxos variants and Raft" refinement family.
+  for (bool Paxos : {false, true})
+  for (SchemeKind Kind : allSchemeKinds()) {
+    auto Scheme = makeScheme(Kind);
+    Config Initial = initialConfigFor(Kind, 3);
+    size_t Events = 0, Elects = 0, Commits = 0, Reconfigs = 0,
+           Invokes = 0, Violations = 0;
+    auto Start = std::chrono::steady_clock::now();
+    for (uint64_t Seed = 1; Seed <= RunsPerScheme; ++Seed) {
+      raft::RaftOptions ProtoOpts;
+      ProtoOpts.PaxosStyleElections = Paxos;
+      raft::RaftSystem Sys(*Scheme, Initial, ProtoOpts);
+      EventRecorder Rec(Sys);
+      Rng R(Seed * 2654435761u);
+      RunOptions Opts;
+      Opts.Steps = StepsPerRun;
+      Opts.ExtraNodes = NodeSet{4, 5};
+      RunStats Stats = runRandomRecordedRun(Rec, R, Opts);
+      (void)Stats;
+
+      RefinementChecker Checker(*Scheme, Initial);
+      RefinementResult Res = Checker.check(normalizeTrace(Rec.events()));
+      Events += Res.MirroredSteps;
+      if (!Res.holds()) {
+        ++Violations;
+        std::printf("  !! %s seed %llu: %s\n", Scheme->name(),
+                    static_cast<unsigned long long>(Seed),
+                    Res.Violation->c_str());
+      }
+      for (const ProtocolEvent &E : Rec.events()) {
+        Elects += E.Kind == PEventKind::ElectionWon;
+        Commits += E.Kind == PEventKind::Commit;
+        Reconfigs += E.Kind == PEventKind::Reconfig;
+        Invokes += E.Kind == PEventKind::Invoke;
+      }
+    }
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    std::printf("%-13s/%-5s %5zu %8zu %7zu %8zu %9zu %8zu %6.2f %5zu\n",
+                Scheme->name(), Paxos ? "paxos" : "raft", RunsPerScheme,
+                Events, Elects, Commits, Reconfigs, Invokes, Secs,
+                Violations);
+    TotalViolations += Violations;
+  }
+
+  std::printf("\nall six Section-6 instantiations refine Adore on every "
+              "recorded run: %s\n",
+              TotalViolations == 0 ? "YES" : "NO (violations above)");
+  std::printf("paper analog: one 13.8k-line refinement proof covering "
+              "the whole isQuorum/R1+ family,\n~200 lines per "
+              "instantiation.\n");
+  return TotalViolations == 0 ? 0 : 1;
+}

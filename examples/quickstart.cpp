@@ -1,0 +1,83 @@
+//===- examples/quickstart.cpp - First steps with the Adore library ---------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Walks through the core Adore abstraction, replaying the life of a
+// replicated object much like the paper's Fig. 5: elections (pull),
+// method invocations (invoke), commits (push), and a hot membership
+// change (reconfig), printing the cache tree after every step and
+// checking replicated state safety throughout.
+//
+// Build and run:   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "adore/Invariants.h"
+#include "adore/Ops.h"
+
+#include <cstdio>
+
+using namespace adore;
+
+static void show(const char *What, const AdoreState &St) {
+  std::printf("--- %s ---\n%s\n", What, St.dump().c_str());
+  if (auto V = checkInvariants(St.Tree)) {
+    std::printf("INVARIANT VIOLATION: %s\n", V->c_str());
+    std::exit(1);
+  }
+}
+
+int main() {
+  // A three-replica object under Raft's single-server membership rule.
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Semantics Sem(*Scheme);
+  AdoreState St(*Scheme, Config(NodeSet{1, 2, 3}));
+  show("genesis: a committed root carrying conf0 = {1,2,3}", St);
+
+  // S1 pulls: an election at time 1, supported by {1,2} (a majority).
+  Sem.pull(St, 1, PullChoice{NodeSet{1, 2}, 1});
+  show("S1 elected at t=1 with supporters {1,2}", St);
+
+  // S1 invokes two methods; they are speculative (circles, not squares).
+  Sem.invoke(St, 1, /*Method=*/101);
+  Sem.invoke(St, 1, /*Method=*/102);
+  show("S1 invoked M101 and M102 (uncommitted)", St);
+
+  // S1 pushes, but the oracle only certifies the first method: a partial
+  // failure (Fig. 3f). The suffix stays viable below the CCache.
+  Sem.push(St, 1,
+           PushChoice{NodeSet{1, 3},
+                      static_cast<CacheId>(St.Tree.size() - 2)});
+  show("push certified only M101; M102 remains speculative", St);
+
+  // Reconfiguration needs R3: a commit at the leader's own timestamp —
+  // which the push above supplied — and R2: no pending RCache.
+  bool Ok = Sem.reconfig(St, 1, Config(NodeSet{1, 2, 3, 4}));
+  std::printf("reconfig to {1,2,3,4}: %s\n", Ok ? "accepted" : "rejected");
+  show("hot reconfiguration: S4 participates immediately", St);
+
+  // Commit the reconfiguration with the *new* quorum rule (3 of 4),
+  // counting the fresh node S4 among the supporters.
+  CacheId RCacheId = St.Tree.activeCache(1);
+  Sem.push(St, 1, PushChoice{NodeSet{1, 2, 4}, RCacheId});
+  show("reconfiguration committed by {1,2,4}", St);
+
+  // A competing election: S2 pulls at t=2 with {1,2,3} — placed above
+  // the latest commit its supporters hold, inheriting the new config —
+  // and S1, having voted, is preempted.
+  Sem.pull(St, 2, PullChoice{NodeSet{1, 2, 3}, 2});
+  show("S2 elected at t=2; S1 is preempted", St);
+
+  // S1's stale invoke now fails: it observed t=2.
+  if (!Sem.invoke(St, 1, 103))
+    std::printf("S1's invoke after preemption correctly failed\n\n");
+
+  // The committed history is a single branch: the log every client sees.
+  std::printf("committed log:");
+  for (CacheId Id : St.Tree.committedLog())
+    std::printf(" %s", St.Tree.cache(Id).str().c_str());
+  std::printf("\n\nreplicated state safety: OK\n");
+  return 0;
+}

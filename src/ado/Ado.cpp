@@ -1,0 +1,314 @@
+//===- ado/Ado.cpp - The original ADO model (Appendix D.1) -----------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ado/Ado.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace adore;
+using namespace adore::ado;
+
+//===----------------------------------------------------------------------===//
+// Internal helpers
+//===----------------------------------------------------------------------===//
+
+CidRef AdoObject::internCid(NodeId Nid, Time T, CidRef Parent) {
+  // Duplicate triples cannot arise: a leader's CID chain advances with
+  // every invoke and timestamps are never re-claimed (noOwnerAt), so a
+  // plain append suffices.
+  Cids.push_back(CidNode{Nid, T, Parent});
+  return static_cast<CidRef>(Cids.size() - 1);
+}
+
+bool AdoObject::noOwnerAt(Time T) const {
+  auto It = OwnerMap.find(T);
+  return It == OwnerMap.end() || It->second.isNoOwn();
+}
+
+void AdoObject::voteNoOwn(Time UpTo) {
+  // voteNoOwn (Fig. 23): block every unclaimed time <= UpTo so that
+  // stragglers cannot later claim them. Claimed times (including
+  // already-blocked ones) are untouched.
+  for (Time T = 1; T <= UpTo; ++T)
+    OwnerMap.try_emplace(T, Owner{});
+}
+
+bool AdoObject::isAncestorOrSelf(CidRef Anc, CidRef Desc) const {
+  for (CidRef Cur = Desc;; Cur = Cids[Cur].Parent) {
+    if (Cur == Anc)
+      return true;
+    if (Cur == RootCid)
+      return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle validity
+//===----------------------------------------------------------------------===//
+
+bool AdoObject::isValidPullChoice(NodeId Nid,
+                                  const PullChoice &Choice) const {
+  if (Choice.T == 0 || timeOf(Choice.Cid) >= Choice.T)
+    return false;
+  if (!noOwnerAt(Choice.T))
+    return false;
+  // Adoptable snapshots: a live cache, or the persistent log head
+  // (root(evs) in Fig. 23), which is Root while nothing committed.
+  return LiveCaches.count(Choice.Cid) || Choice.Cid == logHead();
+}
+
+bool AdoObject::isValidPushChoice(NodeId Nid, CidRef Cid) const {
+  auto Live = LiveCaches.find(Cid);
+  if (Live == LiveCaches.end())
+    return false;
+  if (nidOf(Cid) != Nid)
+    return false;
+  auto LT = LeaderTime.find(Nid);
+  if (LT == LeaderTime.end() || timeOf(Cid) != LT->second)
+    return false;
+  // The committer must be the owner of the largest claimed time: a
+  // leader preempted by a newer claim (owned or blocked) cannot commit.
+  if (OwnerMap.empty())
+    return false;
+  const Owner &Max = OwnerMap.rbegin()->second;
+  return !Max.isNoOwn() && Max.Nid == Nid &&
+         OwnerMap.rbegin()->first == LT->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Operations
+//===----------------------------------------------------------------------===//
+
+bool AdoObject::pull(NodeId Nid, const PullChoice &Choice) {
+  assert(isValidPullChoice(Nid, Choice) && "invalid ADO pull choice");
+  OwnerMap[Choice.T] = Owner{Nid};
+  if (Choice.T > 0)
+    voteNoOwn(Choice.T - 1);
+  CidMap[Nid] = Choice.Cid;
+  LeaderTime[Nid] = Choice.T;
+  Log.push_back({AdoEventKind::PullOk, Nid, Choice.T, Choice.Cid, 0});
+  return true;
+}
+
+void AdoObject::pullPreempt(NodeId Nid, Time T) {
+  voteNoOwn(T);
+  Log.push_back({AdoEventKind::PullPreempt, Nid, T, RootCid, 0});
+}
+
+void AdoObject::pullFail(NodeId Nid) {
+  Log.push_back({AdoEventKind::PullFail, Nid, 0, RootCid, 0});
+}
+
+void AdoObject::invokeFail(NodeId Nid) {
+  Log.push_back({AdoEventKind::InvokeFail, Nid, 0, RootCid, 0});
+}
+
+void AdoObject::pushFail(NodeId Nid) {
+  Log.push_back({AdoEventKind::PushFail, Nid, 0, RootCid, 0});
+}
+
+bool AdoObject::canInvoke(NodeId Nid) const {
+  auto It = CidMap.find(Nid);
+  if (It == CidMap.end())
+    return false;
+  // The active cache must still exist: either live, or the current log
+  // head (a leader may keep extending right after its own commit).
+  return LiveCaches.count(It->second) || It->second == logHead();
+}
+
+bool AdoObject::invoke(NodeId Nid, MethodId Method) {
+  if (!canInvoke(Nid)) {
+    invokeFail(Nid);
+    return false;
+  }
+  CidRef Parent = CidMap[Nid];
+  CidRef Fresh = internCid(Nid, LeaderTime[Nid], Parent);
+  LiveCaches[Fresh] = Method;
+  CidMap[Nid] = Fresh;
+  Log.push_back({AdoEventKind::InvokeOk, Nid, LeaderTime[Nid], Fresh,
+                 Method});
+  return true;
+}
+
+bool AdoObject::push(NodeId Nid, CidRef Cid) {
+  if (!isValidPushChoice(Nid, Cid)) {
+    pushFail(Nid);
+    return false;
+  }
+  // partition (Fig. 23): ancestors-or-self of Cid among the live caches
+  // move to the persistent log in root-first order; strict descendants
+  // stay live; all sibling branches are pruned.
+  std::vector<CidRef> Chain;
+  for (CidRef Cur = Cid; LiveCaches.count(Cur); Cur = Cids[Cur].Parent)
+    Chain.push_back(Cur);
+  std::reverse(Chain.begin(), Chain.end());
+  std::map<CidRef, MethodId> Remaining;
+  for (const auto &[Live, Method] : LiveCaches)
+    if (Live != Cid && isAncestorOrSelf(Cid, Live))
+      Remaining.emplace(Live, Method);
+  for (CidRef Committed : Chain)
+    PersistLog.emplace_back(Committed, LiveCaches.at(Committed));
+  LiveCaches = std::move(Remaining);
+  Log.push_back({AdoEventKind::PushOk, Nid, timeOf(Cid), Cid, 0});
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Enumeration
+//===----------------------------------------------------------------------===//
+
+std::vector<AdoObject::PullChoice>
+AdoObject::enumeratePullChoices(NodeId Nid, Time MaxTime) const {
+  std::vector<PullChoice> Out;
+  std::vector<CidRef> Candidates;
+  Candidates.push_back(logHead());
+  for (const auto &[Cid, Method] : LiveCaches)
+    Candidates.push_back(Cid);
+  for (CidRef Cid : Candidates) {
+    for (Time T = timeOf(Cid) + 1; T <= MaxTime; ++T) {
+      PullChoice Choice{T, Cid};
+      if (isValidPullChoice(Nid, Choice))
+        Out.push_back(Choice);
+    }
+  }
+  return Out;
+}
+
+std::vector<CidRef> AdoObject::enumeratePushChoices(NodeId Nid) const {
+  std::vector<CidRef> Out;
+  for (const auto &[Cid, Method] : LiveCaches)
+    if (isValidPushChoice(Nid, Cid))
+      Out.push_back(Cid);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Observers
+//===----------------------------------------------------------------------===//
+
+size_t AdoObject::liveCacheCount() const { return LiveCaches.size(); }
+
+std::vector<CidRef> AdoObject::liveCids() const {
+  std::vector<CidRef> Out;
+  Out.reserve(LiveCaches.size());
+  for (const auto &[Cid, Method] : LiveCaches)
+    Out.push_back(Cid);
+  return Out;
+}
+
+bool AdoObject::isLive(CidRef Cid) const { return LiveCaches.count(Cid); }
+
+std::optional<CidRef> AdoObject::activeCid(NodeId Nid) const {
+  auto It = CidMap.find(Nid);
+  if (It == CidMap.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<Owner> AdoObject::ownerAt(Time T) const {
+  auto It = OwnerMap.find(T);
+  if (It == OwnerMap.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<std::pair<Time, NodeId>> AdoObject::maxOwner() const {
+  if (OwnerMap.empty())
+    return std::nullopt;
+  const auto &[T, Own] = *OwnerMap.rbegin();
+  if (Own.isNoOwn())
+    return std::nullopt;
+  return std::make_pair(T, Own.Nid);
+}
+
+MethodId AdoObject::methodAt(CidRef Cid) const {
+  auto It = LiveCaches.find(Cid);
+  assert(It != LiveCaches.end() && "methodAt on non-live cache");
+  return It->second;
+}
+
+AdoObject AdoObject::replay(const std::vector<AdoEvent> &History) {
+  AdoObject Obj;
+  for (const AdoEvent &E : History) {
+    switch (E.Kind) {
+    case AdoEventKind::PullOk:
+      Obj.pull(E.Nid, PullChoice{E.T, E.Cid});
+      break;
+    case AdoEventKind::PullPreempt:
+      Obj.pullPreempt(E.Nid, E.T);
+      break;
+    case AdoEventKind::PullFail:
+      Obj.pullFail(E.Nid);
+      break;
+    case AdoEventKind::InvokeOk: {
+      [[maybe_unused]] bool Ok = Obj.invoke(E.Nid, E.Method);
+      assert(Ok && "recorded invoke must replay");
+      break;
+    }
+    case AdoEventKind::InvokeFail:
+      Obj.invokeFail(E.Nid);
+      break;
+    case AdoEventKind::PushOk: {
+      [[maybe_unused]] bool Ok = Obj.push(E.Nid, E.Cid);
+      assert(Ok && "recorded push must replay");
+      break;
+    }
+    case AdoEventKind::PushFail:
+      Obj.pushFail(E.Nid);
+      break;
+    }
+  }
+  return Obj;
+}
+
+uint64_t AdoObject::fingerprint() const {
+  Fnv1aHasher H;
+  H.addU64(PersistLog.size());
+  for (const auto &[Cid, Method] : PersistLog) {
+    H.addU64(nidOf(Cid));
+    H.addU64(timeOf(Cid));
+    H.addU64(Method);
+  }
+  H.addU64(LiveCaches.size());
+  for (const auto &[Cid, Method] : LiveCaches) {
+    // Hash the CID's structural path so interning order is irrelevant.
+    for (CidRef Cur = Cid; Cur != RootCid; Cur = Cids[Cur].Parent) {
+      H.addU64(Cids[Cur].Nid);
+      H.addU64(Cids[Cur].T);
+    }
+    H.addU64(Method);
+  }
+  H.addU64(OwnerMap.size());
+  for (const auto &[T, Own] : OwnerMap) {
+    H.addU64(T);
+    H.addU64(Own.Nid);
+  }
+  for (const auto &[Nid, T] : LeaderTime) {
+    H.addU64(Nid);
+    H.addU64(T);
+  }
+  return H.finish();
+}
+
+std::string AdoObject::dump() const {
+  std::string Out = "persist:";
+  for (const auto &[Cid, Method] : PersistLog)
+    Out += " m" + std::to_string(Method) + "@t" +
+           std::to_string(timeOf(Cid));
+  Out += "\nlive:";
+  for (const auto &[Cid, Method] : LiveCaches)
+    Out += " cid" + std::to_string(Cid) + "(n=" +
+           std::to_string(nidOf(Cid)) + ",t=" + std::to_string(timeOf(Cid)) +
+           ",m=" + std::to_string(Method) + ",p=" +
+           std::to_string(parentOf(Cid)) + ")";
+  Out += "\nowners:";
+  for (const auto &[T, Own] : OwnerMap)
+    Out += " t" + std::to_string(T) + "->" +
+           (Own.isNoOwn() ? std::string("X") : std::to_string(Own.Nid));
+  Out += "\n";
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===- adore/Cache.cpp - Cache tree node variants -------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adore/Cache.h"
+
+#include "support/Debug.h"
+
+using namespace adore;
+
+const char *adore::cacheKindName(CacheKind Kind) {
+  switch (Kind) {
+  case CacheKind::Election:
+    return "E";
+  case CacheKind::Method:
+    return "M";
+  case CacheKind::Reconfig:
+    return "R";
+  case CacheKind::Commit:
+    return "C";
+  }
+  ADORE_UNREACHABLE("unknown cache kind");
+}
+
+std::string Cache::str() const {
+  std::string Out = cacheKindName(Kind);
+  Out += "#" + std::to_string(Id) + "(n=" + std::to_string(Caller) +
+         " t=" + std::to_string(T) + " v=" + std::to_string(V);
+  if (isMethod())
+    Out += " m=" + std::to_string(Method);
+  if (isElection() || isCommit())
+    Out += " Q=" + Supporters.str();
+  if (isReconfig())
+    Out += " cf=" + Conf.str();
+  Out += ")";
+  return Out;
+}
+
+bool adore::cacheGreater(const Cache &C1, const Cache &C2) {
+  if (C1.T != C2.T)
+    return C1.T > C2.T;
+  if (C1.V != C2.V)
+    return C1.V > C2.V;
+  return C1.isCommit() && !C2.isCommit();
+}
+
+bool adore::cacheMaxOrder(const Cache &C1, const Cache &C2) {
+  if (cacheGreater(C1, C2))
+    return true;
+  if (cacheGreater(C2, C1))
+    return false;
+  return C1.Id > C2.Id;
+}

@@ -1,0 +1,104 @@
+//===- adore/Cache.h - Cache tree node variants ---------------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four cache variants of the Adore state (Fig. 6 / Fig. 24):
+/// elections (ECache), method invocations (MCache), reconfigurations
+/// (RCache), and commits (CCache), together with the strict order > on
+/// caches (Fig. 9).
+///
+/// Caches are represented as a single value-semantic struct with a kind
+/// tag rather than a class hierarchy: the model checker copies whole
+/// cache trees at high rates, so trivially copyable nodes matter more
+/// than virtual dispatch here. Kind-tagged dispatch also keeps the struct
+/// hashable and comparable by value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_ADORE_CACHE_H
+#define ADORE_ADORE_CACHE_H
+
+#include "adore/Config.h"
+#include "support/Ids.h"
+#include "support/NodeSet.h"
+
+#include <cassert>
+#include <string>
+
+namespace adore {
+
+/// Discriminator for the cache variants of Fig. 6.
+enum class CacheKind : uint8_t {
+  Election, ///< ECache: a (possibly failed-to-commit) election round.
+  Method,   ///< MCache: an invoked, not-necessarily-committed method.
+  Reconfig, ///< RCache: an invoked configuration change.
+  Commit,   ///< CCache: a commit certificate for its ancestors.
+};
+
+/// Printable name of a cache kind ("E", "M", "R", "C").
+const char *cacheKindName(CacheKind Kind);
+
+/// One node of the cache tree.
+struct Cache {
+  /// Which variant this cache is.
+  CacheKind Kind = CacheKind::Commit;
+
+  /// Unique id; also the index into CacheTree storage. Ids reflect
+  /// creation order and carry no semantic weight.
+  CacheId Id = RootCacheId;
+
+  /// Id of the parent cache; the root is its own parent.
+  CacheId Parent = RootCacheId;
+
+  /// The replica whose operation created this cache (the paper's caller).
+  NodeId Caller = InvalidNodeId;
+
+  /// Logical timestamp (ballot/term) of the creating round.
+  Time T = 0;
+
+  /// Version number within the round; 0 for ECaches, incremented by each
+  /// method/reconfig invocation, copied by commits.
+  Vrsn V = 0;
+
+  /// The configuration under which the operation ran. For an RCache this
+  /// is the *new* configuration it proposes (children inherit it).
+  Config Conf;
+
+  /// The replicas that approved this cache: election voters for ECaches,
+  /// commit acknowledgers for CCaches, and just the caller for
+  /// MCaches/RCaches.
+  NodeSet Supporters;
+
+  /// The invoked method; meaningful only for MCaches.
+  MethodId Method = 0;
+
+  bool isElection() const { return Kind == CacheKind::Election; }
+  bool isMethod() const { return Kind == CacheKind::Method; }
+  bool isReconfig() const { return Kind == CacheKind::Reconfig; }
+  bool isCommit() const { return Kind == CacheKind::Commit; }
+
+  /// True for the MCache/RCache variants, the only commit-able payloads.
+  bool isCommittable() const { return isMethod() || isReconfig(); }
+
+  /// Renders as e.g. "M#7(n=1 t=2 v=3)".
+  std::string str() const;
+};
+
+/// The strict order > on caches (Fig. 9): lexicographic on
+/// (time, version), except that a CCache dominates a non-CCache with the
+/// same pair, which is what makes > total enough for mostRecent /
+/// activeCache / lastCommit to be well-defined maxima.
+bool cacheGreater(const Cache &C1, const Cache &C2);
+
+/// Deterministic tie-break used when selecting maxima: cacheGreater first,
+/// then larger id wins. Equal (time, version, kind-class) caches are
+/// behaviourally symmetric, so the tie-break never affects safety; it
+/// only pins down which witness the executable semantics returns.
+bool cacheMaxOrder(const Cache &C1, const Cache &C2);
+
+} // namespace adore
+
+#endif // ADORE_ADORE_CACHE_H

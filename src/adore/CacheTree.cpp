@@ -1,0 +1,321 @@
+//===- adore/CacheTree.cpp - The Adore cache tree -------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adore/CacheTree.h"
+
+#include <algorithm>
+
+using namespace adore;
+
+CacheTree::CacheTree(Config RootConf, NodeSet RootSupporters) {
+  Cache Root;
+  Root.Kind = CacheKind::Commit;
+  Root.Id = RootCacheId;
+  Root.Parent = RootCacheId;
+  Root.Caller = InvalidNodeId;
+  Root.T = 0;
+  Root.V = 0;
+  Root.Conf = std::move(RootConf);
+  Root.Supporters = std::move(RootSupporters);
+  Caches.push_back(std::move(Root));
+  Children.emplace_back();
+}
+
+CacheId CacheTree::addLeaf(CacheId Parent, Cache C) {
+  assert(Parent < Caches.size() && "addLeaf: bad parent");
+  CacheId Fresh = static_cast<CacheId>(Caches.size());
+  C.Id = Fresh;
+  C.Parent = Parent;
+  Caches.push_back(std::move(C));
+  Children.emplace_back();
+  Children[Parent].push_back(Fresh);
+  return Fresh;
+}
+
+CacheId CacheTree::insertBtw(CacheId Parent, Cache C) {
+  assert(Parent < Caches.size() && "insertBtw: bad parent");
+  CacheId Fresh = static_cast<CacheId>(Caches.size());
+  C.Id = Fresh;
+  C.Parent = Parent;
+  // Re-parent the current children of Parent onto the new cache; they
+  // represent partial failures that may still be committed later.
+  std::vector<CacheId> Moved = std::move(Children[Parent]);
+  for (CacheId Kid : Moved)
+    Caches[Kid].Parent = Fresh;
+  Children[Parent].clear();
+  Caches.push_back(std::move(C));
+  Children.push_back(std::move(Moved));
+  Children[Parent].push_back(Fresh);
+  return Fresh;
+}
+
+bool CacheTree::isAncestor(CacheId Ancestor, CacheId Descendant) const {
+  if (Ancestor == Descendant)
+    return false;
+  CacheId Cur = Descendant;
+  while (Cur != RootCacheId) {
+    Cur = Caches[Cur].Parent;
+    if (Cur == Ancestor)
+      return true;
+  }
+  return false;
+}
+
+bool CacheTree::isAncestorOrSelf(CacheId Ancestor,
+                                 CacheId Descendant) const {
+  return Ancestor == Descendant || isAncestor(Ancestor, Descendant);
+}
+
+bool CacheTree::onSameBranch(CacheId A, CacheId B) const {
+  return isAncestorOrSelf(A, B) || isAncestor(B, A);
+}
+
+size_t CacheTree::depth(CacheId Id) const {
+  size_t D = 0;
+  while (Id != RootCacheId) {
+    Id = Caches[Id].Parent;
+    ++D;
+  }
+  return D;
+}
+
+CacheId CacheTree::lowestCommonAncestor(CacheId A, CacheId B) const {
+  size_t DA = depth(A), DB = depth(B);
+  while (DA > DB) {
+    A = Caches[A].Parent;
+    --DA;
+  }
+  while (DB > DA) {
+    B = Caches[B].Parent;
+    --DB;
+  }
+  while (A != B) {
+    A = Caches[A].Parent;
+    B = Caches[B].Parent;
+  }
+  return A;
+}
+
+std::vector<CacheId> CacheTree::branchOf(CacheId Id) const {
+  std::vector<CacheId> Path;
+  for (CacheId Cur = Id;; Cur = Caches[Cur].Parent) {
+    Path.push_back(Cur);
+    if (Cur == RootCacheId)
+      break;
+  }
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+size_t CacheTree::rdist(CacheId A, CacheId B) const {
+  CacheId Anc = lowestCommonAncestor(A, B);
+  size_t Count = 0;
+  // Walk each endpoint up to the common ancestor, counting RCaches
+  // strictly between the endpoint and the ancestor. The endpoints
+  // themselves are excluded; the common ancestor is an interior point of
+  // the path only when it differs from both endpoints.
+  for (CacheId Cur : {A, B}) {
+    while (Cur != Anc) {
+      if (Cur != A && Cur != B && Caches[Cur].isReconfig())
+        ++Count;
+      Cur = Caches[Cur].Parent;
+    }
+  }
+  if (Anc != A && Anc != B && Caches[Anc].isReconfig())
+    ++Count;
+  return Count;
+}
+
+size_t CacheTree::treeRdist() const {
+  size_t Max = 0;
+  for (CacheId A = 0; A < Caches.size(); ++A)
+    for (CacheId B = A + 1; B < Caches.size(); ++B)
+      Max = std::max(Max, rdist(A, B));
+  return Max;
+}
+
+// Whether \p Nid holds the replicated state represented by \p C: its own
+// method/reconfig invocations (caller) and the commits it acknowledged
+// or issued (supporters). ECaches are transparent here — an election
+// carries no replicated state, so neither a *vote* (which only promises
+// a timestamp) nor the candidacy itself makes anyone "hold" the branch
+// the election happens to sit on. The printed mostRecent definition
+// (Fig. 9) ranges over all caches and supporters; restricting it to
+// state-bearing caches is the only reading consistent with (a) the
+// Fig. 12 counterexample (a vote must not carry the candidate's branch
+// into later elections), and (b) the refinement relation: Raft's
+// up-to-date vote rule compares LOGS, so the greatest state-bearing
+// cache held by any voter provably lies on the winning candidate's own
+// log branch, whereas a newer ECache with an empty branch would
+// teleport a re-elected leader away from its log. Every Appendix B
+// proof step that bounds mostRecent from below does so through shared
+// CCache supporters, which this reading preserves; the full lemma suite
+// is re-verified executably under it (tests/McTest.cpp).
+static bool holdsState(const Cache &C, NodeId Nid) {
+  return !C.isElection() && C.Supporters.contains(Nid);
+}
+
+static bool holdsStateAny(const Cache &C, const NodeSet &Q) {
+  return !C.isElection() && Q.intersects(C.Supporters);
+}
+
+CacheId CacheTree::mostRecent(const NodeSet &Q) const {
+  CacheId Best = InvalidCacheId;
+  for (const Cache &C : Caches) {
+    if (!holdsStateAny(C, Q))
+      continue;
+    if (Best == InvalidCacheId || cacheMaxOrder(C, Caches[Best]))
+      Best = C.Id;
+  }
+  return Best;
+}
+
+CacheId CacheTree::activeCache(NodeId Nid) const {
+  CacheId Best = InvalidCacheId;
+  for (const Cache &C : Caches) {
+    if (C.Caller != Nid)
+      continue;
+    if (Best == InvalidCacheId || cacheMaxOrder(C, Caches[Best]))
+      Best = C.Id;
+  }
+  return Best;
+}
+
+CacheId CacheTree::lastCommit(NodeId Nid) const {
+  CacheId Best = InvalidCacheId;
+  for (const Cache &C : Caches) {
+    if (!C.isCommit() || !C.Supporters.contains(Nid))
+      continue;
+    if (Best == InvalidCacheId || cacheMaxOrder(C, Caches[Best]))
+      Best = C.Id;
+  }
+  return Best;
+}
+
+CacheId CacheTree::observedCache(NodeId Nid) const {
+  CacheId Best = InvalidCacheId;
+  for (const Cache &C : Caches) {
+    if (!holdsState(C, Nid))
+      continue;
+    if (Best == InvalidCacheId || cacheMaxOrder(C, Caches[Best]))
+      Best = C.Id;
+  }
+  return Best;
+}
+
+CacheId CacheTree::maxCommit() const {
+  CacheId Best = RootCacheId;
+  for (const Cache &C : Caches)
+    if (C.isCommit() && cacheMaxOrder(C, Caches[Best]))
+      Best = C.Id;
+  return Best;
+}
+
+std::vector<CacheId> CacheTree::committedLog() const {
+  std::vector<CacheId> Log;
+  for (CacheId Id : branchOf(maxCommit()))
+    if (Caches[Id].isCommittable())
+      Log.push_back(Id);
+  return Log;
+}
+
+NodeSet CacheTree::universe(const ReconfigScheme &Scheme) const {
+  NodeSet U;
+  for (const Cache &C : Caches)
+    U = U.unionWith(Scheme.mbrs(C.Conf));
+  return U;
+}
+
+CacheId CacheTree::pruneToBranch(CacheId Tip) {
+  assert(Tip < Caches.size() && "pruneToBranch: bad tip");
+  // Survivors: the root-to-Tip spine plus Tip's whole subtree.
+  std::vector<bool> Keep(Caches.size(), false);
+  for (CacheId Id : branchOf(Tip))
+    Keep[Id] = true;
+  // Mark descendants breadth-first.
+  std::vector<CacheId> Work{Tip};
+  while (!Work.empty()) {
+    CacheId Cur = Work.back();
+    Work.pop_back();
+    for (CacheId Kid : Children[Cur]) {
+      Keep[Kid] = true;
+      Work.push_back(Kid);
+    }
+  }
+  // Rebuild with contiguous fresh ids in breadth-first order so every
+  // parent is remapped before its children. (Creation-id order would
+  // not do: insertBtw re-parents earlier-created caches under a
+  // later-created commit.)
+  std::vector<CacheId> Remap(Caches.size(), InvalidCacheId);
+  std::vector<Cache> NewCaches;
+  std::vector<std::vector<CacheId>> NewChildren;
+  std::vector<CacheId> Order{RootCacheId};
+  for (size_t Head = 0; Head != Order.size(); ++Head) {
+    CacheId Id = Order[Head];
+    CacheId Fresh = static_cast<CacheId>(NewCaches.size());
+    Remap[Id] = Fresh;
+    Cache C = std::move(Caches[Id]);
+    C.Id = Fresh;
+    C.Parent = Id == RootCacheId ? Fresh : Remap[C.Parent];
+    NewCaches.push_back(std::move(C));
+    NewChildren.emplace_back();
+    if (Id != RootCacheId)
+      NewChildren[NewCaches.back().Parent].push_back(Fresh);
+    for (CacheId Kid : Children[Id])
+      if (Keep[Kid])
+        Order.push_back(Kid);
+  }
+  Caches = std::move(NewCaches);
+  Children = std::move(NewChildren);
+  return Remap[Tip];
+}
+
+uint64_t CacheTree::subtreeFingerprint(CacheId Id) const {
+  const Cache &C = Caches[Id];
+  Fnv1aHasher H;
+  H.addByte(static_cast<uint8_t>(C.Kind));
+  H.addU64(C.Caller);
+  H.addU64(C.T);
+  H.addU64(C.V);
+  H.addU64(C.Method);
+  C.Conf.addToHash(H);
+  H.addNodeSet(C.Supporters);
+  std::vector<uint64_t> Kids;
+  Kids.reserve(Children[Id].size());
+  for (CacheId Kid : Children[Id])
+    Kids.push_back(subtreeFingerprint(Kid));
+  // Sorting makes the fingerprint independent of sibling creation order;
+  // duplicates are kept so multiplicities still count.
+  std::sort(Kids.begin(), Kids.end());
+  for (uint64_t K : Kids)
+    H.addU64(K);
+  return H.finish();
+}
+
+uint64_t CacheTree::canonicalFingerprint() const {
+  return subtreeFingerprint(RootCacheId);
+}
+
+void CacheTree::dumpSubtree(CacheId Id, const std::string &Prefix,
+                            bool Last, std::string &Out) const {
+  Out += Prefix;
+  if (Id != RootCacheId)
+    Out += Last ? "`-" : "|-";
+  Out += Caches[Id].str();
+  Out += "\n";
+  std::string KidPrefix = Prefix;
+  if (Id != RootCacheId)
+    KidPrefix += Last ? "  " : "| ";
+  const std::vector<CacheId> &Kids = Children[Id];
+  for (size_t I = 0; I != Kids.size(); ++I)
+    dumpSubtree(Kids[I], KidPrefix, I + 1 == Kids.size(), Out);
+}
+
+std::string CacheTree::dump() const {
+  std::string Out;
+  dumpSubtree(RootCacheId, "", true, Out);
+  return Out;
+}

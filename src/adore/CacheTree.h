@@ -1,0 +1,163 @@
+//===- adore/CacheTree.h - The Adore cache tree ---------------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The append-only cache tree at the heart of the Adore state: a map from
+/// cache ids to (parent id, cache) per Fig. 6, with the tree-growing
+/// functions addLeaf and insertBtw, the ancestor relation, the selection
+/// functions mostRecent / activeCache / lastCommit (Fig. 9), and the
+/// rdist metric of Definition 4.2.
+///
+/// The root (id 0) is a genesis CCache carrying the initial configuration
+/// conf_0 and supported by all of conf_0's members. This makes
+/// mostRecent/lastCommit total from the start and means R3 forces a fresh
+/// leader to commit at its own timestamp before reconfiguring — exactly
+/// Raft's new-leader no-op barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_ADORE_CACHETREE_H
+#define ADORE_ADORE_CACHETREE_H
+
+#include "adore/Cache.h"
+#include "support/Hashing.h"
+
+#include <string>
+#include <vector>
+
+namespace adore {
+
+/// The append-only tree of caches. Value-semantic and cheap to copy for
+/// the small trees explored per state (copy-on-branch in the checker).
+class CacheTree {
+public:
+  /// Builds a tree containing only the genesis root CCache with
+  /// configuration \p RootConf and supporter set \p RootSupporters
+  /// (normally mbrs(RootConf)).
+  CacheTree(Config RootConf, NodeSet RootSupporters);
+
+  /// Number of caches including the root.
+  size_t size() const { return Caches.size(); }
+
+  const Cache &cache(CacheId Id) const {
+    assert(Id < Caches.size() && "cache id out of range");
+    return Caches[Id];
+  }
+
+  const Cache &root() const { return Caches[RootCacheId]; }
+
+  /// Child ids of \p Id in creation order.
+  const std::vector<CacheId> &children(CacheId Id) const {
+    assert(Id < Children.size() && "cache id out of range");
+    return Children[Id];
+  }
+
+  /// Appends \p C as a new leaf child of \p Parent; returns the fresh id
+  /// (the paper's addLeaf).
+  CacheId addLeaf(CacheId Parent, Cache C);
+
+  /// Inserts \p C between \p Parent and Parent's current children: the
+  /// children are re-parented onto the new cache (the paper's insertBtw,
+  /// used by push so that partially-failed suffixes stay viable).
+  CacheId insertBtw(CacheId Parent, Cache C);
+
+  /// True iff \p Ancestor is a strict ancestor of \p Descendant (the
+  /// paper's arrow relation).
+  bool isAncestor(CacheId Ancestor, CacheId Descendant) const;
+
+  /// isAncestor or equality.
+  bool isAncestorOrSelf(CacheId Ancestor, CacheId Descendant) const;
+
+  /// True iff one of the two is an ancestor-or-self of the other, i.e.
+  /// the caches lie on a single branch.
+  bool onSameBranch(CacheId A, CacheId B) const;
+
+  /// Nearest common ancestor.
+  CacheId lowestCommonAncestor(CacheId A, CacheId B) const;
+
+  /// Distance (#edges) from the root.
+  size_t depth(CacheId Id) const;
+
+  /// Ids on the path root -> Id, inclusive, in root-first order.
+  std::vector<CacheId> branchOf(CacheId Id) const;
+
+  /// Definition 4.2: the number of RCaches strictly between \p A and
+  /// \p B on the tree path through their nearest common ancestor,
+  /// excluding the endpoints.
+  size_t rdist(CacheId A, CacheId B) const;
+
+  /// The rdist of the whole tree: the maximum rdist over all cache pairs.
+  size_t treeRdist() const;
+
+  /// mostRecent (Fig. 9): the greatest cache whose state some member of
+  /// \p Q holds. "Holding" means: own invocations/elections (caller) and
+  /// acknowledged commits (supporters); an election *vote* is excluded —
+  /// see the rationale in CacheTree.cpp. Returns InvalidCacheId when Q
+  /// holds nothing (possible only if Q misses every supporter set
+  /// including the root's).
+  CacheId mostRecent(const NodeSet &Q) const;
+
+  /// activeCache (Fig. 9): the greatest cache called by \p Nid, or
+  /// InvalidCacheId if \p Nid never created a cache.
+  CacheId activeCache(NodeId Nid) const;
+
+  /// lastCommit (Fig. 9): the greatest CCache supported by \p Nid, or
+  /// InvalidCacheId.
+  CacheId lastCommit(NodeId Nid) const;
+
+  /// The greatest cache whose supporters include \p Nid; this identifies
+  /// the branch a replica has observed (used by the refinement relation's
+  /// toLog, Fig. 17).
+  CacheId observedCache(NodeId Nid) const;
+
+  /// The greatest CCache in the whole tree, or the root.
+  CacheId maxCommit() const;
+
+  /// The committed log: methods/reconfigs that are ancestors of (or equal
+  /// to) the parent chain of the greatest CCache, root-first. Under
+  /// replicated state safety this is the unique agreed command sequence.
+  std::vector<CacheId> committedLog() const;
+
+  /// The union of mbrs over every configuration in the tree: all node ids
+  /// that have ever been configuration members.
+  NodeSet universe(const ReconfigScheme &Scheme) const;
+
+  /// Stop-the-world support (Section 8): discards every cache that is
+  /// neither an ancestor-or-self nor a descendant of \p Tip, rebuilding
+  /// the tree with fresh contiguous ids. This models Stoppable-Paxos
+  /// style reconfiguration, where the committed log is copied to a new
+  /// cluster and all other speculative state dies with the old one.
+  /// Returns the new id of \p Tip. Invalidates all previously held
+  /// CacheIds.
+  CacheId pruneToBranch(CacheId Tip);
+
+  /// Structure-based fingerprint that is invariant under cache-id
+  /// relabeling: hashes payloads plus the multiset of child fingerprints,
+  /// so interleavings producing isomorphic trees deduplicate in the
+  /// checker.
+  uint64_t canonicalFingerprint() const;
+
+  /// ASCII rendering of the tree for diagnostics and examples.
+  std::string dump() const;
+
+  /// Applies \p Fn to every cache (including the root).
+  template <typename FnT> void forEach(FnT &&Fn) const {
+    for (const Cache &C : Caches)
+      Fn(C);
+  }
+
+private:
+  uint64_t subtreeFingerprint(CacheId Id) const;
+  void dumpSubtree(CacheId Id, const std::string &Prefix, bool Last,
+                   std::string &Out) const;
+
+  std::vector<Cache> Caches;
+  std::vector<std::vector<CacheId>> Children;
+};
+
+} // namespace adore
+
+#endif // ADORE_ADORE_CACHETREE_H

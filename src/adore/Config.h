@@ -1,0 +1,140 @@
+//===- adore/Config.h - Parameterized configurations ----------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper treats the configuration type, the membership function, the
+/// quorum predicate, and the R1+ relation as opaque parameters of the
+/// whole model (Fig. 7). We mirror that with a value-semantic Config
+/// record interpreted by a ReconfigScheme strategy. A single Config layout
+/// (two node sets plus one integer parameter) is rich enough to encode all
+/// of the paper's Section 6 instantiations:
+///
+///   Raft single-node:  Members = the set; Extra, Param unused
+///   Raft joint:        Members = old set; Extra = new set (HasExtra)
+///   Primary backup:    Members = primary + backups; Param = primary id
+///   Dynamic quorum:    Members = the set; Param = quorum size q
+///   Unanimous:         Members = the set; quorum = all members
+///   Static (CADO):     Members = the set; R1+ = equality
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_ADORE_CONFIG_H
+#define ADORE_ADORE_CONFIG_H
+
+#include "support/Hashing.h"
+#include "support/NodeSet.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace adore {
+
+/// A value-semantic configuration record. Which fields are meaningful is
+/// decided by the active ReconfigScheme.
+struct Config {
+  /// Primary member set. For joint consensus this is the *old* set.
+  NodeSet Members;
+
+  /// Secondary member set; only meaningful when HasExtra is true (joint
+  /// consensus "new" set).
+  NodeSet Extra;
+
+  /// True when Extra carries a set (a joint configuration).
+  bool HasExtra = false;
+
+  /// Scheme-specific integer: quorum size for dynamic-quorum, primary
+  /// node id for primary-backup, unused otherwise.
+  uint64_t Param = 0;
+
+  Config() = default;
+
+  /// Convenience constructor for the common "just a member set" layouts.
+  explicit Config(NodeSet Members) : Members(std::move(Members)) {}
+
+  bool operator==(const Config &RHS) const {
+    return Members == RHS.Members && Extra == RHS.Extra &&
+           HasExtra == RHS.HasExtra && Param == RHS.Param;
+  }
+  bool operator!=(const Config &RHS) const { return !(*this == RHS); }
+
+  /// Feeds the configuration into a fingerprint hasher.
+  void addToHash(Fnv1aHasher &H) const {
+    H.addNodeSet(Members);
+    H.addNodeSet(Extra);
+    H.addBool(HasExtra);
+    H.addU64(Param);
+  }
+
+  /// Renders the configuration for diagnostics, e.g. "{1, 2, 3}" or
+  /// "joint({1, 2}, {2, 3})" or "q=2 {1, 2, 3}".
+  std::string str() const;
+};
+
+/// Strategy interface instantiating the paper's Config/mbrs/isQuorum/R1+
+/// parameters. Implementations must satisfy the REFLEXIVE and OVERLAP
+/// assumptions of Fig. 7; the test suite property-checks both for every
+/// shipped scheme.
+class ReconfigScheme {
+public:
+  virtual ~ReconfigScheme();
+
+  /// Human-readable scheme name for reports.
+  virtual const char *name() const = 0;
+
+  /// The set of replicas that participate under \p C (the paper's mbrs).
+  virtual NodeSet mbrs(const Config &C) const = 0;
+
+  /// True iff \p S is a quorum of \p C (the paper's isQuorum). Callers
+  /// guarantee S is a subset of mbrs(C) (validSupp).
+  virtual bool isQuorum(const NodeSet &S, const Config &C) const = 0;
+
+  /// The R1+ relation: may a leader configured with \p Old propose
+  /// \p New? Must guarantee quorum overlap between the two (OVERLAP).
+  virtual bool r1Plus(const Config &Old, const Config &New) const = 0;
+
+  /// True iff \p C is a well-formed configuration for this scheme.
+  virtual bool isValidConfig(const Config &C) const = 0;
+
+  /// Enumerates the candidate successor configurations of \p C drawn from
+  /// the node universe \p Universe, used to drive reconfig transitions in
+  /// the model checker and randomized testers. Every returned config
+  /// satisfies r1Plus(C, result) and isValidConfig. Schemes with a very
+  /// large legal successor space (joint, unanimous) restrict themselves
+  /// to single-node deltas to keep exploration tractable; this bounds the
+  /// checked behaviours, not the model.
+  virtual std::vector<Config> candidateReconfigs(const Config &C,
+                                                 const NodeSet &Universe)
+      const = 0;
+
+  /// True if the scheme permits reconfiguration at all. The static (CADO)
+  /// scheme returns false, which disables reconfig transitions and yields
+  /// the configuration-aware-but-static model the paper calls CADO.
+  virtual bool allowsReconfig() const { return true; }
+};
+
+/// Identifies one of the shipped scheme implementations.
+enum class SchemeKind {
+  RaftSingleNode,
+  RaftJoint,
+  PrimaryBackup,
+  DynamicQuorum,
+  Unanimous,
+  Static,
+};
+
+/// Instantiates the scheme implementation for \p Kind.
+std::unique_ptr<ReconfigScheme> makeScheme(SchemeKind Kind);
+
+/// All shipped scheme kinds, for parameterized sweeps.
+std::vector<SchemeKind> allSchemeKinds();
+
+/// Printable name of a scheme kind.
+const char *schemeKindName(SchemeKind Kind);
+
+} // namespace adore
+
+#endif // ADORE_ADORE_CONFIG_H

@@ -1,0 +1,83 @@
+//===- adore/DotExport.cpp - Graphviz rendering of cache trees --------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adore/DotExport.h"
+
+#include "support/Debug.h"
+
+using namespace adore;
+
+namespace {
+
+/// A cache is (implicitly) committed when a certificate sits below it —
+/// the paper draws these as squares.
+bool isImplicitlyCommitted(const CacheTree &Tree, CacheId Id) {
+  if (Tree.cache(Id).isCommit())
+    return true;
+  bool Found = false;
+  Tree.forEach([&](const Cache &C) {
+    if (!Found && C.isCommit() && Tree.isAncestor(Id, C.Id))
+      Found = true;
+  });
+  return Found;
+}
+
+const char *shapeOf(const Cache &C) {
+  switch (C.Kind) {
+  case CacheKind::Election:
+    return "diamond";
+  case CacheKind::Method:
+  case CacheKind::Reconfig:
+    return "ellipse";
+  case CacheKind::Commit:
+    return "doubleoctagon";
+  }
+  ADORE_UNREACHABLE("unknown cache kind");
+}
+
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string adore::toDot(const CacheTree &Tree, const DotOptions &Opts) {
+  std::string Out = "digraph adore {\n"
+                    "  rankdir=TB;\n"
+                    "  node [fontname=\"monospace\" fontsize=10];\n";
+  if (!Opts.Title.empty())
+    Out += "  label=\"" + escape(Opts.Title) + "\"; labelloc=t;\n";
+  Tree.forEach([&](const Cache &C) {
+    std::string Label =
+        std::string(cacheKindName(C.Kind)) + std::to_string(C.Id) +
+        "\\nt=" + std::to_string(C.T) + " v=" + std::to_string(C.V);
+    if (C.isMethod() && C.Method != 0)
+      Label += " m=" + std::to_string(C.Method);
+    if (Opts.ShowSupporters && (C.isElection() || C.isCommit()))
+      Label += "\\nQ=" + escape(C.Supporters.str());
+    if (Opts.ShowConfigs && (C.isReconfig() || C.Id == RootCacheId))
+      Label += "\\ncf=" + escape(C.Conf.str());
+    std::string Style = isImplicitlyCommitted(Tree, C.Id)
+                            ? "filled\" fillcolor=\"lightgray"
+                            : "solid";
+    Out += "  n" + std::to_string(C.Id) + " [shape=" + shapeOf(C) +
+           " style=\"" + Style + "\" label=\"" + Label + "\"];\n";
+  });
+  Tree.forEach([&](const Cache &C) {
+    if (C.Id == RootCacheId)
+      return;
+    Out += "  n" + std::to_string(C.Parent) + " -> n" +
+           std::to_string(C.Id) + ";\n";
+  });
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- adore/DotExport.h - Graphviz rendering of cache trees --*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders cache trees as Graphviz DOT, in the visual language of the
+/// paper's figures: elections as diamonds, methods/reconfigs as circles
+/// (speculative state), commit certificates as (double) boxes, with
+/// timestamps, versions, supporter sets, and configurations in the
+/// labels. Committed caches (those with a certificate below them) are
+/// shaded like the paper's squares. Used for debugging counterexamples
+/// and by the scheme_explorer example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_ADORE_DOTEXPORT_H
+#define ADORE_ADORE_DOTEXPORT_H
+
+#include "adore/CacheTree.h"
+
+#include <string>
+
+namespace adore {
+
+/// Rendering options.
+struct DotOptions {
+  /// Graph title (rendered as a label).
+  std::string Title;
+  /// Include configurations in node labels.
+  bool ShowConfigs = true;
+  /// Include supporter sets in node labels.
+  bool ShowSupporters = true;
+};
+
+/// Renders \p Tree as a DOT digraph.
+std::string toDot(const CacheTree &Tree, const DotOptions &Opts = {});
+
+} // namespace adore
+
+#endif // ADORE_ADORE_DOTEXPORT_H

@@ -1,0 +1,145 @@
+//===- adore/Invariants.cpp - Safety properties and lemmas -----------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adore/Invariants.h"
+
+using namespace adore;
+
+namespace {
+
+std::string pairMsg(const char *What, const Cache &A, const Cache &B) {
+  return std::string(What) + ": " + A.str() + " vs " + B.str();
+}
+
+} // namespace
+
+std::optional<std::string>
+adore::checkReplicatedStateSafety(const CacheTree &Tree) {
+  std::vector<CacheId> Commits;
+  Tree.forEach([&](const Cache &C) {
+    if (C.isCommit())
+      Commits.push_back(C.Id);
+  });
+  for (size_t I = 0; I != Commits.size(); ++I)
+    for (size_t J = I + 1; J != Commits.size(); ++J)
+      if (!Tree.onSameBranch(Commits[I], Commits[J]))
+        return pairMsg("safety violation: CCaches on diverging branches",
+                       Tree.cache(Commits[I]), Tree.cache(Commits[J]));
+  return std::nullopt;
+}
+
+std::optional<std::string>
+adore::checkDescendantOrder(const CacheTree &Tree) {
+  std::optional<std::string> Out;
+  Tree.forEach([&](const Cache &C) {
+    if (Out || C.Id == RootCacheId)
+      return;
+    const Cache &P = Tree.cache(C.Parent);
+    if (!cacheGreater(C, P))
+      Out = pairMsg("descendant order violation: child not > parent", C, P);
+  });
+  return Out;
+}
+
+std::optional<std::string>
+adore::checkLeaderTimeUniqueness(const CacheTree &Tree, size_t MaxRdist) {
+  std::vector<CacheId> Elections;
+  Tree.forEach([&](const Cache &C) {
+    if (C.isElection())
+      Elections.push_back(C.Id);
+  });
+  for (size_t I = 0; I != Elections.size(); ++I) {
+    for (size_t J = I + 1; J != Elections.size(); ++J) {
+      const Cache &A = Tree.cache(Elections[I]);
+      const Cache &B = Tree.cache(Elections[J]);
+      if (A.T != B.T)
+        continue;
+      if (Tree.rdist(A.Id, B.Id) > MaxRdist)
+        continue;
+      return pairMsg("leader time uniqueness violation", A, B);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string>
+adore::checkElectionCommitOrder(const CacheTree &Tree, size_t MaxRdist) {
+  std::vector<CacheId> Elections, Commits;
+  Tree.forEach([&](const Cache &C) {
+    if (C.isElection())
+      Elections.push_back(C.Id);
+    else if (C.isCommit() && C.Id != RootCacheId)
+      Commits.push_back(C.Id);
+  });
+  for (CacheId E : Elections) {
+    for (CacheId C : Commits) {
+      const Cache &CE = Tree.cache(E);
+      const Cache &CC = Tree.cache(C);
+      if (!cacheGreater(CE, CC))
+        continue;
+      if (Tree.rdist(E, C) > MaxRdist)
+        continue;
+      if (!Tree.isAncestor(C, E))
+        return pairMsg("election-commit order violation: newer election "
+                       "misses older commit",
+                       CE, CC);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string>
+adore::checkCCacheInRCacheFork(const CacheTree &Tree) {
+  std::vector<CacheId> Reconfigs;
+  Tree.forEach([&](const Cache &C) {
+    if (C.isReconfig())
+      Reconfigs.push_back(C.Id);
+  });
+  for (size_t I = 0; I != Reconfigs.size(); ++I) {
+    for (size_t J = I + 1; J != Reconfigs.size(); ++J) {
+      CacheId R1 = Reconfigs[I], R2 = Reconfigs[J];
+      if (Tree.onSameBranch(R1, R2))
+        continue;
+      if (Tree.rdist(R1, R2) != 0)
+        continue;
+      CacheId Anc = Tree.lowestCommonAncestor(R1, R2);
+      bool Found = false;
+      Tree.forEach([&](const Cache &C) {
+        if (Found || !C.isCommit())
+          return;
+        if (!Tree.isAncestor(Anc, C.Id))
+          return;
+        if (Tree.isAncestor(C.Id, R1) || Tree.isAncestor(C.Id, R2))
+          Found = true;
+      });
+      if (!Found)
+        return pairMsg("CCache-in-RCache-fork violation", Tree.cache(R1),
+                       Tree.cache(R2));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string>
+adore::checkInvariants(const CacheTree &Tree,
+                       const InvariantSelection &Sel) {
+  if (Sel.Safety)
+    if (auto V = checkReplicatedStateSafety(Tree))
+      return V;
+  if (Sel.DescendantOrder)
+    if (auto V = checkDescendantOrder(Tree))
+      return V;
+  if (Sel.LeaderTimeUniqueness)
+    if (auto V = checkLeaderTimeUniqueness(Tree, 1))
+      return V;
+  if (Sel.ElectionCommitOrder)
+    if (auto V = checkElectionCommitOrder(Tree, 1))
+      return V;
+  if (Sel.CCacheInRCacheFork)
+    if (auto V = checkCCacheInRCacheFork(Tree))
+      return V;
+  return std::nullopt;
+}

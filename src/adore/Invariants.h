@@ -1,0 +1,78 @@
+//===- adore/Invariants.h - Safety properties and lemmas ------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable checkers for the paper's safety property (Definition 4.1)
+/// and its supporting lemmas (Appendix B). Where the paper proves each
+/// statement once and for all in Coq, we check them on every state the
+/// model checker visits and on millions of randomized executions: a
+/// violation of any lemma on any reachable state falsifies the
+/// corresponding theorem, and exhausting the bounded space without
+/// violation is the executable analog of the proof.
+///
+/// Each checker returns std::nullopt on success or a human-readable
+/// description of the violated instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_ADORE_INVARIANTS_H
+#define ADORE_ADORE_INVARIANTS_H
+
+#include "adore/CacheTree.h"
+
+#include <optional>
+#include <string>
+
+namespace adore {
+
+/// Definition 4.1 / Theorem B.9 (replicated state safety): every pair of
+/// CCaches lies on a single branch, i.e. one is an ancestor of the other.
+std::optional<std::string> checkReplicatedStateSafety(const CacheTree &Tree);
+
+/// Lemma B.1 (descendant order): every non-root cache is greater than its
+/// parent under the > order.
+std::optional<std::string> checkDescendantOrder(const CacheTree &Tree);
+
+/// Lemmas B.2 / B.5 (leader time uniqueness): two distinct ECaches with
+/// rdist <= \p MaxRdist never share a timestamp. MaxRdist = 0 is B.2,
+/// 1 is B.5.
+std::optional<std::string>
+checkLeaderTimeUniqueness(const CacheTree &Tree, size_t MaxRdist);
+
+/// Theorems B.3 / B.6 (election-commit order): for a CCache C and an
+/// ECache E with E > C and rdist(E, C) <= \p MaxRdist, E descends from C.
+std::optional<std::string>
+checkElectionCommitOrder(const CacheTree &Tree, size_t MaxRdist);
+
+/// Lemma B.8 / Lemma 4.4 (CCache in RCache fork): two forking RCaches
+/// with rdist 0 enclose a CCache below their common ancestor on one of
+/// the two sides.
+std::optional<std::string> checkCCacheInRCacheFork(const CacheTree &Tree);
+
+/// Selects which of the above to evaluate.
+struct InvariantSelection {
+  bool Safety = true;
+  bool DescendantOrder = true;
+  bool LeaderTimeUniqueness = true;
+  bool ElectionCommitOrder = true;
+  bool CCacheInRCacheFork = true;
+};
+
+/// Runs the selected checkers and returns the first violation found.
+std::optional<std::string>
+checkInvariants(const CacheTree &Tree,
+                const InvariantSelection &Sel = InvariantSelection());
+
+/// Convenience: only the headline safety property (Definition 4.1).
+/// Equivalent to checkReplicatedStateSafety but named for call sites
+/// that specifically want the theorem being reproduced.
+inline std::optional<std::string> checkSafetyOnly(const CacheTree &Tree) {
+  return checkReplicatedStateSafety(Tree);
+}
+
+} // namespace adore
+
+#endif // ADORE_ADORE_INVARIANTS_H

@@ -1,0 +1,307 @@
+//===- adore/Ops.cpp - Adore operational semantics -------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adore/Ops.h"
+
+using namespace adore;
+
+//===----------------------------------------------------------------------===//
+// Side conditions
+//===----------------------------------------------------------------------===//
+
+bool Semantics::checkR2(const CacheTree &Tree, CacheId C) const {
+  // Scan the branch from C (inclusive) towards the root: meeting an
+  // RCache before any CCache means that RCache has no commit between
+  // itself and C, i.e. it is still uncommitted on the active branch.
+  // Meeting a CCache first discharges every RCache above it as well
+  // (that CCache lies between them and C). C itself must be included:
+  // right after a reconfig the active cache *is* the pending RCache.
+  for (CacheId Cur = C;; Cur = Tree.cache(Cur).Parent) {
+    const Cache &A = Tree.cache(Cur);
+    if (A.isCommit())
+      return true;
+    if (A.isReconfig())
+      return false;
+    if (Cur == RootCacheId)
+      return true;
+  }
+}
+
+bool Semantics::checkR3(const CacheTree &Tree, CacheId C) const {
+  // Scan the branch from C (inclusive) towards the root for a CCache at
+  // C's timestamp. Inclusive because a leader's active cache right after
+  // its barrier commit is that CCache itself.
+  Time T = Tree.cache(C).T;
+  for (CacheId Cur = C;; Cur = Tree.cache(Cur).Parent) {
+    const Cache &A = Tree.cache(Cur);
+    if (A.isCommit() && A.T == T)
+      return true;
+    if (Cur == RootCacheId)
+      return false;
+  }
+}
+
+bool Semantics::canReconf(const CacheTree &Tree, CacheId C,
+                          const Config &Ncf) const {
+  // Under cold semantics a proposal chains off the last *committed*
+  // configuration; under hot semantics off the cache's own (inherited,
+  // possibly speculative) one.
+  const Config From =
+      Opts.ColdReconfig ? effectiveConf(Tree, C) : Tree.cache(C).Conf;
+  if (Opts.EnforceR1 && !Scheme.r1Plus(From, Ncf))
+    return false;
+  if (Opts.EnforceR2 && !checkR2(Tree, C))
+    return false;
+  if (Opts.EnforceR3 && !checkR3(Tree, C))
+    return false;
+  return Scheme.isValidConfig(Ncf);
+}
+
+Config Semantics::effectiveConf(const CacheTree &Tree, CacheId C) const {
+  if (!Opts.ColdReconfig)
+    return Tree.cache(C).Conf;
+  // Walk C's branch from the deepest cache upward; the first RCache that
+  // has a commit certificate below it (anywhere in the tree — Def. 4.1
+  // keeps certificates linear) supplies the governing configuration.
+  for (CacheId Cur = C;; Cur = Tree.cache(Cur).Parent) {
+    const Cache &A = Tree.cache(Cur);
+    if (A.isReconfig()) {
+      bool Committed = false;
+      Tree.forEach([&](const Cache &X) {
+        if (!Committed && X.isCommit() && Tree.isAncestor(Cur, X.Id))
+          Committed = true;
+      });
+      if (Committed)
+        return A.Conf;
+    }
+    if (Cur == RootCacheId)
+      return Tree.root().Conf;
+  }
+}
+
+size_t Semantics::uncommittedWindow(const CacheTree &Tree,
+                                    CacheId C) const {
+  size_t Window = 0;
+  for (CacheId Cur = C;; Cur = Tree.cache(Cur).Parent) {
+    const Cache &A = Tree.cache(Cur);
+    if (A.isCommit())
+      return Window;
+    Window += A.isCommittable();
+    if (Cur == RootCacheId)
+      return Window;
+  }
+}
+
+bool Semantics::canCommit(const AdoreState &St, CacheId C,
+                          NodeId Nid) const {
+  const Cache &Target = St.Tree.cache(C);
+  if (!Target.isCommittable())
+    return false;
+  if (Target.Caller != Nid)
+    return false;
+  if (!St.isLeader(Nid, Target.T))
+    return false;
+  CacheId Last = St.Tree.lastCommit(Nid);
+  if (Last == InvalidCacheId)
+    return true;
+  return cacheGreater(Target, St.Tree.cache(Last));
+}
+
+bool Semantics::isValidPullChoice(const AdoreState &St, NodeId Nid,
+                                  const PullChoice &Choice) const {
+  if (!Choice.Q.contains(Nid))
+    return false;
+  CacheId MaxId = St.Tree.mostRecent(Choice.Q);
+  if (MaxId == InvalidCacheId)
+    return false;
+  if (!Choice.Q.isSubsetOf(
+          Scheme.mbrs(effectiveConf(St.Tree, MaxId))))
+    return false;
+  for (NodeId S : Choice.Q)
+    if (St.Times.get(S) >= Choice.T)
+      return false;
+  return true;
+}
+
+bool Semantics::isValidPushChoice(const AdoreState &St, NodeId Nid,
+                                  const PushChoice &Choice) const {
+  if (Choice.Target == InvalidCacheId ||
+      Choice.Target >= St.Tree.size())
+    return false;
+  if (!canCommit(St, Choice.Target, Nid))
+    return false;
+  if (!Choice.Q.contains(Nid))
+    return false;
+  if (!Choice.Q.isSubsetOf(
+          Scheme.mbrs(effectiveConf(St.Tree, Choice.Target))))
+    return false;
+  const Cache &Target = St.Tree.cache(Choice.Target);
+  for (NodeId S : Choice.Q)
+    if (St.Times.get(S) > Target.T)
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Transitions
+//===----------------------------------------------------------------------===//
+
+bool Semantics::pull(AdoreState &St, NodeId Nid,
+                     const PullChoice &Choice) const {
+  assert(isValidPullChoice(St, Nid, Choice) && "invalid pull choice");
+  CacheId MaxId = St.Tree.mostRecent(Choice.Q);
+  const Cache &Max = St.Tree.cache(MaxId);
+  bool QOk = Scheme.isQuorum(Choice.Q, effectiveConf(St.Tree, MaxId));
+  Config Conf = Max.Conf;
+  St.setTimes(Choice.Q, Choice.T);
+  if (!QOk)
+    return true; // Times moved: a failed election still preempts.
+  Cache New;
+  New.Kind = CacheKind::Election;
+  New.Caller = Nid;
+  New.T = Choice.T;
+  New.V = 0;
+  New.Conf = std::move(Conf);
+  New.Supporters = Choice.Q;
+  St.Tree.addLeaf(MaxId, std::move(New));
+  return true;
+}
+
+bool Semantics::canInvoke(const AdoreState &St, NodeId Nid) const {
+  CacheId Active = St.Tree.activeCache(Nid);
+  if (Active == InvalidCacheId)
+    return false;
+  if (Opts.ColdReconfig &&
+      uncommittedWindow(St.Tree, Active) >= Opts.Alpha)
+    return false; // The speculation window is full.
+  return St.isLeader(Nid, St.Tree.cache(Active).T);
+}
+
+bool Semantics::invoke(AdoreState &St, NodeId Nid, MethodId Method) const {
+  if (!canInvoke(St, Nid))
+    return false; // Preempted, never elected, or window full.
+  CacheId Active = St.Tree.activeCache(Nid);
+  const Cache &A = St.Tree.cache(Active);
+  Cache New;
+  New.Kind = CacheKind::Method;
+  New.Caller = Nid;
+  New.T = A.T;
+  New.V = A.V + 1;
+  New.Conf = A.Conf;
+  New.Supporters = NodeSet{Nid};
+  New.Method = Method;
+  St.Tree.addLeaf(Active, std::move(New));
+  return true;
+}
+
+bool Semantics::reconfig(AdoreState &St, NodeId Nid,
+                         const Config &Ncf) const {
+  if (!canInvoke(St, Nid))
+    return false;
+  CacheId Active = St.Tree.activeCache(Nid);
+  const Cache &A = St.Tree.cache(Active);
+  if (!canReconf(St.Tree, Active, Ncf))
+    return false;
+  Cache New;
+  New.Kind = CacheKind::Reconfig;
+  New.Caller = Nid;
+  New.T = A.T;
+  New.V = A.V + 1;
+  New.Conf = Ncf; // The RCache carries the *new* configuration.
+  New.Supporters = NodeSet{Nid};
+  St.Tree.addLeaf(Active, std::move(New));
+  return true;
+}
+
+bool Semantics::push(AdoreState &St, NodeId Nid,
+                     const PushChoice &Choice) const {
+  assert(isValidPushChoice(St, Nid, Choice) && "invalid push choice");
+  const Cache &Target = St.Tree.cache(Choice.Target);
+  bool QOk =
+      Scheme.isQuorum(Choice.Q, effectiveConf(St.Tree, Choice.Target));
+  bool CommitsReconfig = Target.isReconfig();
+  Cache New;
+  New.Kind = CacheKind::Commit;
+  New.Caller = Nid;
+  New.T = Target.T;
+  New.V = Target.V;
+  New.Conf = Target.Conf;
+  New.Supporters = Choice.Q;
+  St.setTimes(Choice.Q, Target.T);
+  if (!QOk)
+    return true;
+  CacheId Cert = St.Tree.insertBtw(Choice.Target, std::move(New));
+  // Stop-the-world mode: committing a configuration change seals the old
+  // cluster — only the committed branch survives the copy to the new
+  // one. Note: committing an RCache transitively commits any RCache
+  // ancestors too, so pruning at the certificate covers them all.
+  if (CommitsReconfig && Opts.StopTheWorldReconfig)
+    St.Tree.pruneToBranch(Cert);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Enumeration
+//===----------------------------------------------------------------------===//
+
+std::vector<PullChoice>
+Semantics::enumeratePullChoices(const AdoreState &St, NodeId Nid) const {
+  std::vector<PullChoice> Out;
+  NodeSet Universe = St.Tree.universe(Scheme);
+  if (!Universe.contains(Nid))
+    return Out;
+  Universe.forAllSubsetsContaining(Nid, [&](const NodeSet &Q) {
+    // Minimal fresh time, plus optional slack values. Timestamps are
+    // only compared (never added), so choosing larger times merely
+    // relabels behaviours; slack exists to double-check that claim
+    // experimentally.
+    Time Base = St.Times.maxOver(Q) + 1;
+    for (unsigned Slack = 0; Slack <= Opts.TimeSlack; ++Slack) {
+      PullChoice Choice{Q, Base + Slack};
+      if (isValidPullChoice(St, Nid, Choice))
+        Out.push_back(std::move(Choice));
+    }
+    return true;
+  });
+  return Out;
+}
+
+std::vector<PushChoice>
+Semantics::enumeratePushChoices(const AdoreState &St, NodeId Nid) const {
+  std::vector<PushChoice> Out;
+  St.Tree.forEach([&](const Cache &C) {
+    if (C.Caller != Nid || !canCommit(St, C.Id, Nid))
+      return;
+    NodeSet Members = Scheme.mbrs(C.Conf);
+    Members.forAllSubsetsContaining(Nid, [&](const NodeSet &Q) {
+      PushChoice Choice{Q, C.Id};
+      if (isValidPushChoice(St, Nid, Choice))
+        Out.push_back(std::move(Choice));
+      return true;
+    });
+  });
+  return Out;
+}
+
+std::vector<Config> Semantics::enumerateReconfigs(const AdoreState &St,
+                                                  NodeId Nid) const {
+  std::vector<Config> Out;
+  if (!Scheme.allowsReconfig())
+    return Out;
+  CacheId Active = St.Tree.activeCache(Nid);
+  if (Active == InvalidCacheId)
+    return Out;
+  const Cache &A = St.Tree.cache(Active);
+  if (!St.isLeader(Nid, A.T))
+    return Out;
+  NodeSet Universe = St.Tree.universe(Scheme).unionWith(Opts.ExtraNodes);
+  const Config From =
+      Opts.ColdReconfig ? effectiveConf(St.Tree, Active) : A.Conf;
+  for (Config &Ncf : Scheme.candidateReconfigs(From, Universe))
+    if (canReconf(St.Tree, Active, Ncf))
+      Out.push_back(std::move(Ncf));
+  return Out;
+}

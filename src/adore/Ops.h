@@ -1,0 +1,186 @@
+//===- adore/Ops.h - Adore operational semantics --------------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four Adore operations (pull, invoke, reconfig, push) of Fig. 28,
+/// their oracle-validity side conditions (Fig. 27), the R2/R3/canReconf
+/// definitions (Fig. 25), and exhaustive enumeration of all valid oracle
+/// choices.
+///
+/// The paper's oracles O_pull / O_push are nondeterministic choices of
+/// supporter sets, timestamps, and target caches constrained by the
+/// VALIDPULLORACLE / VALIDPUSHORACLE rules. We reify a concrete choice as
+/// a PullChoice / PushChoice value; a Semantics object validates and
+/// applies choices, and can enumerate every valid choice so the model
+/// checker covers the oracle's entire behaviour space. Random and
+/// scripted oracle strategies (Oracle.h) are built on the same
+/// primitives.
+///
+/// The EnforceR1/R2/R3 toggles exist to reproduce the paper's negative
+/// results: turning off R3 must let the checker rediscover the Raft
+/// single-server membership bug (Fig. 4 / Fig. 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_ADORE_OPS_H
+#define ADORE_ADORE_OPS_H
+
+#include "adore/State.h"
+
+#include <vector>
+
+namespace adore {
+
+/// A successful O_pull choice: the supporter set Q and the new timestamp
+/// T. The most-recent cache C_max and the quorum bit Q_ok are derived,
+/// not chosen (Fig. 27).
+struct PullChoice {
+  NodeSet Q;
+  Time T = 0;
+};
+
+/// A successful O_push choice: the supporter set Q and the MCache/RCache
+/// to certify. Q_ok is derived.
+struct PushChoice {
+  NodeSet Q;
+  CacheId Target = InvalidCacheId;
+};
+
+/// Feature toggles for ablation experiments. All on = the paper's model.
+struct SemanticsOptions {
+  /// Check R1+ in canReconf.
+  bool EnforceR1 = true;
+  /// Check R2 (no uncommitted RCache in the active branch).
+  bool EnforceR2 = true;
+  /// Check R3 (a CCache with the current timestamp in the active branch).
+  bool EnforceR3 = true;
+  /// Extra timestamp slack for pull enumeration: the enumerating oracle
+  /// offers times max+1 .. max+1+TimeSlack instead of only the minimal
+  /// fresh time. 0 applies the (sound) minimal-time symmetry reduction.
+  unsigned TimeSlack = 0;
+  /// Spare node ids available to join via reconfiguration, beyond the
+  /// nodes already named by some configuration in the tree. Bounds the
+  /// reconfiguration universe for enumeration.
+  NodeSet ExtraNodes;
+  /// Stop-the-world reconfiguration (Section 8): when a push commits an
+  /// RCache, every cache off the committed branch is discarded — the
+  /// model analog of Stoppable Paxos / WormSpace sealing, where the log
+  /// is copied to a fresh cluster and old speculative state dies. Hot
+  /// semantics (the paper's default) keeps the append-only tree.
+  bool StopTheWorldReconfig = false;
+  /// Cold ("easy") reconfiguration (Section 8 / Lamport et al. 2008):
+  /// a configuration change governs quorums only once *committed*, and
+  /// at most Alpha speculative caches may sit above the last commit of
+  /// an active branch (the paper's two required changes to Adore).
+  bool ColdReconfig = false;
+  /// The speculation window for cold reconfiguration.
+  unsigned Alpha = 3;
+};
+
+/// Executable Adore semantics for one scheme instantiation. Stateless
+/// apart from the scheme reference and options; all state lives in
+/// AdoreState values, so one Semantics can drive any number of states.
+class Semantics {
+public:
+  Semantics(const ReconfigScheme &Scheme, SemanticsOptions Opts = {})
+      : Scheme(Scheme), Opts(Opts) {}
+
+  const ReconfigScheme &scheme() const { return Scheme; }
+  const SemanticsOptions &options() const { return Opts; }
+
+  //===--------------------------------------------------------------===//
+  // Side conditions (Fig. 25 / Fig. 27)
+  //===--------------------------------------------------------------===//
+
+  /// R2: every RCache ancestor of \p C has a CCache between itself and
+  /// \p C.
+  bool checkR2(const CacheTree &Tree, CacheId C) const;
+
+  /// R3: some CCache ancestor of \p C carries time(\p C).
+  bool checkR3(const CacheTree &Tree, CacheId C) const;
+
+  /// canReconf: R1+(conf(C), Ncf) and R2 and R3 (subject to the ablation
+  /// toggles).
+  bool canReconf(const CacheTree &Tree, CacheId C, const Config &Ncf) const;
+
+  /// canCommit (Fig. 9): \p C is a committable cache called by \p Nid at
+  /// its current leadership timestamp, newer than \p Nid's last commit.
+  bool canCommit(const AdoreState &St, CacheId C, NodeId Nid) const;
+
+  /// The configuration governing quorum checks at \p C: the cache's own
+  /// configuration under hot semantics; under ColdReconfig, the newest
+  /// *committed* RCache on C's branch (or the genesis configuration).
+  Config effectiveConf(const CacheTree &Tree, CacheId C) const;
+
+  /// Number of committable (M/R) caches on C's branch above its last
+  /// commit certificate, including C itself — the speculative window
+  /// that ColdReconfig bounds by Alpha.
+  size_t uncommittedWindow(const CacheTree &Tree, CacheId C) const;
+
+  /// VALIDPULLORACLE: nid in Q, Q within mbrs(conf(mostRecent(Q))), and
+  /// T strictly above every supporter's observed time.
+  bool isValidPullChoice(const AdoreState &St, NodeId Nid,
+                         const PullChoice &Choice) const;
+
+  /// VALIDPUSHORACLE: canCommit plus supporter validity and the
+  /// times <= time(target) condition.
+  bool isValidPushChoice(const AdoreState &St, NodeId Nid,
+                         const PushChoice &Choice) const;
+
+  //===--------------------------------------------------------------===//
+  // Transitions (Fig. 28). Each returns true iff the state changed.
+  // Choices must be valid (asserted); the NoOp rules correspond to the
+  // oracle returning Fail and are represented by simply not calling.
+  //===--------------------------------------------------------------===//
+
+  /// PULLOK: records the supporters' new time and, if Q is a quorum of
+  /// the most recent cache's configuration, grows an ECache under it.
+  bool pull(AdoreState &St, NodeId Nid, const PullChoice &Choice) const;
+
+  /// INVOKEOK: appends an MCache to the caller's active cache; returns
+  /// false (METHODFAILURE) when the caller has no active cache or has
+  /// been preempted.
+  bool invoke(AdoreState &St, NodeId Nid, MethodId Method) const;
+
+  /// RECONFIGOK: like invoke but appends an RCache carrying \p Ncf,
+  /// guarded by canReconf.
+  bool reconfig(AdoreState &St, NodeId Nid, const Config &Ncf) const;
+
+  /// PUSHOK: records supporter times and, if Q is a quorum of the
+  /// target's configuration, inserts a CCache between the target and its
+  /// children.
+  bool push(AdoreState &St, NodeId Nid, const PushChoice &Choice) const;
+
+  //===--------------------------------------------------------------===//
+  // Oracle-choice enumeration (the checker's successor generator)
+  //===--------------------------------------------------------------===//
+
+  /// Every valid PullChoice for \p Nid, over supporter sets drawn from
+  /// the tree's node universe. Timestamps follow the minimal-fresh-time
+  /// reduction plus Opts.TimeSlack extra values.
+  std::vector<PullChoice> enumeratePullChoices(const AdoreState &St,
+                                               NodeId Nid) const;
+
+  /// Every valid PushChoice for \p Nid.
+  std::vector<PushChoice> enumeratePushChoices(const AdoreState &St,
+                                               NodeId Nid) const;
+
+  /// True iff invoke would succeed for \p Nid right now.
+  bool canInvoke(const AdoreState &St, NodeId Nid) const;
+
+  /// Every new configuration \p Nid could legally propose right now
+  /// (candidate configs filtered by canReconf).
+  std::vector<Config> enumerateReconfigs(const AdoreState &St,
+                                         NodeId Nid) const;
+
+private:
+  const ReconfigScheme &Scheme;
+  SemanticsOptions Opts;
+};
+
+} // namespace adore
+
+#endif // ADORE_ADORE_OPS_H

@@ -1,0 +1,51 @@
+//===- adore/Oracle.cpp - Oracle strategies ---------------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adore/Oracle.h"
+
+using namespace adore;
+
+OracleStrategy::~OracleStrategy() = default;
+
+std::optional<PullChoice> RandomOracle::choosePull(const Semantics &Sem,
+                                                   const AdoreState &St,
+                                                   NodeId Nid) {
+  if (R.nextChance(FailPermille, 1000))
+    return std::nullopt;
+  std::vector<PullChoice> Choices = Sem.enumeratePullChoices(St, Nid);
+  if (Choices.empty())
+    return std::nullopt;
+  return R.pick(Choices);
+}
+
+std::optional<PushChoice> RandomOracle::choosePush(const Semantics &Sem,
+                                                   const AdoreState &St,
+                                                   NodeId Nid) {
+  if (R.nextChance(FailPermille, 1000))
+    return std::nullopt;
+  std::vector<PushChoice> Choices = Sem.enumeratePushChoices(St, Nid);
+  if (Choices.empty())
+    return std::nullopt;
+  return R.pick(Choices);
+}
+
+std::optional<PullChoice> ScriptedOracle::choosePull(const Semantics &Sem,
+                                                     const AdoreState &St,
+                                                     NodeId Nid) {
+  assert(!Pulls.empty() && "scripted oracle out of pull choices");
+  PullChoice Choice = std::move(Pulls.front());
+  Pulls.pop_front();
+  return Choice;
+}
+
+std::optional<PushChoice> ScriptedOracle::choosePush(const Semantics &Sem,
+                                                     const AdoreState &St,
+                                                     NodeId Nid) {
+  assert(!Pushes.empty() && "scripted oracle out of push choices");
+  PushChoice Choice = std::move(Pushes.front());
+  Pushes.pop_front();
+  return Choice;
+}

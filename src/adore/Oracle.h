@@ -1,0 +1,89 @@
+//===- adore/Oracle.h - Oracle strategies ---------------------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strategies realizing the paper's nondeterministic O_pull / O_push
+/// oracles. The Semantics layer defines which choices are *valid*; a
+/// strategy decides which valid choice (if any) a particular run takes:
+///
+///  - RandomOracle: samples uniformly among valid choices, with a
+///    configurable failure probability (the oracle's Fail outcome).
+///    Deterministic from its seed; the backbone of property testing.
+///  - ScriptedOracle: replays an explicit sequence of choices; used by
+///    unit tests and counterexample replays (e.g. the Fig. 4 scenario).
+///
+/// The model checker does not use a strategy: it enumerates all valid
+/// choices directly via Semantics::enumerate*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_ADORE_ORACLE_H
+#define ADORE_ADORE_ORACLE_H
+
+#include "adore/Ops.h"
+#include "support/Rng.h"
+
+#include <deque>
+#include <optional>
+
+namespace adore {
+
+/// Picks concrete oracle outcomes for pull and push.
+class OracleStrategy {
+public:
+  virtual ~OracleStrategy();
+
+  /// A pull outcome for \p Nid, or nullopt for the Fail outcome.
+  virtual std::optional<PullChoice>
+  choosePull(const Semantics &Sem, const AdoreState &St, NodeId Nid) = 0;
+
+  /// A push outcome for \p Nid, or nullopt for the Fail outcome.
+  virtual std::optional<PushChoice>
+  choosePush(const Semantics &Sem, const AdoreState &St, NodeId Nid) = 0;
+};
+
+/// Uniformly random valid choices with an explicit failure probability.
+class RandomOracle final : public OracleStrategy {
+public:
+  /// \p FailPermille of calls fail outright (network loss); the rest
+  /// sample uniformly among the valid choices (which may still be a
+  /// non-quorum supporter set, modeling partial delivery).
+  RandomOracle(uint64_t Seed, unsigned FailPermille = 100)
+      : R(Seed), FailPermille(FailPermille) {}
+
+  std::optional<PullChoice> choosePull(const Semantics &Sem,
+                                       const AdoreState &St,
+                                       NodeId Nid) override;
+  std::optional<PushChoice> choosePush(const Semantics &Sem,
+                                       const AdoreState &St,
+                                       NodeId Nid) override;
+
+private:
+  Rng R;
+  unsigned FailPermille;
+};
+
+/// Replays a fixed script of choices; asserts if the script runs dry.
+class ScriptedOracle final : public OracleStrategy {
+public:
+  void scriptPull(PullChoice Choice) { Pulls.push_back(std::move(Choice)); }
+  void scriptPush(PushChoice Choice) { Pushes.push_back(std::move(Choice)); }
+
+  std::optional<PullChoice> choosePull(const Semantics &Sem,
+                                       const AdoreState &St,
+                                       NodeId Nid) override;
+  std::optional<PushChoice> choosePush(const Semantics &Sem,
+                                       const AdoreState &St,
+                                       NodeId Nid) override;
+
+private:
+  std::deque<PullChoice> Pulls;
+  std::deque<PushChoice> Pushes;
+};
+
+} // namespace adore
+
+#endif // ADORE_ADORE_ORACLE_H

@@ -1,0 +1,80 @@
+//===- adore/State.cpp - The Adore abstract state --------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adore/State.h"
+
+#include <algorithm>
+
+using namespace adore;
+
+Time TimeMap::get(NodeId Nid) const {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Nid,
+      [](const std::pair<NodeId, Time> &E, NodeId N) { return E.first < N; });
+  if (It == Entries.end() || It->first != Nid)
+    return 0;
+  return It->second;
+}
+
+void TimeMap::set(NodeId Nid, Time T) {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Nid,
+      [](const std::pair<NodeId, Time> &E, NodeId N) { return E.first < N; });
+  if (It != Entries.end() && It->first == Nid) {
+    It->second = T;
+    return;
+  }
+  Entries.insert(It, {Nid, T});
+}
+
+Time TimeMap::maxOver(const NodeSet &Q) const {
+  Time Max = 0;
+  for (NodeId S : Q)
+    Max = std::max(Max, get(S));
+  return Max;
+}
+
+Time TimeMap::maxOverall() const {
+  Time Max = 0;
+  for (const auto &[Nid, T] : Entries)
+    Max = std::max(Max, T);
+  return Max;
+}
+
+void TimeMap::addToHash(Fnv1aHasher &H) const {
+  // Zero entries are semantically absent; skip them so states that only
+  // differ by explicit-vs-implicit zeros fingerprint identically.
+  size_t NonZero = 0;
+  for (const auto &[Nid, T] : Entries)
+    if (T != 0)
+      ++NonZero;
+  H.addU64(NonZero);
+  for (const auto &[Nid, T] : Entries) {
+    if (T == 0)
+      continue;
+    H.addU64(Nid);
+    H.addU64(T);
+  }
+}
+
+AdoreState::AdoreState(const ReconfigScheme &Scheme, Config RootConf)
+    : Tree(RootConf, Scheme.mbrs(RootConf)) {}
+
+uint64_t AdoreState::fingerprint() const {
+  Fnv1aHasher H;
+  H.addU64(Tree.canonicalFingerprint());
+  Times.addToHash(H);
+  return H.finish();
+}
+
+std::string AdoreState::dump() const {
+  std::string Out = Tree.dump();
+  Out += "times:";
+  for (const auto &[Nid, T] : Times.entries())
+    Out += " " + std::to_string(Nid) + "->" + std::to_string(T);
+  Out += "\n";
+  return Out;
+}

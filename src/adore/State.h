@@ -1,0 +1,84 @@
+//===- adore/State.h - The Adore abstract state ---------------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sigma_Adore (Fig. 6): a cache tree paired with the TimeMap recording
+/// the largest timestamp each replica has observed, plus the setTimes and
+/// isLeader helpers of Fig. 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_ADORE_STATE_H
+#define ADORE_ADORE_STATE_H
+
+#include "adore/CacheTree.h"
+
+#include <utility>
+#include <vector>
+
+namespace adore {
+
+/// The paper's TimeMap: N_nid -> N_time with default 0. Backed by a
+/// sorted vector so iteration (and therefore fingerprinting) is
+/// deterministic.
+class TimeMap {
+public:
+  /// Largest timestamp \p Nid has observed (0 if never recorded).
+  Time get(NodeId Nid) const;
+
+  /// Records that \p Nid observed \p T (unconditional overwrite; the
+  /// oracle validity rules guarantee monotonicity).
+  void set(NodeId Nid, Time T);
+
+  /// The largest timestamp observed by any member of \p Q (0 if none).
+  Time maxOver(const NodeSet &Q) const;
+
+  /// The largest timestamp observed by anyone.
+  Time maxOverall() const;
+
+  void addToHash(Fnv1aHasher &H) const;
+
+  bool operator==(const TimeMap &RHS) const {
+    return Entries == RHS.Entries;
+  }
+
+  /// Read-only access to the sorted (node, time) entries.
+  const std::vector<std::pair<NodeId, Time>> &entries() const {
+    return Entries;
+  }
+
+private:
+  std::vector<std::pair<NodeId, Time>> Entries;
+};
+
+/// The full Adore state.
+struct AdoreState {
+  CacheTree Tree;
+  TimeMap Times;
+
+  /// Builds the initial state: genesis root with configuration
+  /// \p RootConf supported by mbrs(RootConf), everyone at time 0.
+  AdoreState(const ReconfigScheme &Scheme, Config RootConf);
+
+  /// isLeader (Fig. 9): \p Nid still believes it leads round \p T.
+  bool isLeader(NodeId Nid, Time T) const { return Times.get(Nid) == T; }
+
+  /// setTimes (Fig. 9): every member of \p Q observed \p T.
+  void setTimes(const NodeSet &Q, Time T) {
+    for (NodeId S : Q)
+      Times.set(S, T);
+  }
+
+  /// Structure-based state fingerprint (tree canonical form + times).
+  uint64_t fingerprint() const;
+
+  /// Multi-line diagnostic rendering.
+  std::string dump() const;
+};
+
+} // namespace adore
+
+#endif // ADORE_ADORE_STATE_H

@@ -1,0 +1,165 @@
+//===- kv/KvStore.h - Replicated key-value store application ---*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application layer of the paper's running example (Section 2.2 /
+/// Fig. 2): a distributed key-value store, in both styles the paper
+/// contrasts:
+///
+///  - ReplicatedKvStore: the SMR-style client over the executable Raft
+///    cluster — put("a", 1) is one opaque rpc_call that internally
+///    retries elections and replication;
+///  - AdoKvClient: the ADO-style three-step client over the Adore model
+///    itself — pull() / invoke(["put","a",1]) / push(), each of which
+///    may fail and is retried explicitly.
+///
+/// Methods are opaque identifiers at the protocol layer; the KV layer
+/// packs its operations into the 64-bit MethodId:
+/// [2 op bits | 31 key bits | 31 value bits].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_KV_KVSTORE_H
+#define ADORE_KV_KVSTORE_H
+
+#include "adore/Oracle.h"
+#include "sim/Cluster.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+
+namespace adore {
+namespace kv {
+
+/// KV operation kinds packed into MethodId.
+enum class KvOpKind : uint8_t {
+  Noop = 0, ///< Barrier/no-op (also the leader's term-start entry).
+  Put = 1,
+  Del = 2,
+};
+
+/// A decoded KV operation.
+struct KvOp {
+  KvOpKind Kind = KvOpKind::Noop;
+  uint32_t Key = 0;
+  uint32_t Value = 0;
+};
+
+/// Packs \p Op into an opaque method id.
+MethodId encodeKvOp(const KvOp &Op);
+
+/// Unpacks a method id produced by encodeKvOp (Noop for id 0).
+KvOp decodeKvOp(MethodId Method);
+
+/// The deterministic state machine: applies committed KV operations in
+/// order. One instance per replica.
+class KvState {
+public:
+  /// Applies a decoded operation.
+  void apply(const KvOp &Op);
+
+  /// Applies an encoded method (protocol-layer convenience).
+  void applyMethod(MethodId Method) { apply(decodeKvOp(Method)); }
+
+  std::optional<uint32_t> get(uint32_t Key) const;
+  size_t size() const { return Table.size(); }
+  bool operator==(const KvState &RHS) const { return Table == RHS.Table; }
+
+private:
+  std::map<uint32_t, uint32_t> Table;
+};
+
+//===----------------------------------------------------------------------===//
+// SMR-style store over the executable cluster
+//===----------------------------------------------------------------------===//
+
+/// The SMR-facade store of Fig. 2: opaque calls over a simulated Raft
+/// cluster. Maintains one KvState per replica (fed by the cluster's
+/// apply hook) and serves linearizable reads through a commit barrier.
+class ReplicatedKvStore {
+public:
+  explicit ReplicatedKvStore(sim::Cluster &Cluster);
+
+  /// put(key, value): completes (in virtual time) once committed.
+  void put(uint32_t Key, uint32_t Value,
+           std::function<void(bool Ok, sim::SimTime LatencyUs)> Done);
+
+  /// del(key).
+  void del(uint32_t Key,
+           std::function<void(bool Ok, sim::SimTime LatencyUs)> Done);
+
+  /// Linearizable get: a no-op barrier is committed, then the value is
+  /// read from the replica state at the barrier point.
+  void get(uint32_t Key,
+           std::function<void(bool Ok, std::optional<uint32_t> Value,
+                              sim::SimTime LatencyUs)>
+               Done);
+
+  /// Replica state for inspection (e.g. convergence checks in tests).
+  const KvState &replica(NodeId Id) const;
+
+  /// True iff all replicas with equal applied counts agree; tests drain
+  /// the cluster first.
+  bool replicasAgree() const;
+
+private:
+  void onApply(NodeId Node, size_t Index, const sim::SimLogEntry &E);
+
+  sim::Cluster &Cluster;
+  std::map<NodeId, KvState> Replicas;
+  std::map<NodeId, size_t> AppliedCount;
+  /// Pending barrier reads keyed by an internal sequence.
+  struct PendingRead {
+    uint32_t Key;
+    std::function<void(bool, std::optional<uint32_t>, sim::SimTime)> Done;
+    sim::SimTime StartedAt;
+  };
+  std::map<uint64_t, PendingRead> Reads;
+  uint64_t NextReadSeq = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// ADO-style client over the Adore model
+//===----------------------------------------------------------------------===//
+
+/// The three-step ADO client of Fig. 2 run directly against the Adore
+/// abstract machine: pull to become leader, invoke the method, push to
+/// commit — each step may fail, and the client retries. One AdoKvClient
+/// per replica id; all clients share one AdoreState (the global abstract
+/// object).
+class AdoKvClient {
+public:
+  AdoKvClient(NodeId Id, const Semantics &Sem, AdoreState &Shared,
+              OracleStrategy &Oracle)
+      : Id(Id), Sem(&Sem), St(&Shared), Oracle(&Oracle) {}
+
+  /// Fig. 2's ADO pseudocode: pull if not leader, invoke, push. Returns
+  /// true once the method is committed; false when any step failed (the
+  /// caller decides whether to retry).
+  bool call(const KvOp &Op);
+
+  /// Retries call() up to \p Attempts times.
+  bool callWithRetry(const KvOp &Op, unsigned Attempts = 16);
+
+  /// Folds the committed log into a KvState (what any client observes).
+  KvState committedState() const;
+
+  NodeId id() const { return Id; }
+
+private:
+  bool hasActiveLeadership() const;
+
+  NodeId Id;
+  const Semantics *Sem;
+  AdoreState *St;
+  OracleStrategy *Oracle;
+};
+
+} // namespace kv
+} // namespace adore
+
+#endif // ADORE_KV_KVSTORE_H

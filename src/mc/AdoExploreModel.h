@@ -1,0 +1,100 @@
+//===- mc/AdoExploreModel.h - ADO model as a model-checkable system -------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapts the original ADO model (Appendix D.1) to the Explorer
+/// interface: successors cover all valid pull/invoke/push outcomes of
+/// every client over a fixed replica-count abstraction. The ADO model
+/// has no configurations, so this is the paper's *baseline* abstraction
+/// in the E2 effort comparison (CADO- and reconfiguration-free).
+///
+/// The checked invariant is the ADO analog of replicated state safety:
+/// the persistent log never rewrites (we track a monotonically growing
+/// shadow via the event history) and live caches always descend from the
+/// log head, so committed state is never forked. Owner-per-time
+/// uniqueness is structural (the owner map is a map).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_MC_ADOEXPLOREMODEL_H
+#define ADORE_MC_ADOEXPLOREMODEL_H
+
+#include "ado/Ado.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adore {
+namespace mc {
+
+/// Bounds for ADO exploration.
+struct AdoExploreModelOptions {
+  unsigned NumClients = 3;
+  Time MaxTime = 3;
+  size_t MaxLiveCaches = 3;
+  size_t MaxCommitted = 3;
+};
+
+/// The ADO transition system.
+class AdoExploreModel {
+public:
+  using State = ado::AdoObject;
+
+  explicit AdoExploreModel(AdoExploreModelOptions Opts = {}) : Opts(Opts) {}
+
+  std::vector<State> initialStates() const { return {ado::AdoObject()}; }
+
+  uint64_t fingerprint(const State &St) const { return St.fingerprint(); }
+
+  std::optional<std::string> invariant(const State &St) const {
+    // Live caches must descend from the log head: a violation would mean
+    // a commit forked away from surviving uncommitted state.
+    ado::CidRef Head = St.persistLog().empty()
+                           ? ado::RootCid
+                           : St.persistLog().back().first;
+    for (ado::CidRef Cid : St.liveCids())
+      if (!St.isAncestorOrSelf(Head, Cid))
+        return std::string("live cache detached from the persistent log");
+    return std::nullopt;
+  }
+
+  std::string describe(const State &St) const { return St.dump(); }
+
+  template <typename FnT> void forEachSuccessor(const State &St,
+                                                FnT &&Fn) const {
+    for (NodeId Client = 1; Client <= Opts.NumClients; ++Client) {
+      for (const auto &Choice :
+           St.enumeratePullChoices(Client, Opts.MaxTime)) {
+        State Next = St;
+        Next.pull(Client, Choice);
+        Fn(std::move(Next), "pull(" + std::to_string(Client) + ",t=" +
+                                std::to_string(Choice.T) + ")");
+      }
+      if (St.canInvoke(Client) &&
+          St.liveCacheCount() < Opts.MaxLiveCaches) {
+        State Next = St;
+        Next.invoke(Client, 1);
+        Fn(std::move(Next), "invoke(" + std::to_string(Client) + ")");
+      }
+      if (St.persistLog().size() < Opts.MaxCommitted) {
+        for (ado::CidRef Cid : St.enumeratePushChoices(Client)) {
+          State Next = St;
+          Next.push(Client, Cid);
+          Fn(std::move(Next), "push(" + std::to_string(Client) + ")");
+        }
+      }
+    }
+  }
+
+private:
+  AdoExploreModelOptions Opts;
+};
+
+} // namespace mc
+} // namespace adore
+
+#endif // ADORE_MC_ADOEXPLOREMODEL_H

@@ -1,0 +1,150 @@
+//===- mc/AdoreModel.h - Adore as a model-checkable system ----*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapts the Adore semantics to the Explorer Model interface. Successor
+/// states cover every operation of every replica under every valid oracle
+/// choice, so exhausting this model up to its bounds checks the paper's
+/// safety theorem over the full nondeterminism of the Fig. 27 oracles.
+///
+/// Bounds that keep the space finite:
+///  - MaxCaches: states whose tree reached this size are not expanded
+///    with tree-growing operations;
+///  - MaxTime: pull choices beyond this timestamp are not offered
+///    (failed elections bump timestamps without bound otherwise);
+///  - method payloads are the constant 1: method identity never affects
+///    any transition guard, so this is a sound symmetry reduction for
+///    safety checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_MC_ADOREMODEL_H
+#define ADORE_MC_ADOREMODEL_H
+
+#include "adore/Invariants.h"
+#include "adore/Oracle.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adore {
+namespace mc {
+
+/// Bounds and instrumentation knobs for Adore exploration.
+struct AdoreModelOptions {
+  /// Inclusive cap on cache-tree size; tree-growing ops stop afterwards.
+  size_t MaxCaches = 8;
+  /// Inclusive cap on election timestamps offered by the pull oracle.
+  Time MaxTime = 4;
+  /// Skip non-quorum pull supporter sets (loses the preemption-only
+  /// behaviours; a documented reduction for large-bound sweeps).
+  bool PullQuorumsOnly = false;
+  /// Skip non-quorum push supporter sets (same caveat).
+  bool PushQuorumsOnly = false;
+  /// Which invariants to evaluate on every state.
+  InvariantSelection Invariants;
+};
+
+/// The Adore transition system, parameterized by scheme and semantics
+/// options (including the R1/R2/R3 ablation toggles).
+class AdoreModel {
+public:
+  using State = AdoreState;
+
+  AdoreModel(const ReconfigScheme &Scheme, Config InitialConf,
+             SemanticsOptions SemOpts = {}, AdoreModelOptions Opts = {})
+      : Sem(Scheme, SemOpts), InitialConf(std::move(InitialConf)),
+        Opts(Opts) {}
+
+  const Semantics &semantics() const { return Sem; }
+
+  /// Replaces the genesis initial state with an explicit seed, enabling
+  /// "scenario-seeded" checking: exhaustively explore every continuation
+  /// of a hand-constructed prefix (used for the Fig. 4 bug hunt, whose
+  /// full-depth space from genesis is beyond exhaustive reach).
+  void seedWith(State Seed) { SeedState.emplace(std::move(Seed)); }
+
+  std::vector<State> initialStates() const {
+    if (SeedState)
+      return {*SeedState};
+    return {AdoreState(Sem.scheme(), InitialConf)};
+  }
+
+  uint64_t fingerprint(const State &St) const { return St.fingerprint(); }
+
+  std::optional<std::string> invariant(const State &St) const {
+    return checkInvariants(St.Tree, Opts.Invariants);
+  }
+
+  std::string describe(const State &St) const { return St.dump(); }
+
+  /// Enumerates successor states: all replicas x all operations x all
+  /// valid oracle choices within bounds.
+  template <typename FnT> void forEachSuccessor(const State &St,
+                                                FnT &&Fn) const {
+    bool CanGrow = St.Tree.size() < Opts.MaxCaches;
+    NodeSet Universe =
+        St.Tree.universe(Sem.scheme())
+            .unionWith(Sem.options().ExtraNodes);
+    for (NodeId Nid : Universe) {
+      for (const PullChoice &Choice : Sem.enumeratePullChoices(St, Nid)) {
+        if (Choice.T > Opts.MaxTime)
+          continue;
+        // A non-quorum pull only moves timestamps; allow it even at the
+        // tree-size bound since it cannot grow the tree.
+        bool Grows = Sem.scheme().isQuorum(
+            Choice.Q, St.Tree.cache(St.Tree.mostRecent(Choice.Q)).Conf);
+        if (Grows && !CanGrow)
+          continue;
+        if (!Grows && Opts.PullQuorumsOnly)
+          continue;
+        State Next = St;
+        Sem.pull(Next, Nid, Choice);
+        Fn(std::move(Next), "pull(n=" + std::to_string(Nid) +
+                                ",Q=" + Choice.Q.str() +
+                                ",t=" + std::to_string(Choice.T) + ")");
+      }
+      if (CanGrow && Sem.canInvoke(St, Nid)) {
+        State Next = St;
+        Sem.invoke(Next, Nid, /*Method=*/1);
+        Fn(std::move(Next), "invoke(n=" + std::to_string(Nid) + ")");
+      }
+      if (CanGrow) {
+        for (const Config &Ncf : Sem.enumerateReconfigs(St, Nid)) {
+          State Next = St;
+          Sem.reconfig(Next, Nid, Ncf);
+          Fn(std::move(Next), "reconfig(n=" + std::to_string(Nid) +
+                                  ",cf=" + Ncf.str() + ")");
+        }
+      }
+      for (const PushChoice &Choice : Sem.enumeratePushChoices(St, Nid)) {
+        bool Grows = Sem.scheme().isQuorum(
+            Choice.Q, St.Tree.cache(Choice.Target).Conf);
+        if (Grows && !CanGrow)
+          continue;
+        if (!Grows && Opts.PushQuorumsOnly)
+          continue;
+        State Next = St;
+        Sem.push(Next, Nid, Choice);
+        Fn(std::move(Next),
+           "push(n=" + std::to_string(Nid) + ",Q=" + Choice.Q.str() +
+               ",tgt=" + St.Tree.cache(Choice.Target).str() + ")");
+      }
+    }
+  }
+
+private:
+  Semantics Sem;
+  Config InitialConf;
+  AdoreModelOptions Opts;
+  std::optional<State> SeedState;
+};
+
+} // namespace mc
+} // namespace adore
+
+#endif // ADORE_MC_ADOREMODEL_H

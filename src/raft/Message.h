@@ -1,0 +1,80 @@
+//===- raft/Message.h - Network messages ----------------------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four message types of the network-based Raft specification
+/// (Fig. 13): election requests/acknowledgements and commit
+/// requests/acknowledgements. Following the paper's simplified protocol,
+/// requests carry the sender's full log (a candidate ships its log for
+/// the up-to-date check; a leader ships its log for wholesale adoption).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_RAFT_MESSAGE_H
+#define ADORE_RAFT_MESSAGE_H
+
+#include "adore/Config.h"
+#include "support/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace adore {
+namespace raft {
+
+/// What a log slot holds.
+enum class EntryKind : uint8_t {
+  Method,   ///< An application command.
+  Reconfig, ///< A configuration change (takes effect on log entry).
+};
+
+/// One slot of a replica's log.
+struct Entry {
+  EntryKind Kind = EntryKind::Method;
+  /// The term under which the entry was created.
+  Time T = 0;
+  /// The application command (Method entries).
+  MethodId Method = 0;
+  /// The configuration in effect *after* this entry: a Reconfig entry's
+  /// new configuration, or the inherited one for Method entries.
+  Config Conf;
+
+  bool operator==(const Entry &RHS) const {
+    return Kind == RHS.Kind && T == RHS.T && Method == RHS.Method &&
+           Conf == RHS.Conf;
+  }
+};
+
+/// Message discriminator.
+enum class MsgKind : uint8_t {
+  ElectReq,  ///< Candidate -> replica: vote request (carries the log).
+  ElectAck,  ///< Replica -> candidate: vote granted.
+  CommitReq, ///< Leader -> replica: replicate my log (AppendEntries).
+  CommitAck, ///< Replica -> leader: log of length Len accepted.
+};
+
+const char *msgKindName(MsgKind Kind);
+
+/// A network message. Value-semantic; the network holds them in a sent
+/// multiset from which the scheduler picks deliveries in any order.
+struct Msg {
+  MsgKind Kind = MsgKind::ElectReq;
+  NodeId From = InvalidNodeId;
+  NodeId To = InvalidNodeId;
+  /// The round's timestamp (term).
+  Time T = 0;
+  /// CommitAck: accepted log length. CommitReq: sender's commit index.
+  size_t Len = 0;
+  /// ElectReq/CommitReq: the sender's full log.
+  std::vector<Entry> Log;
+
+  std::string str() const;
+};
+
+} // namespace raft
+} // namespace adore
+
+#endif // ADORE_RAFT_MESSAGE_H

@@ -1,0 +1,480 @@
+//===- raft/RaftSystem.cpp - Network-based Raft specification --------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "raft/RaftSystem.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace adore;
+using namespace adore::raft;
+
+const char *adore::raft::msgKindName(MsgKind Kind) {
+  switch (Kind) {
+  case MsgKind::ElectReq:
+    return "ElectReq";
+  case MsgKind::ElectAck:
+    return "ElectAck";
+  case MsgKind::CommitReq:
+    return "CommitReq";
+  case MsgKind::CommitAck:
+    return "CommitAck";
+  }
+  ADORE_UNREACHABLE("unknown message kind");
+}
+
+std::string Msg::str() const {
+  std::string Out = msgKindName(Kind);
+  Out += "(" + std::to_string(From) + "->" + std::to_string(To) +
+         ",t=" + std::to_string(T);
+  if (Kind == MsgKind::CommitAck || Kind == MsgKind::CommitReq)
+    Out += ",len=" + std::to_string(Len);
+  if (Kind == MsgKind::ElectReq || Kind == MsgKind::CommitReq)
+    Out += ",|log|=" + std::to_string(Log.size());
+  Out += ")";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and basic accessors
+//===----------------------------------------------------------------------===//
+
+RaftSystem::RaftSystem(const ReconfigScheme &Scheme, Config InitialConf,
+                       RaftOptions Opts)
+    : Scheme(&Scheme), InitialConf(std::move(InitialConf)), Opts(Opts) {
+  for (NodeId Nid : Scheme.mbrs(this->InitialConf))
+    Servers.emplace(Nid, Server{});
+}
+
+const Server &RaftSystem::server(NodeId Nid) const {
+  auto It = Servers.find(Nid);
+  assert(It != Servers.end() && "unknown server");
+  return It->second;
+}
+
+Server &RaftSystem::serverMut(NodeId Nid) {
+  // Nodes joining via reconfiguration get fresh state on first contact.
+  return Servers[Nid];
+}
+
+Config RaftSystem::configOfLog(const std::vector<Entry> &Log) const {
+  for (auto It = Log.rbegin(); It != Log.rend(); ++It)
+    if (It->Kind == EntryKind::Reconfig)
+      return It->Conf;
+  return InitialConf;
+}
+
+Config RaftSystem::currentConfig(NodeId Nid) const {
+  return configOfLog(server(Nid).Log);
+}
+
+NodeSet RaftSystem::universe() const {
+  NodeSet U = Scheme->mbrs(InitialConf);
+  for (const auto &[Nid, S] : Servers) {
+    U.insert(Nid);
+    for (const Entry &E : S.Log)
+      if (E.Kind == EntryKind::Reconfig)
+        U = U.unionWith(Scheme->mbrs(E.Conf));
+  }
+  return U;
+}
+
+//===----------------------------------------------------------------------===//
+// Guards
+//===----------------------------------------------------------------------===//
+
+bool RaftSystem::logSatisfiesR2(NodeId Nid) const {
+  const Server &S = server(Nid);
+  for (size_t I = S.CommitIndex; I != S.Log.size(); ++I)
+    if (S.Log[I].Kind == EntryKind::Reconfig)
+      return false;
+  return true;
+}
+
+bool RaftSystem::logSatisfiesR3(NodeId Nid) const {
+  const Server &S = server(Nid);
+  for (size_t I = 0; I != S.CommitIndex; ++I)
+    if (S.Log[I].T == S.CurTime)
+      return true;
+  return false;
+}
+
+bool RaftSystem::logUpToDate(const std::vector<Entry> &A,
+                             const std::vector<Entry> &B) {
+  Time LastA = A.empty() ? 0 : A.back().T;
+  Time LastB = B.empty() ? 0 : B.back().T;
+  if (LastA != LastB)
+    return LastA > LastB;
+  return A.size() >= B.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Operations
+//===----------------------------------------------------------------------===//
+
+void RaftSystem::observe(Server &S, Time T) {
+  if (T <= S.CurTime)
+    return;
+  S.CurTime = T;
+  S.IsLeader = false;
+  S.IsCandidate = false;
+  S.Votes.clear();
+  S.AckedLen.clear();
+}
+
+void RaftSystem::broadcast(const Msg &Template, const Config &Conf) {
+  for (NodeId To : Scheme->mbrs(Conf)) {
+    if (To == Template.From)
+      continue;
+    Msg M = Template;
+    M.To = To;
+    Pending.push_back(std::move(M));
+    ++SentCount;
+  }
+}
+
+void RaftSystem::elect(NodeId Nid) {
+  // Only members of their own configuration may stand for election
+  // (a message from outside the configuration is invalid, Def. C.2).
+  auto It = Servers.find(Nid);
+  Config OwnConf =
+      It == Servers.end() ? InitialConf : configOfLog(It->second.Log);
+  if (!Scheme->mbrs(OwnConf).contains(Nid))
+    return;
+  Server &S = serverMut(Nid);
+  S.CurTime += 1;
+  S.IsLeader = false;
+  S.IsCandidate = true;
+  S.Votes = NodeSet{Nid}; // Votes for itself.
+  S.BestLog = S.Log;      // Paxos mode: adoption starts from our log.
+  S.AckedLen.clear();
+  Config Conf = configOfLog(S.Log);
+  // A single-member configuration elects immediately.
+  if (Scheme->isQuorum(S.Votes, Conf)) {
+    S.IsCandidate = false;
+    S.IsLeader = true;
+    S.AckedLen[Nid] = S.Log.size();
+  }
+  Msg Req;
+  Req.Kind = MsgKind::ElectReq;
+  Req.From = Nid;
+  Req.T = S.CurTime;
+  Req.Log = S.Log;
+  broadcast(Req, Conf);
+}
+
+bool RaftSystem::invoke(NodeId Nid, MethodId Method) {
+  auto It = Servers.find(Nid);
+  if (It == Servers.end() || !It->second.IsLeader)
+    return false;
+  Server &S = It->second;
+  Entry E;
+  E.Kind = EntryKind::Method;
+  E.T = S.CurTime;
+  E.Method = Method;
+  E.Conf = configOfLog(S.Log);
+  S.Log.push_back(std::move(E));
+  S.AckedLen[Nid] = S.Log.size();
+  return true;
+}
+
+bool RaftSystem::reconfig(NodeId Nid, const Config &NewConf) {
+  auto It = Servers.find(Nid);
+  if (It == Servers.end() || !It->second.IsLeader)
+    return false;
+  Server &S = It->second;
+  if (!Scheme->isValidConfig(NewConf))
+    return false;
+  // A leader never proposes its own removal: Adore's push rule
+  // (nid in Q within mbrs(conf(C_M))) makes a self-removal commit
+  // inexpressible, and practical Raft has the departing leader hand
+  // over first so another node drives the change.
+  if (!Scheme->mbrs(NewConf).contains(Nid))
+    return false;
+  if (Opts.EnforceR1 && !Scheme->r1Plus(configOfLog(S.Log), NewConf))
+    return false;
+  if (Opts.EnforceR2 && !logSatisfiesR2(Nid))
+    return false;
+  if (Opts.EnforceR3 && !logSatisfiesR3(Nid))
+    return false;
+  Entry E;
+  E.Kind = EntryKind::Reconfig;
+  E.T = S.CurTime;
+  E.Conf = NewConf; // Takes effect immediately (hot reconfiguration).
+  S.Log.push_back(std::move(E));
+  S.AckedLen[Nid] = S.Log.size();
+  return true;
+}
+
+bool RaftSystem::startCommit(NodeId Nid) {
+  auto It = Servers.find(Nid);
+  if (It == Servers.end() || !It->second.IsLeader)
+    return false;
+  Server &S = It->second;
+  Msg Req;
+  Req.Kind = MsgKind::CommitReq;
+  Req.From = Nid;
+  Req.T = S.CurTime;
+  Req.Len = S.CommitIndex;
+  Req.Log = S.Log;
+  broadcast(Req, configOfLog(S.Log));
+  return true;
+}
+
+bool RaftSystem::deliver(size_t MsgIndex) {
+  assert(MsgIndex < Pending.size() && "bad message index");
+  Msg M = std::move(Pending[MsgIndex]);
+  Pending.erase(Pending.begin() + static_cast<ptrdiff_t>(MsgIndex));
+  Server &S = serverMut(M.To);
+  switch (M.Kind) {
+  case MsgKind::ElectReq:
+    return handleElectReq(S, M);
+  case MsgKind::ElectAck:
+    return handleElectAck(S, M);
+  case MsgKind::CommitReq:
+    return handleCommitReq(S, M);
+  case MsgKind::CommitAck:
+    return handleCommitAck(S, M);
+  }
+  ADORE_UNREACHABLE("unknown message kind");
+}
+
+bool RaftSystem::handleElectReq(Server &S, const Msg &M) {
+  // Raft style: grant iff the term is fresh AND the candidate's log is
+  // at least as up-to-date as ours (the candidate keeps its own log).
+  // Paxos style: grant on a fresh term alone, shipping our log back so
+  // the candidate can adopt the quorum maximum.
+  if (M.T <= S.CurTime)
+    return false;
+  if (!Opts.PaxosStyleElections && !logUpToDate(M.Log, S.Log))
+    return false;
+  observe(S, M.T);
+  Msg Ack;
+  Ack.Kind = MsgKind::ElectAck;
+  Ack.From = M.To;
+  Ack.To = M.From;
+  Ack.T = M.T;
+  if (Opts.PaxosStyleElections)
+    Ack.Log = S.Log;
+  Pending.push_back(std::move(Ack));
+  ++SentCount;
+  return true;
+}
+
+bool RaftSystem::handleElectAck(Server &S, const Msg &M) {
+  if (!S.IsCandidate || M.T != S.CurTime)
+    return false;
+  S.Votes.insert(M.From);
+  if (Opts.PaxosStyleElections && logUpToDate(M.Log, S.BestLog))
+    S.BestLog = M.Log;
+  // Paxos mode evaluates the quorum against the newest configuration
+  // learned from the vote replies, not the candidate's own (possibly
+  // stale) one: a voter may carry a committed reconfiguration the
+  // candidate has never seen, and counting the old quorum against it
+  // is precisely the stale-configuration election bug the paper's
+  // Fig. 4 revolves around. (Our own refinement checker caught this
+  // variant before this guard existed.)
+  const std::vector<Entry> &QuorumView =
+      Opts.PaxosStyleElections ? S.BestLog : S.Log;
+  Config ViewConf = configOfLog(QuorumView);
+  NodeSet Members = Scheme->mbrs(ViewConf);
+  // Votes from nodes outside the governing configuration carry no
+  // weight (a removed-but-unaware server still answers in Paxos mode).
+  NodeSet Counted =
+      Opts.PaxosStyleElections ? S.Votes.intersectWith(Members) : S.Votes;
+  if (Scheme->isQuorum(Counted, ViewConf)) {
+    if (Opts.PaxosStyleElections && !Members.contains(M.To)) {
+      // The adopted configuration excludes this candidate: it learned
+      // of its own removal mid-election and stands down with the
+      // adopted (more up-to-date) log.
+      S.Log = std::move(S.BestLog);
+      S.CommitIndex = std::min(S.CommitIndex, S.Log.size());
+      S.IsCandidate = false;
+      S.Votes.clear();
+      return true;
+    }
+    S.IsCandidate = false;
+    S.IsLeader = true;
+    if (Opts.PaxosStyleElections) {
+      // Adopt the quorum maximum; committed entries are inside it by
+      // quorum intersection, our own stale tail (if outvoted) dies.
+      S.Log = std::move(S.BestLog);
+      S.CommitIndex = std::min(S.CommitIndex, S.Log.size());
+      S.Votes = Counted; // The official supporter set: members only.
+    }
+    S.AckedLen.clear();
+    S.AckedLen[M.To] = S.Log.size();
+  }
+  return true;
+}
+
+bool RaftSystem::handleCommitReq(Server &S, const Msg &M) {
+  // Accept iff the leader's term is newer, or the same term with a log
+  // at least as up-to-date as ours. The up-to-date comparison (not a
+  // bare length check) matters at equal terms: a replica that led an
+  // *older* term may hold a longer log on a dead branch, which the
+  // current leader's shorter-but-newer log must overwrite; whereas a
+  // same-leader stale rebroadcast (same last term, shorter) is ignored.
+  if (M.T < S.CurTime)
+    return false;
+  if (M.T == S.CurTime && !logUpToDate(M.Log, S.Log))
+    return false;
+  if (M.T == S.CurTime && S.IsLeader)
+    return false; // A leader ignores its own-term requests (impossible
+                  // from another node; duplicates of self are filtered
+                  // by broadcast).
+  observe(S, M.T);
+  // A same-term candidate learns a leader exists and stands down.
+  S.IsCandidate = false;
+  S.Votes.clear();
+  S.CurTime = M.T;
+  S.Log = M.Log;
+  // Learn the leader's commit index, never regressing: a stale request
+  // from earlier in the same term carries an older (smaller) index.
+  S.CommitIndex = std::max(S.CommitIndex, std::min(M.Len, S.Log.size()));
+  Msg Ack;
+  Ack.Kind = MsgKind::CommitAck;
+  Ack.From = M.To;
+  Ack.To = M.From;
+  Ack.T = M.T;
+  Ack.Len = S.Log.size();
+  Pending.push_back(std::move(Ack));
+  ++SentCount;
+  return true;
+}
+
+bool RaftSystem::handleCommitAck(Server &S, const Msg &M) {
+  if (!S.IsLeader || M.T != S.CurTime)
+    return false;
+  size_t &Acked = S.AckedLen[M.From];
+  if (M.Len <= Acked && Acked != 0)
+    return false; // Stale duplicate.
+  Acked = std::max(Acked, M.Len);
+  advanceCommitIndex(S, M.To);
+  return true;
+}
+
+void RaftSystem::advanceCommitIndex(Server &Leader, NodeId Nid) {
+  Leader.AckedLen[Nid] = Leader.Log.size();
+  // Find the largest L > CommitIndex such that the replicas that acked
+  // >= L form a quorum of the configuration in effect at prefix L, and
+  // the entry at L-1 belongs to the current term (Raft's commit rule).
+  for (size_t L = Leader.Log.size(); L > Leader.CommitIndex; --L) {
+    if (Leader.Log[L - 1].T != Leader.CurTime)
+      break; // Older-term entries commit only transitively.
+    NodeSet Ackers;
+    for (const auto &[Node, Len] : Leader.AckedLen)
+      if (Len >= L)
+        Ackers.insert(Node);
+    std::vector<Entry> Prefix(Leader.Log.begin(),
+                              Leader.Log.begin() +
+                                  static_cast<ptrdiff_t>(L));
+    if (Scheme->isQuorum(Ackers, configOfLog(Prefix))) {
+      Leader.CommitIndex = L;
+      return;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Observers
+//===----------------------------------------------------------------------===//
+
+std::vector<Entry> RaftSystem::committedPrefix(NodeId Nid) const {
+  const Server &S = server(Nid);
+  return std::vector<Entry>(S.Log.begin(),
+                            S.Log.begin() +
+                                static_cast<ptrdiff_t>(S.CommitIndex));
+}
+
+std::optional<std::string> RaftSystem::checkCommittedAgreement() const {
+  for (auto A = Servers.begin(); A != Servers.end(); ++A) {
+    for (auto B = std::next(A); B != Servers.end(); ++B) {
+      size_t Common = std::min(A->second.CommitIndex,
+                               B->second.CommitIndex);
+      for (size_t I = 0; I != Common; ++I) {
+        if (A->second.Log[I] == B->second.Log[I])
+          continue;
+        return "committed prefix disagreement between " +
+               std::to_string(A->first) + " and " +
+               std::to_string(B->first) + " at slot " + std::to_string(I);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t RaftSystem::fingerprint() const {
+  Fnv1aHasher H;
+  H.addU64(Servers.size());
+  for (const auto &[Nid, S] : Servers) {
+    H.addU64(Nid);
+    H.addU64(S.CurTime);
+    H.addBool(S.IsLeader);
+    H.addBool(S.IsCandidate);
+    H.addNodeSet(S.Votes);
+    H.addU64(S.BestLog.size());
+    for (const Entry &E : S.BestLog) {
+      H.addU64(E.T);
+      H.addU64(E.Method);
+    }
+    H.addU64(S.CommitIndex);
+    H.addU64(S.Log.size());
+    for (const Entry &E : S.Log) {
+      H.addByte(static_cast<uint8_t>(E.Kind));
+      H.addU64(E.T);
+      H.addU64(E.Method);
+      E.Conf.addToHash(H);
+    }
+    H.addU64(S.AckedLen.size());
+    for (const auto &[Node, Len] : S.AckedLen) {
+      H.addU64(Node);
+      H.addU64(Len);
+    }
+  }
+  // The pending network is a multiset: hash order-insensitively by
+  // summing per-message hashes.
+  uint64_t NetHash = 0;
+  for (const Msg &M : Pending) {
+    Fnv1aHasher MH;
+    MH.addByte(static_cast<uint8_t>(M.Kind));
+    MH.addU64(M.From);
+    MH.addU64(M.To);
+    MH.addU64(M.T);
+    MH.addU64(M.Len);
+    MH.addU64(M.Log.size());
+    for (const Entry &E : M.Log) {
+      MH.addU64(E.T);
+      MH.addU64(E.Method);
+    }
+    NetHash += MH.finish();
+  }
+  H.addU64(NetHash);
+  return H.finish();
+}
+
+std::string RaftSystem::dump() const {
+  std::string Out;
+  for (const auto &[Nid, S] : Servers) {
+    Out += "S" + std::to_string(Nid) + " t=" + std::to_string(S.CurTime);
+    Out += S.IsLeader ? " L" : (S.IsCandidate ? " C" : "  ");
+    Out += " ci=" + std::to_string(S.CommitIndex) + " log=[";
+    for (size_t I = 0; I != S.Log.size(); ++I) {
+      if (I)
+        Out += " ";
+      const Entry &E = S.Log[I];
+      Out += (E.Kind == EntryKind::Reconfig)
+                 ? "R" + E.Conf.str()
+                 : "m" + std::to_string(E.Method);
+      Out += "@" + std::to_string(E.T);
+    }
+    Out += "]\n";
+  }
+  Out += "pending: " + std::to_string(Pending.size()) + " msgs\n";
+  return Out;
+}

@@ -1,0 +1,205 @@
+//===- raft/RaftSystem.h - Network-based Raft specification ---*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable form of the paper's asynchronous network-based Raft
+/// specification (Section 5, Fig. 13): a set of servers with local logs,
+/// a network holding sent messages, the elect / commit / invoke /
+/// reconfig operations, and deliver, which hands one pending message to
+/// its recipient. All protocol nondeterminism (who acts, which message
+/// is delivered next) is external: a scheduler — random, scripted,
+/// SRaft-normalizing, or the model checker — drives the system.
+///
+/// The protocol is parameterized by the same ReconfigScheme (isQuorum /
+/// R1+) as Adore, and enforces the log-level analogs of R2 (no
+/// uncommitted reconfig entry) and R3 (a committed entry at the current
+/// term) before accepting a reconfiguration. Hot semantics: a reconfig
+/// entry's configuration takes effect the moment it enters a log.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_RAFT_RAFTSYSTEM_H
+#define ADORE_RAFT_RAFTSYSTEM_H
+
+#include "raft/Message.h"
+#include "support/Hashing.h"
+#include "support/NodeSet.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adore {
+namespace raft {
+
+/// One replica's local state.
+struct Server {
+  /// Largest term observed (and the term of its candidacy/leadership).
+  Time CurTime = 0;
+  /// Role flags; a server is a candidate from elect() until it wins or
+  /// observes a newer term.
+  bool IsLeader = false;
+  bool IsCandidate = false;
+  /// Votes received for the current candidacy.
+  NodeSet Votes;
+  /// Paxos-style candidacy: the most up-to-date log seen in vote
+  /// replies so far (starts as the candidate's own).
+  std::vector<Entry> BestLog;
+  /// The local log.
+  std::vector<Entry> Log;
+  /// Index (exclusive prefix length) of committed entries.
+  size_t CommitIndex = 0;
+  /// For leaders: the longest log length each replica acknowledged at
+  /// the current term.
+  std::map<NodeId, size_t> AckedLen;
+};
+
+/// Ablation toggles mirroring SemanticsOptions for the protocol level.
+struct RaftOptions {
+  bool EnforceR1 = true; ///< R1+ on proposed configurations.
+  bool EnforceR2 = true; ///< No uncommitted reconfig entry in the log.
+  bool EnforceR3 = true; ///< Committed entry at the current term first.
+  /// Paxos-style elections (Appendix A): voters grant on term alone and
+  /// reply with their logs; the winning candidate adopts the most
+  /// up-to-date log among its quorum. Default is Raft-style (voters
+  /// refuse less up-to-date candidates; the candidate keeps its log).
+  /// Either way the elected leader ends up holding the quorum maximum —
+  /// the paper's point that Adore covers both families.
+  bool PaxosStyleElections = false;
+};
+
+/// The whole distributed system: servers + network.
+class RaftSystem {
+public:
+  RaftSystem(const ReconfigScheme &Scheme, Config InitialConf,
+             RaftOptions Opts = {});
+
+  const ReconfigScheme &scheme() const { return *Scheme; }
+
+  //===--------------------------------------------------------------===//
+  // Operations (Fig. 13). Local operations return false when their
+  // guard fails (e.g. invoke by a non-leader).
+  //===--------------------------------------------------------------===//
+
+  /// The replica becomes a candidate at a fresh term and broadcasts
+  /// election requests carrying its log to its current configuration.
+  void elect(NodeId Nid);
+
+  /// Leader-only: appends a method entry to the local log.
+  bool invoke(NodeId Nid, MethodId Method);
+
+  /// Leader-only: appends a reconfig entry (guarded by R1+/R2/R3 per
+  /// RaftOptions). The new configuration takes effect immediately.
+  bool reconfig(NodeId Nid, const Config &NewConf);
+
+  /// Leader-only: broadcasts commit requests (AppendEntries) carrying
+  /// the leader's log and commit index to its configuration.
+  bool startCommit(NodeId Nid);
+
+  /// Delivers the \p MsgIndex-th pending message; returns true iff the
+  /// recipient accepted (did not ignore) it. The message leaves the
+  /// pending set either way.
+  bool deliver(size_t MsgIndex);
+
+  //===--------------------------------------------------------------===//
+  // Network inspection
+  //===--------------------------------------------------------------===//
+
+  /// Messages sent but not yet delivered.
+  const std::vector<Msg> &pending() const { return Pending; }
+
+  /// Removes (loses) every pending message satisfying \p P. Message loss
+  /// is always a valid network behaviour.
+  template <typename PredT> void dropPendingIf(PredT &&P) {
+    Pending.erase(std::remove_if(Pending.begin(), Pending.end(), P),
+                  Pending.end());
+  }
+
+  /// Count of messages ever sent (delivered + pending).
+  size_t sentCount() const { return SentCount; }
+
+  //===--------------------------------------------------------------===//
+  // Server observers
+  //===--------------------------------------------------------------===//
+
+  const Server &server(NodeId Nid) const;
+  /// Largest term \p Nid has observed; 0 for nodes never contacted.
+  Time observedTime(NodeId Nid) const {
+    auto It = Servers.find(Nid);
+    return It == Servers.end() ? 0 : It->second.CurTime;
+  }
+  bool isLeader(NodeId Nid) const {
+    auto It = Servers.find(Nid);
+    return It != Servers.end() && It->second.IsLeader;
+  }
+  const std::vector<Entry> &log(NodeId Nid) const {
+    return server(Nid).Log;
+  }
+  size_t commitIndex(NodeId Nid) const { return server(Nid).CommitIndex; }
+
+  /// The configuration a server operates under: its log's latest
+  /// reconfig entry, or the initial configuration.
+  Config currentConfig(NodeId Nid) const;
+
+  /// The configuration a given entry sequence induces (its last reconfig
+  /// entry, or the initial configuration).
+  Config configOfEntries(const std::vector<Entry> &Log) const {
+    return configOfLog(Log);
+  }
+
+  /// Every node id that is a member of any configuration in any log or
+  /// the initial configuration.
+  NodeSet universe() const;
+
+  /// The committed prefix (as entries) of \p Nid's log.
+  std::vector<Entry> committedPrefix(NodeId Nid) const;
+
+  /// Checks replicated state safety at the protocol level: all servers'
+  /// committed prefixes agree slot by slot. Returns a description of the
+  /// first disagreement.
+  std::optional<std::string> checkCommittedAgreement() const;
+
+  /// Structure fingerprint over all servers and the pending network.
+  uint64_t fingerprint() const;
+
+  std::string dump() const;
+
+  /// Log-level analogs of the reconfiguration guards, exposed for tests.
+  bool logSatisfiesR2(NodeId Nid) const;
+  bool logSatisfiesR3(NodeId Nid) const;
+
+private:
+  Server &serverMut(NodeId Nid);
+  void observe(Server &S, Time T);
+  void broadcast(const Msg &Template, const Config &Conf);
+  bool handleElectReq(Server &S, const Msg &M);
+  bool handleElectAck(Server &S, const Msg &M);
+  bool handleCommitReq(Server &S, const Msg &M);
+  bool handleCommitAck(Server &S, const Msg &M);
+  Config configOfLog(const std::vector<Entry> &Log) const;
+  /// True iff log A is at least as up-to-date as log B (Raft's last-term
+  /// then length comparison).
+  static bool logUpToDate(const std::vector<Entry> &A,
+                          const std::vector<Entry> &B);
+  /// Recomputes the leader's commit index from acknowledgements.
+  void advanceCommitIndex(Server &Leader, NodeId Nid);
+
+  /// Pointer (not reference) so the system stays copy- and
+  /// move-assignable for the model checker's state handling.
+  const ReconfigScheme *Scheme;
+  Config InitialConf;
+  RaftOptions Opts;
+  std::map<NodeId, Server> Servers;
+  std::vector<Msg> Pending;
+  size_t SentCount = 0;
+};
+
+} // namespace raft
+} // namespace adore
+
+#endif // ADORE_RAFT_RAFTSYSTEM_H

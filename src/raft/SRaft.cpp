@@ -1,0 +1,70 @@
+//===- raft/SRaft.cpp - Simplified synchronous Raft driver -----------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "raft/SRaft.h"
+
+using namespace adore;
+using namespace adore::raft;
+
+std::optional<bool> SRaftDriver::deliverMatching(MsgKind Kind, NodeId From,
+                                                 NodeId To, Time T) {
+  const std::vector<Msg> &Pending = Sys.pending();
+  for (size_t I = 0; I != Pending.size(); ++I) {
+    const Msg &M = Pending[I];
+    if (M.Kind == Kind && M.From == From && M.To == To && M.T == T)
+      return Sys.deliver(I);
+  }
+  return std::nullopt;
+}
+
+bool SRaftDriver::electRound(NodeId Nid, const NodeSet &Voters) {
+  Sys.elect(Nid);
+  Time T = Sys.server(Nid).CurTime;
+  // Deliver the round's requests to the chosen voters, then their acks
+  // back to the candidate, atomically.
+  for (NodeId Voter : Voters) {
+    if (Voter == Nid)
+      continue;
+    deliverMatching(MsgKind::ElectReq, Nid, Voter, T);
+  }
+  for (NodeId Voter : Voters) {
+    if (Voter == Nid)
+      continue;
+    deliverMatching(MsgKind::ElectAck, Voter, Nid, T);
+  }
+  // The rest of the round is lost.
+  Sys.dropPendingIf([&](const Msg &M) {
+    return M.T == T && ((M.Kind == MsgKind::ElectReq && M.From == Nid) ||
+                        (M.Kind == MsgKind::ElectAck && M.To == Nid));
+  });
+  return Sys.isLeader(Nid);
+}
+
+size_t SRaftDriver::commitRound(NodeId Nid, const NodeSet &Ackers) {
+  if (!Sys.startCommit(Nid))
+    return Sys.server(Nid).CommitIndex;
+  Time T = Sys.server(Nid).CurTime;
+  size_t Len = Sys.log(Nid).size();
+  for (NodeId Acker : Ackers) {
+    if (Acker == Nid)
+      continue;
+    deliverMatching(MsgKind::CommitReq, Nid, Acker, T);
+  }
+  for (NodeId Acker : Ackers) {
+    if (Acker == Nid)
+      continue;
+    deliverMatching(MsgKind::CommitAck, Acker, Nid, T);
+  }
+  Sys.dropPendingIf([&](const Msg &M) {
+    if (M.T != T)
+      return false;
+    if (M.Kind == MsgKind::CommitReq && M.From == Nid &&
+        M.Log.size() == Len)
+      return true;
+    return M.Kind == MsgKind::CommitAck && M.To == Nid;
+  });
+  return Sys.server(Nid).CommitIndex;
+}

@@ -1,0 +1,70 @@
+//===- raft/SRaft.h - Simplified synchronous Raft driver ------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SRaft (Section 5): the same state and step functions as the
+/// asynchronous Raft specification, but driven under its simplifying
+/// assumptions — only valid messages are delivered, in logical-timestamp
+/// order, with each protocol round's request and acknowledgements
+/// delivered atomically. We realize SRaft as a *driver* over RaftSystem
+/// rather than a second specification: electRound and commitRound
+/// perform a whole round's deliveries back-to-back, which by
+/// construction yields exactly the valid/ordered/atomic traces of
+/// Lemmas C.3/C.7/C.9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_RAFT_SRAFT_H
+#define ADORE_RAFT_SRAFT_H
+
+#include "raft/RaftSystem.h"
+
+namespace adore {
+namespace raft {
+
+/// Atomic-round driver implementing SRaft's scheduling assumptions.
+class SRaftDriver {
+public:
+  explicit SRaftDriver(RaftSystem &Sys) : Sys(Sys) {}
+
+  /// Runs one full election round for \p Nid: elect, deliver the
+  /// requests to \p Voters (only), deliver their acks back, and drop the
+  /// round's remaining messages (lost). Returns true iff \p Nid emerged
+  /// as leader.
+  bool electRound(NodeId Nid, const NodeSet &Voters);
+
+  /// Runs one full commit round for leader \p Nid: broadcast, deliver
+  /// requests to \p Ackers, deliver their acks back, drop the rest.
+  /// Returns the leader's commit index afterwards.
+  size_t commitRound(NodeId Nid, const NodeSet &Ackers);
+
+  /// Local operations pass through unchanged.
+  bool invoke(NodeId Nid, MethodId Method) {
+    return Sys.invoke(Nid, Method);
+  }
+  bool reconfig(NodeId Nid, const Config &Conf) {
+    return Sys.reconfig(Nid, Conf);
+  }
+
+  RaftSystem &system() { return Sys; }
+
+private:
+  /// Delivers the first pending message matching (Kind, From, To, T);
+  /// returns acceptance, or nullopt if no such message is pending.
+  std::optional<bool> deliverMatching(MsgKind Kind, NodeId From, NodeId To,
+                                      Time T);
+
+  /// Drops every pending message with the given kind and timestamp
+  /// (SRaft loses what a round did not deliver).
+  void dropRound(Time T);
+
+  RaftSystem &Sys;
+};
+
+} // namespace raft
+} // namespace adore
+
+#endif // ADORE_RAFT_SRAFT_H

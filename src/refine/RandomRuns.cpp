@@ -1,0 +1,171 @@
+//===- refine/RandomRuns.cpp - Random recorded Raft runs -------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refine/RandomRuns.h"
+
+using namespace adore;
+using namespace adore::refine;
+using raft::Msg;
+using raft::MsgKind;
+using raft::RaftSystem;
+
+namespace {
+
+/// Picks a subset of \p Conf's members (minus the leader) whose union
+/// with the leader forms a quorum, preferring small subsets; returns an
+/// empty set when no quorum of *receptive* members (observed term <=
+/// the leader's) exists. Restricting to receptive members keeps commit
+/// rounds all-or-nothing: every chosen recipient will accept, so
+/// adoption either crosses the quorum or the round is dropped whole.
+NodeSet pickQuorumCompletion(const raft::RaftSystem &Sys,
+                             const ReconfigScheme &Scheme,
+                             const Config &Conf, NodeId Leader, Rng &R) {
+  NodeSet Members = Scheme.mbrs(Conf);
+  Time LeaderTime = Sys.observedTime(Leader);
+  std::vector<NodeId> Others;
+  for (NodeId N : Members)
+    if (N != Leader && Sys.observedTime(N) <= LeaderTime)
+      Others.push_back(N);
+  R.shuffle(Others);
+  NodeSet Chosen{Leader};
+  if (Scheme.isQuorum(Chosen, Conf)) {
+    Chosen.erase(Leader);
+    return Chosen; // Leader alone suffices; no recipients needed.
+  }
+  NodeSet Out;
+  for (NodeId N : Others) {
+    Out.insert(N);
+    Chosen.insert(N);
+    if (Scheme.isQuorum(Chosen, Conf)) {
+      // Optionally over-provision by one more recipient.
+      if (!Others.empty() && R.nextChance(1, 3)) {
+        for (NodeId Extra : Others)
+          if (!Out.contains(Extra)) {
+            Out.insert(Extra);
+            break;
+          }
+      }
+      return Out;
+    }
+  }
+  return NodeSet{}; // Unreachable quorum (e.g. too many nodes down).
+}
+
+} // namespace
+
+RunStats adore::refine::runRandomRecordedRun(EventRecorder &Recorder,
+                                             Rng &R,
+                                             const RunOptions &Opts) {
+  RunStats Stats;
+  RaftSystem &Sys = Recorder.system();
+  const ReconfigScheme &Scheme = Sys.scheme();
+
+  auto RandomNode = [&]() -> NodeId {
+    NodeSet U = Sys.universe().unionWith(Opts.ExtraNodes);
+    return U[R.nextBelow(U.size())];
+  };
+
+  // Leaders append a no-op entry at their own term as soon as they win
+  // (the term-start barrier every practical Raft deploys, and the
+  // pattern R3 presupposes). This keeps every replication round's top
+  // entry at the leader's own term, so quorum adoption always coincides
+  // with commitment and every replica's log stays witnessed by a
+  // CCache — the SRaft discipline the executable refinement check
+  // covers (see Refinement.h).
+  auto MaintainBarriers = [&]() {
+    for (NodeId N : Sys.universe()) {
+      if (!Sys.isLeader(N))
+        continue;
+      const auto &Log = Sys.log(N);
+      Time T = Sys.observedTime(N);
+      if (Log.empty() || Log.back().T != T)
+        Recorder.invoke(N, /*Method=*/0);
+    }
+  };
+
+  for (size_t Step = 0; Step != Opts.Steps; ++Step) {
+    MaintainBarriers();
+    switch (R.nextBelow(10)) {
+    case 0: { // Start an election; its messages drift in the network.
+      NodeId Nid = RandomNode();
+      if (!Sys.universe().contains(Nid))
+        break; // Spare nodes idle until a configuration admits them.
+      Recorder.elect(Nid);
+      ++Stats.Elections;
+      break;
+    }
+    case 1:
+    case 2: { // Leader appends an entry.
+      NodeId Nid = RandomNode();
+      if (Recorder.invoke(Nid, Step + 1))
+        ++Stats.Invokes;
+      break;
+    }
+    case 3: { // Leader proposes a reconfiguration.
+      NodeId Nid = RandomNode();
+      if (!Sys.isLeader(Nid))
+        break;
+      NodeSet Universe = Sys.universe().unionWith(Opts.ExtraNodes);
+      auto Candidates =
+          Scheme.candidateReconfigs(Sys.currentConfig(Nid), Universe);
+      if (Candidates.empty())
+        break;
+      if (Recorder.reconfig(Nid,
+                            Candidates[R.nextBelow(Candidates.size())]))
+        ++Stats.Reconfigs;
+      break;
+    }
+    case 4:
+    case 5: { // Atomic commit round: requests land on a quorum or die.
+      NodeId Nid = RandomNode();
+      if (!Sys.isLeader(Nid))
+        break;
+      size_t FirstNew = Sys.pending().size();
+      if (!Recorder.startCommit(Nid))
+        break;
+      ++Stats.CommitRounds;
+      bool Lost = R.nextChance(Opts.RoundLossPermille, 1000);
+      NodeSet Recipients =
+          Lost ? NodeSet{}
+               : pickQuorumCompletion(Sys, Scheme,
+                                      Sys.currentConfig(Nid), Nid, R);
+      // Deliver this round's requests to the chosen recipients, drop
+      // the rest (scan the fresh tail of the pending queue).
+      for (size_t I = Sys.pending().size(); I-- > FirstNew;) {
+        const Msg &M = Sys.pending()[I];
+        if (M.Kind != MsgKind::CommitReq || M.From != Nid)
+          continue;
+        if (Recipients.contains(M.To)) {
+          Recorder.deliver(I);
+          ++Stats.Deliveries;
+        } else {
+          size_t Doomed = I;
+          size_t Count = 0;
+          Sys.dropPendingIf(
+              [&](const Msg &) { return Count++ == Doomed; });
+        }
+      }
+      break;
+    }
+    default: { // Deliver or lose one drifting message (elections, acks).
+      if (Sys.pending().empty())
+        break;
+      size_t I = R.nextBelow(Sys.pending().size());
+      if (Sys.pending()[I].Kind == MsgKind::CommitReq)
+        break; // Commit requests never drift (handled atomically).
+      if (R.nextChance(Opts.LossPermille, 1000)) {
+        size_t Count = 0;
+        Sys.dropPendingIf([&](const Msg &) { return Count++ == I; });
+      } else {
+        Recorder.deliver(I);
+        ++Stats.Deliveries;
+      }
+      break;
+    }
+    }
+  }
+  return Stats;
+}

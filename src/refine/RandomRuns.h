@@ -1,0 +1,54 @@
+//===- refine/RandomRuns.h - Random recorded Raft runs --------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A randomized, round-coherent scheduler producing recorded Raft runs
+/// for refinement checking: elections and acknowledgements are delivered
+/// with arbitrary delay, interleaving, and loss; commit *requests* are
+/// delivered atomically to a quorum-completing subset or wholly lost
+/// (the SRaft assumption the executable refinement check relies on —
+/// see Refinement.h). Deterministic from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_REFINE_RANDOMRUNS_H
+#define ADORE_REFINE_RANDOMRUNS_H
+
+#include "refine/Refinement.h"
+#include "support/Rng.h"
+
+namespace adore {
+namespace refine {
+
+/// Knobs for run generation.
+struct RunOptions {
+  size_t Steps = 400;
+  /// Permille of elections/acks dropped instead of delivered.
+  unsigned LossPermille = 100;
+  /// Permille of commit rounds wholly lost.
+  unsigned RoundLossPermille = 150;
+  /// Extra node ids available for reconfiguration.
+  NodeSet ExtraNodes;
+};
+
+/// Statistics about a generated run.
+struct RunStats {
+  size_t Elections = 0;
+  size_t Invokes = 0;
+  size_t Reconfigs = 0;
+  size_t CommitRounds = 0;
+  size_t Deliveries = 0;
+};
+
+/// Drives \p Recorder for Opts.Steps scheduler steps. The RaftSystem
+/// behind the recorder must be freshly constructed.
+RunStats runRandomRecordedRun(EventRecorder &Recorder, Rng &R,
+                              const RunOptions &Opts);
+
+} // namespace refine
+} // namespace adore
+
+#endif // ADORE_REFINE_RANDOMRUNS_H

@@ -1,0 +1,342 @@
+//===- refine/Refinement.cpp - Raft -> Adore refinement checking -----------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refine/Refinement.h"
+
+#include "adore/Invariants.h"
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace adore;
+using namespace adore::refine;
+using raft::Entry;
+using raft::EntryKind;
+using raft::Msg;
+using raft::MsgKind;
+
+const char *adore::refine::pEventKindName(PEventKind Kind) {
+  switch (Kind) {
+  case PEventKind::ElectionWon:
+    return "ElectionWon";
+  case PEventKind::Invoke:
+    return "Invoke";
+  case PEventKind::Reconfig:
+    return "Reconfig";
+  case PEventKind::Commit:
+    return "Commit";
+  }
+  ADORE_UNREACHABLE("unknown protocol event kind");
+}
+
+std::string ProtocolEvent::str() const {
+  std::string Out = pEventKindName(Kind);
+  Out += "(n=" + std::to_string(Nid) + ",t=" + std::to_string(T);
+  if (Kind == PEventKind::ElectionWon || Kind == PEventKind::Commit)
+    Out += ",Q=" + Q.str();
+  if (Kind == PEventKind::Invoke)
+    Out += ",m=" + std::to_string(Method);
+  if (Kind == PEventKind::Reconfig)
+    Out += ",cf=" + Conf.str();
+  Out += ",len=" + std::to_string(Len) + ")";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// EventRecorder
+//===----------------------------------------------------------------------===//
+
+void EventRecorder::noteElectionIfWon(NodeId Nid) {
+  bool Leads = Sys.isLeader(Nid);
+  bool &Was = WasLeader[Nid];
+  if (Leads && !Was) {
+    const raft::Server &S = Sys.server(Nid);
+    ProtocolEvent E;
+    E.Kind = PEventKind::ElectionWon;
+    E.Nid = Nid;
+    E.T = S.CurTime;
+    E.Q = S.Votes;
+    E.LogSnapshot = S.Log;
+    E.Seq = Seq++;
+    Events.push_back(std::move(E));
+    noteSelfAdoption(Nid);
+  }
+  Was = Leads;
+}
+
+void EventRecorder::noteSelfAdoption(NodeId Nid) {
+  const raft::Server &S = Sys.server(Nid);
+  if (S.IsLeader)
+    noteAdoption(Nid, S.CurTime, Nid, S.Log);
+}
+
+void EventRecorder::noteAdoption(NodeId Leader, Time T, NodeId Adopter,
+                                 const std::vector<Entry> &Log) {
+  auto Key = std::make_pair(Leader, T);
+  std::map<NodeId, size_t> &Lens = Adopted[Key];
+  size_t &Len = Lens[Adopter];
+  Len = std::max(Len, Log.size());
+
+  // A prefix L is committed once a quorum of the configuration in force
+  // at L has replicated it and the entry at L-1 carries the leader's
+  // term (Raft's own-term commit rule; earlier entries commit
+  // transitively). This is adoption-based — acknowledgements reaching
+  // the leader are irrelevant to whether the state is durably decided.
+  size_t &Reported = CommittedLen[Key];
+  for (size_t L = Log.size(); L > Reported; --L) {
+    if (Log[L - 1].T != T)
+      break;
+    std::vector<Entry> Prefix(Log.begin(),
+                              Log.begin() + static_cast<ptrdiff_t>(L));
+    Config PrefixConf = Sys.configOfEntries(Prefix);
+    // Only members of the configuration in force at this prefix count
+    // as supporters (Adore's validSupp); a node that adopted the log
+    // because a *later* entry admits it is not a witness for L.
+    NodeSet Members = Sys.scheme().mbrs(PrefixConf);
+    NodeSet Adopters;
+    for (const auto &[Node, Got] : Lens)
+      if (Got >= L && Members.contains(Node))
+        Adopters.insert(Node);
+    if (!Sys.scheme().isQuorum(Adopters, PrefixConf))
+      continue;
+    ProtocolEvent E;
+    E.Kind = PEventKind::Commit;
+    E.Nid = Leader;
+    E.T = T;
+    E.Len = L;
+    E.Q = Adopters;
+    E.LogSnapshot = Log;
+    E.Seq = Seq++;
+    Events.push_back(std::move(E));
+    Reported = L;
+    break;
+  }
+}
+
+void EventRecorder::elect(NodeId Nid) {
+  // Standing for election always drops any current leadership, so the
+  // rising-edge detector must see the falling edge even when a sitting
+  // leader immediately re-elects itself (singleton quorums).
+  WasLeader[Nid] = false;
+  Sys.elect(Nid);
+  noteElectionIfWon(Nid); // Singleton configurations win instantly.
+}
+
+bool EventRecorder::invoke(NodeId Nid, MethodId Method) {
+  if (!Sys.invoke(Nid, Method))
+    return false;
+  const raft::Server &S = Sys.server(Nid);
+  ProtocolEvent E;
+  E.Kind = PEventKind::Invoke;
+  E.Nid = Nid;
+  E.T = S.CurTime;
+  E.Method = Method;
+  E.Len = S.Log.size();
+  E.LogSnapshot = S.Log;
+  E.Seq = Seq++;
+  Events.push_back(std::move(E));
+  noteSelfAdoption(Nid);
+  return true;
+}
+
+bool EventRecorder::reconfig(NodeId Nid, const Config &Conf) {
+  if (!Sys.reconfig(Nid, Conf))
+    return false;
+  const raft::Server &S = Sys.server(Nid);
+  ProtocolEvent E;
+  E.Kind = PEventKind::Reconfig;
+  E.Nid = Nid;
+  E.T = S.CurTime;
+  E.Conf = Conf;
+  E.Len = S.Log.size();
+  E.LogSnapshot = S.Log;
+  E.Seq = Seq++;
+  Events.push_back(std::move(E));
+  noteSelfAdoption(Nid);
+  return true;
+}
+
+bool EventRecorder::startCommit(NodeId Nid) {
+  if (!Sys.startCommit(Nid))
+    return false;
+  noteSelfAdoption(Nid);
+  return true;
+}
+
+bool EventRecorder::deliver(size_t MsgIndex) {
+  Msg M = Sys.pending()[MsgIndex];
+  bool Accepted = Sys.deliver(MsgIndex);
+  // Role changes: any accepted message can depose its recipient; an
+  // accepted election ack can crown one.
+  if (!Accepted)
+    return false;
+  switch (M.Kind) {
+  case MsgKind::ElectAck:
+    noteElectionIfWon(M.To);
+    break;
+  case MsgKind::ElectReq:
+    WasLeader[M.To] = Sys.isLeader(M.To);
+    break;
+  case MsgKind::CommitReq:
+    WasLeader[M.To] = Sys.isLeader(M.To);
+    // The recipient adopted the request's log wholesale.
+    noteAdoption(M.From, M.T, M.To, M.Log);
+    break;
+  case MsgKind::CommitAck:
+    // Acks only update the leader's *knowledge* (commit index); the
+    // commit itself was recorded when adoption crossed the quorum.
+    break;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Normalization (executable Lemmas C.3/C.7/C.9)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Sort key: term, then log position within the term. Elections anchor
+/// the term (position 0); an entry's append (pos L, phase 0) precedes
+/// the commit that covers it (pos L, phase 1).
+std::tuple<Time, size_t, unsigned, uint64_t> sortKey(const ProtocolEvent &E) {
+  switch (E.Kind) {
+  case PEventKind::ElectionWon:
+    return {E.T, 0, 0, E.Seq};
+  case PEventKind::Invoke:
+  case PEventKind::Reconfig:
+    return {E.T, E.Len, 0, E.Seq};
+  case PEventKind::Commit:
+    return {E.T, E.Len, 1, E.Seq};
+  }
+  ADORE_UNREACHABLE("unknown protocol event kind");
+}
+
+} // namespace
+
+std::vector<ProtocolEvent>
+adore::refine::normalizeTrace(std::vector<ProtocolEvent> Events) {
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const ProtocolEvent &A, const ProtocolEvent &B) {
+                     return sortKey(A) < sortKey(B);
+                   });
+  return Events;
+}
+
+//===----------------------------------------------------------------------===//
+// logMatch (Fig. 17)
+//===----------------------------------------------------------------------===//
+
+std::vector<CacheId> adore::refine::toLog(const CacheTree &Tree,
+                                          CacheId Tip) {
+  std::vector<CacheId> Out;
+  for (CacheId Id : Tree.branchOf(Tip))
+    if (Tree.cache(Id).isCommittable())
+      Out.push_back(Id);
+  return Out;
+}
+
+std::optional<std::string> adore::refine::matchBranchAgainstLog(
+    const CacheTree &Tree, const std::vector<CacheId> &BranchLog,
+    const std::vector<Entry> &Log) {
+  if (BranchLog.size() != Log.size())
+    return "logMatch: branch has " + std::to_string(BranchLog.size()) +
+           " entries, log has " + std::to_string(Log.size());
+  for (size_t I = 0; I != Log.size(); ++I) {
+    const Cache &C = Tree.cache(BranchLog[I]);
+    const Entry &E = Log[I];
+    bool KindOk = (E.Kind == EntryKind::Method && C.isMethod()) ||
+                  (E.Kind == EntryKind::Reconfig && C.isReconfig());
+    if (!KindOk)
+      return "logMatch: kind mismatch at slot " + std::to_string(I);
+    if (C.T != E.T)
+      return "logMatch: term mismatch at slot " + std::to_string(I) +
+             ": cache " + std::to_string(C.T) + " vs entry " +
+             std::to_string(E.T);
+    if (E.Kind == EntryKind::Method && C.Method != E.Method)
+      return "logMatch: method mismatch at slot " + std::to_string(I);
+    if (E.Kind == EntryKind::Reconfig && C.Conf != E.Conf)
+      return "logMatch: config mismatch at slot " + std::to_string(I);
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// RefinementChecker
+//===----------------------------------------------------------------------===//
+
+RefinementResult
+RefinementChecker::check(const std::vector<ProtocolEvent> &Normalized) {
+  RefinementResult Res;
+  Semantics Sem(Scheme);
+  AdoreState St(Scheme, InitialConf);
+  // Per-leader map from log slot (0-based) to the mirroring cache id.
+  std::map<NodeId, std::vector<CacheId>> BranchMap;
+
+  auto Fail = [&](const ProtocolEvent &E, std::string Why) {
+    Res.Violation = E.str() + ": " + std::move(Why);
+    Res.FinalAdoreDump = St.dump();
+    return Res;
+  };
+
+  for (const ProtocolEvent &E : Normalized) {
+    switch (E.Kind) {
+    case PEventKind::ElectionWon: {
+      PullChoice Choice{E.Q, E.T};
+      if (!Sem.isValidPullChoice(St, E.Nid, Choice))
+        return Fail(E, "derived pull choice is invalid for Adore");
+      Sem.pull(St, E.Nid, Choice);
+      CacheId Active = St.Tree.activeCache(E.Nid);
+      if (Active == InvalidCacheId ||
+          !St.Tree.cache(Active).isElection() ||
+          St.Tree.cache(Active).T != E.T)
+        return Fail(E, "quorum election did not produce an ECache");
+      std::vector<CacheId> Branch = toLog(St.Tree, Active);
+      if (auto V = matchBranchAgainstLog(St.Tree, Branch, E.LogSnapshot))
+        return Fail(E, *V);
+      BranchMap[E.Nid] = std::move(Branch);
+      break;
+    }
+    case PEventKind::Invoke: {
+      if (!Sem.invoke(St, E.Nid, E.Method))
+        return Fail(E, "Adore invoke failed for an accepted Raft invoke");
+      BranchMap[E.Nid].push_back(St.Tree.activeCache(E.Nid));
+      if (auto V = matchBranchAgainstLog(St.Tree, BranchMap[E.Nid],
+                                         E.LogSnapshot))
+        return Fail(E, *V);
+      break;
+    }
+    case PEventKind::Reconfig: {
+      if (!Sem.reconfig(St, E.Nid, E.Conf))
+        return Fail(E,
+                    "Adore reconfig failed for an accepted Raft reconfig");
+      BranchMap[E.Nid].push_back(St.Tree.activeCache(E.Nid));
+      if (auto V = matchBranchAgainstLog(St.Tree, BranchMap[E.Nid],
+                                         E.LogSnapshot))
+        return Fail(E, *V);
+      break;
+    }
+    case PEventKind::Commit: {
+      const std::vector<CacheId> &Branch = BranchMap[E.Nid];
+      if (E.Len == 0 || E.Len > Branch.size())
+        return Fail(E, "commit index outside the mirrored branch");
+      PushChoice Choice{E.Q, Branch[E.Len - 1]};
+      if (!Sem.isValidPushChoice(St, E.Nid, Choice))
+        return Fail(E, "derived push choice is invalid for Adore");
+      size_t SizeBefore = St.Tree.size();
+      Sem.push(St, E.Nid, Choice);
+      if (St.Tree.size() == SizeBefore)
+        return Fail(E, "quorum commit did not produce a CCache");
+      break;
+    }
+    }
+    ++Res.MirroredSteps;
+    if (auto V = checkReplicatedStateSafety(St.Tree))
+      return Fail(E, "Adore safety violated during mirroring: " + *V);
+  }
+  Res.FinalAdoreDump = St.dump();
+  return Res;
+}

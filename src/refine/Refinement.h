@@ -1,0 +1,168 @@
+//===- refine/Refinement.h - Raft -> Adore refinement checking -*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable counterpart of the paper's refinement proof (Section 5 /
+/// Appendix C). The paper proves: every asynchronous Raft trace can be
+/// normalized to an SRaft trace (valid messages only, globally ordered,
+/// atomic rounds — Lemmas C.3/C.7/C.9), and every SRaft step has a
+/// corresponding Adore step preserving the relation R, whose heart is
+/// logMatch: each replica's local log equals the Method/Reconfig caches
+/// along its branch of the cache tree (Fig. 17).
+///
+/// We check this per run instead of proving it once:
+///
+///  1. EventRecorder drives an asynchronous RaftSystem and extracts the
+///     *protocol events* — elections won, local invokes/reconfigs, and
+///     commit-index advances — with the participant sets and log
+///     snapshots observed in the async run.
+///  2. normalizeTrace sorts the events into SRaft's logical-time order
+///     (the executable Lemma C.7/C.9: rounds become atomic, ordered by
+///     (term, log position)).
+///  3. RefinementChecker replays the normalized trace against Adore,
+///     driving pull/invoke/reconfig/push with oracle choices *derived*
+///     from the async run, and checks after every step that the mirrored
+///     leader's branch matches its log snapshot (logMatch), that every
+///     derived oracle choice is valid for Adore (the simulation exists),
+///     and that Adore's safety invariants hold.
+///
+/// Scope: like SRaft itself, the check covers traces whose commit rounds
+/// deliver atomically (to a quorum) or are wholly lost; sub-quorum
+/// partial log adoption is invisible to the Adore state (the paper's
+/// PushOk with !Q_ok updates only timestamps) and is treated as loss by
+/// the normalization, exactly as Lemma C.3 drops ignorable messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_REFINE_REFINEMENT_H
+#define ADORE_REFINE_REFINEMENT_H
+
+#include "adore/Ops.h"
+#include "raft/RaftSystem.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adore {
+namespace refine {
+
+/// The protocol-level events that correspond to Adore operations.
+enum class PEventKind : uint8_t {
+  ElectionWon, ///< A candidate crossed its vote quorum -> pull.
+  Invoke,      ///< Leader appended a method entry -> invoke.
+  Reconfig,    ///< Leader appended a reconfig entry -> reconfig.
+  Commit,      ///< Leader's commit index advanced -> push.
+};
+
+const char *pEventKindName(PEventKind Kind);
+
+/// One extracted protocol event.
+struct ProtocolEvent {
+  PEventKind Kind;
+  NodeId Nid = InvalidNodeId;
+  Time T = 0;
+  /// ElectionWon: voters (incl. self). Commit: ackers of the committed
+  /// length (incl. self).
+  NodeSet Q;
+  /// Invoke: the method.
+  MethodId Method = 0;
+  /// Reconfig: the new configuration.
+  Config Conf;
+  /// Commit: the advanced-to commit index. Invoke/Reconfig: the log
+  /// length after the append (its 1-based entry index).
+  size_t Len = 0;
+  /// The actor's full log when the event fired.
+  std::vector<raft::Entry> LogSnapshot;
+  /// Monotone sequence number in async order.
+  uint64_t Seq = 0;
+
+  std::string str() const;
+};
+
+/// Drives a RaftSystem and extracts ProtocolEvents. Use these wrappers
+/// instead of calling the system directly, then read events().
+class EventRecorder {
+public:
+  explicit EventRecorder(raft::RaftSystem &Sys) : Sys(Sys) {}
+
+  void elect(NodeId Nid);
+  bool invoke(NodeId Nid, MethodId Method);
+  bool reconfig(NodeId Nid, const Config &Conf);
+  bool startCommit(NodeId Nid);
+  bool deliver(size_t MsgIndex);
+
+  raft::RaftSystem &system() { return Sys; }
+  const std::vector<ProtocolEvent> &events() const { return Events; }
+
+private:
+  void noteElectionIfWon(NodeId Nid);
+  void noteSelfAdoption(NodeId Nid);
+  void noteAdoption(NodeId Leader, Time T, NodeId Adopter,
+                    const std::vector<raft::Entry> &Log);
+
+  raft::RaftSystem &Sys;
+  std::vector<ProtocolEvent> Events;
+  uint64_t Seq = 0;
+  std::map<NodeId, bool> WasLeader;
+  /// Per (leader, term): the log length each replica has adopted. A
+  /// commit happens — in the Adore sense of a quorum *replicating* the
+  /// prefix — the moment adoption crosses a quorum, regardless of
+  /// whether the acknowledgements ever reach the leader.
+  std::map<std::pair<NodeId, Time>, std::map<NodeId, size_t>> Adopted;
+  /// Per (leader, term): the largest prefix already reported committed.
+  std::map<std::pair<NodeId, Time>, size_t> CommittedLen;
+};
+
+/// The executable Lemma C.7/C.9: stable-sorts events into SRaft's
+/// logical order — by term, then by log position within the term
+/// (elections first, an entry's append before the commit that covers
+/// it), preserving async order among incomparable events.
+std::vector<ProtocolEvent>
+normalizeTrace(std::vector<ProtocolEvent> Events);
+
+/// Result of a refinement check.
+struct RefinementResult {
+  /// First violation of the simulation or of logMatch; nullopt = the
+  /// whole trace refines Adore.
+  std::optional<std::string> Violation;
+  /// Adore operations mirrored.
+  size_t MirroredSteps = 0;
+  /// The final Adore state (for inspection).
+  std::string FinalAdoreDump;
+
+  bool holds() const { return !Violation.has_value(); }
+};
+
+/// Replays a normalized protocol trace against Adore and checks the
+/// simulation + logMatch + safety after every mirrored step.
+class RefinementChecker {
+public:
+  RefinementChecker(const ReconfigScheme &Scheme, Config InitialConf)
+      : Scheme(Scheme), InitialConf(std::move(InitialConf)) {}
+
+  RefinementResult check(const std::vector<ProtocolEvent> &Normalized);
+
+private:
+  const ReconfigScheme &Scheme;
+  Config InitialConf;
+};
+
+/// toLog (Fig. 17): the Method/Reconfig caches along the branch of
+/// \p Tip, root-first.
+std::vector<CacheId> toLog(const CacheTree &Tree, CacheId Tip);
+
+/// Compares a branch's M/R caches against a Raft log; returns a
+/// description of the first mismatch.
+std::optional<std::string>
+matchBranchAgainstLog(const CacheTree &Tree,
+                      const std::vector<CacheId> &BranchLog,
+                      const std::vector<raft::Entry> &Log);
+
+} // namespace refine
+} // namespace adore
+
+#endif // ADORE_REFINE_REFINEMENT_H

@@ -1,0 +1,270 @@
+//===- sim/Cluster.cpp - Simulated Raft cluster + client --------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cluster.h"
+
+#include <cassert>
+
+using namespace adore;
+using namespace adore::sim;
+using raft::EntryKind;
+
+Cluster::Cluster(const ReconfigScheme &Scheme, Config InitialConf,
+                 NodeSet Universe, ClusterOptions Opts, uint64_t Seed)
+    : Scheme(&Scheme), InitialConf(InitialConf),
+      Universe(std::move(Universe)), Opts(Opts), R(Seed) {
+  assert(Scheme.mbrs(InitialConf).isSubsetOf(this->Universe) &&
+         "initial members must be in the universe");
+  for (NodeId Id : this->Universe) {
+    Rng NodeRng = R.fork();
+    Nodes.emplace(
+        Id, std::make_unique<RaftNode>(
+                Id, Scheme, InitialConf, Opts.Node, Queue, NodeRng.next(),
+                [this](SimMsg M) { sendMsg(std::move(M)); },
+                [this](NodeId N, size_t I, const SimLogEntry &E) {
+                  onApply(N, I, E);
+                }));
+  }
+}
+
+void Cluster::start() {
+  for (auto &[Id, Node] : Nodes)
+    Node->start();
+}
+
+RaftNode &Cluster::node(NodeId Id) {
+  auto It = Nodes.find(Id);
+  assert(It != Nodes.end() && "unknown node");
+  return *It->second;
+}
+
+const RaftNode &Cluster::node(NodeId Id) const {
+  auto It = Nodes.find(Id);
+  assert(It != Nodes.end() && "unknown node");
+  return *It->second;
+}
+
+std::optional<NodeId> Cluster::leader() const {
+  std::optional<NodeId> Best;
+  for (const auto &[Id, Node] : Nodes) {
+    if (!Node->isLeader())
+      continue;
+    if (!Best || Node->term() > Nodes.at(*Best)->term())
+      Best = Id;
+  }
+  return Best;
+}
+
+std::optional<NodeId> Cluster::runUntilLeader(SimTime MaxWaitUs) {
+  SimTime Deadline = Queue.now() + MaxWaitUs;
+  while (Queue.now() < Deadline) {
+    if (auto L = leader())
+      return L;
+    if (!Queue.runNext())
+      break;
+  }
+  return leader();
+}
+
+//===----------------------------------------------------------------------===//
+// Network
+//===----------------------------------------------------------------------===//
+
+void Cluster::sendMsg(SimMsg M) {
+  ++MessagesSent;
+  if (Partition &&
+      Partition->contains(M.From) != Partition->contains(M.To)) {
+    ++MessagesDropped; // The cut eats everything crossing it.
+    return;
+  }
+  if (R.nextChance(Opts.Link.DropPermille, 1000)) {
+    ++MessagesDropped;
+    return;
+  }
+  SimTime Latency =
+      R.nextInRange(Opts.Link.LatencyMinUs, Opts.Link.LatencyMaxUs);
+  Queue.scheduleAfter(Latency, [this, M = std::move(M)] {
+    auto It = Nodes.find(M.To);
+    if (It == Nodes.end())
+      return; // Destination outside the universe: dropped.
+    It->second->receive(M);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Client and admin
+//===----------------------------------------------------------------------===//
+
+NodeId Cluster::pickTarget(const PendingOp &Op) {
+  if (LastKnownLeader && Nodes.count(*LastKnownLeader))
+    return *LastKnownLeader;
+  // No hint: ask a random member of some node's current configuration.
+  NodeSet Members = Scheme->mbrs(InitialConf);
+  for (const auto &[Id, Node] : Nodes)
+    if (!Node->isPassive())
+      Members = Members.unionWith(Scheme->mbrs(Node->config()));
+  return Members[R.nextBelow(Members.size())];
+}
+
+void Cluster::submit(MethodId Method,
+                     std::function<void(bool, SimTime)> Done,
+                     SimTime MaxTriesUs) {
+  uint64_t Seq = NextSeq++;
+  PendingOp &Op = Pending[Seq];
+  Op.Method = Method;
+  Op.SubmittedAt = Queue.now();
+  Op.Deadline = Queue.now() + MaxTriesUs;
+  Op.Done = std::move(Done);
+  attempt(Seq);
+}
+
+void Cluster::requestReconfig(Config NewConf,
+                              std::function<void(bool, SimTime)> Done,
+                              SimTime MaxTriesUs) {
+  uint64_t Seq = NextSeq++;
+  PendingOp &Op = Pending[Seq];
+  Op.IsReconfig = true;
+  Op.Conf = std::move(NewConf);
+  Op.SubmittedAt = Queue.now();
+  Op.Deadline = Queue.now() + MaxTriesUs;
+  Op.Done = std::move(Done);
+  attempt(Seq);
+}
+
+void Cluster::attempt(uint64_t Seq) {
+  auto It = Pending.find(Seq);
+  if (It == Pending.end() || It->second.Settled)
+    return;
+  PendingOp &Op = It->second;
+  if (Queue.now() >= Op.Deadline) {
+    settle(Seq, false);
+    return;
+  }
+  ++Op.Attempt;
+  NodeId Target = pickTarget(Op);
+  // One network hop to reach the target.
+  SimTime Hop = R.nextInRange(Opts.Link.LatencyMinUs,
+                              Opts.Link.LatencyMaxUs);
+  Queue.scheduleAfter(Hop, [this, Seq, Target] {
+    auto It = Pending.find(Seq);
+    if (It == Pending.end() || It->second.Settled)
+      return;
+    PendingOp &Op = It->second;
+    RaftNode &N = node(Target);
+    if (N.isCrashed()) {
+      // Dead silence: forget the stale hint and try elsewhere.
+      if (LastKnownLeader == Target)
+        LastKnownLeader.reset();
+      Queue.scheduleAfter(Opts.ClientRetryDelayUs,
+                          [this, Seq] { attempt(Seq); });
+      return;
+    }
+    // A change that removes the sitting leader needs a leadership
+    // transfer first (Raft 3.10): hand off to a caught-up member of the
+    // target configuration, then retry against the new leader.
+    if (Op.IsReconfig && N.isLeader() &&
+        !Scheme->mbrs(Op.Conf).contains(Target)) {
+      for (NodeId Heir : Scheme->mbrs(Op.Conf))
+        if (N.transferLeadership(Heir))
+          break;
+      LastKnownLeader.reset();
+      Queue.scheduleAfter(Opts.ClientRetryDelayUs * 4,
+                          [this, Seq] { attempt(Seq); });
+      return;
+    }
+    bool Accepted =
+        Op.IsReconfig
+            ? N.requestReconfig(Op.Conf)
+            : N.submit(Op.Method, Seq);
+    if (Accepted) {
+      LastKnownLeader = Target;
+      // Completion arrives via onApply; arm a retry in case the leader
+      // falls (or is cut off) before committing. An unresponsive
+      // accepted target loses the client's trust: retry elsewhere.
+      Queue.scheduleAfter(Opts.ClientTimeoutUs, [this, Seq, Target] {
+        if (Pending.count(Seq) && LastKnownLeader == Target)
+          LastKnownLeader.reset();
+        attempt(Seq);
+      });
+      return;
+    }
+    // Rejected: follow the redirect hint (or try someone else soon).
+    if (auto Hint = N.leaderHint())
+      LastKnownLeader = *Hint;
+    else
+      LastKnownLeader.reset();
+    Queue.scheduleAfter(Opts.ClientRetryDelayUs,
+                        [this, Seq] { attempt(Seq); });
+  });
+}
+
+void Cluster::settle(uint64_t Seq, bool Ok) {
+  auto It = Pending.find(Seq);
+  if (It == Pending.end() || It->second.Settled)
+    return;
+  It->second.Settled = true;
+  SimTime Latency = Queue.now() - It->second.SubmittedAt;
+  auto Done = std::move(It->second.Done);
+  Pending.erase(It);
+  if (Done)
+    Done(Ok, Latency);
+}
+
+void Cluster::onApply(NodeId Node, size_t Index, const SimLogEntry &E) {
+  if (ApplyHook)
+    ApplyHook(Node, Index, E);
+  // Resolve the pending op this entry answers (first application wins;
+  // the response costs one more network hop).
+  uint64_t Seq = 0;
+  if (E.Kind == EntryKind::Method && E.ClientSeq != 0 &&
+      Pending.count(E.ClientSeq)) {
+    Seq = E.ClientSeq;
+  } else if (E.Kind == EntryKind::Reconfig) {
+    for (auto &[S, Op] : Pending)
+      if (Op.IsReconfig && !Op.Settled && Op.Conf == E.Conf) {
+        Seq = S;
+        break;
+      }
+  }
+  if (Seq == 0)
+    return;
+  SimTime Hop = R.nextInRange(Opts.Link.LatencyMinUs,
+                              Opts.Link.LatencyMaxUs);
+  Queue.scheduleAfter(Hop, [this, Seq] { settle(Seq, true); });
+}
+
+//===----------------------------------------------------------------------===//
+// Inspection
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string> Cluster::checkCommittedAgreement() const {
+  for (auto A = Nodes.begin(); A != Nodes.end(); ++A) {
+    for (auto B = std::next(A); B != Nodes.end(); ++B) {
+      size_t Common = std::min(A->second->commitIndex(),
+                               B->second->commitIndex());
+      for (size_t I = 1; I <= Common; ++I) {
+        const SimLogEntry &EA = A->second->entry(I);
+        const SimLogEntry &EB = B->second->entry(I);
+        if (EA.Term == EB.Term && EA.Method == EB.Method &&
+            EA.Kind == EB.Kind && EA.Conf == EB.Conf)
+          continue;
+        return "committed disagreement between S" +
+               std::to_string(A->first) + " and S" +
+               std::to_string(B->first) + " at slot " + std::to_string(I);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Cluster::dump() const {
+  std::string Out;
+  for (const auto &[Id, Node] : Nodes) {
+    Out += Node->describe();
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,159 @@
+//===- sim/Cluster.h - Simulated Raft cluster + client --------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated deployment substrate for the Fig. 16 reproduction: a
+/// set of executable RaftNodes connected by a latency/loss network model
+/// over the discrete-event queue, plus a retrying client (with leader
+/// redirect hints) and an admin interface for membership changes. All
+/// latencies are virtual microseconds, so experiments are exactly
+/// reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SIM_CLUSTER_H
+#define ADORE_SIM_CLUSTER_H
+
+#include "sim/RaftNode.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace adore {
+namespace sim {
+
+/// Network link model: uniform latency plus Bernoulli loss.
+struct LinkOptions {
+  SimTime LatencyMinUs = 300;
+  SimTime LatencyMaxUs = 1500;
+  unsigned DropPermille = 0;
+};
+
+/// Cluster-level knobs.
+struct ClusterOptions {
+  NodeOptions Node;
+  LinkOptions Link;
+  /// Client gives up waiting for a response and retries after this long.
+  SimTime ClientTimeoutUs = 400000;
+  /// Small pause before a redirected/failed retry.
+  SimTime ClientRetryDelayUs = 5000;
+};
+
+/// A whole simulated deployment: nodes, network, client, admin.
+class Cluster {
+public:
+  /// \p Universe enumerates every node id that may ever participate
+  /// (spares included); nodes outside the initial configuration start
+  /// passive and awaken when a reconfiguration admits them.
+  Cluster(const ReconfigScheme &Scheme, Config InitialConf,
+          NodeSet Universe, ClusterOptions Opts, uint64_t Seed);
+
+  EventQueue &queue() { return Queue; }
+  const ReconfigScheme &scheme() const { return *Scheme; }
+
+  /// Arms all election timers.
+  void start();
+
+  /// Runs the simulation until some node leads (or \p MaxWait virtual
+  /// time passes); returns the leader if one emerged.
+  std::optional<NodeId> runUntilLeader(SimTime MaxWaitUs);
+
+  /// The current leader with the highest term, if any.
+  std::optional<NodeId> leader() const;
+
+  RaftNode &node(NodeId Id);
+  const RaftNode &node(NodeId Id) const;
+  const NodeSet &universe() const { return Universe; }
+
+  /// Fault injection: fail-stop and restart a node.
+  void crash(NodeId Id) { node(Id).crash(); }
+  void restart(NodeId Id) { node(Id).restart(); }
+
+  /// Network partition: splits the universe into \p SideA and the rest;
+  /// messages crossing the cut are dropped until heal() is called.
+  /// (Client/admin requests are not partitioned — the client is
+  /// modeled as able to reach any node.)
+  void partition(NodeSet SideA) { Partition = std::move(SideA); }
+  void heal() { Partition.reset(); }
+  bool isPartitioned() const { return Partition.has_value(); }
+
+  //===--------------------------------------------------------------===//
+  // Client and admin
+  //===--------------------------------------------------------------===//
+
+  /// Submits a command; \p Done fires (in virtual time) with success and
+  /// the end-to-end latency once the command is committed and the
+  /// response delivered, or with Ok=false if retries exhaust MaxTriesUs.
+  void submit(MethodId Method,
+              std::function<void(bool Ok, SimTime LatencyUs)> Done,
+              SimTime MaxTriesUs = 5000000);
+
+  /// Requests a membership change; \p Done fires when the entry commits
+  /// somewhere (with latency) or the attempt times out.
+  void requestReconfig(Config NewConf,
+                       std::function<void(bool Ok, SimTime LatencyUs)> Done,
+                       SimTime MaxTriesUs = 10000000);
+
+  /// Hook observing every (node, index, entry) application; used by the
+  /// replicated KV store.
+  void setApplyHook(
+      std::function<void(NodeId, size_t, const SimLogEntry &)> Hook) {
+    ApplyHook = std::move(Hook);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Inspection
+  //===--------------------------------------------------------------===//
+
+  /// Slot-by-slot agreement of committed prefixes across all nodes.
+  std::optional<std::string> checkCommittedAgreement() const;
+
+  size_t messagesSent() const { return MessagesSent; }
+  size_t messagesDropped() const { return MessagesDropped; }
+
+  std::string dump() const;
+
+private:
+  struct PendingOp {
+    bool IsReconfig = false;
+    MethodId Method = 0;
+    Config Conf;
+    SimTime SubmittedAt = 0;
+    SimTime Deadline = 0;
+    uint64_t Attempt = 0;
+    bool Settled = false;
+    std::function<void(bool, SimTime)> Done;
+  };
+
+  void sendMsg(SimMsg M);
+  void onApply(NodeId Node, size_t Index, const SimLogEntry &E);
+  void attempt(uint64_t Seq);
+  void settle(uint64_t Seq, bool Ok);
+  NodeId pickTarget(const PendingOp &Op);
+
+  const ReconfigScheme *Scheme;
+  Config InitialConf;
+  NodeSet Universe;
+  ClusterOptions Opts;
+  EventQueue Queue;
+  Rng R;
+  std::map<NodeId, std::unique_ptr<RaftNode>> Nodes;
+  std::map<uint64_t, PendingOp> Pending;
+  uint64_t NextSeq = 1;
+  size_t MessagesSent = 0;
+  size_t MessagesDropped = 0;
+  std::optional<NodeId> LastKnownLeader;
+  std::optional<NodeSet> Partition;
+  std::function<void(NodeId, size_t, const SimLogEntry &)> ApplyHook;
+};
+
+} // namespace sim
+} // namespace adore
+
+#endif // ADORE_SIM_CLUSTER_H

@@ -1,0 +1,44 @@
+//===- support/Debug.h - Assertion and unreachable helpers ----*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal programmatic-error helpers in the spirit of llvm_unreachable
+/// and report_fatal_error: the library uses assertions for invariant
+/// violations and adoreUnreachable for control flow that must be dead.
+/// No exceptions are thrown anywhere in the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SUPPORT_DEBUG_H
+#define ADORE_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace adore {
+
+/// Prints \p Msg with source location and aborts. Use for control flow
+/// that is unconditionally a bug to reach.
+[[noreturn]] inline void adoreUnreachableImpl(const char *Msg,
+                                              const char *File, int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line,
+               Msg);
+  std::abort();
+}
+
+/// Reports a fatal usage/environment error (bad CLI arguments, impossible
+/// experiment setup) and exits. Tool-level only; library code asserts.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg);
+  std::exit(1);
+}
+
+} // namespace adore
+
+#define ADORE_UNREACHABLE(MSG)                                               \
+  ::adore::adoreUnreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // ADORE_SUPPORT_DEBUG_H

@@ -1,0 +1,82 @@
+//===- support/Hashing.h - Streaming 64-bit fingerprinting ----*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming FNV-1a based hasher used to fingerprint model-checker
+/// states and deduplicate visited sets. Determinism across runs and
+/// platforms matters more here than cryptographic strength; 64-bit
+/// fingerprints keep the collision probability negligible for the state
+/// counts we explore (< 10^8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SUPPORT_HASHING_H
+#define ADORE_SUPPORT_HASHING_H
+
+#include "support/NodeSet.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace adore {
+
+/// Streaming FNV-1a 64-bit hasher with a final avalanche mix.
+class Fnv1aHasher {
+public:
+  Fnv1aHasher() = default;
+
+  void addByte(uint8_t B) {
+    State ^= B;
+    State *= Prime;
+  }
+
+  void addU64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      addByte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void addU32(uint32_t V) { addU64(V); }
+
+  void addBool(bool B) { addByte(B ? 1 : 0); }
+
+  void addString(std::string_view S) {
+    addU64(S.size());
+    for (char C : S)
+      addByte(static_cast<uint8_t>(C));
+  }
+
+  void addNodeSet(const NodeSet &S) {
+    addU64(S.size());
+    for (NodeId N : S)
+      addU64(N);
+  }
+
+  /// Finishes the hash with a SplitMix64-style avalanche so that nearby
+  /// inputs scatter across the full 64-bit space.
+  uint64_t finish() const {
+    uint64_t Z = State;
+    Z ^= Z >> 30;
+    Z *= 0xbf58476d1ce4e5b9ULL;
+    Z ^= Z >> 27;
+    Z *= 0x94d049bb133111ebULL;
+    Z ^= Z >> 31;
+    return Z;
+  }
+
+private:
+  static constexpr uint64_t Offset = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t Prime = 0x00000100000001b3ULL;
+  uint64_t State = Offset;
+};
+
+/// Combines two 64-bit hashes (boost::hash_combine flavored).
+inline uint64_t hashCombine(uint64_t A, uint64_t B) {
+  return A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 12) + (A >> 4));
+}
+
+} // namespace adore
+
+#endif // ADORE_SUPPORT_HASHING_H

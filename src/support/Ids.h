@@ -1,0 +1,55 @@
+//===- support/Ids.h - Core identifier types ------------------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fundamental identifier and logical-clock types shared by every layer of
+/// the system: node ids, logical timestamps (Paxos ballots / Raft terms),
+/// version numbers, cache ids, and opaque application method ids.
+///
+/// These mirror the index sorts of the paper's formal semantics
+/// (N_nid, N_time, N_vrsn, N_cid).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SUPPORT_IDS_H
+#define ADORE_SUPPORT_IDS_H
+
+#include <cstdint>
+
+namespace adore {
+
+/// Identifier of a replica (a server participating in consensus).
+using NodeId = uint32_t;
+
+/// Logical timestamp: a Paxos ballot number or Raft term number. Chosen by
+/// elections; strictly increases along any replica's observation order.
+using Time = uint64_t;
+
+/// Version number within a round. Resets to 0 at each election and
+/// increments on every method/reconfig invocation (see Section 3).
+using Vrsn = uint64_t;
+
+/// Identifier of a cache (node) in the cache tree. Id 0 is reserved for
+/// the root cache.
+using CacheId = uint32_t;
+
+/// Opaque identifier of an application-defined method. The paper treats
+/// methods as arbitrary identifiers because their semantics have no
+/// bearing on protocol safety; we do the same.
+using MethodId = uint64_t;
+
+/// The reserved cache id of the root of every cache tree.
+inline constexpr CacheId RootCacheId = 0;
+
+/// Sentinel meaning "no cache".
+inline constexpr CacheId InvalidCacheId = ~static_cast<CacheId>(0);
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId InvalidNodeId = ~static_cast<NodeId>(0);
+
+} // namespace adore
+
+#endif // ADORE_SUPPORT_IDS_H

@@ -1,0 +1,90 @@
+//===- support/NodeSet.cpp - Ordered small set of node ids ---------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/NodeSet.h"
+
+#include <algorithm>
+
+using namespace adore;
+
+NodeSet NodeSet::range(NodeId First, size_t Count) {
+  NodeSet S;
+  S.Elems.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    S.Elems.push_back(First + static_cast<NodeId>(I));
+  return S;
+}
+
+bool NodeSet::insert(NodeId N) {
+  auto It = std::lower_bound(Elems.begin(), Elems.end(), N);
+  if (It != Elems.end() && *It == N)
+    return false;
+  Elems.insert(It, N);
+  return true;
+}
+
+bool NodeSet::erase(NodeId N) {
+  auto It = std::lower_bound(Elems.begin(), Elems.end(), N);
+  if (It == Elems.end() || *It != N)
+    return false;
+  Elems.erase(It);
+  return true;
+}
+
+bool NodeSet::contains(NodeId N) const {
+  return std::binary_search(Elems.begin(), Elems.end(), N);
+}
+
+NodeSet NodeSet::intersectWith(const NodeSet &RHS) const {
+  NodeSet Out;
+  std::set_intersection(Elems.begin(), Elems.end(), RHS.Elems.begin(),
+                        RHS.Elems.end(), std::back_inserter(Out.Elems));
+  return Out;
+}
+
+NodeSet NodeSet::unionWith(const NodeSet &RHS) const {
+  NodeSet Out;
+  std::set_union(Elems.begin(), Elems.end(), RHS.Elems.begin(),
+                 RHS.Elems.end(), std::back_inserter(Out.Elems));
+  return Out;
+}
+
+NodeSet NodeSet::differenceWith(const NodeSet &RHS) const {
+  NodeSet Out;
+  std::set_difference(Elems.begin(), Elems.end(), RHS.Elems.begin(),
+                      RHS.Elems.end(), std::back_inserter(Out.Elems));
+  return Out;
+}
+
+bool NodeSet::intersects(const NodeSet &RHS) const {
+  auto I = Elems.begin(), E = Elems.end();
+  auto J = RHS.Elems.begin(), F = RHS.Elems.end();
+  while (I != E && J != F) {
+    if (*I == *J)
+      return true;
+    if (*I < *J)
+      ++I;
+    else
+      ++J;
+  }
+  return false;
+}
+
+bool NodeSet::isSubsetOf(const NodeSet &RHS) const {
+  return std::includes(RHS.Elems.begin(), RHS.Elems.end(), Elems.begin(),
+                       Elems.end());
+}
+
+std::string NodeSet::str() const {
+  std::string Out = "{";
+  for (size_t I = 0; I != Elems.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(Elems[I]);
+  }
+  Out += "}";
+  return Out;
+}

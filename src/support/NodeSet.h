@@ -1,0 +1,130 @@
+//===- support/NodeSet.h - Ordered small set of node ids ------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A value-semantic, deterministically ordered set of NodeIds. Quorums,
+/// configurations, and supporter sets are all NodeSets. The representation
+/// is a sorted vector, which keeps iteration order deterministic (important
+/// for reproducible model checking and fingerprinting) and is faster than
+/// std::set for the small cardinalities that occur in consensus clusters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SUPPORT_NODESET_H
+#define ADORE_SUPPORT_NODESET_H
+
+#include "support/Ids.h"
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace adore {
+
+/// A deterministically ordered set of replica ids with value semantics.
+class NodeSet {
+public:
+  using const_iterator = std::vector<NodeId>::const_iterator;
+
+  NodeSet() = default;
+
+  NodeSet(std::initializer_list<NodeId> Elems) {
+    for (NodeId N : Elems)
+      insert(N);
+  }
+
+  /// Builds the contiguous set {First, First+1, ..., First+Count-1}.
+  static NodeSet range(NodeId First, size_t Count);
+
+  /// Inserts \p N; returns true if it was not already present.
+  bool insert(NodeId N);
+
+  /// Removes \p N; returns true if it was present.
+  bool erase(NodeId N);
+
+  bool contains(NodeId N) const;
+
+  size_t size() const { return Elems.size(); }
+  bool empty() const { return Elems.empty(); }
+  void clear() { Elems.clear(); }
+
+  const_iterator begin() const { return Elems.begin(); }
+  const_iterator end() const { return Elems.end(); }
+
+  /// Returns the i-th smallest element.
+  NodeId operator[](size_t I) const {
+    assert(I < Elems.size() && "NodeSet index out of range");
+    return Elems[I];
+  }
+
+  /// Set intersection.
+  NodeSet intersectWith(const NodeSet &RHS) const;
+
+  /// Set union.
+  NodeSet unionWith(const NodeSet &RHS) const;
+
+  /// Set difference (elements of *this not in \p RHS).
+  NodeSet differenceWith(const NodeSet &RHS) const;
+
+  /// True iff *this and \p RHS share at least one element. This is the
+  /// OVERLAP obligation's runtime face: quorum intersection checks reduce
+  /// to it.
+  bool intersects(const NodeSet &RHS) const;
+
+  /// True iff every element of *this is in \p RHS (validSupp's
+  /// "Q subset-of mbrs(conf(C))" side condition).
+  bool isSubsetOf(const NodeSet &RHS) const;
+
+  bool operator==(const NodeSet &RHS) const { return Elems == RHS.Elems; }
+  bool operator!=(const NodeSet &RHS) const { return !(*this == RHS); }
+
+  /// Lexicographic order on the sorted representation; used only to give
+  /// deterministic container ordering, not a semantic order.
+  bool operator<(const NodeSet &RHS) const { return Elems < RHS.Elems; }
+
+  /// Renders as "{1, 2, 3}".
+  std::string str() const;
+
+  /// Enumerates every subset of *this that contains \p Pivot, invoking
+  /// \p Fn on each. Used by the enumerating oracle to explore all
+  /// supporter sets Q with nid in Q. \p Fn returns false to stop early;
+  /// the function returns false iff stopped early.
+  template <typename FnT> bool forAllSubsetsContaining(NodeId Pivot,
+                                                       FnT &&Fn) const {
+    if (!contains(Pivot))
+      return true;
+    std::vector<NodeId> Others;
+    Others.reserve(Elems.size());
+    for (NodeId N : Elems)
+      if (N != Pivot)
+        Others.push_back(N);
+    assert(Others.size() < 63 && "subset enumeration too large");
+    uint64_t Limit = uint64_t(1) << Others.size();
+    for (uint64_t Mask = 0; Mask != Limit; ++Mask) {
+      NodeSet Subset;
+      Subset.insert(Pivot);
+      for (size_t I = 0; I != Others.size(); ++I)
+        if (Mask & (uint64_t(1) << I))
+          Subset.insert(Others[I]);
+      if (!Fn(static_cast<const NodeSet &>(Subset)))
+        return false;
+    }
+    return true;
+  }
+
+  /// Access to the underlying sorted storage (read-only), for hashing and
+  /// serialization.
+  const std::vector<NodeId> &raw() const { return Elems; }
+
+private:
+  std::vector<NodeId> Elems;
+};
+
+} // namespace adore
+
+#endif // ADORE_SUPPORT_NODESET_H

@@ -1,0 +1,83 @@
+//===- support/Stats.h - Streaming summary statistics ---------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny streaming accumulator for min/mean/max and percentiles of latency
+/// samples. Used by the Fig. 16 reproduction and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SUPPORT_STATS_H
+#define ADORE_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace adore {
+
+/// Accumulates samples and reports summary statistics. Keeps all samples
+/// so exact percentiles are available; fine for the sample counts used by
+/// the experiments (tens of thousands).
+class SampleStats {
+public:
+  void add(double X) {
+    Samples.push_back(X);
+    Sorted = false;
+  }
+
+  size_t count() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+
+  double min() const {
+    assert(!Samples.empty() && "no samples");
+    return *std::min_element(Samples.begin(), Samples.end());
+  }
+
+  double max() const {
+    assert(!Samples.empty() && "no samples");
+    return *std::max_element(Samples.begin(), Samples.end());
+  }
+
+  double mean() const {
+    assert(!Samples.empty() && "no samples");
+    double Sum = 0;
+    for (double X : Samples)
+      Sum += X;
+    return Sum / static_cast<double>(Samples.size());
+  }
+
+  /// Exact percentile by nearest-rank; \p P in [0, 100].
+  double percentile(double P) {
+    assert(!Samples.empty() && "no samples");
+    assert(P >= 0 && P <= 100 && "percentile out of range");
+    sortOnce();
+    size_t Rank = static_cast<size_t>(
+        P / 100.0 * static_cast<double>(Samples.size() - 1) + 0.5);
+    return Samples[Rank];
+  }
+
+  void clear() {
+    Samples.clear();
+    Sorted = false;
+  }
+
+private:
+  void sortOnce() {
+    if (Sorted)
+      return;
+    std::sort(Samples.begin(), Samples.end());
+    Sorted = true;
+  }
+
+  std::vector<double> Samples;
+  bool Sorted = false;
+};
+
+} // namespace adore
+
+#endif // ADORE_SUPPORT_STATS_H

@@ -1,0 +1,338 @@
+//===- tests/AdoTest.cpp - ADO model tests -----------------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests of the original ADO model (Appendix D.1):
+/// owner-map uniqueness, stale-state rejection, partition-on-push, and
+/// the append-only persistent log.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ado/Ado.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::ado;
+
+//===----------------------------------------------------------------------===//
+// Pull and the owner map
+//===----------------------------------------------------------------------===//
+
+TEST(AdoPullTest, FreshPullSucceeds) {
+  AdoObject Obj;
+  AdoObject::PullChoice Choice{1, RootCid};
+  ASSERT_TRUE(Obj.isValidPullChoice(1, Choice));
+  EXPECT_TRUE(Obj.pull(1, Choice));
+  ASSERT_TRUE(Obj.activeCid(1).has_value());
+  EXPECT_EQ(*Obj.activeCid(1), RootCid);
+  ASSERT_TRUE(Obj.ownerAt(1).has_value());
+  EXPECT_EQ(Obj.ownerAt(1)->Nid, 1u);
+}
+
+TEST(AdoPullTest, TimeZeroInvalid) {
+  AdoObject Obj;
+  EXPECT_FALSE(Obj.isValidPullChoice(1, {0, RootCid}));
+}
+
+TEST(AdoPullTest, ClaimedTimeCannotBeReclaimed) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  EXPECT_FALSE(Obj.isValidPullChoice(2, {1, RootCid}));
+  EXPECT_TRUE(Obj.isValidPullChoice(2, {2, RootCid}));
+}
+
+TEST(AdoPullTest, PullMarksEarlierTimesNoOwn) {
+  AdoObject Obj;
+  Obj.pull(1, {5, RootCid});
+  for (Time T = 1; T <= 4; ++T) {
+    ASSERT_TRUE(Obj.ownerAt(T).has_value());
+    EXPECT_TRUE(Obj.ownerAt(T)->isNoOwn());
+    // Per noOwnerAt (Fig. 23), NoOwn times stay claimable for
+    // *elections* — only commits are blocked, via maxOwner.
+    EXPECT_TRUE(Obj.isValidPullChoice(2, {T, RootCid})) << T;
+  }
+  // A leader elected at a blocked-over (smaller) time cannot commit.
+  Obj.pull(2, {3, RootCid});
+  ASSERT_TRUE(Obj.invoke(2, 9));
+  EXPECT_FALSE(Obj.isValidPushChoice(2, *Obj.activeCid(2)));
+}
+
+TEST(AdoPullTest, PreemptBlocksCommitsWithoutOwning) {
+  AdoObject Obj;
+  Obj.pullPreempt(3, 4);
+  for (Time T = 1; T <= 4; ++T) {
+    ASSERT_TRUE(Obj.ownerAt(T).has_value());
+    EXPECT_TRUE(Obj.ownerAt(T)->isNoOwn());
+  }
+  // Preempt does not create an owner.
+  EXPECT_FALSE(Obj.maxOwner().has_value());
+  // A leader claiming under the preempted ceiling cannot commit...
+  Obj.pull(1, {2, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 9));
+  EXPECT_FALSE(Obj.isValidPushChoice(1, *Obj.activeCid(1)));
+  // ...but one claiming above it can.
+  Obj.pull(2, {5, RootCid});
+  ASSERT_TRUE(Obj.invoke(2, 10));
+  EXPECT_TRUE(Obj.isValidPushChoice(2, *Obj.activeCid(2)));
+}
+
+TEST(AdoPullTest, CannotAdoptUnknownCid) {
+  AdoObject Obj;
+  EXPECT_FALSE(Obj.isValidPullChoice(1, {1, 999}));
+}
+
+//===----------------------------------------------------------------------===//
+// Invoke
+//===----------------------------------------------------------------------===//
+
+TEST(AdoInvokeTest, WithoutPullFails) {
+  AdoObject Obj;
+  EXPECT_FALSE(Obj.invoke(1, 42));
+  EXPECT_EQ(Obj.history().back().Kind, AdoEventKind::InvokeFail);
+}
+
+TEST(AdoInvokeTest, ChainGrows) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  ASSERT_TRUE(Obj.invoke(1, 11));
+  EXPECT_EQ(Obj.liveCacheCount(), 2u);
+  CidRef Active = *Obj.activeCid(1);
+  EXPECT_EQ(Obj.methodAt(Active), 11u);
+  EXPECT_EQ(Obj.methodAt(Obj.parentOf(Active)), 10u);
+  EXPECT_EQ(Obj.timeOf(Active), 1u);
+  EXPECT_EQ(Obj.nidOf(Active), 1u);
+}
+
+TEST(AdoInvokeTest, StaleActiveCacheFails) {
+  AdoObject Obj;
+  // Leader 1 invokes a method; leader 2 takes over and commits its own,
+  // pruning leader 1's branch; leader 1's invoke must then fail.
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  Obj.pull(2, {2, RootCid});
+  ASSERT_TRUE(Obj.invoke(2, 20));
+  ASSERT_TRUE(Obj.push(2, *Obj.activeCid(2)));
+  EXPECT_FALSE(Obj.invoke(1, 11));
+}
+
+//===----------------------------------------------------------------------===//
+// Push
+//===----------------------------------------------------------------------===//
+
+TEST(AdoPushTest, CommitsAncestorsInOrder) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  ASSERT_TRUE(Obj.invoke(1, 11));
+  ASSERT_TRUE(Obj.push(1, *Obj.activeCid(1)));
+  ASSERT_EQ(Obj.persistLog().size(), 2u);
+  EXPECT_EQ(Obj.persistLog()[0].second, 10u);
+  EXPECT_EQ(Obj.persistLog()[1].second, 11u);
+  EXPECT_EQ(Obj.liveCacheCount(), 0u);
+}
+
+TEST(AdoPushTest, PartialCommitKeepsSuffix) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  CidRef First = *Obj.activeCid(1);
+  ASSERT_TRUE(Obj.invoke(1, 11));
+  CidRef Second = *Obj.activeCid(1);
+  ASSERT_TRUE(Obj.push(1, First));
+  ASSERT_EQ(Obj.persistLog().size(), 1u);
+  EXPECT_EQ(Obj.persistLog()[0].second, 10u);
+  // The suffix survives as a live cache and can be committed later.
+  EXPECT_TRUE(Obj.isLive(Second));
+  EXPECT_TRUE(Obj.isValidPushChoice(1, Second));
+}
+
+TEST(AdoPushTest, PrunesStaleSiblings) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  CidRef Stale = *Obj.activeCid(1);
+  Obj.pull(2, {2, RootCid});
+  ASSERT_TRUE(Obj.invoke(2, 20));
+  ASSERT_TRUE(Obj.push(2, *Obj.activeCid(2)));
+  EXPECT_FALSE(Obj.isLive(Stale));
+  EXPECT_EQ(Obj.liveCacheCount(), 0u);
+}
+
+TEST(AdoPushTest, RejectsForeignCache) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  Obj.pull(2, {2, *Obj.activeCid(1)});
+  EXPECT_FALSE(Obj.isValidPushChoice(2, *Obj.activeCid(1)));
+}
+
+TEST(AdoPushTest, RejectsPreemptedLeader) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  // A newer claim (by anyone) demotes leader 1 from maxOwner.
+  Obj.pull(2, {2, RootCid});
+  EXPECT_FALSE(Obj.isValidPushChoice(1, *Obj.activeCid(1)));
+}
+
+TEST(AdoPushTest, RejectsBlockedMaxTime) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  // A failed election blocks a newer time; the entry is NoOwn, which
+  // still demotes leader 1.
+  Obj.pullPreempt(3, 2);
+  EXPECT_FALSE(Obj.isValidPushChoice(1, *Obj.activeCid(1)));
+}
+
+TEST(AdoPushTest, LeaderContinuesAfterOwnCommit) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  ASSERT_TRUE(Obj.push(1, *Obj.activeCid(1)));
+  // The leader's active cache is now the log head: it may keep going.
+  ASSERT_TRUE(Obj.invoke(1, 11));
+  ASSERT_TRUE(Obj.push(1, *Obj.activeCid(1)));
+  ASSERT_EQ(Obj.persistLog().size(), 2u);
+  EXPECT_EQ(Obj.persistLog()[1].second, 11u);
+}
+
+//===----------------------------------------------------------------------===//
+// Enumeration and randomized append-only property
+//===----------------------------------------------------------------------===//
+
+TEST(AdoEnumTest, EnumeratedChoicesAreValid) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  for (NodeId Nid : {1u, 2u, 3u}) {
+    for (const auto &Choice : Obj.enumeratePullChoices(Nid, 4))
+      EXPECT_TRUE(Obj.isValidPullChoice(Nid, Choice));
+    for (CidRef Cid : Obj.enumeratePushChoices(Nid))
+      EXPECT_TRUE(Obj.isValidPushChoice(Nid, Cid));
+  }
+  EXPECT_FALSE(Obj.enumeratePushChoices(1).empty());
+  EXPECT_TRUE(Obj.enumeratePushChoices(2).empty());
+}
+
+TEST(AdoPropertyTest, PersistLogIsAppendOnlyUnderRandomOps) {
+  Rng R(2024);
+  for (int Round = 0; Round != 20; ++Round) {
+    AdoObject Obj;
+    std::vector<std::pair<CidRef, MethodId>> Prefix;
+    for (int Step = 0; Step != 120; ++Step) {
+      NodeId Nid = static_cast<NodeId>(R.nextInRange(1, 3));
+      switch (R.nextBelow(3)) {
+      case 0: {
+        auto Choices = Obj.enumeratePullChoices(Nid, 30);
+        if (!Choices.empty())
+          Obj.pull(Nid, Choices[R.nextBelow(Choices.size())]);
+        break;
+      }
+      case 1:
+        Obj.invoke(Nid, Step);
+        break;
+      default: {
+        auto Choices = Obj.enumeratePushChoices(Nid);
+        if (!Choices.empty())
+          Obj.push(Nid, Choices[R.nextBelow(Choices.size())]);
+        break;
+      }
+      }
+      // Append-only: the previous log is a prefix of the current one.
+      const auto &Log = Obj.persistLog();
+      ASSERT_GE(Log.size(), Prefix.size());
+      for (size_t I = 0; I != Prefix.size(); ++I)
+        ASSERT_EQ(Log[I], Prefix[I]) << "log rewrite at " << I;
+      Prefix = Log;
+    }
+  }
+}
+
+TEST(AdoPropertyTest, SingleOwnerPerTimeUnderRandomOps) {
+  Rng R(77);
+  AdoObject Obj;
+  std::map<Time, NodeId> Claimed;
+  for (int Step = 0; Step != 300; ++Step) {
+    NodeId Nid = static_cast<NodeId>(R.nextInRange(1, 4));
+    auto Choices = Obj.enumeratePullChoices(Nid, 40);
+    if (Choices.empty())
+      continue;
+    auto Choice = Choices[R.nextBelow(Choices.size())];
+    Obj.pull(Nid, Choice);
+    auto [It, Fresh] = Claimed.emplace(Choice.T, Nid);
+    ASSERT_TRUE(Fresh) << "time " << Choice.T << " claimed twice";
+  }
+}
+
+TEST(AdoFingerprintTest, SensitiveToState) {
+  AdoObject A, B;
+  A.pull(1, {1, RootCid});
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  B.pull(1, {1, RootCid});
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  A.invoke(1, 9);
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+}
+
+TEST(AdoDumpTest, MentionsCommittedMethods) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 42));
+  ASSERT_TRUE(Obj.push(1, *Obj.activeCid(1)));
+  EXPECT_NE(Obj.dump().find("m42"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// interpAll: state is the fold of the event log (Fig. 19)
+//===----------------------------------------------------------------------===//
+
+TEST(AdoReplayTest, ReplayReconstructsSimpleHistory) {
+  AdoObject Obj;
+  Obj.pull(1, {1, RootCid});
+  ASSERT_TRUE(Obj.invoke(1, 10));
+  ASSERT_TRUE(Obj.push(1, *Obj.activeCid(1)));
+  AdoObject Again = AdoObject::replay(Obj.history());
+  EXPECT_EQ(Again.fingerprint(), Obj.fingerprint());
+  EXPECT_EQ(Again.persistLog().size(), 1u);
+}
+
+TEST(AdoReplayTest, ReplayAgreesUnderRandomOps) {
+  Rng R(909);
+  for (int Round = 0; Round != 10; ++Round) {
+    AdoObject Obj;
+    for (int Step = 0; Step != 80; ++Step) {
+      NodeId Nid = static_cast<NodeId>(R.nextInRange(1, 3));
+      switch (R.nextBelow(4)) {
+      case 0: {
+        auto Choices = Obj.enumeratePullChoices(Nid, 20);
+        if (!Choices.empty())
+          Obj.pull(Nid, Choices[R.nextBelow(Choices.size())]);
+        break;
+      }
+      case 1:
+        Obj.invoke(Nid, Step);
+        break;
+      case 2:
+        Obj.pullPreempt(Nid, R.nextInRange(1, 20));
+        break;
+      default: {
+        auto Choices = Obj.enumeratePushChoices(Nid);
+        if (!Choices.empty())
+          Obj.push(Nid, Choices[R.nextBelow(Choices.size())]);
+        break;
+      }
+      }
+    }
+    AdoObject Again = AdoObject::replay(Obj.history());
+    ASSERT_EQ(Again.fingerprint(), Obj.fingerprint())
+        << "fold of the event log diverged from the eager state\n"
+        << Obj.dump() << "----\n"
+        << Again.dump();
+  }
+}

@@ -1,0 +1,189 @@
+//===- tests/AlphaReconfigTest.cpp - Cold/alpha reconfiguration --------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the cold ("easy") reconfiguration variant sketched in Section 8
+/// after Lamport et al. (2008): configurations govern quorums only once
+/// committed, and at most alpha speculative caches may sit above the
+/// last commit on an active branch. Covers the effective-configuration
+/// computation, the alpha window, the contrast with hot semantics, and
+/// exhaustive bounded safety of the modified model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adore/Invariants.h"
+#include "mc/AdoreModel.h"
+#include "mc/Explorer.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::mc;
+
+namespace {
+
+struct ColdFixture {
+  explicit ColdFixture(unsigned Alpha = 3)
+      : Scheme(makeScheme(SchemeKind::RaftSingleNode)) {
+    SemanticsOptions Opts;
+    Opts.ColdReconfig = true;
+    Opts.Alpha = Alpha;
+    Sem = std::make_unique<Semantics>(*Scheme, Opts);
+    St = std::make_unique<AdoreState>(*Scheme, Config(NodeSet{1, 2, 3}));
+  }
+
+  /// Leads node 1 at time 1 and commits the barrier.
+  void leadAndBarrier() {
+    Sem->pull(*St, 1, PullChoice{NodeSet{1, 2}, 1});
+    ASSERT_TRUE(Sem->invoke(*St, 1, 0));
+    Sem->push(*St, 1,
+              PushChoice{NodeSet{1, 2}, St->Tree.activeCache(1)});
+  }
+
+  std::unique_ptr<ReconfigScheme> Scheme;
+  std::unique_ptr<Semantics> Sem;
+  std::unique_ptr<AdoreState> St;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Effective configuration
+//===----------------------------------------------------------------------===//
+
+TEST(ColdReconfigTest, UncommittedRCacheDoesNotGovern) {
+  ColdFixture F;
+  F.leadAndBarrier();
+  ASSERT_TRUE(F.Sem->reconfig(*F.St, 1, Config(NodeSet{1, 2, 3, 4})));
+  CacheId RCache = F.St->Tree.activeCache(1);
+  // Hot semantics would let node 4 ack this commit; cold does not: the
+  // effective configuration at the RCache is still {1,2,3}.
+  EXPECT_EQ(F.Sem->effectiveConf(F.St->Tree, RCache),
+            Config(NodeSet{1, 2, 3}));
+  PushChoice WithNewNode{NodeSet{1, 4}, RCache};
+  EXPECT_FALSE(F.Sem->isValidPushChoice(*F.St, 1, WithNewNode));
+  // The old configuration's majorities still work.
+  PushChoice OldQuorum{NodeSet{1, 2}, RCache};
+  EXPECT_TRUE(F.Sem->isValidPushChoice(*F.St, 1, OldQuorum));
+}
+
+TEST(ColdReconfigTest, CommittedRCacheGoverns) {
+  ColdFixture F;
+  F.leadAndBarrier();
+  ASSERT_TRUE(F.Sem->reconfig(*F.St, 1, Config(NodeSet{1, 2, 3, 4})));
+  CacheId RCache = F.St->Tree.activeCache(1);
+  F.Sem->push(*F.St, 1, PushChoice{NodeSet{1, 2}, RCache});
+  // Now the new configuration is in force for subsequent operations.
+  ASSERT_TRUE(F.Sem->invoke(*F.St, 1, 7));
+  CacheId M = F.St->Tree.activeCache(1);
+  EXPECT_EQ(F.Sem->effectiveConf(F.St->Tree, M),
+            Config(NodeSet{1, 2, 3, 4}));
+  // A majority must now span the four-node set: {1,2} is no longer
+  // enough (the push is a valid transition but certifies nothing),
+  // {1,2,4} is.
+  size_t Before = F.St->Tree.size();
+  ASSERT_TRUE(F.Sem->isValidPushChoice(*F.St, 1, {NodeSet{1, 2}, M}));
+  F.Sem->push(*F.St, 1, {NodeSet{1, 2}, M});
+  EXPECT_EQ(F.St->Tree.size(), Before) << "sub-quorum push certified";
+  ASSERT_TRUE(
+      F.Sem->isValidPushChoice(*F.St, 1, {NodeSet{1, 2, 4}, M}));
+  F.Sem->push(*F.St, 1, {NodeSet{1, 2, 4}, M});
+  EXPECT_EQ(F.St->Tree.size(), Before + 1);
+}
+
+TEST(ColdReconfigTest, HotSemanticsActsImmediatelyByContrast) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Semantics Hot(*Scheme);
+  AdoreState St(*Scheme, Config(NodeSet{1, 2, 3}));
+  Hot.pull(St, 1, PullChoice{NodeSet{1, 2}, 1});
+  ASSERT_TRUE(Hot.invoke(St, 1, 0));
+  Hot.push(St, 1, PushChoice{NodeSet{1, 2}, St.Tree.activeCache(1)});
+  ASSERT_TRUE(Hot.reconfig(St, 1, Config(NodeSet{1, 2, 3, 4})));
+  // Node 4 participates before the RCache commits — hot semantics.
+  EXPECT_TRUE(Hot.isValidPushChoice(
+      St, 1, {NodeSet{1, 4}, St.Tree.activeCache(1)}));
+}
+
+//===----------------------------------------------------------------------===//
+// The alpha window
+//===----------------------------------------------------------------------===//
+
+TEST(ColdReconfigTest, AlphaBlocksDeepSpeculation) {
+  ColdFixture F(/*Alpha=*/2);
+  F.leadAndBarrier();
+  ASSERT_TRUE(F.Sem->invoke(*F.St, 1, 1)); // Window 1.
+  ASSERT_TRUE(F.Sem->invoke(*F.St, 1, 2)); // Window 2 = alpha.
+  EXPECT_FALSE(F.Sem->canInvoke(*F.St, 1));
+  EXPECT_FALSE(F.Sem->invoke(*F.St, 1, 3));
+  // Committing drains the window and unblocks.
+  F.Sem->push(*F.St, 1, PushChoice{NodeSet{1, 2}, F.St->Tree.activeCache(1)});
+  EXPECT_TRUE(F.Sem->invoke(*F.St, 1, 3));
+}
+
+TEST(ColdReconfigTest, WindowCountsCommittablesOnly) {
+  ColdFixture F(/*Alpha=*/2);
+  F.leadAndBarrier();
+  // An election atop the commit contributes nothing to the window.
+  CacheId Active = F.St->Tree.activeCache(1);
+  EXPECT_EQ(F.Sem->uncommittedWindow(F.St->Tree, Active), 0u);
+  ASSERT_TRUE(F.Sem->invoke(*F.St, 1, 9));
+  EXPECT_EQ(F.Sem->uncommittedWindow(F.St->Tree,
+                                     F.St->Tree.activeCache(1)),
+            1u);
+}
+
+TEST(ColdReconfigTest, HotModeIgnoresAlpha) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  SemanticsOptions Opts; // Hot (default), Alpha irrelevant.
+  Opts.Alpha = 1;
+  Semantics Hot(*Scheme, Opts);
+  AdoreState St(*Scheme, Config(NodeSet{1, 2, 3}));
+  Hot.pull(St, 1, PullChoice{NodeSet{1, 2}, 1});
+  for (MethodId M = 1; M <= 5; ++M)
+    EXPECT_TRUE(Hot.invoke(St, 1, M));
+}
+
+//===----------------------------------------------------------------------===//
+// Safety of the cold model
+//===----------------------------------------------------------------------===//
+
+TEST(ColdReconfigTest, ExhaustiveSafetyHolds) {
+  for (SchemeKind Kind :
+       {SchemeKind::RaftSingleNode, SchemeKind::RaftJoint}) {
+    auto Scheme = makeScheme(Kind);
+    SemanticsOptions SemOpts;
+    SemOpts.ColdReconfig = true;
+    SemOpts.Alpha = 2;
+    AdoreModelOptions Opts;
+    Opts.MaxCaches = 6;
+    Opts.MaxTime = 2;
+    AdoreModel M(*Scheme, Config(NodeSet{1, 2, 3}), SemOpts, Opts);
+    ExploreOptions EOpts;
+    EOpts.MaxStates = 3000000;
+    ExploreResult Res = explore(M, EOpts);
+    EXPECT_FALSE(Res.foundViolation())
+        << schemeKindName(Kind) << ": " << *Res.Violation;
+    EXPECT_TRUE(Res.exhausted())
+        << schemeKindName(Kind) << " states: " << Res.States;
+  }
+}
+
+TEST(ColdReconfigTest, RandomWalksStaySafe) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  SemanticsOptions SemOpts;
+  SemOpts.ColdReconfig = true;
+  SemOpts.Alpha = 3;
+  SemOpts.ExtraNodes = NodeSet{4, 5};
+  AdoreModelOptions Opts;
+  Opts.MaxCaches = 14;
+  Opts.MaxTime = 8;
+  AdoreModel M(*Scheme, Config(NodeSet{1, 2, 3}), SemOpts, Opts);
+  ExploreResult Res = randomWalks(M, /*Walks=*/50, /*WalkDepth=*/24,
+                                  /*Seed=*/17);
+  EXPECT_FALSE(Res.foundViolation())
+      << *Res.Violation << "\n"
+      << Res.ViolatingState;
+}

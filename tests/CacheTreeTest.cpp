@@ -1,0 +1,390 @@
+//===- tests/CacheTreeTest.cpp - Cache tree unit tests ----------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adore/CacheTree.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+
+namespace {
+
+Cache makeCache(CacheKind Kind, NodeId Caller, Time T, Vrsn V,
+                Config Conf = Config(NodeSet{1, 2, 3}),
+                NodeSet Supporters = {}) {
+  Cache C;
+  C.Kind = Kind;
+  C.Caller = Caller;
+  C.T = T;
+  C.V = V;
+  C.Conf = std::move(Conf);
+  C.Supporters =
+      Supporters.empty() ? NodeSet{Caller} : std::move(Supporters);
+  return C;
+}
+
+CacheTree makeTree() {
+  Config Root(NodeSet{1, 2, 3});
+  return CacheTree(Root, Root.Members);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Cache order (Fig. 9)
+//===----------------------------------------------------------------------===//
+
+TEST(CacheOrderTest, LexicographicOnTimeVersion) {
+  Cache A = makeCache(CacheKind::Method, 1, 2, 0);
+  Cache B = makeCache(CacheKind::Method, 1, 1, 9);
+  EXPECT_TRUE(cacheGreater(A, B));
+  EXPECT_FALSE(cacheGreater(B, A));
+  Cache C = makeCache(CacheKind::Method, 1, 2, 1);
+  EXPECT_TRUE(cacheGreater(C, A));
+}
+
+TEST(CacheOrderTest, CommitBeatsEqualNonCommit) {
+  Cache M = makeCache(CacheKind::Method, 1, 2, 3);
+  Cache C = makeCache(CacheKind::Commit, 1, 2, 3);
+  EXPECT_TRUE(cacheGreater(C, M));
+  EXPECT_FALSE(cacheGreater(M, C));
+}
+
+TEST(CacheOrderTest, Irreflexive) {
+  Cache M = makeCache(CacheKind::Method, 1, 2, 3);
+  EXPECT_FALSE(cacheGreater(M, M));
+  Cache C = makeCache(CacheKind::Commit, 1, 2, 3);
+  EXPECT_FALSE(cacheGreater(C, C));
+}
+
+TEST(CacheOrderTest, MaxOrderBreaksTiesById) {
+  Cache A = makeCache(CacheKind::Method, 1, 2, 3);
+  A.Id = 5;
+  Cache B = makeCache(CacheKind::Method, 2, 2, 3);
+  B.Id = 7;
+  EXPECT_TRUE(cacheMaxOrder(B, A));
+  EXPECT_FALSE(cacheMaxOrder(A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// Tree construction
+//===----------------------------------------------------------------------===//
+
+TEST(CacheTreeTest, GenesisRoot) {
+  CacheTree Tree = makeTree();
+  EXPECT_EQ(Tree.size(), 1u);
+  const Cache &Root = Tree.root();
+  EXPECT_TRUE(Root.isCommit());
+  EXPECT_EQ(Root.Id, RootCacheId);
+  EXPECT_EQ(Root.T, 0u);
+  EXPECT_EQ(Root.Supporters, (NodeSet{1, 2, 3}));
+}
+
+TEST(CacheTreeTest, AddLeafLinksParentAndChild) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId,
+                           makeCache(CacheKind::Election, 1, 1, 0));
+  EXPECT_EQ(Tree.size(), 2u);
+  EXPECT_EQ(Tree.cache(E).Parent, RootCacheId);
+  ASSERT_EQ(Tree.children(RootCacheId).size(), 1u);
+  EXPECT_EQ(Tree.children(RootCacheId)[0], E);
+}
+
+TEST(CacheTreeTest, InsertBtwReparentsChildren) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId,
+                           makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M1 = Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId M2 = Tree.addLeaf(M1, makeCache(CacheKind::Method, 1, 1, 2));
+  // Commit M1: the CCache slots between M1 and M2.
+  CacheId C = Tree.insertBtw(M1, makeCache(CacheKind::Commit, 1, 1, 1));
+  EXPECT_EQ(Tree.cache(C).Parent, M1);
+  EXPECT_EQ(Tree.cache(M2).Parent, C);
+  ASSERT_EQ(Tree.children(M1).size(), 1u);
+  EXPECT_EQ(Tree.children(M1)[0], C);
+  ASSERT_EQ(Tree.children(C).size(), 1u);
+  EXPECT_EQ(Tree.children(C)[0], M2);
+}
+
+TEST(CacheTreeTest, InsertBtwAtLeafActsAsAddLeaf) {
+  CacheTree Tree = makeTree();
+  CacheId M = Tree.addLeaf(RootCacheId,
+                           makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId C = Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1));
+  EXPECT_EQ(Tree.cache(C).Parent, M);
+  EXPECT_TRUE(Tree.children(C).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Ancestor relations
+//===----------------------------------------------------------------------===//
+
+class AncestryTest : public ::testing::Test {
+protected:
+  // root -- E1 -- M1 -- M2
+  //          \       `- M3
+  //           `- M4
+  void SetUp() override {
+    E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+    M1 = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 1));
+    M2 = Tree.addLeaf(M1, makeCache(CacheKind::Method, 1, 1, 2));
+    M3 = Tree.addLeaf(M1, makeCache(CacheKind::Method, 1, 1, 3));
+    M4 = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 4));
+  }
+
+  CacheTree Tree = makeTree();
+  CacheId E1, M1, M2, M3, M4;
+};
+
+TEST_F(AncestryTest, StrictAncestor) {
+  EXPECT_TRUE(Tree.isAncestor(RootCacheId, M2));
+  EXPECT_TRUE(Tree.isAncestor(E1, M2));
+  EXPECT_TRUE(Tree.isAncestor(M1, M2));
+  EXPECT_FALSE(Tree.isAncestor(M2, M2));
+  EXPECT_FALSE(Tree.isAncestor(M2, M1));
+  EXPECT_FALSE(Tree.isAncestor(M4, M2));
+}
+
+TEST_F(AncestryTest, SameBranch) {
+  EXPECT_TRUE(Tree.onSameBranch(M1, M2));
+  EXPECT_TRUE(Tree.onSameBranch(M2, M1));
+  EXPECT_TRUE(Tree.onSameBranch(M2, M2));
+  EXPECT_FALSE(Tree.onSameBranch(M2, M3));
+  EXPECT_FALSE(Tree.onSameBranch(M2, M4));
+}
+
+TEST_F(AncestryTest, LowestCommonAncestor) {
+  EXPECT_EQ(Tree.lowestCommonAncestor(M2, M3), M1);
+  EXPECT_EQ(Tree.lowestCommonAncestor(M2, M4), E1);
+  EXPECT_EQ(Tree.lowestCommonAncestor(M2, M1), M1);
+  EXPECT_EQ(Tree.lowestCommonAncestor(M2, M2), M2);
+  EXPECT_EQ(Tree.lowestCommonAncestor(RootCacheId, M3), RootCacheId);
+}
+
+TEST_F(AncestryTest, DepthAndBranch) {
+  EXPECT_EQ(Tree.depth(RootCacheId), 0u);
+  EXPECT_EQ(Tree.depth(E1), 1u);
+  EXPECT_EQ(Tree.depth(M2), 3u);
+  std::vector<CacheId> Branch = Tree.branchOf(M2);
+  EXPECT_EQ(Branch, (std::vector<CacheId>{RootCacheId, E1, M1, M2}));
+}
+
+//===----------------------------------------------------------------------===//
+// rdist (Definition 4.2)
+//===----------------------------------------------------------------------===//
+
+class RdistTest : public ::testing::Test {
+protected:
+  // root -- E1 -- R1 -- M1 -- R2 -- M2
+  //          `- M3
+  void SetUp() override {
+    E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+    R1 = Tree.addLeaf(E1, makeCache(CacheKind::Reconfig, 1, 1, 1));
+    M1 = Tree.addLeaf(R1, makeCache(CacheKind::Method, 1, 1, 2));
+    R2 = Tree.addLeaf(M1, makeCache(CacheKind::Reconfig, 1, 1, 3));
+    M2 = Tree.addLeaf(R2, makeCache(CacheKind::Method, 1, 1, 4));
+    M3 = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 5));
+  }
+
+  CacheTree Tree = makeTree();
+  CacheId E1, R1, M1, R2, M2, M3;
+};
+
+TEST_F(RdistTest, ExcludesEndpoints) {
+  // Path R1..R2 contains only M1 strictly between: rdist 0.
+  EXPECT_EQ(Tree.rdist(R1, R2), 0u);
+  // Path E1..M1 contains R1 strictly between: rdist 1.
+  EXPECT_EQ(Tree.rdist(E1, M1), 1u);
+}
+
+TEST_F(RdistTest, StraightLineCounting) {
+  EXPECT_EQ(Tree.rdist(E1, M2), 2u);
+  EXPECT_EQ(Tree.rdist(RootCacheId, M2), 2u);
+  EXPECT_EQ(Tree.rdist(M1, M2), 1u);
+  EXPECT_EQ(Tree.rdist(M1, M1), 0u);
+}
+
+TEST_F(RdistTest, AcrossFork) {
+  // Path M3..M2 goes through E1: R1 and R2 are interior.
+  EXPECT_EQ(Tree.rdist(M3, M2), 2u);
+  EXPECT_EQ(Tree.rdist(M3, M1), 1u);
+  EXPECT_EQ(Tree.rdist(M3, R1), 0u);
+}
+
+TEST_F(RdistTest, ForkAtReconfigCountsTheFork) {
+  // A fork directly below R1: R1 is the LCA and an endpoint or interior?
+  CacheId M5 = Tree.addLeaf(R1, makeCache(CacheKind::Method, 2, 1, 6));
+  // Path M1..M5 has LCA R1, which is interior and an RCache.
+  EXPECT_EQ(Tree.rdist(M1, M5), 1u);
+  // Path R1..M5: R1 is an endpoint, not counted.
+  EXPECT_EQ(Tree.rdist(R1, M5), 0u);
+}
+
+TEST_F(RdistTest, TreeRdistIsMaxPairwise) {
+  EXPECT_EQ(Tree.treeRdist(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Selection functions (Fig. 9)
+//===----------------------------------------------------------------------===//
+
+class SelectionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // Election by node 1 supported by {1, 2}.
+    E1 = Tree.addLeaf(RootCacheId,
+                      makeCache(CacheKind::Election, 1, 1, 0,
+                                Config(NodeSet{1, 2, 3}), NodeSet{1, 2}));
+    M1 = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 1));
+    // Commit of M1 supported by {1, 2}.
+    C1 = Tree.insertBtw(M1, makeCache(CacheKind::Commit, 1, 1, 1,
+                                      Config(NodeSet{1, 2, 3}),
+                                      NodeSet{1, 2}));
+    M2 = Tree.addLeaf(C1, makeCache(CacheKind::Method, 1, 1, 2));
+  }
+
+  CacheTree Tree = makeTree();
+  CacheId E1, M1, C1, M2;
+};
+
+TEST_F(SelectionTest, MostRecentPicksGreatestSupported) {
+  // Node 3 only supported the root.
+  EXPECT_EQ(Tree.mostRecent(NodeSet{3}), RootCacheId);
+  // Node 2 supported the commit, which beats the MCache M2? No: M2 has
+  // version 2 > 1, so M2 is greater, but node 2 does not support M2.
+  EXPECT_EQ(Tree.mostRecent(NodeSet{2}), C1);
+  // Node 1 called M2 (its only supporter), the greatest cache overall.
+  EXPECT_EQ(Tree.mostRecent(NodeSet{1}), M2);
+  // A mixed set takes the max over all members.
+  EXPECT_EQ(Tree.mostRecent(NodeSet{2, 3}), C1);
+}
+
+TEST_F(SelectionTest, ActiveCacheIsCallersGreatest) {
+  EXPECT_EQ(Tree.activeCache(1), M2);
+  // Node 2 never called anything.
+  EXPECT_EQ(Tree.activeCache(2), InvalidCacheId);
+}
+
+TEST_F(SelectionTest, LastCommit) {
+  EXPECT_EQ(Tree.lastCommit(1), C1);
+  EXPECT_EQ(Tree.lastCommit(2), C1);
+  // Node 3 only supports the genesis commit.
+  EXPECT_EQ(Tree.lastCommit(3), RootCacheId);
+}
+
+TEST_F(SelectionTest, ObservedCache) {
+  EXPECT_EQ(Tree.observedCache(1), M2);
+  EXPECT_EQ(Tree.observedCache(2), C1);
+  EXPECT_EQ(Tree.observedCache(3), RootCacheId);
+}
+
+TEST_F(SelectionTest, MaxCommitAndCommittedLog) {
+  EXPECT_EQ(Tree.maxCommit(), C1);
+  std::vector<CacheId> Log = Tree.committedLog();
+  ASSERT_EQ(Log.size(), 1u);
+  EXPECT_EQ(Log[0], M1);
+}
+
+TEST_F(SelectionTest, UniverseCollectsAllMembers) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  EXPECT_EQ(Tree.universe(*Scheme), (NodeSet{1, 2, 3}));
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical fingerprint
+//===----------------------------------------------------------------------===//
+
+TEST(FingerprintTest, SiblingOrderIrrelevant) {
+  CacheTree A = makeTree();
+  CacheTree B = makeTree();
+  Cache X = makeCache(CacheKind::Method, 1, 1, 1);
+  Cache Y = makeCache(CacheKind::Method, 2, 1, 1);
+  A.addLeaf(RootCacheId, X);
+  A.addLeaf(RootCacheId, Y);
+  B.addLeaf(RootCacheId, Y);
+  B.addLeaf(RootCacheId, X);
+  EXPECT_EQ(A.canonicalFingerprint(), B.canonicalFingerprint());
+}
+
+TEST(FingerprintTest, PayloadSensitive) {
+  CacheTree A = makeTree();
+  CacheTree B = makeTree();
+  A.addLeaf(RootCacheId, makeCache(CacheKind::Method, 1, 1, 1));
+  B.addLeaf(RootCacheId, makeCache(CacheKind::Method, 1, 1, 2));
+  EXPECT_NE(A.canonicalFingerprint(), B.canonicalFingerprint());
+}
+
+TEST(FingerprintTest, StructureSensitive) {
+  // Chain vs fork of the same two caches.
+  CacheTree A = makeTree();
+  CacheTree B = makeTree();
+  Cache X = makeCache(CacheKind::Method, 1, 1, 1);
+  Cache Y = makeCache(CacheKind::Method, 1, 1, 2);
+  CacheId AX = A.addLeaf(RootCacheId, X);
+  A.addLeaf(AX, Y);
+  B.addLeaf(RootCacheId, X);
+  B.addLeaf(RootCacheId, Y);
+  EXPECT_NE(A.canonicalFingerprint(), B.canonicalFingerprint());
+}
+
+TEST(FingerprintTest, DuplicateSiblingsCount) {
+  CacheTree A = makeTree();
+  CacheTree B = makeTree();
+  Cache X = makeCache(CacheKind::Method, 1, 1, 1);
+  A.addLeaf(RootCacheId, X);
+  B.addLeaf(RootCacheId, X);
+  B.addLeaf(RootCacheId, X);
+  EXPECT_NE(A.canonicalFingerprint(), B.canonicalFingerprint());
+}
+
+TEST(DumpTest, RendersEveryCache) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId,
+                           makeCache(CacheKind::Election, 1, 1, 0));
+  Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  std::string Out = Tree.dump();
+  EXPECT_NE(Out.find("C#0"), std::string::npos);
+  EXPECT_NE(Out.find("E#1"), std::string::npos);
+  EXPECT_NE(Out.find("M#2"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// DOT export
+//===----------------------------------------------------------------------===//
+
+#include "adore/DotExport.h"
+
+TEST(DotExportTest, RendersNodesEdgesAndShapes) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId,
+                           makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M = Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1));
+  DotOptions Opts;
+  Opts.Title = "example \"tree\"";
+  std::string Dot = toDot(Tree, Opts);
+  EXPECT_NE(Dot.find("digraph adore"), std::string::npos);
+  EXPECT_NE(Dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(Dot.find("diamond"), std::string::npos);
+  EXPECT_NE(Dot.find("doubleoctagon"), std::string::npos);
+  // The method is committed (certificate below it): shaded.
+  EXPECT_NE(Dot.find("lightgray"), std::string::npos);
+  // Title quotes are escaped.
+  EXPECT_NE(Dot.find("example \\\"tree\\\""), std::string::npos);
+  EXPECT_EQ(Dot.find("example \"tree\""), std::string::npos);
+}
+
+TEST(DotExportTest, SpeculativeCachesAreUnshaded) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId,
+                           makeCache(CacheKind::Election, 1, 1, 0));
+  Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  std::string Dot = toDot(Tree);
+  // Only the root (a genesis commit) is shaded.
+  size_t First = Dot.find("lightgray");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Dot.find("lightgray", First + 1), std::string::npos);
+}

@@ -1,0 +1,263 @@
+//===- tests/InvariantTest.cpp - Invariant checker tests --------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the executable forms of Definition 4.1 and the
+/// Appendix B lemmas: hand-built trees that satisfy or violate each
+/// property, verifying that each checker fires exactly on its own
+/// violation shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adore/Invariants.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+
+namespace {
+
+Cache makeCache(CacheKind Kind, NodeId Caller, Time T, Vrsn V,
+                NodeSet Supporters = {}) {
+  Cache C;
+  C.Kind = Kind;
+  C.Caller = Caller;
+  C.T = T;
+  C.V = V;
+  C.Conf = Config(NodeSet{1, 2, 3});
+  C.Supporters =
+      Supporters.empty() ? NodeSet{Caller} : std::move(Supporters);
+  return C;
+}
+
+CacheTree makeTree() {
+  Config Root(NodeSet{1, 2, 3});
+  return CacheTree(Root, Root.Members);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Replicated state safety (Definition 4.1)
+//===----------------------------------------------------------------------===//
+
+TEST(SafetyCheckTest, GenesisIsSafe) {
+  CacheTree Tree = makeTree();
+  EXPECT_FALSE(checkReplicatedStateSafety(Tree).has_value());
+}
+
+TEST(SafetyCheckTest, LinearCommitsAreSafe) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M = Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId C1 = Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1));
+  CacheId M2 = Tree.addLeaf(C1, makeCache(CacheKind::Method, 1, 1, 2));
+  Tree.insertBtw(M2, makeCache(CacheKind::Commit, 1, 1, 2));
+  EXPECT_FALSE(checkReplicatedStateSafety(Tree).has_value());
+}
+
+TEST(SafetyCheckTest, ForkedCommitsAreUnsafe) {
+  CacheTree Tree = makeTree();
+  CacheId E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M1 = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 1));
+  Tree.insertBtw(M1, makeCache(CacheKind::Commit, 1, 1, 1));
+  CacheId E2 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 2, 0));
+  CacheId M2 = Tree.addLeaf(E2, makeCache(CacheKind::Method, 2, 2, 1));
+  Tree.insertBtw(M2, makeCache(CacheKind::Commit, 2, 2, 1));
+  auto V = checkReplicatedStateSafety(Tree);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_NE(V->find("safety violation"), std::string::npos);
+}
+
+TEST(SafetyCheckTest, UncommittedForksAreFine) {
+  CacheTree Tree = makeTree();
+  CacheId E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId E2 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 2, 0));
+  Tree.addLeaf(E2, makeCache(CacheKind::Method, 2, 2, 1));
+  EXPECT_FALSE(checkReplicatedStateSafety(Tree).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Descendant order (Lemma B.1)
+//===----------------------------------------------------------------------===//
+
+TEST(DescendantOrderTest, MonotoneChainPasses) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M = Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1));
+  EXPECT_FALSE(checkDescendantOrder(Tree).has_value());
+}
+
+TEST(DescendantOrderTest, OlderChildFails) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 2, 0));
+  Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1)); // t goes back.
+  EXPECT_TRUE(checkDescendantOrder(Tree).has_value());
+}
+
+TEST(DescendantOrderTest, CommitAtSameTimeVersionIsGreater) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M = Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  // The CCache copies (t, v) from its parent MCache; > still orders it
+  // above because commits dominate.
+  Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1));
+  EXPECT_FALSE(checkDescendantOrder(Tree).has_value());
+}
+
+TEST(DescendantOrderTest, NonCommitChildOfCommitAtSamePairFails) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M = Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId C = Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1));
+  // An MCache child with the same (t, v) as the commit is NOT greater.
+  Tree.addLeaf(C, makeCache(CacheKind::Method, 1, 1, 1));
+  EXPECT_TRUE(checkDescendantOrder(Tree).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Leader time uniqueness (Lemmas B.2 / B.5)
+//===----------------------------------------------------------------------===//
+
+TEST(LeaderTimeTest, DistinctTimesPass) {
+  CacheTree Tree = makeTree();
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 2, 0));
+  EXPECT_FALSE(checkLeaderTimeUniqueness(Tree, 1).has_value());
+}
+
+TEST(LeaderTimeTest, DuplicateTimeAtRdist0Fails) {
+  CacheTree Tree = makeTree();
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 1, 0));
+  EXPECT_TRUE(checkLeaderTimeUniqueness(Tree, 0).has_value());
+}
+
+TEST(LeaderTimeTest, DuplicateBeyondRdistBoundIgnored) {
+  // Two same-time elections separated by two RCaches (rdist 2) are not
+  // covered by the rdist <= 1 lemma, so the checker must not fire.
+  CacheTree Tree = makeTree();
+  CacheId R1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Reconfig, 1, 1, 1));
+  CacheId R2 = Tree.addLeaf(R1, makeCache(CacheKind::Reconfig, 1, 1, 2));
+  Tree.addLeaf(R2, makeCache(CacheKind::Election, 1, 5, 0));
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 5, 0));
+  EXPECT_FALSE(checkLeaderTimeUniqueness(Tree, 1).has_value());
+  EXPECT_TRUE(checkLeaderTimeUniqueness(Tree, 2).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Election-commit order (Theorems B.3 / B.6)
+//===----------------------------------------------------------------------===//
+
+TEST(ElectionCommitTest, NewerElectionOnCommitBranchPasses) {
+  CacheTree Tree = makeTree();
+  CacheId E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId C = Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1));
+  Tree.addLeaf(C, makeCache(CacheKind::Election, 2, 2, 0));
+  EXPECT_FALSE(checkElectionCommitOrder(Tree, 1).has_value());
+}
+
+TEST(ElectionCommitTest, NewerElectionOffCommitBranchFails) {
+  CacheTree Tree = makeTree();
+  CacheId E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 1));
+  Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1));
+  // A newer election forked at the root misses the commit.
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 2, 0));
+  EXPECT_TRUE(checkElectionCommitOrder(Tree, 1).has_value());
+}
+
+TEST(ElectionCommitTest, OlderElectionOffBranchIsFine) {
+  CacheTree Tree = makeTree();
+  // The election predates the commit: no obligation.
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 1, 0));
+  CacheId E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 2, 0));
+  CacheId M = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 2, 1));
+  Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 2, 1));
+  EXPECT_FALSE(checkElectionCommitOrder(Tree, 1).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// CCache in RCache fork (Lemma B.8)
+//===----------------------------------------------------------------------===//
+
+TEST(RCacheForkTest, ForkWithCommitOnOneSidePasses) {
+  CacheTree Tree = makeTree();
+  CacheId E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId C = Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1));
+  Tree.addLeaf(C, makeCache(CacheKind::Reconfig, 1, 1, 2));
+  CacheId E2 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 2, 0));
+  Tree.addLeaf(E2, makeCache(CacheKind::Reconfig, 2, 2, 1));
+  // Fork point is the root; the commit C sits below the root on the
+  // first RCache's side.
+  EXPECT_FALSE(checkCCacheInRCacheFork(Tree).has_value());
+}
+
+TEST(RCacheForkTest, BareForkOfRCachesFails) {
+  CacheTree Tree = makeTree();
+  CacheId E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  Tree.addLeaf(E1, makeCache(CacheKind::Reconfig, 1, 1, 1));
+  CacheId E2 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 2, 0));
+  Tree.addLeaf(E2, makeCache(CacheKind::Reconfig, 2, 2, 1));
+  EXPECT_TRUE(checkCCacheInRCacheFork(Tree).has_value());
+}
+
+TEST(RCacheForkTest, SameBranchRCachesExempt) {
+  CacheTree Tree = makeTree();
+  CacheId R1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Reconfig, 1, 1, 1));
+  Tree.addLeaf(R1, makeCache(CacheKind::Reconfig, 1, 1, 2));
+  EXPECT_FALSE(checkCCacheInRCacheFork(Tree).has_value());
+}
+
+TEST(RCacheForkTest, Rdist1ForksExempt) {
+  // A third RCache between the fork point and one endpoint pushes the
+  // pair's rdist to 1; the lemma only covers rdist 0.
+  CacheTree Tree = makeTree();
+  CacheId RMid = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Reconfig, 1, 1, 1));
+  Tree.addLeaf(RMid, makeCache(CacheKind::Reconfig, 1, 1, 2));
+  CacheId E2 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 2, 0));
+  Tree.addLeaf(E2, makeCache(CacheKind::Reconfig, 2, 2, 1));
+  // Pairs: (RMid, R2top): rdist 0 -> needs commit? RMid vs the other
+  // branch's RCache do fork barely; to keep this test focused, check
+  // only that the deep pair (child of RMid vs other RCache) is exempt.
+  auto V = checkCCacheInRCacheFork(Tree);
+  // The (RMid, other) pair still violates, so the checker fires; this
+  // documents that rdist filtering applies per pair.
+  EXPECT_TRUE(V.has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregate selection
+//===----------------------------------------------------------------------===//
+
+TEST(CheckInvariantsTest, SelectionMasksCheckers) {
+  CacheTree Tree = makeTree();
+  // Duplicate-time elections at rdist 0.
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 1, 0));
+  EXPECT_TRUE(checkInvariants(Tree).has_value());
+  InvariantSelection OnlySafety;
+  OnlySafety.DescendantOrder = false;
+  OnlySafety.LeaderTimeUniqueness = false;
+  OnlySafety.ElectionCommitOrder = false;
+  OnlySafety.CCacheInRCacheFork = false;
+  EXPECT_FALSE(checkInvariants(Tree, OnlySafety).has_value());
+}
+
+TEST(CheckInvariantsTest, CleanTreePassesEverything) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId,
+                           makeCache(CacheKind::Election, 1, 1, 0, NodeSet{1, 2}));
+  CacheId M = Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId C = Tree.insertBtw(M, makeCache(CacheKind::Commit, 1, 1, 1, NodeSet{1, 2}));
+  CacheId R = Tree.addLeaf(C, makeCache(CacheKind::Reconfig, 1, 1, 2));
+  Tree.insertBtw(R, makeCache(CacheKind::Commit, 1, 1, 2, NodeSet{1, 2}));
+  EXPECT_FALSE(checkInvariants(Tree).has_value());
+}

@@ -1,0 +1,141 @@
+//===- tests/PaxosElectionTest.cpp - Paxos-style election mode ---------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the Paxos-style election mode of the network specification
+/// (Appendix A: voters reply with their logs and the winning candidate
+/// adopts the quorum maximum), and checks that this protocol family also
+/// refines Adore — the paper's claim that pull/push "map fairly directly"
+/// onto both Paxos variants and Raft.
+///
+//===----------------------------------------------------------------------===//
+
+#include "raft/SRaft.h"
+#include "refine/RandomRuns.h"
+#include "refine/Refinement.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::raft;
+using namespace adore::refine;
+
+namespace {
+
+RaftOptions paxosMode() {
+  RaftOptions Opts;
+  Opts.PaxosStyleElections = true;
+  return Opts;
+}
+
+} // namespace
+
+TEST(PaxosElectionTest, VoterGrantsDespiteBetterLog) {
+  // Raft would refuse this vote; Paxos grants and ships its log.
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}), paxosMode());
+  SRaftDriver Driver(Sys);
+  // Node 1 builds a log and replicates it to node 2.
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 10));
+  ASSERT_EQ(Driver.commitRound(1, NodeSet{1, 2}), 1u);
+  // Node 3 — with an empty log — runs an election against node 2.
+  // (Its first attempt may collide with an already-observed term.)
+  if (!Driver.electRound(3, NodeSet{2, 3})) {
+    ASSERT_TRUE(Driver.electRound(3, NodeSet{2, 3}));
+  }
+  EXPECT_TRUE(Sys.isLeader(3));
+  // The winner ADOPTED node 2's log: the committed entry survives.
+  ASSERT_GE(Sys.log(3).size(), 1u);
+  EXPECT_EQ(Sys.log(3)[0].Method, 10u);
+  EXPECT_FALSE(Sys.checkCommittedAgreement().has_value());
+}
+
+TEST(PaxosElectionTest, RaftModeRefusesTheSameVote) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}));
+  SRaftDriver Driver(Sys);
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 10));
+  ASSERT_EQ(Driver.commitRound(1, NodeSet{1, 2}), 1u);
+  EXPECT_FALSE(Driver.electRound(3, NodeSet{2, 3}));
+}
+
+TEST(PaxosElectionTest, CandidateOwnStaleTailDies) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}), paxosMode());
+  SRaftDriver Driver(Sys);
+  // Node 1 leads and strands an uncommitted entry.
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 10));
+  // Node 2 leads at t2 and commits a different entry with node 3.
+  ASSERT_TRUE(Driver.electRound(2, NodeSet{2, 3}));
+  ASSERT_TRUE(Sys.invoke(2, 20));
+  ASSERT_EQ(Driver.commitRound(2, NodeSet{2, 3}), 1u);
+  // Node 1 returns; its vote quorum includes node 3, whose log wins.
+  if (!Driver.electRound(1, NodeSet{1, 3})) {
+    ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 3}));
+  }
+  ASSERT_TRUE(Sys.isLeader(1));
+  ASSERT_GE(Sys.log(1).size(), 1u);
+  EXPECT_EQ(Sys.log(1)[0].Method, 20u) << "stale tail must be outvoted";
+  EXPECT_FALSE(Sys.checkCommittedAgreement().has_value());
+}
+
+TEST(PaxosElectionTest, RandomSchedulesPreserveAgreement) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Rng R(808);
+  for (int Round = 0; Round != 8; ++Round) {
+    RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3, 4}), paxosMode());
+    for (int Step = 0; Step != 500; ++Step) {
+      NodeId Nid = static_cast<NodeId>(R.nextInRange(1, 4));
+      switch (R.nextBelow(8)) {
+      case 0:
+        Sys.elect(Nid);
+        break;
+      case 1:
+        Sys.invoke(Nid, Step);
+        break;
+      case 2:
+        Sys.startCommit(Nid);
+        break;
+      default:
+        if (!Sys.pending().empty())
+          Sys.deliver(R.nextBelow(Sys.pending().size()));
+        break;
+      }
+      auto V = Sys.checkCommittedAgreement();
+      ASSERT_FALSE(V.has_value()) << *V << "\n" << Sys.dump();
+    }
+  }
+}
+
+TEST(PaxosElectionTest, PaxosVariantRefinesAdoreToo) {
+  for (SchemeKind Kind :
+       {SchemeKind::RaftSingleNode, SchemeKind::RaftJoint}) {
+    auto Scheme = makeScheme(Kind);
+    Config Initial(NodeSet::range(1, 3));
+    size_t Mirrored = 0;
+    for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+      RaftSystem Sys(*Scheme, Initial, paxosMode());
+      EventRecorder Rec(Sys);
+      Rng R(Seed * 104729);
+      RunOptions Opts;
+      Opts.Steps = 350;
+      Opts.ExtraNodes = NodeSet{4, 5};
+      runRandomRecordedRun(Rec, R, Opts);
+      ASSERT_FALSE(Sys.checkCommittedAgreement().has_value());
+      RefinementChecker Checker(*Scheme, Initial);
+      RefinementResult Res = Checker.check(normalizeTrace(Rec.events()));
+      ASSERT_TRUE(Res.holds())
+          << schemeKindName(Kind) << " seed " << Seed << ": "
+          << *Res.Violation << "\n"
+          << Res.FinalAdoreDump << Sys.dump();
+      Mirrored += Res.MirroredSteps;
+    }
+    EXPECT_GT(Mirrored, 20u);
+  }
+}

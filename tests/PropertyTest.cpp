@@ -1,0 +1,455 @@
+//===- tests/PropertyTest.cpp - Cross-module randomized properties -----------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized property suites that sweep invariants the unit tests only
+/// spot-check: structural well-formedness of random cache trees, metric
+/// laws for rdist/LCA, append-only committed state across every scheme,
+/// per-replica prefix agreement, network-model monotonicity laws, and a
+/// long crash/restart/reconfig storm on the executable cluster.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adore/Invariants.h"
+#include "adore/Oracle.h"
+#include "kv/KvStore.h"
+#include "raft/RaftSystem.h"
+#include "sim/Cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace adore;
+
+namespace {
+
+Config initialConfigFor(SchemeKind Kind, size_t Nodes) {
+  Config C(NodeSet::range(1, Nodes));
+  if (Kind == SchemeKind::PrimaryBackup)
+    C.Param = 1;
+  if (Kind == SchemeKind::DynamicQuorum)
+    C.Param = Nodes / 2 + 1;
+  return C;
+}
+
+/// Structural well-formedness of a cache tree: ids match positions,
+/// parent links resolve, the children index inverts the parent map, and
+/// the parent relation is acyclic.
+void expectWellFormed(const CacheTree &Tree) {
+  for (CacheId Id = 0; Id < Tree.size(); ++Id) {
+    const Cache &C = Tree.cache(Id);
+    ASSERT_EQ(C.Id, Id);
+    ASSERT_LT(C.Parent, Tree.size());
+    if (Id == RootCacheId) {
+      ASSERT_EQ(C.Parent, RootCacheId);
+    } else {
+      bool Listed = false;
+      for (CacheId Kid : Tree.children(C.Parent))
+        Listed |= Kid == Id;
+      ASSERT_TRUE(Listed) << "child not in parent's index";
+      // Acyclicity: walking up must reach the root within size() steps.
+      CacheId Cur = Id;
+      size_t Steps = 0;
+      while (Cur != RootCacheId) {
+        Cur = Tree.cache(Cur).Parent;
+        ASSERT_LE(++Steps, Tree.size()) << "parent cycle";
+      }
+    }
+    for (CacheId Kid : Tree.children(Id))
+      ASSERT_EQ(Tree.cache(Kid).Parent, Id);
+  }
+}
+
+/// Grows a random (well-formed, but semantically arbitrary) tree.
+CacheTree randomTree(Rng &R, size_t Extra) {
+  Config Root(NodeSet{1, 2, 3});
+  CacheTree Tree(Root, Root.Members);
+  for (size_t I = 0; I != Extra; ++I) {
+    Cache C;
+    uint64_t KindPick = R.nextBelow(4);
+    C.Kind = static_cast<CacheKind>(KindPick);
+    C.Caller = static_cast<NodeId>(R.nextInRange(1, 3));
+    C.T = R.nextInRange(0, 5);
+    C.V = R.nextInRange(0, 5);
+    C.Conf = Root;
+    C.Supporters = NodeSet{C.Caller};
+    CacheId Parent = static_cast<CacheId>(R.nextBelow(Tree.size()));
+    if (R.nextChance(1, 4))
+      Tree.insertBtw(Parent, std::move(C));
+    else
+      Tree.addLeaf(Parent, std::move(C));
+  }
+  return Tree;
+}
+
+/// Drives a random but *valid* Adore execution for \p Steps operations.
+template <typename CheckT>
+void randomAdoreRun(SchemeKind Kind, uint64_t Seed, size_t Steps,
+                    CheckT &&Check) {
+  auto Scheme = makeScheme(Kind);
+  SemanticsOptions SemOpts;
+  SemOpts.ExtraNodes = NodeSet{4, 5};
+  Semantics Sem(*Scheme, SemOpts);
+  AdoreState St(*Scheme, initialConfigFor(Kind, 3));
+  RandomOracle Oracle(Seed, /*FailPermille=*/100);
+  Rng R(Seed ^ 0x5eed);
+  for (size_t Step = 0; Step != Steps; ++Step) {
+    NodeSet Universe =
+        St.Tree.universe(*Scheme).unionWith(SemOpts.ExtraNodes);
+    NodeId Nid = Universe[R.nextBelow(Universe.size())];
+    switch (R.nextBelow(4)) {
+    case 0:
+      if (auto C = Oracle.choosePull(Sem, St, Nid))
+        Sem.pull(St, Nid, *C);
+      break;
+    case 1:
+      Sem.invoke(St, Nid, Step + 1);
+      break;
+    case 2: {
+      auto Reconfigs = Sem.enumerateReconfigs(St, Nid);
+      if (!Reconfigs.empty())
+        Sem.reconfig(St, Nid, Reconfigs[R.nextBelow(Reconfigs.size())]);
+      break;
+    }
+    default:
+      if (auto C = Oracle.choosePush(Sem, St, Nid))
+        Sem.push(St, Nid, *C);
+      break;
+    }
+    Check(St);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CacheTree metric laws on random trees
+//===----------------------------------------------------------------------===//
+
+TEST(TreeLawsTest, RandomTreesStayWellFormed) {
+  Rng R(11);
+  for (int Round = 0; Round != 25; ++Round) {
+    CacheTree Tree = randomTree(R, 30);
+    expectWellFormed(Tree);
+  }
+}
+
+TEST(TreeLawsTest, RdistIsSymmetricAndZeroOnSelf) {
+  Rng R(12);
+  for (int Round = 0; Round != 10; ++Round) {
+    CacheTree Tree = randomTree(R, 24);
+    for (int Trial = 0; Trial != 50; ++Trial) {
+      CacheId A = static_cast<CacheId>(R.nextBelow(Tree.size()));
+      CacheId B = static_cast<CacheId>(R.nextBelow(Tree.size()));
+      EXPECT_EQ(Tree.rdist(A, B), Tree.rdist(B, A));
+      EXPECT_EQ(Tree.rdist(A, A), 0u);
+    }
+  }
+}
+
+TEST(TreeLawsTest, LcaLawsHold) {
+  Rng R(13);
+  for (int Round = 0; Round != 10; ++Round) {
+    CacheTree Tree = randomTree(R, 24);
+    for (int Trial = 0; Trial != 50; ++Trial) {
+      CacheId A = static_cast<CacheId>(R.nextBelow(Tree.size()));
+      CacheId B = static_cast<CacheId>(R.nextBelow(Tree.size()));
+      CacheId L = Tree.lowestCommonAncestor(A, B);
+      EXPECT_EQ(L, Tree.lowestCommonAncestor(B, A));
+      EXPECT_TRUE(Tree.isAncestorOrSelf(L, A));
+      EXPECT_TRUE(Tree.isAncestorOrSelf(L, B));
+      // Deepest: L's children that are ancestors of both cannot exist.
+      for (CacheId Kid : Tree.children(L))
+        EXPECT_FALSE(Tree.isAncestorOrSelf(Kid, A) &&
+                     Tree.isAncestorOrSelf(Kid, B));
+      // Same-branch iff the LCA is one of the endpoints.
+      EXPECT_EQ(Tree.onSameBranch(A, B), L == A || L == B);
+    }
+  }
+}
+
+TEST(TreeLawsTest, BranchOfIsConsistentWithDepthAndAncestry) {
+  Rng R(14);
+  CacheTree Tree = randomTree(R, 40);
+  for (CacheId Id = 0; Id < Tree.size(); ++Id) {
+    std::vector<CacheId> Branch = Tree.branchOf(Id);
+    EXPECT_EQ(Branch.size(), Tree.depth(Id) + 1);
+    EXPECT_EQ(Branch.front(), RootCacheId);
+    EXPECT_EQ(Branch.back(), Id);
+    for (size_t I = 0; I + 1 < Branch.size(); ++I)
+      EXPECT_TRUE(Tree.isAncestor(Branch[I], Id));
+  }
+}
+
+TEST(TreeLawsTest, TreeRdistBoundsEveryPair) {
+  Rng R(15);
+  CacheTree Tree = randomTree(R, 20);
+  size_t Max = Tree.treeRdist();
+  for (CacheId A = 0; A < Tree.size(); ++A)
+    for (CacheId B = 0; B < Tree.size(); ++B)
+      EXPECT_LE(Tree.rdist(A, B), Max);
+}
+
+//===----------------------------------------------------------------------===//
+// Adore executions: global properties across all schemes
+//===----------------------------------------------------------------------===//
+
+namespace {
+class AdoreProperties : public ::testing::TestWithParam<SchemeKind> {};
+} // namespace
+
+TEST_P(AdoreProperties, CommittedLogIsAppendOnly) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    std::vector<std::pair<Time, MethodId>> Shadow;
+    randomAdoreRun(GetParam(), Seed, 200, [&](const AdoreState &St) {
+      std::vector<std::pair<Time, MethodId>> Now;
+      for (CacheId Id : St.Tree.committedLog()) {
+        const Cache &C = St.Tree.cache(Id);
+        Now.emplace_back(C.T, C.Method);
+      }
+      ASSERT_GE(Now.size(), Shadow.size()) << "committed log shrank";
+      for (size_t I = 0; I != Shadow.size(); ++I)
+        ASSERT_EQ(Now[I], Shadow[I]) << "committed slot " << I
+                                     << " rewritten";
+      Shadow = std::move(Now);
+    });
+  }
+}
+
+TEST_P(AdoreProperties, TreesStayWellFormedAndSafe) {
+  for (uint64_t Seed = 6; Seed <= 8; ++Seed) {
+    randomAdoreRun(GetParam(), Seed, 150, [&](const AdoreState &St) {
+      ASSERT_FALSE(checkInvariants(St.Tree).has_value());
+    });
+    // One deep structural audit at the end of each run.
+    randomAdoreRun(GetParam(), Seed + 100, 60,
+                   [&](const AdoreState &St) { (void)St; });
+  }
+}
+
+TEST_P(AdoreProperties, EveryReplicaObservesACommittedPrefix) {
+  // lastCommit(n)'s branch restricted to M/R caches must be a prefix of
+  // the global committed log — the per-replica face of Definition 4.1.
+  randomAdoreRun(GetParam(), 99, 200, [&](const AdoreState &St) {
+    std::vector<CacheId> Global = St.Tree.committedLog();
+    for (const auto &[Nid, T] : St.Times.entries()) {
+      CacheId Last = St.Tree.lastCommit(Nid);
+      if (Last == InvalidCacheId)
+        continue;
+      std::vector<CacheId> Local;
+      for (CacheId Id : St.Tree.branchOf(Last))
+        if (St.Tree.cache(Id).isCommittable())
+          Local.push_back(Id);
+      ASSERT_LE(Local.size(), Global.size());
+      for (size_t I = 0; I != Local.size(); ++I)
+        ASSERT_EQ(Local[I], Global[I])
+            << "replica " << Nid << " diverges at committed slot " << I;
+    }
+  });
+}
+
+TEST_P(AdoreProperties, TimesAreMonotone) {
+  std::map<NodeId, Time> Shadow;
+  randomAdoreRun(GetParam(), 7, 200, [&](const AdoreState &St) {
+    for (const auto &[Nid, T] : St.Times.entries()) {
+      Time &Prev = Shadow[Nid];
+      ASSERT_GE(T, Prev) << "replica " << Nid << " time went backwards";
+      Prev = T;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, AdoreProperties, ::testing::ValuesIn(allSchemeKinds()),
+    [](const ::testing::TestParamInfo<SchemeKind> &Info) {
+      std::string Name = schemeKindName(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// TimeMap unit coverage
+//===----------------------------------------------------------------------===//
+
+TEST(TimeMapTest, DefaultsToZero) {
+  TimeMap M;
+  EXPECT_EQ(M.get(7), 0u);
+  EXPECT_EQ(M.maxOverall(), 0u);
+}
+
+TEST(TimeMapTest, SetAndOverwrite) {
+  TimeMap M;
+  M.set(3, 5);
+  M.set(1, 2);
+  EXPECT_EQ(M.get(3), 5u);
+  EXPECT_EQ(M.get(1), 2u);
+  M.set(3, 9);
+  EXPECT_EQ(M.get(3), 9u);
+  EXPECT_EQ(M.maxOverall(), 9u);
+}
+
+TEST(TimeMapTest, MaxOverSubset) {
+  TimeMap M;
+  M.set(1, 4);
+  M.set(2, 7);
+  M.set(3, 1);
+  EXPECT_EQ(M.maxOver(NodeSet{1, 3}), 4u);
+  EXPECT_EQ(M.maxOver(NodeSet{2}), 7u);
+  EXPECT_EQ(M.maxOver(NodeSet{9}), 0u);
+}
+
+TEST(TimeMapTest, ZeroEntriesFingerprintAsAbsent) {
+  TimeMap A, B;
+  A.set(5, 0); // Explicit zero.
+  Fnv1aHasher HA, HB;
+  A.addToHash(HA);
+  B.addToHash(HB);
+  EXPECT_EQ(HA.finish(), HB.finish());
+}
+
+//===----------------------------------------------------------------------===//
+// Network-model monotonicity laws
+//===----------------------------------------------------------------------===//
+
+TEST(RaftLawsTest, CommitIndexAndTermsAreMonotone) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Rng R(404);
+  for (int Round = 0; Round != 6; ++Round) {
+    raft::RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3, 4}));
+    std::map<NodeId, size_t> CiShadow;
+    std::map<NodeId, Time> TermShadow;
+    std::map<NodeId, std::vector<raft::Entry>> CommittedShadow;
+    for (int Step = 0; Step != 500; ++Step) {
+      NodeId Nid = static_cast<NodeId>(R.nextInRange(1, 4));
+      switch (R.nextBelow(8)) {
+      case 0:
+        Sys.elect(Nid);
+        break;
+      case 1:
+        Sys.invoke(Nid, Step);
+        break;
+      case 2:
+        Sys.startCommit(Nid);
+        break;
+      default:
+        if (!Sys.pending().empty())
+          Sys.deliver(R.nextBelow(Sys.pending().size()));
+        break;
+      }
+      for (NodeId N : NodeSet::range(1, 4)) {
+        const raft::Server &S = Sys.server(N);
+        ASSERT_GE(S.CurTime, TermShadow[N]);
+        TermShadow[N] = S.CurTime;
+        ASSERT_GE(S.CommitIndex, CiShadow[N]) << "commit index shrank";
+        CiShadow[N] = S.CommitIndex;
+        // Log terms are nondecreasing along the log.
+        for (size_t I = 1; I < S.Log.size(); ++I)
+          ASSERT_LE(S.Log[I - 1].T, S.Log[I].T);
+        // A server's committed prefix never changes underneath it.
+        auto Committed = Sys.committedPrefix(N);
+        auto &Shadow = CommittedShadow[N];
+        for (size_t I = 0; I != Shadow.size(); ++I)
+          ASSERT_TRUE(Committed[I] == Shadow[I])
+              << "committed entry rewritten at " << I;
+        Shadow = std::move(Committed);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Executable cluster: fault storm
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterStormTest, CrashRestartReconfigStormKeepsAgreement) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Config Initial(NodeSet::range(1, 5));
+  sim::Cluster C(*Scheme, Initial, NodeSet::range(1, 7),
+                 sim::ClusterOptions(), 0x57085);
+  kv::ReplicatedKvStore Store(C);
+  C.start();
+  ASSERT_TRUE(C.runUntilLeader(10000000).has_value());
+
+  Rng R(5150);
+  size_t Acked = 0, Submitted = 0;
+  std::vector<NodeId> Crashed;
+  for (int Burst = 0; Burst != 30; ++Burst) {
+    // Random fault action.
+    switch (R.nextBelow(4)) {
+    case 0: { // Crash someone (keep at least 3 up).
+      if (Crashed.size() < 2) {
+        NodeId Victim = static_cast<NodeId>(R.nextInRange(1, 5));
+        if (!C.node(Victim).isCrashed()) {
+          C.crash(Victim);
+          Crashed.push_back(Victim);
+        }
+      }
+      break;
+    }
+    case 1: // Restart someone.
+      if (!Crashed.empty()) {
+        C.restart(Crashed.back());
+        Crashed.pop_back();
+      }
+      break;
+    case 2: { // Random single-step reconfig among live nodes.
+      auto Leader = C.leader();
+      if (!Leader)
+        break;
+      auto Candidates = Scheme->candidateReconfigs(
+          C.node(*Leader).config(), NodeSet::range(1, 7));
+      if (!Candidates.empty())
+        C.requestReconfig(Candidates[R.nextBelow(Candidates.size())],
+                          [](bool, sim::SimTime) {}, 3000000);
+      break;
+    }
+    default:
+      break;
+    }
+    // Traffic burst.
+    for (int I = 0; I != 5; ++I) {
+      ++Submitted;
+      Store.put(static_cast<uint32_t>(R.nextBelow(16)),
+                static_cast<uint32_t>(Burst * 10 + I),
+                [&](bool Ok, sim::SimTime) { Acked += Ok; });
+    }
+    C.queue().runUntil(C.queue().now() + 1500000);
+    ASSERT_FALSE(C.checkCommittedAgreement().has_value()) << C.dump();
+    ASSERT_TRUE(Store.replicasAgree());
+  }
+  // Drain and require meaningful progress despite the storm.
+  sim::SimTime End = C.queue().now() + 20000000;
+  while (C.queue().now() < End && C.queue().runNext())
+    ;
+  EXPECT_GT(Acked, Submitted / 2) << "storm starved the cluster";
+  EXPECT_FALSE(C.checkCommittedAgreement().has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Prune fuzzing (stop-the-world support)
+//===----------------------------------------------------------------------===//
+
+TEST(TreeLawsTest, PruneKeepsTreesWellFormed) {
+  Rng R(606);
+  for (int Round = 0; Round != 40; ++Round) {
+    CacheTree Tree = randomTree(R, 24);
+    CacheId Tip = static_cast<CacheId>(R.nextBelow(Tree.size()));
+    std::vector<CacheId> Spine = Tree.branchOf(Tip);
+    size_t SpineLen = Spine.size();
+    CacheId NewTip = Tree.pruneToBranch(Tip);
+    expectWellFormed(Tree);
+    // The spine survives intact.
+    EXPECT_GE(Tree.size(), SpineLen);
+    EXPECT_EQ(Tree.branchOf(NewTip).size(), SpineLen);
+    // Everything kept is spine-or-descendant of the tip.
+    for (CacheId Id = 0; Id < Tree.size(); ++Id)
+      EXPECT_TRUE(Tree.isAncestorOrSelf(Id, NewTip) ||
+                  Tree.isAncestorOrSelf(NewTip, Id));
+  }
+}

@@ -1,0 +1,342 @@
+//===- tests/RaftTest.cpp - Network-based Raft tests -------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the asynchronous network-based Raft specification and the SRaft
+/// atomic-round driver: elections, log replication, commit rules, the
+/// protocol-level R1+/R2/R3 reconfiguration guards, hot configuration
+/// semantics, and the Fig. 4 bug expressed at the network level.
+///
+//===----------------------------------------------------------------------===//
+
+#include "raft/SRaft.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::raft;
+
+namespace {
+
+class RaftTest : public ::testing::Test {
+protected:
+  RaftTest()
+      : Scheme(makeScheme(SchemeKind::RaftSingleNode)),
+        Sys(*Scheme, Config(NodeSet{1, 2, 3})), Driver(Sys) {}
+
+  std::unique_ptr<ReconfigScheme> Scheme;
+  RaftSystem Sys;
+  SRaftDriver Driver;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Elections
+//===----------------------------------------------------------------------===//
+
+TEST_F(RaftTest, ElectionRoundProducesLeader) {
+  EXPECT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  EXPECT_TRUE(Sys.isLeader(1));
+  EXPECT_EQ(Sys.server(1).CurTime, 1u);
+  EXPECT_EQ(Sys.server(2).CurTime, 1u);
+  EXPECT_EQ(Sys.server(3).CurTime, 0u);
+  EXPECT_TRUE(Sys.pending().empty()) << "round must drain its messages";
+}
+
+TEST_F(RaftTest, MinorityElectionFails) {
+  EXPECT_FALSE(Driver.electRound(1, NodeSet{1}));
+  EXPECT_FALSE(Sys.isLeader(1));
+  EXPECT_TRUE(Sys.server(1).IsCandidate);
+}
+
+TEST_F(RaftTest, NewerElectionDeposesLeader) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Driver.electRound(2, NodeSet{1, 2}));
+  EXPECT_FALSE(Sys.isLeader(1));
+  EXPECT_TRUE(Sys.isLeader(2));
+}
+
+TEST_F(RaftTest, StaleLogCannotWinVotes) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 7));
+  ASSERT_EQ(Driver.commitRound(1, NodeSet{1, 2}), 1u);
+  // Node 3 (empty log) asks node 2 (which holds the entry) for a vote.
+  EXPECT_FALSE(Driver.electRound(3, NodeSet{2, 3}));
+  // But node 1's up-to-date log wins node 3's vote.
+  EXPECT_TRUE(Driver.electRound(1, NodeSet{1, 3}));
+}
+
+TEST_F(RaftTest, VoteRequiresStrictlyNewerTerm) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  // Node 2 already observed term 1; another term-1 candidacy by node 3
+  // (whose clock lags) gets no vote from node 2.
+  Sys.elect(3); // Node 3 moves to term 1.
+  ASSERT_EQ(Sys.server(3).CurTime, 1u);
+  size_t Before = Sys.pending().size();
+  // Deliver node 3's request to node 2: ignored.
+  for (size_t I = 0; I != Sys.pending().size(); ++I) {
+    const Msg &M = Sys.pending()[I];
+    if (M.Kind == MsgKind::ElectReq && M.From == 3 && M.To == 2) {
+      EXPECT_FALSE(Sys.deliver(I));
+      break;
+    }
+  }
+  EXPECT_EQ(Sys.pending().size(), Before - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Replication and commit
+//===----------------------------------------------------------------------===//
+
+TEST_F(RaftTest, CommitRoundReplicatesAndCommits) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 10));
+  ASSERT_TRUE(Sys.invoke(1, 11));
+  EXPECT_EQ(Driver.commitRound(1, NodeSet{1, 3}), 2u);
+  EXPECT_EQ(Sys.log(3).size(), 2u);
+  EXPECT_EQ(Sys.log(3)[0].Method, 10u);
+  EXPECT_EQ(Sys.commitIndex(1), 2u);
+  // Node 3 learns the commit index on the next round.
+  ASSERT_TRUE(Sys.invoke(1, 12));
+  Driver.commitRound(1, NodeSet{1, 3});
+  EXPECT_EQ(Sys.commitIndex(3), 2u);
+  EXPECT_FALSE(Sys.checkCommittedAgreement().has_value());
+}
+
+TEST_F(RaftTest, MinorityAcksDoNotCommit) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 10));
+  EXPECT_EQ(Driver.commitRound(1, NodeSet{1}), 0u);
+  EXPECT_EQ(Sys.commitIndex(1), 0u);
+}
+
+TEST_F(RaftTest, NonLeaderCannotInvokeOrCommit) {
+  EXPECT_FALSE(Sys.invoke(2, 1));
+  EXPECT_FALSE(Sys.startCommit(2));
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  EXPECT_FALSE(Sys.invoke(2, 1));
+}
+
+TEST_F(RaftTest, DeposedLeaderAcksAreIgnored) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 10));
+  ASSERT_TRUE(Sys.startCommit(1)); // Requests in flight.
+  // Node 2 takes over (node 3's empty log matches its own) before the
+  // acks land, and replicates to node 1, deposing it.
+  ASSERT_TRUE(Driver.electRound(2, NodeSet{2, 3}));
+  ASSERT_TRUE(Sys.invoke(2, 20));
+  Driver.commitRound(2, NodeSet{1, 2});
+  EXPECT_FALSE(Sys.isLeader(1));
+  // Drain the stale term-1 traffic: nothing may commit at node 1.
+  while (!Sys.pending().empty())
+    Sys.deliver(0);
+  EXPECT_EQ(Sys.log(1).back().Method, 20u);
+  EXPECT_FALSE(Sys.checkCommittedAgreement().has_value());
+}
+
+TEST_F(RaftTest, OlderTermEntriesCommitOnlyTransitively) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 10));
+  // Entry never committed at term 1. New leader at term 2 inherits it.
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2})); // Re-elect: term 2.
+  ASSERT_EQ(Sys.server(1).CurTime, 2u);
+  ASSERT_TRUE(Sys.isLeader(1));
+  // A bare commit round cannot commit the term-1 entry alone...
+  EXPECT_EQ(Driver.commitRound(1, NodeSet{1, 2}), 0u);
+  // ...but once a term-2 entry sits on top, both commit.
+  ASSERT_TRUE(Sys.invoke(1, 11));
+  EXPECT_EQ(Driver.commitRound(1, NodeSet{1, 2}), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reconfiguration
+//===----------------------------------------------------------------------===//
+
+TEST_F(RaftTest, ReconfigNeedsBarrier) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  EXPECT_FALSE(Sys.reconfig(1, Config(NodeSet{1, 2})));
+  ASSERT_TRUE(Sys.invoke(1, 0));
+  Driver.commitRound(1, NodeSet{1, 2});
+  EXPECT_TRUE(Sys.logSatisfiesR3(1));
+  EXPECT_TRUE(Sys.reconfig(1, Config(NodeSet{1, 2})));
+}
+
+TEST_F(RaftTest, ReconfigBlockedWhileUncommitted) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 0));
+  Driver.commitRound(1, NodeSet{1, 2});
+  ASSERT_TRUE(Sys.reconfig(1, Config(NodeSet{1, 2})));
+  EXPECT_FALSE(Sys.logSatisfiesR2(1));
+  EXPECT_FALSE(Sys.reconfig(1, Config(NodeSet{1})));
+  Driver.commitRound(1, NodeSet{1, 2});
+  EXPECT_TRUE(Sys.reconfig(1, Config(NodeSet{1})));
+}
+
+TEST_F(RaftTest, ReconfigTakesEffectImmediately) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 0));
+  Driver.commitRound(1, NodeSet{1, 2});
+  ASSERT_TRUE(Sys.reconfig(1, Config(NodeSet{1, 2, 3, 4})));
+  EXPECT_EQ(Sys.currentConfig(1), Config(NodeSet{1, 2, 3, 4}));
+  // The new node partakes in the very commit that persists its joining.
+  EXPECT_EQ(Driver.commitRound(1, NodeSet{1, 2, 4}), 2u);
+  EXPECT_EQ(Sys.log(4).size(), 2u);
+}
+
+TEST_F(RaftTest, RejectsNonR1PlusConfigs) {
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 0));
+  Driver.commitRound(1, NodeSet{1, 2});
+  EXPECT_FALSE(Sys.reconfig(1, Config(NodeSet{1, 4, 5})));
+}
+
+//===----------------------------------------------------------------------===//
+// The Fig. 4 bug at the network level
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drives the Fig. 4 scenario on the network-based model. Returns true
+/// if the scenario completed (i.e. was not blocked by a guard).
+bool runFig4Network(RaftSystem &Sys, SRaftDriver &Driver) {
+  // S1 leads at t1 with {1,2,3} and proposes removing S4.
+  if (!Driver.electRound(1, NodeSet{1, 2, 3}))
+    return false;
+  if (!Sys.reconfig(1, Config(NodeSet{1, 2, 3})))
+    return false;
+  // S2 leads at t2 with {2,3,4} and removes S3; S4 alone acks (with S2
+  // that is a majority of the new config {1,2,4}).
+  if (!Driver.electRound(2, NodeSet{2, 3, 4}))
+    return false;
+  if (!Sys.reconfig(2, Config(NodeSet{1, 2, 4})))
+    return false;
+  if (Driver.commitRound(2, NodeSet{2, 4}) != 1)
+    return false;
+  // S1 is re-elected under its own (uncommitted) config {1,2,3} with S3.
+  // Its first attempt lands on term 2 and fails; the next uses term 3.
+  Driver.electRound(1, NodeSet{1, 3});
+  if (!Sys.isLeader(1) && !Driver.electRound(1, NodeSet{1, 3}))
+    return false;
+  // S1 commits a command with the disjoint quorum {1,3}.
+  if (!Sys.invoke(1, 99))
+    return false;
+  return Driver.commitRound(1, NodeSet{1, 3}) == 2;
+}
+
+} // namespace
+
+TEST(RaftBugNetworkTest, WithoutR3CommittedLogsDiverge) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftOptions Opts;
+  Opts.EnforceR3 = false;
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3, 4}), Opts);
+  SRaftDriver Driver(Sys);
+  ASSERT_TRUE(runFig4Network(Sys, Driver)) << Sys.dump();
+  auto Violation = Sys.checkCommittedAgreement();
+  ASSERT_TRUE(Violation.has_value()) << Sys.dump();
+  EXPECT_NE(Violation->find("disagreement"), std::string::npos);
+}
+
+TEST(RaftBugNetworkTest, WithR3TheScenarioIsBlocked) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3, 4}));
+  SRaftDriver Driver(Sys);
+  EXPECT_FALSE(runFig4Network(Sys, Driver));
+  EXPECT_FALSE(Sys.checkCommittedAgreement().has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Asynchrony: random schedules preserve committed agreement
+//===----------------------------------------------------------------------===//
+
+TEST(RaftAsyncTest, RandomSchedulesPreserveAgreement) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Rng R(31337);
+  for (int Round = 0; Round != 10; ++Round) {
+    RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3, 4}));
+    for (int Step = 0; Step != 600; ++Step) {
+      NodeId Nid = static_cast<NodeId>(R.nextInRange(1, 4));
+      switch (R.nextBelow(8)) {
+      case 0:
+        Sys.elect(Nid);
+        break;
+      case 1:
+        Sys.invoke(Nid, Step);
+        break;
+      case 2: {
+        NodeSet Universe = NodeSet::range(1, 5);
+        for (Config &C : Scheme->candidateReconfigs(
+                 Sys.currentConfig(Nid), Universe)) {
+          if (Sys.reconfig(Nid, C))
+            break;
+        }
+        break;
+      }
+      case 3:
+        Sys.startCommit(Nid);
+        break;
+      default: // Deliver (weighted to drain the network), or drop.
+        if (!Sys.pending().empty()) {
+          size_t I = R.nextBelow(Sys.pending().size());
+          if (R.nextChance(1, 10)) {
+            // 10% message loss.
+            size_t Count = 0;
+            Sys.dropPendingIf([&](const Msg &) { return Count++ == I; });
+          } else {
+            Sys.deliver(I);
+          }
+        }
+        break;
+      }
+      auto Violation = Sys.checkCommittedAgreement();
+      ASSERT_FALSE(Violation.has_value())
+          << *Violation << "\n"
+          << Sys.dump();
+    }
+  }
+}
+
+TEST(RaftBugNetworkTest, WithoutR2DoubleReconfigDiverges) {
+  // The R2 ablation at the network level: one leader changes the
+  // configuration twice within a single commit window ({1,2,3} -> {1,2}
+  // -> {1,2,4}), after which {1,4} and {2,3} are disjoint quorums of
+  // R1+-adjacent configurations.
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftOptions Opts;
+  Opts.EnforceR2 = false;
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}), Opts);
+  SRaftDriver Driver(Sys);
+
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 0));
+  ASSERT_EQ(Driver.commitRound(1, NodeSet{1, 2}), 1u); // R3 barrier.
+  ASSERT_TRUE(Sys.reconfig(1, Config(NodeSet{1, 2})));
+  ASSERT_TRUE(Sys.reconfig(1, Config(NodeSet{1, 2, 4}))); // R2 off.
+  // Node 4 alone suffices: {1,4} is a majority of {1,2,4}.
+  ASSERT_EQ(Driver.commitRound(1, NodeSet{1, 4}), 3u);
+
+  // Node 2 (log [m0@1], config still {1,2,3}) wins with node 3's vote
+  // and commits its own entry on the other side of the fork.
+  ASSERT_TRUE(Driver.electRound(2, NodeSet{2, 3}));
+  ASSERT_TRUE(Sys.invoke(2, 5));
+  ASSERT_EQ(Driver.commitRound(2, NodeSet{2, 3}), 2u);
+
+  auto Violation = Sys.checkCommittedAgreement();
+  ASSERT_TRUE(Violation.has_value()) << Sys.dump();
+}
+
+TEST(RaftBugNetworkTest, WithR2DoubleReconfigBlocked) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}));
+  SRaftDriver Driver(Sys);
+  ASSERT_TRUE(Driver.electRound(1, NodeSet{1, 2}));
+  ASSERT_TRUE(Sys.invoke(1, 0));
+  ASSERT_EQ(Driver.commitRound(1, NodeSet{1, 2}), 1u);
+  ASSERT_TRUE(Sys.reconfig(1, Config(NodeSet{1, 2})));
+  EXPECT_FALSE(Sys.reconfig(1, Config(NodeSet{1, 2, 4})));
+}

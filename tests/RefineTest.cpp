@@ -1,0 +1,267 @@
+//===- tests/RefineTest.cpp - Refinement checking tests ----------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the executable refinement pipeline (Section 5 / Appendix C):
+/// event extraction from asynchronous runs, SRaft-order normalization,
+/// and the Adore simulation + logMatch check — on deterministic
+/// scenarios, deliberately scrambled deliveries, randomized runs across
+/// all schemes, and a negative control where an ablated (buggy) protocol
+/// correctly FAILS to refine Adore.
+///
+//===----------------------------------------------------------------------===//
+
+#include "refine/RandomRuns.h"
+#include "refine/Refinement.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::refine;
+using raft::MsgKind;
+using raft::RaftSystem;
+
+namespace {
+
+Config initialConfigFor(SchemeKind Kind, size_t Nodes) {
+  Config C(NodeSet::range(1, Nodes));
+  if (Kind == SchemeKind::PrimaryBackup)
+    C.Param = 1;
+  if (Kind == SchemeKind::DynamicQuorum)
+    C.Param = Nodes / 2 + 1;
+  return C;
+}
+
+/// Delivers every pending message of the given kind (in queue order).
+void deliverAll(EventRecorder &Rec, MsgKind Kind) {
+  RaftSystem &Sys = Rec.system();
+  for (size_t I = 0; I < Sys.pending().size();) {
+    if (Sys.pending()[I].Kind == Kind)
+      Rec.deliver(I);
+    else
+      ++I;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Normalization
+//===----------------------------------------------------------------------===//
+
+TEST(NormalizeTest, SortsByTermThenPosition) {
+  std::vector<ProtocolEvent> Events(5);
+  Events[0] = {PEventKind::Commit, 1, 2, {}, 0, {}, 3, {}, 0};
+  Events[1] = {PEventKind::ElectionWon, 1, 2, {}, 0, {}, 0, {}, 1};
+  Events[2] = {PEventKind::Invoke, 1, 2, {}, 9, {}, 3, {}, 2};
+  Events[3] = {PEventKind::ElectionWon, 2, 1, {}, 0, {}, 0, {}, 3};
+  Events[4] = {PEventKind::Invoke, 2, 1, {}, 8, {}, 1, {}, 4};
+  auto Sorted = normalizeTrace(Events);
+  // Term 1 first (election, invoke), then term 2 (election, invoke at
+  // slot 3, commit of slot 3).
+  EXPECT_EQ(Sorted[0].Kind, PEventKind::ElectionWon);
+  EXPECT_EQ(Sorted[0].T, 1u);
+  EXPECT_EQ(Sorted[1].Kind, PEventKind::Invoke);
+  EXPECT_EQ(Sorted[1].T, 1u);
+  EXPECT_EQ(Sorted[2].Kind, PEventKind::ElectionWon);
+  EXPECT_EQ(Sorted[2].T, 2u);
+  EXPECT_EQ(Sorted[3].Kind, PEventKind::Invoke);
+  EXPECT_EQ(Sorted[3].T, 2u);
+  EXPECT_EQ(Sorted[4].Kind, PEventKind::Commit);
+}
+
+TEST(NormalizeTest, StableOnTies) {
+  std::vector<ProtocolEvent> Events(2);
+  Events[0] = {PEventKind::Invoke, 1, 1, {}, 7, {}, 2, {}, 0};
+  Events[1] = {PEventKind::Invoke, 1, 1, {}, 8, {}, 2, {}, 1};
+  auto Sorted = normalizeTrace(Events);
+  EXPECT_EQ(Sorted[0].Method, 7u);
+  EXPECT_EQ(Sorted[1].Method, 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic scenarios
+//===----------------------------------------------------------------------===//
+
+TEST(RefineTest, SimpleLeaderRunRefines) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}));
+  EventRecorder Rec(Sys);
+
+  Rec.elect(1);
+  deliverAll(Rec, MsgKind::ElectReq);
+  deliverAll(Rec, MsgKind::ElectAck);
+  ASSERT_TRUE(Sys.isLeader(1));
+  ASSERT_TRUE(Rec.invoke(1, 10));
+  ASSERT_TRUE(Rec.invoke(1, 11));
+  Rec.startCommit(1);
+  deliverAll(Rec, MsgKind::CommitReq);
+  deliverAll(Rec, MsgKind::CommitAck);
+
+  // Events: 1 election, 2 invokes, 1 commit (adoption crossing).
+  ASSERT_EQ(Rec.events().size(), 4u);
+  RefinementChecker Checker(*Scheme, Config(NodeSet{1, 2, 3}));
+  RefinementResult Res = Checker.check(normalizeTrace(Rec.events()));
+  EXPECT_TRUE(Res.holds()) << *Res.Violation << Res.FinalAdoreDump;
+  EXPECT_EQ(Res.MirroredSteps, 4u);
+}
+
+TEST(RefineTest, ReconfigurationRunRefines) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}));
+  EventRecorder Rec(Sys);
+
+  Rec.elect(1);
+  deliverAll(Rec, MsgKind::ElectReq);
+  deliverAll(Rec, MsgKind::ElectAck);
+  ASSERT_TRUE(Rec.invoke(1, 0)); // Barrier no-op.
+  Rec.startCommit(1);
+  deliverAll(Rec, MsgKind::CommitReq);
+  deliverAll(Rec, MsgKind::CommitAck); // Leader learns the commit (R3).
+  ASSERT_TRUE(Rec.reconfig(1, Config(NodeSet{1, 2, 3, 4})));
+  Rec.startCommit(1);
+  deliverAll(Rec, MsgKind::CommitReq);
+  deliverAll(Rec, MsgKind::CommitAck);
+
+  RefinementChecker Checker(*Scheme, Config(NodeSet{1, 2, 3}));
+  RefinementResult Res = Checker.check(normalizeTrace(Rec.events()));
+  EXPECT_TRUE(Res.holds()) << *Res.Violation << Res.FinalAdoreDump;
+}
+
+TEST(RefineTest, LeaderTurnoverRefines) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}));
+  EventRecorder Rec(Sys);
+
+  // Leader 1 commits an entry, leader 2 takes over and extends.
+  Rec.elect(1);
+  deliverAll(Rec, MsgKind::ElectReq);
+  deliverAll(Rec, MsgKind::ElectAck);
+  ASSERT_TRUE(Rec.invoke(1, 10));
+  Rec.startCommit(1);
+  deliverAll(Rec, MsgKind::CommitReq);
+  deliverAll(Rec, MsgKind::CommitAck);
+  Rec.elect(2);
+  deliverAll(Rec, MsgKind::ElectReq);
+  deliverAll(Rec, MsgKind::ElectAck);
+  ASSERT_TRUE(Sys.isLeader(2));
+  ASSERT_TRUE(Rec.invoke(2, 20));
+  Rec.startCommit(2);
+  deliverAll(Rec, MsgKind::CommitReq);
+  deliverAll(Rec, MsgKind::CommitAck);
+
+  RefinementChecker Checker(*Scheme, Config(NodeSet{1, 2, 3}));
+  RefinementResult Res = Checker.check(normalizeTrace(Rec.events()));
+  EXPECT_TRUE(Res.holds()) << *Res.Violation << Res.FinalAdoreDump;
+}
+
+TEST(RefineTest, ScrambledAcksStillRefine) {
+  // Delay the commit acknowledgements of leader 1 past leader 2's whole
+  // tenure: normalization must reorder the mirror into logical time.
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3}));
+  EventRecorder Rec(Sys);
+
+  Rec.elect(1);
+  deliverAll(Rec, MsgKind::ElectReq);
+  deliverAll(Rec, MsgKind::ElectAck);
+  ASSERT_TRUE(Rec.invoke(1, 10));
+  Rec.startCommit(1);
+  deliverAll(Rec, MsgKind::CommitReq);
+  // Acks for term 1 are still in flight when node 2 runs its election
+  // with node 3 only (node 2 holds entry 10; node 3 adopted it too).
+  Rec.elect(2);
+  for (size_t I = 0; I < Sys.pending().size();) {
+    const raft::Msg &M = Sys.pending()[I];
+    if (M.T == 2 && (M.Kind == MsgKind::ElectReq ||
+                     M.Kind == MsgKind::ElectAck))
+      Rec.deliver(I);
+    else
+      ++I;
+  }
+  ASSERT_TRUE(Sys.isLeader(2));
+  ASSERT_TRUE(Rec.invoke(2, 20));
+  Rec.startCommit(2);
+  deliverAll(Rec, MsgKind::CommitReq);
+  // Now the stale term-1 acks (and everything else) finally arrive.
+  deliverAll(Rec, MsgKind::CommitAck);
+  deliverAll(Rec, MsgKind::ElectReq);
+  deliverAll(Rec, MsgKind::ElectAck);
+
+  RefinementChecker Checker(*Scheme, Config(NodeSet{1, 2, 3}));
+  RefinementResult Res = Checker.check(normalizeTrace(Rec.events()));
+  EXPECT_TRUE(Res.holds()) << *Res.Violation << Res.FinalAdoreDump;
+}
+
+//===----------------------------------------------------------------------===//
+// Negative control: a buggy protocol must NOT refine Adore
+//===----------------------------------------------------------------------===//
+
+TEST(RefineTest, AblatedProtocolFailsRefinement) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  raft::RaftOptions Opts;
+  Opts.EnforceR3 = false;
+  RaftSystem Sys(*Scheme, Config(NodeSet{1, 2, 3, 4}), Opts);
+  EventRecorder Rec(Sys);
+
+  // Fig. 4: S1 leads and reconfigures without a barrier.
+  Rec.elect(1);
+  deliverAll(Rec, MsgKind::ElectReq);
+  deliverAll(Rec, MsgKind::ElectAck);
+  ASSERT_TRUE(Sys.isLeader(1));
+  ASSERT_TRUE(Rec.reconfig(1, Config(NodeSet{1, 2, 3})));
+
+  RefinementChecker Checker(*Scheme, Config(NodeSet{1, 2, 3, 4}));
+  RefinementResult Res = Checker.check(normalizeTrace(Rec.events()));
+  ASSERT_FALSE(Res.holds());
+  EXPECT_NE(Res.Violation->find("reconfig failed"), std::string::npos)
+      << *Res.Violation;
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized refinement across schemes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class RandomRefinement : public ::testing::TestWithParam<SchemeKind> {};
+
+} // namespace
+
+TEST_P(RandomRefinement, RandomRunsRefine) {
+  auto Scheme = makeScheme(GetParam());
+  Config Initial = initialConfigFor(GetParam(), 3);
+  size_t TotalMirrored = 0;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    RaftSystem Sys(*Scheme, Initial);
+    EventRecorder Rec(Sys);
+    Rng R(Seed * 7919);
+    RunOptions Opts;
+    Opts.Steps = 350;
+    Opts.ExtraNodes = NodeSet{4, 5};
+    runRandomRecordedRun(Rec, R, Opts);
+
+    ASSERT_FALSE(Sys.checkCommittedAgreement().has_value());
+    RefinementChecker Checker(*Scheme, Initial);
+    RefinementResult Res = Checker.check(normalizeTrace(Rec.events()));
+    ASSERT_TRUE(Res.holds())
+        << "seed " << Seed << ": " << *Res.Violation << "\n"
+        << Res.FinalAdoreDump << Sys.dump();
+    TotalMirrored += Res.MirroredSteps;
+  }
+  // The runs must actually exercise the protocol.
+  EXPECT_GT(TotalMirrored, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, RandomRefinement, ::testing::ValuesIn(allSchemeKinds()),
+    [](const ::testing::TestParamInfo<SchemeKind> &Info) {
+      std::string Name = schemeKindName(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,344 @@
+//===- tests/SchemeTest.cpp - Reconfiguration scheme properties ------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks that every shipped scheme instantiation satisfies the Fig. 7
+/// assumptions (REFLEXIVE and OVERLAP) that the safety proof relies on,
+/// by exhaustively enumerating small configurations and quorums, plus
+/// scheme-specific unit tests matching the Section 6 definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adore/Config.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+
+namespace {
+
+/// All nonempty subsets of {1..N}.
+std::vector<NodeSet> allSubsets(NodeId N) {
+  std::vector<NodeSet> Out;
+  for (uint64_t Mask = 1; Mask < (uint64_t(1) << N); ++Mask) {
+    NodeSet S;
+    for (NodeId I = 0; I != N; ++I)
+      if (Mask & (uint64_t(1) << I))
+        S.insert(I + 1);
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// Every valid configuration of \p Scheme over universe {1..N},
+/// exhaustively over the Config encoding space.
+std::vector<Config> allValidConfigs(const ReconfigScheme &Scheme, NodeId N) {
+  std::vector<Config> Out;
+  std::vector<NodeSet> Sets = allSubsets(N);
+  for (const NodeSet &Members : Sets) {
+    // Plain configurations with every Param up to N (covers primary ids
+    // and dynamic quorum sizes; Param 0 covers param-free schemes).
+    for (uint64_t P = 0; P <= N; ++P) {
+      Config C(Members);
+      C.Param = P;
+      if (Scheme.isValidConfig(C))
+        Out.push_back(std::move(C));
+    }
+    // Joint configurations.
+    for (const NodeSet &Extra : Sets) {
+      Config C(Members);
+      C.Extra = Extra;
+      C.HasExtra = true;
+      if (Scheme.isValidConfig(C))
+        Out.push_back(std::move(C));
+    }
+  }
+  return Out;
+}
+
+/// All quorums of \p C among subsets of mbrs(C).
+std::vector<NodeSet> allQuorums(const ReconfigScheme &Scheme,
+                                const Config &C) {
+  std::vector<NodeSet> Out;
+  NodeSet Members = Scheme.mbrs(C);
+  assert(!Members.empty());
+  NodeId Pivot = Members[0];
+  // Enumerate all subsets (with and without the first member).
+  Members.forAllSubsetsContaining(Pivot, [&](const NodeSet &S) {
+    if (Scheme.isQuorum(S, C))
+      Out.push_back(S);
+    NodeSet WithoutPivot = S;
+    WithoutPivot.erase(Pivot);
+    if (!WithoutPivot.empty() && Scheme.isQuorum(WithoutPivot, C))
+      Out.push_back(WithoutPivot);
+    return true;
+  });
+  return Out;
+}
+
+class SchemeProperty : public ::testing::TestWithParam<SchemeKind> {
+protected:
+  std::unique_ptr<ReconfigScheme> Scheme = makeScheme(GetParam());
+  // Universe size 4 keeps the exhaustive pair enumeration fast while
+  // still covering growth, shrinkage, and joint transitions.
+  static constexpr NodeId UniverseSize = 4;
+};
+
+} // namespace
+
+TEST_P(SchemeProperty, SomeValidConfigExists) {
+  EXPECT_FALSE(allValidConfigs(*Scheme, UniverseSize).empty());
+}
+
+TEST_P(SchemeProperty, ReflexiveHoldsOnValidConfigs) {
+  for (const Config &C : allValidConfigs(*Scheme, UniverseSize))
+    EXPECT_TRUE(Scheme->r1Plus(C, C)) << Scheme->name() << " " << C.str();
+}
+
+TEST_P(SchemeProperty, OverlapHoldsOnRelatedConfigs) {
+  std::vector<Config> Configs = allValidConfigs(*Scheme, UniverseSize);
+  for (const Config &C1 : Configs) {
+    for (const Config &C2 : Configs) {
+      if (!Scheme->r1Plus(C1, C2))
+        continue;
+      for (const NodeSet &Q1 : allQuorums(*Scheme, C1))
+        for (const NodeSet &Q2 : allQuorums(*Scheme, C2))
+          EXPECT_TRUE(Q1.intersects(Q2))
+              << Scheme->name() << ": disjoint quorums " << Q1.str()
+              << " of " << C1.str() << " and " << Q2.str() << " of "
+              << C2.str();
+    }
+  }
+}
+
+TEST_P(SchemeProperty, QuorumsAreSupersetClosed) {
+  // Adding supporters never invalidates a quorum (used implicitly by the
+  // oracle rules: any superset delivery still commits).
+  for (const Config &C : allValidConfigs(*Scheme, UniverseSize)) {
+    NodeSet Members = Scheme->mbrs(C);
+    for (const NodeSet &Q : allQuorums(*Scheme, C)) {
+      for (NodeId N : Members) {
+        NodeSet Super = Q;
+        Super.insert(N);
+        EXPECT_TRUE(Scheme->isQuorum(Super, C))
+            << Scheme->name() << ": " << Super.str() << " of " << C.str();
+      }
+    }
+  }
+}
+
+TEST_P(SchemeProperty, FullMembershipIsAQuorum) {
+  for (const Config &C : allValidConfigs(*Scheme, UniverseSize))
+    EXPECT_TRUE(Scheme->isQuorum(Scheme->mbrs(C), C))
+        << Scheme->name() << " " << C.str();
+}
+
+TEST_P(SchemeProperty, EmptySetIsNeverAQuorum) {
+  for (const Config &C : allValidConfigs(*Scheme, UniverseSize))
+    EXPECT_FALSE(Scheme->isQuorum(NodeSet{}, C))
+        << Scheme->name() << " " << C.str();
+}
+
+TEST_P(SchemeProperty, CandidatesSatisfyR1PlusAndValidity) {
+  NodeSet Universe = NodeSet::range(1, UniverseSize);
+  for (const Config &C : allValidConfigs(*Scheme, UniverseSize)) {
+    for (const Config &Next : Scheme->candidateReconfigs(C, Universe)) {
+      EXPECT_TRUE(Scheme->isValidConfig(Next))
+          << Scheme->name() << ": invalid candidate " << Next.str();
+      EXPECT_TRUE(Scheme->r1Plus(C, Next))
+          << Scheme->name() << ": candidate " << Next.str()
+          << " not R1+-related to " << C.str();
+    }
+  }
+}
+
+TEST_P(SchemeProperty, ReconfigurableSchemesOfferCandidates) {
+  if (!Scheme->allowsReconfig())
+    GTEST_SKIP() << "static scheme";
+  NodeSet Universe = NodeSet::range(1, UniverseSize);
+  Config Base(NodeSet{1, 2, 3});
+  if (GetParam() == SchemeKind::PrimaryBackup)
+    Base.Param = 1;
+  if (GetParam() == SchemeKind::DynamicQuorum)
+    Base.Param = 2;
+  ASSERT_TRUE(Scheme->isValidConfig(Base));
+  EXPECT_FALSE(Scheme->candidateReconfigs(Base, Universe).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeProperty, ::testing::ValuesIn(allSchemeKinds()),
+    [](const ::testing::TestParamInfo<SchemeKind> &Info) {
+      std::string Name = schemeKindName(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Scheme-specific behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(RaftSingleNodeSchemeTest, MajorityQuorum) {
+  auto S = makeScheme(SchemeKind::RaftSingleNode);
+  Config C(NodeSet{1, 2, 3});
+  EXPECT_TRUE(S->isQuorum(NodeSet{1, 2}, C));
+  EXPECT_FALSE(S->isQuorum(NodeSet{1}, C));
+  EXPECT_TRUE(S->isQuorum(NodeSet{1, 2, 3}, C));
+}
+
+TEST(RaftSingleNodeSchemeTest, R1PlusIsSingleDelta) {
+  auto S = makeScheme(SchemeKind::RaftSingleNode);
+  Config C3(NodeSet{1, 2, 3});
+  EXPECT_TRUE(S->r1Plus(C3, Config(NodeSet{1, 2, 3, 4})));
+  EXPECT_TRUE(S->r1Plus(C3, Config(NodeSet{1, 2})));
+  EXPECT_TRUE(S->r1Plus(C3, C3));
+  // Two changes at once are rejected.
+  EXPECT_FALSE(S->r1Plus(C3, Config(NodeSet{1, 2, 4})));
+  EXPECT_FALSE(S->r1Plus(C3, Config(NodeSet{1, 2, 3, 4, 5})));
+}
+
+TEST(RaftJointSchemeTest, JointQuorumNeedsBothMajorities) {
+  auto S = makeScheme(SchemeKind::RaftJoint);
+  Config Joint(NodeSet{1, 2, 3});
+  Joint.Extra = NodeSet{3, 4, 5};
+  Joint.HasExtra = true;
+  // {1, 2} is a majority of old but not of new.
+  EXPECT_FALSE(S->isQuorum(NodeSet{1, 2}, Joint));
+  // {3, 4} is a majority of new but not of old.
+  EXPECT_FALSE(S->isQuorum(NodeSet{3, 4}, Joint));
+  // {2, 3, 4} is a majority of both.
+  EXPECT_TRUE(S->isQuorum(NodeSet{2, 3, 4}, Joint));
+}
+
+TEST(RaftJointSchemeTest, TransitionShape) {
+  auto S = makeScheme(SchemeKind::RaftJoint);
+  Config Old(NodeSet{1, 2, 3});
+  Config Joint(NodeSet{1, 2, 3});
+  Joint.Extra = NodeSet{2, 3, 4};
+  Joint.HasExtra = true;
+  Config New(NodeSet{2, 3, 4});
+  EXPECT_TRUE(S->r1Plus(Old, Joint));
+  EXPECT_TRUE(S->r1Plus(Joint, New));
+  // Cannot jump directly old -> new.
+  EXPECT_FALSE(S->r1Plus(Old, New));
+  // Cannot leave joint for an unrelated plain config.
+  EXPECT_FALSE(S->r1Plus(Joint, Old));
+}
+
+TEST(RaftJointSchemeTest, JointMembersAreTheUnion) {
+  auto S = makeScheme(SchemeKind::RaftJoint);
+  Config Joint(NodeSet{1, 2});
+  Joint.Extra = NodeSet{2, 3};
+  Joint.HasExtra = true;
+  EXPECT_EQ(S->mbrs(Joint), (NodeSet{1, 2, 3}));
+}
+
+TEST(PrimaryBackupSchemeTest, QuorumIsAnySetWithPrimary) {
+  auto S = makeScheme(SchemeKind::PrimaryBackup);
+  Config C(NodeSet{1, 2, 3});
+  C.Param = 2;
+  EXPECT_TRUE(S->isQuorum(NodeSet{2}, C));
+  EXPECT_TRUE(S->isQuorum(NodeSet{1, 2}, C));
+  EXPECT_FALSE(S->isQuorum(NodeSet{1, 3}, C));
+}
+
+TEST(PrimaryBackupSchemeTest, PrimaryMayNeverChangeOrLeave) {
+  auto S = makeScheme(SchemeKind::PrimaryBackup);
+  Config C(NodeSet{1, 2});
+  C.Param = 1;
+  Config OtherPrimary(NodeSet{1, 2});
+  OtherPrimary.Param = 2;
+  EXPECT_FALSE(S->r1Plus(C, OtherPrimary));
+  for (const Config &Next :
+       S->candidateReconfigs(C, NodeSet::range(1, 4)))
+    EXPECT_TRUE(Next.Members.contains(1));
+}
+
+TEST(DynamicQuorumSchemeTest, QuorumBySize) {
+  auto S = makeScheme(SchemeKind::DynamicQuorum);
+  Config C(NodeSet{1, 2, 3});
+  C.Param = 3; // Unanimity-sized quorum.
+  EXPECT_FALSE(S->isQuorum(NodeSet{1, 2}, C));
+  EXPECT_TRUE(S->isQuorum(NodeSet{1, 2, 3}, C));
+}
+
+TEST(DynamicQuorumSchemeTest, ValidityRequiresSelfOverlap) {
+  auto S = makeScheme(SchemeKind::DynamicQuorum);
+  Config C(NodeSet{1, 2, 3, 4});
+  C.Param = 2; // 2+2 = 4 = |C|: two disjoint quorums would fit.
+  EXPECT_FALSE(S->isValidConfig(C));
+  C.Param = 3;
+  EXPECT_TRUE(S->isValidConfig(C));
+}
+
+TEST(DynamicQuorumSchemeTest, LargerQuorumAllowsBiggerShrink) {
+  auto S = makeScheme(SchemeKind::DynamicQuorum);
+  Config Big(NodeSet{1, 2, 3, 4, 5});
+  Big.Param = 5;
+  Config Small(NodeSet{1});
+  Small.Param = 1;
+  // |Big| = 5 < 5 + 1: a 4-node shrink in one step is legal.
+  EXPECT_TRUE(S->r1Plus(Big, Small));
+  // With a bare majority quorum it is not.
+  Config BigMaj(NodeSet{1, 2, 3, 4, 5});
+  BigMaj.Param = 3;
+  EXPECT_FALSE(S->r1Plus(BigMaj, Small));
+}
+
+TEST(UnanimousSchemeTest, QuorumIsEverybody) {
+  auto S = makeScheme(SchemeKind::Unanimous);
+  Config C(NodeSet{1, 2, 3});
+  EXPECT_FALSE(S->isQuorum(NodeSet{1, 2}, C));
+  EXPECT_TRUE(S->isQuorum(NodeSet{1, 2, 3}, C));
+}
+
+TEST(UnanimousSchemeTest, OverlappingSwapsAllowed) {
+  auto S = makeScheme(SchemeKind::Unanimous);
+  EXPECT_TRUE(
+      S->r1Plus(Config(NodeSet{1, 2, 3}), Config(NodeSet{3, 4, 5})));
+  EXPECT_FALSE(
+      S->r1Plus(Config(NodeSet{1, 2}), Config(NodeSet{3, 4})));
+}
+
+TEST(StaticSchemeTest, NoReconfiguration) {
+  auto S = makeScheme(SchemeKind::Static);
+  EXPECT_FALSE(S->allowsReconfig());
+  Config C(NodeSet{1, 2, 3});
+  EXPECT_TRUE(S->candidateReconfigs(C, NodeSet::range(1, 5)).empty());
+  EXPECT_TRUE(S->r1Plus(C, C));
+  EXPECT_FALSE(S->r1Plus(C, Config(NodeSet{1, 2})));
+}
+
+TEST(SchemeFactoryTest, NamesMatchKinds) {
+  for (SchemeKind Kind : allSchemeKinds()) {
+    auto S = makeScheme(Kind);
+    EXPECT_STREQ(S->name(), schemeKindName(Kind));
+  }
+}
+
+TEST(ConfigTest, StrFormats) {
+  Config Plain(NodeSet{1, 2});
+  EXPECT_EQ(Plain.str(), "{1, 2}");
+  Config Joint(NodeSet{1});
+  Joint.Extra = NodeSet{2};
+  Joint.HasExtra = true;
+  EXPECT_EQ(Joint.str(), "joint({1}, {2})");
+}
+
+TEST(ConfigTest, EqualityCoversAllFields) {
+  Config A(NodeSet{1, 2});
+  Config B = A;
+  EXPECT_EQ(A, B);
+  B.Param = 1;
+  EXPECT_NE(A, B);
+  B = A;
+  B.HasExtra = true;
+  EXPECT_NE(A, B);
+  B = A;
+  B.Extra = NodeSet{3};
+  EXPECT_NE(A, B);
+}

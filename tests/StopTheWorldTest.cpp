@@ -1,0 +1,227 @@
+//===- tests/StopTheWorldTest.cpp - Section 8 extension tests ----------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the stop-the-world reconfiguration extension sketched in the
+/// paper's Section 8: committing an RCache "deletes all caches not on
+/// the active branch", modeling Stoppable-Paxos / WormSpace sealing.
+/// Covers the tree-pruning primitive, the semantic effects (stale
+/// leaders lose their speculative state at the seal), and exhaustive
+/// bounded safety of the modified model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adore/Invariants.h"
+#include "mc/AdoreModel.h"
+#include "mc/Explorer.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::mc;
+
+namespace {
+
+Cache makeCache(CacheKind Kind, NodeId Caller, Time T, Vrsn V) {
+  Cache C;
+  C.Kind = Kind;
+  C.Caller = Caller;
+  C.T = T;
+  C.V = V;
+  C.Conf = Config(NodeSet{1, 2, 3});
+  C.Supporters = NodeSet{Caller};
+  return C;
+}
+
+CacheTree makeTree() {
+  Config Root(NodeSet{1, 2, 3});
+  return CacheTree(Root, Root.Members);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// pruneToBranch
+//===----------------------------------------------------------------------===//
+
+TEST(PruneTest, DropsSiblingBranches) {
+  CacheTree Tree = makeTree();
+  CacheId E1 = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M1 = Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 1));
+  Tree.addLeaf(E1, makeCache(CacheKind::Method, 1, 1, 2)); // Sibling.
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 2, 0));
+  uint64_t BranchOnlyFp;
+  {
+    // Reference: a tree grown with only the surviving branch.
+    CacheTree Ref = makeTree();
+    CacheId RE = Ref.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+    Ref.addLeaf(RE, makeCache(CacheKind::Method, 1, 1, 1));
+    BranchOnlyFp = Ref.canonicalFingerprint();
+  }
+  CacheId NewTip = Tree.pruneToBranch(M1);
+  EXPECT_EQ(Tree.size(), 3u);
+  EXPECT_TRUE(Tree.cache(NewTip).isMethod());
+  EXPECT_EQ(Tree.canonicalFingerprint(), BranchOnlyFp);
+}
+
+TEST(PruneTest, KeepsDescendantsOfTip) {
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M1 = Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId M2 = Tree.addLeaf(M1, makeCache(CacheKind::Method, 1, 1, 2));
+  Tree.addLeaf(M2, makeCache(CacheKind::Method, 1, 1, 3));
+  CacheId Tip = Tree.pruneToBranch(M1);
+  // Root, E, M1, M2, M3 all survive.
+  EXPECT_EQ(Tree.size(), 5u);
+  EXPECT_EQ(Tree.children(Tip).size(), 1u);
+}
+
+TEST(PruneTest, HandlesInsertBtwReparenting) {
+  // insertBtw creates a child with a smaller id than its parent; the
+  // prune rebuild must still process parents first.
+  CacheTree Tree = makeTree();
+  CacheId E = Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  CacheId M1 = Tree.addLeaf(E, makeCache(CacheKind::Method, 1, 1, 1));
+  CacheId M2 = Tree.addLeaf(M1, makeCache(CacheKind::Method, 1, 1, 2));
+  CacheId C = Tree.insertBtw(M1, makeCache(CacheKind::Commit, 1, 1, 1));
+  ASSERT_EQ(Tree.cache(M2).Parent, C);
+  CacheId Tip = Tree.pruneToBranch(C);
+  EXPECT_EQ(Tree.size(), 5u);
+  // The commit still sits between M1 and M2.
+  const Cache &Cert = Tree.cache(Tip);
+  EXPECT_TRUE(Cert.isCommit());
+  EXPECT_TRUE(Tree.cache(Cert.Parent).isMethod());
+  ASSERT_EQ(Tree.children(Tip).size(), 1u);
+  EXPECT_TRUE(Tree.cache(Tree.children(Tip)[0]).isMethod());
+  EXPECT_FALSE(checkDescendantOrder(Tree).has_value());
+}
+
+TEST(PruneTest, PruneToRootLeavesEverythingBelowRootBranch) {
+  CacheTree Tree = makeTree();
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 1, 1, 0));
+  Tree.addLeaf(RootCacheId, makeCache(CacheKind::Election, 2, 2, 0));
+  // Pruning to the root keeps the whole tree (everything descends).
+  CacheId NewRoot = Tree.pruneToBranch(RootCacheId);
+  EXPECT_EQ(NewRoot, RootCacheId);
+  EXPECT_EQ(Tree.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Semantics with StopTheWorldReconfig
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct StwFixture {
+  StwFixture() : Scheme(makeScheme(SchemeKind::RaftSingleNode)) {
+    SemanticsOptions Opts;
+    Opts.StopTheWorldReconfig = true;
+    Sem = std::make_unique<Semantics>(*Scheme, Opts);
+    St = std::make_unique<AdoreState>(*Scheme, Config(NodeSet{1, 2, 3}));
+  }
+
+  std::unique_ptr<ReconfigScheme> Scheme;
+  std::unique_ptr<Semantics> Sem;
+  std::unique_ptr<AdoreState> St;
+};
+
+} // namespace
+
+TEST(StopTheWorldTest, CommittedReconfigSealsTheOldWorld) {
+  StwFixture F;
+  // Leader 1 commits a barrier, while node 2 holds a speculative fork.
+  F.Sem->pull(*F.St, 1, PullChoice{NodeSet{1, 2}, 1});
+  ASSERT_TRUE(F.Sem->invoke(*F.St, 1, 10));
+  F.Sem->push(*F.St, 1, PushChoice{NodeSet{1, 2}, F.St->Tree.activeCache(1)});
+  ASSERT_TRUE(F.Sem->invoke(*F.St, 1, 11)); // Uncommitted tail.
+  size_t SizeBefore = F.St->Tree.size();
+
+  // Reconfig and commit it: the uncommitted tail and any side branches
+  // die with the old cluster.
+  ASSERT_TRUE(F.Sem->reconfig(*F.St, 1, Config(NodeSet{1, 2})));
+  CacheId RCache = F.St->Tree.activeCache(1);
+  // The RCache is a child of the M11 tail? No: it chains after the
+  // active cache, which is M11. Committing it therefore commits M11
+  // too; the seal keeps the whole committed branch.
+  F.Sem->push(*F.St, 1, PushChoice{NodeSet{1, 2}, RCache});
+  EXPECT_LE(F.St->Tree.size(), SizeBefore + 2);
+  // Post-seal the tree is a single branch.
+  size_t Leaves = 0;
+  F.St->Tree.forEach([&](const Cache &C) {
+    Leaves += F.St->Tree.children(C.Id).empty();
+  });
+  EXPECT_EQ(Leaves, 1u);
+  EXPECT_FALSE(checkInvariants(F.St->Tree).has_value());
+}
+
+TEST(StopTheWorldTest, StaleForkIsGoneAfterSeal) {
+  StwFixture F;
+  // Node 2 leads first and leaves an uncommitted method on a fork.
+  F.Sem->pull(*F.St, 2, PullChoice{NodeSet{2, 3}, 1});
+  ASSERT_TRUE(F.Sem->invoke(*F.St, 2, 99));
+  // Node 1 takes over, commits its barrier, reconfigures, seals.
+  F.Sem->pull(*F.St, 1, PullChoice{NodeSet{1, 3}, 2});
+  ASSERT_TRUE(F.Sem->invoke(*F.St, 1, 10));
+  F.Sem->push(*F.St, 1, PushChoice{NodeSet{1, 3}, F.St->Tree.activeCache(1)});
+  ASSERT_TRUE(F.Sem->reconfig(*F.St, 1, Config(NodeSet{1, 3})));
+  F.Sem->push(*F.St, 1, PushChoice{NodeSet{1, 3}, F.St->Tree.activeCache(1)});
+  // Node 2's speculative cache is gone: it no longer has an active
+  // cache at all, so its invoke fails outright.
+  EXPECT_EQ(F.St->Tree.activeCache(2), InvalidCacheId);
+  EXPECT_FALSE(F.Sem->invoke(*F.St, 2, 100));
+  EXPECT_FALSE(checkInvariants(F.St->Tree).has_value());
+}
+
+TEST(StopTheWorldTest, HotModeKeepsForksForComparison) {
+  // Control: same scenario with the paper's default hot semantics keeps
+  // node 2's fork alive as a viable (if doomed) sibling.
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  Semantics Hot(*Scheme);
+  AdoreState St(*Scheme, Config(NodeSet{1, 2, 3}));
+  Hot.pull(St, 2, PullChoice{NodeSet{2, 3}, 1});
+  ASSERT_TRUE(Hot.invoke(St, 2, 99));
+  Hot.pull(St, 1, PullChoice{NodeSet{1, 3}, 2});
+  ASSERT_TRUE(Hot.invoke(St, 1, 10));
+  Hot.push(St, 1, PushChoice{NodeSet{1, 3}, St.Tree.activeCache(1)});
+  ASSERT_TRUE(Hot.reconfig(St, 1, Config(NodeSet{1, 3})));
+  Hot.push(St, 1, PushChoice{NodeSet{1, 3}, St.Tree.activeCache(1)});
+  EXPECT_NE(St.Tree.activeCache(2), InvalidCacheId);
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive safety of the modified model
+//===----------------------------------------------------------------------===//
+
+TEST(StopTheWorldTest, ExhaustiveSafetyHolds) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  SemanticsOptions SemOpts;
+  SemOpts.StopTheWorldReconfig = true;
+  AdoreModelOptions Opts;
+  Opts.MaxCaches = 6;
+  Opts.MaxTime = 2;
+  AdoreModel M(*Scheme, Config(NodeSet{1, 2, 3}), SemOpts, Opts);
+  ExploreOptions EOpts;
+  EOpts.MaxStates = 2000000;
+  ExploreResult Res = explore(M, EOpts);
+  EXPECT_FALSE(Res.foundViolation()) << *Res.Violation;
+  EXPECT_TRUE(Res.exhausted()) << "states: " << Res.States;
+}
+
+TEST(StopTheWorldTest, RandomWalksStaySafe) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  SemanticsOptions SemOpts;
+  SemOpts.StopTheWorldReconfig = true;
+  SemOpts.ExtraNodes = NodeSet{4};
+  AdoreModelOptions Opts;
+  Opts.MaxCaches = 14;
+  Opts.MaxTime = 8;
+  AdoreModel M(*Scheme, Config(NodeSet{1, 2, 3}), SemOpts, Opts);
+  ExploreResult Res = randomWalks(M, /*Walks=*/50, /*WalkDepth=*/24,
+                                  /*Seed=*/3);
+  EXPECT_FALSE(Res.foundViolation())
+      << *Res.Violation << "\n"
+      << Res.ViolatingState;
+}

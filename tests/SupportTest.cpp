@@ -1,0 +1,251 @@
+//===- tests/SupportTest.cpp - Support library unit tests ------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+#include "support/NodeSet.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace adore;
+
+//===----------------------------------------------------------------------===//
+// NodeSet
+//===----------------------------------------------------------------------===//
+
+TEST(NodeSetTest, EmptyBasics) {
+  NodeSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_FALSE(S.contains(0));
+  EXPECT_EQ(S.str(), "{}");
+}
+
+TEST(NodeSetTest, InsertIsIdempotent) {
+  NodeSet S;
+  EXPECT_TRUE(S.insert(3));
+  EXPECT_FALSE(S.insert(3));
+  EXPECT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S.contains(3));
+}
+
+TEST(NodeSetTest, EraseRemovesOnlyPresent) {
+  NodeSet S{1, 2, 3};
+  EXPECT_TRUE(S.erase(2));
+  EXPECT_FALSE(S.erase(2));
+  EXPECT_FALSE(S.contains(2));
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(NodeSetTest, OrderIsSorted) {
+  NodeSet S{5, 1, 3};
+  std::vector<NodeId> Got(S.begin(), S.end());
+  EXPECT_EQ(Got, (std::vector<NodeId>{1, 3, 5}));
+  EXPECT_EQ(S[0], 1u);
+  EXPECT_EQ(S[2], 5u);
+}
+
+TEST(NodeSetTest, RangeBuildsContiguousSet) {
+  NodeSet S = NodeSet::range(2, 4);
+  EXPECT_EQ(S, (NodeSet{2, 3, 4, 5}));
+}
+
+TEST(NodeSetTest, IntersectUnionDifference) {
+  NodeSet A{1, 2, 3}, B{2, 3, 4};
+  EXPECT_EQ(A.intersectWith(B), (NodeSet{2, 3}));
+  EXPECT_EQ(A.unionWith(B), (NodeSet{1, 2, 3, 4}));
+  EXPECT_EQ(A.differenceWith(B), (NodeSet{1}));
+  EXPECT_EQ(B.differenceWith(A), (NodeSet{4}));
+}
+
+TEST(NodeSetTest, IntersectsAgreesWithIntersection) {
+  NodeSet A{1, 5}, B{2, 5}, C{2, 3};
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_FALSE(A.intersects(C));
+  EXPECT_TRUE(B.intersects(C));
+  EXPECT_FALSE(NodeSet{}.intersects(A));
+}
+
+TEST(NodeSetTest, SubsetChecks) {
+  NodeSet A{1, 2}, B{1, 2, 3};
+  EXPECT_TRUE(A.isSubsetOf(B));
+  EXPECT_FALSE(B.isSubsetOf(A));
+  EXPECT_TRUE(A.isSubsetOf(A));
+  EXPECT_TRUE(NodeSet{}.isSubsetOf(A));
+}
+
+TEST(NodeSetTest, SubsetEnumerationCoversPowerSetWithPivot) {
+  NodeSet S{1, 2, 3};
+  std::set<std::vector<NodeId>> Seen;
+  S.forAllSubsetsContaining(2, [&](const NodeSet &Sub) {
+    EXPECT_TRUE(Sub.contains(2));
+    EXPECT_TRUE(Sub.isSubsetOf(S));
+    Seen.insert(Sub.raw());
+    return true;
+  });
+  // 2^(3-1) subsets contain the pivot.
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(NodeSetTest, SubsetEnumerationWithoutPivotIsEmpty) {
+  NodeSet S{1, 3};
+  size_t Count = 0;
+  S.forAllSubsetsContaining(2, [&](const NodeSet &) {
+    ++Count;
+    return true;
+  });
+  EXPECT_EQ(Count, 0u);
+}
+
+TEST(NodeSetTest, SubsetEnumerationEarlyStop) {
+  NodeSet S{1, 2, 3, 4};
+  size_t Count = 0;
+  bool Finished = S.forAllSubsetsContaining(1, [&](const NodeSet &) {
+    return ++Count < 3;
+  });
+  EXPECT_FALSE(Finished);
+  EXPECT_EQ(Count, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(HashingTest, DeterministicAcrossInstances) {
+  Fnv1aHasher A, B;
+  A.addU64(42);
+  A.addString("hello");
+  B.addU64(42);
+  B.addString("hello");
+  EXPECT_EQ(A.finish(), B.finish());
+}
+
+TEST(HashingTest, OrderSensitivity) {
+  Fnv1aHasher A, B;
+  A.addU64(1);
+  A.addU64(2);
+  B.addU64(2);
+  B.addU64(1);
+  EXPECT_NE(A.finish(), B.finish());
+}
+
+TEST(HashingTest, NodeSetHashIncludesSize) {
+  // {1} followed by {} must differ from {} followed by {1}.
+  Fnv1aHasher A, B;
+  A.addNodeSet(NodeSet{1});
+  A.addNodeSet(NodeSet{});
+  B.addNodeSet(NodeSet{});
+  B.addNodeSet(NodeSet{1});
+  EXPECT_NE(A.finish(), B.finish());
+}
+
+TEST(HashingTest, CombineIsNotSymmetric) {
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng A(7), B(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(7), B(8);
+  bool AnyDiff = false;
+  for (int I = 0; I != 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng R(123);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng R(99);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t X = R.nextInRange(3, 5);
+    EXPECT_GE(X, 3u);
+    EXPECT_LE(X, 5u);
+    SawLo |= X == 3;
+    SawHi |= X == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng R(5);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.nextChance(0, 10));
+    EXPECT_TRUE(R.nextChance(10, 10));
+  }
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double U = R.nextUnit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng R(2);
+  std::vector<int> V{1, 2, 3, 4, 5};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng A(42), B(42);
+  Rng FA = A.fork(), FB = B.fork();
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(FA.next(), FB.next());
+}
+
+//===----------------------------------------------------------------------===//
+// SampleStats
+//===----------------------------------------------------------------------===//
+
+TEST(StatsTest, MinMeanMax) {
+  SampleStats S;
+  for (double X : {3.0, 1.0, 2.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_EQ(S.count(), 3u);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  SampleStats S;
+  for (int I = 1; I <= 100; ++I)
+    S.add(I);
+  EXPECT_DOUBLE_EQ(S.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100), 100.0);
+  EXPECT_NEAR(S.percentile(50), 50.0, 1.0);
+}
+
+TEST(StatsTest, ClearResets) {
+  SampleStats S;
+  S.add(1.0);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+}
