@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bug_hunt"
+  "../bench/bench_bug_hunt.pdb"
+  "CMakeFiles/bench_bug_hunt.dir/bench_bug_hunt.cpp.o"
+  "CMakeFiles/bench_bug_hunt.dir/bench_bug_hunt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_effort_statespace"
+  "../bench/bench_effort_statespace.pdb"
+  "CMakeFiles/bench_effort_statespace.dir/bench_effort_statespace.cpp.o"
+  "CMakeFiles/bench_effort_statespace.dir/bench_effort_statespace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_effort_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/kvstore_cluster.cpp" "examples/CMakeFiles/kvstore_cluster.dir/kvstore_cluster.cpp.o" "gcc" "examples/CMakeFiles/kvstore_cluster.dir/kvstore_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adore/CMakeFiles/adore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/adore_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ado/CMakeFiles/adore_ado.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/adore_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/refine/CMakeFiles/adore_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/adore_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_cluster.dir/kvstore_cluster.cpp.o"
+  "CMakeFiles/kvstore_cluster.dir/kvstore_cluster.cpp.o.d"
+  "kvstore_cluster"
+  "kvstore_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

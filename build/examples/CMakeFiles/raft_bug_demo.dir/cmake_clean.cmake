@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_bug_demo.dir/raft_bug_demo.cpp.o"
+  "CMakeFiles/raft_bug_demo.dir/raft_bug_demo.cpp.o.d"
+  "raft_bug_demo"
+  "raft_bug_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_bug_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

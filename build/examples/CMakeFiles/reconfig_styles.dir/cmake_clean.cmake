@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_styles.dir/reconfig_styles.cpp.o"
+  "CMakeFiles/reconfig_styles.dir/reconfig_styles.cpp.o.d"
+  "reconfig_styles"
+  "reconfig_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_ado.dir/Ado.cpp.o"
+  "CMakeFiles/adore_ado.dir/Ado.cpp.o.d"
+  "libadore_ado.a"
+  "libadore_ado.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_ado.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

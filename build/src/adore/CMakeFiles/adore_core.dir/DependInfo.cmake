@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adore/Cache.cpp" "src/adore/CMakeFiles/adore_core.dir/Cache.cpp.o" "gcc" "src/adore/CMakeFiles/adore_core.dir/Cache.cpp.o.d"
+  "/root/repo/src/adore/CacheTree.cpp" "src/adore/CMakeFiles/adore_core.dir/CacheTree.cpp.o" "gcc" "src/adore/CMakeFiles/adore_core.dir/CacheTree.cpp.o.d"
+  "/root/repo/src/adore/DotExport.cpp" "src/adore/CMakeFiles/adore_core.dir/DotExport.cpp.o" "gcc" "src/adore/CMakeFiles/adore_core.dir/DotExport.cpp.o.d"
+  "/root/repo/src/adore/Invariants.cpp" "src/adore/CMakeFiles/adore_core.dir/Invariants.cpp.o" "gcc" "src/adore/CMakeFiles/adore_core.dir/Invariants.cpp.o.d"
+  "/root/repo/src/adore/Ops.cpp" "src/adore/CMakeFiles/adore_core.dir/Ops.cpp.o" "gcc" "src/adore/CMakeFiles/adore_core.dir/Ops.cpp.o.d"
+  "/root/repo/src/adore/Oracle.cpp" "src/adore/CMakeFiles/adore_core.dir/Oracle.cpp.o" "gcc" "src/adore/CMakeFiles/adore_core.dir/Oracle.cpp.o.d"
+  "/root/repo/src/adore/Schemes.cpp" "src/adore/CMakeFiles/adore_core.dir/Schemes.cpp.o" "gcc" "src/adore/CMakeFiles/adore_core.dir/Schemes.cpp.o.d"
+  "/root/repo/src/adore/State.cpp" "src/adore/CMakeFiles/adore_core.dir/State.cpp.o" "gcc" "src/adore/CMakeFiles/adore_core.dir/State.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/adore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

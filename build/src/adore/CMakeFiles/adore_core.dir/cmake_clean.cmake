@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_core.dir/Cache.cpp.o"
+  "CMakeFiles/adore_core.dir/Cache.cpp.o.d"
+  "CMakeFiles/adore_core.dir/CacheTree.cpp.o"
+  "CMakeFiles/adore_core.dir/CacheTree.cpp.o.d"
+  "CMakeFiles/adore_core.dir/DotExport.cpp.o"
+  "CMakeFiles/adore_core.dir/DotExport.cpp.o.d"
+  "CMakeFiles/adore_core.dir/Invariants.cpp.o"
+  "CMakeFiles/adore_core.dir/Invariants.cpp.o.d"
+  "CMakeFiles/adore_core.dir/Ops.cpp.o"
+  "CMakeFiles/adore_core.dir/Ops.cpp.o.d"
+  "CMakeFiles/adore_core.dir/Oracle.cpp.o"
+  "CMakeFiles/adore_core.dir/Oracle.cpp.o.d"
+  "CMakeFiles/adore_core.dir/Schemes.cpp.o"
+  "CMakeFiles/adore_core.dir/Schemes.cpp.o.d"
+  "CMakeFiles/adore_core.dir/State.cpp.o"
+  "CMakeFiles/adore_core.dir/State.cpp.o.d"
+  "libadore_core.a"
+  "libadore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

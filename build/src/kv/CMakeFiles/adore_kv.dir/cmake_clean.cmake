@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_kv.dir/KvStore.cpp.o"
+  "CMakeFiles/adore_kv.dir/KvStore.cpp.o.d"
+  "libadore_kv.a"
+  "libadore_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

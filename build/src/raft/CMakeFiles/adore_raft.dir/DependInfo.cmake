@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raft/RaftSystem.cpp" "src/raft/CMakeFiles/adore_raft.dir/RaftSystem.cpp.o" "gcc" "src/raft/CMakeFiles/adore_raft.dir/RaftSystem.cpp.o.d"
+  "/root/repo/src/raft/SRaft.cpp" "src/raft/CMakeFiles/adore_raft.dir/SRaft.cpp.o" "gcc" "src/raft/CMakeFiles/adore_raft.dir/SRaft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adore/CMakeFiles/adore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/adore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_raft.dir/RaftSystem.cpp.o"
+  "CMakeFiles/adore_raft.dir/RaftSystem.cpp.o.d"
+  "CMakeFiles/adore_raft.dir/SRaft.cpp.o"
+  "CMakeFiles/adore_raft.dir/SRaft.cpp.o.d"
+  "libadore_raft.a"
+  "libadore_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

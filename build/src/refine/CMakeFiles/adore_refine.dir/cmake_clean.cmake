@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_refine.dir/RandomRuns.cpp.o"
+  "CMakeFiles/adore_refine.dir/RandomRuns.cpp.o.d"
+  "CMakeFiles/adore_refine.dir/Refinement.cpp.o"
+  "CMakeFiles/adore_refine.dir/Refinement.cpp.o.d"
+  "libadore_refine.a"
+  "libadore_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

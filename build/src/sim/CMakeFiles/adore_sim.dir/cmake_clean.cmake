@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_sim.dir/Cluster.cpp.o"
+  "CMakeFiles/adore_sim.dir/Cluster.cpp.o.d"
+  "CMakeFiles/adore_sim.dir/RaftNode.cpp.o"
+  "CMakeFiles/adore_sim.dir/RaftNode.cpp.o.d"
+  "libadore_sim.a"
+  "libadore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

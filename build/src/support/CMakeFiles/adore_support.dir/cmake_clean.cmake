@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_support.dir/NodeSet.cpp.o"
+  "CMakeFiles/adore_support.dir/NodeSet.cpp.o.d"
+  "libadore_support.a"
+  "libadore_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

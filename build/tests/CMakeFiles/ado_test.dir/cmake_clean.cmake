@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ado_test.dir/AdoTest.cpp.o"
+  "CMakeFiles/ado_test.dir/AdoTest.cpp.o.d"
+  "ado_test"
+  "ado_test.pdb"
+  "ado_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ado_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_reconfig_test.dir/AlphaReconfigTest.cpp.o"
+  "CMakeFiles/alpha_reconfig_test.dir/AlphaReconfigTest.cpp.o.d"
+  "alpha_reconfig_test"
+  "alpha_reconfig_test.pdb"
+  "alpha_reconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_reconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_tree_test.dir/CacheTreeTest.cpp.o"
+  "CMakeFiles/cache_tree_test.dir/CacheTreeTest.cpp.o.d"
+  "cache_tree_test"
+  "cache_tree_test.pdb"
+  "cache_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

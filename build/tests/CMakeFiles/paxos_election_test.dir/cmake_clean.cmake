@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxos_election_test.dir/PaxosElectionTest.cpp.o"
+  "CMakeFiles/paxos_election_test.dir/PaxosElectionTest.cpp.o.d"
+  "paxos_election_test"
+  "paxos_election_test.pdb"
+  "paxos_election_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxos_election_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stop_the_world_test.dir/StopTheWorldTest.cpp.o"
+  "CMakeFiles/stop_the_world_test.dir/StopTheWorldTest.cpp.o.d"
+  "stop_the_world_test"
+  "stop_the_world_test.pdb"
+  "stop_the_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stop_the_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/mc_test[1]_include.cmake")
+include("/root/repo/build/tests/ado_test[1]_include.cmake")
+include("/root/repo/build/tests/raft_test[1]_include.cmake")
+include("/root/repo/build/tests/refine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/stop_the_world_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/alpha_reconfig_test[1]_include.cmake")
+include("/root/repo/build/tests/paxos_election_test[1]_include.cmake")
