@@ -52,6 +52,10 @@ bool AdoObject::isAncestorOrSelf(CidRef Anc, CidRef Desc) const {
 
 bool AdoObject::isValidPullChoice(NodeId Nid,
                                   const PullChoice &Choice) const {
+  // An unknown (never-interned) CID is never adoptable; reject it before
+  // any metadata lookup indexes the intern table out of range.
+  if (Choice.Cid >= Cids.size())
+    return false;
   if (Choice.T == 0 || timeOf(Choice.Cid) >= Choice.T)
     return false;
   if (!noOwnerAt(Choice.T))
@@ -267,31 +271,14 @@ AdoObject AdoObject::replay(const std::vector<AdoEvent> &History) {
 
 uint64_t AdoObject::fingerprint() const {
   Fnv1aHasher H;
-  H.addU64(PersistLog.size());
-  for (const auto &[Cid, Method] : PersistLog) {
-    H.addU64(nidOf(Cid));
-    H.addU64(timeOf(Cid));
-    H.addU64(Method);
-  }
-  H.addU64(LiveCaches.size());
-  for (const auto &[Cid, Method] : LiveCaches) {
-    // Hash the CID's structural path so interning order is irrelevant.
-    for (CidRef Cur = Cid; Cur != RootCid; Cur = Cids[Cur].Parent) {
-      H.addU64(Cids[Cur].Nid);
-      H.addU64(Cids[Cur].T);
-    }
-    H.addU64(Method);
-  }
-  H.addU64(OwnerMap.size());
-  for (const auto &[T, Own] : OwnerMap) {
-    H.addU64(T);
-    H.addU64(Own.Nid);
-  }
-  for (const auto &[Nid, T] : LeaderTime) {
-    H.addU64(Nid);
-    H.addU64(T);
-  }
+  addToSink(H);
   return H.finish();
+}
+
+std::string AdoObject::encode() const {
+  StateEncoder E;
+  addToSink(E);
+  return E.take();
 }
 
 std::string AdoObject::dump() const {

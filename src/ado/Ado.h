@@ -190,6 +190,45 @@ public:
   /// Structure fingerprint of the full state (log + caches + maps).
   uint64_t fingerprint() const;
 
+  /// Exact canonical byte encoding covering the same data as the
+  /// fingerprint (shared sink traversal). Audit-layer state identity.
+  std::string encode() const;
+
+  /// Streams the canonical state into a fingerprint hasher or canonical
+  /// encoder. CIDs are emitted as structural (nid, time) paths so that
+  /// interning order is irrelevant; each path is length-prefixed so the
+  /// byte encoding stays injective.
+  template <typename SinkT> void addToSink(SinkT &S) const {
+    S.addU64(PersistLog.size());
+    for (const auto &[Cid, Method] : PersistLog) {
+      S.addU64(nidOf(Cid));
+      S.addU64(timeOf(Cid));
+      S.addU64(Method);
+    }
+    S.addU64(LiveCaches.size());
+    for (const auto &[Cid, Method] : LiveCaches) {
+      size_t PathLen = 0;
+      for (CidRef Cur = Cid; Cur != RootCid; Cur = Cids[Cur].Parent)
+        ++PathLen;
+      S.addU64(PathLen);
+      for (CidRef Cur = Cid; Cur != RootCid; Cur = Cids[Cur].Parent) {
+        S.addU64(Cids[Cur].Nid);
+        S.addU64(Cids[Cur].T);
+      }
+      S.addU64(Method);
+    }
+    S.addU64(OwnerMap.size());
+    for (const auto &[T, Own] : OwnerMap) {
+      S.addU64(T);
+      S.addU64(Own.Nid);
+    }
+    S.addU64(LeaderTime.size());
+    for (const auto &[Nid, T] : LeaderTime) {
+      S.addU64(Nid);
+      S.addU64(T);
+    }
+  }
+
   /// Diagnostic rendering.
   std::string dump() const;
 

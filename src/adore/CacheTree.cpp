@@ -273,30 +273,16 @@ CacheId CacheTree::pruneToBranch(CacheId Tip) {
   return Remap[Tip];
 }
 
-uint64_t CacheTree::subtreeFingerprint(CacheId Id) const {
-  const Cache &C = Caches[Id];
+uint64_t CacheTree::canonicalFingerprint() const {
   Fnv1aHasher H;
-  H.addByte(static_cast<uint8_t>(C.Kind));
-  H.addU64(C.Caller);
-  H.addU64(C.T);
-  H.addU64(C.V);
-  H.addU64(C.Method);
-  C.Conf.addToHash(H);
-  H.addNodeSet(C.Supporters);
-  std::vector<uint64_t> Kids;
-  Kids.reserve(Children[Id].size());
-  for (CacheId Kid : Children[Id])
-    Kids.push_back(subtreeFingerprint(Kid));
-  // Sorting makes the fingerprint independent of sibling creation order;
-  // duplicates are kept so multiplicities still count.
-  std::sort(Kids.begin(), Kids.end());
-  for (uint64_t K : Kids)
-    H.addU64(K);
+  addToSink(H);
   return H.finish();
 }
 
-uint64_t CacheTree::canonicalFingerprint() const {
-  return subtreeFingerprint(RootCacheId);
+std::string CacheTree::canonicalEncoding() const {
+  StateEncoder E;
+  addToSink(E);
+  return E.take();
 }
 
 void CacheTree::dumpSubtree(CacheId Id, const std::string &Prefix,

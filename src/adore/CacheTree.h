@@ -25,6 +25,7 @@
 #include "adore/Cache.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -140,6 +141,20 @@ public:
   /// checker.
   uint64_t canonicalFingerprint() const;
 
+  /// Exact canonical byte encoding under the same equivalence the
+  /// fingerprint targets (cache-id relabeling and sibling order do not
+  /// matter). Unlike the fingerprint it is injective: equal encodings
+  /// imply isomorphic trees. Used by the collision audit layer.
+  std::string canonicalEncoding() const;
+
+  /// Streams the canonical form of the whole tree into any Hashing.h
+  /// sink; canonicalFingerprint/canonicalEncoding are its two
+  /// instantiations, guaranteed to cover the same data because they share
+  /// this traversal.
+  template <typename SinkT> void addToSink(SinkT &S) const {
+    addSubtreeToSink(RootCacheId, S);
+  }
+
   /// ASCII rendering of the tree for diagnostics and examples.
   std::string dump() const;
 
@@ -150,7 +165,32 @@ public:
   }
 
 private:
-  uint64_t subtreeFingerprint(CacheId Id) const;
+  /// Streams cache \p Id's payload followed by the sorted digests of its
+  /// child subtrees. Sorting makes the result independent of sibling
+  /// creation order; duplicates are kept so multiplicities still count.
+  template <typename SinkT>
+  void addSubtreeToSink(CacheId Id, SinkT &S) const {
+    const Cache &C = Caches[Id];
+    S.addByte(static_cast<uint8_t>(C.Kind));
+    S.addU64(C.Caller);
+    S.addU64(C.T);
+    S.addU64(C.V);
+    S.addU64(C.Method);
+    C.Conf.addToSink(S);
+    S.addNodeSet(C.Supporters);
+    std::vector<decltype(sinkSubResult(S))> Kids;
+    Kids.reserve(Children[Id].size());
+    for (CacheId Kid : Children[Id]) {
+      SinkT Sub;
+      addSubtreeToSink(Kid, Sub);
+      Kids.push_back(sinkSubResult(Sub));
+    }
+    std::sort(Kids.begin(), Kids.end());
+    S.addU64(Kids.size());
+    for (const auto &K : Kids)
+      addSubResult(S, K);
+  }
+
   void dumpSubtree(CacheId Id, const std::string &Prefix, bool Last,
                    std::string &Out) const;
 

@@ -61,12 +61,13 @@ struct Config {
   }
   bool operator!=(const Config &RHS) const { return !(*this == RHS); }
 
-  /// Feeds the configuration into a fingerprint hasher.
-  void addToHash(Fnv1aHasher &H) const {
-    H.addNodeSet(Members);
-    H.addNodeSet(Extra);
-    H.addBool(HasExtra);
-    H.addU64(Param);
+  /// Feeds the configuration into a fingerprint hasher or canonical
+  /// encoder (any Hashing.h sink).
+  template <typename SinkT> void addToSink(SinkT &S) const {
+    S.addNodeSet(Members);
+    S.addNodeSet(Extra);
+    S.addBool(HasExtra);
+    S.addU64(Param);
   }
 
   /// Renders the configuration for diagnostics, e.g. "{1, 2, 3}" or

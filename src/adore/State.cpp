@@ -44,30 +44,21 @@ Time TimeMap::maxOverall() const {
   return Max;
 }
 
-void TimeMap::addToHash(Fnv1aHasher &H) const {
-  // Zero entries are semantically absent; skip them so states that only
-  // differ by explicit-vs-implicit zeros fingerprint identically.
-  size_t NonZero = 0;
-  for (const auto &[Nid, T] : Entries)
-    if (T != 0)
-      ++NonZero;
-  H.addU64(NonZero);
-  for (const auto &[Nid, T] : Entries) {
-    if (T == 0)
-      continue;
-    H.addU64(Nid);
-    H.addU64(T);
-  }
-}
-
 AdoreState::AdoreState(const ReconfigScheme &Scheme, Config RootConf)
     : Tree(RootConf, Scheme.mbrs(RootConf)) {}
 
 uint64_t AdoreState::fingerprint() const {
   Fnv1aHasher H;
-  H.addU64(Tree.canonicalFingerprint());
-  Times.addToHash(H);
+  Tree.addToSink(H);
+  Times.addToSink(H);
   return H.finish();
+}
+
+std::string AdoreState::encode() const {
+  StateEncoder E;
+  Tree.addToSink(E);
+  Times.addToSink(E);
+  return E.take();
 }
 
 std::string AdoreState::dump() const {

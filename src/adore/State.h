@@ -39,7 +39,22 @@ public:
   /// The largest timestamp observed by anyone.
   Time maxOverall() const;
 
-  void addToHash(Fnv1aHasher &H) const;
+  /// Streams the non-zero entries into a fingerprint hasher or canonical
+  /// encoder. Zero entries are semantically absent; skipping them makes
+  /// states that only differ by explicit-vs-implicit zeros identical.
+  template <typename SinkT> void addToSink(SinkT &S) const {
+    size_t NonZero = 0;
+    for (const auto &[Nid, T] : Entries)
+      if (T != 0)
+        ++NonZero;
+    S.addU64(NonZero);
+    for (const auto &[Nid, T] : Entries) {
+      if (T == 0)
+        continue;
+      S.addU64(Nid);
+      S.addU64(T);
+    }
+  }
 
   bool operator==(const TimeMap &RHS) const {
     return Entries == RHS.Entries;
@@ -74,6 +89,12 @@ struct AdoreState {
 
   /// Structure-based state fingerprint (tree canonical form + times).
   uint64_t fingerprint() const;
+
+  /// Exact canonical byte encoding covering the same data as the
+  /// fingerprint (shared sink traversal): equal encodings imply equal
+  /// abstract states. Consumed by the audit layer to certify that
+  /// fingerprint deduplication never dropped a distinct state.
+  std::string encode() const;
 
   /// Multi-line diagnostic rendering.
   std::string dump() const;

@@ -1,0 +1,23 @@
+//===- audit/Audit.h - Soundness audit layer umbrella ---------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella for the soundness audit layer that certifies the executable
+/// check itself: collision-audited exploration (CollisionAudit.h), model
+/// determinism linting (DeterminismLint.h), and counterexample replay
+/// validation (TraceReplay.h). See DESIGN.md, "Soundness of the
+/// executable check".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_AUDIT_AUDIT_H
+#define ADORE_AUDIT_AUDIT_H
+
+#include "audit/CollisionAudit.h"
+#include "audit/DeterminismLint.h"
+#include "audit/TraceReplay.h"
+
+#endif // ADORE_AUDIT_AUDIT_H

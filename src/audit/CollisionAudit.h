@@ -1,0 +1,191 @@
+//===- audit/CollisionAudit.h - Fingerprint-collision auditing *- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// mc::explore prunes revisited states by bare 64-bit fingerprint, so a
+/// single hash collision silently drops a reachable state and turns
+/// "exhausted the bounded space" into an unsound claim. This header is
+/// the opt-in audit mode that closes the gap: exploreAudited runs the
+/// same breadth-first search but keys the visited set on the model's
+/// exact canonical encoding (the encode() hook), grouping entries by
+/// fingerprint only as an index. Every fingerprint hit is verified to be
+/// a true state revisit; hits whose encodings differ are counted as
+/// collisions AND still explored, so the audited result is sound even
+/// when the fingerprint is not. A clean audit (zero collisions)
+/// additionally certifies that the fast fingerprint-only runs over the
+/// same space were exact.
+///
+/// Requires, on top of the Explorer Model interface:
+///   std::string encode(const State &);   // canonical, injective
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_AUDIT_COLLISIONAUDIT_H
+#define ADORE_AUDIT_COLLISIONAUDIT_H
+
+#include "mc/Explorer.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace adore {
+namespace audit {
+
+/// Tallies from an audited exploration.
+struct AuditStats {
+  /// Distinct states by exact canonical encoding.
+  size_t DistinctStates = 0;
+  /// Distinct 64-bit fingerprints observed.
+  size_t DistinctFingerprints = 0;
+  /// Fingerprint hits whose encoding was NEW: states a bare-fingerprint
+  /// search would have wrongly pruned.
+  size_t Collisions = 0;
+  /// Fingerprint hits confirmed to be true revisits.
+  size_t VerifiedRevisits = 0;
+
+  /// True when fingerprint deduplication made no mistake on this space.
+  bool clean() const { return Collisions == 0; }
+};
+
+/// An ExploreResult plus the audit evidence backing it.
+struct AuditedExploreResult {
+  mc::ExploreResult Result;
+  AuditStats Audit;
+
+  /// The bounded space was drained under EXACT state identity, so the
+  /// no-violation claim holds regardless of fingerprint quality.
+  bool certifiedExhausted() const { return Result.exhausted(); }
+};
+
+/// Breadth-first exhaustive exploration with exact state identity and
+/// collision accounting. Mirrors mc::explore's semantics (depth/state
+/// bounds, first-violation trace reconstruction, OnViolation hook), with
+/// the visited set keyed on canonical encodings instead of fingerprints.
+template <typename ModelT, typename OnViolationT>
+AuditedExploreResult exploreAudited(ModelT &M,
+                                    const mc::ExploreOptions &Opts,
+                                    OnViolationT &&OnViolation) {
+  using State = typename ModelT::State;
+
+  struct Node {
+    size_t Parent; ///< Own slot for initial states.
+    std::string Action;
+  };
+
+  AuditedExploreResult Out;
+  mc::ExploreResult &Res = Out.Result;
+  AuditStats &Audit = Out.Audit;
+
+  std::vector<Node> Nodes;
+  // Fingerprint-indexed buckets of (canonical encoding, node slot).
+  std::unordered_map<uint64_t, std::vector<std::pair<std::string, size_t>>>
+      ByFp;
+  std::deque<std::pair<State, std::pair<size_t, size_t>>>
+      Frontier; // state, (slot, depth)
+
+  constexpr size_t NoParent = static_cast<size_t>(-1);
+
+  // Returns the fresh slot for a newly seen state, or nothing on a
+  // verified revisit.
+  auto Visit = [&](const State &S, size_t Parent,
+                   std::string Action) -> std::pair<bool, size_t> {
+    uint64_t Fp = M.fingerprint(S);
+    std::string Enc = M.encode(S);
+    auto &Bucket = ByFp[Fp];
+    for (const auto &[SeenEnc, Slot] : Bucket)
+      if (SeenEnc == Enc) {
+        ++Audit.VerifiedRevisits;
+        (void)Slot;
+        return {false, 0};
+      }
+    if (Bucket.empty())
+      ++Audit.DistinctFingerprints;
+    else
+      ++Audit.Collisions;
+    size_t Slot = Nodes.size();
+    Nodes.push_back(Node{Parent == NoParent ? Slot : Parent,
+                         std::move(Action)});
+    Bucket.emplace_back(std::move(Enc), Slot);
+    ++Audit.DistinctStates;
+    ++Res.States;
+    return {true, Slot};
+  };
+
+  auto ReportViolation = [&](const State &S, size_t Slot,
+                             std::string Message) {
+    OnViolation(S);
+    Res.Violation = std::move(Message);
+    Res.ViolatingState = M.describe(S);
+    std::vector<std::string> Rev;
+    for (size_t Cur = Slot; Nodes[Cur].Parent != Cur;
+         Cur = Nodes[Cur].Parent)
+      Rev.push_back(Nodes[Cur].Action);
+    Res.Trace.assign(Rev.rbegin(), Rev.rend());
+  };
+
+  for (State &Init : M.initialStates()) {
+    auto [IsNew, Slot] = Visit(Init, NoParent, "");
+    if (!IsNew)
+      continue;
+    if (auto V = M.invariant(Init)) {
+      ReportViolation(Init, Slot, std::move(*V));
+      return Out;
+    }
+    Frontier.emplace_back(std::move(Init), std::make_pair(Slot, size_t(0)));
+  }
+
+  while (!Frontier.empty()) {
+    auto [S, SlotDepth] = std::move(Frontier.front());
+    auto [ParentSlot, Depth] = SlotDepth;
+    Frontier.pop_front();
+    Res.Depth = std::max(Res.Depth, Depth);
+    if (Opts.MaxDepth && Depth >= Opts.MaxDepth)
+      continue;
+    bool Stop = false;
+    M.forEachSuccessor(S, [&](State Next, std::string Action) {
+      if (Stop)
+        return;
+      ++Res.Transitions;
+      auto [IsNew, Slot] = Visit(Next, ParentSlot, std::move(Action));
+      if (!IsNew)
+        return;
+      if (auto V = M.invariant(Next)) {
+        ReportViolation(Next, Slot, std::move(*V));
+        Stop = true;
+        return;
+      }
+      if (Opts.MaxStates && Res.States >= Opts.MaxStates) {
+        Res.Truncated = true;
+        Stop = true;
+        return;
+      }
+      Frontier.emplace_back(std::move(Next),
+                            std::make_pair(Slot, Depth + 1));
+    });
+    if (Stop)
+      break;
+  }
+  if (Res.Violation)
+    Res.Truncated = false;
+  return Out;
+}
+
+/// Convenience overload without a violation hook.
+template <typename ModelT>
+AuditedExploreResult exploreAudited(ModelT &M,
+                                    const mc::ExploreOptions &Opts = {}) {
+  return exploreAudited(M, Opts, [](const typename ModelT::State &) {});
+}
+
+} // namespace audit
+} // namespace adore
+
+#endif // ADORE_AUDIT_COLLISIONAUDIT_H

@@ -1,0 +1,185 @@
+//===- audit/DeterminismLint.h - Model determinism linting ----*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive exploration is only a proof if the model itself is a
+/// function: fingerprint(S) must depend on S alone, and forEachSuccessor
+/// must enumerate the same transitions every time it is asked. A model
+/// that iterates an unordered container whose order leaks into actions or
+/// state construction, or that reads uninitialized memory into its
+/// fingerprint, silently explores a DIFFERENT transition system on every
+/// run — and no amount of collision auditing will notice, because the
+/// audit sees only the states it was handed.
+///
+/// The linter re-runs fingerprint/encode/forEachSuccessor on a breadth-
+/// first sample of reachable states and diffs the results. Findings:
+///   unstable-fingerprint  fingerprint(S) changed between calls
+///   unstable-encoding     encode(S) changed between calls
+///   nondeterministic-successors
+///                         successor (action, state) sequence changed
+///   state-mutated-by-enumeration
+///                         enumerating successors changed the state
+///   fingerprint-encoding-mismatch
+///                         equal encodings with different fingerprints
+///                         among the successors of one state
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_AUDIT_DETERMINISMLINT_H
+#define ADORE_AUDIT_DETERMINISMLINT_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace adore {
+namespace audit {
+
+/// Sampling bounds for the linter.
+struct LintOptions {
+  /// Distinct states examined (breadth-first from the initial states).
+  size_t MaxSamples = 256;
+  /// Extra re-evaluations per state; 1 means "compute twice, diff once".
+  size_t Repeats = 2;
+};
+
+/// One determinism finding.
+struct LintIssue {
+  std::string Kind;   ///< One of the \file kinds.
+  std::string Detail; ///< Human-readable specifics.
+};
+
+/// Linter outcome.
+struct LintResult {
+  size_t SampledStates = 0;
+  std::vector<LintIssue> Issues;
+
+  bool clean() const { return Issues.empty(); }
+
+  std::string summary() const {
+    if (clean())
+      return "determinism lint: clean over " +
+             std::to_string(SampledStates) + " states";
+    std::string Out = "determinism lint: " +
+                      std::to_string(Issues.size()) + " issue(s) over " +
+                      std::to_string(SampledStates) + " states";
+    for (const LintIssue &I : Issues)
+      Out += "\n  [" + I.Kind + "] " + I.Detail;
+    return Out;
+  }
+};
+
+/// Lints \p M for nondeterminism over a bounded breadth-first sample.
+template <typename ModelT>
+LintResult lintDeterminism(ModelT &M, const LintOptions &Opts = {}) {
+  using State = typename ModelT::State;
+
+  LintResult Res;
+  std::deque<State> Frontier;
+  std::unordered_set<std::string> Seen;
+
+  for (State &Init : M.initialStates())
+    if (Seen.insert(M.encode(Init)).second)
+      Frontier.push_back(std::move(Init));
+
+  auto AddIssue = [&](const char *Kind, std::string Detail) {
+    // One report per (kind, state) is plenty; the detail begins with the
+    // state rendering, so duplicates collapse naturally.
+    Res.Issues.push_back(LintIssue{Kind, std::move(Detail)});
+  };
+
+  while (!Frontier.empty() && Res.SampledStates < Opts.MaxSamples) {
+    State S = std::move(Frontier.front());
+    Frontier.pop_front();
+    ++Res.SampledStates;
+
+    uint64_t Fp = M.fingerprint(S);
+    std::string Enc = M.encode(S);
+    for (size_t R = 1; R < Opts.Repeats; ++R) {
+      if (M.fingerprint(S) != Fp) {
+        AddIssue("unstable-fingerprint",
+                 "fingerprint of a fixed state changed between calls; "
+                 "state:\n" + M.describe(S));
+        break;
+      }
+    }
+    for (size_t R = 1; R < Opts.Repeats; ++R) {
+      if (M.encode(S) != Enc) {
+        AddIssue("unstable-encoding",
+                 "canonical encoding of a fixed state changed between "
+                 "calls; state:\n" + M.describe(S));
+        break;
+      }
+    }
+
+    // First enumeration keeps the successor states (for the fingerprint
+    // consistency check and to grow the sample); re-enumerations only
+    // need the comparable (action, encoding) view.
+    std::vector<std::pair<std::string, std::string>> First;
+    std::vector<State> SuccStates;
+    M.forEachSuccessor(S, [&](State Next, std::string Action) {
+      First.emplace_back(std::move(Action), M.encode(Next));
+      SuccStates.push_back(std::move(Next));
+    });
+    for (size_t R = 1; R < Opts.Repeats; ++R) {
+      std::vector<std::pair<std::string, std::string>> Again;
+      M.forEachSuccessor(S, [&](State Next, std::string Action) {
+        Again.emplace_back(std::move(Action), M.encode(Next));
+      });
+      if (Again == First)
+        continue;
+      std::string Detail;
+      if (Again.size() != First.size()) {
+        Detail = "successor count changed between enumerations: " +
+                 std::to_string(First.size()) + " vs " +
+                 std::to_string(Again.size());
+      } else {
+        size_t At = 0;
+        while (At != First.size() && First[At] == Again[At])
+          ++At;
+        Detail = "successor #" + std::to_string(At) +
+                 " changed between enumerations: action '" +
+                 First[At].first + "' vs '" + Again[At].first + "'";
+      }
+      AddIssue("nondeterministic-successors",
+               Detail + "; state:\n" + M.describe(S));
+      break;
+    }
+
+    if (M.encode(S) != Enc)
+      AddIssue("state-mutated-by-enumeration",
+               "enumerating successors changed the state; state now:\n" +
+                   M.describe(S));
+
+    // Equal canonical encodings must imply equal fingerprints, or the
+    // visited set and the audit layer disagree about state identity.
+    std::unordered_map<std::string, uint64_t> FpByEnc;
+    for (size_t I = 0; I != SuccStates.size(); ++I) {
+      uint64_t SuccFp = M.fingerprint(SuccStates[I]);
+      auto [It, Inserted] = FpByEnc.emplace(First[I].second, SuccFp);
+      if (!Inserted && It->second != SuccFp) {
+        AddIssue("fingerprint-encoding-mismatch",
+                 "two successors encode identically but fingerprint "
+                 "differently; parent state:\n" + M.describe(S));
+        break;
+      }
+    }
+
+    for (State &Next : SuccStates)
+      if (Seen.insert(M.encode(Next)).second)
+        Frontier.push_back(std::move(Next));
+  }
+  return Res;
+}
+
+} // namespace audit
+} // namespace adore
+
+#endif // ADORE_AUDIT_DETERMINISMLINT_H

@@ -1,0 +1,105 @@
+//===- audit/TraceReplay.h - Counterexample replay validation -*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A counterexample trace is only evidence if it still executes: traces
+/// printed by tests and benches can go stale when the semantics, the
+/// action labels, or the invariants change underneath them. replayTrace
+/// re-executes a violation trace action-by-action from the model's
+/// initial states and confirms the recorded invariant violation
+/// reproduces at the end.
+///
+/// Action labels are matched textually against forEachSuccessor's
+/// labels. Should a label be ambiguous at some step (two successors with
+/// the same label), ALL matches are followed in parallel — replay then
+/// succeeds iff some label-consistent path reproduces the violation, so
+/// label ambiguity can never cause a false rejection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_AUDIT_TRACEREPLAY_H
+#define ADORE_AUDIT_TRACEREPLAY_H
+
+#include "mc/Explorer.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace adore {
+namespace audit {
+
+/// Replay outcome.
+struct ReplayResult {
+  /// The recorded violation reproduced at the end of the trace.
+  bool Reproduced = false;
+  /// Why replay failed (empty when Reproduced).
+  std::string Error;
+  /// Trace steps successfully executed.
+  size_t StepsExecuted = 0;
+  /// Largest number of label-consistent states tracked at any step
+  /// (1 everywhere means the trace was fully unambiguous).
+  size_t MaxAmbiguity = 0;
+};
+
+/// Re-executes \p R's counterexample on \p M from scratch. \p R must
+/// hold a violation (foundViolation()).
+template <typename ModelT>
+ReplayResult replayTrace(ModelT &M, const mc::ExploreResult &R) {
+  using State = typename ModelT::State;
+
+  ReplayResult Out;
+  if (!R.foundViolation()) {
+    Out.Error = "result holds no violation to replay";
+    return Out;
+  }
+
+  std::vector<State> Cands = M.initialStates();
+  Out.MaxAmbiguity = Cands.size();
+  for (const std::string &Action : R.Trace) {
+    std::vector<State> Next;
+    std::unordered_set<std::string> Dedup;
+    for (const State &S : Cands)
+      M.forEachSuccessor(S, [&](State N, std::string A) {
+        if (A == Action && Dedup.insert(M.encode(N)).second)
+          Next.push_back(std::move(N));
+      });
+    if (Next.empty()) {
+      Out.Error = "step " + std::to_string(Out.StepsExecuted + 1) +
+                  ": no successor matches action '" + Action +
+                  "' — stale or corrupted trace";
+      return Out;
+    }
+    Cands = std::move(Next);
+    Out.MaxAmbiguity = std::max(Out.MaxAmbiguity, Cands.size());
+    ++Out.StepsExecuted;
+  }
+
+  bool SawOtherViolation = false;
+  std::string Other;
+  for (const State &S : Cands) {
+    if (auto V = M.invariant(S)) {
+      if (*V == *R.Violation) {
+        Out.Reproduced = true;
+        return Out;
+      }
+      SawOtherViolation = true;
+      Other = *V;
+    }
+  }
+  Out.Error = SawOtherViolation
+                  ? "trace endpoint violates a DIFFERENT invariant: '" +
+                        Other + "' (recorded: '" + *R.Violation + "')"
+                  : "trace endpoint satisfies the invariant — stale "
+                    "counterexample";
+  return Out;
+}
+
+} // namespace audit
+} // namespace adore
+
+#endif // ADORE_AUDIT_TRACEREPLAY_H

@@ -50,6 +50,15 @@ public:
 
   uint64_t fingerprint(const State &St) const { return St.fingerprint(); }
 
+  /// Canonical byte encoding for the audit layer: injective where the
+  /// fingerprint is merely collision-resistant.
+  std::string encode(const State &St) const { return St.encode(); }
+
+  /// Exact state identity under the checker's canonical equivalence.
+  bool equal(const State &A, const State &B) const {
+    return A.encode() == B.encode();
+  }
+
   std::optional<std::string> invariant(const State &St) const {
     // Live caches must descend from the log head: a violation would mean
     // a commit forked away from surviving uncommitted state.

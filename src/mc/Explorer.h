@@ -172,6 +172,14 @@ ExploreResult randomWalks(ModelT &M, size_t Walks, size_t WalkDepth,
 
   for (size_t W = 0; W != Walks && !Res.Violation; ++W) {
     State Cur = Inits[R.nextBelow(Inits.size())];
+    // A violating initial state must fail the run too, with an empty
+    // trace — not only states reached after at least one transition.
+    if (auto V = M.invariant(Cur)) {
+      Res.Violation = std::move(*V);
+      Res.ViolatingState = M.describe(Cur);
+      Res.Trace.clear();
+      break;
+    }
     std::vector<std::string> Trace;
     for (size_t D = 0; D != WalkDepth; ++D) {
       std::vector<std::pair<State, std::string>> Succs;

@@ -411,51 +411,14 @@ std::optional<std::string> RaftSystem::checkCommittedAgreement() const {
 
 uint64_t RaftSystem::fingerprint() const {
   Fnv1aHasher H;
-  H.addU64(Servers.size());
-  for (const auto &[Nid, S] : Servers) {
-    H.addU64(Nid);
-    H.addU64(S.CurTime);
-    H.addBool(S.IsLeader);
-    H.addBool(S.IsCandidate);
-    H.addNodeSet(S.Votes);
-    H.addU64(S.BestLog.size());
-    for (const Entry &E : S.BestLog) {
-      H.addU64(E.T);
-      H.addU64(E.Method);
-    }
-    H.addU64(S.CommitIndex);
-    H.addU64(S.Log.size());
-    for (const Entry &E : S.Log) {
-      H.addByte(static_cast<uint8_t>(E.Kind));
-      H.addU64(E.T);
-      H.addU64(E.Method);
-      E.Conf.addToHash(H);
-    }
-    H.addU64(S.AckedLen.size());
-    for (const auto &[Node, Len] : S.AckedLen) {
-      H.addU64(Node);
-      H.addU64(Len);
-    }
-  }
-  // The pending network is a multiset: hash order-insensitively by
-  // summing per-message hashes.
-  uint64_t NetHash = 0;
-  for (const Msg &M : Pending) {
-    Fnv1aHasher MH;
-    MH.addByte(static_cast<uint8_t>(M.Kind));
-    MH.addU64(M.From);
-    MH.addU64(M.To);
-    MH.addU64(M.T);
-    MH.addU64(M.Len);
-    MH.addU64(M.Log.size());
-    for (const Entry &E : M.Log) {
-      MH.addU64(E.T);
-      MH.addU64(E.Method);
-    }
-    NetHash += MH.finish();
-  }
-  H.addU64(NetHash);
+  addToSink(H);
   return H.finish();
+}
+
+std::string RaftSystem::encode() const {
+  StateEncoder E;
+  addToSink(E);
+  return E.take();
 }
 
 std::string RaftSystem::dump() const {

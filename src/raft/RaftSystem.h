@@ -167,6 +167,67 @@ public:
   /// Structure fingerprint over all servers and the pending network.
   uint64_t fingerprint() const;
 
+  /// Exact canonical byte encoding covering the same data as the
+  /// fingerprint (shared sink traversal). Audit-layer state identity.
+  std::string encode() const;
+
+  /// Streams the canonical state into a fingerprint hasher or canonical
+  /// encoder. The pending network is a multiset: per-message digests are
+  /// sorted before being fed back, so delivery bookkeeping order never
+  /// distinguishes states.
+  template <typename SinkT> void addToSink(SinkT &S) const {
+    S.addU64(Servers.size());
+    for (const auto &[Nid, Srv] : Servers) {
+      S.addU64(Nid);
+      S.addU64(Srv.CurTime);
+      S.addBool(Srv.IsLeader);
+      S.addBool(Srv.IsCandidate);
+      S.addNodeSet(Srv.Votes);
+      S.addU64(Srv.BestLog.size());
+      for (const Entry &E : Srv.BestLog) {
+        S.addByte(static_cast<uint8_t>(E.Kind));
+        S.addU64(E.T);
+        S.addU64(E.Method);
+        E.Conf.addToSink(S);
+      }
+      S.addU64(Srv.CommitIndex);
+      S.addU64(Srv.Log.size());
+      for (const Entry &E : Srv.Log) {
+        S.addByte(static_cast<uint8_t>(E.Kind));
+        S.addU64(E.T);
+        S.addU64(E.Method);
+        E.Conf.addToSink(S);
+      }
+      S.addU64(Srv.AckedLen.size());
+      for (const auto &[Node, Len] : Srv.AckedLen) {
+        S.addU64(Node);
+        S.addU64(Len);
+      }
+    }
+    std::vector<decltype(sinkSubResult(S))> Net;
+    Net.reserve(Pending.size());
+    for (const Msg &M : Pending) {
+      SinkT Sub;
+      Sub.addByte(static_cast<uint8_t>(M.Kind));
+      Sub.addU64(M.From);
+      Sub.addU64(M.To);
+      Sub.addU64(M.T);
+      Sub.addU64(M.Len);
+      Sub.addU64(M.Log.size());
+      for (const Entry &E : M.Log) {
+        Sub.addByte(static_cast<uint8_t>(E.Kind));
+        Sub.addU64(E.T);
+        Sub.addU64(E.Method);
+        E.Conf.addToSink(Sub);
+      }
+      Net.push_back(sinkSubResult(Sub));
+    }
+    std::sort(Net.begin(), Net.end());
+    S.addU64(Net.size());
+    for (const auto &R : Net)
+      addSubResult(S, R);
+  }
+
   std::string dump() const;
 
   /// Log-level analogs of the reconfiguration guards, exposed for tests.

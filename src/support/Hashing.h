@@ -9,7 +9,19 @@
 /// states and deduplicate visited sets. Determinism across runs and
 /// platforms matters more here than cryptographic strength; 64-bit
 /// fingerprints keep the collision probability negligible for the state
-/// counts we explore (< 10^8).
+/// counts we explore (< 10^8) — but "negligible" is not "zero", which is
+/// why the same streaming interface is also implemented by StateEncoder:
+/// state classes write their canonical form through a sink template once,
+/// and the audit layer (src/audit) compares the exact byte encodings to
+/// certify that fingerprint-based deduplication never conflated two
+/// distinct states.
+///
+/// Sink concept (satisfied by Fnv1aHasher and StateEncoder):
+///   addByte/addU64/addU32/addBool/addString/addNodeSet
+/// plus, through the free functions below, support for canonicalizing
+/// unordered sub-structures (child multisets, network multisets):
+///   sinkSubResult(Sink)  -> an ordered, comparable digest of a sub-sink
+///   addSubResult(Sink,R) -> feeds one such digest back into a sink
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +31,7 @@
 #include "support/NodeSet.h"
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace adore {
@@ -71,6 +84,62 @@ private:
   static constexpr uint64_t Prime = 0x00000100000001b3ULL;
   uint64_t State = Offset;
 };
+
+/// Streaming sink that records the exact byte sequence instead of hashing
+/// it: the canonical state encoding used by the collision auditor. Two
+/// states fed through the same traversal produce equal encodings iff the
+/// traversal saw identical data, so encoding equality is exact state
+/// identity (up to the canonicalizations the traversal itself applies,
+/// which are the same ones the fingerprint applies).
+class StateEncoder {
+public:
+  StateEncoder() = default;
+
+  void addByte(uint8_t B) { Out.push_back(static_cast<char>(B)); }
+
+  void addU64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      addByte(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void addU32(uint32_t V) { addU64(V); }
+
+  void addBool(bool B) { addByte(B ? 1 : 0); }
+
+  void addString(std::string_view S) {
+    addU64(S.size());
+    for (char C : S)
+      addByte(static_cast<uint8_t>(C));
+  }
+
+  void addNodeSet(const NodeSet &S) {
+    addU64(S.size());
+    for (NodeId N : S)
+      addU64(N);
+  }
+
+  /// The bytes written so far.
+  const std::string &str() const { return Out; }
+
+  /// Moves the accumulated bytes out.
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+/// Sub-sink digests, used to canonicalize unordered sub-structures: build
+/// a fresh sink per element, take its sinkSubResult, sort the results,
+/// and feed them back with addSubResult. For the hasher the digest is the
+/// finished 64-bit hash (collision-prone, which is exactly what the
+/// encoder side exists to audit); for the encoder it is the full byte
+/// string, so the canonical encoding stays exact.
+inline uint64_t sinkSubResult(const Fnv1aHasher &H) { return H.finish(); }
+inline void addSubResult(Fnv1aHasher &H, uint64_t Sub) { H.addU64(Sub); }
+inline std::string sinkSubResult(const StateEncoder &E) { return E.str(); }
+inline void addSubResult(StateEncoder &E, const std::string &Sub) {
+  E.addString(Sub);
+}
 
 /// Combines two 64-bit hashes (boost::hash_combine flavored).
 inline uint64_t hashCombine(uint64_t A, uint64_t B) {

@@ -17,6 +17,7 @@
 #define ADORE_SUPPORT_RNG_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -1,0 +1,455 @@
+//===- tests/AuditTest.cpp - Soundness audit layer tests --------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the audit layer on adversarial toy models — a model with a
+/// deliberately colliding fingerprint that bare-fingerprint exploration
+/// "proves" safe while audited exploration finds the bug, models with
+/// injected enumeration nondeterminism the linter must flag — followed
+/// by integration checks certifying the real Adore/ADO/Raft models:
+/// collision-free exploration and clean determinism lint.
+///
+//===----------------------------------------------------------------------===//
+
+#include "audit/Audit.h"
+#include "mc/AdoExploreModel.h"
+#include "mc/AdoreModel.h"
+#include "mc/Explorer.h"
+#include "mc/RaftNetModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::audit;
+using namespace adore::mc;
+
+//===----------------------------------------------------------------------===//
+// Adversarial toy models
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Two lanes counting up from 0; the fingerprint deliberately ignores the
+/// lane, so every lane-1 state collides with its lane-0 twin. The only
+/// invariant violation sits in lane 1 — shadowed from bare-fingerprint
+/// search by the collision.
+struct CollidingLaneModel {
+  using State = std::pair<int, int>; // (lane, n)
+  int Cap = 6;
+  int BadLane = 1;
+  int BadN = 3;
+
+  std::vector<State> initialStates() const { return {{0, 0}, {1, 0}}; }
+
+  // Injected collision: the lane is not hashed.
+  uint64_t fingerprint(const State &S) const {
+    return static_cast<uint64_t>(S.second);
+  }
+
+  std::string encode(const State &S) const {
+    return "L" + std::to_string(S.first) + ":" + std::to_string(S.second);
+  }
+
+  std::string describe(const State &S) const { return encode(S); }
+
+  std::optional<std::string> invariant(const State &S) const {
+    if (S.first == BadLane && S.second == BadN)
+      return "reached the shadowed state " + encode(S);
+    return std::nullopt;
+  }
+
+  template <typename FnT> void forEachSuccessor(const State &S,
+                                                FnT &&Fn) const {
+    if (S.second >= Cap)
+      return;
+    Fn(State{S.first, S.second + 1}, "+1");
+  }
+};
+
+/// Counts up by 1 or 2; the successor ORDER rotates on every
+/// enumeration. This reproduces deterministically what hash-iteration-
+/// order nondeterminism does across runs and platforms: a model that
+/// enumerates an unordered container whose order is not pinned presents
+/// a different transition sequence each time it is asked.
+struct IterationOrderModel {
+  using State = int;
+  int Cap = 8;
+  mutable unsigned Epoch = 0;
+
+  std::vector<State> initialStates() const { return {0}; }
+  uint64_t fingerprint(const State &S) const { return S; }
+  std::string encode(const State &S) const { return std::to_string(S); }
+  std::string describe(const State &S) const { return std::to_string(S); }
+  std::optional<std::string> invariant(const State &) const {
+    return std::nullopt;
+  }
+
+  template <typename FnT> void forEachSuccessor(const State &S,
+                                                FnT &&Fn) const {
+    if (S >= Cap)
+      return;
+    if (Epoch++ % 2 == 0) {
+      Fn(S + 1, "+1");
+      Fn(S + 2, "+2");
+    } else {
+      Fn(S + 2, "+2");
+      Fn(S + 1, "+1");
+    }
+  }
+};
+
+/// A fingerprint that reads state that is not part of the model state —
+/// the deterministic stand-in for an uninitialized-memory read.
+struct UnstableFingerprintModel {
+  using State = int;
+  int Cap = 4;
+  mutable uint64_t Calls = 0;
+
+  std::vector<State> initialStates() const { return {0}; }
+  uint64_t fingerprint(const State &S) const {
+    return static_cast<uint64_t>(S) * 2 + (Calls++ % 2);
+  }
+  std::string encode(const State &S) const { return std::to_string(S); }
+  std::string describe(const State &S) const { return std::to_string(S); }
+  std::optional<std::string> invariant(const State &) const {
+    return std::nullopt;
+  }
+  template <typename FnT> void forEachSuccessor(const State &S,
+                                                FnT &&Fn) const {
+    if (S < Cap)
+      Fn(S + 1, "+1");
+  }
+};
+
+/// Successor enumeration that mutates the state it enumerates (through a
+/// mutable field — the const-correct analog of aliasing bugs).
+struct MutatingEnumerationModel {
+  struct StateT {
+    int N = 0;
+    mutable int Poked = 0;
+  };
+  using State = StateT;
+  int Cap = 4;
+
+  std::vector<State> initialStates() const { return {State{}}; }
+  uint64_t fingerprint(const State &S) const {
+    return static_cast<uint64_t>(S.N) * 31 + S.Poked;
+  }
+  std::string encode(const State &S) const {
+    return std::to_string(S.N) + ":" + std::to_string(S.Poked);
+  }
+  std::string describe(const State &S) const { return encode(S); }
+  std::optional<std::string> invariant(const State &) const {
+    return std::nullopt;
+  }
+  template <typename FnT> void forEachSuccessor(const State &S,
+                                                FnT &&Fn) const {
+    ++S.Poked;
+    if (S.N < Cap)
+      Fn(State{S.N + 1, 0}, "+1");
+  }
+};
+
+/// Two successors that encode identically but fingerprint differently:
+/// the checker's two notions of state identity disagree.
+struct MismatchedIdentityModel {
+  using State = std::pair<int, int>; // (v, hidden)
+  std::vector<State> initialStates() const { return {{0, 0}}; }
+  uint64_t fingerprint(const State &S) const {
+    return static_cast<uint64_t>(S.first) * 31 + S.second;
+  }
+  std::string encode(const State &S) const {
+    return std::to_string(S.first);
+  }
+  std::string describe(const State &S) const { return encode(S); }
+  std::optional<std::string> invariant(const State &) const {
+    return std::nullopt;
+  }
+  template <typename FnT> void forEachSuccessor(const State &S,
+                                                FnT &&Fn) const {
+    if (S.first != 0)
+      return;
+    Fn(State{1, 0}, "a");
+    Fn(State{1, 1}, "b");
+  }
+};
+
+/// The McTest counter, for replay tests.
+struct CounterModel {
+  using State = int;
+  int Bad;
+  int Cap;
+
+  std::vector<State> initialStates() const { return {0}; }
+  uint64_t fingerprint(const State &S) const { return S; }
+  std::string encode(const State &S) const { return std::to_string(S); }
+  std::string describe(const State &S) const { return std::to_string(S); }
+  std::optional<std::string> invariant(const State &S) const {
+    if (S == Bad)
+      return "reached bad counter " + std::to_string(S);
+    return std::nullopt;
+  }
+  template <typename FnT> void forEachSuccessor(const State &S,
+                                                FnT &&Fn) const {
+    if (S >= Cap)
+      return;
+    Fn(S + 1, "+1");
+    Fn(S + 2, "+2");
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Collision audit
+//===----------------------------------------------------------------------===//
+
+TEST(CollisionAuditTest, BareFingerprintSearchMissesTheShadowedBug) {
+  // The unsoundness this layer exists for: plain exploration claims the
+  // space is exhausted and violation-free, yet a violation is reachable.
+  CollidingLaneModel M;
+  ExploreResult Res = explore(M);
+  EXPECT_TRUE(Res.exhausted());
+  EXPECT_FALSE(Res.foundViolation());
+}
+
+TEST(CollisionAuditTest, AuditedSearchFindsTheBugAndCountsCollisions) {
+  CollidingLaneModel M;
+  AuditedExploreResult Res = exploreAudited(M);
+  ASSERT_TRUE(Res.Result.foundViolation());
+  EXPECT_NE(Res.Result.Violation->find("shadowed"), std::string::npos);
+  // Lane-1 states (1,0)..(1,3) each collided with their lane-0 twin.
+  EXPECT_EQ(Res.Audit.Collisions, 4u);
+  EXPECT_FALSE(Res.Audit.clean());
+  // BFS reaches (1,3) three actions after the initial (1,0).
+  EXPECT_EQ(Res.Result.Trace.size(), 3u);
+  // The machine-found trace re-executes and reproduces the violation.
+  ReplayResult Replay = replayTrace(M, Res.Result);
+  EXPECT_TRUE(Replay.Reproduced) << Replay.Error;
+}
+
+TEST(CollisionAuditTest, CleanModelIsCertifiedAndMatchesPlainSearch) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/50};
+  ExploreResult Plain = explore(M);
+  AuditedExploreResult Audited = exploreAudited(M);
+  EXPECT_TRUE(Audited.certifiedExhausted());
+  EXPECT_TRUE(Audited.Audit.clean());
+  EXPECT_EQ(Audited.Result.States, Plain.States);
+  EXPECT_EQ(Audited.Audit.DistinctStates,
+            Audited.Audit.DistinctFingerprints);
+  EXPECT_GT(Audited.Audit.VerifiedRevisits, 0u);
+}
+
+TEST(CollisionAuditTest, HonorsBoundsLikeThePlainExplorer) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/1000000};
+  ExploreOptions Opts;
+  Opts.MaxStates = 100;
+  AuditedExploreResult Res = exploreAudited(M, Opts);
+  EXPECT_TRUE(Res.Result.Truncated);
+  EXPECT_FALSE(Res.certifiedExhausted());
+
+  CounterModel M2{/*Bad=*/90, /*Cap=*/100};
+  ExploreOptions Depth;
+  Depth.MaxDepth = 3;
+  AuditedExploreResult Res2 = exploreAudited(M2, Depth);
+  EXPECT_FALSE(Res2.Result.foundViolation());
+  EXPECT_LE(Res2.Result.Depth, 3u);
+}
+
+TEST(CollisionAuditTest, FindsViolationWithShortestTraceLikePlain) {
+  CounterModel M{/*Bad=*/5, /*Cap=*/100};
+  AuditedExploreResult Res = exploreAudited(M);
+  ASSERT_TRUE(Res.Result.foundViolation());
+  EXPECT_EQ(Res.Result.ViolatingState, "5");
+  EXPECT_EQ(Res.Result.Trace.size(), 3u);
+  ReplayResult Replay = replayTrace(M, Res.Result);
+  EXPECT_TRUE(Replay.Reproduced) << Replay.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism linter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool hasIssue(const LintResult &Res, const std::string &Kind) {
+  for (const LintIssue &I : Res.Issues)
+    if (I.Kind == Kind)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(DeterminismLintTest, FlagsIterationOrderNondeterminism) {
+  IterationOrderModel M;
+  LintResult Res = lintDeterminism(M);
+  EXPECT_FALSE(Res.clean()) << Res.summary();
+  EXPECT_TRUE(hasIssue(Res, "nondeterministic-successors"))
+      << Res.summary();
+}
+
+TEST(DeterminismLintTest, FlagsUnstableFingerprint) {
+  UnstableFingerprintModel M;
+  LintResult Res = lintDeterminism(M);
+  EXPECT_TRUE(hasIssue(Res, "unstable-fingerprint")) << Res.summary();
+}
+
+TEST(DeterminismLintTest, FlagsEnumerationThatMutatesTheState) {
+  MutatingEnumerationModel M;
+  LintResult Res = lintDeterminism(M);
+  EXPECT_TRUE(hasIssue(Res, "state-mutated-by-enumeration"))
+      << Res.summary();
+}
+
+TEST(DeterminismLintTest, FlagsFingerprintEncodingDisagreement) {
+  MismatchedIdentityModel M;
+  LintResult Res = lintDeterminism(M);
+  EXPECT_TRUE(hasIssue(Res, "fingerprint-encoding-mismatch"))
+      << Res.summary();
+}
+
+TEST(DeterminismLintTest, CleanModelPassesAndReportsSampleSize) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/30};
+  LintResult Res = lintDeterminism(M);
+  EXPECT_TRUE(Res.clean()) << Res.summary();
+  EXPECT_GT(Res.SampledStates, 10u);
+  EXPECT_NE(Res.summary().find("clean"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Counterexample replay validation
+//===----------------------------------------------------------------------===//
+
+TEST(TraceReplayTest, ReproducesAFreshCounterexample) {
+  CounterModel M{/*Bad=*/7, /*Cap=*/50};
+  ExploreResult Res = explore(M);
+  ASSERT_TRUE(Res.foundViolation());
+  ReplayResult Replay = replayTrace(M, Res);
+  EXPECT_TRUE(Replay.Reproduced) << Replay.Error;
+  EXPECT_EQ(Replay.StepsExecuted, Res.Trace.size());
+}
+
+TEST(TraceReplayTest, RejectsATamperedTrace) {
+  CounterModel M{/*Bad=*/7, /*Cap=*/50};
+  ExploreResult Res = explore(M);
+  ASSERT_TRUE(Res.foundViolation());
+
+  // An action label that no successor carries.
+  ExploreResult BadAction = Res;
+  BadAction.Trace.back() = "+9";
+  ReplayResult R1 = replayTrace(M, BadAction);
+  EXPECT_FALSE(R1.Reproduced);
+  EXPECT_NE(R1.Error.find("no successor matches"), std::string::npos);
+
+  // A well-formed trace that ends at a non-violating state.
+  ExploreResult Stale = Res;
+  Stale.Trace.pop_back();
+  ReplayResult R2 = replayTrace(M, Stale);
+  EXPECT_FALSE(R2.Reproduced);
+  EXPECT_NE(R2.Error.find("stale"), std::string::npos);
+}
+
+TEST(TraceReplayTest, EmptyTraceMeansViolatingInitialState) {
+  CounterModel M{/*Bad=*/0, /*Cap=*/10};
+  ExploreResult Res = explore(M);
+  ASSERT_TRUE(Res.foundViolation());
+  EXPECT_TRUE(Res.Trace.empty());
+  ReplayResult Replay = replayTrace(M, Res);
+  EXPECT_TRUE(Replay.Reproduced) << Replay.Error;
+}
+
+TEST(TraceReplayTest, RefusesResultsWithoutAViolation) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/10};
+  ExploreResult Res = explore(M);
+  ASSERT_FALSE(Res.foundViolation());
+  ReplayResult Replay = replayTrace(M, Res);
+  EXPECT_FALSE(Replay.Reproduced);
+  EXPECT_FALSE(Replay.Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Certification of the real models
+//===----------------------------------------------------------------------===//
+
+TEST(AuditIntegrationTest, AdoreExplorationIsCertifiedCollisionFree) {
+  for (SchemeKind Kind :
+       {SchemeKind::RaftSingleNode, SchemeKind::DynamicQuorum}) {
+    auto Scheme = makeScheme(Kind);
+    Config Conf(NodeSet::range(1, 3));
+    if (Kind == SchemeKind::DynamicQuorum)
+      Conf.Param = 2;
+    AdoreModelOptions Opts;
+    Opts.MaxCaches = 4;
+    Opts.MaxTime = 2;
+    AdoreModel M(*Scheme, Conf, SemanticsOptions(), Opts);
+
+    ExploreResult Plain = explore(M);
+    AuditedExploreResult Audited = exploreAudited(M);
+    EXPECT_TRUE(Audited.certifiedExhausted()) << schemeKindName(Kind);
+    EXPECT_TRUE(Audited.Audit.clean())
+        << schemeKindName(Kind) << ": " << Audited.Audit.Collisions
+        << " collisions";
+    // With a collision-free fingerprint the fast path and the audited
+    // path agree exactly.
+    EXPECT_EQ(Audited.Result.States, Plain.States) << schemeKindName(Kind);
+    EXPECT_EQ(Audited.Audit.DistinctStates,
+              Audited.Audit.DistinctFingerprints);
+  }
+}
+
+TEST(AuditIntegrationTest, AdoExplorationIsCertifiedCollisionFree) {
+  AdoExploreModelOptions Opts;
+  Opts.NumClients = 2;
+  Opts.MaxTime = 2;
+  AdoExploreModel M(Opts);
+  ExploreResult Plain = explore(M);
+  AuditedExploreResult Audited = exploreAudited(M);
+  EXPECT_TRUE(Audited.certifiedExhausted());
+  EXPECT_TRUE(Audited.Audit.clean());
+  EXPECT_EQ(Audited.Result.States, Plain.States);
+}
+
+TEST(AuditIntegrationTest, RaftNetExplorationIsCertifiedCollisionFree) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftNetModelOptions Opts;
+  Opts.MaxTerm = 1;
+  Opts.MaxLog = 1;
+  // Per-message interleaving explodes with the pending-set bound; 3 keeps
+  // the drained space at ~19k states, plenty for a collision audit.
+  Opts.MaxPending = 3;
+  RaftNetModel M(*Scheme, Config(NodeSet::range(1, 3)), Opts);
+  ExploreResult Plain = explore(M);
+  AuditedExploreResult Audited = exploreAudited(M);
+  EXPECT_TRUE(Audited.certifiedExhausted());
+  EXPECT_TRUE(Audited.Audit.clean());
+  EXPECT_EQ(Audited.Result.States, Plain.States);
+}
+
+TEST(AuditIntegrationTest, AllThreeModelsPassTheDeterminismLint) {
+  LintOptions Opts;
+  Opts.MaxSamples = 128;
+
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  AdoreModelOptions AOpts;
+  AOpts.MaxCaches = 4;
+  AOpts.MaxTime = 2;
+  AdoreModel Adore(*Scheme, Config(NodeSet::range(1, 3)),
+                   SemanticsOptions(), AOpts);
+  LintResult AdoreLint = lintDeterminism(Adore, Opts);
+  EXPECT_TRUE(AdoreLint.clean()) << AdoreLint.summary();
+
+  AdoExploreModel Ado;
+  LintResult AdoLint = lintDeterminism(Ado, Opts);
+  EXPECT_TRUE(AdoLint.clean()) << AdoLint.summary();
+
+  RaftNetModelOptions ROpts;
+  ROpts.MaxTerm = 2;
+  ROpts.MaxLog = 2;
+  RaftNetModel Raft(*Scheme, Config(NodeSet::range(1, 3)), ROpts);
+  LintResult RaftLint = lintDeterminism(Raft, Opts);
+  EXPECT_TRUE(RaftLint.clean()) << RaftLint.summary();
+}

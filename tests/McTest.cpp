@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "audit/TraceReplay.h"
 #include "mc/AdoreModel.h"
 #include "mc/Explorer.h"
 
@@ -108,6 +109,18 @@ TEST(ExplorerTest, RandomWalksFindViolation) {
                                   /*Seed=*/1);
   EXPECT_TRUE(Res.foundViolation());
   EXPECT_FALSE(Res.Trace.empty());
+}
+
+TEST(ExplorerTest, RandomWalksCheckTheInitialState) {
+  // Regression: a violating INITIAL state must fail a random-walk run
+  // (it used to pass silently because only post-transition states were
+  // checked).
+  CounterModel M{/*Bad=*/0, /*Cap=*/10};
+  ExploreResult Res = randomWalks(M, /*Walks=*/5, /*WalkDepth=*/4,
+                                  /*Seed=*/1);
+  ASSERT_TRUE(Res.foundViolation());
+  EXPECT_TRUE(Res.Trace.empty());
+  EXPECT_EQ(Res.ViolatingState, "0");
 }
 
 //===----------------------------------------------------------------------===//
@@ -208,6 +221,10 @@ TEST(BugHuntTest, R3AblationFindsFig4Violation) {
   ASSERT_TRUE(Res.foundViolation()) << "states: " << Res.States;
   EXPECT_NE(Res.Violation->find("safety violation"), std::string::npos);
   EXPECT_FALSE(Res.Trace.empty());
+  // The machine-found counterexample re-executes from the seed and
+  // reproduces the violation — the trace we publish is never stale.
+  audit::ReplayResult Replay = audit::replayTrace(M, Res);
+  EXPECT_TRUE(Replay.Reproduced) << Replay.Error;
 }
 
 TEST(BugHuntTest, R2AblationFindsDoubleReconfigViolation) {
@@ -227,6 +244,8 @@ TEST(BugHuntTest, R2AblationFindsDoubleReconfigViolation) {
   ExploreResult Res = explore(M, EOpts);
   ASSERT_TRUE(Res.foundViolation()) << "states: " << Res.States;
   EXPECT_NE(Res.Violation->find("safety violation"), std::string::npos);
+  audit::ReplayResult Replay = audit::replayTrace(M, Res);
+  EXPECT_TRUE(Replay.Reproduced) << Replay.Error;
 }
 
 TEST(BugHuntTest, SameSeedsWithFullRulesStaySafe) {

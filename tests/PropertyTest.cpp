@@ -308,8 +308,8 @@ TEST(TimeMapTest, ZeroEntriesFingerprintAsAbsent) {
   TimeMap A, B;
   A.set(5, 0); // Explicit zero.
   Fnv1aHasher HA, HB;
-  A.addToHash(HA);
-  B.addToHash(HB);
+  A.addToSink(HA);
+  B.addToSink(HB);
   EXPECT_EQ(HA.finish(), HB.finish());
 }
 
