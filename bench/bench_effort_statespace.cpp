@@ -33,6 +33,7 @@
 #include "mc/AdoreModel.h"
 #include "mc/Explorer.h"
 #include "mc/RaftNetModel.h"
+#include "support/Json.h"
 
 #include <chrono>
 #include <cstdio>
@@ -62,13 +63,48 @@ template <typename ModelT> Row measure(const char *Name,
   return Row{Name, Analog, std::move(Res), Secs};
 }
 
+/// Machine-readable companion to the table: one row object per model,
+/// consumed by the experiment scripts. Default path BENCH_mc.json in the
+/// working directory; argv[1] overrides.
+void writeJson(const std::vector<Row> &Rows, const char *Path) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("experiment").value("E2_effort_statespace");
+  W.key("threads").value(static_cast<uint64_t>(defaultThreadCount()));
+  W.key("rows").beginArray();
+  for (const Row &R : Rows) {
+    double PerSec = R.Seconds > 0
+                        ? static_cast<double>(R.Res.States) / R.Seconds
+                        : 0.0;
+    W.beginObject();
+    W.key("name").value(R.Name);
+    W.key("paper_analog").value(R.PaperAnalog);
+    W.key("states").value(R.Res.States);
+    W.key("transitions").value(R.Res.Transitions);
+    W.key("depth").value(R.Res.Depth);
+    W.key("seconds").value(R.Seconds);
+    W.key("states_per_sec").value(PerSec);
+    W.key("peak_frontier").value(R.Res.PeakFrontier);
+    W.key("exhausted").value(R.Res.exhausted());
+    W.key("violation").value(R.Res.foundViolation());
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  if (!W.writeFile(Path))
+    std::fprintf(stderr, "warning: could not write %s\n", Path);
+  else
+    std::printf("\nwrote %s\n", Path);
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("E2: verification-effort analog — exhaustive state counts "
               "under equivalent bounds\n");
   std::printf("(3 replicas; <= 2 election rounds; <= 2 commands; "
-              "single-node scheme where applicable)\n\n");
+              "single-node scheme where applicable; threads=%u)\n\n",
+              defaultThreadCount());
 
   std::vector<Row> Rows;
   // Protocol-level models exhaust comfortably; the network-level spaces
@@ -127,15 +163,20 @@ int main() {
                            M, NetCap));
   }
 
-  std::printf("%-22s %12s %14s %8s %6s  %s\n", "model", "states",
-              "transitions", "time(s)", "done", "paper analog");
+  std::printf("%-22s %12s %14s %8s %11s %10s %6s  %s\n", "model", "states",
+              "transitions", "time(s)", "states/s", "peakfront", "done",
+              "paper analog");
   double AdoreStates = 1;
   for (const Row &R : Rows) {
     if (std::string(R.Name) == "ADORE")
       AdoreStates = static_cast<double>(R.Res.States);
-    std::printf("%-22s %12zu %14zu %8.2f %6s  %s\n", R.Name, R.Res.States,
-                R.Res.Transitions, R.Seconds,
-                R.Res.exhausted() ? "yes" : "cap", R.PaperAnalog);
+    double PerSec = R.Seconds > 0
+                        ? static_cast<double>(R.Res.States) / R.Seconds
+                        : 0.0;
+    std::printf("%-22s %12zu %14zu %8.2f %11.0f %10zu %6s  %s\n", R.Name,
+                R.Res.States, R.Res.Transitions, R.Seconds, PerSec,
+                R.Res.PeakFrontier, R.Res.exhausted() ? "yes" : "cap",
+                R.PaperAnalog);
     if (R.Res.foundViolation())
       std::printf("  !! UNEXPECTED VIOLATION: %s\n",
                   R.Res.Violation->c_str());
@@ -149,5 +190,7 @@ int main() {
               "abstraction shrinks the reasoning space by orders of\n"
               "magnitude versus network-based models, and reconfiguration "
               "multiplies the space of whichever\nmodel it lands in.\n");
+
+  writeJson(Rows, argc > 1 ? argv[1] : "BENCH_mc.json");
   return 0;
 }

@@ -16,9 +16,15 @@
 #include "adore/Invariants.h"
 #include "adore/Ops.h"
 #include "kv/KvStore.h"
+#include "mc/AdoreModel.h"
+#include "mc/Explorer.h"
 #include "raft/SRaft.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace adore;
 
@@ -172,6 +178,28 @@ void BM_KvEncodeDecode(benchmark::State &State) {
 }
 BENCHMARK(BM_KvEncodeDecode);
 
+/// End-to-end engine throughput: a bounded exhaustive Adore exploration
+/// per iteration, reporting states/sec as items/sec. The one bench that
+/// exercises the whole stack (successor enumeration, fingerprinting,
+/// visited store, invariants) rather than a single primitive.
+void BM_ExploreAdoreBounded(benchmark::State &State) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  mc::AdoreModelOptions Opts;
+  Opts.MaxCaches = 4;
+  Opts.MaxTime = 2;
+  mc::AdoreModel M(*Scheme, Config(NodeSet{1, 2, 3}), SemanticsOptions(),
+                   Opts);
+  size_t States = 0;
+  for (auto _ : State) {
+    mc::ExploreResult Res = mc::explore(M);
+    States = Res.States;
+    benchmark::DoNotOptimize(Res.States);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(States));
+}
+BENCHMARK(BM_ExploreAdoreBounded);
+
 void BM_SimClusterRequest(benchmark::State &State) {
   auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
   Config Initial(NodeSet::range(1, 3));
@@ -193,4 +221,26 @@ BENCHMARK(BM_SimClusterRequest);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/// Like BENCHMARK_MAIN(), but defaults to also emitting the machine-
+/// readable google-benchmark JSON report (BENCH_microops.json in the
+/// working directory) unless the caller passed --benchmark_out itself.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--benchmark_out", 15) == 0)
+      HasOut = true;
+  static std::string OutFlag = "--benchmark_out=BENCH_microops.json";
+  static std::string FmtFlag = "--benchmark_out_format=json";
+  if (!HasOut) {
+    Args.push_back(OutFlag.data());
+    Args.push_back(FmtFlag.data());
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

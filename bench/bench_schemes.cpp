@@ -40,9 +40,11 @@ Config initialConfigFor(SchemeKind Kind, size_t Nodes) {
 
 int main() {
   std::printf("E5: exhaustive safety check per reconfiguration scheme "
-              "(3 nodes, <=6 caches, <=2 rounds)\n\n");
-  std::printf("%-18s %10s %12s %6s %8s %6s  %s\n", "scheme", "states",
-              "transitions", "depth", "time(s)", "done", "verdict");
+              "(3 nodes, <=6 caches, <=2 rounds, threads=%u)\n\n",
+              defaultThreadCount());
+  std::printf("%-18s %10s %12s %6s %8s %10s %10s %6s  %s\n", "scheme",
+              "states", "transitions", "depth", "time(s)", "states/s",
+              "peakfront", "done", "verdict");
 
   bool AllSafe = true;
   for (SchemeKind Kind : allSchemeKinds()) {
@@ -59,9 +61,11 @@ int main() {
     double Secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - Start)
                       .count();
-    std::printf("%-18s %10zu %12zu %6zu %8.2f %6s  %s\n", Scheme->name(),
-                Res.States, Res.Transitions, Res.Depth, Secs,
-                Res.exhausted() ? "yes" : "cap",
+    std::printf("%-18s %10zu %12zu %6zu %8.2f %10.0f %10zu %6s  %s\n",
+                Scheme->name(), Res.States, Res.Transitions, Res.Depth,
+                Secs,
+                Secs > 0 ? static_cast<double>(Res.States) / Secs : 0.0,
+                Res.PeakFrontier, Res.exhausted() ? "yes" : "cap",
                 Res.foundViolation() ? Res.Violation->c_str()
                                      : "safe + lemmas hold");
     AllSafe &= !Res.foundViolation();

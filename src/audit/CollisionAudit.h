@@ -8,15 +8,20 @@
 /// mc::explore prunes revisited states by bare 64-bit fingerprint, so a
 /// single hash collision silently drops a reachable state and turns
 /// "exhausted the bounded space" into an unsound claim. This header is
-/// the opt-in audit mode that closes the gap: exploreAudited runs the
-/// same breadth-first search but keys the visited set on the model's
-/// exact canonical encoding (the encode() hook), grouping entries by
+/// the opt-in audit mode that closes the gap: exploreAudited instantiates
+/// the shared mc::Engine with the collision-auditing visited store
+/// (mc::AuditStore), which keys the visited set on the model's exact
+/// canonical encoding (the encode() hook) and groups entries by
 /// fingerprint only as an index. Every fingerprint hit is verified to be
 /// a true state revisit; hits whose encodings differ are counted as
 /// collisions AND still explored, so the audited result is sound even
 /// when the fingerprint is not. A clean audit (zero collisions)
 /// additionally certifies that the fast fingerprint-only runs over the
 /// same space were exact.
+///
+/// There is no separate search loop here: the audit layer is one engine
+/// instantiation away from the fast path, and inherits its parallel mode
+/// (thread-count-independent results included) for free.
 ///
 /// Requires, on top of the Explorer Model interface:
 ///   std::string encode(const State &);   // canonical, injective
@@ -26,15 +31,11 @@
 #ifndef ADORE_AUDIT_COLLISIONAUDIT_H
 #define ADORE_AUDIT_COLLISIONAUDIT_H
 
+#include "mc/Engine.h"
 #include "mc/Explorer.h"
 
-#include <cstdint>
-#include <deque>
-#include <string>
-#include <tuple>
-#include <unordered_map>
+#include <cstddef>
 #include <utility>
-#include <vector>
 
 namespace adore {
 namespace audit {
@@ -66,115 +67,22 @@ struct AuditedExploreResult {
 };
 
 /// Breadth-first exhaustive exploration with exact state identity and
-/// collision accounting. Mirrors mc::explore's semantics (depth/state
-/// bounds, first-violation trace reconstruction, OnViolation hook), with
-/// the visited set keyed on canonical encodings instead of fingerprints.
+/// collision accounting: the shared engine under the auditing store.
+/// Mirrors mc::explore's semantics (depth/state bounds, first-violation
+/// trace reconstruction, OnViolation hook) by construction — it IS the
+/// same loop.
 template <typename ModelT, typename OnViolationT>
 AuditedExploreResult exploreAudited(ModelT &M,
                                     const mc::ExploreOptions &Opts,
                                     OnViolationT &&OnViolation) {
-  using State = typename ModelT::State;
-
-  struct Node {
-    size_t Parent; ///< Own slot for initial states.
-    std::string Action;
-  };
-
+  mc::Engine<ModelT, mc::AuditStore> E(M, Opts);
   AuditedExploreResult Out;
-  mc::ExploreResult &Res = Out.Result;
-  AuditStats &Audit = Out.Audit;
-
-  std::vector<Node> Nodes;
-  // Fingerprint-indexed buckets of (canonical encoding, node slot).
-  std::unordered_map<uint64_t, std::vector<std::pair<std::string, size_t>>>
-      ByFp;
-  std::deque<std::pair<State, std::pair<size_t, size_t>>>
-      Frontier; // state, (slot, depth)
-
-  constexpr size_t NoParent = static_cast<size_t>(-1);
-
-  // Returns the fresh slot for a newly seen state, or nothing on a
-  // verified revisit.
-  auto Visit = [&](const State &S, size_t Parent,
-                   std::string Action) -> std::pair<bool, size_t> {
-    uint64_t Fp = M.fingerprint(S);
-    std::string Enc = M.encode(S);
-    auto &Bucket = ByFp[Fp];
-    for (const auto &[SeenEnc, Slot] : Bucket)
-      if (SeenEnc == Enc) {
-        ++Audit.VerifiedRevisits;
-        (void)Slot;
-        return {false, 0};
-      }
-    if (Bucket.empty())
-      ++Audit.DistinctFingerprints;
-    else
-      ++Audit.Collisions;
-    size_t Slot = Nodes.size();
-    Nodes.push_back(Node{Parent == NoParent ? Slot : Parent,
-                         std::move(Action)});
-    Bucket.emplace_back(std::move(Enc), Slot);
-    ++Audit.DistinctStates;
-    ++Res.States;
-    return {true, Slot};
-  };
-
-  auto ReportViolation = [&](const State &S, size_t Slot,
-                             std::string Message) {
-    OnViolation(S);
-    Res.Violation = std::move(Message);
-    Res.ViolatingState = M.describe(S);
-    std::vector<std::string> Rev;
-    for (size_t Cur = Slot; Nodes[Cur].Parent != Cur;
-         Cur = Nodes[Cur].Parent)
-      Rev.push_back(Nodes[Cur].Action);
-    Res.Trace.assign(Rev.rbegin(), Rev.rend());
-  };
-
-  for (State &Init : M.initialStates()) {
-    auto [IsNew, Slot] = Visit(Init, NoParent, "");
-    if (!IsNew)
-      continue;
-    if (auto V = M.invariant(Init)) {
-      ReportViolation(Init, Slot, std::move(*V));
-      return Out;
-    }
-    Frontier.emplace_back(std::move(Init), std::make_pair(Slot, size_t(0)));
-  }
-
-  while (!Frontier.empty()) {
-    auto [S, SlotDepth] = std::move(Frontier.front());
-    auto [ParentSlot, Depth] = SlotDepth;
-    Frontier.pop_front();
-    Res.Depth = std::max(Res.Depth, Depth);
-    if (Opts.MaxDepth && Depth >= Opts.MaxDepth)
-      continue;
-    bool Stop = false;
-    M.forEachSuccessor(S, [&](State Next, std::string Action) {
-      if (Stop)
-        return;
-      ++Res.Transitions;
-      auto [IsNew, Slot] = Visit(Next, ParentSlot, std::move(Action));
-      if (!IsNew)
-        return;
-      if (auto V = M.invariant(Next)) {
-        ReportViolation(Next, Slot, std::move(*V));
-        Stop = true;
-        return;
-      }
-      if (Opts.MaxStates && Res.States >= Opts.MaxStates) {
-        Res.Truncated = true;
-        Stop = true;
-        return;
-      }
-      Frontier.emplace_back(std::move(Next),
-                            std::make_pair(Slot, Depth + 1));
-    });
-    if (Stop)
-      break;
-  }
-  if (Res.Violation)
-    Res.Truncated = false;
+  Out.Result = E.run(std::forward<OnViolationT>(OnViolation));
+  const mc::VisitTallies &T = E.tallies();
+  Out.Audit.DistinctStates = T.DistinctStates;
+  Out.Audit.DistinctFingerprints = T.DistinctFingerprints;
+  Out.Audit.Collisions = T.Collisions;
+  Out.Audit.VerifiedRevisits = T.VerifiedRevisits;
   return Out;
 }
 

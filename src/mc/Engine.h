@@ -1,0 +1,535 @@
+//===- mc/Engine.h - Unified parallel exploration engine ------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single breadth-first exploration core behind every safety claim in
+/// this reproduction: mc::explore, audit::exploreAudited, the benches and
+/// the tests all instantiate this engine with a VisitedStore policy (see
+/// VisitedStore.h) instead of maintaining their own search loops.
+///
+/// Determinism is the design center. The engine is level-synchronous:
+/// the frontier of depth d is a vector in canonical BFS order, and depth
+/// d+1 is derived from it in three barrier-separated steps —
+///
+///   expand  (parallel over frontier slots)  generate successors, carry
+///           (state, fingerprint) so nothing is ever re-hashed, and
+///           pre-filter revisits against the frozen store of depths <= d;
+///   dedup   (parallel over store shards)    insert the surviving
+///           candidates shard-by-shard; a shard is owned by exactly one
+///           worker per phase, and its candidate subsequence is processed
+///           in global BFS order, so which parent "wins" a state, every
+///           node number, and every audit tally is independent of the
+///           thread count — no locks needed, only barriers;
+///   settle  (sequential, cheap)             walk the candidates in BFS
+///           order, count states/transitions, apply the MaxStates bound,
+///           pick up the FIRST violation in canonical order, and emit the
+///           next frontier.
+///
+/// With one thread the engine streams candidates through the store
+/// directly (no buffering) and stops mid-level exactly like the historic
+/// sequential checker; the phased path reproduces that candidate order
+/// bit for bit, so ExploreResult — including counterexample traces,
+/// per-depth state counts and the truncation point — is byte-identical
+/// across thread counts. Large levels are processed in bounded chunks so
+/// a violation found early does not force expanding the whole level.
+///
+/// Thread count comes from ExploreOptions::Threads, or the
+/// ADORE_MC_THREADS environment variable when Threads is 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_MC_ENGINE_H
+#define ADORE_MC_ENGINE_H
+
+#include "mc/VisitedStore.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace adore {
+namespace mc {
+
+/// Exploration limits and engine knobs.
+struct ExploreOptions {
+  /// Stop expanding past this depth (number of transitions from an
+  /// initial state). 0 means unbounded.
+  size_t MaxDepth = 0;
+  /// Abort exploration after this many distinct states. 0 = unbounded.
+  size_t MaxStates = 0;
+  /// Worker threads. 0 = take ADORE_MC_THREADS from the environment
+  /// (default 1). Results are identical for every value.
+  unsigned Threads = 0;
+  /// Invoked after every expanded BFS level with running totals and
+  /// throughput; leave empty for no progress reporting.
+  std::function<void(const ExploreProgress &)> OnProgress;
+};
+
+/// Exploration outcome. Every field is a deterministic function of the
+/// model and the bounds — never of the thread count or the wall clock.
+struct ExploreResult {
+  /// First invariant violation found, if any.
+  std::optional<std::string> Violation;
+  /// Action labels from an initial state to the violating state.
+  std::vector<std::string> Trace;
+  /// Rendering of the violating state.
+  std::string ViolatingState;
+  /// Distinct states visited (per the store policy's identity).
+  size_t States = 0;
+  /// Transitions generated (including duplicates).
+  size_t Transitions = 0;
+  /// Deepest level fully or partially expanded.
+  size_t Depth = 0;
+  /// True when MaxStates stopped the search before the frontier drained.
+  bool Truncated = false;
+  /// Distinct states first discovered at each depth; index = depth.
+  std::vector<size_t> StatesPerDepth;
+  /// Largest BFS level expanded (frontier high-water mark).
+  size_t PeakFrontier = 0;
+
+  bool exhausted() const { return !Violation && !Truncated; }
+  bool foundViolation() const { return Violation.has_value(); }
+};
+
+/// Classification tallies over every visit the engine performed, cut off
+/// at the exact point the search stopped. Only meaningful for stores
+/// with exact identity (Exact/Audit); audit::AuditStats is built from
+/// these.
+struct VisitTallies {
+  /// Distinct states by the store's identity.
+  size_t DistinctStates = 0;
+  /// Distinct fingerprints observed among them.
+  size_t DistinctFingerprints = 0;
+  /// New states whose fingerprint was already taken: states a bare-
+  /// fingerprint search would have wrongly pruned.
+  size_t Collisions = 0;
+  /// Hits confirmed to be true revisits.
+  size_t VerifiedRevisits = 0;
+};
+
+/// Resolves the ADORE_MC_THREADS environment variable; 1 when unset or
+/// unparsable. Capped at the shard count — more workers than shards
+/// cannot help the dedup phase.
+inline unsigned defaultThreadCount() {
+  if (const char *E = std::getenv("ADORE_MC_THREADS")) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(E, &End, 10);
+    if (End != E && *End == '\0' && V >= 1 && V <= VisitedShards)
+      return static_cast<unsigned>(V);
+  }
+  return 1;
+}
+
+namespace detail {
+
+/// A fixed crew of N workers (the calling thread is worker 0) that
+/// repeatedly executes tasks in lockstep: run(F) has every worker call
+/// F(workerIndex) and returns when all are done. Phase hand-off is two
+/// std::barrier waits, whose completion provides the happens-before
+/// edges the store's no-lock sharding discipline relies on.
+class WorkCrew {
+public:
+  explicit WorkCrew(unsigned Threads)
+      : Count(Threads),
+        StartGate(static_cast<std::ptrdiff_t>(Threads)),
+        DoneGate(static_cast<std::ptrdiff_t>(Threads)) {
+    for (unsigned I = 1; I < Count; ++I)
+      Workers.emplace_back([this, I] {
+        for (;;) {
+          StartGate.arrive_and_wait();
+          if (Quit.load(std::memory_order_acquire))
+            return;
+          Task(I);
+          DoneGate.arrive_and_wait();
+        }
+      });
+  }
+
+  ~WorkCrew() {
+    if (Count > 1) {
+      Quit.store(true, std::memory_order_release);
+      StartGate.arrive_and_wait();
+    }
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  WorkCrew(const WorkCrew &) = delete;
+  WorkCrew &operator=(const WorkCrew &) = delete;
+
+  unsigned size() const { return Count; }
+
+  template <typename FnT> void run(FnT &&Fn) {
+    if (Count == 1) {
+      Fn(0u);
+      return;
+    }
+    Task = std::forward<FnT>(Fn);
+    StartGate.arrive_and_wait();
+    Task(0);
+    DoneGate.arrive_and_wait();
+  }
+
+private:
+  unsigned Count;
+  std::function<void(unsigned)> Task;
+  std::atomic<bool> Quit{false};
+  std::barrier<> StartGate, DoneGate;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace detail
+
+/// The exploration engine: one search loop, parameterized by the
+/// visited-set policy. See the file comment for the phase structure.
+template <typename ModelT, typename StoreT = FingerprintStore>
+class Engine {
+public:
+  using State = typename ModelT::State;
+
+  Engine(ModelT &M, ExploreOptions Opts = {})
+      : M(M), Opts(std::move(Opts)) {}
+
+  /// Runs the search. \p OnViolation receives the violating state itself
+  /// (for rendering or dissection beyond the textual describe()).
+  template <typename OnViolationT>
+  ExploreResult run(OnViolationT &&OnViolation) {
+    unsigned Threads = Opts.Threads ? Opts.Threads : defaultThreadCount();
+    if (Threads > VisitedShards)
+      Threads = VisitedShards;
+    Start = Clock::now();
+
+    if (!seedInitialStates(OnViolation))
+      return std::move(Res);
+
+    if (Threads <= 1)
+      runSequential(OnViolation);
+    else
+      runParallel(Threads, OnViolation);
+    return std::move(Res);
+  }
+
+  ExploreResult run() {
+    return run([](const State &) {});
+  }
+
+  /// Visit classification totals for the completed run (audit layer).
+  const VisitTallies &tallies() const { return Tallies; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct FrontierEntry {
+    State St;
+    uint64_t Fp;
+    NodeRef Ref;
+  };
+
+  /// One generated successor, buffered between the phases of a chunk.
+  struct Candidate {
+    std::optional<State> St; ///< Dropped for pre-filtered revisits.
+    uint64_t Fp = 0;
+    std::string Enc;
+    std::string Action;
+    NodeRef Parent;
+    // Dedup-phase results:
+    bool PriorRevisit = false; ///< Known before this level's chunk.
+    bool IsNew = false;
+    bool NewFp = false;
+    NodeRef Ref;
+    std::optional<std::string> Violation;
+  };
+
+  ModelT &M;
+  ExploreOptions Opts;
+  StoreT Store;
+  ExploreResult Res;
+  VisitTallies Tallies;
+  Clock::time_point Start;
+
+  std::vector<FrontierEntry> Level, NextLevel;
+  size_t LevelNew = 0; ///< States first discovered at the depth underway.
+
+  static std::string encodeIfNeeded(const ModelT &M, const State &S) {
+    if constexpr (StoreT::NeedsEncoding)
+      return M.encode(S);
+    else
+      return std::string();
+  }
+
+  void tallyRevisit() { ++Tallies.VerifiedRevisits; }
+
+  void tallyNew(bool NewFp) {
+    ++Tallies.DistinctStates;
+    if (NewFp)
+      ++Tallies.DistinctFingerprints;
+    else
+      ++Tallies.Collisions;
+  }
+
+  template <typename OnViolationT>
+  void reportViolation(const State &S, NodeRef Ref, std::string Message,
+                       OnViolationT &&OnViolation) {
+    OnViolation(S);
+    Res.Violation = std::move(Message);
+    Res.ViolatingState = M.describe(S);
+    std::vector<std::string> Rev;
+    for (NodeRef Cur = Ref;;) {
+      const VisitNode &Nd = Store.node(Cur);
+      if (Nd.Parent == Cur)
+        break;
+      Rev.push_back(Nd.Action);
+      Cur = Nd.Parent;
+    }
+    Res.Trace.assign(Rev.rbegin(), Rev.rend());
+  }
+
+  /// Inserts the initial states (always sequentially — the set is tiny
+  /// and its order defines the root of the canonical BFS order).
+  /// Returns false when the search already ended (violating initial
+  /// state, or no initial states at all).
+  template <typename OnViolationT>
+  bool seedInitialStates(OnViolationT &&OnViolation) {
+    LevelNew = 0;
+    bool Stop = false;
+    for (State &Init : M.initialStates()) {
+      uint64_t Fp = M.fingerprint(Init);
+      VisitOutcome Out = Store.insert(Fp, encodeIfNeeded(M, Init),
+                                      SelfParent, std::string());
+      if (!Out.IsNew) {
+        tallyRevisit();
+        continue;
+      }
+      tallyNew(Out.NewFingerprint);
+      ++Res.States;
+      ++LevelNew;
+      if (auto V = M.invariant(Init)) {
+        reportViolation(Init, Out.Ref, std::move(*V), OnViolation);
+        Stop = true;
+        break;
+      }
+      Level.push_back(FrontierEntry{std::move(Init), Fp, Out.Ref});
+    }
+    if (LevelNew)
+      Res.StatesPerDepth.push_back(LevelNew);
+    return !Stop && !Level.empty();
+  }
+
+  void progress(size_t Depth) {
+    if (!Opts.OnProgress)
+      return;
+    ExploreProgress P;
+    P.States = Res.States;
+    P.Transitions = Res.Transitions;
+    P.Depth = Depth;
+    P.FrontierSize = NextLevel.size();
+    P.Seconds =
+        std::chrono::duration<double>(Clock::now() - Start).count();
+    Opts.OnProgress(P);
+  }
+
+  /// True when the level at \p Depth may not be expanded further.
+  bool depthCapped(size_t Depth) {
+    Res.Depth = std::max(Res.Depth, Depth);
+    Res.PeakFrontier = std::max(Res.PeakFrontier, Level.size());
+    return Opts.MaxDepth && Depth >= Opts.MaxDepth;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Sequential path: stream candidates straight through the store.
+  //===--------------------------------------------------------------===//
+
+  template <typename OnViolationT>
+  void runSequential(OnViolationT &&OnViolation) {
+    for (size_t Depth = 0; !Level.empty(); ++Depth) {
+      if (depthCapped(Depth))
+        break;
+      LevelNew = 0;
+      bool Stop = false;
+      for (FrontierEntry &E : Level) {
+        M.forEachSuccessor(E.St, [&](State Next, std::string Action) {
+          if (Stop)
+            return;
+          ++Res.Transitions;
+          uint64_t Fp = M.fingerprint(Next);
+          VisitOutcome Out = Store.insert(Fp, encodeIfNeeded(M, Next),
+                                          E.Ref, std::move(Action));
+          if (!Out.IsNew) {
+            tallyRevisit();
+            return;
+          }
+          tallyNew(Out.NewFingerprint);
+          ++Res.States;
+          ++LevelNew;
+          if (auto V = M.invariant(Next)) {
+            reportViolation(Next, Out.Ref, std::move(*V), OnViolation);
+            Stop = true;
+            return;
+          }
+          if (Opts.MaxStates && Res.States >= Opts.MaxStates) {
+            Res.Truncated = true;
+            Stop = true;
+            return;
+          }
+          NextLevel.push_back(FrontierEntry{std::move(Next), Fp, Out.Ref});
+        });
+        if (Stop)
+          break;
+      }
+      if (LevelNew)
+        Res.StatesPerDepth.push_back(LevelNew);
+      if (Stop)
+        break;
+      progress(Depth);
+      Level = std::move(NextLevel);
+      NextLevel.clear();
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Parallel path: expand / dedup / settle per chunk, barriers between.
+  //===--------------------------------------------------------------===//
+
+  template <typename OnViolationT>
+  void runParallel(unsigned Threads, OnViolationT &&OnViolation) {
+    detail::WorkCrew Crew(Threads);
+    // Slots expanded per chunk: enough to keep every worker busy, small
+    // enough that an early violation or truncation wastes little work
+    // and the candidate buffer stays bounded.
+    const size_t ChunkSlots = std::max<size_t>(64, 64 * Threads);
+
+    std::vector<std::vector<Candidate>> SlotBufs(ChunkSlots);
+    std::array<std::vector<Candidate *>, VisitedShards> ShardWork;
+
+    for (size_t Depth = 0; !Level.empty(); ++Depth) {
+      if (depthCapped(Depth))
+        break;
+      LevelNew = 0;
+      bool Stop = false;
+
+      for (size_t Base = 0; Base < Level.size() && !Stop;
+           Base += ChunkSlots) {
+        size_t Slots = std::min(ChunkSlots, Level.size() - Base);
+
+        // Phase 1 — expand: generate successors of this chunk's slots,
+        // fingerprint once, and pre-filter against the frozen store.
+        std::atomic<size_t> NextSlot{0};
+        Crew.run([&](unsigned) {
+          for (;;) {
+            size_t I = NextSlot.fetch_add(1, std::memory_order_relaxed);
+            if (I >= Slots)
+              return;
+            std::vector<Candidate> &Buf = SlotBufs[I];
+            Buf.clear();
+            const FrontierEntry &E = Level[Base + I];
+            M.forEachSuccessor(E.St, [&](State Next,
+                                         std::string Action) {
+              Candidate C;
+              C.Fp = M.fingerprint(Next);
+              std::string Enc = encodeIfNeeded(M, Next);
+              if (Store.probe(C.Fp, Enc)) {
+                C.PriorRevisit = true;
+              } else {
+                C.St = std::move(Next);
+                C.Enc = std::move(Enc);
+                C.Action = std::move(Action);
+                C.Parent = E.Ref;
+              }
+              Buf.push_back(std::move(C));
+            });
+          }
+        });
+
+        // Route the surviving candidates to their shards, preserving
+        // global BFS order within each shard's worklist.
+        for (auto &W : ShardWork)
+          W.clear();
+        for (size_t I = 0; I != Slots; ++I)
+          for (Candidate &C : SlotBufs[I])
+            if (!C.PriorRevisit)
+              ShardWork[shardOfFingerprint(C.Fp)].push_back(&C);
+
+        // Phase 2 — dedup: one worker owns a shard at a time; inserts
+        // happen in global BFS order within the shard, so node numbers
+        // and winning parents are thread-count independent. Invariants
+        // run here too, in parallel, on newly inserted states only.
+        std::atomic<size_t> NextShard{0};
+        Crew.run([&](unsigned) {
+          for (;;) {
+            size_t S = NextShard.fetch_add(1, std::memory_order_relaxed);
+            if (S >= VisitedShards)
+              return;
+            for (Candidate *C : ShardWork[S]) {
+              VisitOutcome Out =
+                  Store.insert(C->Fp, std::move(C->Enc), C->Parent,
+                               std::move(C->Action));
+              C->IsNew = Out.IsNew;
+              C->NewFp = Out.NewFingerprint;
+              C->Ref = Out.Ref;
+              if (Out.IsNew) {
+                if (auto V = M.invariant(*C->St))
+                  C->Violation = std::move(*V);
+              } else {
+                C->St.reset(); // Free the duplicate immediately.
+              }
+            }
+          }
+        });
+
+        // Phase 3 — settle: sequential scan in canonical BFS order;
+        // totals, bounds and the first violation land exactly where the
+        // streaming path would have put them.
+        for (size_t I = 0; I != Slots && !Stop; ++I) {
+          for (Candidate &C : SlotBufs[I]) {
+            ++Res.Transitions;
+            if (C.PriorRevisit || !C.IsNew) {
+              tallyRevisit();
+              continue;
+            }
+            tallyNew(C.NewFp);
+            ++Res.States;
+            ++LevelNew;
+            if (C.Violation) {
+              reportViolation(*C.St, C.Ref, std::move(*C.Violation),
+                              OnViolation);
+              Stop = true;
+              break;
+            }
+            if (Opts.MaxStates && Res.States >= Opts.MaxStates) {
+              Res.Truncated = true;
+              Stop = true;
+              break;
+            }
+            NextLevel.push_back(
+                FrontierEntry{std::move(*C.St), C.Fp, C.Ref});
+          }
+        }
+      }
+
+      if (LevelNew)
+        Res.StatesPerDepth.push_back(LevelNew);
+      if (Stop)
+        break;
+      progress(Depth);
+      Level = std::move(NextLevel);
+      NextLevel.clear();
+    }
+  }
+};
+
+} // namespace mc
+} // namespace adore
+
+#endif // ADORE_MC_ENGINE_H

@@ -1,15 +1,17 @@
-//===- mc/Explorer.h - Generic explicit-state model checker ---*- C++ -*-===//
+//===- mc/Explorer.h - Classic entry points to the engine -----*- C++ -*-===//
 //
 // Part of the Adore reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small explicit-state model checker used as the executable stand-in
-/// for the paper's Coq proofs: breadth-first exploration of a transition
-/// system with 64-bit state fingerprinting, per-state invariant checks,
-/// and counterexample reconstruction, plus a random-walk mode for depths
-/// beyond exhaustive reach.
+/// The historical model-checker entry points, now thin instantiations of
+/// mc::Engine (Engine.h): breadth-first exhaustive exploration with a
+/// fingerprint-keyed visited set, and a random-walk mode for depths
+/// beyond exhaustive reach. Semantics are unchanged; exploration gains
+/// the engine's parallel mode (ExploreOptions::Threads / the
+/// ADORE_MC_THREADS environment variable) with thread-count-independent
+/// results.
 ///
 /// A Model type must provide:
 ///   using State = ...;                          // copyable
@@ -19,136 +21,34 @@
 ///   uint64_t fingerprint(const State &);
 ///   std::optional<std::string> invariant(const State &);
 ///   std::string describe(const State &);        // for counterexamples
+/// and, for the exact/audit store policies only:
+///   std::string encode(const State &);          // canonical, injective
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ADORE_MC_EXPLORER_H
 #define ADORE_MC_EXPLORER_H
 
+#include "mc/Engine.h"
 #include "support/Rng.h"
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace adore {
 namespace mc {
 
-/// Exploration limits.
-struct ExploreOptions {
-  /// Stop expanding past this depth (number of transitions from an
-  /// initial state). 0 means unbounded.
-  size_t MaxDepth = 0;
-  /// Abort exploration after this many distinct states. 0 = unbounded.
-  size_t MaxStates = 0;
-};
-
-/// Exploration outcome.
-struct ExploreResult {
-  /// First invariant violation found, if any.
-  std::optional<std::string> Violation;
-  /// Action labels from an initial state to the violating state.
-  std::vector<std::string> Trace;
-  /// Rendering of the violating state.
-  std::string ViolatingState;
-  /// Distinct states visited (by fingerprint).
-  size_t States = 0;
-  /// Transitions generated (including duplicates).
-  size_t Transitions = 0;
-  /// Deepest level fully or partially expanded.
-  size_t Depth = 0;
-  /// True when MaxStates stopped the search before the frontier drained.
-  bool Truncated = false;
-
-  bool exhausted() const { return !Violation && !Truncated; }
-  bool foundViolation() const { return Violation.has_value(); }
-};
-
-/// Breadth-first exhaustive exploration. \p OnViolation (optional)
-/// receives the violating state itself, for rendering or dissection
-/// beyond the textual describe().
+/// Breadth-first exhaustive exploration with fingerprint-keyed
+/// deduplication. \p OnViolation (optional) receives the violating state
+/// itself, for rendering or dissection beyond the textual describe().
 template <typename ModelT, typename OnViolationT>
 ExploreResult explore(ModelT &M, const ExploreOptions &Opts,
                       OnViolationT &&OnViolation) {
-  using State = typename ModelT::State;
-
-  struct Visit {
-    uint64_t ParentFp;
-    std::string Action;
-  };
-
-  ExploreResult Res;
-  std::unordered_map<uint64_t, Visit> Visited;
-  std::deque<std::pair<State, size_t>> Frontier;
-
-  auto ReportViolation = [&](const State &S, uint64_t Fp,
-                             std::string Message) {
-    OnViolation(S);
-    Res.Violation = std::move(Message);
-    Res.ViolatingState = M.describe(S);
-    // Walk the parent map back to an initial state (parent fp of an
-    // initial state is its own fp).
-    std::vector<std::string> Rev;
-    uint64_t Cur = Fp;
-    for (;;) {
-      auto It = Visited.find(Cur);
-      if (It == Visited.end() || It->second.ParentFp == Cur)
-        break;
-      Rev.push_back(It->second.Action);
-      Cur = It->second.ParentFp;
-    }
-    Res.Trace.assign(Rev.rbegin(), Rev.rend());
-  };
-
-  for (State &Init : M.initialStates()) {
-    uint64_t Fp = M.fingerprint(Init);
-    if (!Visited.emplace(Fp, Visit{Fp, ""}).second)
-      continue;
-    ++Res.States;
-    if (auto V = M.invariant(Init)) {
-      ReportViolation(Init, Fp, std::move(*V));
-      return Res;
-    }
-    Frontier.emplace_back(std::move(Init), 0);
-  }
-
-  while (!Frontier.empty()) {
-    auto [S, Depth] = std::move(Frontier.front());
-    Frontier.pop_front();
-    Res.Depth = std::max(Res.Depth, Depth);
-    if (Opts.MaxDepth && Depth >= Opts.MaxDepth)
-      continue;
-    uint64_t ParentFp = M.fingerprint(S);
-    bool Stop = false;
-    M.forEachSuccessor(S, [&](State Next, std::string Action) {
-      if (Stop)
-        return;
-      ++Res.Transitions;
-      uint64_t Fp = M.fingerprint(Next);
-      if (!Visited.emplace(Fp, Visit{ParentFp, std::move(Action)}).second)
-        return;
-      ++Res.States;
-      if (auto V = M.invariant(Next)) {
-        ReportViolation(Next, Fp, std::move(*V));
-        Stop = true;
-        return;
-      }
-      if (Opts.MaxStates && Res.States >= Opts.MaxStates) {
-        Res.Truncated = true;
-        Stop = true;
-        return;
-      }
-      Frontier.emplace_back(std::move(Next), Depth + 1);
-    });
-    if (Stop)
-      break;
-  }
-  if (Res.Violation)
-    Res.Truncated = false;
-  return Res;
+  Engine<ModelT, FingerprintStore> E(M, Opts);
+  return E.run(std::forward<OnViolationT>(OnViolation));
 }
 
 /// Convenience overload without a violation hook.
@@ -160,6 +60,12 @@ ExploreResult explore(ModelT &M, const ExploreOptions &Opts = {}) {
 /// Random-walk exploration: \p Walks runs of at most \p WalkDepth steps,
 /// checking the invariant after every transition. Finds deep violations
 /// that exhaustive search cannot reach; proves nothing when it passes.
+///
+/// Successor choice is a single-pass size-1 reservoir over
+/// forEachSuccessor: the K-th successor replaces the current pick with
+/// probability 1/K, which is uniform once enumeration finishes and never
+/// materializes the full successor vector. Walks are deterministic in
+/// the seed (see the regression test pinning exact traces).
 template <typename ModelT>
 ExploreResult randomWalks(ModelT &M, size_t Walks, size_t WalkDepth,
                           uint64_t Seed) {
@@ -182,16 +88,21 @@ ExploreResult randomWalks(ModelT &M, size_t Walks, size_t WalkDepth,
     }
     std::vector<std::string> Trace;
     for (size_t D = 0; D != WalkDepth; ++D) {
-      std::vector<std::pair<State, std::string>> Succs;
+      std::optional<State> Chosen;
+      std::string ChosenAction;
+      size_t Count = 0;
       M.forEachSuccessor(Cur, [&](State Next, std::string Action) {
-        Succs.emplace_back(std::move(Next), std::move(Action));
+        ++Count;
+        if (R.nextBelow(Count) == 0) {
+          Chosen = std::move(Next);
+          ChosenAction = std::move(Action);
+        }
       });
-      Res.Transitions += Succs.size();
-      if (Succs.empty())
+      Res.Transitions += Count;
+      if (!Chosen)
         break;
-      auto &[Next, Action] = Succs[R.nextBelow(Succs.size())];
-      Trace.push_back(Action);
-      Cur = std::move(Next);
+      Trace.push_back(std::move(ChosenAction));
+      Cur = std::move(*Chosen);
       ++Res.States;
       Res.Depth = std::max(Res.Depth, D + 1);
       if (auto V = M.invariant(Cur)) {

@@ -1,0 +1,229 @@
+//===- mc/VisitedStore.h - Visited-set policies for the engine *- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The visited-set policy layer of mc::Engine. A store decides what
+/// "already seen" means — by 64-bit fingerprint, by exact canonical
+/// encoding, or by encoding with collision accounting — and owns the
+/// parent links and action labels the engine walks to reconstruct
+/// counterexample traces. Every store is sharded by the high bits of the
+/// state fingerprint so the parallel engine can hand each shard to
+/// exactly one worker per level phase:
+///
+///   - FingerprintStore  key = fingerprint. The fast path; sound iff the
+///                       fingerprint is collision-free on the space.
+///   - ExactStore        key = canonical encoding (requires the model's
+///                       encode() hook). Sound regardless of fingerprint
+///                       quality; no collision accounting.
+///   - AuditStore        key = encoding, indexed by fingerprint. Sound,
+///                       and every fingerprint hit is classified as a
+///                       verified revisit or a collision, so a clean run
+///                       additionally certifies the fingerprint-only
+///                       results over the same space (audit layer).
+///
+/// Thread-safety contract (upheld by the engine's phase discipline, not
+/// by locks): probe() may run concurrently with other probe() calls
+/// only; insert() on a given shard is called by at most one thread at a
+/// time, never concurrently with any probe(). Node numbering within a
+/// shard follows insertion order, which the engine keeps identical
+/// across thread counts — so traces are too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_MC_VISITEDSTORE_H
+#define ADORE_MC_VISITEDSTORE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace adore {
+namespace mc {
+
+/// Number of visited-set shards. A power of two; states map to shards by
+/// the top bits of their fingerprint. Constant across thread counts so
+/// that node numbering — and therefore every trace — is identical no
+/// matter how many workers run.
+inline constexpr size_t VisitedShards = 64;
+
+inline size_t shardOfFingerprint(uint64_t Fp) {
+  return static_cast<size_t>(Fp >> 58); // top 6 bits for 64 shards
+}
+
+/// A slot in a visited store: shard plus index within the shard's node
+/// vector. Stable for the lifetime of the store.
+struct NodeRef {
+  uint32_t Shard = 0;
+  uint32_t Index = 0;
+
+  bool operator==(const NodeRef &O) const {
+    return Shard == O.Shard && Index == O.Index;
+  }
+  bool operator!=(const NodeRef &O) const { return !(*this == O); }
+};
+
+/// Sentinel the engine passes as Parent when inserting an initial state:
+/// the store rewrites it to the node's own ref (a root is its own
+/// parent), which terminates trace walks.
+inline constexpr NodeRef SelfParent{UINT32_MAX, UINT32_MAX};
+
+/// What happened on an insert attempt.
+struct VisitOutcome {
+  /// The state had not been seen before (per the store's identity).
+  bool IsNew = false;
+  /// No previously seen state shared this fingerprint. For stores
+  /// without fingerprint indexing this mirrors IsNew.
+  bool NewFingerprint = false;
+  /// The node slot assigned to the state; valid only when IsNew.
+  NodeRef Ref;
+};
+
+/// Parent link + action label for one visited state.
+struct VisitNode {
+  NodeRef Parent;
+  std::string Action;
+};
+
+/// Fingerprint-keyed visited set: the historical mc::explore semantics.
+class FingerprintStore {
+public:
+  static constexpr bool NeedsEncoding = false;
+
+  /// Read-only membership test (see the thread-safety contract).
+  bool probe(uint64_t Fp, const std::string & /*Enc*/) const {
+    const Shard &S = Shards[shardOfFingerprint(Fp)];
+    return S.Map.find(Fp) != S.Map.end();
+  }
+
+  VisitOutcome insert(uint64_t Fp, std::string && /*Enc*/, NodeRef Parent,
+                      std::string &&Action) {
+    size_t Idx = shardOfFingerprint(Fp);
+    Shard &S = Shards[Idx];
+    auto [It, Inserted] =
+        S.Map.emplace(Fp, static_cast<uint32_t>(S.Nodes.size()));
+    if (!Inserted)
+      return VisitOutcome{};
+    NodeRef Ref{static_cast<uint32_t>(Idx),
+                static_cast<uint32_t>(S.Nodes.size())};
+    S.Nodes.push_back(
+        VisitNode{Parent == SelfParent ? Ref : Parent, std::move(Action)});
+    return VisitOutcome{true, true, Ref};
+  }
+
+  const VisitNode &node(NodeRef Ref) const {
+    return Shards[Ref.Shard].Nodes[Ref.Index];
+  }
+
+private:
+  struct Shard {
+    std::unordered_map<uint64_t, uint32_t> Map;
+    std::vector<VisitNode> Nodes;
+  };
+  std::array<Shard, VisitedShards> Shards;
+};
+
+/// Exact-encoding-keyed visited set: sound independent of fingerprint
+/// quality. States still shard by fingerprint (equal encodings imply
+/// equal states imply equal fingerprints, so the mapping is consistent).
+class ExactStore {
+public:
+  static constexpr bool NeedsEncoding = true;
+
+  bool probe(uint64_t Fp, const std::string &Enc) const {
+    const Shard &S = Shards[shardOfFingerprint(Fp)];
+    return S.Map.find(Enc) != S.Map.end();
+  }
+
+  VisitOutcome insert(uint64_t Fp, std::string &&Enc, NodeRef Parent,
+                      std::string &&Action) {
+    size_t Idx = shardOfFingerprint(Fp);
+    Shard &S = Shards[Idx];
+    auto [It, Inserted] =
+        S.Map.emplace(std::move(Enc), static_cast<uint32_t>(S.Nodes.size()));
+    if (!Inserted)
+      return VisitOutcome{};
+    NodeRef Ref{static_cast<uint32_t>(Idx),
+                static_cast<uint32_t>(S.Nodes.size())};
+    S.Nodes.push_back(
+        VisitNode{Parent == SelfParent ? Ref : Parent, std::move(Action)});
+    return VisitOutcome{true, true, Ref};
+  }
+
+  const VisitNode &node(NodeRef Ref) const {
+    return Shards[Ref.Shard].Nodes[Ref.Index];
+  }
+
+private:
+  struct Shard {
+    std::unordered_map<std::string, uint32_t> Map;
+    std::vector<VisitNode> Nodes;
+  };
+  std::array<Shard, VisitedShards> Shards;
+};
+
+/// Collision-auditing visited set: exact identity, fingerprint-indexed.
+/// An insert whose NewFingerprint flag is false is a genuine collision —
+/// a state a bare-fingerprint search would have wrongly pruned; the
+/// engine tallies these into the audit statistics consumed by
+/// audit::exploreAudited.
+class AuditStore {
+public:
+  static constexpr bool NeedsEncoding = true;
+
+  bool probe(uint64_t Fp, const std::string &Enc) const {
+    const Shard &S = Shards[shardOfFingerprint(Fp)];
+    auto It = S.ByFp.find(Fp);
+    if (It == S.ByFp.end())
+      return false;
+    for (const auto &[SeenEnc, Slot] : It->second) {
+      (void)Slot;
+      if (SeenEnc == Enc)
+        return true;
+    }
+    return false;
+  }
+
+  VisitOutcome insert(uint64_t Fp, std::string &&Enc, NodeRef Parent,
+                      std::string &&Action) {
+    size_t Idx = shardOfFingerprint(Fp);
+    Shard &S = Shards[Idx];
+    auto &Bucket = S.ByFp[Fp];
+    for (const auto &[SeenEnc, Slot] : Bucket) {
+      (void)Slot;
+      if (SeenEnc == Enc)
+        return VisitOutcome{};
+    }
+    bool FreshFp = Bucket.empty();
+    NodeRef Ref{static_cast<uint32_t>(Idx),
+                static_cast<uint32_t>(S.Nodes.size())};
+    Bucket.emplace_back(std::move(Enc),
+                        static_cast<uint32_t>(S.Nodes.size()));
+    S.Nodes.push_back(
+        VisitNode{Parent == SelfParent ? Ref : Parent, std::move(Action)});
+    return VisitOutcome{true, FreshFp, Ref};
+  }
+
+  const VisitNode &node(NodeRef Ref) const {
+    return Shards[Ref.Shard].Nodes[Ref.Index];
+  }
+
+private:
+  struct Shard {
+    std::unordered_map<uint64_t,
+                       std::vector<std::pair<std::string, uint32_t>>>
+        ByFp;
+    std::vector<VisitNode> Nodes;
+  };
+  std::array<Shard, VisitedShards> Shards;
+};
+
+} // namespace mc
+} // namespace adore
+
+#endif // ADORE_MC_VISITEDSTORE_H

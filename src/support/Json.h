@@ -1,0 +1,187 @@
+//===- support/Json.h - Minimal JSON emission -----------------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON writer for the benchmark harnesses' machine-
+/// readable output (BENCH_*.json). Emission only — no parsing, no DOM —
+/// with correct string escaping and comma placement. Deliberately free of
+/// dependencies so benches and tools can use it without linking anything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SUPPORT_JSON_H
+#define ADORE_SUPPORT_JSON_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace adore {
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("states").value(uint64_t(42));
+///   W.key("rows").beginArray(); ... W.endArray();
+///   W.endObject();
+///   std::string Out = W.str();
+class JsonWriter {
+public:
+  JsonWriter &beginObject() {
+    element();
+    Buf += '{';
+    Stack.push_back(Frame{/*IsObject=*/true, /*HasElement=*/false});
+    return *this;
+  }
+
+  JsonWriter &endObject() {
+    assert(!Stack.empty() && Stack.back().IsObject && "unbalanced object");
+    Stack.pop_back();
+    Buf += '}';
+    return *this;
+  }
+
+  JsonWriter &beginArray() {
+    element();
+    Buf += '[';
+    Stack.push_back(Frame{/*IsObject=*/false, /*HasElement=*/false});
+    return *this;
+  }
+
+  JsonWriter &endArray() {
+    assert(!Stack.empty() && !Stack.back().IsObject && "unbalanced array");
+    Stack.pop_back();
+    Buf += ']';
+    return *this;
+  }
+
+  /// Emits an object key; the next value/begin* call provides its value.
+  JsonWriter &key(const std::string &Name) {
+    assert(!Stack.empty() && Stack.back().IsObject && "key outside object");
+    comma();
+    appendEscaped(Name);
+    Buf += ':';
+    PendingKey = true;
+    return *this;
+  }
+
+  JsonWriter &value(const std::string &V) {
+    element();
+    appendEscaped(V);
+    return *this;
+  }
+
+  JsonWriter &value(const char *V) { return value(std::string(V)); }
+
+  JsonWriter &value(uint64_t V) {
+    element();
+    Buf += std::to_string(V);
+    return *this;
+  }
+
+  JsonWriter &value(int64_t V) {
+    element();
+    Buf += std::to_string(V);
+    return *this;
+  }
+
+  JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+
+  JsonWriter &value(double V) {
+    element();
+    char Tmp[64];
+    std::snprintf(Tmp, sizeof(Tmp), "%.6g", V);
+    Buf += Tmp;
+    return *this;
+  }
+
+  JsonWriter &value(bool V) {
+    element();
+    Buf += V ? "true" : "false";
+    return *this;
+  }
+
+  const std::string &str() const {
+    assert(Stack.empty() && "unbalanced JSON document");
+    return Buf;
+  }
+
+  /// Writes the document to \p Path; returns false on I/O failure.
+  bool writeFile(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    const std::string &S = str();
+    size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+    bool Ok = Written == S.size() && std::fputc('\n', F) != EOF;
+    return std::fclose(F) == 0 && Ok;
+  }
+
+private:
+  struct Frame {
+    bool IsObject;
+    bool HasElement;
+  };
+
+  /// Bookkeeping before emitting any element (value or container start).
+  void element() {
+    if (PendingKey) {
+      PendingKey = false; // Key already placed the separator.
+      return;
+    }
+    comma();
+  }
+
+  void comma() {
+    if (!Stack.empty()) {
+      if (Stack.back().HasElement)
+        Buf += ',';
+      Stack.back().HasElement = true;
+    }
+  }
+
+  void appendEscaped(const std::string &S) {
+    Buf += '"';
+    for (unsigned char C : S) {
+      switch (C) {
+      case '"':
+        Buf += "\\\"";
+        break;
+      case '\\':
+        Buf += "\\\\";
+        break;
+      case '\n':
+        Buf += "\\n";
+        break;
+      case '\t':
+        Buf += "\\t";
+        break;
+      case '\r':
+        Buf += "\\r";
+        break;
+      default:
+        if (C < 0x20) {
+          char Tmp[8];
+          std::snprintf(Tmp, sizeof(Tmp), "\\u%04x", C);
+          Buf += Tmp;
+        } else {
+          Buf += static_cast<char>(C);
+        }
+      }
+    }
+    Buf += '"';
+  }
+
+  std::string Buf;
+  std::vector<Frame> Stack;
+  bool PendingKey = false;
+};
+
+} // namespace adore
+
+#endif // ADORE_SUPPORT_JSON_H

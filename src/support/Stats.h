@@ -6,7 +6,9 @@
 ///
 /// \file
 /// Tiny streaming accumulator for min/mean/max and percentiles of latency
-/// samples. Used by the Fig. 16 reproduction and the benchmark harnesses.
+/// samples, plus the progress/throughput snapshot the exploration engine
+/// hands to periodic callbacks and the benchmark JSON emitters. Used by
+/// the Fig. 16 reproduction and the benchmark harnesses.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +21,28 @@
 #include <vector>
 
 namespace adore {
+
+/// A point-in-time view of a running (or finished) state-space search:
+/// totals so far, the level just expanded, the size of the next frontier,
+/// and wall-clock since the search started. The engine invokes the
+/// ExploreOptions::OnProgress callback with one of these after every
+/// completed BFS level; benches reuse it to report throughput.
+struct ExploreProgress {
+  /// Distinct states visited so far.
+  size_t States = 0;
+  /// Transitions generated so far (including duplicates).
+  size_t Transitions = 0;
+  /// Depth of the BFS level that was just expanded.
+  size_t Depth = 0;
+  /// Number of states in the next frontier level.
+  size_t FrontierSize = 0;
+  /// Wall-clock seconds since exploration began.
+  double Seconds = 0;
+
+  double statesPerSecond() const {
+    return Seconds > 0 ? static_cast<double>(States) / Seconds : 0;
+  }
+};
 
 /// Accumulates samples and reports summary statistics. Keeps all samples
 /// so exact percentiles are available; fine for the sample counts used by

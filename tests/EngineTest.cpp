@@ -1,0 +1,414 @@
+//===- tests/EngineTest.cpp - Exploration engine tests ----------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the unified exploration engine (mc/Engine.h): the visited-
+/// store policy layer, bound-interaction edge cases the historical
+/// explorer left unpinned, and — the core guarantee — that the parallel
+/// level-synchronous mode returns byte-identical results to the
+/// sequential path for every thread count, on toy models and on all
+/// three real reproduction models (Adore, ADO, Raft network).
+///
+//===----------------------------------------------------------------------===//
+
+#include "audit/CollisionAudit.h"
+#include "mc/AdoExploreModel.h"
+#include "mc/AdoreModel.h"
+#include "mc/Engine.h"
+#include "mc/Explorer.h"
+#include "mc/RaftNetModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace adore;
+using namespace adore::mc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Toy models
+//===----------------------------------------------------------------------===//
+
+/// Counts up by 1 or 2 from 0; state N is "bad" iff N == Bad. Same shape
+/// as the McTest toy, plus the encode() hook so it can drive the exact
+/// and audit store policies too.
+struct CounterModel {
+  using State = int;
+  int Bad;
+  int Cap;
+
+  std::vector<State> initialStates() const { return {0}; }
+  uint64_t fingerprint(const State &S) const { return S; }
+  std::string encode(const State &S) const { return std::to_string(S); }
+  std::string describe(const State &S) const { return std::to_string(S); }
+
+  std::optional<std::string> invariant(const State &S) const {
+    if (S == Bad)
+      return "reached bad counter " + std::to_string(S);
+    return std::nullopt;
+  }
+
+  template <typename FnT> void forEachSuccessor(const State &S,
+                                                FnT &&Fn) const {
+    if (S >= Cap)
+      return;
+    Fn(S + 1, "+1");
+    Fn(S + 2, "+2");
+  }
+};
+
+/// Two independent counting lanes whose fingerprint ignores the lane, so
+/// every lane-1 state collides with its lane-0 twin and a fingerprint-
+/// only search prunes the whole second lane — including the bad state.
+struct ShadowedLaneModel {
+  using State = std::pair<int, int>; // (lane, n)
+  int Cap = 12;
+  int BadLane = 1;
+  int BadN = 5;
+
+  std::vector<State> initialStates() const { return {{0, 0}, {1, 0}}; }
+
+  uint64_t fingerprint(const State &S) const {
+    return static_cast<uint64_t>(S.second); // lane deliberately dropped
+  }
+
+  std::string encode(const State &S) const {
+    return "lane" + std::to_string(S.first) + "#" + std::to_string(S.second);
+  }
+
+  std::string describe(const State &S) const { return encode(S); }
+
+  std::optional<std::string> invariant(const State &S) const {
+    if (S.first == BadLane && S.second == BadN)
+      return "reached shadowed state " + encode(S);
+    return std::nullopt;
+  }
+
+  template <typename FnT> void forEachSuccessor(const State &S,
+                                                FnT &&Fn) const {
+    if (S.second >= Cap)
+      return;
+    Fn(State{S.first, S.second + 1}, "step");
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// Field-by-field equality of two exploration results, with readable
+/// failure output. Every ExploreResult field is part of the determinism
+/// contract, so every field is compared.
+void expectSameResult(const ExploreResult &A, const ExploreResult &B,
+                      const std::string &Label) {
+  SCOPED_TRACE(Label);
+  EXPECT_EQ(A.Violation, B.Violation);
+  EXPECT_EQ(A.Trace, B.Trace);
+  EXPECT_EQ(A.ViolatingState, B.ViolatingState);
+  EXPECT_EQ(A.States, B.States);
+  EXPECT_EQ(A.Transitions, B.Transitions);
+  EXPECT_EQ(A.Depth, B.Depth);
+  EXPECT_EQ(A.Truncated, B.Truncated);
+  EXPECT_EQ(A.StatesPerDepth, B.StatesPerDepth);
+  EXPECT_EQ(A.PeakFrontier, B.PeakFrontier);
+}
+
+/// Runs \p M under \p Base with 1, 2 and 4 worker threads and requires
+/// all three results to be byte-identical.
+template <typename ModelT>
+void expectThreadCountInvariance(ModelT &M, ExploreOptions Base,
+                                 const std::string &Label) {
+  Base.Threads = 1;
+  ExploreResult Seq = explore(M, Base);
+  for (unsigned Threads : {2u, 4u}) {
+    Base.Threads = Threads;
+    ExploreResult Par = explore(M, Base);
+    expectSameResult(Seq, Par,
+                     Label + " with " + std::to_string(Threads) + " threads");
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Bound-interaction edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(EngineBoundsTest, MaxDepthAloneCapsWithoutTruncating) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/100};
+  ExploreOptions Opts;
+  Opts.MaxDepth = 5;
+  ExploreResult Res = explore(M, Opts);
+  // Depths 0..5 hold states {0}, {1,2}, {3,4}, ..., {9,10}: 11 states.
+  EXPECT_EQ(Res.States, 11u);
+  EXPECT_EQ(Res.Depth, 5u);
+  // A depth cap is a declared bound, not an aborted search.
+  EXPECT_FALSE(Res.Truncated);
+  EXPECT_TRUE(Res.exhausted());
+  ASSERT_EQ(Res.StatesPerDepth.size(), 6u);
+  EXPECT_EQ(Res.StatesPerDepth[0], 1u);
+  for (size_t D = 1; D != 6; ++D)
+    EXPECT_EQ(Res.StatesPerDepth[D], 2u) << "depth " << D;
+}
+
+TEST(EngineBoundsTest, MaxStatesWinsWhenTighterThanMaxDepth) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/100};
+  ExploreOptions Opts;
+  Opts.MaxDepth = 5;
+  Opts.MaxStates = 8;
+  ExploreResult Res = explore(M, Opts);
+  // BFS discovery order is 0,1,2,...: the state cap lands at depth 4,
+  // inside the depth bound.
+  EXPECT_EQ(Res.States, 8u);
+  EXPECT_TRUE(Res.Truncated);
+  EXPECT_FALSE(Res.exhausted());
+  EXPECT_LT(Res.Depth, 5u);
+}
+
+TEST(EngineBoundsTest, MaxDepthWinsWhenTighterThanMaxStates) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/100};
+  ExploreOptions Opts;
+  Opts.MaxDepth = 3;
+  Opts.MaxStates = 1000;
+  ExploreResult Res = explore(M, Opts);
+  EXPECT_EQ(Res.States, 7u); // depths 0..3
+  EXPECT_EQ(Res.Depth, 3u);
+  EXPECT_FALSE(Res.Truncated);
+}
+
+TEST(EngineBoundsTest, LimitHitOnFinalStateStillTruncates) {
+  // Cap=10 reaches exactly 12 states (0..11). A MaxStates equal to the
+  // true count trips the bound on the last real state — the engine
+  // cannot know the frontier was about to drain, so the result must be
+  // reported truncated, not exhausted.
+  CounterModel M{/*Bad=*/-1, /*Cap=*/10};
+  ExploreOptions Opts;
+  Opts.MaxStates = 12;
+  ExploreResult Res = explore(M, Opts);
+  EXPECT_EQ(Res.States, 12u);
+  EXPECT_TRUE(Res.Truncated);
+  EXPECT_FALSE(Res.exhausted());
+
+  // One more slot of headroom and the same space is certified drained.
+  Opts.MaxStates = 13;
+  ExploreResult Full = explore(M, Opts);
+  EXPECT_EQ(Full.States, 12u);
+  EXPECT_FALSE(Full.Truncated);
+  EXPECT_TRUE(Full.exhausted());
+}
+
+TEST(EngineBoundsTest, ViolationOnFinalPermittedStateBeatsTruncation) {
+  // State 5 is the 6th state in BFS discovery order. With MaxStates=6
+  // the violation and the state bound land on the same state; the
+  // invariant verdict must win (checked before the bound), so the run
+  // reports a counterexample, not a truncation.
+  CounterModel M{/*Bad=*/5, /*Cap=*/100};
+  ExploreOptions Opts;
+  Opts.MaxStates = 6;
+  ExploreResult Res = explore(M, Opts);
+  ASSERT_TRUE(Res.foundViolation());
+  EXPECT_FALSE(Res.Truncated);
+  EXPECT_EQ(Res.ViolatingState, "5");
+  EXPECT_EQ(Res.Trace.size(), 3u);
+}
+
+TEST(EngineBoundsTest, TraceLengthEqualsViolationDepth) {
+  // BFS finds a minimal counterexample: the trace length must equal the
+  // depth at which the violating state was first discovered, which is
+  // also the last depth with any discoveries.
+  CounterModel M{/*Bad=*/9, /*Cap=*/100};
+  ExploreResult Res = explore(M);
+  ASSERT_TRUE(Res.foundViolation());
+  EXPECT_EQ(Res.Trace.size(), 5u); // ceil(9/2)
+  ASSERT_FALSE(Res.StatesPerDepth.empty());
+  EXPECT_EQ(Res.Trace.size(), Res.StatesPerDepth.size() - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Store policies
+//===----------------------------------------------------------------------===//
+
+TEST(EngineStoreTest, FingerprintStoreMissesShadowedStates) {
+  ShadowedLaneModel M;
+  Engine<ShadowedLaneModel, FingerprintStore> E(M);
+  ExploreResult Res = E.run();
+  // The collision hides the entire second lane: unsound "all clear".
+  EXPECT_TRUE(Res.exhausted());
+  EXPECT_FALSE(Res.foundViolation());
+}
+
+TEST(EngineStoreTest, ExactStoreFindsShadowedStates) {
+  ShadowedLaneModel M;
+  Engine<ShadowedLaneModel, ExactStore> E(M);
+  ExploreResult Res = E.run();
+  ASSERT_TRUE(Res.foundViolation());
+  EXPECT_EQ(Res.ViolatingState, "lane1#5");
+  EXPECT_EQ(Res.Trace.size(), 5u);
+}
+
+TEST(EngineStoreTest, AuditStoreFindsAndCountsCollisions) {
+  ShadowedLaneModel M;
+  Engine<ShadowedLaneModel, AuditStore> E(M);
+  ExploreResult Res = E.run();
+  ASSERT_TRUE(Res.foundViolation());
+  EXPECT_EQ(Res.Trace.size(), 5u);
+  const VisitTallies &T = E.tallies();
+  // Lane-1 states #0..#5 each collided with their lane-0 twin.
+  EXPECT_EQ(T.Collisions, 6u);
+  EXPECT_EQ(T.DistinctStates, T.DistinctFingerprints + T.Collisions);
+}
+
+TEST(EngineStoreTest, DefaultThreadCountParsesTheEnvironment) {
+  const char *Saved = std::getenv("ADORE_MC_THREADS");
+  std::string SavedVal = Saved ? Saved : "";
+
+  ASSERT_EQ(::setenv("ADORE_MC_THREADS", "4", 1), 0);
+  EXPECT_EQ(defaultThreadCount(), 4u);
+  ASSERT_EQ(::setenv("ADORE_MC_THREADS", "not-a-number", 1), 0);
+  EXPECT_EQ(defaultThreadCount(), 1u);
+  ASSERT_EQ(::setenv("ADORE_MC_THREADS", "0", 1), 0);
+  EXPECT_EQ(defaultThreadCount(), 1u);
+  ASSERT_EQ(::unsetenv("ADORE_MC_THREADS"), 0);
+  EXPECT_EQ(defaultThreadCount(), 1u);
+
+  if (Saved)
+    ::setenv("ADORE_MC_THREADS", SavedVal.c_str(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Progress reporting
+//===----------------------------------------------------------------------===//
+
+TEST(EngineProgressTest, SnapshotsAreMonotonicAndConsistent) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/60};
+  std::vector<ExploreProgress> Seen;
+  ExploreOptions Opts;
+  Opts.OnProgress = [&](const ExploreProgress &P) { Seen.push_back(P); };
+  ExploreResult Res = explore(M, Opts);
+  ASSERT_TRUE(Res.exhausted());
+  ASSERT_GT(Seen.size(), 1u);
+  for (size_t I = 0; I != Seen.size(); ++I) {
+    EXPECT_LE(Seen[I].States, Res.States);
+    EXPECT_LE(Seen[I].Transitions, Res.Transitions);
+    EXPECT_GE(Seen[I].Seconds, 0.0);
+    if (I) {
+      EXPECT_GE(Seen[I].States, Seen[I - 1].States);
+      EXPECT_GE(Seen[I].Transitions, Seen[I - 1].Transitions);
+      EXPECT_GT(Seen[I].Depth, Seen[I - 1].Depth);
+      EXPECT_GE(Seen[I].Seconds, Seen[I - 1].Seconds);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel == sequential, byte for byte
+//===----------------------------------------------------------------------===//
+
+TEST(EngineParallelTest, ToyExhaustiveRunsMatchAcrossThreadCounts) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/500};
+  expectThreadCountInvariance(M, ExploreOptions{}, "counter exhaustive");
+}
+
+TEST(EngineParallelTest, ToyTruncatedRunsMatchAcrossThreadCounts) {
+  CounterModel M{/*Bad=*/-1, /*Cap=*/1000000};
+  ExploreOptions Opts;
+  Opts.MaxStates = 5000;
+  expectThreadCountInvariance(M, Opts, "counter truncated");
+}
+
+TEST(EngineParallelTest, ViolationTraceMatchesAcrossThreadCounts) {
+  CounterModel M{/*Bad=*/321, /*Cap=*/1000};
+  expectThreadCountInvariance(M, ExploreOptions{}, "counter violation");
+}
+
+TEST(EngineParallelTest, AdoreModelMatchesAcrossThreadCounts) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  AdoreModelOptions Opts;
+  Opts.MaxCaches = 4;
+  Opts.MaxTime = 2;
+  AdoreModel M(*Scheme, Config(NodeSet{1, 2, 3}), SemanticsOptions(), Opts);
+  ExploreOptions EOpts;
+  EOpts.MaxStates = 40000;
+  expectThreadCountInvariance(M, EOpts, "AdoreModel");
+}
+
+TEST(EngineParallelTest, AdoExploreModelMatchesAcrossThreadCounts) {
+  AdoExploreModelOptions Opts;
+  Opts.NumClients = 2;
+  Opts.MaxTime = 2;
+  AdoExploreModel M(Opts);
+  ExploreOptions EOpts;
+  EOpts.MaxStates = 40000;
+  expectThreadCountInvariance(M, EOpts, "AdoExploreModel");
+}
+
+TEST(EngineParallelTest, RaftNetModelMatchesAcrossThreadCounts) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  RaftNetModelOptions Opts;
+  Opts.MaxTerm = 1;
+  Opts.MaxLog = 1;
+  Opts.MaxPending = 3;
+  RaftNetModel M(*Scheme, Config(NodeSet{1, 2, 3}), Opts);
+  ExploreOptions EOpts;
+  EOpts.MaxStates = 40000;
+  expectThreadCountInvariance(M, EOpts, "RaftNetModel");
+}
+
+TEST(EngineParallelTest, AuditedRunsMatchAcrossThreadCounts) {
+  ShadowedLaneModel M;
+  mc::ExploreOptions Opts;
+  Opts.Threads = 1;
+  audit::AuditedExploreResult Seq = audit::exploreAudited(M, Opts);
+  for (unsigned Threads : {2u, 4u}) {
+    Opts.Threads = Threads;
+    audit::AuditedExploreResult Par = audit::exploreAudited(M, Opts);
+    expectSameResult(Seq.Result, Par.Result,
+                     "audited with " + std::to_string(Threads) + " threads");
+    EXPECT_EQ(Seq.Audit.DistinctStates, Par.Audit.DistinctStates);
+    EXPECT_EQ(Seq.Audit.DistinctFingerprints, Par.Audit.DistinctFingerprints);
+    EXPECT_EQ(Seq.Audit.Collisions, Par.Audit.Collisions);
+    EXPECT_EQ(Seq.Audit.VerifiedRevisits, Par.Audit.VerifiedRevisits);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Random walks: seed determinism
+//===----------------------------------------------------------------------===//
+
+TEST(RandomWalksTest, SameSeedSameRun) {
+  CounterModel M{/*Bad=*/37, /*Cap=*/100};
+  ExploreResult A = randomWalks(M, /*Walks=*/100, /*WalkDepth=*/60,
+                                /*Seed=*/7);
+  ExploreResult B = randomWalks(M, /*Walks=*/100, /*WalkDepth=*/60,
+                                /*Seed=*/7);
+  EXPECT_EQ(A.Violation, B.Violation);
+  EXPECT_EQ(A.Trace, B.Trace);
+  EXPECT_EQ(A.ViolatingState, B.ViolatingState);
+  EXPECT_EQ(A.States, B.States);
+  EXPECT_EQ(A.Transitions, B.Transitions);
+  EXPECT_EQ(A.Depth, B.Depth);
+}
+
+TEST(RandomWalksTest, GoldenTraceForFixedSeed) {
+  // Regression pin for the single-pass reservoir successor choice: this
+  // exact run (model, walks, depth, seed) must keep producing this exact
+  // trace. If the sampling scheme or the RNG stream changes, this test
+  // changes — deliberately loudly.
+  CounterModel M{/*Bad=*/7, /*Cap=*/20};
+  ExploreResult Res = randomWalks(M, /*Walks=*/50, /*WalkDepth=*/20,
+                                  /*Seed=*/42);
+  ASSERT_TRUE(Res.foundViolation());
+  EXPECT_EQ(Res.ViolatingState, "7");
+  EXPECT_EQ(Res.Trace, (std::vector<std::string>{"+1", "+2", "+2", "+2"}));
+  EXPECT_EQ(Res.States, 4u);
+  EXPECT_EQ(Res.Transitions, 8u);
+  EXPECT_EQ(Res.Depth, 4u);
+}
