@@ -1,0 +1,138 @@
+//===- bench/bench_chaos.cpp - E8: chaos seed sweep -------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E8 (robustness): Jepsen-style chaos sweeps over the
+// executable cluster. Every (scenario, seed) pair runs a nemesis fault
+// schedule plus a randomized KV workload, then checks client-history
+// linearizability and cluster safety invariants (election safety,
+// committed-ledger durability, replica convergence). Any violation is a
+// real bug in the executable Raft + reconfiguration layer — the
+// complement of the model checker: unbounded-in-principle executions,
+// checked at runtime instead of exhaustively.
+//
+// Usage:
+//   bench_chaos                 full sweep (seeds per scenario below)
+//   bench_chaos --smoke         CI smoke subset (~200 runs, < 1 min)
+//   bench_chaos --seeds N       N seeds per scenario
+//   bench_chaos --scenario S    one scenario only (by name)
+//
+// Output: per-run lines for failures, a summary table, and
+// BENCH_chaos.json with machine-readable per-run records. Exit status is
+// nonzero iff any run failed a check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/ChaosRun.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace adore;
+using namespace adore::chaos;
+
+namespace {
+
+struct SweepOptions {
+  size_t SeedsPerScenario = 50;
+  bool Smoke = false;
+  std::string OnlyScenario;
+};
+
+/// Per-scenario knob overrides: scripted scenarios need no random gaps;
+/// net-chaos benefits from a busier workload.
+ChaosRunOptions optionsFor(Scenario S) {
+  ChaosRunOptions Opts;
+  Opts.Nemesis.Kind = S;
+  if (S == Scenario::NetChaos) {
+    Opts.Workload.NumOps = 80;
+    Opts.Nemesis.MeanGapUs = 150000;
+  }
+  if (S == Scenario::Reconfigs)
+    Opts.Nemesis.MeanGapUs = 350000;
+  return Opts;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SweepOptions Sweep;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0) {
+      Sweep.Smoke = true;
+      Sweep.SeedsPerScenario = 25; // 8 scenarios -> 200 runs.
+    } else if (std::strcmp(Argv[I], "--seeds") == 0 && I + 1 < Argc) {
+      Sweep.SeedsPerScenario = std::strtoul(Argv[++I], nullptr, 10);
+    } else if (std::strcmp(Argv[I], "--scenario") == 0 && I + 1 < Argc) {
+      Sweep.OnlyScenario = Argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--seeds N] [--scenario NAME]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("E8: chaos sweep — nemesis faults + linearizability and "
+              "safety checks\n");
+  std::printf("%zu seeds per scenario%s\n\n", Sweep.SeedsPerScenario,
+              Sweep.Smoke ? " (smoke)" : "");
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("experiment").value("chaos-sweep");
+  W.key("seeds_per_scenario").value(uint64_t(Sweep.SeedsPerScenario));
+  W.key("runs").beginArray();
+
+  size_t Total = 0, Failures = 0;
+  uint64_t TotalLinStates = 0;
+  std::printf("%-20s %6s %6s %8s %8s %6s\n", "scenario", "runs", "fail",
+              "ops-ok", "indet", "reconf");
+  for (Scenario S : allScenarios()) {
+    if (!Sweep.OnlyScenario.empty() &&
+        Sweep.OnlyScenario != scenarioName(S))
+      continue;
+    ChaosRunOptions Opts = optionsFor(S);
+    size_t ScenarioFailures = 0, OpsOk = 0, OpsIndet = 0, Reconfigs = 0;
+    for (size_t I = 0; I != Sweep.SeedsPerScenario; ++I) {
+      // Fixed seed schedule: reruns and CI hit identical executions.
+      uint64_t Seed = 0xC4A05 + I * 7919;
+      ChaosRunResult R = runChaosScenario(Opts, Seed);
+      ++Total;
+      OpsOk += R.OpsOk;
+      OpsIndet += R.OpsIndeterminate;
+      Reconfigs += R.ReconfigsCommitted;
+      TotalLinStates += R.LinStatesExplored;
+      if (!R.passed()) {
+        ++Failures;
+        ++ScenarioFailures;
+        std::printf("FAIL %s\n", R.summary().c_str());
+        for (const std::string &V : R.Violations)
+          std::printf("  violation: %s\n", V.c_str());
+      }
+      R.addToJson(W);
+    }
+    std::printf("%-20s %6zu %6zu %8zu %8zu %6zu\n", scenarioName(S),
+                Sweep.SeedsPerScenario, ScenarioFailures, OpsOk, OpsIndet,
+                Reconfigs);
+  }
+
+  W.endArray();
+  W.key("total_runs").value(uint64_t(Total));
+  W.key("failures").value(uint64_t(Failures));
+  W.key("lin_states_explored").value(TotalLinStates);
+  W.endObject();
+  if (!W.writeFile("BENCH_chaos.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_chaos.json\n");
+
+  std::printf("\n%zu runs, %zu failures, %llu linearization states "
+              "explored\n",
+              Total, Failures,
+              static_cast<unsigned long long>(TotalLinStates));
+  return Failures == 0 ? 0 : 1;
+}

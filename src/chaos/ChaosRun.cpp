@@ -1,0 +1,240 @@
+//===- chaos/ChaosRun.cpp - One chaos scenario end to end -------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/ChaosRun.h"
+
+#include "chaos/History.h"
+#include "chaos/Linearizability.h"
+#include "kv/KvStore.h"
+
+#include <algorithm>
+
+using namespace adore;
+using namespace adore::chaos;
+using sim::SimTime;
+
+namespace {
+
+/// The committed-ledger invariant: the first application of index I
+/// anywhere defines the ledger entry for I; every later application of I
+/// (other replicas, or the same replica re-applying after a restart) must
+/// match it exactly. Divergence here is a consensus-safety bug.
+struct CommittedLedger {
+  std::vector<sim::SimLogEntry> Entries;
+  std::optional<std::string> Violation;
+
+  void observe(NodeId Node, size_t Index, const sim::SimLogEntry &E) {
+    if (Violation)
+      return;
+    if (Index == Entries.size() + 1) {
+      Entries.push_back(E);
+      return;
+    }
+    if (Index > Entries.size() + 1) {
+      Violation = "apply gap: S" + std::to_string(Node) + " applied index " +
+                  std::to_string(Index) + " with ledger at " +
+                  std::to_string(Entries.size());
+      return;
+    }
+    const sim::SimLogEntry &Seen = Entries[Index - 1];
+    if (Seen.Term != E.Term || Seen.Kind != E.Kind ||
+        Seen.Method != E.Method || Seen.Conf != E.Conf ||
+        Seen.ClientSeq != E.ClientSeq)
+      Violation = "committed-ledger divergence at index " +
+                  std::to_string(Index) + ": S" + std::to_string(Node) +
+                  " applied a different entry than first committed";
+  }
+};
+
+} // namespace
+
+ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
+                                              uint64_t Seed) {
+  ChaosRunResult Result;
+  Result.Seed = Seed;
+  Result.Kind = Opts.Nemesis.Kind;
+
+  // One master seed forks independent streams per component, so e.g.
+  // changing the workload mix never perturbs the nemesis schedule.
+  Rng Master(Seed);
+  uint64_t ClusterSeed = Master.next();
+  uint64_t NemesisSeed = Master.next();
+  uint64_t WorkloadSeed = Master.next();
+
+  std::unique_ptr<ReconfigScheme> Scheme = makeScheme(Opts.Scheme);
+  Config Initial(NodeSet::range(1, Opts.Members));
+  NodeSet Universe = NodeSet::range(1, Opts.Members + Opts.Spares);
+  sim::Cluster C(*Scheme, Initial, Universe, Opts.Cluster, ClusterSeed);
+
+  CommittedLedger Ledger;
+  C.addApplyHook([&Ledger](NodeId Node, size_t Index,
+                           const sim::SimLogEntry &E) {
+    Ledger.observe(Node, Index, E);
+  });
+
+  kv::ReplicatedKvStore Store(C);
+  History H;
+  Store.setObserver(&H);
+
+  C.start();
+  if (!C.runUntilLeader(5000000))
+    Result.Violations.push_back("no leader elected before chaos start");
+  SimTime Start = C.queue().now();
+
+  Nemesis N(C, Opts.Nemesis, NemesisSeed);
+  N.start();
+
+  // Schedule the whole workload up front (invocation times and op mix
+  // are drawn now; effects happen in virtual time). Every put writes a
+  // globally unique value, which is what makes per-key register
+  // linearizability checking discriminating.
+  Rng W(WorkloadSeed);
+  uint32_t NextVal = 1;
+  const ChaosWorkloadOptions &WL = Opts.Workload;
+  for (size_t I = 0; I != WL.NumOps; ++I) {
+    SimTime At = Start + W.nextBelow(Opts.Nemesis.HorizonUs);
+    uint32_t Key = static_cast<uint32_t>(W.nextBelow(WL.NumKeys));
+    unsigned Draw = static_cast<unsigned>(W.nextBelow(1000));
+    uint32_t Val = NextVal++;
+    C.queue().scheduleAt(At, [&Store, &WL, Key, Draw, Val] {
+      if (Draw < WL.GetPermille)
+        Store.get(
+            Key, [](bool, std::optional<uint32_t>, SimTime) {},
+            WL.OpTimeoutUs);
+      else if (Draw < WL.GetPermille + WL.DelPermille)
+        Store.del(Key, [](bool, SimTime) {}, WL.OpTimeoutUs);
+      else
+        Store.put(Key, Val, [](bool, SimTime) {}, WL.OpTimeoutUs);
+    });
+  }
+
+  // Active window, then the fault-free quiescence tail. The queue never
+  // drains (heartbeats), so the run is time-bounded.
+  C.queue().runUntil(Start + Opts.Nemesis.HorizonUs + Opts.QuiescenceUs);
+  H.finalize(C.queue().now());
+
+  // Gather statistics.
+  Result.OpsTotal = H.size();
+  Result.OpsOk = H.countWithOutcome(Outcome::Ok);
+  Result.OpsFailed = H.countWithOutcome(Outcome::Fail);
+  Result.OpsIndeterminate = H.countWithOutcome(Outcome::Indeterminate);
+  Result.MessagesSent = C.messagesSent();
+  Result.DroppedByCut = C.messagesDroppedByCut();
+  Result.DroppedByLoss = C.messagesDroppedByLoss();
+  Result.Duplicated = C.messagesDuplicated();
+  Result.NemesisActions = N.trace().size();
+  Result.ReconfigsRequested = N.reconfigsRequested();
+  Result.ReconfigsCommitted = N.reconfigsCommitted();
+  Result.HealedAll = N.healedAll();
+  Result.CommittedEntries = Ledger.Entries.size();
+  Result.NemesisTrace = N.traceString();
+  Result.HistoryText = H.str();
+
+  // Invariants.
+  if (!N.healedAll())
+    Result.Violations.push_back("nemesis did not heal all faults");
+  if (Ledger.Violation)
+    Result.Violations.push_back(*Ledger.Violation);
+  if (std::optional<std::string> V = C.checkLeaderUniqueness())
+    Result.Violations.push_back("election safety: " + *V);
+  if (std::optional<std::string> V = C.checkCommittedAgreement())
+    Result.Violations.push_back("committed agreement: " + *V);
+
+  // Durability + convergence: after heal and quiescence, some node leads
+  // and every member of its configuration holds the full committed
+  // prefix (nothing committed was lost to any crash/restart/reconfig)
+  // with identical KV state.
+  std::optional<NodeId> FinalLeader = C.leader();
+  if (!FinalLeader) {
+    Result.Violations.push_back("no leader after heal + quiescence:\n" +
+                                C.dump());
+  } else {
+    NodeSet FinalMembers = Scheme->mbrs(C.node(*FinalLeader).config());
+    std::optional<NodeId> First;
+    for (NodeId M : FinalMembers) {
+      const sim::RaftNode &Node = C.node(M);
+      if (Node.isCrashed()) {
+        Result.Violations.push_back("S" + std::to_string(M) +
+                                    " still crashed after heal");
+        continue;
+      }
+      if (Node.commitIndex() < Ledger.Entries.size()) {
+        Result.Violations.push_back(
+            "durability: S" + std::to_string(M) + " commit index " +
+            std::to_string(Node.commitIndex()) + " < committed ledger " +
+            std::to_string(Ledger.Entries.size()));
+        continue;
+      }
+      if (!First) {
+        First = M;
+      } else if (!(Store.replica(M) == Store.replica(*First))) {
+        Result.Violations.push_back("convergence: KV state of S" +
+                                    std::to_string(M) + " differs from S" +
+                                    std::to_string(*First));
+      }
+    }
+  }
+  if (!Store.replicasAgree())
+    Result.Violations.push_back("replicas with equal applied counts "
+                                "disagree on KV state");
+
+  // The history check runs last so its (potentially long) explanation
+  // lands after the cheap invariant reports.
+  LinearizabilityResult Lin = checkLinearizability(H);
+  Result.LinStatesExplored = Lin.StatesExplored;
+  if (!Lin.Ok)
+    Result.Violations.push_back("linearizability: " + Lin.Explanation);
+
+  return Result;
+}
+
+void ChaosRunResult::addToJson(JsonWriter &W) const {
+  W.beginObject();
+  W.key("seed").value(uint64_t(Seed));
+  W.key("scenario").value(scenarioName(Kind));
+  W.key("passed").value(passed());
+  W.key("ops").beginObject();
+  W.key("total").value(uint64_t(OpsTotal));
+  W.key("ok").value(uint64_t(OpsOk));
+  W.key("fail").value(uint64_t(OpsFailed));
+  W.key("indeterminate").value(uint64_t(OpsIndeterminate));
+  W.endObject();
+  W.key("net").beginObject();
+  W.key("sent").value(uint64_t(MessagesSent));
+  W.key("dropped_by_cut").value(uint64_t(DroppedByCut));
+  W.key("dropped_by_loss").value(uint64_t(DroppedByLoss));
+  W.key("duplicated").value(uint64_t(Duplicated));
+  W.endObject();
+  W.key("nemesis").beginObject();
+  W.key("actions").value(uint64_t(NemesisActions));
+  W.key("reconfigs_requested").value(uint64_t(ReconfigsRequested));
+  W.key("reconfigs_committed").value(uint64_t(ReconfigsCommitted));
+  W.key("healed_all").value(HealedAll);
+  W.endObject();
+  W.key("committed_entries").value(uint64_t(CommittedEntries));
+  W.key("lin_states_explored").value(LinStatesExplored);
+  W.key("violations").beginArray();
+  for (const std::string &V : Violations)
+    W.value(V);
+  W.endArray();
+  if (!passed()) {
+    W.key("nemesis_trace").value(NemesisTrace);
+    W.key("history").value(HistoryText);
+  }
+  W.endObject();
+}
+
+std::string ChaosRunResult::summary() const {
+  std::string S = std::string(scenarioName(Kind)) + " seed=" +
+                  std::to_string(Seed) + " ops=" + std::to_string(OpsTotal) +
+                  " (ok=" + std::to_string(OpsOk) +
+                  " indet=" + std::to_string(OpsIndeterminate) +
+                  ") committed=" + std::to_string(CommittedEntries) +
+                  " nemesis=" + std::to_string(NemesisActions);
+  S += passed() ? " PASS" : (" FAIL (" + std::to_string(Violations.size()) +
+                             " violations)");
+  return S;
+}

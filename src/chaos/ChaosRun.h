@@ -1,0 +1,117 @@
+//===- chaos/ChaosRun.h - One chaos scenario end to end -------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chaos harness's top level: build a cluster and a replicated KV
+/// store, unleash a nemesis and a randomized client workload, then — after
+/// the horizon heal and a quiescence window — check everything we can
+/// check:
+///
+///   - the recorded client history is linearizable per key (with
+///     indeterminate timed-out writes allowed to take effect late or
+///     never),
+///   - at most one leader per term was ever elected,
+///   - the committed ledger never diverged (no node applied a different
+///     entry at an index some other node had already applied),
+///   - every committed entry survived every crash/restart/reconfig: after
+///     healing, all members of the final configuration hold the full
+///     committed prefix,
+///   - replica KV states converge after heal.
+///
+/// Everything is derived deterministically from one seed, so a failing
+/// (seed, scenario) pair is a complete, replayable bug report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_CHAOS_CHAOSRUN_H
+#define ADORE_CHAOS_CHAOSRUN_H
+
+#include "chaos/Nemesis.h"
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace adore {
+namespace chaos {
+
+/// Randomized client workload knobs.
+struct ChaosWorkloadOptions {
+  size_t NumOps = 60;
+  uint32_t NumKeys = 8;
+  /// Operation mix (out of 1000); the remainder are puts.
+  unsigned GetPermille = 330;
+  unsigned DelPermille = 100;
+  /// Per-operation client budget; shorter than the default so timed-out
+  /// (indeterminate) operations actually occur under faults.
+  sim::SimTime OpTimeoutUs = 1500000;
+};
+
+/// Full configuration of one chaos run.
+struct ChaosRunOptions {
+  SchemeKind Scheme = SchemeKind::RaftSingleNode;
+  size_t Members = 3;
+  size_t Spares = 2;
+  sim::ClusterOptions Cluster;
+  ChaosWorkloadOptions Workload;
+  NemesisOptions Nemesis;
+  /// Fault-free tail after the horizon heal in which the cluster must
+  /// converge; all durability/convergence invariants are checked at its
+  /// end.
+  sim::SimTime QuiescenceUs = 3000000;
+};
+
+/// Everything a run produced, checks included.
+struct ChaosRunResult {
+  uint64_t Seed = 0;
+  Scenario Kind = Scenario::Mixed;
+
+  // Workload outcomes.
+  size_t OpsTotal = 0;
+  size_t OpsOk = 0;
+  size_t OpsFailed = 0;
+  size_t OpsIndeterminate = 0;
+
+  // Network statistics.
+  size_t MessagesSent = 0;
+  size_t DroppedByCut = 0;
+  size_t DroppedByLoss = 0;
+  size_t Duplicated = 0;
+
+  // Nemesis statistics.
+  size_t NemesisActions = 0;
+  size_t ReconfigsRequested = 0;
+  size_t ReconfigsCommitted = 0;
+  bool HealedAll = false;
+
+  size_t CommittedEntries = 0;
+  uint64_t LinStatesExplored = 0;
+
+  /// Human-readable invariant violations; empty means the run passed.
+  std::vector<std::string> Violations;
+
+  /// Canonical nemesis action trace and client history (byte-stable for
+  /// identical (seed, options) runs — the determinism test diffs these).
+  std::string NemesisTrace;
+  std::string HistoryText;
+
+  bool passed() const { return Violations.empty(); }
+
+  /// Appends this result as one JSON object. The trace and history are
+  /// included only for failing runs (they dominate the report size).
+  void addToJson(JsonWriter &W) const;
+
+  /// One-line summary for logs.
+  std::string summary() const;
+};
+
+/// Runs one scenario to completion. Deterministic in (Opts, Seed).
+ChaosRunResult runChaosScenario(const ChaosRunOptions &Opts, uint64_t Seed);
+
+} // namespace chaos
+} // namespace adore
+
+#endif // ADORE_CHAOS_CHAOSRUN_H

@@ -1,0 +1,123 @@
+//===- chaos/History.cpp - Client operation history recorder ----------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/History.h"
+
+#include "support/Debug.h"
+
+#include <cassert>
+
+using namespace adore;
+using namespace adore::chaos;
+
+const char *adore::chaos::opKindName(OpKind K) {
+  switch (K) {
+  case OpKind::Put:
+    return "put";
+  case OpKind::Del:
+    return "del";
+  case OpKind::Get:
+    return "get";
+  }
+  ADORE_UNREACHABLE("unknown op kind");
+}
+
+const char *adore::chaos::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Pending:
+    return "pending";
+  case Outcome::Ok:
+    return "ok";
+  case Outcome::Fail:
+    return "fail";
+  case Outcome::Indeterminate:
+    return "indet";
+  }
+  ADORE_UNREACHABLE("unknown outcome");
+}
+
+std::string ClientOp::str() const {
+  std::string S = "#" + std::to_string(OpId) + " " + opKindName(Kind) +
+                  " k=" + std::to_string(Key);
+  if (Kind == OpKind::Put)
+    S += " v=" + std::to_string(Value);
+  if (Kind == OpKind::Get && Out == Outcome::Ok) {
+    S += " -> ";
+    S += ReadValue ? std::to_string(*ReadValue) : std::string("none");
+  }
+  S += " [" + std::to_string(InvokedAt) + "," +
+       std::to_string(ReturnedAt) + "] ";
+  S += outcomeName(Out);
+  return S;
+}
+
+void History::onInvoke(uint64_t OpId, OpType Type, uint32_t Key,
+                       uint32_t Value, sim::SimTime At) {
+  ClientOp Op;
+  Op.OpId = OpId;
+  switch (Type) {
+  case OpType::Put:
+    Op.Kind = OpKind::Put;
+    break;
+  case OpType::Del:
+    Op.Kind = OpKind::Del;
+    break;
+  case OpType::Get:
+    Op.Kind = OpKind::Get;
+    break;
+  }
+  Op.Key = Key;
+  Op.Value = Value;
+  Op.InvokedAt = At;
+  Op.InvSeq = NextSeq++;
+  IndexByOpId[OpId] = Ops.size();
+  Ops.push_back(std::move(Op));
+}
+
+void History::onReturn(uint64_t OpId, bool Ok,
+                       std::optional<uint32_t> Value, sim::SimTime At) {
+  auto It = IndexByOpId.find(OpId);
+  assert(It != IndexByOpId.end() && "return without invocation");
+  ClientOp &Op = Ops[It->second];
+  assert(Op.Out == Outcome::Pending && "operation returned twice");
+  Op.ReturnedAt = At;
+  Op.RetSeq = NextSeq++;
+  if (Ok) {
+    Op.Out = Outcome::Ok;
+    Op.ReadValue = Value;
+    return;
+  }
+  // A failed read definitely had no effect and observed nothing; a
+  // failed write is merely unanswered — it may still commit later.
+  Op.Out = Op.Kind == OpKind::Get ? Outcome::Fail : Outcome::Indeterminate;
+}
+
+void History::finalize(sim::SimTime At) {
+  for (ClientOp &Op : Ops) {
+    if (Op.Out != Outcome::Pending)
+      continue;
+    Op.ReturnedAt = At;
+    Op.RetSeq = NextSeq++;
+    Op.Out =
+        Op.Kind == OpKind::Get ? Outcome::Fail : Outcome::Indeterminate;
+  }
+}
+
+size_t History::countWithOutcome(Outcome O) const {
+  size_t N = 0;
+  for (const ClientOp &Op : Ops)
+    N += Op.Out == O;
+  return N;
+}
+
+std::string History::str() const {
+  std::string Out;
+  for (const ClientOp &Op : Ops) {
+    Out += Op.str();
+    Out += '\n';
+  }
+  return Out;
+}

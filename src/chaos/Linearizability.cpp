@@ -1,0 +1,192 @@
+//===- chaos/Linearizability.cpp - History linearizability check ------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/Linearizability.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_set>
+
+using namespace adore;
+using namespace adore::chaos;
+using sim::SimTime;
+
+namespace {
+
+/// Register values are widened to 64 bits so "key absent" gets its own
+/// point in the value domain.
+constexpr uint64_t Absent = ~uint64_t(0);
+/// Return time of an operation that never returned (indeterminate).
+constexpr SimTime NeverReturns = ~SimTime(0);
+
+/// One operation of a single key's history, preprocessed for the search.
+struct KeyOp {
+  uint64_t OpId = 0;
+  bool IsRead = false;
+  /// Ok operations must appear in the linearization; indeterminate
+  /// writes may be linearized or left out.
+  bool Required = false;
+  uint64_t WriteVal = Absent; ///< Post-state of a write (Absent = del).
+  uint64_t ReadVal = Absent;  ///< Observed value of a required read.
+  SimTime Inv = 0;
+  SimTime Ret = NeverReturns;
+};
+
+/// Memoized Wing & Gong DFS over one key's operations.
+class KeySearch {
+public:
+  KeySearch(std::vector<KeyOp> Ops, uint64_t Budget)
+      : Ops(std::move(Ops)), Budget(Budget),
+        Bits((this->Ops.size() + 63) / 64, 0) {}
+
+  bool run() {
+    size_t RequiredLeft = 0;
+    for (const KeyOp &Op : Ops)
+      RequiredLeft += Op.Required;
+    return search(Absent, RequiredLeft);
+  }
+
+  uint64_t explored() const { return Explored; }
+  bool budgetHit() const { return BudgetHit; }
+
+private:
+  bool bit(size_t I) const { return (Bits[I / 64] >> (I % 64)) & 1; }
+  void setBit(size_t I) { Bits[I / 64] |= uint64_t(1) << (I % 64); }
+  void clearBit(size_t I) { Bits[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+
+  /// Packs (linearized set, register value) into a memo key.
+  std::string encode(uint64_t Val) const {
+    std::string Key;
+    Key.reserve((Bits.size() + 1) * 8);
+    auto AppendWord = [&Key](uint64_t W) {
+      for (int B = 0; B != 8; ++B)
+        Key.push_back(static_cast<char>((W >> (8 * B)) & 0xff));
+    };
+    for (uint64_t W : Bits)
+      AppendWord(W);
+    AppendWord(Val);
+    return Key;
+  }
+
+  bool search(uint64_t Val, size_t RequiredLeft) {
+    if (RequiredLeft == 0)
+      return true; // Leftover indeterminate ops simply never happened.
+    if (BudgetHit)
+      return false;
+    if (!Memo.insert(encode(Val)).second)
+      return false; // Same set + same value: already known to fail.
+    if (++Explored > Budget) {
+      BudgetHit = true;
+      return false;
+    }
+    // The Wing & Gong frontier: nothing may linearize after the first
+    // return of a still-unlinearized completed op.
+    SimTime MinRet = NeverReturns;
+    for (size_t I = 0; I != Ops.size(); ++I)
+      if (!bit(I) && Ops[I].Required)
+        MinRet = std::min(MinRet, Ops[I].Ret);
+    for (size_t I = 0; I != Ops.size(); ++I) {
+      if (bit(I) || Ops[I].Inv > MinRet)
+        continue;
+      if (Ops[I].IsRead && Ops[I].ReadVal != Val)
+        continue; // A read can only linearize on its observed value.
+      setBit(I);
+      uint64_t NextVal = Ops[I].IsRead ? Val : Ops[I].WriteVal;
+      bool Found = search(NextVal, RequiredLeft - Ops[I].Required);
+      clearBit(I);
+      if (Found)
+        return true;
+    }
+    return false;
+  }
+
+  std::vector<KeyOp> Ops;
+  uint64_t Budget;
+  uint64_t Explored = 0;
+  bool BudgetHit = false;
+  std::unordered_set<std::string> Memo;
+  std::vector<uint64_t> Bits;
+};
+
+} // namespace
+
+LinearizabilityResult
+adore::chaos::checkLinearizability(const std::vector<ClientOp> &Ops,
+                                   uint64_t MaxStatesPerKey) {
+  // Linearizability is local: split the history per key.
+  std::map<uint32_t, std::vector<const ClientOp *>> ByKey;
+  for (const ClientOp &Op : Ops) {
+    // Failed reads observed nothing and mutated nothing; drop them.
+    if (Op.Kind == OpKind::Get && Op.Out != Outcome::Ok)
+      continue;
+    if (Op.Out == Outcome::Fail)
+      continue; // Defensive: a definitely-not-applied write.
+    ByKey[Op.Key].push_back(&Op);
+  }
+
+  LinearizabilityResult Result;
+  for (auto &[Key, KeyOps] : ByKey) {
+    std::vector<KeyOp> Prepared;
+    Prepared.reserve(KeyOps.size());
+    for (const ClientOp *Op : KeyOps) {
+      KeyOp K;
+      K.OpId = Op->OpId;
+      // Recorder-assigned logical sequence numbers are strictly monotone
+      // and never alias the way microsecond stamps can; fall back to the
+      // timestamps only for hand-built histories without them.
+      K.Inv = Op->InvSeq != 0 ? Op->InvSeq : Op->InvokedAt;
+      K.Required = Op->Out == Outcome::Ok;
+      K.Ret = K.Required
+                  ? (Op->RetSeq != 0 ? Op->RetSeq : Op->ReturnedAt)
+                  : NeverReturns;
+      switch (Op->Kind) {
+      case OpKind::Put:
+        K.WriteVal = Op->Value;
+        break;
+      case OpKind::Del:
+        K.WriteVal = Absent;
+        break;
+      case OpKind::Get:
+        K.IsRead = true;
+        K.ReadVal = Op->ReadValue ? uint64_t(*Op->ReadValue) : Absent;
+        break;
+      }
+      Prepared.push_back(K);
+    }
+    // Deterministic exploration order (and better pruning: earlier
+    // invocations first).
+    std::sort(Prepared.begin(), Prepared.end(),
+              [](const KeyOp &A, const KeyOp &B) {
+                return std::tie(A.Inv, A.OpId) < std::tie(B.Inv, B.OpId);
+              });
+    KeySearch Search(Prepared, MaxStatesPerKey);
+    bool Ok = Search.run();
+    Result.StatesExplored += Search.explored();
+    ++Result.KeysChecked;
+    if (Ok)
+      continue;
+    Result.Ok = false;
+    Result.BudgetExceeded = Search.budgetHit();
+    Result.Explanation =
+        Search.budgetHit()
+            ? "key " + std::to_string(Key) +
+                  ": state budget exceeded (inconclusive)"
+            : "key " + std::to_string(Key) + ": no valid linearization of " +
+                  std::to_string(Prepared.size()) + " operations";
+    Result.Explanation += "; per-key history:\n";
+    size_t Lines = 0;
+    for (const ClientOp *Op : KeyOps) {
+      Result.Explanation += "  " + Op->str() + "\n";
+      if (++Lines == 40) {
+        Result.Explanation += "  ... (truncated)\n";
+        break;
+      }
+    }
+    return Result; // First violating key is enough.
+  }
+  return Result;
+}

@@ -63,9 +63,11 @@ std::optional<uint32_t> KvState::get(uint32_t Key) const {
 // ReplicatedKvStore
 //===----------------------------------------------------------------------===//
 
+KvClientObserver::~KvClientObserver() = default;
+
 ReplicatedKvStore::ReplicatedKvStore(sim::Cluster &Cluster)
     : Cluster(Cluster) {
-  Cluster.setApplyHook(
+  Cluster.addApplyHook(
       [this](NodeId Node, size_t Index, const SimLogEntry &E) {
         onApply(Node, Index, E);
       });
@@ -74,8 +76,14 @@ ReplicatedKvStore::ReplicatedKvStore(sim::Cluster &Cluster)
 void ReplicatedKvStore::onApply(NodeId Node, size_t Index,
                                 const SimLogEntry &E) {
   KvState &State = Replicas[Node];
-  if (E.Kind == raft::EntryKind::Method)
-    State.applyMethod(E.Method);
+  if (E.Kind == raft::EntryKind::Method) {
+    // Exactly-once: a command retried across failovers may occupy two
+    // committed slots; only the first occurrence executes.
+    bool Duplicate = E.ClientSeq != 0 &&
+                     !AppliedSeqs[Node].insert(E.ClientSeq).second;
+    if (!Duplicate)
+      State.applyMethod(E.Method);
+  }
   AppliedCount[Node] = Index;
   // Resolve barrier reads riding on this entry (encoded as a Noop put
   // whose ClientSeq maps into Reads via the Value field of the op).
@@ -93,39 +101,80 @@ void ReplicatedKvStore::onApply(NodeId Node, size_t Index,
   // is the linearization point.
   auto Value = State.get(Read.Key);
   SimTime Latency = Cluster.queue().now() - Read.StartedAt;
+  if (Observer)
+    Observer->onReturn(Read.OpId, true, Value, Cluster.queue().now());
   Read.Done(true, Value, Latency);
 }
 
 void ReplicatedKvStore::put(
     uint32_t Key, uint32_t Value,
-    std::function<void(bool, SimTime)> Done) {
+    std::function<void(bool, SimTime)> Done, SimTime MaxTriesUs) {
   KvOp Op{KvOpKind::Put, Key, Value};
-  Cluster.submit(encodeKvOp(Op), std::move(Done));
+  uint64_t OpId = NextOpId++;
+  if (Observer)
+    Observer->onInvoke(OpId, KvClientObserver::OpType::Put, Key, Value,
+                       Cluster.queue().now());
+  Cluster.submit(
+      encodeKvOp(Op),
+      [this, OpId, Done = std::move(Done)](bool Ok, SimTime Latency) {
+        if (Observer)
+          Observer->onReturn(OpId, Ok, std::nullopt,
+                             Cluster.queue().now());
+        if (Done)
+          Done(Ok, Latency);
+      },
+      MaxTriesUs);
 }
 
 void ReplicatedKvStore::del(uint32_t Key,
-                            std::function<void(bool, SimTime)> Done) {
+                            std::function<void(bool, SimTime)> Done,
+                            SimTime MaxTriesUs) {
   KvOp Op{KvOpKind::Del, Key, 0};
-  Cluster.submit(encodeKvOp(Op), std::move(Done));
+  uint64_t OpId = NextOpId++;
+  if (Observer)
+    Observer->onInvoke(OpId, KvClientObserver::OpType::Del, Key, 0,
+                       Cluster.queue().now());
+  Cluster.submit(
+      encodeKvOp(Op),
+      [this, OpId, Done = std::move(Done)](bool Ok, SimTime Latency) {
+        if (Observer)
+          Observer->onReturn(OpId, Ok, std::nullopt,
+                             Cluster.queue().now());
+        if (Done)
+          Done(Ok, Latency);
+      },
+      MaxTriesUs);
 }
 
 void ReplicatedKvStore::get(
     uint32_t Key,
-    std::function<void(bool, std::optional<uint32_t>, SimTime)> Done) {
+    std::function<void(bool, std::optional<uint32_t>, SimTime)> Done,
+    SimTime MaxTriesUs) {
   uint64_t Seq = NextReadSeq++;
-  Reads[Seq] = PendingRead{Key, std::move(Done), Cluster.queue().now()};
+  uint64_t OpId = NextOpId++;
+  if (Observer)
+    Observer->onInvoke(OpId, KvClientObserver::OpType::Get, Key, 0,
+                       Cluster.queue().now());
+  Reads[Seq] =
+      PendingRead{Key, std::move(Done), Cluster.queue().now(), OpId};
   // A no-op barrier whose Value field carries the read ticket.
   KvOp Barrier{KvOpKind::Noop, 0, static_cast<uint32_t>(Seq)};
-  Cluster.submit(encodeKvOp(Barrier), [this, Seq](bool Ok, SimTime) {
-    if (Ok)
-      return; // onApply resolves the read.
-    auto It = Reads.find(Seq);
-    if (It == Reads.end())
-      return;
-    PendingRead Read = std::move(It->second);
-    Reads.erase(It);
-    Read.Done(false, std::nullopt, 0);
-  });
+  Cluster.submit(
+      encodeKvOp(Barrier),
+      [this, Seq](bool Ok, SimTime) {
+        if (Ok)
+          return; // onApply resolves the read.
+        auto It = Reads.find(Seq);
+        if (It == Reads.end())
+          return;
+        PendingRead Read = std::move(It->second);
+        Reads.erase(It);
+        if (Observer)
+          Observer->onReturn(Read.OpId, false, std::nullopt,
+                             Cluster.queue().now());
+        Read.Done(false, std::nullopt, 0);
+      },
+      MaxTriesUs);
 }
 
 const KvState &ReplicatedKvStore::replica(NodeId Id) const {

@@ -31,6 +31,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 
 namespace adore {
 namespace kv {
@@ -77,27 +78,62 @@ private:
 // SMR-style store over the executable cluster
 //===----------------------------------------------------------------------===//
 
+/// Observer of the client-visible operation lifecycle: every put/del/get
+/// reports an invocation when it is issued and a return when its Done
+/// callback would fire. The chaos harness implements this to record
+/// operation histories for linearizability checking; `Ok == false` on a
+/// write means *indeterminate* (a retried command may still commit), not
+/// "definitely did not happen".
+class KvClientObserver {
+public:
+  enum class OpType : uint8_t { Put, Del, Get };
+
+  virtual ~KvClientObserver();
+
+  /// An operation begins. \p OpId is unique per store instance; \p Value
+  /// is meaningful for Put only.
+  virtual void onInvoke(uint64_t OpId, OpType Type, uint32_t Key,
+                        uint32_t Value, sim::SimTime At) = 0;
+
+  /// The operation returns to the client. \p Value carries the observed
+  /// value for a successful Get and is nullopt otherwise.
+  virtual void onReturn(uint64_t OpId, bool Ok,
+                        std::optional<uint32_t> Value, sim::SimTime At) = 0;
+};
+
 /// The SMR-facade store of Fig. 2: opaque calls over a simulated Raft
 /// cluster. Maintains one KvState per replica (fed by the cluster's
 /// apply hook) and serves linearizable reads through a commit barrier.
+/// Client commands carry a unique sequence number and replicas apply each
+/// at most once, so a command that is retried across leader failovers
+/// (and therefore may appear in the committed log twice) takes effect
+/// exactly once — without this, at-least-once retries would make even
+/// fault-free histories non-linearizable.
 class ReplicatedKvStore {
 public:
   explicit ReplicatedKvStore(sim::Cluster &Cluster);
 
-  /// put(key, value): completes (in virtual time) once committed.
+  /// put(key, value): completes (in virtual time) once committed, or
+  /// with Ok=false once \p MaxTriesUs elapses (outcome indeterminate).
   void put(uint32_t Key, uint32_t Value,
-           std::function<void(bool Ok, sim::SimTime LatencyUs)> Done);
+           std::function<void(bool Ok, sim::SimTime LatencyUs)> Done,
+           sim::SimTime MaxTriesUs = 5000000);
 
   /// del(key).
   void del(uint32_t Key,
-           std::function<void(bool Ok, sim::SimTime LatencyUs)> Done);
+           std::function<void(bool Ok, sim::SimTime LatencyUs)> Done,
+           sim::SimTime MaxTriesUs = 5000000);
 
   /// Linearizable get: a no-op barrier is committed, then the value is
   /// read from the replica state at the barrier point.
   void get(uint32_t Key,
            std::function<void(bool Ok, std::optional<uint32_t> Value,
                               sim::SimTime LatencyUs)>
-               Done);
+               Done,
+           sim::SimTime MaxTriesUs = 5000000);
+
+  /// Installs the history observer (nullptr to detach). Not owned.
+  void setObserver(KvClientObserver *O) { Observer = O; }
 
   /// Replica state for inspection (e.g. convergence checks in tests).
   const KvState &replica(NodeId Id) const;
@@ -112,14 +148,21 @@ private:
   sim::Cluster &Cluster;
   std::map<NodeId, KvState> Replicas;
   std::map<NodeId, size_t> AppliedCount;
+  /// Per-replica set of client sequence numbers already applied; repeat
+  /// occurrences of a retried command are skipped (exactly-once apply).
+  /// Deterministic across replicas because all apply the same log.
+  std::map<NodeId, std::set<uint64_t>> AppliedSeqs;
   /// Pending barrier reads keyed by an internal sequence.
   struct PendingRead {
     uint32_t Key;
     std::function<void(bool, std::optional<uint32_t>, sim::SimTime)> Done;
     sim::SimTime StartedAt;
+    uint64_t OpId;
   };
   std::map<uint64_t, PendingRead> Reads;
   uint64_t NextReadSeq = 1;
+  uint64_t NextOpId = 1;
+  KvClientObserver *Observer = nullptr;
 };
 
 //===----------------------------------------------------------------------===//

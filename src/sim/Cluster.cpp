@@ -28,6 +28,17 @@ Cluster::Cluster(const ReconfigScheme &Scheme, Config InitialConf,
                   onApply(N, I, E);
                 }));
   }
+  for (auto &[Id, Node] : Nodes)
+    Node->setLeaderObserver(
+        [this](NodeId Leader, Time Term) { noteLeader(Leader, Term); });
+}
+
+void Cluster::noteLeader(NodeId Leader, Time Term) {
+  auto [It, Fresh] = LeadersByTerm.emplace(Term, Leader);
+  if (!Fresh && It->second != Leader && !LeaderOverlap)
+    LeaderOverlap = "two leaders in term " + std::to_string(Term) +
+                    ": S" + std::to_string(It->second) + " and S" +
+                    std::to_string(Leader);
 }
 
 void Cluster::start() {
@@ -77,21 +88,39 @@ void Cluster::sendMsg(SimMsg M) {
   ++MessagesSent;
   if (Partition &&
       Partition->contains(M.From) != Partition->contains(M.To)) {
-    ++MessagesDropped; // The cut eats everything crossing it.
+    ++DroppedByCut; // The cut eats everything crossing it.
+    return;
+  }
+  if (!CutLinks.empty() && CutLinks.count({M.From, M.To})) {
+    ++DroppedByCut; // Directional cut: only this direction dies.
     return;
   }
   if (R.nextChance(Opts.Link.DropPermille, 1000)) {
-    ++MessagesDropped;
+    ++DroppedByLoss;
     return;
   }
-  SimTime Latency =
-      R.nextInRange(Opts.Link.LatencyMinUs, Opts.Link.LatencyMaxUs);
-  Queue.scheduleAfter(Latency, [this, M = std::move(M)] {
-    auto It = Nodes.find(M.To);
-    if (It == Nodes.end())
-      return; // Destination outside the universe: dropped.
-    It->second->receive(M);
-  });
+  // The RNG draws below are guarded so that the draw sequence (and thus
+  // every seed-pinned expectation) is unchanged when the chaos knobs are
+  // at their defaults.
+  unsigned Copies = 1;
+  if (Opts.Link.DupPermille != 0 &&
+      R.nextChance(Opts.Link.DupPermille, 1000)) {
+    ++Copies;
+    ++MessagesDuplicated;
+  }
+  for (unsigned I = 0; I != Copies; ++I) {
+    SimTime Latency =
+        R.nextInRange(Opts.Link.LatencyMinUs, Opts.Link.LatencyMaxUs);
+    if (Opts.Link.ReorderJitterUs != 0 &&
+        R.nextChance(Opts.Link.ReorderPermille, 1000))
+      Latency += R.nextInRange(0, Opts.Link.ReorderJitterUs);
+    Queue.scheduleAfter(Latency, [this, M] {
+      auto It = Nodes.find(M.To);
+      if (It == Nodes.end())
+        return; // Destination outside the universe: dropped.
+      It->second->receive(M);
+    });
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -214,8 +243,8 @@ void Cluster::settle(uint64_t Seq, bool Ok) {
 }
 
 void Cluster::onApply(NodeId Node, size_t Index, const SimLogEntry &E) {
-  if (ApplyHook)
-    ApplyHook(Node, Index, E);
+  for (const auto &Hook : ApplyHooks)
+    Hook(Node, Index, E);
   // Resolve the pending op this entry answers (first application wins;
   // the response costs one more network hop).
   uint64_t Seq = 0;

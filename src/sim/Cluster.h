@@ -23,16 +23,29 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace adore {
 namespace sim {
 
-/// Network link model: uniform latency plus Bernoulli loss.
+/// Network link model: uniform latency plus Bernoulli loss, duplication,
+/// and occasional latency spikes (which reorder traffic: a spiked message
+/// is overtaken by everything sent shortly after it).
 struct LinkOptions {
   SimTime LatencyMinUs = 300;
   SimTime LatencyMaxUs = 1500;
+  /// Chance (out of 1000) a message is silently dropped.
   unsigned DropPermille = 0;
+  /// Chance (out of 1000) a message is delivered twice; the duplicate
+  /// takes an independent latency draw, so it can arrive far later.
+  unsigned DupPermille = 0;
+  /// Chance (out of 1000) a message suffers a latency spike of up to
+  /// ReorderJitterUs extra delay on top of the base draw.
+  unsigned ReorderPermille = 0;
+  SimTime ReorderJitterUs = 0;
 };
 
 /// Cluster-level knobs.
@@ -83,6 +96,22 @@ public:
   void heal() { Partition.reset(); }
   bool isPartitioned() const { return Partition.has_value(); }
 
+  /// Directional cut: messages From -> To are dropped while the reverse
+  /// direction keeps flowing (asymmetric failures — a node that can send
+  /// heartbeats but never hears the replies).
+  void cutLink(NodeId From, NodeId To) { CutLinks.emplace(From, To); }
+  void healLink(NodeId From, NodeId To) { CutLinks.erase({From, To}); }
+  void healAllLinks() { CutLinks.clear(); }
+  bool isLinkCut(NodeId From, NodeId To) const {
+    return CutLinks.count({From, To}) != 0;
+  }
+  size_t activeCuts() const { return CutLinks.size(); }
+
+  /// Swaps the live link model; the nemesis uses this for duplication
+  /// storms and latency-spike phases.
+  void setLinkOptions(const LinkOptions &Link) { Opts.Link = Link; }
+  const LinkOptions &linkOptions() const { return Opts.Link; }
+
   //===--------------------------------------------------------------===//
   // Client and admin
   //===--------------------------------------------------------------===//
@@ -100,11 +129,12 @@ public:
                        std::function<void(bool Ok, SimTime LatencyUs)> Done,
                        SimTime MaxTriesUs = 10000000);
 
-  /// Hook observing every (node, index, entry) application; used by the
-  /// replicated KV store.
-  void setApplyHook(
+  /// Registers a hook observing every (node, index, entry) application;
+  /// hooks fire in registration order. Used by the replicated KV store
+  /// and by the chaos harness's committed-ledger invariant.
+  void addApplyHook(
       std::function<void(NodeId, size_t, const SimLogEntry &)> Hook) {
-    ApplyHook = std::move(Hook);
+    ApplyHooks.push_back(std::move(Hook));
   }
 
   //===--------------------------------------------------------------===//
@@ -115,7 +145,22 @@ public:
   std::optional<std::string> checkCommittedAgreement() const;
 
   size_t messagesSent() const { return MessagesSent; }
-  size_t messagesDropped() const { return MessagesDropped; }
+  /// Total drops, and the per-cause breakdown: partition/directional-cut
+  /// drops vs. random Bernoulli loss.
+  size_t messagesDropped() const { return DroppedByCut + DroppedByLoss; }
+  size_t messagesDroppedByCut() const { return DroppedByCut; }
+  size_t messagesDroppedByLoss() const { return DroppedByLoss; }
+  size_t messagesDuplicated() const { return MessagesDuplicated; }
+
+  /// Every election win observed, as term -> winner. A term that two
+  /// distinct nodes claimed is an election-safety violation, reported by
+  /// checkLeaderUniqueness().
+  const std::map<Time, NodeId> &leadersByTerm() const {
+    return LeadersByTerm;
+  }
+  std::optional<std::string> checkLeaderUniqueness() const {
+    return LeaderOverlap;
+  }
 
   std::string dump() const;
 
@@ -133,6 +178,7 @@ private:
 
   void sendMsg(SimMsg M);
   void onApply(NodeId Node, size_t Index, const SimLogEntry &E);
+  void noteLeader(NodeId Leader, Time Term);
   void attempt(uint64_t Seq);
   void settle(uint64_t Seq, bool Ok);
   NodeId pickTarget(const PendingOp &Op);
@@ -147,10 +193,16 @@ private:
   std::map<uint64_t, PendingOp> Pending;
   uint64_t NextSeq = 1;
   size_t MessagesSent = 0;
-  size_t MessagesDropped = 0;
+  size_t DroppedByCut = 0;
+  size_t DroppedByLoss = 0;
+  size_t MessagesDuplicated = 0;
   std::optional<NodeId> LastKnownLeader;
   std::optional<NodeSet> Partition;
-  std::function<void(NodeId, size_t, const SimLogEntry &)> ApplyHook;
+  std::set<std::pair<NodeId, NodeId>> CutLinks;
+  std::map<Time, NodeId> LeadersByTerm;
+  std::optional<std::string> LeaderOverlap;
+  std::vector<std::function<void(NodeId, size_t, const SimLogEntry &)>>
+      ApplyHooks;
 };
 
 } // namespace sim

@@ -17,10 +17,11 @@
 #ifndef ADORE_SIM_EVENTQUEUE_H
 #define ADORE_SIM_EVENTQUEUE_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <tuple>
 #include <vector>
 
 namespace adore {
@@ -35,7 +36,8 @@ public:
   /// Schedules \p Fn to run at absolute virtual time \p At (>= now).
   void scheduleAt(SimTime At, std::function<void()> Fn) {
     assert(At >= Clock && "scheduling into the past");
-    Heap.push(Event{At, NextSeq++, std::move(Fn)});
+    Heap.push_back(Event{At, NextSeq++, std::move(Fn)});
+    std::push_heap(Heap.begin(), Heap.end(), Event::later);
   }
 
   /// Schedules \p Fn to run \p Delay microseconds from now.
@@ -53,10 +55,11 @@ public:
   bool runNext() {
     if (Heap.empty())
       return false;
-    // Moving the function out before execution lets the handler
-    // schedule further events safely.
-    Event E = std::move(const_cast<Event &>(Heap.top()));
-    Heap.pop();
+    // Extracting the event before execution lets the handler schedule
+    // further events safely.
+    std::pop_heap(Heap.begin(), Heap.end(), Event::later);
+    Event E = std::move(Heap.back());
+    Heap.pop_back();
     Clock = E.At;
     E.Fn();
     return true;
@@ -64,7 +67,7 @@ public:
 
   /// Runs events until the clock passes \p Until or the queue drains.
   void runUntil(SimTime Until) {
-    while (!Heap.empty() && Heap.top().At <= Until)
+    while (!Heap.empty() && Heap.front().At <= Until)
       runNext();
     Clock = std::max(Clock, Until);
   }
@@ -83,12 +86,17 @@ private:
     SimTime At;
     uint64_t Seq; // FIFO tie-break for determinism.
     std::function<void()> Fn;
-    bool operator>(const Event &RHS) const {
-      return std::tie(At, Seq) > std::tie(RHS.At, RHS.Seq);
+    /// Min-heap comparator: with std::push_heap/pop_heap this keeps the
+    /// earliest (At, Seq) event at the front.
+    static bool later(const Event &LHS, const Event &RHS) {
+      return std::tie(LHS.At, LHS.Seq) > std::tie(RHS.At, RHS.Seq);
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> Heap;
+  // A plain vector managed with the <algorithm> heap primitives instead
+  // of std::priority_queue: top() of the latter is const-only, which
+  // forced a const_cast to move the handler out before popping.
+  std::vector<Event> Heap;
   SimTime Clock = 0;
   uint64_t NextSeq = 0;
 };

@@ -123,7 +123,7 @@ void RaftNode::stepDown(Time NewTerm) {
   armElectionTimer();
 }
 
-void RaftNode::startElection() {
+void RaftNode::startElection(bool Transfer) {
   Config Conf = config();
   if (!Scheme->mbrs(Conf).contains(Id))
     return; // Non-members never stand (Def. C.2 validity).
@@ -146,6 +146,7 @@ void RaftNode::startElection() {
     M.Term = Term;
     M.LastLogTerm = lastLogTerm();
     M.LastLogIndex = lastLogIndex();
+    M.TransferElection = Transfer;
     Send(M);
   }
 }
@@ -153,6 +154,8 @@ void RaftNode::startElection() {
 void RaftNode::becomeLeader() {
   MyRole = Role::Leader;
   LeaderHint = Id;
+  if (OnLeader)
+    OnLeader(Id, Term);
   NextIndex.clear();
   MatchIndex.clear();
   for (NodeId Peer : Scheme->mbrs(config()))
@@ -189,6 +192,7 @@ void RaftNode::restart() {
     return;
   Crashed = false;
   LeaderHint.reset();
+  LastLeaderContactUs = 0;
   updatePassivity();
   armElectionTimer();
 }
@@ -221,10 +225,22 @@ void RaftNode::onTimeoutNow(const SimMsg &M) {
   // transfers from deposed leaders are ignored.
   if (M.Term < Term || Passive)
     return;
-  startElection();
+  startElection(/*Transfer=*/true);
 }
 
 void RaftNode::onRequestVote(const SimMsg &M) {
+  // Vote stickiness (Raft §4.2.3): while we believe a leader is alive —
+  // we are it, or we accepted its AppendEntries within the minimum
+  // election timeout — ignore the request entirely, without even
+  // adopting its term. A server campaigning on stale state (typically
+  // one removed from the configuration while partitioned, which can
+  // never learn of its removal) would otherwise depose healthy leaders
+  // indefinitely. Deliberate leadership transfers are exempt.
+  if (!M.TransferElection &&
+      (MyRole == Role::Leader ||
+       (LastLeaderContactUs != 0 &&
+        Queue->now() < LastLeaderContactUs + Opts.ElectionTimeoutMinUs)))
+    return;
   if (M.Term > Term)
     stepDown(M.Term);
   SimMsg Reply;
@@ -270,6 +286,7 @@ void RaftNode::onAppendEntries(const SimMsg &M) {
   }
   stepDown(M.Term); // Also resets the election timer.
   LeaderHint = M.From;
+  LastLeaderContactUs = Queue->now();
   Reply.Term = Term;
 
   // Consistency check on the previous slot.

@@ -73,6 +73,9 @@ struct SimMsg {
   // RequestVote.
   Time LastLogTerm = 0;
   size_t LastLogIndex = 0;
+  /// True when the election was triggered by a leadership transfer;
+  /// exempts the request from the disruptive-server vote stickiness.
+  bool TransferElection = false;
 
   // VoteReply.
   bool Granted = false;
@@ -138,6 +141,13 @@ public:
   /// out of the way. Returns false if not leader or the target lags.
   bool transferLeadership(NodeId Target);
 
+  /// Observer fired whenever this node wins an election, with the term it
+  /// now leads. The chaos harness uses it to check election safety (at
+  /// most one leader per term) at runtime.
+  void setLeaderObserver(std::function<void(NodeId, Time)> Fn) {
+    OnLeader = std::move(Fn);
+  }
+
   //===--------------------------------------------------------------===//
   // Introspection
   //===--------------------------------------------------------------===//
@@ -167,7 +177,7 @@ public:
 private:
   // Role transitions.
   void stepDown(Time NewTerm);
-  void startElection();
+  void startElection(bool Transfer = false);
   void becomeLeader();
 
   // Timers (generation counters invalidate stale callbacks).
@@ -204,6 +214,7 @@ private:
   Rng R;
   std::function<void(SimMsg)> Send;
   std::function<void(NodeId, size_t, const SimLogEntry &)> OnApply;
+  std::function<void(NodeId, Time)> OnLeader;
 
   Role MyRole = Role::Follower;
   Time Term = 0;
@@ -215,6 +226,13 @@ private:
   std::map<NodeId, size_t> NextIndex;
   std::map<NodeId, size_t> MatchIndex;
   std::optional<NodeId> LeaderHint;
+  /// When this node last accepted an AppendEntries from a live leader.
+  /// Votes are refused within ElectionTimeoutMinUs of leader contact
+  /// (Raft §4.2.3): a server campaigning on stale state — typically one
+  /// removed from the configuration while partitioned, which can never
+  /// learn of its removal — would otherwise depose healthy leaders
+  /// forever. Volatile: reset on restart.
+  SimTime LastLeaderContactUs = 0;
   bool Passive = false;
   bool Crashed = false;
 
