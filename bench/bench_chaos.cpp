@@ -16,16 +16,20 @@
 // Usage:
 //   bench_chaos                 full sweep (seeds per scenario below)
 //   bench_chaos --smoke         CI smoke subset (~200 runs, < 1 min)
-//   bench_chaos --seeds N       N seeds per scenario
+//   bench_chaos --seeds N       N seeds per scenario (N >= 1)
 //   bench_chaos --scenario S    one scenario only (by name)
+//   bench_chaos --runtime=R     sim (default: virtual-time simulator) or
+//                               rt (threaded wall-clock runtime; crash
+//                               faults only, few seeds — see RtRun.h)
 //
 // Output: per-run lines for failures, a summary table, and
 // BENCH_chaos.json with machine-readable per-run records. Exit status is
-// nonzero iff any run failed a check.
+// nonzero iff any run failed a check; malformed flags exit 2 with usage.
 //
 //===----------------------------------------------------------------------===//
 
 #include "chaos/ChaosRun.h"
+#include "chaos/RtRun.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,9 +44,26 @@ namespace {
 
 struct SweepOptions {
   size_t SeedsPerScenario = 50;
+  bool SeedsExplicit = false;
   bool Smoke = false;
   std::string OnlyScenario;
+  bool RtRuntime = false;
 };
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--smoke] [--seeds N] [--scenario NAME] "
+               "[--runtime=sim|rt]\n",
+               Prog);
+  return 2;
+}
+
+bool knownScenario(const std::string &Name) {
+  for (Scenario S : allScenarios())
+    if (Name == scenarioName(S))
+      return true;
+  return false;
+}
 
 /// Per-scenario knob overrides: scripted scenarios need no random gaps;
 /// net-chaos benefits from a busier workload.
@@ -67,25 +88,51 @@ int main(int Argc, char **Argv) {
       Sweep.Smoke = true;
       Sweep.SeedsPerScenario = 25; // 8 scenarios -> 200 runs.
     } else if (std::strcmp(Argv[I], "--seeds") == 0 && I + 1 < Argc) {
-      Sweep.SeedsPerScenario = std::strtoul(Argv[++I], nullptr, 10);
+      const char *Arg = Argv[++I];
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Arg, &End, 10);
+      if (End == Arg || *End != '\0' || N == 0) {
+        std::fprintf(stderr, "error: --seeds needs a positive integer, "
+                             "got '%s'\n", Arg);
+        return usage(Argv[0]);
+      }
+      Sweep.SeedsPerScenario = N;
+      Sweep.SeedsExplicit = true;
     } else if (std::strcmp(Argv[I], "--scenario") == 0 && I + 1 < Argc) {
       Sweep.OnlyScenario = Argv[++I];
+      if (!knownScenario(Sweep.OnlyScenario)) {
+        std::fprintf(stderr, "error: unknown scenario '%s'\n",
+                     Sweep.OnlyScenario.c_str());
+        return usage(Argv[0]);
+      }
+    } else if (std::strncmp(Argv[I], "--runtime=", 10) == 0) {
+      const char *R = Argv[I] + 10;
+      if (std::strcmp(R, "rt") == 0) {
+        Sweep.RtRuntime = true;
+      } else if (std::strcmp(R, "sim") != 0) {
+        std::fprintf(stderr, "error: unknown runtime '%s'\n", R);
+        return usage(Argv[0]);
+      }
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--seeds N] [--scenario NAME]\n",
-                   Argv[0]);
-      return 2;
+      std::fprintf(stderr, "error: unrecognized argument '%s'\n", Argv[I]);
+      return usage(Argv[0]);
     }
   }
+  // Threaded runs cost real wall-clock seconds each; keep the default
+  // sweep small unless the user sized it explicitly.
+  if (Sweep.RtRuntime && !Sweep.SeedsExplicit)
+    Sweep.SeedsPerScenario = 2;
 
   std::printf("E8: chaos sweep — nemesis faults + linearizability and "
               "safety checks\n");
-  std::printf("%zu seeds per scenario%s\n\n", Sweep.SeedsPerScenario,
-              Sweep.Smoke ? " (smoke)" : "");
+  std::printf("%zu seeds per scenario%s, %s runtime\n\n",
+              Sweep.SeedsPerScenario, Sweep.Smoke ? " (smoke)" : "",
+              Sweep.RtRuntime ? "rt" : "sim");
 
   JsonWriter W;
   W.beginObject();
   W.key("experiment").value("chaos-sweep");
+  W.key("runtime").value(Sweep.RtRuntime ? "rt" : "sim");
   W.key("seeds_per_scenario").value(uint64_t(Sweep.SeedsPerScenario));
   W.key("runs").beginArray();
 
@@ -100,9 +147,18 @@ int main(int Argc, char **Argv) {
     ChaosRunOptions Opts = optionsFor(S);
     size_t ScenarioFailures = 0, OpsOk = 0, OpsIndet = 0, Reconfigs = 0;
     for (size_t I = 0; I != Sweep.SeedsPerScenario; ++I) {
-      // Fixed seed schedule: reruns and CI hit identical executions.
+      // Fixed seed schedule: reruns and CI hit identical executions
+      // (exactly so under sim; under rt the seed still fixes every
+      // protocol-level draw, though thread interleavings vary).
       uint64_t Seed = 0xC4A05 + I * 7919;
-      ChaosRunResult R = runChaosScenario(Opts, Seed);
+      ChaosRunResult R;
+      if (Sweep.RtRuntime) {
+        RtRunOptions RO;
+        RO.Kind = S;
+        R = runRtScenario(RO, Seed);
+      } else {
+        R = runChaosScenario(Opts, Seed);
+      }
       ++Total;
       OpsOk += R.OpsOk;
       OpsIndet += R.OpsIndeterminate;

@@ -1,0 +1,79 @@
+//===- examples/rt_demo.cpp - The threaded runtime in 80 lines ---------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The sans-I/O core on real threads: three rt::RtNode replicas — each a
+// worker thread owning one core::RaftCore, exchanging length-framed
+// binary messages over an in-process bus — elect a leader against the
+// wall clock, commit client commands, hot-swap the membership, and ride
+// out a crash/restart. The protocol logic is the same translation unit
+// the simulator replays deterministically and the model checker
+// explores exhaustively; only the host differs.
+//
+//   cmake --build build --target rt_demo && ./build/examples/rt_demo
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/RtCluster.h"
+
+#include <cstdio>
+
+using namespace adore;
+
+int main() {
+  std::printf("== Adore rt runtime demo: 3 replicas, real threads ==\n\n");
+
+  rt::RtClusterOptions Opts;
+  Opts.NumNodes = 3;
+  Opts.Seed = 42;
+  rt::RtCluster C(Opts);
+  C.start();
+
+  NodeId Leader = C.waitForLeader(/*TimeoutMs=*/5000);
+  if (Leader == InvalidNodeId) {
+    std::printf("no leader elected within 5s\n");
+    return 1;
+  }
+  std::printf("S%u won the election\n", Leader);
+
+  std::printf("submitting 10 commands... ");
+  size_t Committed = 0;
+  for (MethodId M = 1; M <= 10; ++M)
+    Committed += C.submitAndWait(M, /*TimeoutMs=*/5000);
+  std::printf("%zu/10 committed (ledger: %zu entries)\n", Committed,
+              C.committedCount());
+
+  // Hot reconfiguration: drop one follower, then bring it back.
+  NodeSet Shrunk;
+  for (NodeId Id : C.scheme().mbrs(C.initialConfig()))
+    if (Id == Leader || Shrunk.size() + 1 < Opts.NumNodes)
+      Shrunk.insert(Id);
+  std::printf("shrinking membership to %s... ", Config(Shrunk).str().c_str());
+  std::printf("%s\n", C.reconfigAndWait(Config(Shrunk), 5000) ? "committed"
+                                                              : "timed out");
+  std::printf("restoring %s... ", C.initialConfig().str().c_str());
+  std::printf("%s\n", C.reconfigAndWait(C.initialConfig(), 5000)
+                          ? "committed"
+                          : "timed out");
+
+  // Fail-stop the leader; the survivors take over.
+  std::printf("crashing the leader S%u... ", Leader);
+  C.crash(Leader);
+  std::printf("%s\n", C.submitAndWait(11, 15000)
+                          ? "survivors still commit"
+                          : "commit timed out");
+  C.restart(Leader);
+  std::printf("restarted S%u; one more command: %s\n", Leader,
+              C.submitAndWait(12, 5000) ? "committed" : "timed out");
+
+  C.stop();
+  auto Violations = C.checkFinalAgreement();
+  for (const std::string &V : C.violations())
+    std::printf("VIOLATION: %s\n", V.c_str());
+  std::printf("\n%zu committed entries, %zu violations — %s\n",
+              C.committedCount(), Violations.size(),
+              Violations.empty() ? "all replicas agree" : "FAILED");
+  return Violations.empty() ? 0 : 1;
+}

@@ -130,6 +130,7 @@ ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
   Result.ReconfigsCommitted = N.reconfigsCommitted();
   Result.HealedAll = N.healedAll();
   Result.CommittedEntries = Ledger.Entries.size();
+  Result.ClampedPastSchedules = C.queue().stats().ClampedPastSchedules;
   Result.NemesisTrace = N.traceString();
   Result.HistoryText = H.str();
 
@@ -216,6 +217,7 @@ void ChaosRunResult::addToJson(JsonWriter &W) const {
   W.endObject();
   W.key("committed_entries").value(uint64_t(CommittedEntries));
   W.key("lin_states_explored").value(LinStatesExplored);
+  W.key("clamped_past_schedules").value(ClampedPastSchedules);
   W.key("violations").beginArray();
   for (const std::string &V : Violations)
     W.value(V);

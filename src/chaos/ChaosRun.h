@@ -90,6 +90,11 @@ struct ChaosRunResult {
   size_t CommittedEntries = 0;
   uint64_t LinStatesExplored = 0;
 
+  /// Event-queue self-diagnostics: schedule requests that targeted a
+  /// virtual time already in the past and were clamped to "now" (see
+  /// sim::QueueStats).
+  uint64_t ClampedPastSchedules = 0;
+
   /// Human-readable invariant violations; empty means the run passed.
   std::vector<std::string> Violations;
 

@@ -1,0 +1,49 @@
+//===- chaos/RtRun.h - Chaos scenarios on the threaded runtime -*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a chaos scenario against the rt runtime: the same protocol core
+/// the simulator executes, but hosted on real threads, a wire-format
+/// message bus, and the wall clock. The rt runtime's only fault
+/// primitive is state-level crash/restart (there is no virtual network
+/// to cut), so the network-flavored scenarios map onto crash schedules;
+/// reconfig scenarios run real hot membership changes. Runs are NOT
+/// deterministic — thread scheduling is genuine — which is exactly the
+/// point: this is the harness the thread sanitizer watches in CI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_CHAOS_RTRUN_H
+#define ADORE_CHAOS_RTRUN_H
+
+#include "chaos/ChaosRun.h"
+
+namespace adore {
+namespace chaos {
+
+/// Knobs for one rt-runtime chaos run.
+struct RtRunOptions {
+  SchemeKind Scheme = SchemeKind::RaftSingleNode;
+  size_t Members = 3;
+  Scenario Kind = Scenario::Mixed;
+  /// Client operations across the whole run (smaller than the sim
+  /// sweep's: every op costs real milliseconds).
+  size_t NumOps = 20;
+  /// Per-operation client budget, wall-clock.
+  uint64_t OpTimeoutMs = 3000;
+  /// Budget for elections and reconfig commitment, wall-clock.
+  uint64_t ConvergeTimeoutMs = 5000;
+};
+
+/// Runs one scenario on the threaded runtime. The result reuses the
+/// ChaosRunResult shape; fields with no rt equivalent (network drop
+/// counters, nemesis trace, linearization states) stay zero/empty.
+ChaosRunResult runRtScenario(const RtRunOptions &Opts, uint64_t Seed);
+
+} // namespace chaos
+} // namespace adore
+
+#endif // ADORE_CHAOS_RTRUN_H

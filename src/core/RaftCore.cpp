@@ -1,0 +1,677 @@
+//===- core/RaftCore.cpp - Sans-I/O Raft protocol core ----------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Faithful port of the former sim/RaftNode protocol logic into effect
+// form. The effect emission order is load-bearing: every Send, SetTimer,
+// and Apply is emitted exactly where the old code performed the
+// corresponding action, so a host that executes effects in order
+// reproduces the old event schedule (and hence the chaos suite's
+// byte-identical seed determinism) exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RaftCore.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace adore;
+using namespace adore::core;
+using raft::EntryKind;
+
+const char *adore::core::roleName(Role R) {
+  switch (R) {
+  case Role::Follower:
+    return "follower";
+  case Role::Candidate:
+    return "candidate";
+  case Role::Leader:
+    return "leader";
+  }
+  ADORE_UNREACHABLE("unknown role");
+}
+
+const char *adore::core::timerName(TimerId T) {
+  switch (T) {
+  case TimerId::Election:
+    return "election";
+  case TimerId::Heartbeat:
+    return "heartbeat";
+  }
+  ADORE_UNREACHABLE("unknown timer");
+}
+
+//===----------------------------------------------------------------------===//
+// Msg / Effect rendering and builders
+//===----------------------------------------------------------------------===//
+
+std::string Msg::str() const {
+  std::string Out;
+  switch (K) {
+  case Kind::RequestVote:
+    Out = "RequestVote(t=" + std::to_string(Term) +
+          " lastT=" + std::to_string(LastLogTerm) +
+          " lastI=" + std::to_string(LastLogIndex) +
+          (TransferElection ? " transfer" : "") + ")";
+    break;
+  case Kind::VoteReply:
+    Out = "VoteReply(t=" + std::to_string(Term) +
+          (Granted ? " granted" : " denied") + ")";
+    break;
+  case Kind::AppendEntries:
+    Out = "AppendEntries(t=" + std::to_string(Term) +
+          " prev=" + std::to_string(PrevIndex) + "@" +
+          std::to_string(PrevTerm) + " n=" + std::to_string(Entries.size()) +
+          " lc=" + std::to_string(LeaderCommit) + ")";
+    break;
+  case Kind::AppendReply:
+    Out = "AppendReply(t=" + std::to_string(Term) +
+          (Success ? " ok" : " nak") + " match=" +
+          std::to_string(MatchIndex) + ")";
+    break;
+  case Kind::TimeoutNow:
+    Out = "TimeoutNow(t=" + std::to_string(Term) + ")";
+    break;
+  }
+  return "S" + std::to_string(From) + "->S" + std::to_string(To) + " " + Out;
+}
+
+Effect Effect::send(Msg M) {
+  Effect E;
+  E.K = Kind::Send;
+  E.M = std::move(M);
+  return E;
+}
+
+Effect Effect::setTimer(TimerId Timer, uint64_t Gen, uint64_t DelayUs) {
+  Effect E;
+  E.K = Kind::SetTimer;
+  E.Timer = Timer;
+  E.TimerGen = Gen;
+  E.DelayUs = DelayUs;
+  return E;
+}
+
+Effect Effect::cancelTimer(TimerId Timer) {
+  Effect E;
+  E.K = Kind::CancelTimer;
+  E.Timer = Timer;
+  return E;
+}
+
+Effect Effect::apply(size_t Index, LogEntry Entry) {
+  Effect E;
+  E.K = Kind::Apply;
+  E.Index = Index;
+  E.Entry = std::move(Entry);
+  return E;
+}
+
+Effect Effect::commitAdvanced(size_t Index) {
+  Effect E;
+  E.K = Kind::CommitAdvanced;
+  E.Index = Index;
+  return E;
+}
+
+Effect Effect::persist(Time Term, size_t LogLen) {
+  Effect E;
+  E.K = Kind::Persist;
+  E.Term = Term;
+  E.LogLen = LogLen;
+  return E;
+}
+
+Effect Effect::leaderElected(Time Term) {
+  Effect E;
+  E.K = Kind::LeaderElected;
+  E.Term = Term;
+  return E;
+}
+
+std::string Effect::str() const {
+  switch (K) {
+  case Kind::Send:
+    return "send " + M.str();
+  case Kind::SetTimer:
+    return std::string("set-timer ") + timerName(Timer) +
+           " gen=" + std::to_string(TimerGen) +
+           " delay=" + std::to_string(DelayUs);
+  case Kind::CancelTimer:
+    return std::string("cancel-timer ") + timerName(Timer);
+  case Kind::Apply:
+    return "apply #" + std::to_string(Index);
+  case Kind::CommitAdvanced:
+    return "commit-advanced #" + std::to_string(Index);
+  case Kind::Persist:
+    return "persist t=" + std::to_string(Term) +
+           " log=" + std::to_string(LogLen);
+  case Kind::LeaderElected:
+    return "leader-elected t=" + std::to_string(Term);
+  }
+  ADORE_UNREACHABLE("unknown effect kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and lifecycle
+//===----------------------------------------------------------------------===//
+
+RaftCore::RaftCore(NodeId Id, const ReconfigScheme &Scheme,
+                   Config InitialConf, CoreOptions Opts, uint64_t Seed)
+    : Id(Id), Scheme(&Scheme), InitialConf(std::move(InitialConf)),
+      Opts(Opts), R(Seed) {}
+
+Effects RaftCore::start() {
+  Effects Out;
+  updatePassivity(); // Spares outside the initial config stay passive.
+  armElectionTimer(Out);
+  return Out;
+}
+
+Effects RaftCore::crash() {
+  Effects Out;
+  Crashed = true;
+  LeaderHint.reset();
+  // Invalidate all armed timers; volatile leader state dies with us.
+  ++ElectionGen;
+  ++HeartbeatGen;
+  Out.push_back(Effect::cancelTimer(TimerId::Election));
+  Out.push_back(Effect::cancelTimer(TimerId::Heartbeat));
+  MyRole = Role::Follower;
+  Votes.clear();
+  NextIndex.clear();
+  MatchIndex.clear();
+  return Out;
+}
+
+Effects RaftCore::restart() {
+  Effects Out;
+  if (!Crashed)
+    return Out;
+  Crashed = false;
+  LeaderHint.reset();
+  LastLeaderContactUs = 0;
+  updatePassivity();
+  armElectionTimer(Out);
+  return Out;
+}
+
+Effects RaftCore::step(const Input &In, uint64_t NowUs) {
+  if (const auto *M = std::get_if<MsgIn>(&In))
+    return onMessage(M->M, NowUs);
+  if (const auto *T = std::get_if<TimerFired>(&In))
+    return onTimer(T->Timer, T->Gen, NowUs);
+  if (const auto *C = std::get_if<ClientRequest>(&In)) {
+    Effects Out;
+    submit(C->Method, C->ClientSeq, Out);
+    return Out;
+  }
+  if (const auto *A = std::get_if<AdminReconfig>(&In)) {
+    Effects Out;
+    requestReconfig(A->NewConf, Out);
+    return Out;
+  }
+  return {}; // Tick: nothing is time-polled.
+}
+
+//===----------------------------------------------------------------------===//
+// Configuration helpers
+//===----------------------------------------------------------------------===//
+
+Config RaftCore::configOfPrefix(size_t Len) const {
+  return raft::configOfPrefix(Log, Len, InitialConf);
+}
+
+Config RaftCore::config() const { return configOfPrefix(Log.size()); }
+
+bool RaftCore::logSatisfiesR2() const {
+  for (size_t I = CommitIndex; I != Log.size(); ++I)
+    if (Log[I].Kind == EntryKind::Reconfig)
+      return false;
+  return true;
+}
+
+bool RaftCore::logSatisfiesR3() const {
+  for (size_t I = CommitIndex; I > 0; --I)
+    if (Log[I - 1].Term == Term)
+      return true;
+  return false;
+}
+
+void RaftCore::updatePassivity() {
+  // Hot semantics: the moment this node's log says it is no longer a
+  // member, it stops initiating elections (it keeps answering messages,
+  // which helps drain in-flight rounds).
+  Passive = !Scheme->mbrs(config()).contains(Id);
+  if (Passive && MyRole != Role::Follower) {
+    MyRole = Role::Follower;
+    Votes.clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Timers
+//===----------------------------------------------------------------------===//
+
+void RaftCore::armElectionTimer(Effects &Out) {
+  uint64_t Gen = ++ElectionGen;
+  uint64_t Delay = R.nextInRange(Opts.ElectionTimeoutMinUs,
+                                 Opts.ElectionTimeoutMaxUs);
+  Out.push_back(Effect::setTimer(TimerId::Election, Gen, Delay));
+}
+
+void RaftCore::armHeartbeatTimer(Effects &Out) {
+  uint64_t Gen = ++HeartbeatGen;
+  Out.push_back(Effect::setTimer(TimerId::Heartbeat, Gen, Opts.HeartbeatUs));
+}
+
+Effects RaftCore::onTimer(TimerId Timer, uint64_t Gen, uint64_t NowUs) {
+  Effects Out;
+  if (Crashed)
+    return Out;
+  if (Timer == TimerId::Election) {
+    if (Gen != ElectionGen)
+      return Out; // Timer was reset.
+    if (MyRole == Role::Leader || Passive) {
+      armElectionTimer(Out);
+      return Out;
+    }
+    startElection(/*Transfer=*/false, Out);
+  } else {
+    if (Gen != HeartbeatGen || MyRole != Role::Leader)
+      return Out;
+    broadcastAppends(Out);
+    armHeartbeatTimer(Out);
+  }
+  finishStep(Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Role transitions
+//===----------------------------------------------------------------------===//
+
+void RaftCore::stepDown(Time NewTerm, Effects &Out) {
+  if (NewTerm > Term) {
+    Term = NewTerm;
+    VotedFor.reset();
+    Dirty = true;
+  }
+  if (MyRole != Role::Follower) {
+    MyRole = Role::Follower;
+    Votes.clear();
+  }
+  ++HeartbeatGen; // Cancel leader heartbeats.
+  Out.push_back(Effect::cancelTimer(TimerId::Heartbeat));
+  armElectionTimer(Out);
+}
+
+void RaftCore::startElection(bool Transfer, Effects &Out) {
+  Config Conf = config();
+  if (!Scheme->mbrs(Conf).contains(Id))
+    return; // Non-members never stand (Def. C.2 validity).
+  Term += 1;
+  MyRole = Role::Candidate;
+  VotedFor = Id;
+  Votes = NodeSet{Id};
+  Dirty = true;
+  armElectionTimer(Out); // Retry with a fresh timeout if this one stalls.
+  if (Scheme->isQuorum(Votes, Conf)) {
+    becomeLeader(Out);
+    return;
+  }
+  for (NodeId Peer : Scheme->mbrs(Conf)) {
+    if (Peer == Id)
+      continue;
+    Msg M;
+    M.K = Msg::Kind::RequestVote;
+    M.From = Id;
+    M.To = Peer;
+    M.Term = Term;
+    M.LastLogTerm = lastLogTerm();
+    M.LastLogIndex = lastLogIndex();
+    M.TransferElection = Transfer;
+    Out.push_back(Effect::send(std::move(M)));
+  }
+}
+
+void RaftCore::becomeLeader(Effects &Out) {
+  MyRole = Role::Leader;
+  LeaderHint = Id;
+  Out.push_back(Effect::leaderElected(Term));
+  NextIndex.clear();
+  MatchIndex.clear();
+  for (NodeId Peer : Scheme->mbrs(config()))
+    if (Peer != Id)
+      NextIndex[Peer] = lastLogIndex() + 1;
+  // Term-start no-op barrier: commits everything inherited and makes R3
+  // satisfiable at this term.
+  LogEntry Noop;
+  Noop.Term = Term;
+  Noop.Kind = EntryKind::Method;
+  Noop.Method = 0;
+  appendOwn(std::move(Noop), Out);
+  armHeartbeatTimer(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Message dispatch
+//===----------------------------------------------------------------------===//
+
+Effects RaftCore::onMessage(const Msg &M, uint64_t NowUs) {
+  Effects Out;
+  if (Crashed)
+    return Out;
+  switch (M.K) {
+  case Msg::Kind::RequestVote:
+    onRequestVote(M, NowUs, Out);
+    break;
+  case Msg::Kind::VoteReply:
+    onVoteReply(M, Out);
+    break;
+  case Msg::Kind::AppendEntries:
+    onAppendEntries(M, NowUs, Out);
+    break;
+  case Msg::Kind::AppendReply:
+    onAppendReply(M, Out);
+    break;
+  case Msg::Kind::TimeoutNow:
+    onTimeoutNow(M, Out);
+    break;
+  }
+  finishStep(Out);
+  return Out;
+}
+
+void RaftCore::onTimeoutNow(const Msg &M, Effects &Out) {
+  // Only honor a transfer from the current term's leader; stale
+  // transfers from deposed leaders are ignored.
+  if (M.Term < Term || Passive)
+    return;
+  startElection(/*Transfer=*/true, Out);
+}
+
+void RaftCore::onRequestVote(const Msg &M, uint64_t NowUs, Effects &Out) {
+  // Vote stickiness (Raft §4.2.3): while we believe a leader is alive —
+  // we are it, or we accepted its AppendEntries within the minimum
+  // election timeout — ignore the request entirely, without even
+  // adopting its term. A server campaigning on stale state (typically
+  // one removed from the configuration while partitioned, which can
+  // never learn of its removal) would otherwise depose healthy leaders
+  // indefinitely. Deliberate leadership transfers are exempt.
+  if (!M.TransferElection && !Opts.DisableVoteStickiness &&
+      (MyRole == Role::Leader ||
+       (LastLeaderContactUs != 0 &&
+        NowUs < LastLeaderContactUs + Opts.ElectionTimeoutMinUs)))
+    return;
+  if (M.Term > Term)
+    stepDown(M.Term, Out);
+  Msg Reply;
+  Reply.K = Msg::Kind::VoteReply;
+  Reply.From = Id;
+  Reply.To = M.From;
+  Reply.Term = Term;
+  bool UpToDate = raft::logAtLeastAsUpToDate(M.LastLogTerm, M.LastLogIndex,
+                                             lastLogTerm(), lastLogIndex());
+  Reply.Granted = M.Term == Term && MyRole == Role::Follower && UpToDate &&
+                  (!VotedFor || *VotedFor == M.From);
+  if (Reply.Granted) {
+    VotedFor = M.From;
+    Dirty = true;
+    armElectionTimer(Out); // Granting a vote defers our own candidacy.
+  }
+  Out.push_back(Effect::send(std::move(Reply)));
+}
+
+void RaftCore::onVoteReply(const Msg &M, Effects &Out) {
+  if (M.Term > Term) {
+    stepDown(M.Term, Out);
+    return;
+  }
+  if (MyRole != Role::Candidate || M.Term != Term || !M.Granted)
+    return;
+  Votes.insert(M.From);
+  if (Scheme->isQuorum(Votes, config()))
+    becomeLeader(Out);
+}
+
+void RaftCore::onAppendEntries(const Msg &M, uint64_t NowUs, Effects &Out) {
+  Msg Reply;
+  Reply.K = Msg::Kind::AppendReply;
+  Reply.From = Id;
+  Reply.To = M.From;
+  if (M.Term < Term) {
+    Reply.Term = Term;
+    Reply.Success = false;
+    Reply.MatchIndex = 0;
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+  stepDown(M.Term, Out); // Also resets the election timer.
+  LeaderHint = M.From;
+  LastLeaderContactUs = NowUs;
+  Reply.Term = Term;
+
+  // Consistency check on the previous slot.
+  bool PrevOk = M.PrevIndex == 0 ||
+                (M.PrevIndex <= Log.size() &&
+                 Log[M.PrevIndex - 1].Term == M.PrevTerm);
+  if (!PrevOk) {
+    Reply.Success = false;
+    // Hint: the longest prefix that could possibly match.
+    Reply.MatchIndex = std::min(Log.size(), M.PrevIndex - 1);
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+
+  // Append, truncating conflicting suffixes.
+  size_t Idx = M.PrevIndex;
+  for (const LogEntry &E : M.Entries) {
+    ++Idx;
+    if (Idx <= Log.size()) {
+      if (Log[Idx - 1].Term == E.Term)
+        continue; // Already have it.
+      Log.resize(Idx - 1); // Conflict: drop our suffix.
+      Dirty = true;
+    }
+    Log.push_back(E);
+    Dirty = true;
+  }
+  updatePassivity();
+  size_t NewCommit = std::min(M.LeaderCommit, Log.size());
+  if (NewCommit > CommitIndex)
+    applyUpTo(NewCommit, Out);
+  Reply.Success = true;
+  Reply.MatchIndex = std::max(Idx, M.PrevIndex + M.Entries.size());
+  Out.push_back(Effect::send(std::move(Reply)));
+}
+
+void RaftCore::onAppendReply(const Msg &M, Effects &Out) {
+  if (M.Term > Term) {
+    stepDown(M.Term, Out);
+    return;
+  }
+  if (MyRole != Role::Leader || M.Term != Term)
+    return;
+  if (M.Success) {
+    size_t &Match = MatchIndex[M.From];
+    Match = std::max(Match, M.MatchIndex);
+    NextIndex[M.From] = Match + 1;
+    advanceCommit(Out);
+    // Keep streaming if the follower is still behind.
+    if (Match < lastLogIndex())
+      replicateTo(M.From, Out);
+    return;
+  }
+  // Back up and retry.
+  size_t &Next = NextIndex[M.From];
+  Next = std::max<size_t>(1, std::min(Next - 1, M.MatchIndex + 1));
+  replicateTo(M.From, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Leader machinery
+//===----------------------------------------------------------------------===//
+
+void RaftCore::appendOwn(LogEntry Entry, Effects &Out) {
+  Log.push_back(std::move(Entry));
+  Dirty = true;
+  updatePassivity();
+  broadcastAppends(Out);
+  advanceCommit(Out); // Singleton configurations commit instantly.
+}
+
+void RaftCore::replicateTo(NodeId Peer, Effects &Out) {
+  size_t Next = NextIndex.count(Peer) ? NextIndex[Peer]
+                                      : lastLogIndex() + 1;
+  assert(Next >= 1 && "nextIndex must stay positive");
+  Msg M;
+  M.K = Msg::Kind::AppendEntries;
+  M.From = Id;
+  M.To = Peer;
+  M.Term = Term;
+  M.PrevIndex = Next - 1;
+  M.PrevTerm = M.PrevIndex == 0 ? 0 : Log[M.PrevIndex - 1].Term;
+  size_t End = std::min(Log.size(), M.PrevIndex + Opts.MaxEntriesPerAppend);
+  for (size_t I = Next; I <= End; ++I)
+    M.Entries.push_back(Log[I - 1]);
+  M.LeaderCommit = CommitIndex;
+  Out.push_back(Effect::send(std::move(M)));
+}
+
+void RaftCore::broadcastAppends(Effects &Out) {
+  if (MyRole != Role::Leader)
+    return;
+  for (NodeId Peer : Scheme->mbrs(config())) {
+    if (Peer == Id)
+      continue;
+    if (!NextIndex.count(Peer))
+      NextIndex[Peer] = lastLogIndex() + 1; // Node joined just now.
+    replicateTo(Peer, Out);
+  }
+}
+
+void RaftCore::advanceCommit(Effects &Out) {
+  for (size_t N = lastLogIndex(); N > CommitIndex; --N) {
+    if (Log[N - 1].Term != Term)
+      break; // Only own-term entries commit directly.
+    NodeSet Replicated{Id};
+    for (const auto &[Peer, Match] : MatchIndex)
+      if (Match >= N)
+        Replicated.insert(Peer);
+    if (!Scheme->isQuorum(Replicated, configOfPrefix(N)))
+      continue;
+    applyUpTo(N, Out);
+    // Propagate the new commit index promptly.
+    broadcastAppends(Out);
+    return;
+  }
+}
+
+void RaftCore::applyUpTo(size_t Index, Effects &Out) {
+  assert(Index <= Log.size() && "applying past the log");
+  if (Index > CommitIndex) {
+    CommitIndex = Index;
+    Out.push_back(Effect::commitAdvanced(CommitIndex));
+  }
+  while (Applied < CommitIndex) {
+    ++Applied;
+    Out.push_back(Effect::apply(Applied, Log[Applied - 1]));
+  }
+}
+
+void RaftCore::finishStep(Effects &Out) {
+  if (!Dirty)
+    return;
+  Dirty = false;
+  Out.push_back(Effect::persist(Term, Log.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Client-facing API
+//===----------------------------------------------------------------------===//
+
+bool RaftCore::submit(MethodId Method, uint64_t ClientSeq, Effects &Out) {
+  if (Crashed || MyRole != Role::Leader)
+    return false;
+  LogEntry E;
+  E.Term = Term;
+  E.Kind = EntryKind::Method;
+  E.Method = Method;
+  E.ClientSeq = ClientSeq;
+  appendOwn(std::move(E), Out);
+  finishStep(Out);
+  return true;
+}
+
+bool RaftCore::requestReconfig(const Config &NewConf, Effects &Out) {
+  if (Crashed || MyRole != Role::Leader)
+    return false;
+  if (!Scheme->isValidConfig(NewConf))
+    return false;
+  if (!Scheme->mbrs(NewConf).contains(Id))
+    return false; // Leaders do not remove themselves.
+  if (!Scheme->r1Plus(config(), NewConf))
+    return false;
+  if (!logSatisfiesR2() || !logSatisfiesR3())
+    return false;
+  NodeSet OldMembers = Scheme->mbrs(config());
+  LogEntry E;
+  E.Term = Term;
+  E.Kind = EntryKind::Reconfig;
+  E.Conf = NewConf;
+  appendOwn(std::move(E), Out);
+  // Nodes leaving the configuration still receive this round so they
+  // learn of their removal and go passive instead of campaigning
+  // against the remaining members.
+  for (NodeId Peer : OldMembers.differenceWith(Scheme->mbrs(NewConf))) {
+    if (Peer == Id)
+      continue;
+    if (!NextIndex.count(Peer))
+      NextIndex[Peer] = lastLogIndex();
+    replicateTo(Peer, Out);
+  }
+  finishStep(Out);
+  return true;
+}
+
+bool RaftCore::transferLeadership(NodeId Target, Effects &Out) {
+  if (Crashed || MyRole != Role::Leader || Target == Id)
+    return false;
+  if (!Scheme->mbrs(config()).contains(Target))
+    return false;
+  // The target must hold our full log, or its immediate election would
+  // lose to better-informed voters (and our uncommitted tail could die).
+  auto It = MatchIndex.find(Target);
+  if (It == MatchIndex.end() || It->second < lastLogIndex())
+    return false;
+  Msg M;
+  M.K = Msg::Kind::TimeoutNow;
+  M.From = Id;
+  M.To = Target;
+  M.Term = Term;
+  Out.push_back(Effect::send(std::move(M)));
+  // Step aside so we do not compete with the fresh candidate. Keep the
+  // term: the target's election will bump it past us.
+  MyRole = Role::Follower;
+  ++HeartbeatGen;
+  Out.push_back(Effect::cancelTimer(TimerId::Heartbeat));
+  armElectionTimer(Out);
+  return true;
+}
+
+std::string RaftCore::describe() const {
+  std::string Out = "S" + std::to_string(Id) + "[" + roleName(MyRole) +
+                    " t=" + std::to_string(Term) +
+                    " log=" + std::to_string(Log.size()) +
+                    " ci=" + std::to_string(CommitIndex) +
+                    " cf=" + config().str();
+  if (Passive)
+    Out += " passive";
+  Out += "]";
+  return Out;
+}

@@ -1,0 +1,416 @@
+//===- core/RaftCore.h - Sans-I/O Raft protocol core ----------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable Raft replica as a pure state machine: typed inputs in,
+/// an ordered effect list out, and nothing else. The core knows no
+/// clocks, queues, sockets, or threads — time arrives as a parameter,
+/// timers are requests it *emits* (SetTimer) and acknowledgements it
+/// *receives* (TimerFired, validated by a generation counter), and all
+/// randomness comes from an internally owned Rng seeded at construction,
+/// so a core is a value: copy it and both copies evolve identically under
+/// identical inputs.
+///
+/// This is the reproduction's answer to the paper's extraction story
+/// (Section 7): where Adore extracts the verified Coq protocol to OCaml
+/// and deploys *that*, we keep a single C++ protocol core and plug it
+/// into three hosts —
+///
+///   sim::RaftNode     effects -> discrete-event queue (deterministic
+///                     latency/fault simulation, chaos harness)
+///   rt::RtNode        effects -> threads + an in-process message bus
+///                     with wire-format serialization (real time)
+///   mc::CoreNetModel  effects -> a model-checker transition relation
+///                     (mc::Engine exhaustively explores small clusters
+///                     of this exact code)
+///
+/// so the code the chaos suite bombards and the code the model checker
+/// proves finite-scenario-safe are the same translation unit.
+///
+/// Protocol features (unchanged from the former sim/RaftNode logic):
+/// randomized election timeouts, heartbeats, incremental AppendEntries
+/// with per-follower nextIndex/matchIndex, conflict truncation,
+/// commit-index advancement against per-prefix configurations, hot
+/// single-server reconfiguration guarded by R1+/R2/R3, leadership
+/// transfer (TimeoutNow), and the Raft §4.2.3 disruptive-server vote
+/// stickiness (with an injectable misbehavior flag so tests can prove
+/// the guard is load-bearing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_CORE_RAFTCORE_H
+#define ADORE_CORE_RAFTCORE_H
+
+#include "adore/Config.h"
+#include "raft/Message.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace adore {
+namespace core {
+
+/// Replica roles.
+enum class Role : uint8_t { Follower, Candidate, Leader };
+
+const char *roleName(Role R);
+
+/// One slot of the replica's log.
+struct LogEntry {
+  Time Term = 0;
+  raft::EntryKind Kind = raft::EntryKind::Method;
+  MethodId Method = 0;
+  Config Conf;
+  /// Nonzero for client-submitted commands; used to route completions.
+  uint64_t ClientSeq = 0;
+
+  bool operator==(const LogEntry &RHS) const {
+    return Term == RHS.Term && Kind == RHS.Kind && Method == RHS.Method &&
+           Conf == RHS.Conf && ClientSeq == RHS.ClientSeq;
+  }
+  bool operator!=(const LogEntry &RHS) const { return !(*this == RHS); }
+};
+
+/// ADL hook for the shared raft/Message.h log helpers.
+inline Time entryTerm(const LogEntry &E) { return E.Term; }
+
+/// Wire messages of the executable protocol.
+struct Msg {
+  enum class Kind : uint8_t {
+    RequestVote,
+    VoteReply,
+    AppendEntries,
+    AppendReply,
+    TimeoutNow, ///< Leadership transfer: start an election immediately.
+  };
+
+  Kind K = Kind::RequestVote;
+  NodeId From = InvalidNodeId;
+  NodeId To = InvalidNodeId;
+  Time Term = 0;
+
+  // RequestVote.
+  Time LastLogTerm = 0;
+  size_t LastLogIndex = 0;
+  /// True when the election was triggered by a leadership transfer;
+  /// exempts the request from the disruptive-server vote stickiness.
+  bool TransferElection = false;
+
+  // VoteReply.
+  bool Granted = false;
+
+  // AppendEntries.
+  size_t PrevIndex = 0;
+  Time PrevTerm = 0;
+  std::vector<LogEntry> Entries;
+  size_t LeaderCommit = 0;
+
+  // AppendReply.
+  bool Success = false;
+  size_t MatchIndex = 0;
+
+  std::string str() const;
+};
+
+/// The core's two timers, identified abstractly; hosts map them onto
+/// whatever clock they own.
+enum class TimerId : uint8_t { Election, Heartbeat };
+
+const char *timerName(TimerId T);
+
+/// One instruction from the core to its host, produced in the exact order
+/// the host must act on it (message sends and timer arms interleave with
+/// applications precisely as the protocol performed them, which is what
+/// keeps the simulator's event schedule byte-identical per seed).
+struct Effect {
+  enum class Kind : uint8_t {
+    Send,           ///< Transmit M (host applies latency/loss/serialization).
+    SetTimer,       ///< (Re-)arm Timer: fire TimerFired{Timer, TimerGen}
+                    ///< after DelayUs. Replaces any earlier arming.
+    CancelTimer,    ///< Disarm Timer (advisory: a stale TimerFired is
+                    ///< rejected by generation anyway).
+    Apply,          ///< Entry at Index is committed; apply to the app.
+    CommitAdvanced, ///< Commit index reached Index (precedes the Apply
+                    ///< batch it unlocks).
+    Persist,        ///< Durable state (term/vote/log) changed; a crash-
+                    ///< tolerant host must flush before acting on any
+                    ///< *later* effect of this step.
+    LeaderElected,  ///< This replica won the election for Term.
+  };
+
+  Kind K = Kind::Send;
+  Msg M;                 // Send.
+  TimerId Timer = TimerId::Election; // SetTimer / CancelTimer.
+  uint64_t TimerGen = 0; // SetTimer.
+  uint64_t DelayUs = 0;  // SetTimer.
+  size_t Index = 0;      // Apply / CommitAdvanced.
+  LogEntry Entry;        // Apply.
+  Time Term = 0;         // LeaderElected / Persist.
+  size_t LogLen = 0;     // Persist.
+
+  static Effect send(Msg M);
+  static Effect setTimer(TimerId Timer, uint64_t Gen, uint64_t DelayUs);
+  static Effect cancelTimer(TimerId Timer);
+  static Effect apply(size_t Index, LogEntry Entry);
+  static Effect commitAdvanced(size_t Index);
+  static Effect persist(Time Term, size_t LogLen);
+  static Effect leaderElected(Time Term);
+
+  std::string str() const;
+};
+
+using Effects = std::vector<Effect>;
+
+/// Timing knobs, in host time units (the sim interprets them as virtual
+/// microseconds, the rt runtime as real microseconds).
+struct CoreOptions {
+  uint64_t ElectionTimeoutMinUs = 150000;
+  uint64_t ElectionTimeoutMaxUs = 300000;
+  uint64_t HeartbeatUs = 50000;
+  size_t MaxEntriesPerAppend = 64;
+  /// Injectable misbehavior: drop the Raft §4.2.3 vote stickiness, i.e.
+  /// process RequestVote even while a live leader is known. Reintroduces
+  /// the disruptive-server bug (a server removed while partitioned can
+  /// depose healthy leaders forever); exists so tests can demonstrate
+  /// the chaos suite and model checker catch the regression. Never
+  /// enable outside tests.
+  bool DisableVoteStickiness = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Typed inputs
+//===----------------------------------------------------------------------===//
+
+/// A message arrived from the network.
+struct MsgIn {
+  Msg M;
+};
+
+/// A previously requested timer fired. Gen must echo the SetTimer effect
+/// that armed it; stale generations are ignored.
+struct TimerFired {
+  TimerId Timer = TimerId::Election;
+  uint64_t Gen = 0;
+};
+
+/// A client command. Ignored (no effects) unless this replica leads.
+struct ClientRequest {
+  MethodId Method = 0;
+  uint64_t ClientSeq = 0;
+};
+
+/// An administrative membership change. Ignored unless this replica
+/// leads and the R1+/R2/R3 guards pass.
+struct AdminReconfig {
+  Config NewConf;
+};
+
+/// A pure time observation. The core's timers are edge-triggered
+/// (SetTimer/TimerFired), so Tick produces no effects today; hosts with
+/// coarse clocks may deliver it to keep the input stream uniform.
+struct Tick {};
+
+using Input = std::variant<MsgIn, TimerFired, ClientRequest, AdminReconfig,
+                           Tick>;
+
+//===----------------------------------------------------------------------===//
+// RaftCore
+//===----------------------------------------------------------------------===//
+
+/// A single replica's protocol state machine. Pure: every public entry
+/// point consumes typed input plus the host's current time and returns
+/// the ordered effect list; the only hidden inputs are the seeded Rng
+/// (election jitter) owned by value, so cores are copyable values with
+/// deterministic evolution.
+class RaftCore {
+public:
+  RaftCore(NodeId Id, const ReconfigScheme &Scheme, Config InitialConf,
+           CoreOptions Opts, uint64_t Seed);
+
+  /// Arms the first election timeout; call once at start of day.
+  Effects start();
+
+  /// Uniform entry point: feeds one typed input. Inputs whose
+  /// acceptance matters (ClientRequest, AdminReconfig) report rejection
+  /// by returning no effects; hosts that need the boolean use the
+  /// direct methods below.
+  Effects step(const Input &In, uint64_t NowUs);
+
+  /// A message arrived. \p NowUs is the host's current time (used only
+  /// for leader-contact bookkeeping and vote stickiness).
+  Effects onMessage(const Msg &M, uint64_t NowUs);
+
+  /// Timer \p Timer armed with generation \p Gen fired.
+  Effects onTimer(TimerId Timer, uint64_t Gen, uint64_t NowUs);
+
+  /// Fail-stop: drop volatile state; ignore all input until restart().
+  Effects crash();
+
+  /// Restart after a crash: persistent state (term, vote, log) survives,
+  /// volatile state resets, the election timer re-arms.
+  Effects restart();
+
+  /// Appends a client command; returns false (no effects) if not leader.
+  bool submit(MethodId Method, uint64_t ClientSeq, Effects &Out);
+
+  /// Appends a reconfiguration if the R1+/R2/R3 guards pass and this
+  /// leader stays a member; returns false (no effects) otherwise.
+  bool requestReconfig(const Config &NewConf, Effects &Out);
+
+  /// Leadership transfer (Raft 3.10): tells \p Target — which must be a
+  /// member and caught up — to elect immediately, and steps this leader
+  /// out of the way. Returns false if not leader or the target lags.
+  bool transferLeadership(NodeId Target, Effects &Out);
+
+  //===--------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------===//
+
+  NodeId id() const { return Id; }
+  Role role() const { return MyRole; }
+  bool isLeader() const { return MyRole == Role::Leader; }
+  Time term() const { return Term; }
+  size_t commitIndex() const { return CommitIndex; }
+  size_t logSize() const { return Log.size(); }
+  const LogEntry &entry(size_t Index1) const {
+    assert(Index1 >= 1 && Index1 <= Log.size() && "bad log index");
+    return Log[Index1 - 1];
+  }
+  const std::vector<LogEntry> &log() const { return Log; }
+  /// The configuration currently in force (hot semantics).
+  Config config() const;
+  /// The leader this node last heard from (its redirect hint).
+  std::optional<NodeId> leaderHint() const { return LeaderHint; }
+  /// True once the node has observed its own committed removal and gone
+  /// passive.
+  bool isPassive() const { return Passive; }
+  /// True while crashed (ignores everything).
+  bool isCrashed() const { return Crashed; }
+  /// Current timer generations (what a live SetTimer would carry).
+  uint64_t electionGen() const { return ElectionGen; }
+  uint64_t heartbeatGen() const { return HeartbeatGen; }
+  /// Log-level reconfiguration guards, exposed for tests and the model
+  /// checker's invariants.
+  bool logSatisfiesR2() const;
+  bool logSatisfiesR3() const;
+  const CoreOptions &options() const { return Opts; }
+
+  std::string describe() const;
+
+  /// Feeds the protocol-relevant state into a fingerprint hasher or
+  /// canonical encoder (any support/Hashing.h sink). The timer
+  /// generations and the Rng are deliberately excluded: generations only
+  /// distinguish stale timer callbacks (the model checker always fires
+  /// the current generation) and the Rng only perturbs timer delays,
+  /// which the model checker abstracts over.
+  template <typename SinkT> void addToSink(SinkT &S) const {
+    S.addU32(Id);
+    S.addByte(static_cast<uint8_t>(MyRole));
+    S.addU64(Term);
+    S.addBool(VotedFor.has_value());
+    S.addU32(VotedFor ? *VotedFor : 0);
+    S.addU64(Log.size());
+    for (const LogEntry &E : Log) {
+      S.addU64(E.Term);
+      S.addByte(static_cast<uint8_t>(E.Kind));
+      S.addU64(E.Method);
+      E.Conf.addToSink(S);
+      S.addU64(E.ClientSeq);
+    }
+    S.addU64(CommitIndex);
+    S.addU64(Applied);
+    S.addNodeSet(Votes);
+    S.addU64(NextIndex.size());
+    for (const auto &[Peer, Next] : NextIndex) {
+      S.addU32(Peer);
+      S.addU64(Next);
+    }
+    S.addU64(MatchIndex.size());
+    for (const auto &[Peer, Match] : MatchIndex) {
+      S.addU32(Peer);
+      S.addU64(Match);
+    }
+    S.addBool(LeaderHint.has_value());
+    S.addU32(LeaderHint ? *LeaderHint : 0);
+    S.addU64(LastLeaderContactUs);
+    S.addBool(Passive);
+    S.addBool(Crashed);
+  }
+
+private:
+  // Role transitions.
+  void stepDown(Time NewTerm, Effects &Out);
+  void startElection(bool Transfer, Effects &Out);
+  void becomeLeader(Effects &Out);
+
+  // Timers (generation counters invalidate stale callbacks).
+  void armElectionTimer(Effects &Out);
+  void armHeartbeatTimer(Effects &Out);
+
+  // Handlers.
+  void onTimeoutNow(const Msg &M, Effects &Out);
+  void onRequestVote(const Msg &M, uint64_t NowUs, Effects &Out);
+  void onVoteReply(const Msg &M, Effects &Out);
+  void onAppendEntries(const Msg &M, uint64_t NowUs, Effects &Out);
+  void onAppendReply(const Msg &M, Effects &Out);
+
+  // Leader machinery.
+  void replicateTo(NodeId Peer, Effects &Out);
+  void broadcastAppends(Effects &Out);
+  void advanceCommit(Effects &Out);
+  void appendOwn(LogEntry Entry, Effects &Out);
+
+  // Log helpers (1-based).
+  Time lastLogTerm() const { return raft::lastLogTerm(Log); }
+  size_t lastLogIndex() const { return Log.size(); }
+  Config configOfPrefix(size_t Len) const;
+  void applyUpTo(size_t Index, Effects &Out);
+  void updatePassivity();
+
+  /// Appends the Persist effect if this step touched durable state.
+  void finishStep(Effects &Out);
+
+  NodeId Id;
+  const ReconfigScheme *Scheme;
+  Config InitialConf;
+  CoreOptions Opts;
+  Rng R;
+
+  Role MyRole = Role::Follower;
+  Time Term = 0;
+  std::optional<NodeId> VotedFor;
+  std::vector<LogEntry> Log;
+  size_t CommitIndex = 0;
+  size_t Applied = 0;
+  NodeSet Votes;
+  std::map<NodeId, size_t> NextIndex;
+  std::map<NodeId, size_t> MatchIndex;
+  std::optional<NodeId> LeaderHint;
+  /// When this node last accepted an AppendEntries from a live leader.
+  /// Votes are refused within ElectionTimeoutMinUs of leader contact
+  /// (Raft §4.2.3): a server campaigning on stale state — typically one
+  /// removed from the configuration while partitioned, which can never
+  /// learn of its removal — would otherwise depose healthy leaders
+  /// forever. Volatile: reset on restart.
+  uint64_t LastLeaderContactUs = 0;
+  bool Passive = false;
+  bool Crashed = false;
+
+  uint64_t ElectionGen = 0;
+  uint64_t HeartbeatGen = 0;
+  /// True while the current step has modified term/vote/log.
+  bool Dirty = false;
+};
+
+} // namespace core
+} // namespace adore
+
+#endif // ADORE_CORE_RAFTCORE_H

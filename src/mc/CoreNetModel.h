@@ -1,0 +1,431 @@
+//===- mc/CoreNetModel.h - The production core as a model -----*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model-checks the *production* protocol implementation: a state is a
+/// vector of core::RaftCore values (the exact translation unit the sim
+/// and rt runtimes execute) plus the in-flight message multiset and the
+/// armed-timer bits, and a transition is one timer firing, one client or
+/// admin input, or one message delivery. Where mc/RaftNetModel.h
+/// explores the network-level *specification*, this model closes the
+/// last gap in the story: the code the chaos suite bombards is the code
+/// the checker exhaustively explores on small clusters.
+///
+/// Time is abstracted to the two instants the protocol can distinguish:
+/// "a live leader was heard from recently" (NowRecent, inside the Raft
+/// §4.2.3 vote-stickiness window) and "leader contact has expired"
+/// (NowExpired). Every RequestVote whose outcome depends on the window
+/// is delivered both ways, so the checker covers the disruptive-server
+/// regression states of §4.2.3 — including, with
+/// CoreOptions::DisableVoteStickiness set, the buggy behaviours the
+/// guard exists to forbid.
+///
+/// Timer delays and the core's Rng are abstracted entirely (an armed
+/// timer may fire whenever armed), matching their exclusion from
+/// RaftCore::addToSink.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_MC_CORENETMODEL_H
+#define ADORE_MC_CORENETMODEL_H
+
+#include "core/RaftCore.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace adore {
+namespace mc {
+
+/// Bounds for production-core exploration.
+struct CoreNetModelOptions {
+  /// Cap on any replica's term (elections stop past it).
+  Time MaxTerm = 2;
+  /// Cap on client/admin appends per log (leader no-ops ride on top, so
+  /// logs stay bounded by MaxLog + MaxTerm).
+  size_t MaxLog = 2;
+  /// Cap on in-flight messages; effects past it are dropped, which is
+  /// ordinary message loss, so the reachable set stays sound for safety.
+  size_t MaxPending = 6;
+  /// Allow reconfig transitions.
+  bool WithReconfig = true;
+  /// Explore crash/restart of single replicas.
+  bool ExploreCrash = false;
+};
+
+/// The production-core transition system.
+class CoreNetModel {
+public:
+  struct State {
+    std::vector<core::RaftCore> Cores;
+    /// Armed-timer bits per core, maintained from SetTimer/CancelTimer
+    /// effects (indexes parallel to Cores).
+    std::vector<uint8_t> ElectionArmed;
+    std::vector<uint8_t> HeartbeatArmed;
+    /// In-flight messages. Order is immaterial (any may deliver next);
+    /// the encoding canonicalizes it as a multiset.
+    std::vector<core::Msg> Pending;
+  };
+
+  CoreNetModel(const ReconfigScheme &Scheme, Config InitialConf,
+               CoreNetModelOptions Opts = {},
+               core::CoreOptions CoreOpts = {})
+      : Scheme(&Scheme), InitialConf(std::move(InitialConf)), Opts(Opts),
+        CoreOpts(CoreOpts) {}
+
+  std::vector<State> initialStates() const {
+    State St;
+    for (NodeId Id : Scheme->mbrs(InitialConf)) {
+      // The seed is arbitrary: the Rng only perturbs timer delays,
+      // which this model abstracts over.
+      St.Cores.emplace_back(Id, *Scheme, InitialConf, CoreOpts,
+                            /*Seed=*/Id);
+      St.ElectionArmed.push_back(0);
+      St.HeartbeatArmed.push_back(0);
+    }
+    for (size_t I = 0; I != St.Cores.size(); ++I)
+      absorb(St, I, St.Cores[I].start());
+    return {std::move(St)};
+  }
+
+  uint64_t fingerprint(const State &St) const {
+    Fnv1aHasher H;
+    addToSink(H, St);
+    return H.finish();
+  }
+
+  std::string encode(const State &St) const {
+    StateEncoder E;
+    addToSink(E, St);
+    return E.take();
+  }
+
+  bool equal(const State &A, const State &B) const {
+    return encode(A) == encode(B);
+  }
+
+  std::optional<std::string> invariant(const State &St) const {
+    // Election safety, state-based: a deposed leader always observes a
+    // higher term first, so two same-term leaders would coexist in some
+    // reachable state.
+    for (size_t A = 0; A != St.Cores.size(); ++A)
+      for (size_t B = A + 1; B != St.Cores.size(); ++B) {
+        const core::RaftCore &CA = St.Cores[A];
+        const core::RaftCore &CB = St.Cores[B];
+        if (CA.isLeader() && CB.isLeader() && CA.term() == CB.term() &&
+            !CA.isCrashed() && !CB.isCrashed())
+          return "election safety violated: nodes " +
+                 std::to_string(CA.id()) + " and " + std::to_string(CB.id()) +
+                 " both lead term " + std::to_string(CA.term());
+        if (auto V = checkLogMatching(CA, CB))
+          return V;
+        if (auto V = checkCommittedAgreement(CA, CB))
+          return V;
+      }
+    for (const core::RaftCore &C : St.Cores) {
+      if (auto V = checkReconfigSpacing(C))
+        return V;
+      if (auto V = checkReconfigTermPrecedence(C))
+        return V;
+    }
+    return std::nullopt;
+  }
+
+  std::string describe(const State &St) const {
+    std::ostringstream OS;
+    for (size_t I = 0; I != St.Cores.size(); ++I)
+      OS << St.Cores[I].describe()
+         << (St.ElectionArmed[I] ? " [E]" : "")
+         << (St.HeartbeatArmed[I] ? " [H]" : "") << "\n";
+    OS << "pending(" << St.Pending.size() << "):";
+    for (const core::Msg &M : St.Pending)
+      OS << " " << M.str();
+    return OS.str();
+  }
+
+  template <typename FnT>
+  void forEachSuccessor(const State &St, FnT &&Fn) const {
+    bool RoomToSend = St.Pending.size() < Opts.MaxPending;
+    NodeSet Universe = Scheme->mbrs(InitialConf);
+
+    for (size_t I = 0; I != St.Cores.size(); ++I) {
+      const core::RaftCore &C = St.Cores[I];
+      std::string Nid = std::to_string(C.id());
+      // Election timeout fires (an armed timer may fire at any moment).
+      if (St.ElectionArmed[I] && !C.isCrashed() && C.term() < Opts.MaxTerm &&
+          RoomToSend) {
+        State Next = St;
+        Next.ElectionArmed[I] = 0;
+        absorb(Next, I,
+               Next.Cores[I].onTimer(core::TimerId::Election,
+                                     C.electionGen(), NowRecent()));
+        Fn(std::move(Next), "electionTimeout(" + Nid + ")");
+      }
+      // Heartbeat fires.
+      if (St.HeartbeatArmed[I] && !C.isCrashed() && C.isLeader() &&
+          RoomToSend) {
+        State Next = St;
+        Next.HeartbeatArmed[I] = 0;
+        absorb(Next, I,
+               Next.Cores[I].onTimer(core::TimerId::Heartbeat,
+                                     C.heartbeatGen(), NowRecent()));
+        Fn(std::move(Next), "heartbeat(" + Nid + ")");
+      }
+      // Client command (constant identity: it never affects guards).
+      if (C.isLeader() && !C.isCrashed() &&
+          appendedEntries(C) < Opts.MaxLog) {
+        State Next = St;
+        core::Effects Effs;
+        if (Next.Cores[I].submit(/*Method=*/1, /*ClientSeq=*/0, Effs)) {
+          absorb(Next, I, std::move(Effs));
+          Fn(std::move(Next), "submit(" + Nid + ")");
+        }
+      }
+      // Admin reconfig.
+      if (Opts.WithReconfig && C.isLeader() && !C.isCrashed() &&
+          appendedEntries(C) < Opts.MaxLog) {
+        for (const Config &Ncf :
+             Scheme->candidateReconfigs(C.config(), Universe)) {
+          State Next = St;
+          core::Effects Effs;
+          if (Next.Cores[I].requestReconfig(Ncf, Effs)) {
+            absorb(Next, I, std::move(Effs));
+            Fn(std::move(Next), "reconfig(" + Nid + "," + Ncf.str() + ")");
+          }
+        }
+      }
+      // Crash / restart.
+      if (Opts.ExploreCrash) {
+        State Next = St;
+        if (C.isCrashed()) {
+          absorb(Next, I, Next.Cores[I].restart());
+          Fn(std::move(Next), "restart(" + Nid + ")");
+        } else {
+          absorb(Next, I, Next.Cores[I].crash());
+          // crash() cancels both timers through effects; mirror that
+          // even if the effect list is ever trimmed.
+          Next.ElectionArmed[I] = 0;
+          Next.HeartbeatArmed[I] = 0;
+          Fn(std::move(Next), "crash(" + Nid + ")");
+        }
+      }
+    }
+
+    // Deliveries. Every pending message may arrive next; a RequestVote
+    // whose fate hinges on the §4.2.3 stickiness window arrives both
+    // inside it (refused) and after it expired (considered).
+    for (size_t MI = 0; MI != St.Pending.size(); ++MI) {
+      const core::Msg &M = St.Pending[MI];
+      size_t RI = indexOf(St, M.To);
+      if (RI == St.Cores.size())
+        continue; // Addressee outside the model: undeliverable.
+      deliver(St, MI, RI, NowRecent(), "deliver", Fn);
+      if (stickinessSensitive(St.Cores[RI], M))
+        deliver(St, MI, RI, NowExpired(), "deliverLate", Fn);
+    }
+  }
+
+private:
+  /// The instant inside the vote-stickiness window of a leader heard
+  /// from at NowRecent (LastLeaderContactUs is only ever 0 or this).
+  uint64_t NowRecent() const { return 1; }
+  /// The first instant past that window.
+  uint64_t NowExpired() const {
+    return NowRecent() + CoreOpts.ElectionTimeoutMinUs;
+  }
+
+  /// Client/admin appends in \p C's log (leader no-ops excluded), the
+  /// quantity MaxLog bounds.
+  static size_t appendedEntries(const core::RaftCore &C) {
+    size_t N = 0;
+    for (const core::LogEntry &E : C.log())
+      if (E.Kind == raft::EntryKind::Reconfig || E.Method != 0)
+        ++N;
+    return N;
+  }
+
+  size_t indexOf(const State &St, NodeId Id) const {
+    for (size_t I = 0; I != St.Cores.size(); ++I)
+      if (St.Cores[I].id() == Id)
+        return I;
+    return St.Cores.size();
+  }
+
+  /// True when delivering \p M to \p C now vs. after the stickiness
+  /// window could differ: only RequestVotes that the window would refuse.
+  bool stickinessSensitive(const core::RaftCore &C,
+                           const core::Msg &M) const {
+    return M.K == core::Msg::Kind::RequestVote && !M.TransferElection &&
+           !CoreOpts.DisableVoteStickiness && !C.isCrashed() &&
+           !C.isLeader() && C.leaderHint().has_value();
+  }
+
+  template <typename FnT>
+  void deliver(const State &St, size_t MsgIdx, size_t CoreIdx,
+               uint64_t NowUs, const char *Verb, FnT &&Fn) const {
+    State Next = St;
+    core::Msg M = std::move(Next.Pending[MsgIdx]);
+    Next.Pending.erase(Next.Pending.begin() +
+                       static_cast<ptrdiff_t>(MsgIdx));
+    absorb(Next, CoreIdx, Next.Cores[CoreIdx].onMessage(M, NowUs));
+    Fn(std::move(Next), std::string(Verb) + "(" + M.str() + ")");
+  }
+
+  /// Folds a core's effect list into the model state: sends join the
+  /// network (dropped as loss when full), timer effects maintain the
+  /// armed bits, everything else is host-side and invisible here.
+  void absorb(State &St, size_t I, core::Effects Effs) const {
+    for (core::Effect &E : Effs) {
+      switch (E.K) {
+      case core::Effect::Kind::Send:
+        if (St.Pending.size() < Opts.MaxPending)
+          St.Pending.push_back(std::move(E.M));
+        break;
+      case core::Effect::Kind::SetTimer:
+        (E.Timer == core::TimerId::Election ? St.ElectionArmed
+                                            : St.HeartbeatArmed)[I] = 1;
+        break;
+      case core::Effect::Kind::CancelTimer:
+        (E.Timer == core::TimerId::Election ? St.ElectionArmed
+                                            : St.HeartbeatArmed)[I] = 0;
+        break;
+      case core::Effect::Kind::Apply:
+      case core::Effect::Kind::CommitAdvanced:
+      case core::Effect::Kind::Persist:
+      case core::Effect::Kind::LeaderElected:
+        break;
+      }
+    }
+  }
+
+  template <typename SinkT>
+  static void addMsgToSink(SinkT &S, const core::Msg &M) {
+    S.addByte(static_cast<uint8_t>(M.K));
+    S.addU32(M.From);
+    S.addU32(M.To);
+    S.addU64(M.Term);
+    S.addU64(M.LastLogTerm);
+    S.addU64(M.LastLogIndex);
+    S.addBool(M.TransferElection);
+    S.addBool(M.Granted);
+    S.addU64(M.PrevIndex);
+    S.addU64(M.PrevTerm);
+    S.addU64(M.LeaderCommit);
+    S.addBool(M.Success);
+    S.addU64(M.MatchIndex);
+    S.addU64(M.Entries.size());
+    for (const core::LogEntry &E : M.Entries) {
+      S.addU64(E.Term);
+      S.addByte(static_cast<uint8_t>(E.Kind));
+      S.addU64(E.Method);
+      E.Conf.addToSink(S);
+      S.addU64(E.ClientSeq);
+    }
+  }
+
+  template <typename SinkT>
+  void addToSink(SinkT &S, const State &St) const {
+    S.addU64(St.Cores.size());
+    for (size_t I = 0; I != St.Cores.size(); ++I) {
+      St.Cores[I].addToSink(S);
+      S.addBool(St.ElectionArmed[I] != 0);
+      S.addBool(St.HeartbeatArmed[I] != 0);
+    }
+    // The network is a multiset: sort per-message digests so states
+    // differing only in arrival order coincide.
+    S.addU64(St.Pending.size());
+    std::vector<decltype(sinkSubResult(S))> Subs;
+    Subs.reserve(St.Pending.size());
+    for (const core::Msg &M : St.Pending) {
+      SinkT Sub;
+      addMsgToSink(Sub, M);
+      Subs.push_back(sinkSubResult(Sub));
+    }
+    std::sort(Subs.begin(), Subs.end());
+    for (const auto &Sub : Subs)
+      addSubResult(S, Sub);
+  }
+
+  /// Raft log matching, pairwise: same term at one index implies equal
+  /// prefixes up to it. Scan from the highest shared index downward.
+  static std::optional<std::string>
+  checkLogMatching(const core::RaftCore &A, const core::RaftCore &B) {
+    size_t Common = std::min(A.logSize(), B.logSize());
+    for (size_t I = Common; I > 0; --I) {
+      if (A.entry(I).Term != B.entry(I).Term)
+        continue;
+      for (size_t J = 1; J <= I; ++J)
+        if (A.entry(J) != B.entry(J))
+          return "log matching violated: nodes " + std::to_string(A.id()) +
+                 " and " + std::to_string(B.id()) + " agree at index " +
+                 std::to_string(I) + " but differ at " + std::to_string(J);
+      return std::nullopt; // Prefixes equal; lower indexes all match.
+    }
+    return std::nullopt;
+  }
+
+  /// Committed entries must agree across replicas.
+  static std::optional<std::string>
+  checkCommittedAgreement(const core::RaftCore &A, const core::RaftCore &B) {
+    size_t Common = std::min(A.commitIndex(), B.commitIndex());
+    for (size_t I = 1; I <= Common; ++I)
+      if (A.entry(I) != B.entry(I))
+        return "committed logs disagree: nodes " + std::to_string(A.id()) +
+               " and " + std::to_string(B.id()) + " at index " +
+               std::to_string(I);
+    return std::nullopt;
+  }
+
+  /// R2-derived: a leader never starts a reconfiguration while another
+  /// is uncommitted, so no log ever holds two uncommitted reconfigs.
+  static std::optional<std::string>
+  checkReconfigSpacing(const core::RaftCore &C) {
+    size_t Uncommitted = 0;
+    for (size_t I = C.commitIndex() + 1; I <= C.logSize(); ++I)
+      if (C.entry(I).Kind == raft::EntryKind::Reconfig)
+        ++Uncommitted;
+    if (Uncommitted > 1)
+      return "R2 violated: node " + std::to_string(C.id()) + " holds " +
+             std::to_string(Uncommitted) + " uncommitted reconfigs";
+    return std::nullopt;
+  }
+
+  /// R3-derived: a leader commits an entry of its own term (its no-op)
+  /// before reconfiguring, so every reconfig entry of term t is
+  /// preceded in its log by another entry of term t.
+  static std::optional<std::string>
+  checkReconfigTermPrecedence(const core::RaftCore &C) {
+    for (size_t I = 1; I <= C.logSize(); ++I) {
+      if (C.entry(I).Kind != raft::EntryKind::Reconfig)
+        continue;
+      bool Preceded = false;
+      for (size_t J = 1; J != I; ++J)
+        if (C.entry(J).Term == C.entry(I).Term) {
+          Preceded = true;
+          break;
+        }
+      if (!Preceded)
+        return "R3 violated: node " + std::to_string(C.id()) +
+               " holds a term-" + std::to_string(C.entry(I).Term) +
+               " reconfig at index " + std::to_string(I) +
+               " with no prior entry of that term";
+    }
+    return std::nullopt;
+  }
+
+  const ReconfigScheme *Scheme;
+  Config InitialConf;
+  CoreNetModelOptions Opts;
+  core::CoreOptions CoreOpts;
+};
+
+} // namespace mc
+} // namespace adore
+
+#endif // ADORE_MC_CORENETMODEL_H

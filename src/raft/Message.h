@@ -19,6 +19,7 @@
 #include "adore/Config.h"
 #include "support/Ids.h"
 
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,56 @@ enum class EntryKind : uint8_t {
   Method,   ///< An application command.
   Reconfig, ///< A configuration change (takes effect on log entry).
 };
+
+//===----------------------------------------------------------------------===//
+// Shared log helpers
+//===----------------------------------------------------------------------===//
+//
+// Both protocol implementations — the spec-level raft::RaftSystem and the
+// executable core::RaftCore — need the same three log judgments: the
+// voting up-to-date comparison, the last log term, and the configuration
+// in force after a prefix. They are defined once here as templates over
+// the entry type; each entry type provides an ADL-visible entryTerm()
+// accessor (the spec entry names its term T, the executable one Term).
+
+/// Raft's voting comparison (§5.4.1) on (last term, length) summaries:
+/// true iff a log ending in \p LastTermA with \p LenA entries is at least
+/// as up-to-date as one ending in \p LastTermB with \p LenB entries.
+/// Exact ties — including two empty logs — compare as up-to-date, so a
+/// replica may vote for a candidate whose log equals its own.
+inline bool logAtLeastAsUpToDate(Time LastTermA, size_t LenA,
+                                 Time LastTermB, size_t LenB) {
+  if (LastTermA != LastTermB)
+    return LastTermA > LastTermB;
+  return LenA >= LenB;
+}
+
+/// Term of the last entry of \p Log; 0 for the empty log.
+template <typename EntryT>
+Time lastLogTerm(const std::vector<EntryT> &Log) {
+  return Log.empty() ? 0 : entryTerm(Log.back());
+}
+
+/// Full-log form of the up-to-date comparison: true iff \p A is at least
+/// as up-to-date as \p B.
+template <typename EntryA, typename EntryB>
+bool logUpToDate(const std::vector<EntryA> &A, const std::vector<EntryB> &B) {
+  return logAtLeastAsUpToDate(lastLogTerm(A), A.size(), lastLogTerm(B),
+                              B.size());
+}
+
+/// The configuration in force after the first \p Len entries of \p Log
+/// under hot semantics (a Reconfig entry acts upon insertion): the newest
+/// Reconfig entry in the prefix wins, \p Initial if there is none.
+template <typename EntryT>
+Config configOfPrefix(const std::vector<EntryT> &Log, size_t Len,
+                      const Config &Initial) {
+  assert(Len <= Log.size() && "prefix out of range");
+  for (size_t I = Len; I > 0; --I)
+    if (Log[I - 1].Kind == EntryKind::Reconfig)
+      return Log[I - 1].Conf;
+  return Initial;
+}
 
 /// One slot of a replica's log.
 struct Entry {
@@ -47,6 +98,9 @@ struct Entry {
            Conf == RHS.Conf;
   }
 };
+
+/// ADL hook for the shared log helpers above.
+inline Time entryTerm(const Entry &E) { return E.T; }
 
 /// Message discriminator.
 enum class MsgKind : uint8_t {

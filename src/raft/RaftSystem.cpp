@@ -63,10 +63,7 @@ Server &RaftSystem::serverMut(NodeId Nid) {
 }
 
 Config RaftSystem::configOfLog(const std::vector<Entry> &Log) const {
-  for (auto It = Log.rbegin(); It != Log.rend(); ++It)
-    if (It->Kind == EntryKind::Reconfig)
-      return It->Conf;
-  return InitialConf;
+  return raft::configOfPrefix(Log, Log.size(), InitialConf);
 }
 
 Config RaftSystem::currentConfig(NodeId Nid) const {
@@ -106,11 +103,7 @@ bool RaftSystem::logSatisfiesR3(NodeId Nid) const {
 
 bool RaftSystem::logUpToDate(const std::vector<Entry> &A,
                              const std::vector<Entry> &B) {
-  Time LastA = A.empty() ? 0 : A.back().T;
-  Time LastB = B.empty() ? 0 : B.back().T;
-  if (LastA != LastB)
-    return LastA > LastB;
-  return A.size() >= B.size();
+  return raft::logUpToDate(A, B);
 }
 
 //===----------------------------------------------------------------------===//

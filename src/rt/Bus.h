@@ -1,0 +1,67 @@
+//===- rt/Bus.h - In-process message bus ----------------------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal thread-safe in-process message bus: nodes register a
+/// delivery handler once at setup, then any thread posts serialized
+/// frames to a node id. The bus carries opaque byte strings only (see
+/// rt/Wire.h), mirroring a datagram transport; frames to unknown ids are
+/// silently dropped, like packets to a dead host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_RT_BUS_H
+#define ADORE_RT_BUS_H
+
+#include "support/Ids.h"
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace adore {
+namespace rt {
+
+/// Byte-oriented point-to-point bus. attach() all handlers before any
+/// post() traffic starts; handlers must be internally thread-safe (they
+/// run on the posting thread).
+class Bus {
+public:
+  using Handler = std::function<void(std::string Frame)>;
+
+  /// Registers the delivery handler for \p Id, replacing any previous
+  /// one.
+  void attach(NodeId Id, Handler H) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Handlers[Id] = std::move(H);
+  }
+
+  /// Delivers \p Frame to \p To; drops it if nobody is attached.
+  void post(NodeId To, std::string Frame) {
+    const Handler *H = nullptr;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Handlers.find(To);
+      if (It != Handlers.end())
+        H = &It->second;
+    }
+    // Handlers are never detached while traffic flows, so the pointer
+    // stays valid past the lock; invoking outside it keeps bus and
+    // inbox lock scopes disjoint.
+    if (H)
+      (*H)(std::move(Frame));
+  }
+
+private:
+  std::mutex Mu;
+  std::map<NodeId, Handler> Handlers;
+};
+
+} // namespace rt
+} // namespace adore
+
+#endif // ADORE_RT_BUS_H

@@ -1,0 +1,212 @@
+//===- rt/RtCluster.cpp - Threaded cluster harness --------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/RtCluster.h"
+
+#include "support/Rng.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace adore;
+using namespace adore::rt;
+
+namespace {
+
+std::chrono::steady_clock::time_point deadlineIn(uint64_t Ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+}
+
+} // namespace
+
+RtCluster::RtCluster(RtClusterOptions Opts)
+    : Opts(Opts), Scheme(makeScheme(Opts.Scheme)) {
+  NodeSet Members;
+  for (size_t I = 1; I <= Opts.NumNodes; ++I)
+    Members.insert(static_cast<NodeId>(I));
+  InitialConf = Config(Members);
+
+  Rng SeedRng(Opts.Seed);
+  RtNodeHooks Hooks;
+  Hooks.OnApply = [this](NodeId N, size_t I, const core::LogEntry &E) {
+    onApply(N, I, E);
+  };
+  Hooks.OnLeader = [this](NodeId N, Time T) { onLeader(N, T); };
+  for (size_t I = 1; I <= Opts.NumNodes; ++I)
+    Nodes.push_back(std::make_unique<RtNode>(static_cast<NodeId>(I), *Scheme,
+                                             InitialConf, Opts.Node,
+                                             SeedRng.next(), Net, Hooks));
+}
+
+RtCluster::~RtCluster() { stop(); }
+
+void RtCluster::start() {
+  if (Running)
+    return;
+  Running = true;
+  for (auto &N : Nodes)
+    N->start();
+}
+
+void RtCluster::stop() {
+  if (!Running)
+    return;
+  for (auto &N : Nodes)
+    N->stop();
+  Running = false;
+}
+
+NodeId RtCluster::waitForLeader(uint64_t TimeoutMs) const {
+  auto Deadline = deadlineIn(TimeoutMs);
+  for (;;) {
+    for (const auto &N : Nodes) {
+      RtNodeStatus S = N->status();
+      if (!S.Crashed && S.Role == core::Role::Leader)
+        return N->id();
+    }
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return InvalidNodeId;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool RtCluster::submitAndWait(MethodId Method, uint64_t TimeoutMs) {
+  uint64_t Seq;
+  {
+    std::lock_guard<std::mutex> Lock(ObsMu);
+    Seq = NextClientSeq++;
+  }
+  auto Deadline = deadlineIn(TimeoutMs);
+  size_t Rotor = 0;
+  for (;;) {
+    // Prefer the node that currently claims leadership; fall back to
+    // round-robin so a stale claim cannot wedge the client.
+    RtNode *Target = nullptr;
+    for (const auto &N : Nodes) {
+      RtNodeStatus S = N->status();
+      if (!S.Crashed && S.Role == core::Role::Leader) {
+        Target = N.get();
+        break;
+      }
+    }
+    if (!Target)
+      Target = Nodes[Rotor++ % Nodes.size()].get();
+    // At-least-once with a stable sequence number: re-sending after an
+    // unobserved commit is harmless because commitment is keyed by Seq.
+    Target->submit(Method, Seq);
+
+    std::unique_lock<std::mutex> Lock(ObsMu);
+    bool Done = ObsCv.wait_until(Lock, deadlineIn(40), [&] {
+      return CommittedSeqs.count(Seq) != 0;
+    });
+    if (Done)
+      return true;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return CommittedSeqs.count(Seq) != 0;
+  }
+}
+
+bool RtCluster::reconfigAndWait(const Config &NewConf, uint64_t TimeoutMs) {
+  auto Deadline = deadlineIn(TimeoutMs);
+  size_t Rotor = 0;
+  for (;;) {
+    RtNode *Target = nullptr;
+    for (const auto &N : Nodes) {
+      RtNodeStatus S = N->status();
+      if (!S.Crashed && S.Role == core::Role::Leader) {
+        Target = N.get();
+        break;
+      }
+    }
+    if (!Target)
+      Target = Nodes[Rotor++ % Nodes.size()].get();
+    Target->requestReconfig(NewConf);
+
+    std::unique_lock<std::mutex> Lock(ObsMu);
+    auto Committed = [&] {
+      for (const Config &C : CommittedConfs)
+        if (C == NewConf)
+          return true;
+      return false;
+    };
+    if (ObsCv.wait_until(Lock, deadlineIn(40), Committed))
+      return true;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return Committed();
+  }
+}
+
+void RtCluster::crash(NodeId Id) {
+  for (auto &N : Nodes)
+    if (N->id() == Id)
+      N->crash();
+}
+
+void RtCluster::restart(NodeId Id) {
+  for (auto &N : Nodes)
+    if (N->id() == Id)
+      N->restart();
+}
+
+size_t RtCluster::committedCount() const {
+  std::lock_guard<std::mutex> Lock(ObsMu);
+  return Ledger.size();
+}
+
+std::vector<std::string> RtCluster::violations() const {
+  std::lock_guard<std::mutex> Lock(ObsMu);
+  return Violations;
+}
+
+void RtCluster::onApply(NodeId Node, size_t Index, const core::LogEntry &E) {
+  std::lock_guard<std::mutex> Lock(ObsMu);
+  auto It = Ledger.find(Index);
+  if (It == Ledger.end()) {
+    Ledger.emplace(Index, E);
+    if (E.Kind == raft::EntryKind::Method && E.ClientSeq != 0)
+      CommittedSeqs.insert(E.ClientSeq);
+    if (E.Kind == raft::EntryKind::Reconfig)
+      CommittedConfs.push_back(E.Conf);
+  } else if (It->second != E) {
+    std::ostringstream OS;
+    OS << "divergent apply at index " << Index << ": node " << Node
+       << " applied a different entry than first committed";
+    Violations.push_back(OS.str());
+  }
+  ObsCv.notify_all();
+}
+
+void RtCluster::onLeader(NodeId Node, Time Term) {
+  std::lock_guard<std::mutex> Lock(ObsMu);
+  auto &Set = LeadersByTerm[Term];
+  Set.insert(Node);
+  if (Set.size() > 1) {
+    std::ostringstream OS;
+    OS << "election safety violated: " << Set.size() << " leaders in term "
+       << Term;
+    Violations.push_back(OS.str());
+  }
+  ObsCv.notify_all();
+}
+
+std::vector<std::string> RtCluster::checkFinalAgreement() {
+  std::lock_guard<std::mutex> Lock(ObsMu);
+  for (const auto &N : Nodes) {
+    const core::RaftCore &C = N->coreForInspection();
+    for (size_t I = 1; I <= C.commitIndex(); ++I) {
+      auto It = Ledger.find(I);
+      if (It == Ledger.end())
+        continue; // Ledger only sees entries somebody applied.
+      if (C.entry(I) != It->second) {
+        std::ostringstream OS;
+        OS << "final log of node " << C.id() << " disagrees with ledger at "
+           << "index " << I;
+        Violations.push_back(OS.str());
+      }
+    }
+  }
+  return Violations;
+}

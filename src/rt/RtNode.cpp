@@ -1,0 +1,245 @@
+//===- rt/RtNode.cpp - Real-time threaded host for the Raft core ------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/RtNode.h"
+
+#include "rt/Wire.h"
+
+using namespace adore;
+using namespace adore::rt;
+
+RtNode::RtNode(NodeId Id, const ReconfigScheme &Scheme, Config InitialConf,
+               core::CoreOptions Opts, uint64_t Seed, Bus &Net,
+               RtNodeHooks Hooks)
+    : Id(Id), Net(&Net), Hooks(std::move(Hooks)),
+      Core(Id, Scheme, std::move(InitialConf), Opts, Seed),
+      Epoch(Clock::now()) {
+  Net.attach(Id, [this](std::string Frame) {
+    enqueueFrame(std::move(Frame));
+  });
+}
+
+RtNode::~RtNode() { stop(); }
+
+void RtNode::start() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Started)
+      return;
+    Started = true;
+    Stopping = false;
+  }
+  Worker = std::thread([this] { run(); });
+}
+
+void RtNode::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Started)
+      return;
+    Stopping = true;
+  }
+  Cv.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Started = false;
+}
+
+void RtNode::enqueue(Item It) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Inbox.push_back(std::move(It));
+  }
+  Cv.notify_all();
+}
+
+void RtNode::enqueueFrame(std::string Frame) {
+  Item It;
+  It.K = Item::Kind::Frame;
+  It.Frame = std::move(Frame);
+  enqueue(std::move(It));
+}
+
+void RtNode::submit(MethodId Method, uint64_t ClientSeq) {
+  Item It;
+  It.K = Item::Kind::Submit;
+  It.Method = Method;
+  It.ClientSeq = ClientSeq;
+  enqueue(std::move(It));
+}
+
+void RtNode::requestReconfig(Config NewConf) {
+  Item It;
+  It.K = Item::Kind::Reconfig;
+  It.Conf = std::move(NewConf);
+  enqueue(std::move(It));
+}
+
+void RtNode::crash() {
+  Item It;
+  It.K = Item::Kind::Crash;
+  enqueue(std::move(It));
+}
+
+void RtNode::restart() {
+  Item It;
+  It.K = Item::Kind::Restart;
+  enqueue(std::move(It));
+}
+
+RtNodeStatus RtNode::status() const {
+  std::lock_guard<std::mutex> Lock(StatusMu);
+  return Cached;
+}
+
+uint64_t RtNode::malformedFrames() const {
+  return Malformed.load(std::memory_order_relaxed);
+}
+
+uint64_t RtNode::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Epoch)
+          .count());
+}
+
+std::optional<RtNode::Clock::time_point> RtNode::nextDeadline() const {
+  std::optional<Clock::time_point> Next;
+  if (Election.Armed)
+    Next = Election.At;
+  if (Heartbeat.Armed && (!Next || Heartbeat.At < *Next))
+    Next = Heartbeat.At;
+  return Next;
+}
+
+void RtNode::run() {
+  dispatch(Core.start());
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    if (Stopping)
+      return;
+    if (Inbox.empty()) {
+      std::optional<Clock::time_point> Wake = nextDeadline();
+      if (Wake) {
+        if (Clock::now() < *Wake) {
+          Cv.wait_until(Lock, *Wake);
+          continue; // Re-check stop flag and inbox first.
+        }
+        // A deadline is due: fire outside the inbox lock.
+        Lock.unlock();
+        fireDueTimers();
+        Lock.lock();
+        continue;
+      }
+      Cv.wait(Lock);
+      continue;
+    }
+    Item It = std::move(Inbox.front());
+    Inbox.pop_front();
+    Lock.unlock();
+    process(It);
+    // Timers may have come due while processing; handle them before
+    // sleeping again.
+    fireDueTimers();
+    Lock.lock();
+  }
+}
+
+void RtNode::process(Item &It) {
+  switch (It.K) {
+  case Item::Kind::Frame: {
+    core::Msg M;
+    if (!decodeMsg(It.Frame, M)) {
+      Malformed.fetch_add(1, std::memory_order_relaxed);
+      return; // Malformed frame: dropped like a corrupt packet.
+    }
+    dispatch(Core.onMessage(M, nowUs()));
+    return;
+  }
+  case Item::Kind::Submit: {
+    core::Effects Effs;
+    Core.submit(It.Method, It.ClientSeq, Effs);
+    dispatch(std::move(Effs));
+    return;
+  }
+  case Item::Kind::Reconfig: {
+    core::Effects Effs;
+    Core.requestReconfig(It.Conf, Effs);
+    dispatch(std::move(Effs));
+    return;
+  }
+  case Item::Kind::Crash:
+    dispatch(Core.crash());
+    return;
+  case Item::Kind::Restart:
+    dispatch(Core.restart());
+    return;
+  }
+}
+
+void RtNode::fireDueTimers() {
+  // At most one firing per timer per pass; re-arms take a fresh
+  // deadline, so the loop in run() converges.
+  Clock::time_point Now = Clock::now();
+  if (Election.Armed && Election.At <= Now) {
+    Election.Armed = false;
+    dispatch(Core.onTimer(core::TimerId::Election, Election.Gen, nowUs()));
+  }
+  if (Heartbeat.Armed && Heartbeat.At <= Now) {
+    Heartbeat.Armed = false;
+    dispatch(Core.onTimer(core::TimerId::Heartbeat, Heartbeat.Gen, nowUs()));
+  }
+}
+
+void RtNode::dispatch(core::Effects Effs) {
+  for (core::Effect &E : Effs) {
+    switch (E.K) {
+    case core::Effect::Kind::Send:
+      Net->post(E.M.To, encodeMsg(E.M));
+      break;
+    case core::Effect::Kind::SetTimer: {
+      Deadline &D =
+          E.Timer == core::TimerId::Election ? Election : Heartbeat;
+      D.Armed = true;
+      D.Gen = E.TimerGen;
+      D.At = Clock::now() + std::chrono::microseconds(E.DelayUs);
+      break;
+    }
+    case core::Effect::Kind::CancelTimer:
+      (E.Timer == core::TimerId::Election ? Election : Heartbeat).Armed =
+          false;
+      break;
+    case core::Effect::Kind::Apply:
+      if (Hooks.OnApply)
+        Hooks.OnApply(Id, E.Index, E.Entry);
+      break;
+    case core::Effect::Kind::CommitAdvanced:
+      break;
+    case core::Effect::Kind::Persist:
+      // The runtime keeps "durable" state in memory (crash is
+      // state-level); a disk-backed host would fsync here.
+      break;
+    case core::Effect::Kind::LeaderElected:
+      if (Hooks.OnLeader)
+        Hooks.OnLeader(Id, E.Term);
+      break;
+    }
+  }
+  publishStatus();
+}
+
+void RtNode::publishStatus() {
+  RtNodeStatus S;
+  S.Role = Core.role();
+  S.Term = Core.term();
+  S.CommitIndex = Core.commitIndex();
+  S.LogSize = Core.logSize();
+  S.Crashed = Core.isCrashed();
+  S.Passive = Core.isPassive();
+  std::lock_guard<std::mutex> Lock(StatusMu);
+  Cached = S;
+}

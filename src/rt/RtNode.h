@@ -1,0 +1,160 @@
+//===- rt/RtNode.h - Real-time threaded host for the Raft core -*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real-time host for core::RaftCore: one dedicated thread owns the
+/// core exclusively and is the only code that ever touches it, so the
+/// core itself needs no locks. All input — wire frames from the Bus,
+/// client commands, admin reconfigs, crash/restart control — lands in a
+/// mutex-protected inbox the thread drains in arrival order; the core's
+/// SetTimer effects become steady_clock deadlines the thread sleeps
+/// toward (condition-variable wait_until), and its Send effects are
+/// serialized through rt/Wire.h and posted to the bus.
+///
+/// Crash here is *state-level* fail-stop, matching the simulator: the
+/// thread keeps running but the core discards volatile state and ignores
+/// input until restart, which mirrors a process that lost memory but
+/// kept its disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_RT_RTNODE_H
+#define ADORE_RT_RTNODE_H
+
+#include "core/RaftCore.h"
+#include "rt/Bus.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+namespace adore {
+namespace rt {
+
+/// Host callbacks; both run on the node's thread and must be
+/// thread-safe against other nodes' threads.
+struct RtNodeHooks {
+  std::function<void(NodeId, size_t, const core::LogEntry &)> OnApply;
+  std::function<void(NodeId, Time)> OnLeader;
+};
+
+/// Lock-free-readable snapshot of a node, refreshed by its thread after
+/// every step.
+struct RtNodeStatus {
+  core::Role Role = core::Role::Follower;
+  Time Term = 0;
+  size_t CommitIndex = 0;
+  size_t LogSize = 0;
+  bool Crashed = false;
+  bool Passive = false;
+};
+
+/// One threaded replica.
+class RtNode {
+public:
+  RtNode(NodeId Id, const ReconfigScheme &Scheme, Config InitialConf,
+         core::CoreOptions Opts, uint64_t Seed, Bus &Net,
+         RtNodeHooks Hooks);
+  ~RtNode();
+
+  RtNode(const RtNode &) = delete;
+  RtNode &operator=(const RtNode &) = delete;
+
+  /// Spawns the worker thread and starts the core. Call once.
+  void start();
+
+  /// Stops and joins the worker thread. Idempotent.
+  void stop();
+
+  NodeId id() const { return Id; }
+
+  /// Enqueues a serialized frame from the bus (any thread).
+  void enqueueFrame(std::string Frame);
+
+  /// Enqueues a client command (any thread). Acceptance is observable
+  /// only through commitment — like a real network client's.
+  void submit(MethodId Method, uint64_t ClientSeq);
+
+  /// Enqueues an admin membership-change request (any thread).
+  void requestReconfig(Config NewConf);
+
+  /// State-level fail-stop / recovery (any thread).
+  void crash();
+  void restart();
+
+  /// Point-in-time status snapshot (any thread).
+  RtNodeStatus status() const;
+
+  /// Count of bus frames that failed wire decoding (any thread).
+  uint64_t malformedFrames() const;
+
+  /// Direct read access to the hosted core. Safe ONLY while the worker
+  /// thread is not running (before start() or after stop()); used by
+  /// end-of-run whole-cluster checks.
+  const core::RaftCore &coreForInspection() const { return Core; }
+
+private:
+  struct Item {
+    enum class Kind : uint8_t { Frame, Submit, Reconfig, Crash, Restart };
+    Kind K = Kind::Frame;
+    std::string Frame;
+    MethodId Method = 0;
+    uint64_t ClientSeq = 0;
+    Config Conf;
+  };
+
+  using Clock = std::chrono::steady_clock;
+
+  void run();
+  void enqueue(Item It);
+  uint64_t nowUs() const;
+  void process(Item &It);
+  void fireDueTimers();
+  void dispatch(core::Effects Effs);
+  void publishStatus();
+
+  /// One armed core timer mapped onto the steady clock. Worker-thread
+  /// only.
+  struct Deadline {
+    bool Armed = false;
+    uint64_t Gen = 0;
+    Clock::time_point At;
+  };
+
+  std::optional<Clock::time_point> nextDeadline() const;
+
+  NodeId Id;
+  Bus *Net;
+  RtNodeHooks Hooks;
+  core::RaftCore Core; ///< Worker-thread only once start()ed.
+  Clock::time_point Epoch;
+
+  Deadline Election;  ///< Worker-thread only.
+  Deadline Heartbeat; ///< Worker-thread only.
+
+  mutable std::mutex Mu; ///< Guards Inbox/Stopping/Started.
+  std::condition_variable Cv;
+  std::deque<Item> Inbox;
+  bool Stopping = false;
+  bool Started = false;
+
+  mutable std::mutex StatusMu;
+  RtNodeStatus Cached;
+
+  std::atomic<uint64_t> Malformed{0};
+
+  std::thread Worker;
+};
+
+} // namespace rt
+} // namespace adore
+
+#endif // ADORE_RT_RTNODE_H

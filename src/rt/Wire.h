@@ -1,0 +1,38 @@
+//===- rt/Wire.h - Wire-format serialization of core::Msg -----*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real-time runtime's wire format: a little-endian, length-framed
+/// binary encoding of core::Msg (entries and their configurations
+/// included). Messages cross the in-process Bus as byte strings only —
+/// the same serialize/deserialize boundary a socket transport would
+/// impose — so the runtime exercises a true wire format rather than
+/// passing shared objects, and a malformed frame is a decode error, not
+/// undefined behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_RT_WIRE_H
+#define ADORE_RT_WIRE_H
+
+#include "core/RaftCore.h"
+
+#include <string>
+
+namespace adore {
+namespace rt {
+
+/// Serializes \p M into a self-delimiting byte string.
+std::string encodeMsg(const core::Msg &M);
+
+/// Parses \p Bytes into \p Out. Returns false (leaving \p Out
+/// unspecified) on truncated, oversized, or trailing-garbage input.
+bool decodeMsg(const std::string &Bytes, core::Msg &Out);
+
+} // namespace rt
+} // namespace adore
+
+#endif // ADORE_RT_WIRE_H

@@ -30,12 +30,29 @@ namespace sim {
 /// Virtual time in microseconds.
 using SimTime = uint64_t;
 
+/// Counters the queue keeps about its own operation, surfaced in run
+/// reports alongside the domain counters.
+struct QueueStats {
+  /// scheduleAt calls whose requested time was already in the past and
+  /// were clamped to "now". A handful is normal in fault scenarios
+  /// (callers computing deadlines from pre-fault observations); a large
+  /// count signals a scheduling bug.
+  uint64_t ClampedPastSchedules = 0;
+};
+
 /// The simulator's event queue and clock.
 class EventQueue {
 public:
-  /// Schedules \p Fn to run at absolute virtual time \p At (>= now).
+  /// Schedules \p Fn to run at absolute virtual time \p At. Requests in
+  /// the past are clamped to the current time (and counted, see
+  /// QueueStats) rather than rejected: a real host faced with an
+  /// already-expired deadline fires it immediately, and the clamp keeps
+  /// the executed order deterministic (FIFO among same-time events).
   void scheduleAt(SimTime At, std::function<void()> Fn) {
-    assert(At >= Clock && "scheduling into the past");
+    if (At < Clock) {
+      At = Clock;
+      ++Stats.ClampedPastSchedules;
+    }
     Heap.push_back(Event{At, NextSeq++, std::move(Fn)});
     std::push_heap(Heap.begin(), Heap.end(), Event::later);
   }
@@ -81,6 +98,9 @@ public:
     return true;
   }
 
+  /// Operational counters (see QueueStats).
+  const QueueStats &stats() const { return Stats; }
+
 private:
   struct Event {
     SimTime At;
@@ -99,6 +119,7 @@ private:
   std::vector<Event> Heap;
   SimTime Clock = 0;
   uint64_t NextSeq = 0;
+  QueueStats Stats;
 };
 
 } // namespace sim

@@ -1,4 +1,4 @@
-//===- sim/RaftNode.cpp - Executable Raft replica ---------------------------===//
+//===- sim/RaftNode.cpp - Simulator host for the Raft core ------------------===//
 //
 // Part of the Adore reproduction. Distributed under the MIT license.
 //
@@ -10,485 +10,84 @@
 
 using namespace adore;
 using namespace adore::sim;
-using raft::EntryKind;
 
-const char *adore::sim::roleName(Role R) {
-  switch (R) {
-  case Role::Follower:
-    return "follower";
-  case Role::Candidate:
-    return "candidate";
-  case Role::Leader:
-    return "leader";
-  }
-  ADORE_UNREACHABLE("unknown role");
+namespace {
+
+core::CoreOptions toCoreOptions(const NodeOptions &Opts) {
+  core::CoreOptions C;
+  C.ElectionTimeoutMinUs = Opts.ElectionTimeoutMinUs;
+  C.ElectionTimeoutMaxUs = Opts.ElectionTimeoutMaxUs;
+  C.HeartbeatUs = Opts.HeartbeatUs;
+  C.MaxEntriesPerAppend = Opts.MaxEntriesPerAppend;
+  C.DisableVoteStickiness = Opts.DisableVoteStickiness;
+  return C;
 }
+
+} // namespace
 
 RaftNode::RaftNode(
     NodeId Id, const ReconfigScheme &Scheme, Config InitialConf,
     NodeOptions Opts, EventQueue &Queue, uint64_t Seed,
     std::function<void(SimMsg)> Send,
     std::function<void(NodeId, size_t, const SimLogEntry &)> OnApply)
-    : Id(Id), Scheme(&Scheme), InitialConf(std::move(InitialConf)),
-      Opts(Opts), Queue(&Queue), R(Seed), Send(std::move(Send)),
-      OnApply(std::move(OnApply)) {}
-
-void RaftNode::start() {
-  updatePassivity(); // Spares outside the initial config stay passive.
-  armElectionTimer();
-}
-
-//===----------------------------------------------------------------------===//
-// Configuration helpers
-//===----------------------------------------------------------------------===//
-
-Config RaftNode::configOfPrefix(size_t Len) const {
-  assert(Len <= Log.size() && "prefix out of range");
-  for (size_t I = Len; I > 0; --I)
-    if (Log[I - 1].Kind == EntryKind::Reconfig)
-      return Log[I - 1].Conf;
-  return InitialConf;
-}
-
-Config RaftNode::config() const { return configOfPrefix(Log.size()); }
-
-bool RaftNode::logSatisfiesR2() const {
-  for (size_t I = CommitIndex; I != Log.size(); ++I)
-    if (Log[I].Kind == EntryKind::Reconfig)
-      return false;
-  return true;
-}
-
-bool RaftNode::logSatisfiesR3() const {
-  for (size_t I = CommitIndex; I > 0; --I)
-    if (Log[I - 1].Term == Term)
-      return true;
-  return false;
-}
-
-void RaftNode::updatePassivity() {
-  // Hot semantics: the moment this node's log says it is no longer a
-  // member, it stops initiating elections (it keeps answering messages,
-  // which helps drain in-flight rounds).
-  Passive = !Scheme->mbrs(config()).contains(Id);
-  if (Passive && MyRole != Role::Follower) {
-    MyRole = Role::Follower;
-    Votes.clear();
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Timers
-//===----------------------------------------------------------------------===//
-
-void RaftNode::armElectionTimer() {
-  uint64_t Gen = ++ElectionGen;
-  SimTime Delay = R.nextInRange(Opts.ElectionTimeoutMinUs,
-                                Opts.ElectionTimeoutMaxUs);
-  Queue->scheduleAfter(Delay, [this, Gen] {
-    if (Gen != ElectionGen || Crashed)
-      return; // Timer was reset or the node is down.
-    if (MyRole == Role::Leader || Passive) {
-      armElectionTimer();
-      return;
-    }
-    startElection();
-  });
-}
-
-void RaftNode::armHeartbeatTimer() {
-  uint64_t Gen = ++HeartbeatGen;
-  Queue->scheduleAfter(Opts.HeartbeatUs, [this, Gen] {
-    if (Gen != HeartbeatGen || MyRole != Role::Leader || Crashed)
-      return;
-    broadcastAppends();
-    armHeartbeatTimer();
-  });
-}
-
-//===----------------------------------------------------------------------===//
-// Role transitions
-//===----------------------------------------------------------------------===//
-
-void RaftNode::stepDown(Time NewTerm) {
-  if (NewTerm > Term) {
-    Term = NewTerm;
-    VotedFor.reset();
-  }
-  if (MyRole != Role::Follower) {
-    MyRole = Role::Follower;
-    Votes.clear();
-  }
-  ++HeartbeatGen; // Cancel leader heartbeats.
-  armElectionTimer();
-}
-
-void RaftNode::startElection(bool Transfer) {
-  Config Conf = config();
-  if (!Scheme->mbrs(Conf).contains(Id))
-    return; // Non-members never stand (Def. C.2 validity).
-  Term += 1;
-  MyRole = Role::Candidate;
-  VotedFor = Id;
-  Votes = NodeSet{Id};
-  armElectionTimer(); // Retry with a fresh timeout if this one stalls.
-  if (Scheme->isQuorum(Votes, Conf)) {
-    becomeLeader();
-    return;
-  }
-  for (NodeId Peer : Scheme->mbrs(Conf)) {
-    if (Peer == Id)
-      continue;
-    SimMsg M;
-    M.K = SimMsg::Kind::RequestVote;
-    M.From = Id;
-    M.To = Peer;
-    M.Term = Term;
-    M.LastLogTerm = lastLogTerm();
-    M.LastLogIndex = lastLogIndex();
-    M.TransferElection = Transfer;
-    Send(M);
-  }
-}
-
-void RaftNode::becomeLeader() {
-  MyRole = Role::Leader;
-  LeaderHint = Id;
-  if (OnLeader)
-    OnLeader(Id, Term);
-  NextIndex.clear();
-  MatchIndex.clear();
-  for (NodeId Peer : Scheme->mbrs(config()))
-    if (Peer != Id)
-      NextIndex[Peer] = lastLogIndex() + 1;
-  // Term-start no-op barrier: commits everything inherited and makes R3
-  // satisfiable at this term.
-  SimLogEntry Noop;
-  Noop.Term = Term;
-  Noop.Kind = EntryKind::Method;
-  Noop.Method = 0;
-  appendOwn(std::move(Noop));
-  armHeartbeatTimer();
-}
-
-//===----------------------------------------------------------------------===//
-// Message dispatch
-//===----------------------------------------------------------------------===//
-
-void RaftNode::crash() {
-  Crashed = true;
-  LeaderHint.reset();
-  // Invalidate all armed timers; volatile leader state dies with us.
-  ++ElectionGen;
-  ++HeartbeatGen;
-  MyRole = Role::Follower;
-  Votes.clear();
-  NextIndex.clear();
-  MatchIndex.clear();
-}
-
-void RaftNode::restart() {
-  if (!Crashed)
-    return;
-  Crashed = false;
-  LeaderHint.reset();
-  LastLeaderContactUs = 0;
-  updatePassivity();
-  armElectionTimer();
-}
-
-void RaftNode::receive(const SimMsg &M) {
-  if (Crashed)
-    return;
-  switch (M.K) {
-  case SimMsg::Kind::RequestVote:
-    onRequestVote(M);
-    return;
-  case SimMsg::Kind::VoteReply:
-    onVoteReply(M);
-    return;
-  case SimMsg::Kind::AppendEntries:
-    onAppendEntries(M);
-    return;
-  case SimMsg::Kind::AppendReply:
-    onAppendReply(M);
-    return;
-  case SimMsg::Kind::TimeoutNow:
-    onTimeoutNow(M);
-    return;
-  }
-  ADORE_UNREACHABLE("unknown message kind");
-}
-
-void RaftNode::onTimeoutNow(const SimMsg &M) {
-  // Only honor a transfer from the current term's leader; stale
-  // transfers from deposed leaders are ignored.
-  if (M.Term < Term || Passive)
-    return;
-  startElection(/*Transfer=*/true);
-}
-
-void RaftNode::onRequestVote(const SimMsg &M) {
-  // Vote stickiness (Raft §4.2.3): while we believe a leader is alive —
-  // we are it, or we accepted its AppendEntries within the minimum
-  // election timeout — ignore the request entirely, without even
-  // adopting its term. A server campaigning on stale state (typically
-  // one removed from the configuration while partitioned, which can
-  // never learn of its removal) would otherwise depose healthy leaders
-  // indefinitely. Deliberate leadership transfers are exempt.
-  if (!M.TransferElection &&
-      (MyRole == Role::Leader ||
-       (LastLeaderContactUs != 0 &&
-        Queue->now() < LastLeaderContactUs + Opts.ElectionTimeoutMinUs)))
-    return;
-  if (M.Term > Term)
-    stepDown(M.Term);
-  SimMsg Reply;
-  Reply.K = SimMsg::Kind::VoteReply;
-  Reply.From = Id;
-  Reply.To = M.From;
-  Reply.Term = Term;
-  bool UpToDate =
-      M.LastLogTerm > lastLogTerm() ||
-      (M.LastLogTerm == lastLogTerm() && M.LastLogIndex >= lastLogIndex());
-  Reply.Granted = M.Term == Term && MyRole == Role::Follower && UpToDate &&
-                  (!VotedFor || *VotedFor == M.From);
-  if (Reply.Granted) {
-    VotedFor = M.From;
-    armElectionTimer(); // Granting a vote defers our own candidacy.
-  }
-  Send(Reply);
-}
-
-void RaftNode::onVoteReply(const SimMsg &M) {
-  if (M.Term > Term) {
-    stepDown(M.Term);
-    return;
-  }
-  if (MyRole != Role::Candidate || M.Term != Term || !M.Granted)
-    return;
-  Votes.insert(M.From);
-  if (Scheme->isQuorum(Votes, config()))
-    becomeLeader();
-}
-
-void RaftNode::onAppendEntries(const SimMsg &M) {
-  SimMsg Reply;
-  Reply.K = SimMsg::Kind::AppendReply;
-  Reply.From = Id;
-  Reply.To = M.From;
-  if (M.Term < Term) {
-    Reply.Term = Term;
-    Reply.Success = false;
-    Reply.MatchIndex = 0;
-    Send(Reply);
-    return;
-  }
-  stepDown(M.Term); // Also resets the election timer.
-  LeaderHint = M.From;
-  LastLeaderContactUs = Queue->now();
-  Reply.Term = Term;
-
-  // Consistency check on the previous slot.
-  bool PrevOk = M.PrevIndex == 0 ||
-                (M.PrevIndex <= Log.size() &&
-                 Log[M.PrevIndex - 1].Term == M.PrevTerm);
-  if (!PrevOk) {
-    Reply.Success = false;
-    // Hint: the longest prefix that could possibly match.
-    Reply.MatchIndex = std::min(Log.size(), M.PrevIndex - 1);
-    Send(Reply);
-    return;
-  }
-
-  // Append, truncating conflicting suffixes.
-  size_t Idx = M.PrevIndex;
-  for (const SimLogEntry &E : M.Entries) {
-    ++Idx;
-    if (Idx <= Log.size()) {
-      if (Log[Idx - 1].Term == E.Term)
-        continue; // Already have it.
-      Log.resize(Idx - 1); // Conflict: drop our suffix.
-    }
-    Log.push_back(E);
-  }
-  updatePassivity();
-  size_t NewCommit = std::min(M.LeaderCommit, Log.size());
-  if (NewCommit > CommitIndex)
-    applyUpTo(NewCommit);
-  Reply.Success = true;
-  Reply.MatchIndex = std::max(Idx, M.PrevIndex + M.Entries.size());
-  Send(Reply);
-}
-
-void RaftNode::onAppendReply(const SimMsg &M) {
-  if (M.Term > Term) {
-    stepDown(M.Term);
-    return;
-  }
-  if (MyRole != Role::Leader || M.Term != Term)
-    return;
-  if (M.Success) {
-    size_t &Match = MatchIndex[M.From];
-    Match = std::max(Match, M.MatchIndex);
-    NextIndex[M.From] = Match + 1;
-    advanceCommit();
-    // Keep streaming if the follower is still behind.
-    if (Match < lastLogIndex())
-      replicateTo(M.From);
-    return;
-  }
-  // Back up and retry.
-  size_t &Next = NextIndex[M.From];
-  Next = std::max<size_t>(1, std::min(Next - 1, M.MatchIndex + 1));
-  replicateTo(M.From);
-}
-
-//===----------------------------------------------------------------------===//
-// Leader machinery
-//===----------------------------------------------------------------------===//
-
-void RaftNode::appendOwn(SimLogEntry Entry) {
-  Log.push_back(std::move(Entry));
-  updatePassivity();
-  broadcastAppends();
-  advanceCommit(); // Singleton configurations commit instantly.
-}
-
-void RaftNode::replicateTo(NodeId Peer) {
-  size_t Next = NextIndex.count(Peer) ? NextIndex[Peer]
-                                      : lastLogIndex() + 1;
-  assert(Next >= 1 && "nextIndex must stay positive");
-  SimMsg M;
-  M.K = SimMsg::Kind::AppendEntries;
-  M.From = Id;
-  M.To = Peer;
-  M.Term = Term;
-  M.PrevIndex = Next - 1;
-  M.PrevTerm = M.PrevIndex == 0 ? 0 : Log[M.PrevIndex - 1].Term;
-  size_t End = std::min(Log.size(), M.PrevIndex + Opts.MaxEntriesPerAppend);
-  for (size_t I = Next; I <= End; ++I)
-    M.Entries.push_back(Log[I - 1]);
-  M.LeaderCommit = CommitIndex;
-  Send(M);
-}
-
-void RaftNode::broadcastAppends() {
-  if (MyRole != Role::Leader)
-    return;
-  for (NodeId Peer : Scheme->mbrs(config())) {
-    if (Peer == Id)
-      continue;
-    if (!NextIndex.count(Peer))
-      NextIndex[Peer] = lastLogIndex() + 1; // Node joined just now.
-    replicateTo(Peer);
-  }
-}
-
-void RaftNode::advanceCommit() {
-  for (size_t N = lastLogIndex(); N > CommitIndex; --N) {
-    if (Log[N - 1].Term != Term)
-      break; // Only own-term entries commit directly.
-    NodeSet Replicated{Id};
-    for (const auto &[Peer, Match] : MatchIndex)
-      if (Match >= N)
-        Replicated.insert(Peer);
-    if (!Scheme->isQuorum(Replicated, configOfPrefix(N)))
-      continue;
-    applyUpTo(N);
-    // Propagate the new commit index promptly.
-    broadcastAppends();
-    return;
-  }
-}
-
-void RaftNode::applyUpTo(size_t Index) {
-  assert(Index <= Log.size() && "applying past the log");
-  CommitIndex = std::max(CommitIndex, Index);
-  while (Applied < CommitIndex) {
-    ++Applied;
-    OnApply(Id, Applied, Log[Applied - 1]);
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Client-facing API
-//===----------------------------------------------------------------------===//
+    : Queue(&Queue),
+      Core(Id, Scheme, std::move(InitialConf), toCoreOptions(Opts), Seed),
+      SendFn(std::move(Send)), ApplyFn(std::move(OnApply)) {}
 
 bool RaftNode::submit(MethodId Method, uint64_t ClientSeq) {
-  if (Crashed || MyRole != Role::Leader)
-    return false;
-  SimLogEntry E;
-  E.Term = Term;
-  E.Kind = EntryKind::Method;
-  E.Method = Method;
-  E.ClientSeq = ClientSeq;
-  appendOwn(std::move(E));
-  return true;
+  core::Effects Effs;
+  bool Accepted = Core.submit(Method, ClientSeq, Effs);
+  dispatch(std::move(Effs));
+  return Accepted;
 }
 
 bool RaftNode::requestReconfig(const Config &NewConf) {
-  if (Crashed || MyRole != Role::Leader)
-    return false;
-  if (!Scheme->isValidConfig(NewConf))
-    return false;
-  if (!Scheme->mbrs(NewConf).contains(Id))
-    return false; // Leaders do not remove themselves.
-  if (!Scheme->r1Plus(config(), NewConf))
-    return false;
-  if (!logSatisfiesR2() || !logSatisfiesR3())
-    return false;
-  NodeSet OldMembers = Scheme->mbrs(config());
-  SimLogEntry E;
-  E.Term = Term;
-  E.Kind = EntryKind::Reconfig;
-  E.Conf = NewConf;
-  appendOwn(std::move(E));
-  // Nodes leaving the configuration still receive this round so they
-  // learn of their removal and go passive instead of campaigning
-  // against the remaining members.
-  for (NodeId Peer : OldMembers.differenceWith(Scheme->mbrs(NewConf))) {
-    if (Peer == Id)
-      continue;
-    if (!NextIndex.count(Peer))
-      NextIndex[Peer] = lastLogIndex();
-    replicateTo(Peer);
-  }
-  return true;
+  core::Effects Effs;
+  bool Accepted = Core.requestReconfig(NewConf, Effs);
+  dispatch(std::move(Effs));
+  return Accepted;
 }
 
 bool RaftNode::transferLeadership(NodeId Target) {
-  if (Crashed || MyRole != Role::Leader || Target == Id)
-    return false;
-  if (!Scheme->mbrs(config()).contains(Target))
-    return false;
-  // The target must hold our full log, or its immediate election would
-  // lose to better-informed voters (and our uncommitted tail could die).
-  auto It = MatchIndex.find(Target);
-  if (It == MatchIndex.end() || It->second < lastLogIndex())
-    return false;
-  SimMsg M;
-  M.K = SimMsg::Kind::TimeoutNow;
-  M.From = Id;
-  M.To = Target;
-  M.Term = Term;
-  Send(M);
-  // Step aside so we do not compete with the fresh candidate. Keep the
-  // term: the target's election will bump it past us.
-  MyRole = Role::Follower;
-  ++HeartbeatGen;
-  armElectionTimer();
-  return true;
+  core::Effects Effs;
+  bool Accepted = Core.transferLeadership(Target, Effs);
+  dispatch(std::move(Effs));
+  return Accepted;
 }
 
-std::string RaftNode::describe() const {
-  std::string Out = "S" + std::to_string(Id) + "[" + roleName(MyRole) +
-                    " t=" + std::to_string(Term) +
-                    " log=" + std::to_string(Log.size()) +
-                    " ci=" + std::to_string(CommitIndex) +
-                    " cf=" + config().str();
-  if (Passive)
-    Out += " passive";
-  Out += "]";
-  return Out;
+void RaftNode::dispatch(core::Effects Effs) {
+  for (core::Effect &E : Effs) {
+    switch (E.K) {
+    case core::Effect::Kind::Send:
+      SendFn(std::move(E.M));
+      break;
+    case core::Effect::Kind::SetTimer: {
+      // The scheduled callback re-enters the core with the generation it
+      // was armed under; the core rejects it if superseded. Effects the
+      // firing produces are dispatched recursively.
+      core::TimerId Timer = E.Timer;
+      uint64_t Gen = E.TimerGen;
+      Queue->scheduleAfter(E.DelayUs, [this, Timer, Gen] {
+        dispatch(Core.onTimer(Timer, Gen, Queue->now()));
+      });
+      break;
+    }
+    case core::Effect::Kind::CancelTimer:
+      // Nothing to do: a stale firing is rejected by generation.
+      break;
+    case core::Effect::Kind::Apply:
+      ApplyFn(Core.id(), E.Index, E.Entry);
+      break;
+    case core::Effect::Kind::CommitAdvanced:
+    case core::Effect::Kind::Persist:
+      // The simulator models neither durable storage nor commit
+      // subscriptions; crash() already preserves exactly the persistent
+      // fields.
+      break;
+    case core::Effect::Kind::LeaderElected:
+      if (OnLeader)
+        OnLeader(Core.id(), E.Term);
+      break;
+    }
+  }
 }

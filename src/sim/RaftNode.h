@@ -1,95 +1,53 @@
-//===- sim/RaftNode.h - Executable Raft replica ---------------*- C++ -*-===//
+//===- sim/RaftNode.h - Simulator host for the Raft core ------*- C++ -*-===//
 //
 // Part of the Adore reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A deployable-style Raft replica driven by the discrete-event
-/// simulator: randomized election timeouts, heartbeats, incremental
-/// AppendEntries with per-follower nextIndex/matchIndex, conflict
-/// truncation, commit-index advancement, and hot single-server
-/// reconfiguration guarded by R1+/R2/R3. This is the analog of the
-/// paper's extracted-OCaml Raft (Section 7): where they extracted Coq to
-/// OCaml and ran on EC2, we run a faithful C++ implementation over a
-/// simulated network with calibrated latencies, which reproduces the
-/// *shape* of Fig. 16 (latency blips at reconfiguration points within
-/// the normal spike range).
+/// The discrete-event-simulator host for core::RaftCore: a thin adapter
+/// that feeds the sans-I/O protocol core its inputs (messages, timer
+/// firings, client commands) and maps the returned effect list onto the
+/// sim::EventQueue — Send becomes the cluster's latency/loss network
+/// callback, SetTimer becomes a scheduled callback that re-enters the
+/// core with the carried generation, Apply becomes the OnApply hook.
+/// No protocol logic lives here; role transitions, quorum checks, log
+/// truncation, and reconfiguration guards are all core::RaftCore's.
 ///
-/// The node is configuration-parameterized by the same ReconfigScheme as
-/// every other layer; quorum checks for votes and commits go through
-/// scheme->isQuorum against the configuration in force at the relevant
-/// log prefix (hot semantics: a reconfig entry acts upon insertion).
+/// Effects are executed strictly in emission order, which reproduces the
+/// pre-extraction event schedule exactly: chaos scenario seeds yield
+/// byte-identical histories through this adapter.
+///
+/// This is the analog of the paper's extracted-OCaml Raft (Section 7):
+/// where they extracted Coq to OCaml and ran on EC2, we run the one
+/// executable core over a simulated network with calibrated latencies,
+/// which reproduces the *shape* of Fig. 16 (latency blips at
+/// reconfiguration points within the normal spike range).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ADORE_SIM_RAFTNODE_H
 #define ADORE_SIM_RAFTNODE_H
 
-#include "adore/Config.h"
-#include "raft/Message.h"
+#include "core/RaftCore.h"
 #include "sim/EventQueue.h"
-#include "support/Rng.h"
 
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
-#include <vector>
 
 namespace adore {
 namespace sim {
 
-/// Replica roles.
-enum class Role : uint8_t { Follower, Candidate, Leader };
-
-const char *roleName(Role R);
+/// Replica roles (the core's, re-exported for existing call sites).
+using Role = core::Role;
+using core::roleName;
 
 /// One slot of the executable node's log.
-struct SimLogEntry {
-  Time Term = 0;
-  raft::EntryKind Kind = raft::EntryKind::Method;
-  MethodId Method = 0;
-  Config Conf;
-  /// Nonzero for client-submitted commands; used to route completions.
-  uint64_t ClientSeq = 0;
-};
+using SimLogEntry = core::LogEntry;
 
 /// Wire messages of the executable protocol.
-struct SimMsg {
-  enum class Kind : uint8_t {
-    RequestVote,
-    VoteReply,
-    AppendEntries,
-    AppendReply,
-    TimeoutNow, ///< Leadership transfer: start an election immediately.
-  };
-
-  Kind K = Kind::RequestVote;
-  NodeId From = InvalidNodeId;
-  NodeId To = InvalidNodeId;
-  Time Term = 0;
-
-  // RequestVote.
-  Time LastLogTerm = 0;
-  size_t LastLogIndex = 0;
-  /// True when the election was triggered by a leadership transfer;
-  /// exempts the request from the disruptive-server vote stickiness.
-  bool TransferElection = false;
-
-  // VoteReply.
-  bool Granted = false;
-
-  // AppendEntries.
-  size_t PrevIndex = 0;
-  Time PrevTerm = 0;
-  std::vector<SimLogEntry> Entries;
-  size_t LeaderCommit = 0;
-
-  // AppendReply.
-  bool Success = false;
-  size_t MatchIndex = 0;
-};
+using SimMsg = core::Msg;
 
 /// Timing knobs (virtual microseconds).
 struct NodeOptions {
@@ -97,9 +55,12 @@ struct NodeOptions {
   SimTime ElectionTimeoutMaxUs = 300000;
   SimTime HeartbeatUs = 50000;
   size_t MaxEntriesPerAppend = 64;
+  /// Forwarded to core::CoreOptions::DisableVoteStickiness — injectable
+  /// §4.2.3 misbehavior, for regression tests only.
+  bool DisableVoteStickiness = false;
 };
 
-/// A single executable replica.
+/// A single simulated replica: core::RaftCore + effect plumbing.
 class RaftNode {
 public:
   /// \p Send transmits a message (the host applies latency/loss).
@@ -112,17 +73,19 @@ public:
                OnApply);
 
   /// Arms the first election timeout; call once at cluster start.
-  void start();
+  void start() { dispatch(Core.start()); }
 
   /// Delivers a message to this node.
-  void receive(const SimMsg &M);
+  void receive(const SimMsg &M) {
+    dispatch(Core.onMessage(M, Queue->now()));
+  }
 
   /// Fail-stop: the node ignores messages and timers until restarted.
-  void crash();
+  void crash() { dispatch(Core.crash()); }
 
   /// Restart after a crash: persistent state (term, vote, log) survives;
   /// volatile state (role, vote tallies, leader bookkeeping) resets.
-  void restart();
+  void restart() { dispatch(Core.restart()); }
 
   //===--------------------------------------------------------------===//
   // Leader-side API (cluster/client facing)
@@ -149,95 +112,44 @@ public:
   }
 
   //===--------------------------------------------------------------===//
-  // Introspection
+  // Introspection (forwarded to the core)
   //===--------------------------------------------------------------===//
 
-  NodeId id() const { return Id; }
-  Role role() const { return MyRole; }
-  bool isLeader() const { return MyRole == Role::Leader; }
-  Time term() const { return Term; }
-  size_t commitIndex() const { return CommitIndex; }
-  size_t logSize() const { return Log.size(); }
+  NodeId id() const { return Core.id(); }
+  Role role() const { return Core.role(); }
+  bool isLeader() const { return Core.isLeader(); }
+  Time term() const { return Core.term(); }
+  size_t commitIndex() const { return Core.commitIndex(); }
+  size_t logSize() const { return Core.logSize(); }
   const SimLogEntry &entry(size_t Index1) const {
-    assert(Index1 >= 1 && Index1 <= Log.size() && "bad log index");
-    return Log[Index1 - 1];
+    return Core.entry(Index1);
   }
   /// The configuration currently in force (hot semantics).
-  Config config() const;
+  Config config() const { return Core.config(); }
   /// The leader this node last heard from (its redirect hint).
-  std::optional<NodeId> leaderHint() const { return LeaderHint; }
+  std::optional<NodeId> leaderHint() const { return Core.leaderHint(); }
   /// True once the node has observed its own committed removal and
   /// gone passive.
-  bool isPassive() const { return Passive; }
+  bool isPassive() const { return Core.isPassive(); }
   /// True while crashed (ignores everything).
-  bool isCrashed() const { return Crashed; }
+  bool isCrashed() const { return Core.isCrashed(); }
 
-  std::string describe() const;
+  std::string describe() const { return Core.describe(); }
+
+  /// The hosted protocol core (read-only), for tests that inspect core
+  /// state directly.
+  const core::RaftCore &core() const { return Core; }
 
 private:
-  // Role transitions.
-  void stepDown(Time NewTerm);
-  void startElection(bool Transfer = false);
-  void becomeLeader();
+  /// Executes the core's effects in emission order against the event
+  /// queue and host callbacks.
+  void dispatch(core::Effects Effs);
 
-  // Timers (generation counters invalidate stale callbacks).
-  void armElectionTimer();
-  void armHeartbeatTimer();
-
-  // Handlers.
-  void onTimeoutNow(const SimMsg &M);
-  void onRequestVote(const SimMsg &M);
-  void onVoteReply(const SimMsg &M);
-  void onAppendEntries(const SimMsg &M);
-  void onAppendReply(const SimMsg &M);
-
-  // Leader machinery.
-  void replicateTo(NodeId Peer);
-  void broadcastAppends();
-  void advanceCommit();
-  void appendOwn(SimLogEntry Entry);
-
-  // Log helpers (1-based).
-  Time lastLogTerm() const { return Log.empty() ? 0 : Log.back().Term; }
-  size_t lastLogIndex() const { return Log.size(); }
-  Config configOfPrefix(size_t Len) const;
-  bool logSatisfiesR2() const;
-  bool logSatisfiesR3() const;
-  void applyUpTo(size_t Index);
-  void updatePassivity();
-
-  NodeId Id;
-  const ReconfigScheme *Scheme;
-  Config InitialConf;
-  NodeOptions Opts;
   EventQueue *Queue;
-  Rng R;
-  std::function<void(SimMsg)> Send;
-  std::function<void(NodeId, size_t, const SimLogEntry &)> OnApply;
+  core::RaftCore Core;
+  std::function<void(SimMsg)> SendFn;
+  std::function<void(NodeId, size_t, const SimLogEntry &)> ApplyFn;
   std::function<void(NodeId, Time)> OnLeader;
-
-  Role MyRole = Role::Follower;
-  Time Term = 0;
-  std::optional<NodeId> VotedFor;
-  std::vector<SimLogEntry> Log;
-  size_t CommitIndex = 0;
-  size_t Applied = 0;
-  NodeSet Votes;
-  std::map<NodeId, size_t> NextIndex;
-  std::map<NodeId, size_t> MatchIndex;
-  std::optional<NodeId> LeaderHint;
-  /// When this node last accepted an AppendEntries from a live leader.
-  /// Votes are refused within ElectionTimeoutMinUs of leader contact
-  /// (Raft §4.2.3): a server campaigning on stale state — typically one
-  /// removed from the configuration while partitioned, which can never
-  /// learn of its removal — would otherwise depose healthy leaders
-  /// forever. Volatile: reset on restart.
-  SimTime LastLeaderContactUs = 0;
-  bool Passive = false;
-  bool Crashed = false;
-
-  uint64_t ElectionGen = 0;
-  uint64_t HeartbeatGen = 0;
 };
 
 } // namespace sim

@@ -1,0 +1,177 @@
+//===- tests/CoreNetModelTest.cpp - Model-checking the production core -------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive and bounded exploration of mc::CoreNetModel — small
+/// clusters of the *production* core::RaftCore (the same translation
+/// unit the simulator and the threaded runtime execute), checked for
+/// election safety, log matching, committed-prefix agreement, and the
+/// R2/R3 reconfiguration disciplines. Also pins that the engine's
+/// results are byte-identical across worker-thread counts, so CI can
+/// run the exploration at ADORE_MC_THREADS=4 without losing
+/// reproducibility.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mc/CoreNetModel.h"
+#include "mc/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::mc;
+
+namespace {
+
+struct ModelHarness {
+  std::unique_ptr<ReconfigScheme> Scheme;
+
+  ModelHarness() { Scheme = makeScheme(SchemeKind::RaftSingleNode); }
+
+  CoreNetModel make(size_t Members, CoreNetModelOptions Opts,
+                    core::CoreOptions CoreOpts = {}) const {
+    return CoreNetModel(*Scheme, Config(NodeSet::range(1, Members)), Opts,
+                        CoreOpts);
+  }
+};
+
+} // namespace
+
+TEST(CoreNetModelTest, TwoNodeExhaustiveNoViolations) {
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 1;
+  Opts.MaxPending = 4;
+  Opts.WithReconfig = false;
+  CoreNetModel M = H.make(2, Opts);
+  Engine<CoreNetModel> E(M);
+  ExploreResult R = E.run();
+  EXPECT_FALSE(R.Violation.has_value()) << *R.Violation << "\nstate:\n"
+                                        << R.ViolatingState;
+  // The frontier drains: this configuration is finite and fully checked.
+  EXPECT_TRUE(R.exhausted());
+  EXPECT_GT(R.States, 100u);
+}
+
+TEST(CoreNetModelTest, ThreeNodeBoundedWithReconfigNoViolations) {
+  // The CI configuration: three production cores, elections to term 2,
+  // one client append, reconfigurations on — bounded by MaxStates so the
+  // run stays inside test budget. Every visited state is invariant-
+  // checked, so truncation only limits coverage, never soundness.
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 1;
+  Opts.MaxPending = 4;
+  Opts.WithReconfig = true;
+  CoreNetModel M = H.make(3, Opts);
+  Engine<CoreNetModel> E(M, ExploreOptions{/*MaxDepth=*/0,
+                                           /*MaxStates=*/150000,
+                                           /*Threads=*/0, {}});
+  ExploreResult R = E.run();
+  EXPECT_FALSE(R.Violation.has_value()) << *R.Violation << "\nstate:\n"
+                                        << R.ViolatingState;
+  EXPECT_GT(R.States, 10000u);
+  EXPECT_GT(R.Depth, 5u);
+}
+
+TEST(CoreNetModelTest, CrashRestartExplorationStaysSafe) {
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 1;
+  Opts.MaxPending = 3;
+  Opts.WithReconfig = false;
+  Opts.ExploreCrash = true;
+  CoreNetModel M = H.make(2, Opts);
+  Engine<CoreNetModel> E(M, ExploreOptions{/*MaxDepth=*/0,
+                                           /*MaxStates=*/100000,
+                                           /*Threads=*/0, {}});
+  ExploreResult R = E.run();
+  EXPECT_FALSE(R.Violation.has_value()) << *R.Violation << "\nstate:\n"
+                                        << R.ViolatingState;
+  EXPECT_GT(R.States, 1000u);
+}
+
+TEST(CoreNetModelTest, SafetyHoldsEvenWithoutVoteStickiness) {
+  // The §4.2.3 stickiness guard is an availability defense, not a
+  // safety mechanism: reintroducing the disruptive-server misbehavior
+  // (cluster-level regression tests in CoreTest show it wrecks
+  // availability) must leave every safety invariant intact.
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 1;
+  Opts.MaxPending = 4;
+  Opts.WithReconfig = true;
+  core::CoreOptions CoreOpts;
+  CoreOpts.DisableVoteStickiness = true;
+  CoreNetModel M = H.make(3, Opts, CoreOpts);
+  Engine<CoreNetModel> E(M, ExploreOptions{/*MaxDepth=*/0,
+                                           /*MaxStates=*/100000,
+                                           /*Threads=*/0, {}});
+  ExploreResult R = E.run();
+  EXPECT_FALSE(R.Violation.has_value()) << *R.Violation << "\nstate:\n"
+                                        << R.ViolatingState;
+}
+
+TEST(CoreNetModelTest, StickinessWindowChangesTheExploredGraph) {
+  // The guard must be visible to the model checker: with it on, each
+  // stickiness-sensitive RequestVote delivers both inside the contact
+  // window (refused — a collapsing no-op transition) and past it
+  // (considered); with the misbehavior flag every in-window delivery is
+  // processed instead. The transition counts of the two exhaustive runs
+  // must therefore differ — if they ever converge, the two-variant
+  // delivery logic (or the guard itself) has silently stopped mattering.
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 0;
+  Opts.MaxPending = 3;
+  Opts.WithReconfig = false;
+
+  CoreNetModel MG = H.make(2, Opts);
+  Engine<CoreNetModel> E1(MG);
+  ExploreResult RG = E1.run();
+
+  core::CoreOptions Disabled;
+  Disabled.DisableVoteStickiness = true;
+  CoreNetModel MD = H.make(2, Opts, Disabled);
+  Engine<CoreNetModel> E2(MD);
+  ExploreResult RD = E2.run();
+
+  EXPECT_TRUE(RG.exhausted());
+  EXPECT_TRUE(RD.exhausted());
+  EXPECT_FALSE(RG.Violation.has_value());
+  EXPECT_FALSE(RD.Violation.has_value());
+  EXPECT_NE(RG.Transitions, RD.Transitions);
+}
+
+TEST(CoreNetModelTest, ResultsAreIdenticalAcrossThreadCounts) {
+  // Level-synchronous BFS promises byte-identical results for any
+  // worker count; CI runs at ADORE_MC_THREADS=4 relying on it.
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 1;
+  Opts.MaxPending = 4;
+  Opts.WithReconfig = true;
+  ExploreResult Results[2];
+  const unsigned Threads[2] = {1, 4};
+  for (int I = 0; I != 2; ++I) {
+    CoreNetModel M = H.make(3, Opts);
+    Engine<CoreNetModel> E(M, ExploreOptions{/*MaxDepth=*/0,
+                                             /*MaxStates=*/60000,
+                                             Threads[I], {}});
+    Results[I] = E.run();
+  }
+  EXPECT_EQ(Results[0].Violation, Results[1].Violation);
+  EXPECT_EQ(Results[0].States, Results[1].States);
+  EXPECT_EQ(Results[0].Transitions, Results[1].Transitions);
+  EXPECT_EQ(Results[0].Depth, Results[1].Depth);
+  EXPECT_EQ(Results[0].Truncated, Results[1].Truncated);
+}

@@ -1,0 +1,625 @@
+//===- tests/CoreTest.cpp - Sans-I/O Raft core tests -------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for core::RaftCore driven entirely by hand-built inputs —
+/// no event queue, no threads, no model checker. Also pins the shared
+/// raft/Message.h log-comparison helpers (deduplicated from the sim and
+/// raft layers) and the Raft §4.2.3 vote-stickiness guard, both at the
+/// single-core level and as a full-cluster disruptive-server regression
+/// test in the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/RaftCore.h"
+#include "sim/Cluster.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::core;
+
+//===----------------------------------------------------------------------===//
+// Shared log-comparison helpers (satellite: deduplicated into
+// raft/Message.h; these pin the edge cases both callers rely on).
+//===----------------------------------------------------------------------===//
+
+TEST(LogHelpersTest, AtLeastAsUpToDateEmptyLogs) {
+  // Two empty logs tie, and a tie counts as "at least as up to date".
+  EXPECT_TRUE(raft::logAtLeastAsUpToDate(0, 0, 0, 0));
+}
+
+TEST(LogHelpersTest, AtLeastAsUpToDateTermDominatesLength) {
+  // A shorter log with a higher last term wins.
+  EXPECT_TRUE(raft::logAtLeastAsUpToDate(3, 1, 2, 100));
+  EXPECT_FALSE(raft::logAtLeastAsUpToDate(2, 100, 3, 1));
+}
+
+TEST(LogHelpersTest, AtLeastAsUpToDateLengthBreaksTermTies) {
+  EXPECT_TRUE(raft::logAtLeastAsUpToDate(2, 5, 2, 5));  // Exact tie.
+  EXPECT_TRUE(raft::logAtLeastAsUpToDate(2, 6, 2, 5));  // Longer wins.
+  EXPECT_FALSE(raft::logAtLeastAsUpToDate(2, 4, 2, 5)); // Shorter loses.
+}
+
+TEST(LogHelpersTest, AtLeastAsUpToDateAgainstEmpty) {
+  // Anything is at least as up to date as an empty log; the empty log is
+  // only as up to date as another empty log.
+  EXPECT_TRUE(raft::logAtLeastAsUpToDate(1, 1, 0, 0));
+  EXPECT_FALSE(raft::logAtLeastAsUpToDate(0, 0, 1, 1));
+}
+
+TEST(LogHelpersTest, LastLogTermEmptyIsZero) {
+  std::vector<LogEntry> Empty;
+  EXPECT_EQ(raft::lastLogTerm(Empty), 0u);
+  LogEntry E;
+  E.Term = 7;
+  std::vector<LogEntry> One{E};
+  EXPECT_EQ(raft::lastLogTerm(One), 7u);
+}
+
+TEST(LogHelpersTest, LogUpToDateAcrossEntryTypes) {
+  // The template helpers compare a core::LogEntry log against a
+  // raft::Entry log through their ADL entryTerm hooks — exactly how the
+  // refinement layer matches the executable node against the spec.
+  LogEntry C1;
+  C1.Term = 2;
+  std::vector<LogEntry> CoreLog{C1};
+
+  raft::Entry R1;
+  R1.T = 1;
+  std::vector<raft::Entry> SpecLog{R1, R1};
+
+  // Core log: last term 2, length 1. Spec log: last term 1, length 2.
+  EXPECT_TRUE(raft::logUpToDate(CoreLog, SpecLog));
+  EXPECT_FALSE(raft::logUpToDate(SpecLog, CoreLog));
+}
+
+TEST(LogHelpersTest, ConfigOfPrefixPicksNewestReconfigInPrefix) {
+  Config Initial(NodeSet{1, 2, 3});
+  Config Grown(NodeSet{1, 2, 3, 4});
+  Config Shrunk(NodeSet{1, 2});
+
+  std::vector<LogEntry> Log(4);
+  Log[1].Kind = raft::EntryKind::Reconfig;
+  Log[1].Conf = Grown;
+  Log[3].Kind = raft::EntryKind::Reconfig;
+  Log[3].Conf = Shrunk;
+
+  EXPECT_EQ(raft::configOfPrefix(Log, 0, Initial), Initial);
+  EXPECT_EQ(raft::configOfPrefix(Log, 1, Initial), Initial);
+  EXPECT_EQ(raft::configOfPrefix(Log, 2, Initial), Grown);
+  EXPECT_EQ(raft::configOfPrefix(Log, 3, Initial), Grown);
+  EXPECT_EQ(raft::configOfPrefix(Log, 4, Initial), Shrunk);
+}
+
+//===----------------------------------------------------------------------===//
+// RaftCore fixture: a 3-node configuration, cores driven by hand
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CoreHarness {
+  std::unique_ptr<ReconfigScheme> Scheme;
+  Config Conf;
+  CoreOptions Opts;
+
+  CoreHarness() : Conf(NodeSet{1, 2, 3}) {
+    Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  }
+
+  RaftCore make(NodeId Id, uint64_t Seed = 1) const {
+    return RaftCore(Id, *Scheme, Conf, Opts, Seed);
+  }
+};
+
+/// Counts effects of one kind.
+size_t count(const Effects &Effs, Effect::Kind K) {
+  size_t N = 0;
+  for (const Effect &E : Effs)
+    N += E.K == K;
+  return N;
+}
+
+/// First effect of one kind, or nullptr.
+const Effect *find(const Effects &Effs, Effect::Kind K) {
+  for (const Effect &E : Effs)
+    if (E.K == K)
+      return &E;
+  return nullptr;
+}
+
+/// Drives \p C through a full election: fire its election timer, then
+/// feed it a granted vote from node 2. Returns the election's effects.
+Effects electLeader(RaftCore &C) {
+  Effects Out = C.onTimer(TimerId::Election, C.electionGen(), /*Now=*/0);
+  EXPECT_EQ(C.role(), Role::Candidate);
+  Msg Grant;
+  Grant.K = Msg::Kind::VoteReply;
+  Grant.From = 2;
+  Grant.To = C.id();
+  Grant.Term = C.term();
+  Grant.Granted = true;
+  Effects Win = C.onMessage(Grant, /*Now=*/0);
+  Out.insert(Out.end(), Win.begin(), Win.end());
+  EXPECT_TRUE(C.isLeader());
+  return Out;
+}
+
+} // namespace
+
+TEST(RaftCoreTest, StartArmsElectionTimerWithinBounds) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  Effects Effs = C.start();
+  ASSERT_EQ(Effs.size(), 1u);
+  EXPECT_EQ(Effs[0].K, Effect::Kind::SetTimer);
+  EXPECT_EQ(Effs[0].Timer, TimerId::Election);
+  EXPECT_EQ(Effs[0].TimerGen, 1u);
+  EXPECT_EQ(Effs[0].TimerGen, C.electionGen());
+  EXPECT_GE(Effs[0].DelayUs, H.Opts.ElectionTimeoutMinUs);
+  EXPECT_LE(Effs[0].DelayUs, H.Opts.ElectionTimeoutMaxUs);
+}
+
+TEST(RaftCoreTest, ElectionTimeoutStartsCampaign) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  Effects Effs = C.onTimer(TimerId::Election, C.electionGen(), 0);
+  EXPECT_EQ(C.role(), Role::Candidate);
+  EXPECT_EQ(C.term(), 1u);
+  // A fresh retry timer, RequestVotes to both peers, and a Persist for
+  // the term/vote change.
+  EXPECT_EQ(count(Effs, Effect::Kind::SetTimer), 1u);
+  EXPECT_EQ(count(Effs, Effect::Kind::Send), 2u);
+  EXPECT_EQ(count(Effs, Effect::Kind::Persist), 1u);
+  for (const Effect &E : Effs)
+    if (E.K == Effect::Kind::Send) {
+      EXPECT_EQ(E.M.K, Msg::Kind::RequestVote);
+      EXPECT_EQ(E.M.Term, 1u);
+      EXPECT_FALSE(E.M.TransferElection);
+    }
+}
+
+TEST(RaftCoreTest, StaleTimerGenerationIsIgnored) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  uint64_t Stale = C.electionGen();
+  // Granting a vote re-arms the election timer, invalidating Stale.
+  Msg RV;
+  RV.K = Msg::Kind::RequestVote;
+  RV.From = 2;
+  RV.To = 1;
+  RV.Term = 1;
+  C.onMessage(RV, 0);
+  ASSERT_NE(C.electionGen(), Stale);
+  Effects Effs = C.onTimer(TimerId::Election, Stale, 0);
+  EXPECT_TRUE(Effs.empty());
+  EXPECT_EQ(C.role(), Role::Follower);
+}
+
+TEST(RaftCoreTest, QuorumOfVotesElectsAndEmitsLeaderEffects) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  Effects Effs = electLeader(C);
+  const Effect *Led = find(Effs, Effect::Kind::LeaderElected);
+  ASSERT_NE(Led, nullptr);
+  EXPECT_EQ(Led->Term, 1u);
+  // The term-start no-op barrier is appended and replicated.
+  ASSERT_EQ(C.logSize(), 1u);
+  EXPECT_EQ(C.entry(1).Term, 1u);
+  EXPECT_EQ(C.entry(1).Kind, raft::EntryKind::Method);
+  EXPECT_EQ(C.entry(1).Method, 0u);
+  // A heartbeat timer is armed; AppendEntries go to both peers.
+  bool SawHeartbeat = false;
+  size_t Appends = 0;
+  for (const Effect &E : Effs) {
+    if (E.K == Effect::Kind::SetTimer && E.Timer == TimerId::Heartbeat)
+      SawHeartbeat = true;
+    if (E.K == Effect::Kind::Send && E.M.K == Msg::Kind::AppendEntries)
+      ++Appends;
+  }
+  EXPECT_TRUE(SawHeartbeat);
+  EXPECT_EQ(Appends, 2u);
+}
+
+TEST(RaftCoreTest, DuplicateVoteFromSameNodeDoesNotElect) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  C.onTimer(TimerId::Election, C.electionGen(), 0);
+  Msg Grant;
+  Grant.K = Msg::Kind::VoteReply;
+  Grant.From = 1; // Own vote echoed back: no new information.
+  Grant.To = 1;
+  Grant.Term = C.term();
+  Grant.Granted = true;
+  C.onMessage(Grant, 0);
+  EXPECT_EQ(C.role(), Role::Candidate);
+}
+
+TEST(RaftCoreTest, SubmitRejectedUnlessLeader) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  Effects Out;
+  EXPECT_FALSE(C.submit(42, 1, Out));
+  EXPECT_TRUE(Out.empty());
+  electLeader(C);
+  EXPECT_TRUE(C.submit(42, 1, Out));
+  EXPECT_EQ(C.logSize(), 2u);
+  EXPECT_EQ(C.entry(2).Method, 42u);
+  EXPECT_EQ(C.entry(2).ClientSeq, 1u);
+  // The append replicates to both peers and persists.
+  EXPECT_EQ(count(Out, Effect::Kind::Send), 2u);
+  EXPECT_EQ(count(Out, Effect::Kind::Persist), 1u);
+}
+
+TEST(RaftCoreTest, CommitRequiresQuorumThenAppliesInOrder) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  electLeader(C);
+  EXPECT_EQ(C.commitIndex(), 0u);
+  // Node 2 acknowledges the no-op: {1, 2} is a quorum of three.
+  Msg Ack;
+  Ack.K = Msg::Kind::AppendReply;
+  Ack.From = 2;
+  Ack.To = 1;
+  Ack.Term = C.term();
+  Ack.Success = true;
+  Ack.MatchIndex = 1;
+  Effects Effs = C.onMessage(Ack, 0);
+  EXPECT_EQ(C.commitIndex(), 1u);
+  const Effect *Commit = find(Effs, Effect::Kind::CommitAdvanced);
+  ASSERT_NE(Commit, nullptr);
+  EXPECT_EQ(Commit->Index, 1u);
+  const Effect *Apply = find(Effs, Effect::Kind::Apply);
+  ASSERT_NE(Apply, nullptr);
+  EXPECT_EQ(Apply->Index, 1u);
+  EXPECT_EQ(Apply->Entry, C.entry(1));
+}
+
+TEST(RaftCoreTest, FollowerAppendsTruncatesConflictsAndApplies) {
+  CoreHarness H;
+  RaftCore C = H.make(2);
+  C.start();
+  // A leader in term 1 sends two entries.
+  LogEntry E1, E2;
+  E1.Term = 1;
+  E2.Term = 1;
+  E2.Method = 5;
+  Msg App;
+  App.K = Msg::Kind::AppendEntries;
+  App.From = 1;
+  App.To = 2;
+  App.Term = 1;
+  App.PrevIndex = 0;
+  App.Entries = {E1, E2};
+  App.LeaderCommit = 1;
+  Effects Effs = C.onMessage(App, 1000);
+  EXPECT_EQ(C.logSize(), 2u);
+  EXPECT_EQ(C.commitIndex(), 1u);
+  EXPECT_EQ(C.term(), 1u);
+  EXPECT_EQ(C.leaderHint(), std::optional<NodeId>(1));
+  const Effect *Reply = find(Effs, Effect::Kind::Send);
+  ASSERT_NE(Reply, nullptr);
+  EXPECT_EQ(Reply->M.K, Msg::Kind::AppendReply);
+  EXPECT_TRUE(Reply->M.Success);
+  EXPECT_EQ(Reply->M.MatchIndex, 2u);
+
+  // A newer leader (term 2) overwrites the uncommitted slot 2.
+  LogEntry N2;
+  N2.Term = 2;
+  N2.Method = 9;
+  Msg App2;
+  App2.K = Msg::Kind::AppendEntries;
+  App2.From = 3;
+  App2.To = 2;
+  App2.Term = 2;
+  App2.PrevIndex = 1;
+  App2.PrevTerm = 1;
+  App2.Entries = {N2};
+  App2.LeaderCommit = 2;
+  C.onMessage(App2, 2000);
+  EXPECT_EQ(C.logSize(), 2u);
+  EXPECT_EQ(C.entry(2).Term, 2u);
+  EXPECT_EQ(C.entry(2).Method, 9u);
+  EXPECT_EQ(C.commitIndex(), 2u);
+}
+
+TEST(RaftCoreTest, MismatchedPrevSlotIsRejectedWithHint) {
+  CoreHarness H;
+  RaftCore C = H.make(2);
+  C.start();
+  Msg App;
+  App.K = Msg::Kind::AppendEntries;
+  App.From = 1;
+  App.To = 2;
+  App.Term = 1;
+  App.PrevIndex = 5; // We have nothing at slot 5.
+  App.PrevTerm = 1;
+  Effects Effs = C.onMessage(App, 0);
+  const Effect *Reply = find(Effs, Effect::Kind::Send);
+  ASSERT_NE(Reply, nullptr);
+  EXPECT_FALSE(Reply->M.Success);
+  EXPECT_EQ(Reply->M.MatchIndex, 0u); // Longest possibly matching prefix.
+}
+
+TEST(RaftCoreTest, CrashDropsVolatileStateRestartKeepsDurable) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  electLeader(C);
+  Effects Out;
+  C.submit(7, 1, Out);
+  Time TermBefore = C.term();
+  size_t LogBefore = C.logSize();
+
+  Effects CrashEffs = C.crash();
+  EXPECT_TRUE(C.isCrashed());
+  EXPECT_FALSE(C.isLeader());
+  EXPECT_EQ(count(CrashEffs, Effect::Kind::CancelTimer), 2u);
+  // Crashed cores ignore everything.
+  EXPECT_TRUE(C.onTimer(TimerId::Election, C.electionGen(), 0).empty());
+  EXPECT_FALSE(C.submit(8, 2, Out));
+
+  Effects RestartEffs = C.restart();
+  EXPECT_FALSE(C.isCrashed());
+  EXPECT_EQ(C.role(), Role::Follower);
+  EXPECT_EQ(C.term(), TermBefore);   // Durable state survives...
+  EXPECT_EQ(C.logSize(), LogBefore); // ...including the log.
+  EXPECT_FALSE(C.leaderHint().has_value()); // Volatile state does not.
+  EXPECT_EQ(count(RestartEffs, Effect::Kind::SetTimer), 1u);
+}
+
+TEST(RaftCoreTest, CoresAreCopyableValues) {
+  // Copy a core mid-protocol; both copies must evolve identically under
+  // identical inputs (the Rng is owned by value).
+  CoreHarness H;
+  RaftCore A = H.make(1);
+  A.start();
+  RaftCore B = A;
+  Effects EA = A.onTimer(TimerId::Election, A.electionGen(), 0);
+  Effects EB = B.onTimer(TimerId::Election, B.electionGen(), 0);
+  ASSERT_EQ(EA.size(), EB.size());
+  for (size_t I = 0; I != EA.size(); ++I)
+    EXPECT_EQ(EA[I].str(), EB[I].str());
+  EXPECT_EQ(A.describe(), B.describe());
+}
+
+TEST(RaftCoreTest, StepVariantRoutesLikeDirectCalls) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  electLeader(C);
+  Effects ViaStep = C.step(ClientRequest{11, 3}, 0);
+  EXPECT_EQ(C.entry(C.logSize()).Method, 11u);
+  EXPECT_FALSE(ViaStep.empty());
+  EXPECT_TRUE(C.step(Tick{}, 0).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Reconfiguration guards
+//===----------------------------------------------------------------------===//
+
+TEST(RaftCoreTest, ReconfigGuardsRejectBeforeR3Holds) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  electLeader(C);
+  // R3 fails until an own-term entry commits.
+  EXPECT_FALSE(C.logSatisfiesR3());
+  Effects Out;
+  EXPECT_FALSE(C.requestReconfig(Config(NodeSet{1, 2}), Out));
+
+  // Commit the no-op barrier; now R2 and R3 hold and the request lands.
+  Msg Ack;
+  Ack.K = Msg::Kind::AppendReply;
+  Ack.From = 2;
+  Ack.To = 1;
+  Ack.Term = C.term();
+  Ack.Success = true;
+  Ack.MatchIndex = 1;
+  C.onMessage(Ack, 0);
+  EXPECT_TRUE(C.logSatisfiesR2());
+  EXPECT_TRUE(C.logSatisfiesR3());
+  EXPECT_TRUE(C.requestReconfig(Config(NodeSet{1, 2}), Out));
+  EXPECT_EQ(C.entry(C.logSize()).Kind, raft::EntryKind::Reconfig);
+  // R2 now blocks a second reconfig until the first commits.
+  EXPECT_FALSE(C.logSatisfiesR2());
+  EXPECT_FALSE(C.requestReconfig(Config(NodeSet{1, 2, 3}), Out));
+}
+
+TEST(RaftCoreTest, LeaderNeverRemovesItself) {
+  CoreHarness H;
+  RaftCore C = H.make(1);
+  C.start();
+  electLeader(C);
+  Msg Ack;
+  Ack.K = Msg::Kind::AppendReply;
+  Ack.From = 2;
+  Ack.To = 1;
+  Ack.Term = C.term();
+  Ack.Success = true;
+  Ack.MatchIndex = 1;
+  C.onMessage(Ack, 0);
+  Effects Out;
+  EXPECT_FALSE(C.requestReconfig(Config(NodeSet{2, 3}), Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Vote stickiness (Raft §4.2.3) — core level
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Feeds \p C a heartbeat from node 1 at \p Now, then a RequestVote from
+/// node 3 at \p VoteNow, and reports whether the vote was processed (any
+/// effects emitted / term adopted).
+Effects contactThenVote(RaftCore &C, uint64_t Now, uint64_t VoteNow) {
+  Msg Beat;
+  Beat.K = Msg::Kind::AppendEntries;
+  Beat.From = 1;
+  Beat.To = C.id();
+  Beat.Term = 1;
+  C.onMessage(Beat, Now);
+  Msg RV;
+  RV.K = Msg::Kind::RequestVote;
+  RV.From = 3;
+  RV.To = C.id();
+  RV.Term = 99;
+  return C.onMessage(RV, VoteNow);
+}
+
+} // namespace
+
+TEST(VoteStickinessTest, RecentLeaderContactSuppressesVote) {
+  CoreHarness H;
+  RaftCore C = H.make(2);
+  C.start();
+  // The vote arrives well inside the minimum election timeout: ignored
+  // entirely, without even adopting the higher term.
+  Effects Effs = contactThenVote(C, 1000, 2000);
+  EXPECT_TRUE(Effs.empty());
+  EXPECT_EQ(C.term(), 1u);
+}
+
+TEST(VoteStickinessTest, ExpiredContactWindowAllowsVote) {
+  CoreHarness H;
+  RaftCore C = H.make(2);
+  C.start();
+  uint64_t Late = 1000 + H.Opts.ElectionTimeoutMinUs;
+  Effects Effs = contactThenVote(C, 1000, Late);
+  EXPECT_FALSE(Effs.empty());
+  EXPECT_EQ(C.term(), 99u);
+}
+
+TEST(VoteStickinessTest, TransferElectionsAreExempt) {
+  CoreHarness H;
+  RaftCore C = H.make(2);
+  C.start();
+  Msg Beat;
+  Beat.K = Msg::Kind::AppendEntries;
+  Beat.From = 1;
+  Beat.To = 2;
+  Beat.Term = 1;
+  C.onMessage(Beat, 1000);
+  Msg RV;
+  RV.K = Msg::Kind::RequestVote;
+  RV.From = 3;
+  RV.To = 2;
+  RV.Term = 2;
+  RV.TransferElection = true;
+  Effects Effs = C.onMessage(RV, 2000);
+  EXPECT_FALSE(Effs.empty());
+  EXPECT_EQ(C.term(), 2u);
+}
+
+TEST(VoteStickinessTest, InjectedMisbehaviorDropsTheGuard) {
+  CoreHarness H;
+  H.Opts.DisableVoteStickiness = true;
+  RaftCore C = H.make(2);
+  C.start();
+  // Same stimulus as RecentLeaderContactSuppressesVote, but with the
+  // injectable misbehavior the disruptive vote is processed.
+  Effects Effs = contactThenVote(C, 1000, 2000);
+  EXPECT_FALSE(Effs.empty());
+  EXPECT_EQ(C.term(), 99u);
+}
+
+//===----------------------------------------------------------------------===//
+// Vote stickiness — cluster-level disruptive-server regression (§4.2.3)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the §4.2.3 disruptive-server scenario: partition a follower
+/// away, remove it from the configuration while it cannot hear about
+/// it, let its term climb, then heal. Returns how far the *members'*
+/// term rose after the heal (0 = the stale server never disrupted them).
+Time disruptionAfterHeal(bool DisableStickiness) {
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  sim::ClusterOptions Opts;
+  Opts.Node.DisableVoteStickiness = DisableStickiness;
+  Config Initial(NodeSet::range(1, 3));
+  sim::Cluster C(*Scheme, Initial, NodeSet::range(1, 3), Opts, /*Seed=*/11);
+  C.start();
+  auto Leader = C.runUntilLeader(5000000);
+  EXPECT_TRUE(Leader.has_value());
+  if (!Leader)
+    return 0;
+
+  // Partition a non-leader away; its election attempts inflate its term.
+  NodeId Victim = *Leader == 3 ? 2 : 3;
+  NodeSet Others;
+  for (NodeId Id : NodeSet::range(1, 3))
+    if (Id != Victim)
+      Others.insert(Id);
+  C.partition(Others);
+
+  // Remove the victim while it is partitioned: it can never learn of
+  // its own removal — exactly the disruptive-server setup.
+  bool Removed = false;
+  C.requestReconfig(Config(Others), [&](bool Ok, sim::SimTime) {
+    Removed = Ok;
+  });
+  sim::SimTime Deadline = C.queue().now() + 20000000;
+  while (!Removed && C.queue().now() < Deadline && C.queue().runNext())
+    ;
+  EXPECT_TRUE(Removed);
+
+  // Let the victim's term climb well past the members'.
+  C.queue().runUntil(C.queue().now() + 3000000);
+  EXPECT_GT(C.node(Victim).term(), C.node(*Leader).term());
+
+  // Heal and give the stale server a fixed window to cause trouble.
+  Time MemberTermAtHeal = C.node(*Leader).term();
+  C.heal();
+  C.queue().runUntil(C.queue().now() + 3000000);
+
+  Time MaxMemberTerm = 0;
+  for (NodeId Id : Others)
+    MaxMemberTerm = std::max(MaxMemberTerm, C.node(Id).term());
+  EXPECT_FALSE(C.checkLeaderUniqueness().has_value());
+  return MaxMemberTerm - MemberTermAtHeal;
+}
+
+} // namespace
+
+TEST(VoteStickinessTest, GuardKeepsRemovedServerFromDisruptingMembers) {
+  // With the guard, members refuse the removed server's votes (recent
+  // leader contact) and their term stays flat after the heal.
+  EXPECT_EQ(disruptionAfterHeal(/*DisableStickiness=*/false), 0u);
+}
+
+TEST(VoteStickinessTest, WithoutGuardRemovedServerDeposesLeaders) {
+  // Reintroduce the bug: the removed server's inflated-term RequestVotes
+  // are processed, dragging the members' terms up and deposing leaders.
+  EXPECT_GT(disruptionAfterHeal(/*DisableStickiness=*/true), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// EventQueue past-schedule clamp (satellite: assert -> counted clamp)
+//===----------------------------------------------------------------------===//
+
+TEST(EventQueueClampTest, SchedulingIntoThePastClampsAndCounts) {
+  sim::EventQueue Q;
+  Q.scheduleAt(100, [] {});
+  Q.runUntil(100);
+  ASSERT_EQ(Q.now(), 100u);
+  std::vector<int> Order;
+  Q.scheduleAt(50, [&] { Order.push_back(1); });  // In the past: clamped.
+  Q.scheduleAt(100, [&] { Order.push_back(2); }); // "Now": fine.
+  EXPECT_EQ(Q.stats().ClampedPastSchedules, 1u);
+  while (Q.runNext())
+    ;
+  // The clamped event runs at now, keeping FIFO order among same-time
+  // events, and the clock never moves backwards.
+  EXPECT_EQ(Order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(Q.now(), 100u);
+}

@@ -1,0 +1,359 @@
+//===- tests/JsonTest.cpp - JSON writer tests --------------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests support/Json.h: string escaping (quotes, backslashes, control
+/// characters, UTF-8 passthrough), comma/nesting discipline, and a
+/// round-trip through a minimal in-test parser. Also smoke-checks the
+/// bench-JSON schema: a ChaosRunResult emitted through the writer must
+/// parse back and carry the keys downstream tooling reads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "chaos/ChaosRun.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+
+using namespace adore;
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON parser (test-local; emission-only library by design)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+
+  const JsonValue *field(const std::string &Name) const {
+    auto It = Obj.find(Name);
+    return It == Obj.end() ? nullptr : &It->second;
+  }
+};
+
+/// Recursive-descent JSON parser, strict enough for round-trip checks.
+struct JsonParser {
+  const std::string &S;
+  size_t Pos = 0;
+  bool Ok = true;
+
+  explicit JsonParser(const std::string &S) : S(S) {}
+
+  void ws() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\n' ||
+                              S[Pos] == '\t' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    ws();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return Ok = false;
+  }
+
+  bool lit(const char *Word) {
+    for (const char *P = Word; *P; ++P)
+      if (Pos >= S.size() || S[Pos++] != *P)
+        return Ok = false;
+    return true;
+  }
+
+  JsonValue parse() {
+    JsonValue V = value();
+    ws();
+    if (Pos != S.size())
+      Ok = false;
+    return V;
+  }
+
+  JsonValue value() {
+    JsonValue V;
+    ws();
+    if (Pos >= S.size()) {
+      Ok = false;
+      return V;
+    }
+    char C = S[Pos];
+    if (C == '{') {
+      ++Pos;
+      V.K = JsonValue::Kind::Object;
+      ws();
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return V;
+      }
+      do {
+        JsonValue Key = value();
+        if (!Ok || Key.K != JsonValue::Kind::String || !eat(':'))
+          return V;
+        V.Obj[Key.Str] = value();
+        ws();
+      } while (Ok && Pos < S.size() && S[Pos] == ',' && ++Pos);
+      eat('}');
+    } else if (C == '[') {
+      ++Pos;
+      V.K = JsonValue::Kind::Array;
+      ws();
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return V;
+      }
+      do {
+        V.Arr.push_back(value());
+        ws();
+      } while (Ok && Pos < S.size() && S[Pos] == ',' && ++Pos);
+      eat(']');
+    } else if (C == '"') {
+      V.K = JsonValue::Kind::String;
+      V.Str = string();
+    } else if (C == 't') {
+      V.K = JsonValue::Kind::Bool;
+      V.B = true;
+      lit("true");
+    } else if (C == 'f') {
+      V.K = JsonValue::Kind::Bool;
+      lit("false");
+    } else if (C == 'n') {
+      lit("null");
+    } else {
+      V.K = JsonValue::Kind::Number;
+      size_t End = Pos;
+      while (End < S.size() &&
+             (std::isdigit(static_cast<unsigned char>(S[End])) ||
+              S[End] == '-' || S[End] == '+' || S[End] == '.' ||
+              S[End] == 'e' || S[End] == 'E'))
+        ++End;
+      if (End == Pos) {
+        Ok = false;
+        return V;
+      }
+      V.Num = std::stod(S.substr(Pos, End - Pos));
+      Pos = End;
+    }
+    return V;
+  }
+
+  std::string string() {
+    std::string Out;
+    if (!eat('"'))
+      return Out;
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size()) {
+        Ok = false;
+        return Out;
+      }
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size()) {
+          Ok = false;
+          return Out;
+        }
+        unsigned Code = std::stoul(S.substr(Pos, 4), nullptr, 16);
+        Pos += 4;
+        if (Code > 0xFF) { // The writer only emits \u00XX.
+          Ok = false;
+          return Out;
+        }
+        Out += static_cast<char>(Code);
+        break;
+      }
+      default:
+        Ok = false;
+        return Out;
+      }
+    }
+    if (!eat('"'))
+      Ok = false;
+    return Out;
+  }
+};
+
+/// Emits one string value through the writer and returns the raw bytes
+/// between the enclosing array brackets.
+std::string emitted(const std::string &V) {
+  JsonWriter W;
+  W.beginArray().value(V).endArray();
+  std::string Out = W.str();
+  return Out.substr(1, Out.size() - 2);
+}
+
+/// Writer -> parser round trip of one string.
+std::string roundTrip(const std::string &V) {
+  std::string Bytes = emitted(V); // Keep alive: the parser holds a reference.
+  JsonParser P(Bytes);
+  std::string Out = P.string();
+  EXPECT_TRUE(P.Ok) << "unparseable: " << Bytes;
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Escaping
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(emitted("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(emitted("C:\\path\\file"), "\"C:\\\\path\\\\file\"");
+  EXPECT_EQ(roundTrip("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(roundTrip("C:\\path\\file"), "C:\\path\\file");
+}
+
+TEST(JsonWriterTest, EscapesNamedControlCharacters) {
+  EXPECT_EQ(emitted("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+  EXPECT_EQ(roundTrip("a\nb\tc\rd"), "a\nb\tc\rd");
+}
+
+TEST(JsonWriterTest, EscapesRemainingControlCharactersAsUnicode) {
+  std::string In;
+  In += char(0x01);
+  In += char(0x1F);
+  In += char(0x00);
+  EXPECT_EQ(emitted(In), "\"\\u0001\\u001f\\u0000\"");
+  EXPECT_EQ(roundTrip(In), In);
+}
+
+TEST(JsonWriterTest, PassesUtf8BytesThrough) {
+  // Multi-byte UTF-8 sequences (all bytes >= 0x80) are emitted verbatim.
+  std::string In = "caf\xC3\xA9 \xE2\x86\x92 \xF0\x9F\x8E\x89";
+  EXPECT_EQ(emitted(In), "\"" + In + "\"");
+  EXPECT_EQ(roundTrip(In), In);
+}
+
+TEST(JsonWriterTest, EscapesKeysLikeValues) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("weird \"key\"\n").value(uint64_t(1));
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"weird \\\"key\\\"\\n\":1}");
+}
+
+//===----------------------------------------------------------------------===//
+// Structure and round trip
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriterTest, CommaPlacementAcrossNestedContainers) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("a").value(uint64_t(1));
+  W.key("b").beginArray();
+  W.value(uint64_t(2)).value("three").value(true);
+  W.beginObject().key("four").value(int64_t(-4)).endObject();
+  W.endArray();
+  W.key("c").beginObject().endObject();
+  W.endObject();
+  EXPECT_EQ(W.str(),
+            "{\"a\":1,\"b\":[2,\"three\",true,{\"four\":-4}],\"c\":{}}");
+}
+
+TEST(JsonWriterTest, NestedDocumentRoundTrips) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("name").value("chaos \"sweep\"");
+  W.key("count").value(uint64_t(1234567890123ull));
+  W.key("ratio").value(0.25);
+  W.key("ok").value(false);
+  W.key("rows").beginArray();
+  for (int I = 0; I != 3; ++I) {
+    W.beginObject();
+    W.key("idx").value(I);
+    W.key("tag").value(std::string("line\n") + std::to_string(I));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  JsonParser P(W.str());
+  JsonValue Doc = P.parse();
+  ASSERT_TRUE(P.Ok) << W.str();
+  ASSERT_EQ(Doc.K, JsonValue::Kind::Object);
+  EXPECT_EQ(Doc.field("name")->Str, "chaos \"sweep\"");
+  EXPECT_EQ(Doc.field("count")->Num, 1234567890123.0);
+  EXPECT_EQ(Doc.field("ratio")->Num, 0.25);
+  EXPECT_FALSE(Doc.field("ok")->B);
+  const JsonValue *Rows = Doc.field("rows");
+  ASSERT_NE(Rows, nullptr);
+  ASSERT_EQ(Rows->Arr.size(), 3u);
+  EXPECT_EQ(Rows->Arr[2].field("idx")->Num, 2.0);
+  EXPECT_EQ(Rows->Arr[2].field("tag")->Str, "line\n2");
+}
+
+//===----------------------------------------------------------------------===//
+// Bench-JSON schema smoke
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriterTest, ChaosRunResultSchema) {
+  // Pin the per-run record shape BENCH_chaos.json consumers rely on,
+  // including the queue self-diagnostic added with the clamp-to-now
+  // change and violation reporting on failed runs.
+  chaos::ChaosRunResult R;
+  R.Seed = 99;
+  R.OpsTotal = 10;
+  R.OpsOk = 9;
+  R.OpsIndeterminate = 1;
+  R.ReconfigsCommitted = 2;
+  R.LinStatesExplored = 1234;
+  R.ClampedPastSchedules = 3;
+  R.Violations.push_back("example \"violation\"");
+
+  JsonWriter W;
+  W.beginArray();
+  R.addToJson(W);
+  W.endArray();
+
+  JsonParser P(W.str());
+  JsonValue Doc = P.parse();
+  ASSERT_TRUE(P.Ok) << W.str();
+  ASSERT_EQ(Doc.Arr.size(), 1u);
+  const JsonValue &Run = Doc.Arr[0];
+  EXPECT_EQ(Run.field("seed")->Num, 99.0);
+  ASSERT_NE(Run.field("scenario"), nullptr);
+  EXPECT_FALSE(Run.field("passed")->B);
+  EXPECT_EQ(Run.field("ops")->field("total")->Num, 10.0);
+  EXPECT_EQ(Run.field("ops")->field("indeterminate")->Num, 1.0);
+  ASSERT_NE(Run.field("net"), nullptr);
+  EXPECT_EQ(Run.field("nemesis")->field("reconfigs_committed")->Num, 2.0);
+  EXPECT_EQ(Run.field("lin_states_explored")->Num, 1234.0);
+  EXPECT_EQ(Run.field("clamped_past_schedules")->Num, 3.0);
+  ASSERT_EQ(Run.field("violations")->Arr.size(), 1u);
+  EXPECT_EQ(Run.field("violations")->Arr[0].Str, "example \"violation\"");
+}

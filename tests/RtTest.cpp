@@ -1,0 +1,227 @@
+//===- tests/RtTest.cpp - Real-time runtime tests ----------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the threaded runtime: the wire format (round-trips and
+/// malformed-frame rejection) and RtCluster smoke runs — leader
+/// election, concurrent client traffic, a hot reconfiguration, and a
+/// crash/restart — on real threads against the wall clock. These are
+/// the tests CI runs under ThreadSanitizer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rt/RtCluster.h"
+#include "rt/Wire.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace adore;
+using namespace adore::rt;
+
+//===----------------------------------------------------------------------===//
+// Wire format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+core::Msg sampleMsg(core::Msg::Kind K) {
+  core::Msg M;
+  M.K = K;
+  M.From = 3;
+  M.To = 1;
+  M.Term = 7;
+  switch (K) {
+  case core::Msg::Kind::RequestVote:
+    M.LastLogTerm = 6;
+    M.LastLogIndex = 41;
+    M.TransferElection = true;
+    break;
+  case core::Msg::Kind::VoteReply:
+    M.Granted = true;
+    break;
+  case core::Msg::Kind::AppendEntries: {
+    M.PrevIndex = 12;
+    M.PrevTerm = 5;
+    M.LeaderCommit = 11;
+    core::LogEntry Cmd;
+    Cmd.Term = 6;
+    Cmd.Kind = raft::EntryKind::Method;
+    Cmd.Method = 99;
+    Cmd.ClientSeq = 1234567890123ull;
+    core::LogEntry Rcf;
+    Rcf.Term = 7;
+    Rcf.Kind = raft::EntryKind::Reconfig;
+    Rcf.Conf = Config(NodeSet{1, 3, 5});
+    M.Entries = {Cmd, Rcf};
+    break;
+  }
+  case core::Msg::Kind::AppendReply:
+    M.Success = true;
+    M.MatchIndex = 14;
+    break;
+  case core::Msg::Kind::TimeoutNow:
+    break;
+  }
+  return M;
+}
+
+void expectMsgEq(const core::Msg &A, const core::Msg &B) {
+  EXPECT_EQ(A.K, B.K);
+  EXPECT_EQ(A.From, B.From);
+  EXPECT_EQ(A.To, B.To);
+  EXPECT_EQ(A.Term, B.Term);
+  EXPECT_EQ(A.LastLogTerm, B.LastLogTerm);
+  EXPECT_EQ(A.LastLogIndex, B.LastLogIndex);
+  EXPECT_EQ(A.TransferElection, B.TransferElection);
+  EXPECT_EQ(A.Granted, B.Granted);
+  EXPECT_EQ(A.PrevIndex, B.PrevIndex);
+  EXPECT_EQ(A.PrevTerm, B.PrevTerm);
+  EXPECT_EQ(A.LeaderCommit, B.LeaderCommit);
+  EXPECT_EQ(A.Success, B.Success);
+  EXPECT_EQ(A.MatchIndex, B.MatchIndex);
+  ASSERT_EQ(A.Entries.size(), B.Entries.size());
+  for (size_t I = 0; I != A.Entries.size(); ++I)
+    EXPECT_EQ(A.Entries[I], B.Entries[I]);
+}
+
+} // namespace
+
+TEST(WireTest, RoundTripsEveryMessageKind) {
+  for (auto K :
+       {core::Msg::Kind::RequestVote, core::Msg::Kind::VoteReply,
+        core::Msg::Kind::AppendEntries, core::Msg::Kind::AppendReply,
+        core::Msg::Kind::TimeoutNow}) {
+    core::Msg In = sampleMsg(K);
+    std::string Bytes = encodeMsg(In);
+    core::Msg Out;
+    ASSERT_TRUE(decodeMsg(Bytes, Out));
+    expectMsgEq(In, Out);
+  }
+}
+
+TEST(WireTest, RejectsTruncatedFrames) {
+  std::string Bytes = encodeMsg(sampleMsg(core::Msg::Kind::AppendEntries));
+  core::Msg Out;
+  // Every strict prefix must fail, not crash or mis-parse.
+  for (size_t Len = 0; Len != Bytes.size(); ++Len)
+    EXPECT_FALSE(decodeMsg(Bytes.substr(0, Len), Out)) << "prefix " << Len;
+}
+
+TEST(WireTest, RejectsTrailingGarbage) {
+  std::string Bytes = encodeMsg(sampleMsg(core::Msg::Kind::VoteReply));
+  core::Msg Out;
+  EXPECT_FALSE(decodeMsg(Bytes + "x", Out));
+}
+
+TEST(WireTest, RejectsBadKindAndHugeCounts) {
+  std::string Bytes = encodeMsg(sampleMsg(core::Msg::Kind::AppendEntries));
+  core::Msg Out;
+  {
+    // Corrupt the message-kind byte (the first byte of the frame).
+    std::string Bad = Bytes;
+    Bad[0] = char(0xEE);
+    EXPECT_FALSE(decodeMsg(Bad, Out));
+  }
+  {
+    // An absurd declared entry count (the u64 after the fixed header)
+    // must be rejected before any allocation.
+    constexpr size_t CountOff = 1 + 4 + 4 + 8 * 3 + 2 + 8 * 3 + 1 + 8;
+    std::string Bad = Bytes;
+    for (size_t I = 0; I != 8; ++I)
+      Bad[CountOff + I] = char(0xFF);
+    EXPECT_FALSE(decodeMsg(Bad, Out));
+  }
+  EXPECT_FALSE(decodeMsg(std::string(), Out));
+}
+
+//===----------------------------------------------------------------------===//
+// RtCluster smoke — the TSan targets
+//===----------------------------------------------------------------------===//
+
+TEST(RtClusterTest, ElectsALeaderQuickly) {
+  RtClusterOptions Opts;
+  RtCluster C(Opts);
+  C.start();
+  NodeId Leader = C.waitForLeader(5000);
+  EXPECT_NE(Leader, InvalidNodeId);
+  C.stop();
+  EXPECT_TRUE(C.violations().empty());
+}
+
+TEST(RtClusterTest, ConcurrentClientsAllCommit) {
+  // The headline smoke: 100 operations from four genuinely concurrent
+  // client threads, each observing commitment through the shared ledger.
+  RtClusterOptions Opts;
+  Opts.Seed = 7;
+  RtCluster C(Opts);
+  C.start();
+  ASSERT_NE(C.waitForLeader(5000), InvalidNodeId);
+
+  constexpr int NumClients = 4;
+  constexpr int OpsPerClient = 25;
+  std::atomic<int> Committed{0};
+  std::vector<std::thread> Clients;
+  for (int T = 0; T != NumClients; ++T)
+    Clients.emplace_back([&C, &Committed, T] {
+      for (int I = 0; I != OpsPerClient; ++I)
+        if (C.submitAndWait(MethodId(100 + T * OpsPerClient + I), 10000))
+          ++Committed;
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_EQ(Committed.load(), NumClients * OpsPerClient);
+  C.stop();
+  EXPECT_TRUE(C.violations().empty());
+  EXPECT_TRUE(C.checkFinalAgreement().empty());
+  EXPECT_GE(C.committedCount(), size_t(NumClients * OpsPerClient));
+}
+
+TEST(RtClusterTest, HotReconfigUnderTraffic) {
+  RtClusterOptions Opts;
+  Opts.Seed = 13;
+  RtCluster C(Opts);
+  C.start();
+  ASSERT_NE(C.waitForLeader(5000), InvalidNodeId);
+  ASSERT_TRUE(C.submitAndWait(1, 10000));
+
+  // Shrink by one, keep traffic flowing, then grow back.
+  NodeId Leader = C.waitForLeader(5000);
+  ASSERT_NE(Leader, InvalidNodeId);
+  NodeSet Shrunk;
+  for (NodeId Id : C.scheme().mbrs(C.initialConfig()))
+    if (Id == Leader || Shrunk.size() + 1 < C.numNodes())
+      Shrunk.insert(Id);
+  EXPECT_TRUE(C.reconfigAndWait(Config(Shrunk), 10000));
+  EXPECT_TRUE(C.submitAndWait(2, 10000));
+  EXPECT_TRUE(C.reconfigAndWait(C.initialConfig(), 10000));
+  EXPECT_TRUE(C.submitAndWait(3, 10000));
+
+  C.stop();
+  EXPECT_TRUE(C.violations().empty());
+  EXPECT_TRUE(C.checkFinalAgreement().empty());
+}
+
+TEST(RtClusterTest, SurvivesCrashAndRestart) {
+  RtClusterOptions Opts;
+  Opts.Seed = 23;
+  RtCluster C(Opts);
+  C.start();
+  NodeId Leader = C.waitForLeader(5000);
+  ASSERT_NE(Leader, InvalidNodeId);
+  ASSERT_TRUE(C.submitAndWait(1, 10000));
+
+  // Kill the leader; the survivors fail over and keep committing.
+  C.crash(Leader);
+  EXPECT_TRUE(C.submitAndWait(2, 15000));
+  C.restart(Leader);
+  EXPECT_TRUE(C.submitAndWait(3, 10000));
+
+  C.stop();
+  EXPECT_TRUE(C.violations().empty());
+  EXPECT_TRUE(C.checkFinalAgreement().empty());
+}
