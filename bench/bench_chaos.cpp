@@ -21,10 +21,16 @@
 //   bench_chaos --runtime=R     sim (default: virtual-time simulator) or
 //                               rt (threaded wall-clock runtime; crash
 //                               faults only, few seeds — see RtRun.h)
+//   bench_chaos --durable       back every node with the WAL+snapshot
+//                               store on a fault-injecting disk (the
+//                               disk-faults scenario forces this on)
 //
 // Output: per-run lines for failures, a summary table, and
-// BENCH_chaos.json with machine-readable per-run records. Exit status is
-// nonzero iff any run failed a check; malformed flags exit 2 with usage.
+// BENCH_chaos.json with machine-readable per-run records. With
+// --durable, also BENCH_durability.json with aggregated store counters
+// (recovery time, fsync-batch stats, torn tails detected). Exit status
+// is nonzero iff any run failed a check; malformed flags exit 2 with
+// usage.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,12 +54,13 @@ struct SweepOptions {
   bool Smoke = false;
   std::string OnlyScenario;
   bool RtRuntime = false;
+  bool Durable = false;
 };
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--smoke] [--seeds N] [--scenario NAME] "
-               "[--runtime=sim|rt]\n",
+               "[--runtime=sim|rt] [--durable]\n",
                Prog);
   return 2;
 }
@@ -86,7 +93,9 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0) {
       Sweep.Smoke = true;
-      Sweep.SeedsPerScenario = 25; // 8 scenarios -> 200 runs.
+      Sweep.SeedsPerScenario = 25; // 9 scenarios -> 225 runs.
+    } else if (std::strcmp(Argv[I], "--durable") == 0) {
+      Sweep.Durable = true;
     } else if (std::strcmp(Argv[I], "--seeds") == 0 && I + 1 < Argc) {
       const char *Arg = Argv[++I];
       char *End = nullptr;
@@ -125,9 +134,10 @@ int main(int Argc, char **Argv) {
 
   std::printf("E8: chaos sweep — nemesis faults + linearizability and "
               "safety checks\n");
-  std::printf("%zu seeds per scenario%s, %s runtime\n\n",
+  std::printf("%zu seeds per scenario%s, %s runtime%s\n\n",
               Sweep.SeedsPerScenario, Sweep.Smoke ? " (smoke)" : "",
-              Sweep.RtRuntime ? "rt" : "sim");
+              Sweep.RtRuntime ? "rt" : "sim",
+              Sweep.Durable ? ", durable store" : "");
 
   JsonWriter W;
   W.beginObject();
@@ -138,6 +148,8 @@ int main(int Argc, char **Argv) {
 
   size_t Total = 0, Failures = 0;
   uint64_t TotalLinStates = 0;
+  size_t DurableRuns = 0;
+  store::StoreStats StoreAgg;
   std::printf("%-20s %6s %6s %8s %8s %6s\n", "scenario", "runs", "fail",
               "ops-ok", "indet", "reconf");
   for (Scenario S : allScenarios()) {
@@ -155,11 +167,18 @@ int main(int Argc, char **Argv) {
       if (Sweep.RtRuntime) {
         RtRunOptions RO;
         RO.Kind = S;
+        RO.DurableStore = Sweep.Durable;
         R = runRtScenario(RO, Seed);
       } else {
-        R = runChaosScenario(Opts, Seed);
+        ChaosRunOptions RunOpts = Opts;
+        RunOpts.DurableStore = Sweep.Durable;
+        R = runChaosScenario(RunOpts, Seed);
       }
       ++Total;
+      if (R.DurableStore) {
+        ++DurableRuns;
+        StoreAgg.accumulate(R.Store);
+      }
       OpsOk += R.OpsOk;
       OpsIndet += R.OpsIndeterminate;
       Reconfigs += R.ReconfigsCommitted;
@@ -185,6 +204,41 @@ int main(int Argc, char **Argv) {
   W.endObject();
   if (!W.writeFile("BENCH_chaos.json"))
     std::fprintf(stderr, "warning: could not write BENCH_chaos.json\n");
+
+  // Durability report: aggregated store counters across every run that
+  // had the store on (the disk-faults scenario always does).
+  if (DurableRuns != 0) {
+    JsonWriter D;
+    D.beginObject();
+    D.key("experiment").value("durability-sweep");
+    D.key("runtime").value(Sweep.RtRuntime ? "rt" : "sim");
+    D.key("durable_runs").value(uint64_t(DurableRuns));
+    D.key("syncs").value(StoreAgg.Syncs);
+    D.key("records_written").value(StoreAgg.RecordsWritten);
+    D.key("bytes_written").value(StoreAgg.BytesWritten);
+    D.key("max_batch_records").value(StoreAgg.MaxBatchRecords);
+    D.key("snapshots").value(StoreAgg.Snapshots);
+    D.key("segments_created").value(StoreAgg.SegmentsCreated);
+    D.key("segments_deleted").value(StoreAgg.SegmentsDeleted);
+    D.key("recoveries").value(StoreAgg.Recoveries);
+    D.key("torn_tails_detected").value(StoreAgg.TornTailsDetected);
+    D.key("truncated_bytes").value(StoreAgg.TruncatedBytes);
+    D.key("recovery_us_total").value(StoreAgg.RecoveryUsTotal);
+    D.key("recovery_us_max").value(StoreAgg.RecoveryUsMax);
+    D.endObject();
+    if (!D.writeFile("BENCH_durability.json"))
+      std::fprintf(stderr,
+                   "warning: could not write BENCH_durability.json\n");
+    std::printf("\ndurability: %zu store-backed runs, %llu recoveries, "
+                "%llu torn tails detected, %llu fsyncs (max batch %llu "
+                "records), recovery max %llu us\n",
+                DurableRuns,
+                static_cast<unsigned long long>(StoreAgg.Recoveries),
+                static_cast<unsigned long long>(StoreAgg.TornTailsDetected),
+                static_cast<unsigned long long>(StoreAgg.Syncs),
+                static_cast<unsigned long long>(StoreAgg.MaxBatchRecords),
+                static_cast<unsigned long long>(StoreAgg.RecoveryUsMax));
+  }
 
   std::printf("\n%zu runs, %zu failures, %llu linearization states "
               "explored\n",

@@ -67,7 +67,16 @@ ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
   std::unique_ptr<ReconfigScheme> Scheme = makeScheme(Opts.Scheme);
   Config Initial(NodeSet::range(1, Opts.Members));
   NodeSet Universe = NodeSet::range(1, Opts.Members + Opts.Spares);
-  sim::Cluster C(*Scheme, Initial, Universe, Opts.Cluster, ClusterSeed);
+  // The disk-faults scenario is meaningless without the store, so it
+  // forces durable mode; any other scenario can opt in via the flag.
+  bool Durable =
+      Opts.DurableStore || Opts.Nemesis.Kind == Scenario::DiskFaults;
+  sim::ClusterOptions CO = Opts.Cluster;
+  CO.DurableStore = Durable;
+  if (Durable)
+    CO.StoreFaults = Opts.StoreFaults;
+  Result.DurableStore = Durable;
+  sim::Cluster C(*Scheme, Initial, Universe, CO, ClusterSeed);
 
   CommittedLedger Ledger;
   C.addApplyHook([&Ledger](NodeId Node, size_t Index,
@@ -134,9 +143,17 @@ ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
   Result.NemesisTrace = N.traceString();
   Result.HistoryText = H.str();
 
+  if (Durable)
+    Result.Store = C.storeStats();
+
   // Invariants.
   if (!N.healedAll())
     Result.Violations.push_back("nemesis did not heal all faults");
+  // Store-backed recovery cross-checks: every restart's recovered
+  // term/vote/log must equal the idealized in-memory copy (only deferred
+  // commit records may be lost), and no directory may be unrecoverable.
+  for (const std::string &V : C.storeViolations())
+    Result.Violations.push_back("durable store: " + V);
   if (Ledger.Violation)
     Result.Violations.push_back(*Ledger.Violation);
   if (std::optional<std::string> V = C.checkLeaderUniqueness())
@@ -217,6 +234,23 @@ void ChaosRunResult::addToJson(JsonWriter &W) const {
   W.endObject();
   W.key("committed_entries").value(uint64_t(CommittedEntries));
   W.key("lin_states_explored").value(LinStatesExplored);
+  W.key("durable_store").value(DurableStore);
+  if (DurableStore) {
+    W.key("store").beginObject();
+    W.key("syncs").value(Store.Syncs);
+    W.key("records_written").value(Store.RecordsWritten);
+    W.key("bytes_written").value(Store.BytesWritten);
+    W.key("max_batch_records").value(Store.MaxBatchRecords);
+    W.key("snapshots").value(Store.Snapshots);
+    W.key("segments_created").value(Store.SegmentsCreated);
+    W.key("segments_deleted").value(Store.SegmentsDeleted);
+    W.key("recoveries").value(Store.Recoveries);
+    W.key("torn_tails_detected").value(Store.TornTailsDetected);
+    W.key("truncated_bytes").value(Store.TruncatedBytes);
+    W.key("recovery_us_total").value(Store.RecoveryUsTotal);
+    W.key("recovery_us_max").value(Store.RecoveryUsMax);
+    W.endObject();
+  }
   W.key("clamped_past_schedules").value(ClampedPastSchedules);
   W.key("violations").beginArray();
   for (const std::string &V : Violations)
@@ -236,6 +270,9 @@ std::string ChaosRunResult::summary() const {
                   " indet=" + std::to_string(OpsIndeterminate) +
                   ") committed=" + std::to_string(CommittedEntries) +
                   " nemesis=" + std::to_string(NemesisActions);
+  if (DurableStore)
+    S += " recoveries=" + std::to_string(Store.Recoveries) +
+         " torn_tails=" + std::to_string(Store.TornTailsDetected);
   S += passed() ? " PASS" : (" FAIL (" + std::to_string(Violations.size()) +
                              " violations)");
   return S;

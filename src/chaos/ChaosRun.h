@@ -62,6 +62,24 @@ struct ChaosRunOptions {
   /// converge; all durability/convergence invariants are checked at its
   /// end.
   sim::SimTime QuiescenceUs = 3000000;
+  /// Back every node with the WAL+snapshot store on a fault-injecting
+  /// in-memory disk (forced on for Scenario::DiskFaults). Crashes then
+  /// power the disk down per StoreFaults and restarts recover from it,
+  /// with recovered state cross-checked against the idealized copy.
+  bool DurableStore = false;
+  /// Crash-time disk fault model used when the store is on: lose the
+  /// un-fsynced suffix, usually torn at a random byte, often with a
+  /// garbage tail where a record was mid-write.
+  store::MemVfsFaults StoreFaults = defaultStoreFaults();
+
+  static store::MemVfsFaults defaultStoreFaults() {
+    store::MemVfsFaults F;
+    F.LoseUnsyncedOnCrash = true;
+    F.TornWritePermille = 700;
+    F.GarbageTailPermille = 600;
+    F.MaxGarbageBytes = 64;
+    return F;
+  }
 };
 
 /// Everything a run produced, checks included.
@@ -89,6 +107,10 @@ struct ChaosRunResult {
 
   size_t CommittedEntries = 0;
   uint64_t LinStatesExplored = 0;
+
+  // Durable-store statistics (all zero unless the store was on).
+  bool DurableStore = false;
+  store::StoreStats Store;
 
   /// Event-queue self-diagnostics: schedule requests that targeted a
   /// virtual time already in the past and were clamped to "now" (see

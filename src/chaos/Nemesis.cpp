@@ -32,6 +32,8 @@ const char *adore::chaos::scenarioName(Scenario S) {
     return "split-brain";
   case Scenario::CrashMidReconfig:
     return "crash-mid-reconfig";
+  case Scenario::DiskFaults:
+    return "disk-faults";
   }
   ADORE_UNREACHABLE("unknown scenario");
 }
@@ -40,7 +42,8 @@ std::vector<Scenario> adore::chaos::allScenarios() {
   return {Scenario::Mixed,     Scenario::Crashes,
           Scenario::Partitions, Scenario::Cuts,
           Scenario::NetChaos,  Scenario::Reconfigs,
-          Scenario::SplitBrain, Scenario::CrashMidReconfig};
+          Scenario::SplitBrain, Scenario::CrashMidReconfig,
+          Scenario::DiskFaults};
 }
 
 static std::string nodeName(NodeId N) { return "S" + std::to_string(N); }
@@ -117,6 +120,12 @@ void Nemesis::step() {
     break;
   case Scenario::Reconfigs:
     Moves = {&Nemesis::moveReconfig};
+    break;
+  case Scenario::DiskFaults:
+    // Crash/restart is where the disk fault model bites (each crash
+    // tears the WAL tail); reconfigs keep the durable log churning.
+    Moves = {&Nemesis::moveCrash, &Nemesis::moveRestart,
+             &Nemesis::moveReconfig};
     break;
   case Scenario::SplitBrain:
   case Scenario::CrashMidReconfig:

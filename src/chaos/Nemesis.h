@@ -52,6 +52,9 @@ enum class Scenario : uint8_t {
   CrashMidReconfig, ///< Scripted Fig. 4 hazard: membership change is
                     ///< requested, the leader crashes mid-change, a
                     ///< spare rejoins later.
+  DiskFaults,  ///< Crash/restart + reconfigs against the durable store:
+               ///< every crash powers the disk down (torn WAL tails,
+               ///< garbage bytes) and every restart recovers from it.
 };
 
 const char *scenarioName(Scenario S);

@@ -49,6 +49,11 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
   CO.Scheme = Opts.Scheme;
   CO.NumNodes = Opts.Members;
   CO.Seed = Seed;
+  CO.DurableStore =
+      Opts.DurableStore || Opts.Kind == Scenario::DiskFaults;
+  if (CO.DurableStore)
+    CO.StoreFaults = ChaosRunOptions::defaultStoreFaults();
+  Result.DurableStore = CO.DurableStore;
   rt::RtCluster C(CO);
   C.start();
 
@@ -133,5 +138,7 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
   for (const std::string &V : C.checkFinalAgreement())
     Result.Violations.push_back("rt: " + V);
   Result.CommittedEntries = C.committedCount();
+  if (Result.DurableStore)
+    Result.Store = C.storeStats();
   return Result;
 }

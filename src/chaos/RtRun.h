@@ -36,6 +36,9 @@ struct RtRunOptions {
   uint64_t OpTimeoutMs = 3000;
   /// Budget for elections and reconfig commitment, wall-clock.
   uint64_t ConvergeTimeoutMs = 5000;
+  /// Back every node with the WAL+snapshot store on a fault-injecting
+  /// in-memory disk (forced on for Scenario::DiskFaults).
+  bool DurableStore = false;
 };
 
 /// Runs one scenario on the threaded runtime. The result reuses the

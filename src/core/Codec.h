@@ -1,0 +1,138 @@
+//===- core/Codec.h - Little-endian codec for core protocol types -*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The little-endian binary codec shared by everything that serializes
+/// core protocol state: the rt runtime's wire format (rt/Wire.cpp) and
+/// the durable store's WAL records and snapshots (src/store). One
+/// encoding means a log entry laid down in the WAL is byte-identical to
+/// the same entry on the wire, and both sides share the same
+/// bounds-checked reader — a frame or record claiming an absurd size is
+/// malformed, not big.
+///
+/// Writers append to a std::string; the Cursor reader never reads past
+/// the buffer and latches Ok=false on the first violation, so callers
+/// can decode a whole structure and check once at the end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_CORE_CODEC_H
+#define ADORE_CORE_CODEC_H
+
+#include "core/RaftCore.h"
+
+#include <cstdint>
+#include <string>
+
+namespace adore {
+namespace codec {
+
+/// Sanity bounds: anything claiming more than this is malformed.
+constexpr uint64_t MaxEntries = 1 << 20;
+constexpr uint64_t MaxSetSize = 1 << 16;
+
+inline void putU8(std::string &Out, uint8_t V) {
+  Out.push_back(static_cast<char>(V));
+}
+
+inline void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    putU8(Out, static_cast<uint8_t>(V >> (8 * I)));
+}
+
+inline void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    putU8(Out, static_cast<uint8_t>(V >> (8 * I)));
+}
+
+inline void putNodeSet(std::string &Out, const NodeSet &S) {
+  putU64(Out, S.size());
+  for (NodeId N : S)
+    putU32(Out, N);
+}
+
+inline void putConfig(std::string &Out, const Config &C) {
+  putNodeSet(Out, C.Members);
+  putNodeSet(Out, C.Extra);
+  putU8(Out, C.HasExtra ? 1 : 0);
+  putU64(Out, C.Param);
+}
+
+inline void putEntry(std::string &Out, const core::LogEntry &E) {
+  putU64(Out, E.Term);
+  putU8(Out, static_cast<uint8_t>(E.Kind));
+  putU64(Out, E.Method);
+  putConfig(Out, E.Conf);
+  putU64(Out, E.ClientSeq);
+}
+
+/// Bounds-checked little-endian reader over a byte string.
+struct Cursor {
+  const std::string &Bytes;
+  size_t Pos = 0;
+  bool Ok = true;
+
+  uint8_t u8() {
+    if (Pos + 1 > Bytes.size()) {
+      Ok = false;
+      return 0;
+    }
+    return static_cast<uint8_t>(Bytes[Pos++]);
+  }
+
+  uint32_t u32() {
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(u8()) << (8 * I);
+    return V;
+  }
+
+  uint64_t u64() {
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(u8()) << (8 * I);
+    return V;
+  }
+
+  bool nodeSet(NodeSet &S) {
+    uint64_t N = u64();
+    if (!Ok || N > MaxSetSize)
+      return Ok = false;
+    S.clear();
+    for (uint64_t I = 0; I != N && Ok; ++I)
+      S.insert(u32());
+    return Ok;
+  }
+
+  bool config(Config &C) {
+    if (!nodeSet(C.Members) || !nodeSet(C.Extra))
+      return false;
+    C.HasExtra = u8() != 0;
+    C.Param = u64();
+    return Ok;
+  }
+
+  bool entry(core::LogEntry &E) {
+    E.Term = u64();
+    uint8_t Kind = u8();
+    if (!Ok || Kind > static_cast<uint8_t>(raft::EntryKind::Reconfig))
+      return Ok = false;
+    E.Kind = static_cast<raft::EntryKind>(Kind);
+    E.Method = u64();
+    if (!config(E.Conf))
+      return false;
+    E.ClientSeq = u64();
+    return Ok;
+  }
+
+  /// True when the whole buffer was consumed without violation.
+  bool done() const { return Ok && Pos == Bytes.size(); }
+};
+
+} // namespace codec
+} // namespace adore
+
+#endif // ADORE_CORE_CODEC_H

@@ -188,6 +188,22 @@ Effects RaftCore::crash() {
   return Out;
 }
 
+void RaftCore::installDurableState(Time NewTerm, std::optional<NodeId> Vote,
+                                   std::vector<LogEntry> NewLog,
+                                   size_t DurableCommit) {
+  assert((Crashed || (Term == 0 && Log.empty())) &&
+         "installDurableState is only legal while crashed or pre-start");
+  Term = NewTerm;
+  VotedFor = Vote;
+  Log = std::move(NewLog);
+  // The durable commit record is advisory (it rides the next sync
+  // batch), so it may lag what this replica already acked; never move
+  // the commit index backwards, and never past the recovered log.
+  CommitIndex = std::min(std::max(CommitIndex, DurableCommit), Log.size());
+  Applied = std::min(Applied, CommitIndex);
+  Dirty = false;
+}
+
 Effects RaftCore::restart() {
   Effects Out;
   if (!Crashed)

@@ -270,6 +270,16 @@ public:
   /// out of the way. Returns false if not leader or the target lags.
   bool transferLeadership(NodeId Target, Effects &Out);
 
+  /// Overwrites the durable fields (term, vote, log, commit floor) with
+  /// state recovered from a disk store. Only legal before start() or
+  /// while crashed — a store-backed host installs this between crash()
+  /// and restart(), replacing the in-memory fiction that durable state
+  /// survives crashes for free. The commit index only ever grows (a
+  /// lagging durable commit record must not un-commit entries the host
+  /// already acked) and is clamped to the recovered log.
+  void installDurableState(Time NewTerm, std::optional<NodeId> Vote,
+                           std::vector<LogEntry> NewLog, size_t DurableCommit);
+
   //===--------------------------------------------------------------===//
   // Introspection
   //===--------------------------------------------------------------===//
@@ -278,6 +288,7 @@ public:
   Role role() const { return MyRole; }
   bool isLeader() const { return MyRole == Role::Leader; }
   Time term() const { return Term; }
+  std::optional<NodeId> votedFor() const { return VotedFor; }
   size_t commitIndex() const { return CommitIndex; }
   size_t logSize() const { return Log.size(); }
   const LogEntry &entry(size_t Index1) const {

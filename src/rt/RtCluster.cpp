@@ -35,10 +35,38 @@ RtCluster::RtCluster(RtClusterOptions Opts)
     onApply(N, I, E);
   };
   Hooks.OnLeader = [this](NodeId N, Time T) { onLeader(N, T); };
-  for (size_t I = 1; I <= Opts.NumNodes; ++I)
+  if (Opts.DurableStore) {
+    store::Vfs *Backing = Opts.ExternalDisk;
+    if (!Backing) {
+      Disk = std::make_unique<store::MemVfs>(Opts.Seed ^ 0xD15CFA017ULL,
+                                             Opts.StoreFaults);
+      Backing = Disk.get();
+    }
+    for (size_t I = 1; I <= Opts.NumNodes; ++I) {
+      auto St = std::make_unique<store::NodeStore>(
+          *Backing, "n" + std::to_string(I), Opts.Store);
+      // Only the internal MemVfs models power loss; an external disk
+      // keeps everything it was handed (crash is a pure fail-stop).
+      if (!Opts.ExternalDisk) {
+        store::NodeStore *Ptr = St.get();
+        St->setCrashHook([this, Ptr] { Disk->crashDir(Ptr->dir() + "/"); });
+      }
+      Stores.push_back(std::move(St));
+    }
+  }
+  for (size_t I = 1; I <= Opts.NumNodes; ++I) {
+    store::NodeStore *St = Opts.DurableStore ? Stores[I - 1].get() : nullptr;
     Nodes.push_back(std::make_unique<RtNode>(static_cast<NodeId>(I), *Scheme,
                                              InitialConf, Opts.Node,
-                                             SeedRng.next(), Net, Hooks));
+                                             SeedRng.next(), Net, Hooks, St));
+  }
+}
+
+store::StoreStats RtCluster::storeStats() const {
+  store::StoreStats Sum;
+  for (const auto &St : Stores)
+    Sum.accumulate(St->stats());
+  return Sum;
 }
 
 RtCluster::~RtCluster() { stop(); }
@@ -194,6 +222,15 @@ void RtCluster::onLeader(NodeId Node, Time Term) {
 
 std::vector<std::string> RtCluster::checkFinalAgreement() {
   std::lock_guard<std::mutex> Lock(ObsMu);
+  for (const auto &N : Nodes) {
+    if (uint64_t M = N->storeMismatches()) {
+      std::ostringstream OS;
+      OS << "node " << N->id() << " observed " << M
+         << " store recovery mismatch(es): disk state diverged from the "
+         << "in-memory copy";
+      Violations.push_back(OS.str());
+    }
+  }
   for (const auto &N : Nodes) {
     const core::RaftCore &C = N->coreForInspection();
     for (size_t I = 1; I <= C.commitIndex(); ++I) {

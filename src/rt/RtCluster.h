@@ -21,6 +21,7 @@
 
 #include "rt/Bus.h"
 #include "rt/RtNode.h"
+#include "store/NodeStore.h"
 
 #include <map>
 #include <memory>
@@ -37,6 +38,18 @@ struct RtClusterOptions {
   size_t NumNodes = 3;
   uint64_t Seed = 1;
   core::CoreOptions Node = fastNodeOptions();
+  /// Back every node with a WAL+snapshot store on a shared in-memory
+  /// fault-injecting disk; crash() then costs whatever StoreFaults says
+  /// a power cut costs, and restart() recovers from the disk.
+  bool DurableStore = false;
+  store::MemVfsFaults StoreFaults;
+  store::StoreOptions Store;
+  /// With DurableStore: persist to this caller-owned Vfs (e.g. a
+  /// PosixVfs over real files) instead of the internal fault-injecting
+  /// MemVfs. crash() is then a pure fail-stop — a real disk keeps what
+  /// it holds — and restart() recovers from it. Must outlive the
+  /// cluster; StoreFaults is ignored.
+  store::Vfs *ExternalDisk = nullptr;
 
   static core::CoreOptions fastNodeOptions() {
     core::CoreOptions O;
@@ -94,9 +107,13 @@ public:
   std::vector<std::string> violations() const;
 
   /// Post-stop whole-cluster audit: every node's applied prefix must
-  /// match the shared ledger. Call ONLY after stop(); appends to and
-  /// returns the violation list.
+  /// match the shared ledger, and (store-backed) no node may have
+  /// observed a recovery mismatch. Call ONLY after stop(); appends to
+  /// and returns the violation list.
   std::vector<std::string> checkFinalAgreement();
+
+  /// Store-backed mode: per-node store counters summed cluster-wide.
+  store::StoreStats storeStats() const;
 
 private:
   void onApply(NodeId Node, size_t Index, const core::LogEntry &E);
@@ -106,6 +123,10 @@ private:
   std::unique_ptr<ReconfigScheme> Scheme;
   Config InitialConf;
   Bus Net;
+  /// Declared before Nodes: stores must outlive the nodes holding
+  /// pointers into them (destruction runs bottom-up, after stop()).
+  std::unique_ptr<store::MemVfs> Disk;
+  std::vector<std::unique_ptr<store::NodeStore>> Stores;
   std::vector<std::unique_ptr<RtNode>> Nodes;
   bool Running = false;
 

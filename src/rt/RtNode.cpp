@@ -7,19 +7,50 @@
 #include "rt/RtNode.h"
 
 #include "rt/Wire.h"
+#include "store/NodeStore.h"
+
+#include <algorithm>
 
 using namespace adore;
 using namespace adore::rt;
 
 RtNode::RtNode(NodeId Id, const ReconfigScheme &Scheme, Config InitialConf,
                core::CoreOptions Opts, uint64_t Seed, Bus &Net,
-               RtNodeHooks Hooks)
+               RtNodeHooks Hooks, store::NodeStore *Store)
     : Id(Id), Net(&Net), Hooks(std::move(Hooks)),
       Core(Id, Scheme, std::move(InitialConf), Opts, Seed),
-      Epoch(Clock::now()) {
+      Epoch(Clock::now()), Store(Store) {
+  // Adopt whatever the store's directory already holds, before the
+  // worker thread exists (the core is fresh, so installing is legal).
+  if (Store)
+    recoverFromStore(/*CheckAgainstCore=*/false);
   Net.attach(Id, [this](std::string Frame) {
     enqueueFrame(std::move(Frame));
   });
+}
+
+void RtNode::recoverFromStore(bool CheckAgainstCore) {
+  store::RecoveredState RS = Store->open();
+  if (RS.Error) {
+    // Unrecoverable directory: keep the in-memory state so the node can
+    // proceed, but surface the mismatch — under the supported fault
+    // model this must never happen.
+    StoreMismatches.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (CheckAgainstCore) {
+    // Persist-carrying batches fsync before any effect escapes, so only
+    // deferred Commit records may be lost at a crash: recovered
+    // term/vote/log must equal the in-memory copy exactly, and the
+    // commit index may only lag.
+    bool Mismatch = RS.Term != Core.term() || RS.Vote != Core.votedFor() ||
+                    RS.Log != Core.log() ||
+                    RS.CommitIndex > Core.commitIndex();
+    if (Mismatch)
+      StoreMismatches.fetch_add(1, std::memory_order_relaxed);
+  }
+  Core.installDurableState(RS.Term, RS.Vote, std::move(RS.Log),
+                           RS.CommitIndex);
 }
 
 RtNode::~RtNode() { stop(); }
@@ -174,8 +205,14 @@ void RtNode::process(Item &It) {
   }
   case Item::Kind::Crash:
     dispatch(Core.crash());
+    if (Store)
+      Store->crash(); // Power cut: the fault model mangles the directory.
     return;
   case Item::Kind::Restart:
+    // Restarting a node that never crashed is a no-op; only a crashed
+    // core may have durable state re-installed.
+    if (Store && Core.isCrashed())
+      recoverFromStore(/*CheckAgainstCore=*/true);
     dispatch(Core.restart());
     return;
   }
@@ -196,7 +233,21 @@ void RtNode::fireDueTimers() {
 }
 
 void RtNode::dispatch(core::Effects Effs) {
+  // Persist-before-act: the core emits Persist at the END of a step's
+  // batch (after the Sends it must gate), so a store-backed host
+  // flushes the whole durable delta up front — nothing below,
+  // especially no Send, may escape before the state backing it is on
+  // disk. One fsync covers the whole batch (group commit).
+  if (Store && std::any_of(Effs.begin(), Effs.end(), [](const core::Effect &E) {
+        return E.K == core::Effect::Kind::Persist;
+      })) {
+    Store->persistFrom(Core);
+    Store->sync();
+  }
   for (core::Effect &E : Effs) {
+    // The switch enumerates every Effect::Kind with no default: adding
+    // a kind without deciding what this host does with it is a compile
+    // error under -Werror=switch, not a silently dropped effect.
     switch (E.K) {
     case core::Effect::Kind::Send:
       Net->post(E.M.To, encodeMsg(E.M));
@@ -218,10 +269,15 @@ void RtNode::dispatch(core::Effects Effs) {
         Hooks.OnApply(Id, E.Index, E.Entry);
       break;
     case core::Effect::Kind::CommitAdvanced:
+      // Deferred durability: the commit record rides the next sync
+      // barrier; losing it at a crash is safe (recovery re-derives
+      // commits from the quorum).
+      if (Store)
+        Store->noteCommit(E.Index);
       break;
     case core::Effect::Kind::Persist:
-      // The runtime keeps "durable" state in memory (crash is
-      // state-level); a disk-backed host would fsync here.
+      // Handled by the pre-pass above. Without a store, crash is
+      // state-level and the core preserves durable fields by fiat.
       break;
     case core::Effect::Kind::LeaderElected:
       if (Hooks.OnLeader)

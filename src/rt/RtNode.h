@@ -37,6 +37,11 @@
 #include <thread>
 
 namespace adore {
+
+namespace store {
+class NodeStore;
+} // namespace store
+
 namespace rt {
 
 /// Host callbacks; both run on the node's thread and must be
@@ -60,9 +65,14 @@ struct RtNodeStatus {
 /// One threaded replica.
 class RtNode {
 public:
+  /// \p Store, when non-null, makes persistence real: the node adopts
+  /// whatever the store's directory holds at construction, flushes the
+  /// WAL before acting on any Persist-carrying effect batch, powers the
+  /// disk down on crash, and recovers from it on restart (cross-checking
+  /// the result against the in-memory copy).
   RtNode(NodeId Id, const ReconfigScheme &Scheme, Config InitialConf,
          core::CoreOptions Opts, uint64_t Seed, Bus &Net,
-         RtNodeHooks Hooks);
+         RtNodeHooks Hooks, store::NodeStore *Store = nullptr);
   ~RtNode();
 
   RtNode(const RtNode &) = delete;
@@ -96,6 +106,13 @@ public:
   /// Count of bus frames that failed wire decoding (any thread).
   uint64_t malformedFrames() const;
 
+  /// Store-backed mode: restarts whose recovered state diverged from
+  /// the in-memory copy, or whose directory was unrecoverable (any
+  /// thread). Always 0 in in-memory mode.
+  uint64_t storeMismatches() const {
+    return StoreMismatches.load(std::memory_order_relaxed);
+  }
+
   /// Direct read access to the hosted core. Safe ONLY while the worker
   /// thread is not running (before start() or after stop()); used by
   /// end-of-run whole-cluster checks.
@@ -120,6 +137,9 @@ private:
   void fireDueTimers();
   void dispatch(core::Effects Effs);
   void publishStatus();
+  /// Store recovery + install into the (crashed or fresh) core; see the
+  /// ctor comment. Worker thread (or pre-start construction) only.
+  void recoverFromStore(bool CheckAgainstCore);
 
   /// One armed core timer mapped onto the steady clock. Worker-thread
   /// only.
@@ -150,6 +170,8 @@ private:
   RtNodeStatus Cached;
 
   std::atomic<uint64_t> Malformed{0};
+  std::atomic<uint64_t> StoreMismatches{0};
+  store::NodeStore *Store = nullptr; ///< Worker-thread only once started.
 
   std::thread Worker;
 };

@@ -3,140 +3,46 @@
 // Part of the Adore reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Message framing over the shared little-endian codec (core/Codec.h).
+// The same putEntry/entry routines also lay down WAL records in
+// src/store, so a log entry's bytes are identical on the wire and on
+// disk.
+//
+//===----------------------------------------------------------------------===//
 
 #include "rt/Wire.h"
+
+#include "core/Codec.h"
 
 #include <cstdint>
 
 using namespace adore;
 using namespace adore::rt;
 
-namespace {
-
-/// Sanity bounds: a frame claiming more than this is malformed, not big.
-constexpr uint64_t MaxEntries = 1 << 20;
-constexpr uint64_t MaxSetSize = 1 << 16;
-
-void putU8(std::string &Out, uint8_t V) {
-  Out.push_back(static_cast<char>(V));
-}
-
-void putU32(std::string &Out, uint32_t V) {
-  for (int I = 0; I != 4; ++I)
-    putU8(Out, static_cast<uint8_t>(V >> (8 * I)));
-}
-
-void putU64(std::string &Out, uint64_t V) {
-  for (int I = 0; I != 8; ++I)
-    putU8(Out, static_cast<uint8_t>(V >> (8 * I)));
-}
-
-void putNodeSet(std::string &Out, const NodeSet &S) {
-  putU64(Out, S.size());
-  for (NodeId N : S)
-    putU32(Out, N);
-}
-
-void putConfig(std::string &Out, const Config &C) {
-  putNodeSet(Out, C.Members);
-  putNodeSet(Out, C.Extra);
-  putU8(Out, C.HasExtra ? 1 : 0);
-  putU64(Out, C.Param);
-}
-
-void putEntry(std::string &Out, const core::LogEntry &E) {
-  putU64(Out, E.Term);
-  putU8(Out, static_cast<uint8_t>(E.Kind));
-  putU64(Out, E.Method);
-  putConfig(Out, E.Conf);
-  putU64(Out, E.ClientSeq);
-}
-
-/// Bounds-checked little-endian reader over a byte string.
-struct Cursor {
-  const std::string &Bytes;
-  size_t Pos = 0;
-  bool Ok = true;
-
-  uint8_t u8() {
-    if (Pos + 1 > Bytes.size()) {
-      Ok = false;
-      return 0;
-    }
-    return static_cast<uint8_t>(Bytes[Pos++]);
-  }
-
-  uint32_t u32() {
-    uint32_t V = 0;
-    for (int I = 0; I != 4; ++I)
-      V |= static_cast<uint32_t>(u8()) << (8 * I);
-    return V;
-  }
-
-  uint64_t u64() {
-    uint64_t V = 0;
-    for (int I = 0; I != 8; ++I)
-      V |= static_cast<uint64_t>(u8()) << (8 * I);
-    return V;
-  }
-
-  bool nodeSet(NodeSet &S) {
-    uint64_t N = u64();
-    if (!Ok || N > MaxSetSize)
-      return Ok = false;
-    S.clear();
-    for (uint64_t I = 0; I != N && Ok; ++I)
-      S.insert(u32());
-    return Ok;
-  }
-
-  bool config(Config &C) {
-    if (!nodeSet(C.Members) || !nodeSet(C.Extra))
-      return false;
-    C.HasExtra = u8() != 0;
-    C.Param = u64();
-    return Ok;
-  }
-
-  bool entry(core::LogEntry &E) {
-    E.Term = u64();
-    uint8_t Kind = u8();
-    if (!Ok || Kind > static_cast<uint8_t>(raft::EntryKind::Reconfig))
-      return Ok = false;
-    E.Kind = static_cast<raft::EntryKind>(Kind);
-    E.Method = u64();
-    if (!config(E.Conf))
-      return false;
-    E.ClientSeq = u64();
-    return Ok;
-  }
-};
-
-} // namespace
-
 std::string rt::encodeMsg(const core::Msg &M) {
   std::string Out;
-  putU8(Out, static_cast<uint8_t>(M.K));
-  putU32(Out, M.From);
-  putU32(Out, M.To);
-  putU64(Out, M.Term);
-  putU64(Out, M.LastLogTerm);
-  putU64(Out, M.LastLogIndex);
-  putU8(Out, M.TransferElection ? 1 : 0);
-  putU8(Out, M.Granted ? 1 : 0);
-  putU64(Out, M.PrevIndex);
-  putU64(Out, M.PrevTerm);
-  putU64(Out, M.LeaderCommit);
-  putU8(Out, M.Success ? 1 : 0);
-  putU64(Out, M.MatchIndex);
-  putU64(Out, M.Entries.size());
+  codec::putU8(Out, static_cast<uint8_t>(M.K));
+  codec::putU32(Out, M.From);
+  codec::putU32(Out, M.To);
+  codec::putU64(Out, M.Term);
+  codec::putU64(Out, M.LastLogTerm);
+  codec::putU64(Out, M.LastLogIndex);
+  codec::putU8(Out, M.TransferElection ? 1 : 0);
+  codec::putU8(Out, M.Granted ? 1 : 0);
+  codec::putU64(Out, M.PrevIndex);
+  codec::putU64(Out, M.PrevTerm);
+  codec::putU64(Out, M.LeaderCommit);
+  codec::putU8(Out, M.Success ? 1 : 0);
+  codec::putU64(Out, M.MatchIndex);
+  codec::putU64(Out, M.Entries.size());
   for (const core::LogEntry &E : M.Entries)
-    putEntry(Out, E);
+    codec::putEntry(Out, E);
   return Out;
 }
 
 bool rt::decodeMsg(const std::string &Bytes, core::Msg &Out) {
-  Cursor C{Bytes};
+  codec::Cursor C{Bytes};
   uint8_t Kind = C.u8();
   if (!C.Ok || Kind > static_cast<uint8_t>(core::Msg::Kind::TimeoutNow))
     return false;
@@ -154,7 +60,7 @@ bool rt::decodeMsg(const std::string &Bytes, core::Msg &Out) {
   Out.Success = C.u8() != 0;
   Out.MatchIndex = C.u64();
   uint64_t N = C.u64();
-  if (!C.Ok || N > MaxEntries)
+  if (!C.Ok || N > codec::MaxEntries)
     return false;
   Out.Entries.clear();
   Out.Entries.reserve(N);
@@ -164,5 +70,5 @@ bool rt::decodeMsg(const std::string &Bytes, core::Msg &Out) {
       return false;
     Out.Entries.push_back(std::move(E));
   }
-  return C.Ok && C.Pos == Bytes.size();
+  return C.done();
 }

@@ -18,19 +18,46 @@ Cluster::Cluster(const ReconfigScheme &Scheme, Config InitialConf,
       Universe(std::move(Universe)), Opts(Opts), R(Seed) {
   assert(Scheme.mbrs(InitialConf).isSubsetOf(this->Universe) &&
          "initial members must be in the universe");
+  if (Opts.DurableStore) {
+    // The disk seed is derived from the cluster seed WITHOUT drawing
+    // from R: the cluster's own draw sequence (node forks, network
+    // rolls) must be byte-identical with the store on or off, which is
+    // what the differential chaos test pins.
+    Disk = std::make_unique<store::MemVfs>(Seed ^ 0xD15CFA017ULL,
+                                           Opts.StoreFaults);
+    for (NodeId Id : this->Universe) {
+      auto St = std::make_unique<store::NodeStore>(
+          *Disk, "n" + std::to_string(Id), Opts.Store);
+      store::NodeStore *Ptr = St.get();
+      St->setCrashHook([this, Ptr] { Disk->crashDir(Ptr->dir() + "/"); });
+      Stores.emplace(Id, std::move(St));
+    }
+  }
   for (NodeId Id : this->Universe) {
     Rng NodeRng = R.fork();
+    store::NodeStore *St =
+        Opts.DurableStore ? Stores.at(Id).get() : nullptr;
     Nodes.emplace(
         Id, std::make_unique<RaftNode>(
                 Id, Scheme, InitialConf, Opts.Node, Queue, NodeRng.next(),
                 [this](SimMsg M) { sendMsg(std::move(M)); },
                 [this](NodeId N, size_t I, const SimLogEntry &E) {
                   onApply(N, I, E);
-                }));
+                },
+                St));
   }
-  for (auto &[Id, Node] : Nodes)
+  for (auto &[Id, Node] : Nodes) {
     Node->setLeaderObserver(
         [this](NodeId Leader, Time Term) { noteLeader(Leader, Term); });
+    Node->setStoreViolationSink(&StoreViolationsVec);
+  }
+}
+
+store::StoreStats Cluster::storeStats() const {
+  store::StoreStats Sum;
+  for (const auto &[Id, St] : Stores)
+    Sum.accumulate(St->stats());
+  return Sum;
 }
 
 void Cluster::noteLeader(NodeId Leader, Time Term) {

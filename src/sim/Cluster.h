@@ -18,6 +18,7 @@
 #define ADORE_SIM_CLUSTER_H
 
 #include "sim/RaftNode.h"
+#include "store/NodeStore.h"
 
 #include <functional>
 #include <map>
@@ -56,6 +57,16 @@ struct ClusterOptions {
   SimTime ClientTimeoutUs = 400000;
   /// Small pause before a redirected/failed retry.
   SimTime ClientRetryDelayUs = 5000;
+  /// Back every node with a WAL+snapshot store on a shared in-memory
+  /// fault-injecting disk: crash() powers the disk down (per StoreFaults)
+  /// and restart() recovers from what survived instead of trusting
+  /// memory. Off, crashes preserve durable state by fiat (the idealized
+  /// model the store-backed mode is differentially tested against).
+  bool DurableStore = false;
+  /// Crash-time disk fault model (only meaningful with DurableStore).
+  store::MemVfsFaults StoreFaults;
+  /// WAL segment-rotation / snapshot-compaction thresholds.
+  store::StoreOptions Store;
 };
 
 /// A whole simulated deployment: nodes, network, client, admin.
@@ -162,6 +173,16 @@ public:
     return LeaderOverlap;
   }
 
+  /// Store-backed mode: recovery cross-check failures (recovered state
+  /// diverging from the idealized in-memory copy) and unrecoverable
+  /// directories. Always empty in in-memory mode.
+  const std::vector<std::string> &storeViolations() const {
+    return StoreViolationsVec;
+  }
+
+  /// Store-backed mode: per-node store counters summed cluster-wide.
+  store::StoreStats storeStats() const;
+
   std::string dump() const;
 
 private:
@@ -189,6 +210,11 @@ private:
   ClusterOptions Opts;
   EventQueue Queue;
   Rng R;
+  /// Declared before Nodes: stores must outlive the nodes holding
+  /// pointers into them (destruction runs bottom-up).
+  std::unique_ptr<store::MemVfs> Disk;
+  std::map<NodeId, std::unique_ptr<store::NodeStore>> Stores;
+  std::vector<std::string> StoreViolationsVec;
   std::map<NodeId, std::unique_ptr<RaftNode>> Nodes;
   std::map<uint64_t, PendingOp> Pending;
   uint64_t NextSeq = 1;

@@ -35,8 +35,14 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace adore {
+
+namespace store {
+class NodeStore;
+} // namespace store
+
 namespace sim {
 
 /// Replica roles (the core's, re-exported for existing call sites).
@@ -65,12 +71,16 @@ class RaftNode {
 public:
   /// \p Send transmits a message (the host applies latency/loss).
   /// \p OnApply fires for every entry this node applies (commits), in
-  /// log order.
+  /// log order. \p Store, when non-null, makes persistence real: durable
+  /// state flows through the WAL before any effect of a Persist-carrying
+  /// batch executes, crash() powers the store's disk down, and restart()
+  /// recovers from what survived instead of trusting memory.
   RaftNode(NodeId Id, const ReconfigScheme &Scheme, Config InitialConf,
            NodeOptions Opts, EventQueue &Queue, uint64_t Seed,
            std::function<void(SimMsg)> Send,
            std::function<void(NodeId, size_t, const SimLogEntry &)>
-               OnApply);
+               OnApply,
+           store::NodeStore *Store = nullptr);
 
   /// Arms the first election timeout; call once at cluster start.
   void start() { dispatch(Core.start()); }
@@ -81,11 +91,20 @@ public:
   }
 
   /// Fail-stop: the node ignores messages and timers until restarted.
-  void crash() { dispatch(Core.crash()); }
+  /// Store-backed nodes lose whatever the fault model says a power cut
+  /// costs (the un-fsynced suffix, torn or garbage-tailed).
+  void crash();
 
-  /// Restart after a crash: persistent state (term, vote, log) survives;
-  /// volatile state (role, vote tallies, leader bookkeeping) resets.
-  void restart() { dispatch(Core.restart()); }
+  /// Restart after a crash. In-memory mode, persistent state (term,
+  /// vote, log) survives by fiat; store-backed nodes recover it from
+  /// disk and cross-check the result against the idealized copy.
+  void restart();
+
+  /// Where store-backed recovery mismatches are reported (the cluster
+  /// points this at its violation list).
+  void setStoreViolationSink(std::vector<std::string> *Sink) {
+    StoreViolations = Sink;
+  }
 
   //===--------------------------------------------------------------===//
   // Leader-side API (cluster/client facing)
@@ -142,14 +161,24 @@ public:
 
 private:
   /// Executes the core's effects in emission order against the event
-  /// queue and host callbacks.
+  /// queue and host callbacks. When a batch carries a Persist effect,
+  /// the store is flushed up front (persist-before-act): the core emits
+  /// Persist at the end of the step, but nothing — especially no Send —
+  /// may escape before the durable state backing it is on disk.
   void dispatch(core::Effects Effs);
+
+  /// Runs store recovery and installs the result into the (crashed or
+  /// fresh) core. \p CheckAgainstCore enables the restart-time
+  /// cross-check against the idealized in-memory state.
+  void recoverFromStore(bool CheckAgainstCore);
 
   EventQueue *Queue;
   core::RaftCore Core;
   std::function<void(SimMsg)> SendFn;
   std::function<void(NodeId, size_t, const SimLogEntry &)> ApplyFn;
   std::function<void(NodeId, Time)> OnLeader;
+  store::NodeStore *Store = nullptr;
+  std::vector<std::string> *StoreViolations = nullptr;
 };
 
 } // namespace sim

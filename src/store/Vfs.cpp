@@ -1,0 +1,281 @@
+//===- store/Vfs.cpp - Virtual file system for the durable store ------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Vfs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace adore;
+using namespace adore::store;
+
+//===----------------------------------------------------------------------===//
+// MemVfs
+//===----------------------------------------------------------------------===//
+
+bool MemVfs::append(const std::string &Path, const std::string &Bytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Files[Path].Data += Bytes;
+  return true;
+}
+
+bool MemVfs::readFile(const std::string &Path, std::string &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Files.find(Path);
+  if (It == Files.end())
+    return false;
+  Out = It->second.Data;
+  return true;
+}
+
+bool MemVfs::truncate(const std::string &Path, uint64_t Size) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Files.find(Path);
+  if (It == Files.end())
+    return false;
+  File &F = It->second;
+  if (Size < F.Data.size())
+    F.Data.resize(Size);
+  F.SyncedSize = std::min<uint64_t>(F.SyncedSize, F.Data.size());
+  return true;
+}
+
+bool MemVfs::renameFile(const std::string &From, const std::string &To) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Files.find(From);
+  if (It == Files.end())
+    return false;
+  File F = std::move(It->second);
+  Files.erase(It);
+  Files[To] = std::move(F);
+  return true;
+}
+
+bool MemVfs::removeFile(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Files.erase(Path) != 0;
+}
+
+bool MemVfs::exists(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Files.count(Path) != 0;
+}
+
+uint64_t MemVfs::fileSize(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Files.find(Path);
+  return It == Files.end() ? 0 : It->second.Data.size();
+}
+
+bool MemVfs::sync(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Files.find(Path);
+  if (It == Files.end())
+    return false;
+  It->second.SyncedSize = It->second.Data.size();
+  return true;
+}
+
+std::vector<std::string> MemVfs::list(const std::string &Prefix) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Out;
+  // std::map iterates in sorted order, so Out is already sorted.
+  for (auto It = Files.lower_bound(Prefix); It != Files.end(); ++It) {
+    if (It->first.compare(0, Prefix.size(), Prefix) != 0)
+      break;
+    Out.push_back(It->first);
+  }
+  return Out;
+}
+
+void MemVfs::crashDir(const std::string &DirPrefix) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto It = Files.lower_bound(DirPrefix); It != Files.end(); ++It) {
+    if (It->first.compare(0, DirPrefix.size(), DirPrefix) != 0)
+      break;
+    File &F = It->second;
+    if (Faults.LoseUnsyncedOnCrash && F.Data.size() > F.SyncedSize) {
+      uint64_t Keep = 0;
+      uint64_t Unsynced = F.Data.size() - F.SyncedSize;
+      // Torn write: a random byte prefix of the in-flight suffix made it
+      // to the platter before power died.
+      if (Faults.TornWritePermille != 0 &&
+          R.nextChance(Faults.TornWritePermille, 1000))
+        Keep = R.nextBelow(Unsynced + 1);
+      F.Data.resize(F.SyncedSize + Keep);
+    }
+    if (Faults.GarbageTailPermille != 0 && Faults.MaxGarbageBytes != 0 &&
+        R.nextChance(Faults.GarbageTailPermille, 1000)) {
+      uint64_t N = R.nextInRange(1, Faults.MaxGarbageBytes);
+      for (uint64_t I = 0; I != N; ++I)
+        F.Data.push_back(static_cast<char>(R.nextBelow(256)));
+    }
+    // Whatever survived the crash is on the platter now.
+    F.SyncedSize = F.Data.size();
+  }
+}
+
+bool MemVfs::tearAt(const std::string &Path, uint64_t Offset) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Files.find(Path);
+  if (It == Files.end() || Offset > It->second.Data.size())
+    return false;
+  It->second.Data.resize(Offset);
+  It->second.SyncedSize = It->second.Data.size();
+  return true;
+}
+
+bool MemVfs::flipBit(const std::string &Path, uint64_t Offset, unsigned Bit) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Files.find(Path);
+  if (It == Files.end() || Offset >= It->second.Data.size() || Bit > 7)
+    return false;
+  It->second.Data[Offset] ^= static_cast<char>(1u << Bit);
+  return true;
+}
+
+uint64_t MemVfs::unsyncedBytes(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Files.find(Path);
+  if (It == Files.end())
+    return 0;
+  return It->second.Data.size() - It->second.SyncedSize;
+}
+
+//===----------------------------------------------------------------------===//
+// PosixVfs
+//===----------------------------------------------------------------------===//
+
+namespace fs = std::filesystem;
+
+std::string PosixVfs::resolve(const std::string &Path) const {
+  return Root + "/" + Path;
+}
+
+bool PosixVfs::syncDirOf(const std::string &AbsPath) const {
+  fs::path Dir = fs::path(AbsPath).parent_path();
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return false;
+  bool Ok = ::fsync(Fd) == 0;
+  ::close(Fd);
+  return Ok;
+}
+
+bool PosixVfs::append(const std::string &Path, const std::string &Bytes) {
+  std::string Abs = resolve(Path);
+  std::error_code Ec;
+  fs::create_directories(fs::path(Abs).parent_path(), Ec);
+  int Fd = ::open(Abs.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (Fd < 0)
+    return false;
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return ::close(Fd) == 0;
+}
+
+bool PosixVfs::readFile(const std::string &Path, std::string &Out) {
+  std::string Abs = resolve(Path);
+  int Fd = ::open(Abs.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  Out.clear();
+  char Buf[1 << 16];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      return false;
+    }
+    if (N == 0)
+      break;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  return true;
+}
+
+bool PosixVfs::truncate(const std::string &Path, uint64_t Size) {
+  std::string Abs = resolve(Path);
+  std::error_code Ec;
+  uint64_t Cur = fs::file_size(Abs, Ec);
+  if (Ec)
+    return false;
+  if (Size >= Cur)
+    return true;
+  return ::truncate(Abs.c_str(), static_cast<off_t>(Size)) == 0;
+}
+
+bool PosixVfs::renameFile(const std::string &From, const std::string &To) {
+  std::string AbsFrom = resolve(From), AbsTo = resolve(To);
+  if (::rename(AbsFrom.c_str(), AbsTo.c_str()) != 0)
+    return false;
+  return syncDirOf(AbsTo);
+}
+
+bool PosixVfs::removeFile(const std::string &Path) {
+  std::string Abs = resolve(Path);
+  if (::unlink(Abs.c_str()) != 0)
+    return false;
+  return syncDirOf(Abs);
+}
+
+bool PosixVfs::exists(const std::string &Path) {
+  std::error_code Ec;
+  return fs::exists(resolve(Path), Ec);
+}
+
+uint64_t PosixVfs::fileSize(const std::string &Path) {
+  std::error_code Ec;
+  uint64_t Size = fs::file_size(resolve(Path), Ec);
+  return Ec ? 0 : Size;
+}
+
+bool PosixVfs::sync(const std::string &Path) {
+  std::string Abs = resolve(Path);
+  int Fd = ::open(Abs.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  bool Ok = ::fsync(Fd) == 0;
+  ::close(Fd);
+  return Ok;
+}
+
+std::vector<std::string> PosixVfs::list(const std::string &Prefix) {
+  // The prefix names a directory plus a file-name stem ("n1/wal-").
+  fs::path AbsPrefix = fs::path(resolve(Prefix));
+  fs::path Dir = AbsPrefix.parent_path();
+  std::string Stem = AbsPrefix.filename().string();
+  std::vector<std::string> Out;
+  std::error_code Ec;
+  fs::path RelDir = fs::path(Prefix).parent_path();
+  for (const auto &Entry : fs::directory_iterator(Dir, Ec)) {
+    std::string Name = Entry.path().filename().string();
+    if (Name.compare(0, Stem.size(), Stem) != 0)
+      continue;
+    Out.push_back(RelDir.empty() ? Name : (RelDir / Name).string());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}

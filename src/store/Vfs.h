@@ -1,0 +1,177 @@
+//===- store/Vfs.h - Virtual file system for the durable store -*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The file-system seam under the durable store: an append-oriented Vfs
+/// interface with two backends.
+///
+///   PosixVfs   real files under a root directory (open/write/fsync),
+///              for the rt demo and on-disk tests.
+///   MemVfs     a deterministic in-memory file system that models what a
+///              real disk does to you on power loss: every file tracks
+///              its fsynced prefix, and crashDir() applies a seeded
+///              fault model to a node's directory — the un-fsynced
+///              suffix is lost, or torn at an arbitrary byte offset
+///              (partial persistence), and a garbage tail may appear
+///              where a record was mid-write. Explicit tearAt()/
+///              flipBit() hooks let tests corrupt any byte precisely.
+///
+/// The interface is deliberately small — append, read, truncate, rename,
+/// remove, sync, list — because that is all a write-ahead log and
+/// snapshot scheme need; there is no positional write, so torn-write
+/// reasoning stays confined to file tails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_STORE_VFS_H
+#define ADORE_STORE_VFS_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adore {
+namespace store {
+
+/// Append-oriented file-system interface. Paths are flat
+/// '/'-separated strings relative to the backend's root. All methods
+/// return false on failure (missing file, I/O error) rather than throw.
+class Vfs {
+public:
+  virtual ~Vfs() = default;
+
+  /// Appends bytes to \p Path, creating it (and parent directories) if
+  /// absent. Appended bytes are NOT durable until sync().
+  virtual bool append(const std::string &Path, const std::string &Bytes) = 0;
+
+  /// Reads the entire file into \p Out.
+  virtual bool readFile(const std::string &Path, std::string &Out) = 0;
+
+  /// Shrinks \p Path to \p Size bytes (no-op if already smaller).
+  virtual bool truncate(const std::string &Path, uint64_t Size) = 0;
+
+  /// Atomically renames \p From to \p To (replacing \p To).
+  virtual bool renameFile(const std::string &From, const std::string &To) = 0;
+
+  virtual bool removeFile(const std::string &Path) = 0;
+  virtual bool exists(const std::string &Path) = 0;
+  virtual uint64_t fileSize(const std::string &Path) = 0;
+
+  /// Makes all appended bytes of \p Path durable (fsync).
+  virtual bool sync(const std::string &Path) = 0;
+
+  /// All existing paths beginning with \p Prefix, sorted lexicographically
+  /// (segment names are zero-padded, so this is also creation order).
+  virtual std::vector<std::string> list(const std::string &Prefix) = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// MemVfs
+//===----------------------------------------------------------------------===//
+
+/// Crash-time disk fault model for MemVfs::crashDir().
+struct MemVfsFaults {
+  /// Power-loss semantics: bytes appended since the last sync() are lost
+  /// at crash. Off means an idealized disk that never loses anything.
+  bool LoseUnsyncedOnCrash = false;
+  /// Chance (out of 1000) that instead of vanishing entirely, the
+  /// un-fsynced suffix is torn: a uniformly random byte prefix of it
+  /// survives, so a record can be cut at any byte offset.
+  unsigned TornWritePermille = 0;
+  /// Chance (out of 1000) that a crash leaves a garbage tail on a file —
+  /// random bytes where a record was mid-write when power died.
+  unsigned GarbageTailPermille = 0;
+  /// Garbage tail length is uniform in [1, MaxGarbageBytes].
+  unsigned MaxGarbageBytes = 0;
+};
+
+/// Deterministic in-memory backend with fault injection. Thread-safe
+/// (the rt runtime shares one MemVfs across node threads); determinism
+/// holds whenever call order is deterministic, i.e. under the simulator.
+class MemVfs : public Vfs {
+public:
+  explicit MemVfs(uint64_t Seed, MemVfsFaults Faults = MemVfsFaults())
+      : Faults(Faults), R(Seed) {}
+
+  bool append(const std::string &Path, const std::string &Bytes) override;
+  bool readFile(const std::string &Path, std::string &Out) override;
+  bool truncate(const std::string &Path, uint64_t Size) override;
+  bool renameFile(const std::string &From, const std::string &To) override;
+  bool removeFile(const std::string &Path) override;
+  bool exists(const std::string &Path) override;
+  uint64_t fileSize(const std::string &Path) override;
+  bool sync(const std::string &Path) override;
+  std::vector<std::string> list(const std::string &Prefix) override;
+
+  /// Simulates power loss for one node: applies the fault model to every
+  /// file under \p DirPrefix. Whatever survives becomes durable (it is,
+  /// after all, what the disk held when power returned).
+  void crashDir(const std::string &DirPrefix);
+
+  //===--------------------------------------------------------------===//
+  // Precise corruption hooks (tests)
+  //===--------------------------------------------------------------===//
+
+  /// Cuts \p Path at exactly \p Offset bytes.
+  bool tearAt(const std::string &Path, uint64_t Offset);
+
+  /// Flips bit \p Bit (0-7) of the byte at \p Offset.
+  bool flipBit(const std::string &Path, uint64_t Offset, unsigned Bit);
+
+  /// Un-fsynced byte count of \p Path (0 if absent).
+  uint64_t unsyncedBytes(const std::string &Path);
+
+private:
+  struct File {
+    std::string Data;
+    /// Bytes guaranteed to survive a crash (fsync high-water mark).
+    uint64_t SyncedSize = 0;
+  };
+
+  MemVfsFaults Faults;
+  Rng R;
+  std::mutex Mu;
+  std::map<std::string, File> Files;
+};
+
+//===----------------------------------------------------------------------===//
+// PosixVfs
+//===----------------------------------------------------------------------===//
+
+/// Real files under \p Root via POSIX open/write/fsync. Paths are
+/// resolved against the root; parent directories are created on demand.
+/// Renames fsync the parent directory so the new name is durable.
+class PosixVfs : public Vfs {
+public:
+  explicit PosixVfs(std::string Root) : Root(std::move(Root)) {}
+
+  bool append(const std::string &Path, const std::string &Bytes) override;
+  bool readFile(const std::string &Path, std::string &Out) override;
+  bool truncate(const std::string &Path, uint64_t Size) override;
+  bool renameFile(const std::string &From, const std::string &To) override;
+  bool removeFile(const std::string &Path) override;
+  bool exists(const std::string &Path) override;
+  uint64_t fileSize(const std::string &Path) override;
+  bool sync(const std::string &Path) override;
+  std::vector<std::string> list(const std::string &Prefix) override;
+
+  const std::string &root() const { return Root; }
+
+private:
+  std::string resolve(const std::string &Path) const;
+  bool syncDirOf(const std::string &AbsPath) const;
+
+  std::string Root;
+};
+
+} // namespace store
+} // namespace adore
+
+#endif // ADORE_STORE_VFS_H

@@ -1,0 +1,232 @@
+//===- store/Wal.cpp - Write-ahead log and snapshot format ------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Wal.h"
+
+#include "core/Codec.h"
+#include "support/Crc32c.h"
+
+#include <cstdio>
+
+using namespace adore;
+using namespace adore::store;
+
+static const char WalMagic[8] = {'A', 'D', 'O', 'R', 'W', 'A', 'L', '1'};
+static const char SnapMagic[8] = {'A', 'D', 'O', 'R', 'S', 'N', 'P', '1'};
+
+std::string store::segmentName(uint64_t Seq) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "wal-%08llu.log",
+                static_cast<unsigned long long>(Seq));
+  return Buf;
+}
+
+std::string store::snapshotName(uint64_t Seq) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "snap-%08llu.snap",
+                static_cast<unsigned long long>(Seq));
+  return Buf;
+}
+
+bool store::parseTrailingSeq(const std::string &Path, uint64_t &Seq) {
+  // "dir/wal-00000042.log" -> 42. The 8-digit field sits between the
+  // last '-' and the last '.'.
+  size_t Dash = Path.rfind('-');
+  size_t Dot = Path.rfind('.');
+  if (Dash == std::string::npos || Dot == std::string::npos || Dot <= Dash + 1)
+    return false;
+  uint64_t V = 0;
+  for (size_t I = Dash + 1; I != Dot; ++I) {
+    char C = Path[I];
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Seq = V;
+  return true;
+}
+
+std::string store::segmentHeader(uint64_t Seq) {
+  std::string Out(WalMagic, sizeof(WalMagic));
+  codec::putU32(Out, WalVersion);
+  codec::putU64(Out, Seq);
+  return Out;
+}
+
+void store::frameRecord(std::string &Out, const std::string &Payload) {
+  codec::putU32(Out, static_cast<uint32_t>(Payload.size()));
+  codec::putU32(Out, crc32c(Payload));
+  Out += Payload;
+}
+
+std::string store::payloadTermVote(uint64_t Term,
+                                   const std::optional<NodeId> &Vote) {
+  std::string P;
+  codec::putU8(P, static_cast<uint8_t>(RecordType::TermVote));
+  codec::putU64(P, Term);
+  codec::putU8(P, Vote.has_value() ? 1 : 0);
+  codec::putU32(P, Vote.value_or(0));
+  return P;
+}
+
+std::string store::payloadAppend(uint64_t Index, const core::LogEntry &E) {
+  std::string P;
+  codec::putU8(P, static_cast<uint8_t>(RecordType::Append));
+  codec::putU64(P, Index);
+  codec::putEntry(P, E);
+  return P;
+}
+
+std::string store::payloadTruncate(uint64_t NewLen) {
+  std::string P;
+  codec::putU8(P, static_cast<uint8_t>(RecordType::Truncate));
+  codec::putU64(P, NewLen);
+  return P;
+}
+
+std::string store::payloadCommit(uint64_t Index) {
+  std::string P;
+  codec::putU8(P, static_cast<uint8_t>(RecordType::Commit));
+  codec::putU64(P, Index);
+  return P;
+}
+
+/// Decodes one payload into \p R; false means corrupt (even with a good
+/// CRC, a payload must parse exactly — belt and braces).
+static bool decodePayload(const std::string &Payload, WalRecord &R) {
+  codec::Cursor C{Payload};
+  uint8_t Type = C.u8();
+  if (!C.Ok)
+    return false;
+  switch (Type) {
+  case static_cast<uint8_t>(RecordType::TermVote): {
+    R.Type = RecordType::TermVote;
+    R.Term = C.u64();
+    bool HasVote = C.u8() != 0;
+    NodeId Vote = C.u32();
+    R.Vote = HasVote ? std::optional<NodeId>(Vote) : std::nullopt;
+    return C.done();
+  }
+  case static_cast<uint8_t>(RecordType::Append): {
+    R.Type = RecordType::Append;
+    R.Index = C.u64();
+    if (!C.entry(R.Entry))
+      return false;
+    return C.done();
+  }
+  case static_cast<uint8_t>(RecordType::Truncate): {
+    R.Type = RecordType::Truncate;
+    R.NewLen = C.u64();
+    return C.done();
+  }
+  case static_cast<uint8_t>(RecordType::Commit): {
+    R.Type = RecordType::Commit;
+    R.Index = C.u64();
+    return C.done();
+  }
+  default:
+    return false;
+  }
+}
+
+SegmentScan store::scanSegment(const std::string &Bytes) {
+  SegmentScan S;
+  if (Bytes.size() < SegmentHeaderBytes ||
+      Bytes.compare(0, sizeof(WalMagic), WalMagic, sizeof(WalMagic)) != 0) {
+    S.CorruptTail = !Bytes.empty();
+    return S;
+  }
+  codec::Cursor Hdr{Bytes, sizeof(WalMagic)};
+  uint32_t Version = Hdr.u32();
+  uint64_t Seq = Hdr.u64();
+  if (Version != WalVersion) {
+    S.CorruptTail = true;
+    return S;
+  }
+  S.HeaderOk = true;
+  S.Seq = Seq;
+
+  size_t Pos = SegmentHeaderBytes;
+  for (;;) {
+    if (Pos == Bytes.size())
+      break; // Clean end at a record boundary.
+    if (Bytes.size() - Pos < 8) {
+      S.CorruptTail = true; // Partial frame header.
+      break;
+    }
+    codec::Cursor C{Bytes, Pos};
+    uint32_t Len = C.u32();
+    uint32_t Crc = C.u32();
+    if (Len > MaxRecordPayload || Bytes.size() - C.Pos < Len) {
+      S.CorruptTail = true; // Insane length or truncated payload.
+      break;
+    }
+    std::string Payload = Bytes.substr(C.Pos, Len);
+    WalRecord R;
+    if (crc32c(Payload) != Crc || !decodePayload(Payload, R)) {
+      S.CorruptTail = true; // Bit rot or garbage.
+      break;
+    }
+    Pos = C.Pos + Len;
+    R.EndOffset = Pos;
+    S.Records.push_back(std::move(R));
+  }
+  S.ValidBytes = Pos;
+  return S;
+}
+
+std::string store::encodeSnapshot(uint64_t Term,
+                                  const std::optional<NodeId> &Vote,
+                                  uint64_t CommitIndex,
+                                  const std::vector<core::LogEntry> &Log) {
+  std::string Payload;
+  codec::putU64(Payload, Term);
+  codec::putU8(Payload, Vote.has_value() ? 1 : 0);
+  codec::putU32(Payload, Vote.value_or(0));
+  codec::putU64(Payload, CommitIndex);
+  codec::putU64(Payload, Log.size());
+  for (const core::LogEntry &E : Log)
+    codec::putEntry(Payload, E);
+
+  std::string Out(SnapMagic, sizeof(SnapMagic));
+  frameRecord(Out, Payload);
+  return Out;
+}
+
+bool store::decodeSnapshot(const std::string &Bytes, uint64_t &Term,
+                           std::optional<NodeId> &Vote, uint64_t &CommitIndex,
+                           std::vector<core::LogEntry> &Log) {
+  if (Bytes.size() < sizeof(SnapMagic) + 8 ||
+      Bytes.compare(0, sizeof(SnapMagic), SnapMagic, sizeof(SnapMagic)) != 0)
+    return false;
+  codec::Cursor F{Bytes, sizeof(SnapMagic)};
+  uint32_t Len = F.u32();
+  uint32_t Crc = F.u32();
+  if (Len > MaxRecordPayload || Bytes.size() - F.Pos != Len)
+    return false; // A snapshot is exactly one frame; no trailing bytes.
+  std::string Payload = Bytes.substr(F.Pos, Len);
+  if (crc32c(Payload) != Crc)
+    return false;
+
+  codec::Cursor C{Payload};
+  Term = C.u64();
+  bool HasVote = C.u8() != 0;
+  NodeId V = C.u32();
+  Vote = HasVote ? std::optional<NodeId>(V) : std::nullopt;
+  CommitIndex = C.u64();
+  uint64_t N = C.u64();
+  if (!C.Ok || N > codec::MaxEntries)
+    return false;
+  Log.clear();
+  Log.reserve(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    core::LogEntry E;
+    if (!C.entry(E))
+      return false;
+    Log.push_back(std::move(E));
+  }
+  return C.done();
+}

@@ -1,0 +1,61 @@
+//===- support/Crc32c.h - CRC-32C (Castagnoli) checksums ------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table-driven software CRC-32C (Castagnoli polynomial 0x1EDC6F41,
+/// reflected 0x82F63B78) — the checksum guarding every WAL record and
+/// snapshot frame in src/store. Chosen over plain CRC-32 for its better
+/// burst-error detection; the value for "123456789" is the standard
+/// check word 0xE3069283, pinned by a test so the on-disk format cannot
+/// silently drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SUPPORT_CRC32C_H
+#define ADORE_SUPPORT_CRC32C_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace adore {
+
+namespace detail {
+
+inline const std::array<uint32_t, 256> &crc32cTable() {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0x82F63B78u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  return Table;
+}
+
+} // namespace detail
+
+/// CRC-32C over \p Len bytes, continuing from \p Seed (pass 0 to start).
+inline uint32_t crc32c(const void *Data, size_t Len, uint32_t Seed = 0) {
+  const auto &Table = detail::crc32cTable();
+  const auto *P = static_cast<const uint8_t *>(Data);
+  uint32_t C = ~Seed;
+  for (size_t I = 0; I != Len; ++I)
+    C = Table[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return ~C;
+}
+
+inline uint32_t crc32c(const std::string &Bytes, uint32_t Seed = 0) {
+  return crc32c(Bytes.data(), Bytes.size(), Seed);
+}
+
+} // namespace adore
+
+#endif // ADORE_SUPPORT_CRC32C_H
