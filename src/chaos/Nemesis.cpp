@@ -62,7 +62,16 @@ void Nemesis::start() {
   case Scenario::CrashMidReconfig:
     scriptCrashMidReconfig();
     break;
-  default:
+  case Scenario::Mixed:
+  case Scenario::Crashes:
+  case Scenario::Partitions:
+  case Scenario::Cuts:
+  case Scenario::NetChaos:
+  case Scenario::Reconfigs:
+  case Scenario::DiskFaults:
+    // Randomized scenarios: step() draws from the per-scenario move
+    // set. Enumerated (no default) so a new Scenario must choose
+    // scripted vs randomized explicitly.
     scheduleNextStep();
     break;
   }

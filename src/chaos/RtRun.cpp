@@ -111,10 +111,17 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
       if (Reconfig(configWithout(Opts.Members, Victim), "mixed removal"))
         Reconfig(C.initialConfig(), "mixed re-add");
       break;
-    default:
+    case Scenario::Crashes:
+    case Scenario::Partitions:
+    case Scenario::Cuts:
+    case Scenario::NetChaos:
+    case Scenario::SplitBrain:
+    case Scenario::DiskFaults:
       // Crash-flavored mapping for the network scenarios: the rt bus
       // has no cuttable links, so fault pressure comes from losing and
-      // recovering a replica (twice, with traffic in between).
+      // recovering a replica (twice, with traffic in between). Listed
+      // explicitly (no default) so a new Scenario forces a decision
+      // here under -Werror=switch instead of inheriting this mapping.
       for (int Round = 0; Round != 2; ++Round) {
         C.crash(Victim);
         Submit(2);

@@ -17,10 +17,10 @@
 #define ADORE_RT_BUS_H
 
 #include "support/Ids.h"
+#include "support/Sync.h"
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 namespace adore {
@@ -36,7 +36,7 @@ public:
   /// Registers the delivery handler for \p Id, replacing any previous
   /// one.
   void attach(NodeId Id, Handler H) {
-    std::lock_guard<std::mutex> Lock(Mu);
+    sync::MutexLock Lock(Mu);
     Handlers[Id] = std::move(H);
   }
 
@@ -44,7 +44,7 @@ public:
   void post(NodeId To, std::string Frame) {
     const Handler *H = nullptr;
     {
-      std::lock_guard<std::mutex> Lock(Mu);
+      sync::MutexLock Lock(Mu);
       auto It = Handlers.find(To);
       if (It != Handlers.end())
         H = &It->second;
@@ -57,8 +57,8 @@ public:
   }
 
 private:
-  std::mutex Mu;
-  std::map<NodeId, Handler> Handlers;
+  sync::Mutex Mu;
+  std::map<NodeId, Handler> Handlers ADORE_GUARDED_BY(Mu);
 };
 
 } // namespace rt

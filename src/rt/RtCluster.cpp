@@ -72,6 +72,12 @@ store::StoreStats RtCluster::storeStats() const {
 RtCluster::~RtCluster() { stop(); }
 
 void RtCluster::start() {
+  // LifeMu makes cluster lifecycle transitions atomic: the old unlocked
+  // Running flag let a start() racing a stop() interleave node
+  // starts/joins arbitrarily (annotating Running GUARDED_BY is what
+  // forced this). Joining under LifeMu is fine — workers only ever
+  // need ObsMu.
+  sync::MutexLock Lock(LifeMu);
   if (Running)
     return;
   Running = true;
@@ -80,6 +86,7 @@ void RtCluster::start() {
 }
 
 void RtCluster::stop() {
+  sync::MutexLock Lock(LifeMu);
   if (!Running)
     return;
   for (auto &N : Nodes)
@@ -104,7 +111,7 @@ NodeId RtCluster::waitForLeader(uint64_t TimeoutMs) const {
 bool RtCluster::submitAndWait(MethodId Method, uint64_t TimeoutMs) {
   uint64_t Seq;
   {
-    std::lock_guard<std::mutex> Lock(ObsMu);
+    sync::MutexLock Lock(ObsMu);
     Seq = NextClientSeq++;
   }
   auto Deadline = deadlineIn(TimeoutMs);
@@ -126,14 +133,20 @@ bool RtCluster::submitAndWait(MethodId Method, uint64_t TimeoutMs) {
     // unobserved commit is harmless because commitment is keyed by Seq.
     Target->submit(Method, Seq);
 
-    std::unique_lock<std::mutex> Lock(ObsMu);
-    bool Done = ObsCv.wait_until(Lock, deadlineIn(40), [&] {
-      return CommittedSeqs.count(Seq) != 0;
-    });
-    if (Done)
+    // Open-coded predicate wait (rather than the wait_until overload
+    // taking a lambda): the predicate reads ObsMu-guarded state, and a
+    // lambda body is outside the lexical scope the thread-safety
+    // analysis can check against the held capability.
+    sync::MutexLock Lock(ObsMu);
+    auto Retry = deadlineIn(40);
+    while (CommittedSeqs.count(Seq) == 0) {
+      if (ObsCv.waitUntil(ObsMu, Retry) == std::cv_status::timeout)
+        break;
+    }
+    if (CommittedSeqs.count(Seq) != 0)
       return true;
     if (std::chrono::steady_clock::now() >= Deadline)
-      return CommittedSeqs.count(Seq) != 0;
+      return false;
   }
 }
 
@@ -153,18 +166,24 @@ bool RtCluster::reconfigAndWait(const Config &NewConf, uint64_t TimeoutMs) {
       Target = Nodes[Rotor++ % Nodes.size()].get();
     Target->requestReconfig(NewConf);
 
-    std::unique_lock<std::mutex> Lock(ObsMu);
-    auto Committed = [&] {
-      for (const Config &C : CommittedConfs)
-        if (C == NewConf)
-          return true;
-      return false;
-    };
-    if (ObsCv.wait_until(Lock, deadlineIn(40), Committed))
+    sync::MutexLock Lock(ObsMu);
+    auto Retry = deadlineIn(40);
+    while (!confCommittedLocked(NewConf)) {
+      if (ObsCv.waitUntil(ObsMu, Retry) == std::cv_status::timeout)
+        break;
+    }
+    if (confCommittedLocked(NewConf))
       return true;
     if (std::chrono::steady_clock::now() >= Deadline)
-      return Committed();
+      return false;
   }
+}
+
+bool RtCluster::confCommittedLocked(const Config &NewConf) const {
+  for (const Config &C : CommittedConfs)
+    if (C == NewConf)
+      return true;
+  return false;
 }
 
 void RtCluster::crash(NodeId Id) {
@@ -180,17 +199,17 @@ void RtCluster::restart(NodeId Id) {
 }
 
 size_t RtCluster::committedCount() const {
-  std::lock_guard<std::mutex> Lock(ObsMu);
+  sync::MutexLock Lock(ObsMu);
   return Ledger.size();
 }
 
 std::vector<std::string> RtCluster::violations() const {
-  std::lock_guard<std::mutex> Lock(ObsMu);
+  sync::MutexLock Lock(ObsMu);
   return Violations;
 }
 
 void RtCluster::onApply(NodeId Node, size_t Index, const core::LogEntry &E) {
-  std::lock_guard<std::mutex> Lock(ObsMu);
+  sync::MutexLock Lock(ObsMu);
   auto It = Ledger.find(Index);
   if (It == Ledger.end()) {
     Ledger.emplace(Index, E);
@@ -204,11 +223,11 @@ void RtCluster::onApply(NodeId Node, size_t Index, const core::LogEntry &E) {
        << " applied a different entry than first committed";
     Violations.push_back(OS.str());
   }
-  ObsCv.notify_all();
+  ObsCv.notifyAll();
 }
 
 void RtCluster::onLeader(NodeId Node, Time Term) {
-  std::lock_guard<std::mutex> Lock(ObsMu);
+  sync::MutexLock Lock(ObsMu);
   auto &Set = LeadersByTerm[Term];
   Set.insert(Node);
   if (Set.size() > 1) {
@@ -217,11 +236,11 @@ void RtCluster::onLeader(NodeId Node, Time Term) {
        << Term;
     Violations.push_back(OS.str());
   }
-  ObsCv.notify_all();
+  ObsCv.notifyAll();
 }
 
 std::vector<std::string> RtCluster::checkFinalAgreement() {
-  std::lock_guard<std::mutex> Lock(ObsMu);
+  sync::MutexLock Lock(ObsMu);
   for (const auto &N : Nodes) {
     if (uint64_t M = N->storeMismatches()) {
       std::ostringstream OS;

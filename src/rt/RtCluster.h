@@ -22,6 +22,7 @@
 #include "rt/Bus.h"
 #include "rt/RtNode.h"
 #include "store/NodeStore.h"
+#include "support/Sync.h"
 
 #include <map>
 #include <memory>
@@ -69,11 +70,11 @@ public:
   RtCluster(const RtCluster &) = delete;
   RtCluster &operator=(const RtCluster &) = delete;
 
-  /// Starts every node's worker thread.
-  void start();
+  /// Starts every node's worker thread. Safe to race with stop().
+  void start() ADORE_EXCLUDES(LifeMu);
 
   /// Stops and joins every node. Idempotent; called by the destructor.
-  void stop();
+  void stop() ADORE_EXCLUDES(LifeMu);
 
   size_t numNodes() const { return Nodes.size(); }
 
@@ -116,8 +117,11 @@ public:
   store::StoreStats storeStats() const;
 
 private:
-  void onApply(NodeId Node, size_t Index, const core::LogEntry &E);
-  void onLeader(NodeId Node, Time Term);
+  void onApply(NodeId Node, size_t Index, const core::LogEntry &E)
+      ADORE_EXCLUDES(ObsMu);
+  void onLeader(NodeId Node, Time Term) ADORE_EXCLUDES(ObsMu);
+  bool confCommittedLocked(const Config &NewConf) const
+      ADORE_REQUIRES(ObsMu);
 
   RtClusterOptions Opts;
   std::unique_ptr<ReconfigScheme> Scheme;
@@ -128,16 +132,25 @@ private:
   std::unique_ptr<store::MemVfs> Disk;
   std::vector<std::unique_ptr<store::NodeStore>> Stores;
   std::vector<std::unique_ptr<RtNode>> Nodes;
-  bool Running = false;
 
-  mutable std::mutex ObsMu; ///< Guards everything below.
-  mutable std::condition_variable ObsCv;
-  std::map<size_t, core::LogEntry> Ledger; ///< First apply at each index wins.
-  std::set<uint64_t> CommittedSeqs;        ///< ClientSeq of committed methods.
-  std::vector<Config> CommittedConfs;      ///< Committed reconfig targets.
-  std::map<Time, std::set<NodeId>> LeadersByTerm;
-  std::vector<std::string> Violations;
-  uint64_t NextClientSeq = 1;
+  /// Serializes start()/stop(); node worker threads never take it, so
+  /// stop() may join them while holding it. Never hold ObsMu across a
+  /// lifecycle call: the workers' observation callbacks need ObsMu to
+  /// drain.
+  mutable sync::Mutex LifeMu;
+  bool Running ADORE_GUARDED_BY(LifeMu) = false;
+
+  mutable sync::Mutex ObsMu; ///< Guards everything below.
+  mutable sync::CondVar ObsCv;
+  std::map<size_t, core::LogEntry> Ledger
+      ADORE_GUARDED_BY(ObsMu); ///< First apply at each index wins.
+  std::set<uint64_t> CommittedSeqs
+      ADORE_GUARDED_BY(ObsMu); ///< ClientSeq of committed methods.
+  std::vector<Config> CommittedConfs
+      ADORE_GUARDED_BY(ObsMu); ///< Committed reconfig targets.
+  std::map<Time, std::set<NodeId>> LeadersByTerm ADORE_GUARDED_BY(ObsMu);
+  std::vector<std::string> Violations ADORE_GUARDED_BY(ObsMu);
+  uint64_t NextClientSeq ADORE_GUARDED_BY(ObsMu) = 1;
 };
 
 } // namespace rt

@@ -56,8 +56,14 @@ void RtNode::recoverFromStore(bool CheckAgainstCore) {
 RtNode::~RtNode() { stop(); }
 
 void RtNode::start() {
+  // LifeMu serializes whole lifecycle transitions; without it, a
+  // start() racing a stop() could assign Worker while the stop was
+  // joining the old thread (a data race on the std::thread object the
+  // original lock scheme left unguarded — surfaced by annotating
+  // Worker GUARDED_BY and letting the analysis reject the old code).
+  sync::MutexLock Life(LifeMu);
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    sync::MutexLock Lock(Mu);
     if (Started)
       return;
     Started = true;
@@ -67,25 +73,27 @@ void RtNode::start() {
 }
 
 void RtNode::stop() {
+  sync::MutexLock Life(LifeMu);
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    sync::MutexLock Lock(Mu);
     if (!Started)
       return;
     Stopping = true;
   }
-  Cv.notify_all();
+  Cv.notifyAll();
+  // Joining under LifeMu is safe: the worker never acquires it.
   if (Worker.joinable())
     Worker.join();
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   Started = false;
 }
 
 void RtNode::enqueue(Item It) {
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    sync::MutexLock Lock(Mu);
     Inbox.push_back(std::move(It));
   }
-  Cv.notify_all();
+  Cv.notifyAll();
 }
 
 void RtNode::enqueueFrame(std::string Frame) {
@@ -123,7 +131,7 @@ void RtNode::restart() {
 }
 
 RtNodeStatus RtNode::status() const {
-  std::lock_guard<std::mutex> Lock(StatusMu);
+  sync::MutexLock Lock(StatusMu);
   return Cached;
 }
 
@@ -149,7 +157,7 @@ std::optional<RtNode::Clock::time_point> RtNode::nextDeadline() const {
 
 void RtNode::run() {
   dispatch(Core.start());
-  std::unique_lock<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   for (;;) {
     if (Stopping)
       return;
@@ -157,7 +165,7 @@ void RtNode::run() {
       std::optional<Clock::time_point> Wake = nextDeadline();
       if (Wake) {
         if (Clock::now() < *Wake) {
-          Cv.wait_until(Lock, *Wake);
+          Cv.waitUntil(Mu, *Wake);
           continue; // Re-check stop flag and inbox first.
         }
         // A deadline is due: fire outside the inbox lock.
@@ -166,7 +174,7 @@ void RtNode::run() {
         Lock.lock();
         continue;
       }
-      Cv.wait(Lock);
+      Cv.wait(Mu);
       continue;
     }
     Item It = std::move(Inbox.front());
@@ -296,6 +304,6 @@ void RtNode::publishStatus() {
   S.LogSize = Core.logSize();
   S.Crashed = Core.isCrashed();
   S.Passive = Core.isPassive();
-  std::lock_guard<std::mutex> Lock(StatusMu);
+  sync::MutexLock Lock(StatusMu);
   Cached = S;
 }

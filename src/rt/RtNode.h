@@ -26,13 +26,12 @@
 
 #include "core/RaftCore.h"
 #include "rt/Bus.h"
+#include "support/Sync.h"
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -78,11 +77,12 @@ public:
   RtNode(const RtNode &) = delete;
   RtNode &operator=(const RtNode &) = delete;
 
-  /// Spawns the worker thread and starts the core. Call once.
-  void start();
+  /// Spawns the worker thread and starts the core. Idempotent; safe to
+  /// race with stop() (LifeMu serializes lifecycle transitions).
+  void start() ADORE_EXCLUDES(LifeMu, Mu);
 
   /// Stops and joins the worker thread. Idempotent.
-  void stop();
+  void stop() ADORE_EXCLUDES(LifeMu, Mu);
 
   NodeId id() const { return Id; }
 
@@ -160,20 +160,25 @@ private:
   Deadline Election;  ///< Worker-thread only.
   Deadline Heartbeat; ///< Worker-thread only.
 
-  mutable std::mutex Mu; ///< Guards Inbox/Stopping/Started.
-  std::condition_variable Cv;
-  std::deque<Item> Inbox;
-  bool Stopping = false;
-  bool Started = false;
+  /// Serializes start()/stop() end to end: the worker thread never
+  /// takes it, so stop() may join while holding it, and a start() racing
+  /// a stop() can no longer observe (or clobber) a half-torn-down
+  /// Worker. Ordered before Mu: lifecycle code acquires LifeMu first.
+  mutable sync::Mutex LifeMu;
+  mutable sync::Mutex Mu ADORE_ACQUIRED_AFTER(LifeMu);
+  sync::CondVar Cv;
+  std::deque<Item> Inbox ADORE_GUARDED_BY(Mu);
+  bool Stopping ADORE_GUARDED_BY(Mu) = false;
+  bool Started ADORE_GUARDED_BY(Mu) = false;
 
-  mutable std::mutex StatusMu;
-  RtNodeStatus Cached;
+  mutable sync::Mutex StatusMu;
+  RtNodeStatus Cached ADORE_GUARDED_BY(StatusMu);
 
   std::atomic<uint64_t> Malformed{0};
   std::atomic<uint64_t> StoreMismatches{0};
   store::NodeStore *Store = nullptr; ///< Worker-thread only once started.
 
-  std::thread Worker;
+  std::thread Worker ADORE_GUARDED_BY(LifeMu);
 };
 
 } // namespace rt

@@ -24,13 +24,13 @@ using namespace adore::store;
 //===----------------------------------------------------------------------===//
 
 bool MemVfs::append(const std::string &Path, const std::string &Bytes) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   Files[Path].Data += Bytes;
   return true;
 }
 
 bool MemVfs::readFile(const std::string &Path, std::string &Out) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   auto It = Files.find(Path);
   if (It == Files.end())
     return false;
@@ -39,7 +39,7 @@ bool MemVfs::readFile(const std::string &Path, std::string &Out) {
 }
 
 bool MemVfs::truncate(const std::string &Path, uint64_t Size) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   auto It = Files.find(Path);
   if (It == Files.end())
     return false;
@@ -51,7 +51,7 @@ bool MemVfs::truncate(const std::string &Path, uint64_t Size) {
 }
 
 bool MemVfs::renameFile(const std::string &From, const std::string &To) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   auto It = Files.find(From);
   if (It == Files.end())
     return false;
@@ -62,23 +62,23 @@ bool MemVfs::renameFile(const std::string &From, const std::string &To) {
 }
 
 bool MemVfs::removeFile(const std::string &Path) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   return Files.erase(Path) != 0;
 }
 
 bool MemVfs::exists(const std::string &Path) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   return Files.count(Path) != 0;
 }
 
 uint64_t MemVfs::fileSize(const std::string &Path) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   auto It = Files.find(Path);
   return It == Files.end() ? 0 : It->second.Data.size();
 }
 
 bool MemVfs::sync(const std::string &Path) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   auto It = Files.find(Path);
   if (It == Files.end())
     return false;
@@ -87,7 +87,7 @@ bool MemVfs::sync(const std::string &Path) {
 }
 
 std::vector<std::string> MemVfs::list(const std::string &Prefix) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   std::vector<std::string> Out;
   // std::map iterates in sorted order, so Out is already sorted.
   for (auto It = Files.lower_bound(Prefix); It != Files.end(); ++It) {
@@ -99,7 +99,7 @@ std::vector<std::string> MemVfs::list(const std::string &Prefix) {
 }
 
 void MemVfs::crashDir(const std::string &DirPrefix) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   for (auto It = Files.lower_bound(DirPrefix); It != Files.end(); ++It) {
     if (It->first.compare(0, DirPrefix.size(), DirPrefix) != 0)
       break;
@@ -126,7 +126,7 @@ void MemVfs::crashDir(const std::string &DirPrefix) {
 }
 
 bool MemVfs::tearAt(const std::string &Path, uint64_t Offset) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   auto It = Files.find(Path);
   if (It == Files.end() || Offset > It->second.Data.size())
     return false;
@@ -136,7 +136,7 @@ bool MemVfs::tearAt(const std::string &Path, uint64_t Offset) {
 }
 
 bool MemVfs::flipBit(const std::string &Path, uint64_t Offset, unsigned Bit) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   auto It = Files.find(Path);
   if (It == Files.end() || Offset >= It->second.Data.size() || Bit > 7)
     return false;
@@ -145,7 +145,7 @@ bool MemVfs::flipBit(const std::string &Path, uint64_t Offset, unsigned Bit) {
 }
 
 uint64_t MemVfs::unsyncedBytes(const std::string &Path) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  sync::MutexLock Lock(Mu);
   auto It = Files.find(Path);
   if (It == Files.end())
     return 0;

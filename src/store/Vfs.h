@@ -30,10 +30,10 @@
 #define ADORE_STORE_VFS_H
 
 #include "support/Rng.h"
+#include "support/Sync.h"
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -135,10 +135,13 @@ private:
     uint64_t SyncedSize = 0;
   };
 
-  MemVfsFaults Faults;
-  Rng R;
-  std::mutex Mu;
-  std::map<std::string, File> Files;
+  const MemVfsFaults Faults;
+  sync::Mutex Mu;
+  /// The fault model consumes randomness under the same lock that
+  /// guards the files it mutates, so concurrent crashDir()/append()
+  /// calls cannot interleave draws.
+  Rng R ADORE_GUARDED_BY(Mu);
+  std::map<std::string, File> Files ADORE_GUARDED_BY(Mu);
 };
 
 //===----------------------------------------------------------------------===//

@@ -99,10 +99,15 @@ std::string store::payloadCommit(uint64_t Index) {
 static bool decodePayload(const std::string &Payload, WalRecord &R) {
   codec::Cursor C{Payload};
   uint8_t Type = C.u8();
-  if (!C.Ok)
+  // Validate the raw byte up front, then switch over the typed enum
+  // with no default: an out-of-range byte is corruption (rejected
+  // here), while a *new* RecordType someone adds becomes a
+  // -Werror=switch error below instead of silently decoding as corrupt.
+  if (!C.Ok || Type < static_cast<uint8_t>(RecordType::TermVote) ||
+      Type > static_cast<uint8_t>(RecordType::Commit))
     return false;
-  switch (Type) {
-  case static_cast<uint8_t>(RecordType::TermVote): {
+  switch (static_cast<RecordType>(Type)) {
+  case RecordType::TermVote: {
     R.Type = RecordType::TermVote;
     R.Term = C.u64();
     bool HasVote = C.u8() != 0;
@@ -110,26 +115,25 @@ static bool decodePayload(const std::string &Payload, WalRecord &R) {
     R.Vote = HasVote ? std::optional<NodeId>(Vote) : std::nullopt;
     return C.done();
   }
-  case static_cast<uint8_t>(RecordType::Append): {
+  case RecordType::Append: {
     R.Type = RecordType::Append;
     R.Index = C.u64();
     if (!C.entry(R.Entry))
       return false;
     return C.done();
   }
-  case static_cast<uint8_t>(RecordType::Truncate): {
+  case RecordType::Truncate: {
     R.Type = RecordType::Truncate;
     R.NewLen = C.u64();
     return C.done();
   }
-  case static_cast<uint8_t>(RecordType::Commit): {
+  case RecordType::Commit: {
     R.Type = RecordType::Commit;
     R.Index = C.u64();
     return C.done();
   }
-  default:
-    return false;
   }
+  return false; // Unreachable: the range check above is exhaustive.
 }
 
 SegmentScan store::scanSegment(const std::string &Bytes) {

@@ -1,0 +1,154 @@
+//===- support/Sync.h - Annotated synchronization primitives --*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin wrappers over std::mutex / std::condition_variable_any carrying
+/// Clang thread-safety-analysis capability annotations, so the lock
+/// discipline of the threaded runtime (src/rt) and the shared durable
+/// disk (src/store) is checked *statically* along every path — including
+/// the ones the TSan chaos jobs never happen to schedule.
+///
+/// Usage:
+///
+///   sync::Mutex Mu;
+///   int Count ADORE_GUARDED_BY(Mu);
+///
+///   void bump() {
+///     sync::MutexLock Lock(Mu);
+///     ++Count;                      // OK: Mu held.
+///   }
+///
+/// Compiling with clang and -Wthread-safety (the ADORE_THREAD_SAFETY
+/// CMake option turns this on together with -Werror) rejects any access
+/// to a GUARDED_BY member without its mutex, any REQUIRES function
+/// called without the capability, and any double-acquire. Under other
+/// compilers the macros expand to nothing and the wrappers behave
+/// exactly like the std primitives they hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SUPPORT_SYNC_H
+#define ADORE_SUPPORT_SYNC_H
+
+#include <condition_variable>
+#include <mutex>
+
+// Attribute spelling: thread-safety attributes are a Clang extension;
+// every other compiler sees empty macros (and clang without
+// -Wthread-safety simply ignores them).
+#if defined(__clang__) && !defined(SWIG)
+#define ADORE_TSA(x) __attribute__((x))
+#else
+#define ADORE_TSA(x)
+#endif
+
+#define ADORE_CAPABILITY(x) ADORE_TSA(capability(x))
+#define ADORE_SCOPED_CAPABILITY ADORE_TSA(scoped_lockable)
+#define ADORE_GUARDED_BY(x) ADORE_TSA(guarded_by(x))
+#define ADORE_PT_GUARDED_BY(x) ADORE_TSA(pt_guarded_by(x))
+#define ADORE_ACQUIRED_BEFORE(...) ADORE_TSA(acquired_before(__VA_ARGS__))
+#define ADORE_ACQUIRED_AFTER(...) ADORE_TSA(acquired_after(__VA_ARGS__))
+#define ADORE_REQUIRES(...) ADORE_TSA(requires_capability(__VA_ARGS__))
+#define ADORE_ACQUIRE(...) ADORE_TSA(acquire_capability(__VA_ARGS__))
+#define ADORE_RELEASE(...) ADORE_TSA(release_capability(__VA_ARGS__))
+#define ADORE_TRY_ACQUIRE(...) ADORE_TSA(try_acquire_capability(__VA_ARGS__))
+#define ADORE_EXCLUDES(...) ADORE_TSA(locks_excluded(__VA_ARGS__))
+#define ADORE_ASSERT_CAPABILITY(x) ADORE_TSA(assert_capability(x))
+#define ADORE_RETURN_CAPABILITY(x) ADORE_TSA(lock_returned(x))
+#define ADORE_NO_THREAD_SAFETY_ANALYSIS ADORE_TSA(no_thread_safety_analysis)
+
+namespace adore {
+namespace sync {
+
+/// A std::mutex declared as a static capability. Lock it through
+/// MutexLock wherever possible; the raw lock()/unlock() exist for the
+/// CondVar internals and the odd hand-over-hand pattern.
+class ADORE_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() ADORE_ACQUIRE() { Mu.lock(); }
+  void unlock() ADORE_RELEASE() { Mu.unlock(); }
+  bool tryLock() ADORE_TRY_ACQUIRE(true) { return Mu.try_lock(); }
+
+private:
+  friend class CondVar;
+  std::mutex Mu;
+};
+
+/// RAII lock over a Mutex, relockable like std::unique_lock: unlock()
+/// releases early, lock() re-acquires, and the destructor releases only
+/// if held. The scoped-capability annotation makes the analysis track
+/// the held/released state through all four.
+class ADORE_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) ADORE_ACQUIRE(M) : Mu(&M), Held(true) {
+    Mu->lock();
+  }
+
+  ~MutexLock() ADORE_RELEASE() {
+    if (Held)
+      Mu->unlock();
+  }
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+  void unlock() ADORE_RELEASE() {
+    Mu->unlock();
+    Held = false;
+  }
+
+  void lock() ADORE_ACQUIRE() {
+    Mu->lock();
+    Held = true;
+  }
+
+private:
+  Mutex *Mu;
+  bool Held;
+};
+
+/// Condition variable bound to sync::Mutex. Waits REQUIRE the mutex:
+/// they atomically release it while blocked and re-acquire before
+/// returning, so the capability is genuinely held on both sides of the
+/// call — which is all the (lexically scoped) analysis needs to verify
+/// that every predicate read happens under the lock.
+class CondVar {
+public:
+  void notifyOne() { Cv.notify_one(); }
+  void notifyAll() { Cv.notify_all(); }
+
+  void wait(Mutex &Mu) ADORE_REQUIRES(Mu) {
+    std::unique_lock<std::mutex> L(Mu.Mu, std::adopt_lock);
+    Cv.wait(L);
+    L.release();
+  }
+
+  template <typename TimePointT>
+  std::cv_status waitUntil(Mutex &Mu, const TimePointT &Deadline)
+      ADORE_REQUIRES(Mu) {
+    std::unique_lock<std::mutex> L(Mu.Mu, std::adopt_lock);
+    std::cv_status S = Cv.wait_until(L, Deadline);
+    L.release();
+    return S;
+  }
+
+private:
+  // The waits adopt the already-held raw std::mutex into a unique_lock
+  // (released again before it destructs), so the efficient plain
+  // condition_variable works against the annotated wrapper. The
+  // annotated lock()/unlock() are for analyzed user code, not for the
+  // (unanalyzed, system-header) wait internals.
+  std::condition_variable Cv;
+};
+
+} // namespace sync
+} // namespace adore
+
+#endif // ADORE_SUPPORT_SYNC_H

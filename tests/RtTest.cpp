@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 using namespace adore;
@@ -202,6 +203,46 @@ TEST(RtClusterTest, HotReconfigUnderTraffic) {
   EXPECT_TRUE(C.submitAndWait(3, 10000));
 
   C.stop();
+  EXPECT_TRUE(C.violations().empty());
+  EXPECT_TRUE(C.checkFinalAgreement().empty());
+}
+
+TEST(RtClusterTest, ConcurrentLifecycleIsSerialized) {
+  // Regression test for the lock-discipline holes the thread-safety
+  // annotations surfaced: RtCluster::Running was an unguarded flag and
+  // RtNode::Worker (the std::thread object itself) was written by
+  // start() and joined by stop() with no common lock, so concurrent
+  // lifecycle calls could double-start workers or join a thread being
+  // assigned. Both are now serialized under LifeMu; this hammers the
+  // old interleavings. The race was on the lifecycle state, not the
+  // data path, so the TSan CI job is where a regression shows up.
+  RtClusterOptions Opts;
+  Opts.Seed = 31;
+  RtCluster C(Opts);
+
+  constexpr int NumRacers = 4;
+  constexpr int CyclesPerRacer = 8;
+  std::vector<std::thread> Racers;
+  for (int T = 0; T != NumRacers; ++T)
+    Racers.emplace_back([&C, T] {
+      for (int I = 0; I != CyclesPerRacer; ++I) {
+        if ((T + I) % 2 == 0)
+          C.start();
+        else
+          C.stop();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  for (std::thread &T : Racers)
+    T.join();
+
+  // Whatever state the race left behind, the cluster must still be
+  // fully usable: idempotent start, an election, a commit, clean stop.
+  C.start();
+  ASSERT_NE(C.waitForLeader(5000), InvalidNodeId);
+  EXPECT_TRUE(C.submitAndWait(1, 10000));
+  C.stop();
+  C.stop(); // Idempotent.
   EXPECT_TRUE(C.violations().empty());
   EXPECT_TRUE(C.checkFinalAgreement().empty());
 }

@@ -1,0 +1,8 @@
+// Fixture: a pure layer reaching into the threaded runtime.
+#include "rt/Bus.h" // LINT-EXPECT: layering
+
+namespace fixture {
+
+int usesRuntime() { return 1; }
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: banned impurity tokens in a pure layer. Note the strings
+// and comments below mention rand() and fopen() without tripping the
+// linter — only real code should fire.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+// A comment saying rand() must not count.
+static const char *Doc = "call rand() and fopen() at your peril";
+
+unsigned long badNow() {
+  // LINT-EXPECT: purity-token
+  auto T = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<unsigned long>(T.count()) + Doc[0];
+}
+
+int badEntropy() {
+  return rand(); // LINT-EXPECT: purity-token
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: a pure-layer header that pulls in threading machinery.
+#ifndef FIXTURE_CORE_BADTHREAD_H
+#define FIXTURE_CORE_BADTHREAD_H
+
+#include <thread> // LINT-EXPECT: purity-include
+
+namespace fixture {
+
+struct BadThread {
+  void spin() {
+    std::thread T([] {}); // LINT-EXPECT: purity-token
+    T.join();
+  }
+};
+
+} // namespace fixture
+
+#endif

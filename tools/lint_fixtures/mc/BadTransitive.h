@@ -1,0 +1,16 @@
+// Fixture: the violation arrives through an intermediate include —
+// this file never names <mutex> itself.
+#ifndef FIXTURE_MC_BADTRANSITIVE_H
+#define FIXTURE_MC_BADTRANSITIVE_H
+
+#include "support/Leaky.h" // LINT-EXPECT: purity-include
+
+namespace fixture {
+
+struct BadTransitive {
+  Leaky L;
+};
+
+} // namespace fixture
+
+#endif

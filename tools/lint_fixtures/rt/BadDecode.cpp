@@ -1,0 +1,27 @@
+// Fixture: a decoder that bypasses codec::Cursor and reinterprets raw
+// buffer memory.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Blob {
+  uint32_t Magic;
+  uint64_t Seq;
+};
+
+// LINT-EXPECT: codec-discipline
+static bool decodeBlob(const std::string &Bytes, Blob &Out) {
+  if (Bytes.size() < sizeof(Blob))
+    return false;
+  // LINT-EXPECT: decode-cast
+  Out = *reinterpret_cast<const Blob *>(Bytes.data());
+  return true;
+}
+
+bool useDecode(const std::string &B) {
+  Blob Out;
+  return decodeBlob(B, Out);
+}
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: a defaulted switch over a protocol enum. The nested switch
+// over a plain int may keep its default — only the protocol switch
+// fires.
+namespace fixture {
+
+enum class RecordType { TermVote = 1, Append = 2, Truncate = 3, Commit = 4 };
+
+// LINT-EXPECT: enum-switch-default
+int classify(RecordType T, int Sub) {
+  switch (T) {
+  case RecordType::TermVote:
+    switch (Sub) {
+    case 0:
+      return 10;
+    default: // Fine: not a protocol enum.
+      return 11;
+    }
+  case RecordType::Append:
+    return 2;
+  default: // Swallows future record types — exactly the bug.
+    return 0;
+  }
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture helper: a support header that (unlike the real support
+// layer's pure pieces) drags in a mutex. Not a violation by itself —
+// support is not a pure layer — but anything pure that includes it
+// inherits the ban transitively.
+#ifndef FIXTURE_SUPPORT_LEAKY_H
+#define FIXTURE_SUPPORT_LEAKY_H
+
+#include <mutex>
+
+namespace fixture {
+
+struct Leaky {
+  std::mutex Mu;
+};
+
+} // namespace fixture
+
+#endif
