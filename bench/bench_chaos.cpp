@@ -24,6 +24,13 @@
 //   bench_chaos --durable       back every node with the WAL+snapshot
 //                               store on a fault-injecting disk (the
 //                               disk-faults scenario forces this on)
+//   bench_chaos --groups N      run N data consensus groups behind a
+//                               replicated pool map (N >= 1; 1 is the
+//                               original single-group harness, except
+//                               for the shard-reconfig scenario, which
+//                               always runs the sharded pool)
+//   bench_chaos --shards N      shards the keyspace splits into for
+//                               multi-group runs (default 16)
 //
 // Output: per-run lines for failures, a summary table, and
 // BENCH_chaos.json with machine-readable per-run records. With
@@ -55,12 +62,14 @@ struct SweepOptions {
   std::string OnlyScenario;
   bool RtRuntime = false;
   bool Durable = false;
+  size_t Groups = 1;
+  uint32_t Shards = 16;
 };
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--smoke] [--seeds N] [--scenario NAME] "
-               "[--runtime=sim|rt] [--durable]\n",
+               "[--runtime=sim|rt] [--durable] [--groups N] [--shards N]\n",
                Prog);
   return 2;
 }
@@ -114,6 +123,26 @@ int main(int Argc, char **Argv) {
                      Sweep.OnlyScenario.c_str());
         return usage(Argv[0]);
       }
+    } else if (std::strcmp(Argv[I], "--groups") == 0 && I + 1 < Argc) {
+      const char *Arg = Argv[++I];
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Arg, &End, 10);
+      if (End == Arg || *End != '\0' || N == 0) {
+        std::fprintf(stderr, "error: --groups needs a positive integer, "
+                             "got '%s'\n", Arg);
+        return usage(Argv[0]);
+      }
+      Sweep.Groups = N;
+    } else if (std::strcmp(Argv[I], "--shards") == 0 && I + 1 < Argc) {
+      const char *Arg = Argv[++I];
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Arg, &End, 10);
+      if (End == Arg || *End != '\0' || N == 0) {
+        std::fprintf(stderr, "error: --shards needs a positive integer, "
+                             "got '%s'\n", Arg);
+        return usage(Argv[0]);
+      }
+      Sweep.Shards = static_cast<uint32_t>(N);
     } else if (std::strncmp(Argv[I], "--runtime=", 10) == 0) {
       const char *R = Argv[I] + 10;
       if (std::strcmp(R, "rt") == 0) {
@@ -134,16 +163,21 @@ int main(int Argc, char **Argv) {
 
   std::printf("E8: chaos sweep — nemesis faults + linearizability and "
               "safety checks\n");
-  std::printf("%zu seeds per scenario%s, %s runtime%s\n\n",
+  std::printf("%zu seeds per scenario%s, %s runtime%s",
               Sweep.SeedsPerScenario, Sweep.Smoke ? " (smoke)" : "",
               Sweep.RtRuntime ? "rt" : "sim",
               Sweep.Durable ? ", durable store" : "");
+  if (Sweep.Groups > 1)
+    std::printf(", %zu groups x %u shards", Sweep.Groups, Sweep.Shards);
+  std::printf("\n\n");
 
   JsonWriter W;
   W.beginObject();
   W.key("experiment").value("chaos-sweep");
   W.key("runtime").value(Sweep.RtRuntime ? "rt" : "sim");
   W.key("seeds_per_scenario").value(uint64_t(Sweep.SeedsPerScenario));
+  W.key("groups").value(uint64_t(Sweep.Groups));
+  W.key("shards").value(uint64_t(Sweep.Shards));
   W.key("runs").beginArray();
 
   size_t Total = 0, Failures = 0;
@@ -168,10 +202,14 @@ int main(int Argc, char **Argv) {
         RtRunOptions RO;
         RO.Kind = S;
         RO.DurableStore = Sweep.Durable;
+        RO.Groups = Sweep.Groups;
+        RO.Shards = Sweep.Shards;
         R = runRtScenario(RO, Seed);
       } else {
         ChaosRunOptions RunOpts = Opts;
         RunOpts.DurableStore = Sweep.Durable;
+        RunOpts.Groups = Sweep.Groups;
+        RunOpts.Shards = Sweep.Shards;
         R = runChaosScenario(RunOpts, Seed);
       }
       ++Total;

@@ -20,17 +20,33 @@
 //
 //   cmake --build build --target rt_demo && ./build/examples/rt_demo
 //
+// With --groups N (N > 1) the demo runs the multi-group pool instead:
+// N data consensus groups plus a metadata group replicating the pool
+// map, all on one bus. A shard::ShardedKvClient routes keyed writes by
+// jump hash, a live migration moves one group's replica set through a
+// pool-map CAS on the metadata log, and the resulting wrong-group NACKs
+// drive the client's refetch/retry loop.
+//
+//   ./build/examples/rt_demo --groups 3
+//
 //===----------------------------------------------------------------------===//
 
 #include "rt/RtCluster.h"
+#include "rt/ShardedRt.h"
+#include "shard/ShardedKvClient.h"
 #include "store/Vfs.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <string>
 
 using namespace adore;
 
-int main() {
+namespace {
+
+int runSingleGroup() {
   std::printf("== Adore rt runtime demo: 3 replicas, real threads, "
               "WAL on disk ==\n\n");
 
@@ -101,4 +117,141 @@ int main() {
               static_cast<unsigned long long>(SS.Recoveries),
               static_cast<unsigned long long>(SS.MaxBatchRecords));
   return Violations.empty() ? 0 : 1;
+}
+
+int runSharded(size_t Groups) {
+  std::printf("== Adore rt multi-group demo: %zu data groups + a metadata "
+              "group, one bus ==\n\n",
+              Groups);
+
+  rt::ShardedRtOptions SO;
+  SO.Group.Seed = 42;
+  SO.Groups = Groups;
+  rt::ShardedRtCluster Pool(SO);
+  Pool.start();
+  if (!Pool.waitForAllLeaders(/*TimeoutMs=*/10000)) {
+    std::printf("not every group elected a leader within 10s\n");
+    Pool.stop();
+    return 1;
+  }
+  std::printf("all %zu groups elected leaders (meta leader: S%u)\n",
+              Pool.dataGroups() + 1, Pool.meta().waitForLeader(1000));
+
+  // The routing client: jump-hash the key to a shard, the cached pool
+  // map names the owning group; the pool NACKs stale-stamped requests.
+  shard::ShardedKvClient::Transport T;
+  T.Perform = [&Pool](const shard::RouteRequest &Req,
+                      shard::ShardedKvClient::ReplyFn Done) {
+    shard::GroupReply Reply;
+    if (std::optional<shard::WrongGroupNack> N =
+            Pool.ingressCheck(Req.Group, Req.Shard, Req.MapGen)) {
+      Reply.HasNack = true;
+      Reply.Nack = *N;
+    } else {
+      Reply.Ok = Pool.group(Req.Group).submitAndWait(Req.Payload, 5000);
+    }
+    Done(Reply);
+  };
+  T.FetchMap = [&Pool](shard::ShardedKvClient::MapFn Done) {
+    Done(Pool.committedMap());
+  };
+  shard::ShardedKvClient Client(Pool.committedMap(), std::move(T));
+
+  auto Route = [&Client](uint64_t First, uint64_t Count) {
+    size_t Ok = 0;
+    for (uint64_t Key = First; Key != First + Count; ++Key) {
+      bool Committed = false;
+      Client.submit(Key, /*Payload=*/1 + Key % 7, /*IsRead=*/false,
+                    [&Committed](const shard::GroupReply &R) {
+                      Committed = R.Ok;
+                    });
+      Ok += Committed;
+    }
+    return Ok;
+  };
+  std::printf("routing 16 keyed writes across the pool... %zu/16 "
+              "committed\n",
+              Route(0, 16));
+
+  // Live migration: commit a new pool map (generation CAS through the
+  // metadata group's log) swapping one of group 1's followers for a
+  // spare, then hot-reconfigure the group to match.
+  rt::RtCluster &G1 = Pool.group(1);
+  NodeId Leader = G1.waitForLeader(5000);
+  Config Cur = G1.currentConfig();
+  // Only scheme-legal transitions that keep the current leader (the
+  // core refuses a reconfig that removes the leader itself).
+  Config Next = Cur;
+  for (const Config &C : G1.scheme().candidateReconfigs(Cur, G1.universe()))
+    if (Leader != InvalidNodeId && G1.scheme().mbrs(C).contains(Leader)) {
+      Next = C;
+      break;
+    }
+  if (Next.str() == Cur.str()) {
+    std::printf("no migration candidate in group 1\n");
+    Pool.stop();
+    return 1;
+  }
+  NodeSet NextSet = G1.scheme().mbrs(Next);
+
+  shard::PoolMap NewMap = Pool.committedMap();
+  ++NewMap.Generation;
+  NewMap.GroupReplicas[1] = NextSet;
+  NewMap.Roster = NewMap.Roster.unionWith(NextSet);
+  std::printf("migrating group 1: %s -> %s (map gen %llu -> %llu)... ",
+              Cur.str().c_str(), Next.str().c_str(),
+              static_cast<unsigned long long>(NewMap.Generation - 1),
+              static_cast<unsigned long long>(NewMap.Generation));
+  bool MapOk = Pool.proposeMap(NewMap, 5000);
+  bool ConfOk = MapOk && G1.reconfigAndWait(Next, 5000);
+  std::printf("%s\n", ConfOk  ? "map + membership committed"
+                      : MapOk ? "map committed, reconfig timed out"
+                              : "map CAS lost/timed out");
+
+  // Post-migration traffic: the client's stamp is now stale, so the
+  // first send earns a WrongGroup NACK, a map refetch, and a retry.
+  std::printf("routing 16 more keyed writes (stale map stamp)... %zu/16 "
+              "committed\n",
+              Route(16, 16));
+
+  Pool.stop();
+  size_t Violations = 0;
+  for (shard::GroupId G = 0; G <= Pool.dataGroups(); ++G)
+    Violations += Pool.group(G).checkFinalAgreement().size();
+  for (const std::string &V : Pool.mapViolations()) {
+    std::printf("POOL MAP VIOLATION: %s\n", V.c_str());
+    ++Violations;
+  }
+  const shard::RouteStats &RS = Client.stats();
+  std::printf("\nrouting: %llu sends, %llu wrong-group NACKs, %llu map "
+              "refreshes; map at gen %llu after %llu committed changes\n",
+              static_cast<unsigned long long>(RS.Routed),
+              static_cast<unsigned long long>(RS.WrongGroupNacks),
+              static_cast<unsigned long long>(RS.MapRefreshes),
+              static_cast<unsigned long long>(Pool.committedMap().Generation),
+              static_cast<unsigned long long>(Pool.mapChangesCommitted()));
+  std::printf("%zu violations — %s\n", Violations,
+              Violations == 0 ? "all groups agree" : "FAILED");
+  return Violations == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  size_t Groups = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--groups") == 0 && I + 1 < Argc) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[++I], &End, 10);
+      if (End == nullptr || *End != '\0' || V == 0) {
+        std::fprintf(stderr, "usage: rt_demo [--groups N]\n");
+        return 2;
+      }
+      Groups = V;
+    } else {
+      std::fprintf(stderr, "usage: rt_demo [--groups N]\n");
+      return 2;
+    }
+  }
+  return Groups > 1 ? runSharded(Groups) : runSingleGroup();
 }

@@ -55,6 +55,13 @@ struct ChaosRunOptions {
   SchemeKind Scheme = SchemeKind::RaftSingleNode;
   size_t Members = 3;
   size_t Spares = 2;
+  /// Number of data consensus groups. 1 runs the original single-group
+  /// harness byte-for-byte; >1 (or Scenario::ShardReconfig) runs the
+  /// sharded pool: a metadata group replicating the pool map plus
+  /// Groups data groups, with the workload routed per key.
+  size_t Groups = 1;
+  /// Shards the keyspace is split into for sharded runs (jump hash).
+  uint32_t Shards = 16;
   sim::ClusterOptions Cluster;
   ChaosWorkloadOptions Workload;
   NemesisOptions Nemesis;
@@ -108,6 +115,23 @@ struct ChaosRunResult {
   size_t CommittedEntries = 0;
   uint64_t LinStatesExplored = 0;
 
+  /// Sharded-run breakdown: one entry per consensus group (group 0 is
+  /// the metadata group). Empty for single-group runs, which keeps the
+  /// legacy JSON byte-identical.
+  struct GroupStatsEntry {
+    uint32_t Group = 0;
+    size_t CommittedEntries = 0;
+    /// Client ops whose invocation routed to this group (0 for meta).
+    size_t Ops = 0;
+  };
+  std::vector<GroupStatsEntry> GroupStats;
+
+  // Pool-map statistics (sharded runs only).
+  uint64_t MapGeneration = 0;
+  uint64_t MapChangesCommitted = 0;
+  uint64_t WrongGroupNacks = 0;
+  uint64_t MapRefreshes = 0;
+
   // Durable-store statistics (all zero unless the store was on).
   bool DurableStore = false;
   store::StoreStats Store;
@@ -136,7 +160,18 @@ struct ChaosRunResult {
 };
 
 /// Runs one scenario to completion. Deterministic in (Opts, Seed).
+/// Dispatches to the sharded harness (chaos/ShardRun.cpp) when
+/// Opts.Groups > 1 or the scenario is Scenario::ShardReconfig.
 ChaosRunResult runChaosScenario(const ChaosRunOptions &Opts, uint64_t Seed);
+
+/// The sharded-pool harness: N data groups plus the metadata group on
+/// one timeline, the workload routed per key through the pool map, and
+/// the cross-shard invariants (per-group ledgers, generation
+/// monotonicity, no committed entry lost across a map change) checked
+/// on top of the per-key linearizability of the merged history.
+/// Normally reached via runChaosScenario's dispatch.
+ChaosRunResult runShardedChaosScenario(const ChaosRunOptions &Opts,
+                                       uint64_t Seed);
 
 } // namespace chaos
 } // namespace adore

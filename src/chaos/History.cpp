@@ -42,6 +42,8 @@ const char *adore::chaos::outcomeName(Outcome O) {
 std::string ClientOp::str() const {
   std::string S = "#" + std::to_string(OpId) + " " + opKindName(Kind) +
                   " k=" + std::to_string(Key);
+  if (HasPlacement)
+    S += " s=" + std::to_string(Shard) + " g=" + std::to_string(Group);
   if (Kind == OpKind::Put)
     S += " v=" + std::to_string(Value);
   if (Kind == OpKind::Get && Out == Outcome::Ok) {
@@ -75,6 +77,16 @@ void History::onInvoke(uint64_t OpId, OpType Type, uint32_t Key,
   Op.InvSeq = NextSeq++;
   IndexByOpId[OpId] = Ops.size();
   Ops.push_back(std::move(Op));
+}
+
+void History::onInvoke(uint64_t OpId, OpType Type, uint32_t Key,
+                       uint32_t Value, uint32_t Shard, shard::GroupId Group,
+                       sim::SimTime At) {
+  onInvoke(OpId, Type, Key, Value, At);
+  ClientOp &Op = Ops.back();
+  Op.Shard = Shard;
+  Op.Group = Group;
+  Op.HasPlacement = true;
 }
 
 void History::onReturn(uint64_t OpId, bool Ok,

@@ -28,6 +28,7 @@
 #define ADORE_CHAOS_HISTORY_H
 
 #include "kv/KvStore.h"
+#include "kv/ShardedKv.h"
 
 #include <map>
 #include <optional>
@@ -69,16 +70,29 @@ struct ClientOp {
   uint64_t InvSeq = 0;
   uint64_t RetSeq = 0;
   Outcome Out = Outcome::Pending;
+  /// Placement tags of a sharded run: the shard the key mapped to and
+  /// the group the client routed to under its map at invocation time.
+  /// Only rendered when HasPlacement, so single-group histories stay
+  /// byte-identical to the pre-sharding format.
+  uint32_t Shard = 0;
+  shard::GroupId Group = 0;
+  bool HasPlacement = false;
 
   /// Canonical one-line rendering, byte-stable across identical runs.
   std::string str() const;
 };
 
-/// The recorder: plugs into ReplicatedKvStore as its client observer and
-/// accumulates ClientOps.
-class History : public kv::KvClientObserver {
+/// The recorder: plugs into ReplicatedKvStore (single group) or
+/// ShardedKvStore (sharded pool) as the client observer and accumulates
+/// ClientOps. The single onReturn body serves both observer contracts.
+class History : public kv::KvClientObserver, public kv::ShardedKvObserver {
 public:
+  using OpType = kv::KvClientObserver::OpType;
+
   void onInvoke(uint64_t OpId, OpType Type, uint32_t Key, uint32_t Value,
+                sim::SimTime At) override;
+  void onInvoke(uint64_t OpId, OpType Type, uint32_t Key, uint32_t Value,
+                uint32_t Shard, shard::GroupId Group,
                 sim::SimTime At) override;
   void onReturn(uint64_t OpId, bool Ok, std::optional<uint32_t> Value,
                 sim::SimTime At) override;

@@ -34,6 +34,8 @@ const char *adore::chaos::scenarioName(Scenario S) {
     return "crash-mid-reconfig";
   case Scenario::DiskFaults:
     return "disk-faults";
+  case Scenario::ShardReconfig:
+    return "shard-reconfig";
   }
   ADORE_UNREACHABLE("unknown scenario");
 }
@@ -43,7 +45,7 @@ std::vector<Scenario> adore::chaos::allScenarios() {
           Scenario::Partitions, Scenario::Cuts,
           Scenario::NetChaos,  Scenario::Reconfigs,
           Scenario::SplitBrain, Scenario::CrashMidReconfig,
-          Scenario::DiskFaults};
+          Scenario::DiskFaults, Scenario::ShardReconfig};
 }
 
 static std::string nodeName(NodeId N) { return "S" + std::to_string(N); }
@@ -69,9 +71,12 @@ void Nemesis::start() {
   case Scenario::NetChaos:
   case Scenario::Reconfigs:
   case Scenario::DiskFaults:
+  case Scenario::ShardReconfig:
     // Randomized scenarios: step() draws from the per-scenario move
     // set. Enumerated (no default) so a new Scenario must choose
-    // scripted vs randomized explicitly.
+    // scripted vs randomized explicitly. ShardReconfig is normally
+    // driven by the sharded run's migration driver; a plain Nemesis
+    // given it falls back to ordinary reconfig churn.
     scheduleNextStep();
     break;
   }
@@ -128,6 +133,7 @@ void Nemesis::step() {
     Moves = {&Nemesis::moveNetStorm};
     break;
   case Scenario::Reconfigs:
+  case Scenario::ShardReconfig:
     Moves = {&Nemesis::moveReconfig};
     break;
   case Scenario::DiskFaults:

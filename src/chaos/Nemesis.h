@@ -55,6 +55,10 @@ enum class Scenario : uint8_t {
   DiskFaults,  ///< Crash/restart + reconfigs against the durable store:
                ///< every crash powers the disk down (torn WAL tails,
                ///< garbage bytes) and every restart recovers from it.
+  ShardReconfig, ///< Sharded pools only: migrate a group's replica set
+                 ///< mid-traffic by committing a new pool map in the
+                 ///< metadata group, then reconfiguring the group. In a
+                 ///< single-group Nemesis this degrades to Reconfigs.
 };
 
 const char *scenarioName(Scenario S);

@@ -41,6 +41,11 @@ void sleepMs(uint64_t Ms) {
 
 ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
                                            uint64_t Seed) {
+  // Multi-group requests (and the migration scenario, which needs a
+  // metadata group even over one data group) take the sharded harness.
+  if (Opts.Groups > 1 || Opts.Kind == Scenario::ShardReconfig)
+    return runShardedRtScenario(Opts, Seed);
+
   ChaosRunResult Result;
   Result.Seed = Seed;
   Result.Kind = Opts.Kind;
@@ -110,6 +115,10 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
       C.restart(Victim);
       if (Reconfig(configWithout(Opts.Members, Victim), "mixed removal"))
         Reconfig(C.initialConfig(), "mixed re-add");
+      break;
+    case Scenario::ShardReconfig:
+      // Unreachable: dispatched to runShardedRtScenario above. Listed
+      // so the switch stays exhaustive under -Werror=switch.
       break;
     case Scenario::Crashes:
     case Scenario::Partitions:

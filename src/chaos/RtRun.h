@@ -28,6 +28,17 @@ namespace chaos {
 struct RtRunOptions {
   SchemeKind Scheme = SchemeKind::RaftSingleNode;
   size_t Members = 3;
+  /// Spare (initially passive) replicas per group; sharded runs draw
+  /// migration targets from them. Ignored by the single-group path,
+  /// whose scenarios never grow the member set.
+  size_t Spares = 2;
+  /// Number of data consensus groups. 1 runs the original single-group
+  /// rt harness; >1 (or Scenario::ShardReconfig) runs the sharded pool
+  /// on a shared bus: a metadata group replicating the pool map plus
+  /// Groups data groups, client ops routed per key.
+  size_t Groups = 1;
+  /// Shards the keyspace is split into for sharded runs (jump hash).
+  uint32_t Shards = 16;
   Scenario Kind = Scenario::Mixed;
   /// Client operations across the whole run (smaller than the sim
   /// sweep's: every op costs real milliseconds).
@@ -44,7 +55,15 @@ struct RtRunOptions {
 /// Runs one scenario on the threaded runtime. The result reuses the
 /// ChaosRunResult shape; fields with no rt equivalent (network drop
 /// counters, nemesis trace, linearization states) stay zero/empty.
+/// Dispatches to the sharded rt harness (chaos/ShardRtRun.cpp) when
+/// Opts.Groups > 1 or the scenario is Scenario::ShardReconfig.
 ChaosRunResult runRtScenario(const RtRunOptions &Opts, uint64_t Seed);
+
+/// The sharded rt harness: meta + data groups as rt::ShardedRtCluster
+/// on one wire bus, keyed writes routed through the pool map, per-group
+/// final-agreement checks plus the pool-map invariants. Normally
+/// reached via runRtScenario's dispatch.
+ChaosRunResult runShardedRtScenario(const RtRunOptions &Opts, uint64_t Seed);
 
 } // namespace chaos
 } // namespace adore

@@ -1,0 +1,239 @@
+//===- chaos/ShardRtRun.cpp - Sharded chaos on the threaded runtime ---------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The sharded counterpart of RtRun.cpp: a meta + N data group pool
+// (rt::ShardedRtCluster) on one wire bus, a routing client stamping
+// every keyed write with its cached map generation, and — for the
+// shard-reconfig scenario — live migrations that move a group's replica
+// set mid-traffic by committing a new pool map and then hot-reconfiguring
+// the group to match it. Like the single-group rt run, nothing here is
+// deterministic; the point is safety under genuine thread interleaving
+// (this path runs under TSan in CI).
+//
+//===----------------------------------------------------------------------===//
+
+#include "chaos/RtRun.h"
+
+#include "rt/ShardedRt.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace adore;
+using namespace adore::chaos;
+
+namespace {
+
+void sleepMs(uint64_t Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+/// Picks a member of \p Members other than \p Leader (highest id first,
+/// for reproducibility of the choice itself).
+NodeId pickVictim(const NodeSet &Members, NodeId Leader) {
+  NodeId Best = InvalidNodeId;
+  for (NodeId Id : Members)
+    if (Id != Leader && (Best == InvalidNodeId || Id > Best))
+      Best = Id;
+  return Best;
+}
+
+} // namespace
+
+ChaosRunResult adore::chaos::runShardedRtScenario(const RtRunOptions &Opts,
+                                                  uint64_t Seed) {
+  ChaosRunResult Result;
+  Result.Seed = Seed;
+  Result.Kind = Opts.Kind;
+
+  Rng Master(Seed);
+  uint64_t ClusterSeed = Master.next();
+  uint64_t ScenarioSeed = Master.next();
+  uint64_t WorkloadSeed = Master.next();
+
+  rt::ShardedRtOptions SO;
+  SO.Group.Scheme = Opts.Scheme;
+  SO.Group.Seed = ClusterSeed;
+  SO.Group.DurableStore =
+      Opts.DurableStore || Opts.Kind == Scenario::DiskFaults;
+  if (SO.Group.DurableStore)
+    SO.Group.StoreFaults = ChaosRunOptions::defaultStoreFaults();
+  Result.DurableStore = SO.Group.DurableStore;
+  SO.Groups = Opts.Groups < 1 ? 1 : Opts.Groups;
+  SO.NumShards = Opts.Shards;
+  SO.Members = Opts.Members;
+  SO.Spares = Opts.Spares;
+  SO.MetaMembers = Opts.Members;
+
+  rt::ShardedRtCluster Pool(SO);
+  Pool.start();
+
+  // Per-group executed-op counters, written only from the harness
+  // thread (Perform runs synchronously inside submit below).
+  std::vector<size_t> OpsByGroup(Pool.dataGroups() + 1, 0);
+
+  // The routing client: Perform round-trips the request and reply
+  // through the wire codecs (the rt path carries frames, so exercise
+  // the framing), validates ingress against the committed map, and
+  // executes accepted writes as a submitAndWait on the owning group.
+  shard::ShardedKvClient::Transport T;
+  T.Perform = [&](const shard::RouteRequest &R,
+                  shard::ShardedKvClient::ReplyFn Done) {
+    std::string Frame;
+    shard::encodeRouteRequest(Frame, R);
+    shard::RouteRequest Req;
+    shard::GroupReply Reply;
+    if (!shard::decodeRouteRequest(Frame, Req)) {
+      Done(Reply); // Ok=false: a malformed frame is a definite failure.
+      return;
+    }
+    if (std::optional<shard::WrongGroupNack> N =
+            Pool.ingressCheck(Req.Group, Req.Shard, Req.MapGen)) {
+      Reply.HasNack = true;
+      Reply.Nack = *N;
+    } else {
+      Reply.Ok = Pool.group(Req.Group).submitAndWait(Req.Payload,
+                                                     Opts.OpTimeoutMs);
+      ++OpsByGroup[Req.Group];
+    }
+    std::string ReplyFrame;
+    shard::encodeGroupReply(ReplyFrame, Reply);
+    shard::GroupReply Decoded;
+    if (shard::decodeGroupReply(ReplyFrame, Decoded))
+      Done(Decoded);
+    else
+      Done(shard::GroupReply{});
+  };
+  T.FetchMap = [&](shard::ShardedKvClient::MapFn Done) {
+    Done(Pool.committedMap());
+  };
+  shard::ShardedKvClient Client(Pool.committedMap(), std::move(T));
+
+  Rng W(WorkloadSeed);
+  auto Submit = [&](size_t Count) {
+    for (size_t I = 0; I != Count; ++I) {
+      ++Result.OpsTotal;
+      uint64_t Key = W.nextBelow(64);
+      MethodId Method = 1 + (Result.OpsTotal % 7);
+      bool Ok = false;
+      Client.submit(Key, Method, /*IsRead=*/false,
+                    [&Ok](const shard::GroupReply &Rep) { Ok = Rep.Ok; });
+      if (Ok)
+        ++Result.OpsOk;
+      else
+        ++Result.OpsFailed;
+    }
+  };
+
+  if (!Pool.waitForAllLeaders(Opts.ConvergeTimeoutMs)) {
+    Result.Violations.push_back("rt: not every group elected a leader "
+                                "at startup");
+  } else {
+    size_t Half = Opts.NumOps / 2;
+    Submit(Half);
+
+    Rng R(ScenarioSeed);
+    if (Opts.Kind == Scenario::ShardReconfig) {
+      // Live migrations: commit a pool map naming the group's next
+      // replica set, then hot-reconfigure the group to match. Two
+      // rounds, traffic in between — stale-stamped ops after each map
+      // change earn NACKs and drive the client's refetch loop.
+      for (int Round = 0; Round != 2; ++Round) {
+        shard::GroupId G = 1 + static_cast<shard::GroupId>(
+                                   R.nextBelow(Pool.dataGroups()));
+        rt::RtCluster &Grp = Pool.group(G);
+        if (!Grp.scheme().allowsReconfig())
+          break;
+        NodeId Leader = Grp.waitForLeader(Opts.ConvergeTimeoutMs);
+        Config Cur = Grp.currentConfig();
+        // Only candidates keeping the current leader: the core refuses
+        // a reconfig that removes the leader itself, so anything else
+        // would just spin until leadership happens to move.
+        std::vector<Config> Cands;
+        for (const Config &C :
+             Grp.scheme().candidateReconfigs(Cur, Grp.universe()))
+          if (Leader != InvalidNodeId && Grp.scheme().mbrs(C).contains(Leader))
+            Cands.push_back(C);
+        if (Cands.empty())
+          continue;
+        Config Next = R.pick(Cands);
+        shard::PoolMap NewMap = Pool.committedMap();
+        ++NewMap.Generation;
+        NewMap.GroupReplicas[G] = Grp.scheme().mbrs(Next);
+        NewMap.Roster = NewMap.Roster.unionWith(NewMap.GroupReplicas[G]);
+        ++Result.ReconfigsRequested;
+        // Failures here are not violations — the rt runtime is honestly
+        // nondeterministic (leadership can move mid-migration), and the
+        // sim driver treats timed-out migrations the same way. The
+        // invariants below still hold either way.
+        if (!Pool.proposeMap(NewMap, Opts.ConvergeTimeoutMs))
+          continue;
+        if (Grp.reconfigAndWait(Next, Opts.ConvergeTimeoutMs))
+          ++Result.ReconfigsCommitted;
+        Submit(2);
+      }
+    } else {
+      // Every other scenario maps onto per-group crash pressure, like
+      // the single-group rt run: lose and recover one replica in each
+      // data group, traffic in between.
+      for (shard::GroupId G = 1; G <= Pool.dataGroups(); ++G) {
+        rt::RtCluster &Grp = Pool.group(G);
+        NodeId Leader = Grp.waitForLeader(Opts.ConvergeTimeoutMs);
+        NodeId Victim =
+            pickVictim(Grp.scheme().mbrs(Grp.initialConfig()), Leader);
+        if (Victim == InvalidNodeId)
+          continue;
+        Grp.crash(Victim);
+        Submit(2);
+        sleepMs(50);
+        Grp.restart(Victim);
+        sleepMs(50);
+      }
+    }
+
+    Submit(Opts.NumOps > Half ? Opts.NumOps - Half : 0);
+    if (!Pool.waitForAllLeaders(Opts.ConvergeTimeoutMs))
+      Result.Violations.push_back("rt: not every group has a leader "
+                                  "after faults healed");
+    sleepMs(100);
+  }
+
+  Result.HealedAll = true;
+  Pool.stop();
+
+  for (shard::GroupId G = 0; G <= Pool.dataGroups(); ++G) {
+    rt::RtCluster &Grp = Pool.group(G);
+    std::string Tag = G == shard::MetaGroupId
+                          ? std::string("rt meta: ")
+                          : "rt group " + std::to_string(G) + ": ";
+    for (const std::string &V : Grp.checkFinalAgreement())
+      Result.Violations.push_back(Tag + V);
+    ChaosRunResult::GroupStatsEntry GS;
+    GS.Group = G;
+    GS.CommittedEntries = Grp.committedCount();
+    GS.Ops = OpsByGroup[G];
+    Result.GroupStats.push_back(GS);
+    Result.CommittedEntries += GS.CommittedEntries;
+    if (Result.DurableStore)
+      Result.Store.accumulate(Grp.storeStats());
+  }
+
+  const shard::RouteStats &RS = Client.stats();
+  Result.WrongGroupNacks = RS.WrongGroupNacks;
+  Result.MapRefreshes = RS.MapRefreshes;
+  Result.MapGeneration = Pool.committedMap().Generation;
+  Result.MapChangesCommitted = Pool.mapChangesCommitted();
+  for (const std::string &V : Pool.mapViolations())
+    Result.Violations.push_back("pool map: " + V);
+  if (Result.MapGeneration != 1 + Result.MapChangesCommitted)
+    Result.Violations.push_back(
+        "pool map: generation " + std::to_string(Result.MapGeneration) +
+        " != 1 + " + std::to_string(Result.MapChangesCommitted) +
+        " committed changes");
+
+  return Result;
+}

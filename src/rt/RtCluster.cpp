@@ -23,15 +23,23 @@ std::chrono::steady_clock::time_point deadlineIn(uint64_t Ms) {
 } // namespace
 
 RtCluster::RtCluster(RtClusterOptions Opts)
-    : Opts(Opts), Scheme(makeScheme(Opts.Scheme)) {
+    : Opts(Opts), Scheme(makeScheme(Opts.Scheme)),
+      OwnNet(Opts.SharedBus ? nullptr : std::make_unique<Bus>()),
+      Net(Opts.SharedBus ? Opts.SharedBus : OwnNet.get()) {
+  size_t Total = Opts.NumNodes + Opts.NumSpares;
   NodeSet Members;
   for (size_t I = 1; I <= Opts.NumNodes; ++I)
-    Members.insert(static_cast<NodeId>(I));
+    Members.insert(Opts.IdBase + static_cast<NodeId>(I));
   InitialConf = Config(Members);
 
   Rng SeedRng(Opts.Seed);
   RtNodeHooks Hooks;
   Hooks.OnApply = [this](NodeId N, size_t I, const core::LogEntry &E) {
+    // The extra tap runs first and lock-free: cluster bookkeeping takes
+    // ObsMu, and a sharded pool's map state machine must be free to
+    // take its own locks without ordering against ours.
+    if (this->Opts.OnApplyExtra)
+      this->Opts.OnApplyExtra(N, I, E);
     onApply(N, I, E);
   };
   Hooks.OnLeader = [this](NodeId N, Time T) { onLeader(N, T); };
@@ -42,9 +50,11 @@ RtCluster::RtCluster(RtClusterOptions Opts)
                                              Opts.StoreFaults);
       Backing = Disk.get();
     }
-    for (size_t I = 1; I <= Opts.NumNodes; ++I) {
+    for (size_t I = 1; I <= Total; ++I) {
       auto St = std::make_unique<store::NodeStore>(
-          *Backing, "n" + std::to_string(I), Opts.Store);
+          *Backing,
+          Opts.StoreDirPrefix + "n" + std::to_string(Opts.IdBase + I),
+          Opts.Store);
       // Only the internal MemVfs models power loss; an external disk
       // keeps everything it was handed (crash is a pure fail-stop).
       if (!Opts.ExternalDisk) {
@@ -54,12 +64,28 @@ RtCluster::RtCluster(RtClusterOptions Opts)
       Stores.push_back(std::move(St));
     }
   }
-  for (size_t I = 1; I <= Opts.NumNodes; ++I) {
+  for (size_t I = 1; I <= Total; ++I) {
     store::NodeStore *St = Opts.DurableStore ? Stores[I - 1].get() : nullptr;
-    Nodes.push_back(std::make_unique<RtNode>(static_cast<NodeId>(I), *Scheme,
-                                             InitialConf, Opts.Node,
-                                             SeedRng.next(), Net, Hooks, St));
+    Nodes.push_back(std::make_unique<RtNode>(
+        Opts.IdBase + static_cast<NodeId>(I), *Scheme, InitialConf,
+        Opts.Node, SeedRng.next(), *Net, Hooks, St));
   }
+}
+
+NodeSet RtCluster::universe() const {
+  NodeSet S;
+  for (const auto &N : Nodes)
+    S.insert(N->id());
+  return S;
+}
+
+Config RtCluster::currentConfig() const {
+  for (const auto &N : Nodes) {
+    RtNodeStatus S = N->status();
+    if (!S.Crashed && S.Role == core::Role::Leader)
+      return S.Conf;
+  }
+  return InitialConf;
 }
 
 store::StoreStats RtCluster::storeStats() const {

@@ -37,6 +37,26 @@ namespace rt {
 struct RtClusterOptions {
   SchemeKind Scheme = SchemeKind::RaftSingleNode;
   size_t NumNodes = 3;
+  /// Extra replicas beyond NumNodes, created but left out of the
+  /// initial configuration (passive until a reconfig adopts them).
+  /// Sharded pools draw migration targets from these.
+  size_t NumSpares = 0;
+  /// Node ids are IdBase+1 .. IdBase+NumNodes+NumSpares. A sharded pool
+  /// gives each group a disjoint base (shard::groupIdBase), which is
+  /// what makes frames on a shared bus group-tagged: the endpoint id
+  /// itself names the group.
+  NodeId IdBase = 0;
+  /// Attach the nodes to this caller-owned bus instead of an internal
+  /// one; must outlive the cluster. This is the rt multiplexing seam: N
+  /// groups on one bus, kept apart purely by disjoint endpoint ids.
+  Bus *SharedBus = nullptr;
+  /// Prepended to every node's store directory ("g2/" makes node 2001
+  /// persist under "g2/n2001"), so groups sharing one disk stay apart.
+  std::string StoreDirPrefix;
+  /// Observation tap called on every apply (same arguments as the
+  /// internal hook, global node ids), OUTSIDE the cluster's locks — a
+  /// sharded pool hangs its map state machine off the meta group here.
+  std::function<void(NodeId, size_t, const core::LogEntry &)> OnApplyExtra;
   uint64_t Seed = 1;
   core::CoreOptions Node = fastNodeOptions();
   /// Back every node with a WAL+snapshot store on a shared in-memory
@@ -77,6 +97,16 @@ public:
   void stop() ADORE_EXCLUDES(LifeMu);
 
   size_t numNodes() const { return Nodes.size(); }
+
+  /// All replica ids, initial members and spares alike (global ids,
+  /// i.e. including IdBase).
+  NodeSet universe() const;
+
+  /// The configuration some node claiming leadership currently runs
+  /// under, or the initial configuration if nobody leads. Advisory (the
+  /// answer can be stale by the time it returns); migration drivers use
+  /// it to pick the next reconfig candidate.
+  Config currentConfig() const;
 
   /// Blocks until some live node reports itself leader, or \p TimeoutMs
   /// elapses. Returns the leader's id or InvalidNodeId.
@@ -126,7 +156,10 @@ private:
   RtClusterOptions Opts;
   std::unique_ptr<ReconfigScheme> Scheme;
   Config InitialConf;
-  Bus Net;
+  /// Owned unless Opts.SharedBus points at a caller's bus (the sharded
+  /// pool seam); Net is the one actually wired to the nodes.
+  std::unique_ptr<Bus> OwnNet;
+  Bus *Net;
   /// Declared before Nodes: stores must outlive the nodes holding
   /// pointers into them (destruction runs bottom-up, after stop()).
   std::unique_ptr<store::MemVfs> Disk;

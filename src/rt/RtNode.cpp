@@ -304,6 +304,7 @@ void RtNode::publishStatus() {
   S.LogSize = Core.logSize();
   S.Crashed = Core.isCrashed();
   S.Passive = Core.isPassive();
+  S.Conf = Core.config();
   sync::MutexLock Lock(StatusMu);
   Cached = S;
 }

@@ -59,6 +59,9 @@ struct RtNodeStatus {
   size_t LogSize = 0;
   bool Crashed = false;
   bool Passive = false;
+  /// The configuration the core currently runs under; advisory by the
+  /// time anyone reads it, like every other field here.
+  Config Conf;
 };
 
 /// One threaded replica.

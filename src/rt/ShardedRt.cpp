@@ -1,0 +1,153 @@
+//===- rt/ShardedRt.cpp - Multi-group pool on the rt runtime ----------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/ShardedRt.h"
+
+#include "support/Rng.h"
+
+#include <chrono>
+
+using namespace adore;
+using namespace adore::rt;
+
+ShardedRtCluster::ShardedRtCluster(ShardedRtOptions O) : Opts(std::move(O)) {
+  Committed = shard::makeUniformPoolMap(
+      static_cast<uint32_t>(Opts.Groups), Opts.NumShards,
+      static_cast<uint32_t>(Opts.Members), static_cast<uint32_t>(Opts.Spares),
+      static_cast<uint32_t>(Opts.MetaMembers));
+
+  // One master seed stream, forked per group in group order (meta
+  // first), mirroring the simulator's ShardedCluster.
+  Rng Master(Opts.Group.Seed);
+  for (shard::GroupId G = 0; G <= static_cast<shard::GroupId>(Opts.Groups);
+       ++G) {
+    RtClusterOptions GO = Opts.Group;
+    GO.IdBase = shard::groupIdBase(G);
+    GO.SharedBus = &Net;
+    GO.Seed = Master.next();
+    GO.StoreDirPrefix = "g" + std::to_string(G) + "/";
+    if (G == shard::MetaGroupId) {
+      GO.NumNodes = Opts.MetaMembers;
+      GO.NumSpares = 0;
+      GO.OnApplyExtra = [this](NodeId, size_t I, const core::LogEntry &E) {
+        onMetaApply(I, E);
+      };
+    } else {
+      GO.NumNodes = Opts.Members;
+      GO.NumSpares = Opts.Spares;
+      GO.OnApplyExtra = nullptr;
+    }
+    GroupClusters.push_back(std::make_unique<RtCluster>(GO));
+  }
+}
+
+ShardedRtCluster::~ShardedRtCluster() { stop(); }
+
+void ShardedRtCluster::start() {
+  for (auto &C : GroupClusters)
+    C->start();
+}
+
+void ShardedRtCluster::stop() {
+  for (auto &C : GroupClusters)
+    C->stop();
+}
+
+bool ShardedRtCluster::waitForAllLeaders(uint64_t TimeoutMs) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  for (auto &C : GroupClusters) {
+    auto Now = std::chrono::steady_clock::now();
+    if (Now >= Deadline)
+      return false;
+    uint64_t LeftMs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Deadline - Now)
+            .count());
+    if (C->waitForLeader(LeftMs) == InvalidNodeId)
+      return false;
+  }
+  return true;
+}
+
+shard::PoolMap ShardedRtCluster::committedMap() const {
+  sync::MutexLock Lock(MapMu);
+  return Committed;
+}
+
+uint64_t ShardedRtCluster::mapChangesCommitted() const {
+  sync::MutexLock Lock(MapMu);
+  return MapChanges;
+}
+
+std::vector<std::string> ShardedRtCluster::mapViolations() const {
+  sync::MutexLock Lock(MapMu);
+  return MapViolationsVec;
+}
+
+std::optional<shard::WrongGroupNack>
+ShardedRtCluster::ingressCheck(shard::GroupId G, uint32_t Shard,
+                               uint64_t ClientGen) const {
+  sync::MutexLock Lock(MapMu);
+  if (Committed.groupForShard(Shard) != G || ClientGen < Committed.Generation)
+    return shard::WrongGroupNack{Committed.Generation};
+  return std::nullopt;
+}
+
+bool ShardedRtCluster::proposeMap(const shard::PoolMap &NewMap,
+                                  uint64_t TimeoutMs) {
+  MethodId Ticket;
+  {
+    sync::MutexLock Lock(MapMu);
+    if (!NewMap.valid() || NewMap.Generation != Committed.Generation + 1)
+      return false;
+    Ticket = NextTicket++;
+    Proposals[Ticket] = NewMap;
+  }
+  if (!meta().submitAndWait(Ticket, TimeoutMs))
+    return false;
+  // The apply tap runs before the cluster's commitment bookkeeping, so
+  // by the time submitAndWait observed the commit the ticket is
+  // normally already decided; the wait below only covers the window
+  // where a *different* replica's apply satisfied the ledger first.
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  sync::MutexLock Lock(MapMu);
+  while (Decided.find(Ticket) == Decided.end()) {
+    auto Retry =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(40);
+    if (MapCv.waitUntil(MapMu, Retry) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= Deadline)
+      break;
+  }
+  auto It = Decided.find(Ticket);
+  return It != Decided.end() && It->second;
+}
+
+void ShardedRtCluster::onMetaApply(size_t Index, const core::LogEntry &E) {
+  if (E.Kind != raft::EntryKind::Method || E.Method == 0)
+    return;
+  sync::MutexLock Lock(MapMu);
+  // First apply anywhere decides the ticket: every replica applies in
+  // index order, so the first occurrence of any index is in order too.
+  if (Index <= MetaIndexSeen)
+    return;
+  MetaIndexSeen = Index;
+  auto It = Proposals.find(E.Method);
+  if (It == Proposals.end())
+    return;
+  const shard::PoolMap &M = It->second;
+  bool Install = M.valid() && M.Generation == Committed.Generation + 1;
+  if (Install) {
+    if (M.Generation <= Committed.Generation)
+      MapViolationsVec.push_back(
+          "pool map generation not monotone at meta index " +
+          std::to_string(Index));
+    Committed = M;
+    ++MapChanges;
+  }
+  Decided[E.Method] = Install;
+  MapCv.notifyAll();
+}

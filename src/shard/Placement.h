@@ -1,0 +1,77 @@
+//===- shard/Placement.h - Algorithmic key placement ----------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithmic placement of keys onto shards: no per-key lookup table,
+/// just arithmetic, following the DAOS pool-map design. A key is mixed
+/// to 64 bits and then placed with Lamping & Veach's jump consistent
+/// hash, whose defining property is monotone stability: growing the
+/// bucket count from N to N+1 moves exactly the expected 1/(N+1)
+/// fraction of keys (each into the new bucket only), and never shuffles
+/// keys between surviving buckets. That is what makes shard-count
+/// changes a bounded data movement instead of a full reshuffle.
+///
+/// Everything here is pure arithmetic — deterministic across platforms
+/// (IEEE-754 double semantics) and free of any I/O-layer dependency, a
+/// property the layering linter enforces for the whole shard layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_SHARD_PLACEMENT_H
+#define ADORE_SHARD_PLACEMENT_H
+
+#include <cstdint>
+
+namespace adore {
+namespace shard {
+
+/// Identifier of a consensus group in the pool. Group 0 is reserved for
+/// the metadata group that replicates the pool map itself.
+using GroupId = uint32_t;
+
+/// The reserved id of the metadata group.
+inline constexpr GroupId MetaGroupId = 0;
+
+/// Sentinel meaning "no group".
+inline constexpr GroupId InvalidGroupId = ~static_cast<GroupId>(0);
+
+/// SplitMix64 finalizer: decorrelates small consecutive keys before the
+/// jump hash sees them (jump hash quality depends on uniform input).
+inline uint64_t mixKey(uint64_t Key) {
+  uint64_t Z = Key + 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Lamping & Veach jump consistent hash: maps \p Key uniformly onto
+/// [0, NumBuckets) with the monotone-stability property described in the
+/// file header. \p NumBuckets must be nonzero.
+inline uint32_t jumpConsistentHash(uint64_t Key, uint32_t NumBuckets) {
+  int64_t B = -1;
+  int64_t J = 0;
+  while (J < static_cast<int64_t>(NumBuckets)) {
+    B = J;
+    Key = Key * 2862933555777941757ULL + 1;
+    J = static_cast<int64_t>(
+        static_cast<double>(B + 1) *
+        (static_cast<double>(int64_t(1) << 31) /
+         static_cast<double>((Key >> 33) + 1)));
+  }
+  return static_cast<uint32_t>(B);
+}
+
+/// Places an application key onto a shard: mix, then jump. This is the
+/// only key-to-shard function in the system; clients and servers agree
+/// on placement by construction, not by exchanging tables.
+inline uint32_t shardForKey(uint64_t Key, uint32_t NumShards) {
+  return jumpConsistentHash(mixKey(Key), NumShards);
+}
+
+} // namespace shard
+} // namespace adore
+
+#endif // ADORE_SHARD_PLACEMENT_H

@@ -1,0 +1,112 @@
+//===- shard/PoolMap.cpp - Pool map construction and codec ---------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/PoolMap.h"
+
+#include "core/Codec.h"
+
+#include <sstream>
+
+namespace adore {
+namespace shard {
+
+bool PoolMap::valid() const {
+  if (Generation == 0 || NumShards == 0)
+    return false;
+  if (ShardToGroup.size() != NumShards)
+    return false;
+  if (GroupReplicas.size() < 2) // metadata group plus at least one data group
+    return false;
+  for (GroupId G : ShardToGroup)
+    if (G == MetaGroupId || G >= GroupReplicas.size())
+      return false;
+  for (const NodeSet &Replicas : GroupReplicas)
+    if (Replicas.empty() || !Replicas.isSubsetOf(Roster))
+      return false;
+  return true;
+}
+
+std::string PoolMap::str() const {
+  std::ostringstream OS;
+  OS << "poolmap gen=" << Generation << " shards=" << NumShards
+     << " groups=" << dataGroups() << "\n";
+  for (size_t G = 0; G != GroupReplicas.size(); ++G) {
+    OS << "  group " << G << (G == MetaGroupId ? " (meta)" : "") << " -> "
+       << GroupReplicas[G].str();
+    if (G != MetaGroupId) {
+      OS << " shards {";
+      bool First = true;
+      for (uint32_t S = 0; S != NumShards; ++S)
+        if (ShardToGroup[S] == G) {
+          OS << (First ? "" : ", ") << S;
+          First = false;
+        }
+      OS << "}";
+    }
+    OS << "\n";
+  }
+  OS << "  roster " << Roster.str() << "\n";
+  return OS.str();
+}
+
+PoolMap makeUniformPoolMap(uint32_t Groups, uint32_t NumShards,
+                           uint32_t MembersPerGroup, uint32_t SparesPerGroup,
+                           uint32_t MetaMembers) {
+  PoolMap M;
+  M.Generation = 1;
+  M.NumShards = NumShards;
+  M.GroupReplicas.resize(Groups + 1);
+  M.GroupReplicas[MetaGroupId] =
+      NodeSet::range(groupIdBase(MetaGroupId) + 1, MetaMembers);
+  M.Roster = M.GroupReplicas[MetaGroupId];
+  for (GroupId G = 1; G <= Groups; ++G) {
+    NodeId Base = groupIdBase(G);
+    M.GroupReplicas[G] = NodeSet::range(Base + 1, MembersPerGroup);
+    M.Roster = M.Roster.unionWith(
+        NodeSet::range(Base + 1, MembersPerGroup + SparesPerGroup));
+  }
+  M.ShardToGroup.resize(NumShards);
+  for (uint32_t S = 0; S != NumShards; ++S)
+    M.ShardToGroup[S] = 1 + (S % Groups);
+  return M;
+}
+
+void encodePoolMap(std::string &Out, const PoolMap &M) {
+  codec::putU64(Out, M.Generation);
+  codec::putU32(Out, M.NumShards);
+  codec::putU64(Out, M.ShardToGroup.size());
+  for (GroupId G : M.ShardToGroup)
+    codec::putU32(Out, G);
+  codec::putU64(Out, M.GroupReplicas.size());
+  for (const NodeSet &Replicas : M.GroupReplicas)
+    codec::putNodeSet(Out, Replicas);
+  codec::putNodeSet(Out, M.Roster);
+}
+
+bool decodePoolMap(const std::string &Bytes, PoolMap &M) {
+  codec::Cursor C{Bytes};
+  M.Generation = C.u64();
+  M.NumShards = C.u32();
+  uint64_t NShards = C.u64();
+  if (!C.Ok || NShards > codec::MaxSetSize)
+    return false;
+  M.ShardToGroup.clear();
+  M.ShardToGroup.reserve(NShards);
+  for (uint64_t I = 0; I != NShards && C.Ok; ++I)
+    M.ShardToGroup.push_back(C.u32());
+  uint64_t NGroups = C.u64();
+  if (!C.Ok || NGroups > codec::MaxSetSize)
+    return false;
+  M.GroupReplicas.clear();
+  M.GroupReplicas.resize(NGroups);
+  for (uint64_t I = 0; I != NGroups && C.Ok; ++I)
+    C.nodeSet(M.GroupReplicas[I]);
+  C.nodeSet(M.Roster);
+  return C.done() && M.valid();
+}
+
+} // namespace shard
+} // namespace adore

@@ -1,0 +1,119 @@
+//===- shard/ShardedKvClient.cpp - Routing client and wire helpers -------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardedKvClient.h"
+
+#include "core/Codec.h"
+
+#include <utility>
+
+namespace adore {
+namespace shard {
+
+void encodeRouteRequest(std::string &Out, const RouteRequest &R) {
+  codec::putU64(Out, R.Key);
+  codec::putU64(Out, R.Payload);
+  codec::putU8(Out, R.IsRead ? 1 : 0);
+  codec::putU32(Out, R.Shard);
+  codec::putU32(Out, R.Group);
+  codec::putU64(Out, R.MapGen);
+}
+
+bool decodeRouteRequest(const std::string &Bytes, RouteRequest &R) {
+  codec::Cursor C{Bytes};
+  R.Key = C.u64();
+  R.Payload = C.u64();
+  uint8_t Read = C.u8();
+  if (!C.Ok || Read > 1)
+    return false;
+  R.IsRead = Read != 0;
+  R.Shard = C.u32();
+  R.Group = C.u32();
+  R.MapGen = C.u64();
+  return C.done();
+}
+
+void encodeGroupReply(std::string &Out, const GroupReply &R) {
+  codec::putU8(Out, R.Ok ? 1 : 0);
+  codec::putU8(Out, R.HasValue ? 1 : 0);
+  codec::putU32(Out, R.Value);
+  codec::putU8(Out, R.HasNack ? 1 : 0);
+  codec::putU64(Out, R.Nack.CurrentGen);
+}
+
+bool decodeGroupReply(const std::string &Bytes, GroupReply &R) {
+  codec::Cursor C{Bytes};
+  uint8_t Ok = C.u8(), HasValue = C.u8();
+  R.Value = C.u32();
+  uint8_t HasNack = C.u8();
+  R.Nack.CurrentGen = C.u64();
+  if (!C.done() || Ok > 1 || HasValue > 1 || HasNack > 1)
+    return false;
+  R.Ok = Ok != 0;
+  R.HasValue = HasValue != 0;
+  R.HasNack = HasNack != 0;
+  return true;
+}
+
+ShardedKvClient::ShardedKvClient(PoolMap Initial, Transport T)
+    : Map(std::move(Initial)), Io(std::move(T)) {}
+
+bool ShardedKvClient::installMap(const PoolMap &M) {
+  if (M.Generation <= Map.Generation)
+    return false;
+  Map = M;
+  ++Stats.MapInstalls;
+  return true;
+}
+
+void ShardedKvClient::submit(uint64_t Key, MethodId Payload, bool IsRead,
+                             ReplyFn Done, unsigned MaxAttempts) {
+  attempt(Key, Payload, IsRead, MaxAttempts, std::move(Done));
+}
+
+void ShardedKvClient::attempt(uint64_t Key, MethodId Payload, bool IsRead,
+                              unsigned Left, ReplyFn Done) {
+  if (Left == 0 || Map.NumShards == 0) {
+    ++Stats.Exhausted;
+    ++Stats.Completed;
+    Done(GroupReply{});
+    return;
+  }
+  RouteRequest Req;
+  Req.Key = Key;
+  Req.Payload = Payload;
+  Req.IsRead = IsRead;
+  Req.Shard = shardForKey(Key, Map.NumShards);
+  Req.Group = Map.groupForShard(Req.Shard);
+  Req.MapGen = Map.Generation;
+  ++Stats.Routed;
+  Io.Perform(Req, [this, Key, Payload, IsRead, Left,
+                   Done = std::move(Done)](const GroupReply &Reply) mutable {
+    if (!Reply.HasNack) {
+      ++Stats.Completed;
+      Done(Reply);
+      return;
+    }
+    ++Stats.WrongGroupNacks;
+    // A concurrent retry may already have installed a generation at or
+    // past what the server reported; refetching then would be wasted
+    // latency and (worse) could reinstall nothing and spin. Only fetch
+    // when the NACK proves our cache is behind.
+    if (Reply.Nack.CurrentGen <= Map.Generation) {
+      attempt(Key, Payload, IsRead, Left - 1, std::move(Done));
+      return;
+    }
+    ++Stats.MapRefreshes;
+    Io.FetchMap([this, Key, Payload, IsRead, Left,
+                 Done = std::move(Done)](const PoolMap &Fresh) mutable {
+      installMap(Fresh);
+      attempt(Key, Payload, IsRead, Left - 1, std::move(Done));
+    });
+  });
+}
+
+} // namespace shard
+} // namespace adore

@@ -13,9 +13,12 @@ using namespace adore::sim;
 using raft::EntryKind;
 
 Cluster::Cluster(const ReconfigScheme &Scheme, Config InitialConf,
-                 NodeSet Universe, ClusterOptions Opts, uint64_t Seed)
+                 NodeSet Universe, ClusterOptions Opts, uint64_t Seed,
+                 EventQueue *SharedQueue)
     : Scheme(&Scheme), InitialConf(InitialConf),
-      Universe(std::move(Universe)), Opts(Opts), R(Seed) {
+      Universe(std::move(Universe)), Opts(Opts),
+      OwnQueue(SharedQueue ? nullptr : std::make_unique<EventQueue>()),
+      Q(SharedQueue ? SharedQueue : OwnQueue.get()), R(Seed) {
   assert(Scheme.mbrs(InitialConf).isSubsetOf(this->Universe) &&
          "initial members must be in the universe");
   if (Opts.DurableStore) {
@@ -39,7 +42,7 @@ Cluster::Cluster(const ReconfigScheme &Scheme, Config InitialConf,
         Opts.DurableStore ? Stores.at(Id).get() : nullptr;
     Nodes.emplace(
         Id, std::make_unique<RaftNode>(
-                Id, Scheme, InitialConf, Opts.Node, Queue, NodeRng.next(),
+                Id, Scheme, InitialConf, Opts.Node, *Q, NodeRng.next(),
                 [this](SimMsg M) { sendMsg(std::move(M)); },
                 [this](NodeId N, size_t I, const SimLogEntry &E) {
                   onApply(N, I, E);
@@ -97,11 +100,11 @@ std::optional<NodeId> Cluster::leader() const {
 }
 
 std::optional<NodeId> Cluster::runUntilLeader(SimTime MaxWaitUs) {
-  SimTime Deadline = Queue.now() + MaxWaitUs;
-  while (Queue.now() < Deadline) {
+  SimTime Deadline = Q->now() + MaxWaitUs;
+  while (Q->now() < Deadline) {
     if (auto L = leader())
       return L;
-    if (!Queue.runNext())
+    if (!Q->runNext())
       break;
   }
   return leader();
@@ -141,7 +144,7 @@ void Cluster::sendMsg(SimMsg M) {
     if (Opts.Link.ReorderJitterUs != 0 &&
         R.nextChance(Opts.Link.ReorderPermille, 1000))
       Latency += R.nextInRange(0, Opts.Link.ReorderJitterUs);
-    Queue.scheduleAfter(Latency, [this, M] {
+    Q->scheduleAfter(Latency, [this, M] {
       auto It = Nodes.find(M.To);
       if (It == Nodes.end())
         return; // Destination outside the universe: dropped.
@@ -171,8 +174,8 @@ void Cluster::submit(MethodId Method,
   uint64_t Seq = NextSeq++;
   PendingOp &Op = Pending[Seq];
   Op.Method = Method;
-  Op.SubmittedAt = Queue.now();
-  Op.Deadline = Queue.now() + MaxTriesUs;
+  Op.SubmittedAt = Q->now();
+  Op.Deadline = Q->now() + MaxTriesUs;
   Op.Done = std::move(Done);
   attempt(Seq);
 }
@@ -184,8 +187,8 @@ void Cluster::requestReconfig(Config NewConf,
   PendingOp &Op = Pending[Seq];
   Op.IsReconfig = true;
   Op.Conf = std::move(NewConf);
-  Op.SubmittedAt = Queue.now();
-  Op.Deadline = Queue.now() + MaxTriesUs;
+  Op.SubmittedAt = Q->now();
+  Op.Deadline = Q->now() + MaxTriesUs;
   Op.Done = std::move(Done);
   attempt(Seq);
 }
@@ -195,7 +198,7 @@ void Cluster::attempt(uint64_t Seq) {
   if (It == Pending.end() || It->second.Settled)
     return;
   PendingOp &Op = It->second;
-  if (Queue.now() >= Op.Deadline) {
+  if (Q->now() >= Op.Deadline) {
     settle(Seq, false);
     return;
   }
@@ -204,7 +207,7 @@ void Cluster::attempt(uint64_t Seq) {
   // One network hop to reach the target.
   SimTime Hop = R.nextInRange(Opts.Link.LatencyMinUs,
                               Opts.Link.LatencyMaxUs);
-  Queue.scheduleAfter(Hop, [this, Seq, Target] {
+  Q->scheduleAfter(Hop, [this, Seq, Target] {
     auto It = Pending.find(Seq);
     if (It == Pending.end() || It->second.Settled)
       return;
@@ -214,7 +217,7 @@ void Cluster::attempt(uint64_t Seq) {
       // Dead silence: forget the stale hint and try elsewhere.
       if (LastKnownLeader == Target)
         LastKnownLeader.reset();
-      Queue.scheduleAfter(Opts.ClientRetryDelayUs,
+      Q->scheduleAfter(Opts.ClientRetryDelayUs,
                           [this, Seq] { attempt(Seq); });
       return;
     }
@@ -227,7 +230,7 @@ void Cluster::attempt(uint64_t Seq) {
         if (N.transferLeadership(Heir))
           break;
       LastKnownLeader.reset();
-      Queue.scheduleAfter(Opts.ClientRetryDelayUs * 4,
+      Q->scheduleAfter(Opts.ClientRetryDelayUs * 4,
                           [this, Seq] { attempt(Seq); });
       return;
     }
@@ -240,7 +243,7 @@ void Cluster::attempt(uint64_t Seq) {
       // Completion arrives via onApply; arm a retry in case the leader
       // falls (or is cut off) before committing. An unresponsive
       // accepted target loses the client's trust: retry elsewhere.
-      Queue.scheduleAfter(Opts.ClientTimeoutUs, [this, Seq, Target] {
+      Q->scheduleAfter(Opts.ClientTimeoutUs, [this, Seq, Target] {
         if (Pending.count(Seq) && LastKnownLeader == Target)
           LastKnownLeader.reset();
         attempt(Seq);
@@ -252,7 +255,7 @@ void Cluster::attempt(uint64_t Seq) {
       LastKnownLeader = *Hint;
     else
       LastKnownLeader.reset();
-    Queue.scheduleAfter(Opts.ClientRetryDelayUs,
+    Q->scheduleAfter(Opts.ClientRetryDelayUs,
                         [this, Seq] { attempt(Seq); });
   });
 }
@@ -262,7 +265,7 @@ void Cluster::settle(uint64_t Seq, bool Ok) {
   if (It == Pending.end() || It->second.Settled)
     return;
   It->second.Settled = true;
-  SimTime Latency = Queue.now() - It->second.SubmittedAt;
+  SimTime Latency = Q->now() - It->second.SubmittedAt;
   auto Done = std::move(It->second.Done);
   Pending.erase(It);
   if (Done)
@@ -289,7 +292,7 @@ void Cluster::onApply(NodeId Node, size_t Index, const SimLogEntry &E) {
     return;
   SimTime Hop = R.nextInRange(Opts.Link.LatencyMinUs,
                               Opts.Link.LatencyMaxUs);
-  Queue.scheduleAfter(Hop, [this, Seq] { settle(Seq, true); });
+  Q->scheduleAfter(Hop, [this, Seq] { settle(Seq, true); });
 }
 
 //===----------------------------------------------------------------------===//

@@ -75,10 +75,16 @@ public:
   /// \p Universe enumerates every node id that may ever participate
   /// (spares included); nodes outside the initial configuration start
   /// passive and awaken when a reconfiguration admits them.
+  ///
+  /// \p SharedQueue lets several Clusters (the sharded pool's groups)
+  /// run interleaved in one virtual timeline; null means this cluster
+  /// owns a private queue, which is the original single-group behavior
+  /// byte-for-byte.
   Cluster(const ReconfigScheme &Scheme, Config InitialConf,
-          NodeSet Universe, ClusterOptions Opts, uint64_t Seed);
+          NodeSet Universe, ClusterOptions Opts, uint64_t Seed,
+          EventQueue *SharedQueue = nullptr);
 
-  EventQueue &queue() { return Queue; }
+  EventQueue &queue() { return *Q; }
   const ReconfigScheme &scheme() const { return *Scheme; }
 
   /// Arms all election timers.
@@ -208,7 +214,10 @@ private:
   Config InitialConf;
   NodeSet Universe;
   ClusterOptions Opts;
-  EventQueue Queue;
+  /// Owned when constructed without a shared queue; Q points at either
+  /// OwnQueue or the caller's shared timeline.
+  std::unique_ptr<EventQueue> OwnQueue;
+  EventQueue *Q;
   Rng R;
   /// Declared before Nodes: stores must outlive the nodes holding
   /// pointers into them (destruction runs bottom-up).

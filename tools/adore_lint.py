@@ -2,8 +2,10 @@
 """adore_lint: layering and purity linter for the Adore reproduction.
 
 The repo's strongest guarantees are structural, not dynamic: the
-sans-I/O layers (src/core, src/adore, src/mc, src/audit) must stay pure
-state machines the model checker can exhaust, every wire/WAL decode must
+sans-I/O layers (src/core, src/adore, src/mc, src/audit, src/shard)
+must stay pure state machines the model checker can exhaust (shard is
+the placement/pool-map algebra: routing decisions must be computable by
+any client without touching a runtime), every wire/WAL decode must
 go through the bounds-checked readers in core/Codec.h, and switches over
 protocol enums must stay exhaustive so -Werror=switch keeps guarding
 effect handling. Sanitizers and chaos sweeps probe executed paths;
@@ -57,8 +59,11 @@ import sys
 # --------------------------------------------------------------------------
 
 # Layers that must stay sans-I/O pure: no threads, no clocks, no files,
-# no sockets, no dependence on the executable runtimes.
-PURE_LAYERS = {"core", "adore", "mc", "audit"}
+# no sockets, no dependence on the executable runtimes. shard (jump-hash
+# placement + pool map + sans-I/O routing client) earns its place here:
+# a router that secretly depended on rt/store/sim could not be embedded
+# in arbitrary clients or replayed deterministically by the chaos rig.
+PURE_LAYERS = {"core", "adore", "mc", "audit", "shard"}
 
 # Layers a pure layer may never include from.
 IMPURE_LAYERS = {"rt", "store", "sim", "chaos", "kv"}

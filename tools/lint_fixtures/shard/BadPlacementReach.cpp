@@ -1,0 +1,11 @@
+// Fixture: placement code reaching into a runtime. Routing must stay a
+// pure function of (key, pool map) so any client can compute it; a
+// shard file that includes sim/rt/store has smuggled a runtime
+// dependency into the algebra.
+#include "sim/Cluster.h" // LINT-EXPECT: layering
+
+namespace fixture {
+
+int placementLeaksIntoSim() { return 1; }
+
+} // namespace fixture
