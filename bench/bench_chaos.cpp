@@ -102,7 +102,7 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0) {
       Sweep.Smoke = true;
-      Sweep.SeedsPerScenario = 25; // 9 scenarios -> 225 runs.
+      Sweep.SeedsPerScenario = 25; // 11 scenarios -> 275 runs.
     } else if (std::strcmp(Argv[I], "--durable") == 0) {
       Sweep.Durable = true;
     } else if (std::strcmp(Argv[I], "--seeds") == 0 && I + 1 < Argc) {
@@ -184,6 +184,13 @@ int main(int Argc, char **Argv) {
   uint64_t TotalLinStates = 0;
   size_t DurableRuns = 0;
   store::StoreStats StoreAgg;
+  // Self-healing aggregates across kill-forever runs (the only scenario
+  // that sets ChaosRunResult::Healing).
+  size_t HealRuns = 0, HealKills = 0;
+  uint64_t DetectUsTotal = 0, DetectUsMax = 0;
+  uint64_t RefillUsTotal = 0, RefillUsMax = 0;
+  uint64_t SnapBytes = 0, SnapInstalls = 0, HealCommits = 0,
+           HealRetries = 0;
   std::printf("%-20s %6s %6s %8s %8s %6s\n", "scenario", "runs", "fail",
               "ops-ok", "indet", "reconf");
   for (Scenario S : allScenarios()) {
@@ -221,6 +228,20 @@ int main(int Argc, char **Argv) {
       OpsIndet += R.OpsIndeterminate;
       Reconfigs += R.ReconfigsCommitted;
       TotalLinStates += R.LinStatesExplored;
+      if (R.Healing) {
+        ++HealRuns;
+        HealKills += R.PermanentKills;
+        DetectUsTotal += R.TimeToDetectUs;
+        if (R.TimeToDetectUs > DetectUsMax)
+          DetectUsMax = R.TimeToDetectUs;
+        RefillUsTotal += R.TimeToFullReplicationUs;
+        if (R.TimeToFullReplicationUs > RefillUsMax)
+          RefillUsMax = R.TimeToFullReplicationUs;
+        SnapBytes += R.SnapshotBytesTransferred;
+        SnapInstalls += R.SnapshotsInstalled;
+        HealCommits += R.HealReconfigsCommitted;
+        HealRetries += R.HealReconfigRetries;
+      }
       if (!R.passed()) {
         ++Failures;
         ++ScenarioFailures;
@@ -239,6 +260,24 @@ int main(int Argc, char **Argv) {
   W.key("total_runs").value(uint64_t(Total));
   W.key("failures").value(uint64_t(Failures));
   W.key("lin_states_explored").value(TotalLinStates);
+  // Healing summary: present only when kill-forever ran, so sweeps that
+  // exclude it keep their report layout unchanged.
+  if (HealRuns != 0) {
+    W.key("healing").beginObject();
+    W.key("scenario").value("kill-forever");
+    W.key("runs").value(uint64_t(HealRuns));
+    W.key("permanent_kills").value(uint64_t(HealKills));
+    W.key("time_to_detect_us_avg").value(DetectUsTotal / HealRuns);
+    W.key("time_to_detect_us_max").value(DetectUsMax);
+    W.key("time_to_full_replication_us_avg")
+        .value(RefillUsTotal / HealRuns);
+    W.key("time_to_full_replication_us_max").value(RefillUsMax);
+    W.key("snapshot_bytes_transferred").value(SnapBytes);
+    W.key("snapshots_installed").value(SnapInstalls);
+    W.key("heal_reconfigs_committed").value(HealCommits);
+    W.key("heal_reconfig_retries").value(HealRetries);
+    W.endObject();
+  }
   W.endObject();
   if (!W.writeFile("BENCH_chaos.json"))
     std::fprintf(stderr, "warning: could not write BENCH_chaos.json\n");
@@ -277,6 +316,20 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(StoreAgg.MaxBatchRecords),
                 static_cast<unsigned long long>(StoreAgg.RecoveryUsMax));
   }
+
+  if (HealRuns != 0)
+    std::printf("\nself-healing: %zu kill-forever runs, %zu permanent "
+                "kills, detect avg %llu us (max %llu), full replication "
+                "avg %llu us (max %llu), %llu snapshot bytes, %llu heal "
+                "reconfigs committed, %llu retries\n",
+                HealRuns, HealKills,
+                static_cast<unsigned long long>(DetectUsTotal / HealRuns),
+                static_cast<unsigned long long>(DetectUsMax),
+                static_cast<unsigned long long>(RefillUsTotal / HealRuns),
+                static_cast<unsigned long long>(RefillUsMax),
+                static_cast<unsigned long long>(SnapBytes),
+                static_cast<unsigned long long>(HealCommits),
+                static_cast<unsigned long long>(HealRetries));
 
   std::printf("\n%zu runs, %zu failures, %llu linearization states "
               "explored\n",

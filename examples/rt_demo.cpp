@@ -29,18 +29,32 @@
 //
 //   ./build/examples/rt_demo --groups 3
 //
+// With --heal the demo runs the self-healing pipeline instead: a
+// replica is killed permanently (never restarted), the leader's
+// missed-ack detector suspects it, a heal::Healer proposes certified
+// reconfigs that swap a passive spare in, and the newcomer catches up
+// over chunked InstallSnapshot transfers — the cluster repairs itself
+// back to full replication with no operator in the loop.
+//
+//   ./build/examples/rt_demo --heal
+//
 //===----------------------------------------------------------------------===//
 
+#include "heal/Healer.h"
 #include "rt/RtCluster.h"
 #include "rt/ShardedRt.h"
 #include "shard/ShardedKvClient.h"
 #include "store/Vfs.h"
+#include "support/Sync.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
+#include <thread>
 
 using namespace adore;
 
@@ -119,6 +133,155 @@ int runSingleGroup() {
   return Violations.empty() ? 0 : 1;
 }
 
+int runHealing() {
+  std::printf("== Adore rt self-healing demo: kill a replica forever, watch "
+              "the cluster repair itself ==\n\n");
+
+  auto T0 = std::chrono::steady_clock::now();
+  auto NowUs = [T0] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+  };
+
+  // The suspicion tap runs on node worker threads; Mu serializes it
+  // against the main thread's healer ticks.
+  sync::Mutex Mu;
+  std::optional<heal::Healer> Doc;
+
+  rt::RtClusterOptions Opts;
+  Opts.NumNodes = 3;
+  Opts.NumSpares = 2; // passive until a heal reconfig adopts them
+  Opts.Seed = 42;
+  Opts.Node.EnableSuspicion = true; // missed-ack detector on the leader
+  Opts.Node.EnableSnapshotCatchup = true;
+  Opts.Node.SnapshotLagEntries = 8; // snapshot any follower 8+ behind
+  Opts.OnSuspicion = [&](NodeId Observer, NodeId Peer, bool SuspectedNow) {
+    std::printf("  [detector] leader S%u %s S%u\n", Observer,
+                SuspectedNow ? "suspects" : "recovered", Peer);
+    sync::MutexLock L(Mu);
+    if (!Doc)
+      return;
+    if (SuspectedNow)
+      Doc->observeSuspected(Peer);
+    else
+      Doc->observeRecovered(Peer);
+  };
+  rt::RtCluster C(Opts);
+  {
+    heal::HealerOptions HO;
+    HO.Seed = 7;
+    HO.BaseBackoffUs = 50000;
+    HO.MaxBackoffUs = 800000;
+    HO.CooldownUs = 100000;
+    HO.TargetReplication = Opts.NumNodes;
+    sync::MutexLock L(Mu);
+    Doc.emplace(C.scheme(), HO);
+  }
+  C.start();
+
+  NodeId Leader = C.waitForLeader(5000);
+  if (Leader == InvalidNodeId) {
+    std::printf("no leader elected within 5s\n");
+    return 1;
+  }
+  std::printf("S%u leads %s (S4, S5 passive spares)\n", Leader,
+              C.initialConfig().str().c_str());
+
+  std::printf("committing 20 commands so the newcomer has a log to "
+              "catch up on... ");
+  size_t Committed = 0;
+  for (MethodId M = 1; M <= 20; ++M)
+    Committed += C.submitAndWait(M, 5000);
+  std::printf("%zu/20\n\n", Committed);
+
+  // Kill the highest-id non-leader member. Permanently: nothing below
+  // ever restarts it — only the healing pipeline can restore the
+  // replication factor.
+  NodeId Victim = InvalidNodeId;
+  for (NodeId M : C.scheme().mbrs(C.nodeStatus(Leader).Conf))
+    if (M != Leader && !C.nodeStatus(M).Crashed)
+      Victim = M;
+  std::printf("killing S%u forever\n", Victim);
+  C.crash(Victim);
+  // crash() is a queued request to the node's worker thread; wait for
+  // the status flag to flip so the heal clock starts at the real kill.
+  while (!C.nodeStatus(Victim).Crashed)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  uint64_t KillUs = NowUs();
+
+  auto FullyReplicated = [&]() -> bool {
+    NodeId L = C.waitForLeader(100);
+    if (L == InvalidNodeId)
+      return false;
+    rt::RtNodeStatus LS = C.nodeStatus(L);
+    NodeSet Members = C.scheme().mbrs(LS.Conf);
+    if (Members.size() < Opts.NumNodes)
+      return false;
+    for (NodeId M : Members) {
+      rt::RtNodeStatus S = C.nodeStatus(M);
+      if (S.Crashed || S.Passive || S.LogSize < LS.CommitIndex)
+        return false;
+    }
+    return true;
+  };
+
+  bool Healed = false;
+  while (NowUs() < KillUs + 15000000) {
+    if (FullyReplicated()) {
+      Healed = true;
+      break;
+    }
+    NodeId L = C.waitForLeader(100);
+    if (L != InvalidNodeId) {
+      Config Cur = C.nodeStatus(L).Conf;
+      std::optional<Config> P;
+      {
+        sync::MutexLock Lk(Mu);
+        P = Doc->tick(NowUs(), Cur, C.universe(), L);
+      }
+      if (P) {
+        std::printf("  [healer] proposing %s -> %s... ", Cur.str().c_str(),
+                    P->str().c_str());
+        bool Ok = C.reconfigAndWait(*P, 5000);
+        std::printf("%s\n", Ok ? "committed" : "rejected/timed out");
+        sync::MutexLock Lk(Mu);
+        Doc->onReconfigResult(Ok, NowUs());
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  uint64_t HealMs = (NowUs() - KillUs) / 1000;
+
+  std::printf("\none more command through the healed cluster: %s\n",
+              C.submitAndWait(21, 5000) ? "committed" : "timed out");
+  C.stop();
+
+  // Workers joined: the cores are safe to inspect directly.
+  uint64_t SnapBytes = 0, SnapInstalls = 0;
+  for (NodeId Id : C.universe()) {
+    SnapBytes += C.coreForInspection(Id).snapshotBytesReceived();
+    SnapInstalls += C.coreForInspection(Id).snapshotsInstalled();
+  }
+  auto Violations = C.checkFinalAgreement();
+  for (const std::string &V : Violations)
+    std::printf("VIOLATION: %s\n", V.c_str());
+  size_t Heals;
+  {
+    sync::MutexLock Lk(Mu);
+    Heals = Doc->heals();
+  }
+  std::printf("%s in %llu ms: %zu heal reconfigs, %llu snapshot bytes "
+              "installed (%llu transfers), %zu violations\n",
+              Healed ? "healed to full replication" : "NOT healed",
+              static_cast<unsigned long long>(HealMs), Heals,
+              static_cast<unsigned long long>(SnapBytes),
+              static_cast<unsigned long long>(SnapInstalls),
+              Violations.size());
+  return Healed && Violations.empty() ? 0 : 1;
+}
+
 int runSharded(size_t Groups) {
   std::printf("== Adore rt multi-group demo: %zu data groups + a metadata "
               "group, one bus ==\n\n",
@@ -154,6 +317,10 @@ int runSharded(size_t Groups) {
   };
   T.FetchMap = [&Pool](shard::ShardedKvClient::MapFn Done) {
     Done(Pool.committedMap());
+  };
+  T.Sleep = [](uint64_t DelayUs, std::function<void()> Resume) {
+    std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
+    Resume();
   };
   shard::ShardedKvClient Client(Pool.committedMap(), std::move(T));
 
@@ -239,19 +406,24 @@ int runSharded(size_t Groups) {
 
 int main(int Argc, char **Argv) {
   size_t Groups = 1;
+  bool Heal = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--groups") == 0 && I + 1 < Argc) {
       char *End = nullptr;
       unsigned long V = std::strtoul(Argv[++I], &End, 10);
       if (End == nullptr || *End != '\0' || V == 0) {
-        std::fprintf(stderr, "usage: rt_demo [--groups N]\n");
+        std::fprintf(stderr, "usage: rt_demo [--groups N | --heal]\n");
         return 2;
       }
       Groups = V;
+    } else if (std::strcmp(Argv[I], "--heal") == 0) {
+      Heal = true;
     } else {
-      std::fprintf(stderr, "usage: rt_demo [--groups N]\n");
+      std::fprintf(stderr, "usage: rt_demo [--groups N | --heal]\n");
       return 2;
     }
   }
+  if (Heal)
+    return runHealing();
   return Groups > 1 ? runSharded(Groups) : runSingleGroup();
 }

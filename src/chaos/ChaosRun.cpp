@@ -9,6 +9,7 @@
 #include "chaos/History.h"
 #include "chaos/Ledger.h"
 #include "chaos/Linearizability.h"
+#include "heal/Healer.h"
 #include "kv/KvStore.h"
 
 #include <algorithm>
@@ -16,6 +17,24 @@
 using namespace adore;
 using namespace adore::chaos;
 using sim::SimTime;
+
+/// Full strength for the self-healing check: the leader's configuration
+/// has at least \p Target members and every one of them is alive with
+/// the leader's whole commit prefix in its log.
+static bool fullyReplicated(const sim::Cluster &C,
+                            const ReconfigScheme &Scheme, NodeId Leader,
+                            size_t Target) {
+  NodeSet Members = Scheme.mbrs(C.node(Leader).config());
+  if (Members.size() < Target)
+    return false;
+  size_t Commit = C.node(Leader).commitIndex();
+  for (NodeId M : Members) {
+    const sim::RaftNode &Node = C.node(M);
+    if (Node.isCrashed() || Node.logSize() < Commit)
+      return false;
+  }
+  return true;
+}
 
 ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
                                               uint64_t Seed) {
@@ -49,6 +68,17 @@ ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
   if (Durable)
     CO.StoreFaults = Opts.StoreFaults;
   Result.DurableStore = Durable;
+  // Kill-forever is the self-healing scenario: victims never restart, so
+  // the whole detection -> auto-reconfig -> snapshot-catch-up pipeline
+  // must be live. A low snapshot lag makes replacement spares catch up
+  // via InstallSnapshot rather than plain appends.
+  bool Healing = Opts.Nemesis.Kind == Scenario::KillForever;
+  Result.Healing = Healing;
+  if (Healing) {
+    CO.Node.EnableSuspicion = true;
+    CO.Node.EnableSnapshotCatchup = true;
+    CO.Node.SnapshotLagEntries = 8;
+  }
   sim::Cluster C(*Scheme, Initial, Universe, CO, ClusterSeed);
 
   CommittedLedger Ledger;
@@ -68,6 +98,63 @@ ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
 
   Nemesis N(C, Opts.Nemesis, NemesisSeed);
   N.start();
+
+  // Self-healing driver (kill-forever only). Suspicion observations from
+  // whichever node currently leads feed one Healer, and a periodic tick
+  // turns its proposals into client-path reconfiguration requests. The
+  // clocks feed the time-to-detect / time-to-full-replication metrics;
+  // the replication clock restarts whenever another victim drops.
+  std::optional<heal::Healer> Doc;
+  SimTime FirstSuspectAt = 0;
+  SimTime FullyReplicatedAt = 0;
+  SimTime LastKillAt = 0;
+  size_t KillsSeen = 0;
+  std::function<void()> HealTick;
+  if (Healing) {
+    heal::HealerOptions HO;
+    HO.Seed = Master.next();
+    HO.BaseBackoffUs = 100000;
+    HO.MaxBackoffUs = 1600000;
+    HO.CooldownUs = 400000;
+    Doc.emplace(*Scheme, HO);
+    for (NodeId Id : C.universe())
+      C.node(Id).setSuspicionObserver(
+          [&](NodeId, NodeId Peer, bool SuspectedNow) {
+            if (!SuspectedNow) {
+              Doc->observeRecovered(Peer);
+              return;
+            }
+            Doc->observeSuspected(Peer);
+            if (!FirstSuspectAt)
+              FirstSuspectAt = C.queue().now();
+          });
+    const SimTime HealTickUs = 50000;
+    SimTime End = Start + Opts.Nemesis.HorizonUs + Opts.QuiescenceUs;
+    HealTick = [&, HealTickUs, End] {
+      SimTime Now = C.queue().now();
+      if (N.killedForever().size() > KillsSeen) {
+        KillsSeen = N.killedForever().size();
+        LastKillAt = Now;
+        FullyReplicatedAt = 0;
+      }
+      if (std::optional<NodeId> L = C.leader()) {
+        if (FullyReplicatedAt == 0 && KillsSeen != 0 &&
+            fullyReplicated(C, *Scheme, *L, Opts.Members))
+          FullyReplicatedAt = Now;
+        if (std::optional<Config> P =
+                Doc->tick(Now, C.node(*L).config(), C.universe(), *L))
+          C.requestReconfig(
+              *P,
+              [&](bool Ok, SimTime) {
+                Doc->onReconfigResult(Ok, C.queue().now());
+              },
+              /*MaxTriesUs=*/1500000);
+      }
+      if (Now + HealTickUs < End)
+        C.queue().scheduleAfter(HealTickUs, HealTick);
+    };
+    C.queue().scheduleAfter(HealTickUs, HealTick);
+  }
 
   // Schedule the whole workload up front (invocation times and op mix
   // are drawn now; effects happen in virtual time). Every put writes a
@@ -119,9 +206,54 @@ ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
   if (Durable)
     Result.Store = C.storeStats();
 
+  if (Healing) {
+    // The tick only samples every 50ms; catch a catch-up that completed
+    // between the last tick and the end of the run.
+    if (FullyReplicatedAt == 0 && KillsSeen != 0)
+      if (std::optional<NodeId> L = C.leader())
+        if (fullyReplicated(C, *Scheme, *L, Opts.Members))
+          FullyReplicatedAt = C.queue().now();
+    SimTime FirstKillAt = 0;
+    SimTime FinalKillAt = 0;
+    for (const NemesisAction &A : N.trace())
+      if (A.Desc.rfind("kill-forever", 0) == 0) {
+        if (!FirstKillAt)
+          FirstKillAt = A.At;
+        FinalKillAt = A.At;
+      }
+    Result.PermanentKills = N.killedForever().size();
+    Result.HealReconfigsCommitted = Doc->heals();
+    Result.HealReconfigRetries = Doc->retries();
+    for (NodeId Id : C.universe()) {
+      Result.SnapshotBytesTransferred +=
+          C.node(Id).core().snapshotBytesReceived();
+      Result.SnapshotsInstalled += C.node(Id).core().snapshotsInstalled();
+    }
+    if (FirstKillAt && FirstSuspectAt > FirstKillAt)
+      Result.TimeToDetectUs = FirstSuspectAt - FirstKillAt;
+    if (FullyReplicatedAt > FinalKillAt)
+      Result.TimeToFullReplicationUs = FullyReplicatedAt - FinalKillAt;
+  }
+
   // Invariants.
   if (!N.healedAll())
     Result.Violations.push_back("nemesis did not heal all faults");
+  if (Healing && KillsSeen != 0) {
+    // The point of the scenario: only reconfiguration can restore the
+    // replication factor, and it must have by the end of quiescence.
+    if (FullyReplicatedAt == 0)
+      Result.Violations.push_back(
+          "self-healing: cluster never returned to full replication after " +
+          std::to_string(KillsSeen) + " permanent kills");
+    if (std::optional<NodeId> L = C.leader()) {
+      NodeSet FinalMembers = Scheme->mbrs(C.node(*L).config());
+      for (NodeId Dead : N.killedForever())
+        if (FinalMembers.contains(Dead))
+          Result.Violations.push_back(
+              "self-healing: permanently killed S" + std::to_string(Dead) +
+              " is still a member of the final configuration");
+    }
+  }
   // Store-backed recovery cross-checks: every restart's recovered
   // term/vote/log must equal the idealized in-memory copy (only deferred
   // commit records may be lost), and no directory may be unrecoverable.
@@ -205,6 +337,17 @@ void ChaosRunResult::addToJson(JsonWriter &W) const {
   W.key("reconfigs_committed").value(uint64_t(ReconfigsCommitted));
   W.key("healed_all").value(HealedAll);
   W.endObject();
+  if (Healing) {
+    W.key("healing").beginObject();
+    W.key("permanent_kills").value(uint64_t(PermanentKills));
+    W.key("time_to_detect_us").value(TimeToDetectUs);
+    W.key("time_to_full_replication_us").value(TimeToFullReplicationUs);
+    W.key("snapshot_bytes_transferred").value(SnapshotBytesTransferred);
+    W.key("snapshots_installed").value(SnapshotsInstalled);
+    W.key("heal_reconfigs_committed").value(HealReconfigsCommitted);
+    W.key("heal_reconfig_retries").value(HealReconfigRetries);
+    W.endObject();
+  }
   W.key("committed_entries").value(uint64_t(CommittedEntries));
   if (!GroupStats.empty()) {
     W.key("pool_map").beginObject();
@@ -264,6 +407,12 @@ std::string ChaosRunResult::summary() const {
     S += " groups=" + std::to_string(GroupStats.size() - 1) +
          " map_gen=" + std::to_string(MapGeneration) +
          " nacks=" + std::to_string(WrongGroupNacks);
+  if (Healing)
+    S += " kills=" + std::to_string(PermanentKills) +
+         " heals=" + std::to_string(HealReconfigsCommitted) +
+         " detect_us=" + std::to_string(TimeToDetectUs) +
+         " refill_us=" + std::to_string(TimeToFullReplicationUs) +
+         " snap_bytes=" + std::to_string(SnapshotBytesTransferred);
   if (DurableStore)
     S += " recoveries=" + std::to_string(Store.Recoveries) +
          " torn_tails=" + std::to_string(Store.TornTailsDetected);

@@ -132,6 +132,21 @@ struct ChaosRunResult {
   uint64_t WrongGroupNacks = 0;
   uint64_t MapRefreshes = 0;
 
+  // Self-healing statistics (Scenario::KillForever runs only; the JSON
+  // keys are emitted only when Healing is set, which keeps every legacy
+  // report byte-identical).
+  bool Healing = false;
+  size_t PermanentKills = 0;
+  /// First permanent kill to the first ReplicaSuspected observation.
+  uint64_t TimeToDetectUs = 0;
+  /// Last permanent kill to the cluster being back at full strength:
+  /// target-many live members all holding the leader's commit prefix.
+  uint64_t TimeToFullReplicationUs = 0;
+  uint64_t SnapshotBytesTransferred = 0;
+  uint64_t SnapshotsInstalled = 0;
+  uint64_t HealReconfigsCommitted = 0;
+  uint64_t HealReconfigRetries = 0;
+
   // Durable-store statistics (all zero unless the store was on).
   bool DurableStore = false;
   store::StoreStats Store;

@@ -36,6 +36,8 @@ const char *adore::chaos::scenarioName(Scenario S) {
     return "disk-faults";
   case Scenario::ShardReconfig:
     return "shard-reconfig";
+  case Scenario::KillForever:
+    return "kill-forever";
   }
   ADORE_UNREACHABLE("unknown scenario");
 }
@@ -45,7 +47,8 @@ std::vector<Scenario> adore::chaos::allScenarios() {
           Scenario::Partitions, Scenario::Cuts,
           Scenario::NetChaos,  Scenario::Reconfigs,
           Scenario::SplitBrain, Scenario::CrashMidReconfig,
-          Scenario::DiskFaults, Scenario::ShardReconfig};
+          Scenario::DiskFaults, Scenario::ShardReconfig,
+          Scenario::KillForever};
 }
 
 static std::string nodeName(NodeId N) { return "S" + std::to_string(N); }
@@ -72,6 +75,7 @@ void Nemesis::start() {
   case Scenario::Reconfigs:
   case Scenario::DiskFaults:
   case Scenario::ShardReconfig:
+  case Scenario::KillForever:
     // Randomized scenarios: step() draws from the per-scenario move
     // set. Enumerated (no default) so a new Scenario must choose
     // scripted vs randomized explicitly. ShardReconfig is normally
@@ -141,6 +145,9 @@ void Nemesis::step() {
     // tears the WAL tail); reconfigs keep the durable log churning.
     Moves = {&Nemesis::moveCrash, &Nemesis::moveRestart,
              &Nemesis::moveReconfig};
+    break;
+  case Scenario::KillForever:
+    Moves = {&Nemesis::moveKillForever};
     break;
   case Scenario::SplitBrain:
   case Scenario::CrashMidReconfig:
@@ -308,6 +315,36 @@ bool Nemesis::moveReconfig() {
           ++ReconfigsCommitted;
       },
       /*MaxTriesUs=*/2000000);
+  return true;
+}
+
+bool Nemesis::moveKillForever() {
+  if (KilledForever.size() >= Opts.MaxForeverKills)
+    return false;
+  Config Conf = currentConfig();
+  NodeSet Members = C->scheme().mbrs(Conf);
+  std::vector<NodeId> Cands;
+  for (NodeId N : Members) {
+    if (C->node(N).isCrashed())
+      continue;
+    // The survivors must retain a quorum of the configuration in force,
+    // or no leader could ever certify the healing reconfig — the
+    // scenario tests self-healing, not unhealable majority loss.
+    NodeSet Alive;
+    for (NodeId M : Members)
+      if (M != N && !C->node(M).isCrashed())
+        Alive.insert(M);
+    if (C->scheme().isQuorum(Alive, Conf))
+      Cands.push_back(N);
+  }
+  if (Cands.empty())
+    return false;
+  NodeId Victim = R.pick(Cands);
+  C->crash(Victim);
+  // Deliberately NOT in Crashed: the horizon heal restarts Crashed, and
+  // these victims stay dead forever. Only reconfiguration heals this.
+  KilledForever.insert(Victim);
+  record("kill-forever " + nodeName(Victim));
   return true;
 }
 

@@ -59,6 +59,11 @@ enum class Scenario : uint8_t {
                  ///< mid-traffic by committing a new pool map in the
                  ///< metadata group, then reconfiguring the group. In a
                  ///< single-group Nemesis this degrades to Reconfigs.
+  KillForever, ///< Permanent random kills within the spare budget: the
+               ///< victims never restart (not even at the horizon heal),
+               ///< so only the self-healing pipeline — suspicion,
+               ///< certified auto-reconfig, snapshot catch-up — can
+               ///< bring the cluster back to full replication.
 };
 
 const char *scenarioName(Scenario S);
@@ -76,6 +81,9 @@ struct NemesisOptions {
   /// Fault budget: concurrent crashed nodes / directional cuts.
   unsigned MaxCrashed = 1;
   unsigned MaxCuts = 2;
+  /// KillForever budget: total permanent kills, normally the spare
+  /// count (a kill beyond the spare budget is unhealable by design).
+  unsigned MaxForeverKills = 2;
 };
 
 /// One entry of the nemesis action trace.
@@ -104,6 +112,11 @@ public:
   size_t reconfigsRequested() const { return ReconfigsRequested; }
   size_t reconfigsCommitted() const { return ReconfigsCommitted; }
 
+  /// Nodes permanently killed by Scenario::KillForever. Never restarted
+  /// by the horizon heal; healing them is the healer's job, by
+  /// reconfiguring them out.
+  const NodeSet &killedForever() const { return KilledForever; }
+
 private:
   void record(const std::string &Desc);
   void scheduleNextStep();
@@ -118,6 +131,7 @@ private:
   bool moveCut();
   bool moveNetStorm();
   bool moveReconfig();
+  bool moveKillForever();
 
   void scriptSplitBrain();
   void scriptCrashMidReconfig();
@@ -131,6 +145,7 @@ private:
   sim::LinkOptions BaseLink;
   std::vector<NemesisAction> Trace;
   NodeSet Crashed;
+  NodeSet KilledForever;
   /// Generation counters let auto-heal events detect that their fault
   /// was already lifted (and a new one possibly installed).
   uint64_t PartitionGen = 0;

@@ -6,7 +6,9 @@
 
 #include "chaos/RtRun.h"
 
+#include "heal/Healer.h"
 #include "rt/RtCluster.h"
+#include "support/Sync.h"
 
 #include <chrono>
 #include <thread>
@@ -50,6 +52,25 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
   Result.Seed = Seed;
   Result.Kind = Opts.Kind;
 
+  // Wall-clock microseconds since run start: the healer's backoff clock
+  // and the healing latency metrics (rt runs live on the real clock).
+  auto T0 = std::chrono::steady_clock::now();
+  auto NowUs = [T0] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+  };
+
+  bool Healing = Opts.Kind == Scenario::KillForever;
+  Result.Healing = Healing;
+  // The suspicion tap runs on node worker threads; HealMu serializes it
+  // against the main thread's healer ticks. Declared before the cluster
+  // so the workers never outlive what the tap captures.
+  sync::Mutex HealMu;
+  std::optional<heal::Healer> Doc;
+  uint64_t FirstSuspectUs = 0;
+
   rt::RtClusterOptions CO;
   CO.Scheme = Opts.Scheme;
   CO.NumNodes = Opts.Members;
@@ -59,7 +80,35 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
   if (CO.DurableStore)
     CO.StoreFaults = ChaosRunOptions::defaultStoreFaults();
   Result.DurableStore = CO.DurableStore;
+  if (Healing) {
+    CO.NumSpares = Opts.Spares;
+    CO.Node.EnableSuspicion = true;
+    CO.Node.EnableSnapshotCatchup = true;
+    CO.Node.SnapshotLagEntries = 8;
+    CO.OnSuspicion = [&](NodeId, NodeId Peer, bool SuspectedNow) {
+      sync::MutexLock L(HealMu);
+      if (!Doc)
+        return;
+      if (SuspectedNow) {
+        Doc->observeSuspected(Peer);
+        if (!FirstSuspectUs)
+          FirstSuspectUs = NowUs();
+      } else {
+        Doc->observeRecovered(Peer);
+      }
+    };
+  }
   rt::RtCluster C(CO);
+  if (Healing) {
+    heal::HealerOptions HO;
+    HO.Seed = Seed ^ 0x4EA1D05EULL;
+    HO.BaseBackoffUs = 50000;
+    HO.MaxBackoffUs = 800000;
+    HO.CooldownUs = 100000;
+    HO.TargetReplication = Opts.Members;
+    sync::MutexLock L(HealMu);
+    Doc.emplace(C.scheme(), HO);
+  }
   C.start();
 
   auto Submit = [&](size_t Count) {
@@ -120,6 +169,96 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
       // Unreachable: dispatched to runShardedRtScenario above. Listed
       // so the switch stays exhaustive under -Werror=switch.
       break;
+    case Scenario::KillForever: {
+      // Permanent kills: the victim never restarts, so only the healing
+      // pipeline — the suspicion tap feeding the Healer, certified
+      // reconfigs swapping spares in, snapshot catch-up for the
+      // replacement — can restore the replication factor. One kill per
+      // round, each of which must heal before the next.
+      auto FullyReplicated = [&]() -> bool {
+        NodeId L = C.waitForLeader(100);
+        if (L == InvalidNodeId)
+          return false;
+        rt::RtNodeStatus LS = C.nodeStatus(L);
+        NodeSet Members = C.scheme().mbrs(LS.Conf);
+        if (Members.size() < Opts.Members)
+          return false;
+        for (NodeId M : Members) {
+          rt::RtNodeStatus S = C.nodeStatus(M);
+          if (S.Crashed || S.Passive || S.LogSize < LS.CommitIndex)
+            return false;
+        }
+        return true;
+      };
+      auto HealStep = [&] {
+        NodeId L = C.waitForLeader(100);
+        if (L == InvalidNodeId)
+          return;
+        Config Cur = C.nodeStatus(L).Conf;
+        std::optional<Config> P;
+        {
+          sync::MutexLock Lk(HealMu);
+          P = Doc->tick(NowUs(), Cur, C.universe(), L);
+        }
+        if (!P)
+          return;
+        ++Result.ReconfigsRequested;
+        bool Ok = C.reconfigAndWait(*P, Opts.ConvergeTimeoutMs);
+        if (Ok)
+          ++Result.ReconfigsCommitted;
+        sync::MutexLock Lk(HealMu);
+        Doc->onReconfigResult(Ok, NowUs());
+      };
+
+      uint64_t FirstKillUs = 0;
+      size_t Kills = Opts.Spares < 2 ? Opts.Spares : 2;
+      for (size_t K = 0; K != Kills; ++K) {
+        NodeId L = C.waitForLeader(Opts.ConvergeTimeoutMs);
+        if (L == InvalidNodeId) {
+          Result.Violations.push_back("rt self-healing: no leader to "
+                                      "observe the kill");
+          break;
+        }
+        // Victim: the highest-id live member that is not the leader.
+        NodeId KillVictim = InvalidNodeId;
+        for (NodeId M : C.scheme().mbrs(C.nodeStatus(L).Conf))
+          if (M != L && !C.nodeStatus(M).Crashed)
+            KillVictim = M;
+        if (KillVictim == InvalidNodeId)
+          break;
+        C.crash(KillVictim);
+        ++Result.PermanentKills;
+        uint64_t KillUs = NowUs();
+        if (!FirstKillUs)
+          FirstKillUs = KillUs;
+        Submit(2);
+
+        bool Healed = false;
+        uint64_t Deadline = KillUs + 3 * Opts.ConvergeTimeoutMs * 1000;
+        while (NowUs() < Deadline) {
+          if (FullyReplicated()) {
+            Healed = true;
+            break;
+          }
+          HealStep();
+          sleepMs(20);
+        }
+        if (!Healed) {
+          Result.Violations.push_back(
+              "rt self-healing: cluster never returned to full "
+              "replication after kill " +
+              std::to_string(K + 1));
+          break;
+        }
+        Result.TimeToFullReplicationUs = NowUs() - KillUs;
+      }
+      {
+        sync::MutexLock Lk(HealMu);
+        if (FirstKillUs && FirstSuspectUs > FirstKillUs)
+          Result.TimeToDetectUs = FirstSuspectUs - FirstKillUs;
+      }
+      break;
+    }
     case Scenario::Crashes:
     case Scenario::Partitions:
     case Scenario::Cuts:
@@ -156,5 +295,16 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
   Result.CommittedEntries = C.committedCount();
   if (Result.DurableStore)
     Result.Store = C.storeStats();
+  if (Healing) {
+    // Workers are joined: the cores are safe to inspect directly.
+    for (NodeId Id : C.universe()) {
+      const core::RaftCore &Core = C.coreForInspection(Id);
+      Result.SnapshotBytesTransferred += Core.snapshotBytesReceived();
+      Result.SnapshotsInstalled += Core.snapshotsInstalled();
+    }
+    sync::MutexLock Lk(HealMu);
+    Result.HealReconfigsCommitted = Doc->heals();
+    Result.HealReconfigRetries = Doc->retries();
+  }
   return Result;
 }

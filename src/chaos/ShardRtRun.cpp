@@ -17,8 +17,10 @@
 
 #include "chaos/RtRun.h"
 
+#include "heal/Healer.h"
 #include "rt/ShardedRt.h"
 #include "support/Rng.h"
+#include "support/Sync.h"
 
 #include <chrono>
 #include <thread>
@@ -69,6 +71,53 @@ ChaosRunResult adore::chaos::runShardedRtScenario(const RtRunOptions &Opts,
   SO.Spares = Opts.Spares;
   SO.MetaMembers = Opts.Members;
 
+  // Self-healing setup (kill-forever only): one Healer per data group,
+  // fed by the shared suspicion tap. Node ids are group-spaced
+  // (shard::groupIdBase), so the observing node's id names the group.
+  auto T0 = std::chrono::steady_clock::now();
+  auto NowUs = [T0] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+  };
+  bool Healing = Opts.Kind == Scenario::KillForever;
+  Result.Healing = Healing;
+  sync::Mutex HealMu;
+  std::unique_ptr<ReconfigScheme> HealScheme;
+  std::vector<std::unique_ptr<heal::Healer>> Healers;
+  uint64_t FirstSuspectUs = 0;
+  if (Healing) {
+    SO.Group.Node.EnableSuspicion = true;
+    SO.Group.Node.EnableSnapshotCatchup = true;
+    SO.Group.Node.SnapshotLagEntries = 8;
+    HealScheme = makeScheme(Opts.Scheme);
+    Healers.resize(SO.Groups + 1);
+    for (shard::GroupId G = 1; G <= SO.Groups; ++G) {
+      heal::HealerOptions HO;
+      HO.Seed = Seed ^ (0x4EA1D05EULL + G);
+      HO.BaseBackoffUs = 50000;
+      HO.MaxBackoffUs = 800000;
+      HO.CooldownUs = 100000;
+      HO.TargetReplication = Opts.Members;
+      Healers[G] = std::make_unique<heal::Healer>(*HealScheme, HO);
+    }
+    SO.Group.OnSuspicion = [&](NodeId Observer, NodeId Peer,
+                               bool SuspectedNow) {
+      size_t G = Observer / 1000;
+      sync::MutexLock L(HealMu);
+      if (G == 0 || G >= Healers.size() || !Healers[G])
+        return;
+      if (SuspectedNow) {
+        Healers[G]->observeSuspected(Peer);
+        if (!FirstSuspectUs)
+          FirstSuspectUs = NowUs();
+      } else {
+        Healers[G]->observeRecovered(Peer);
+      }
+    };
+  }
+
   rt::ShardedRtCluster Pool(SO);
   Pool.start();
 
@@ -111,7 +160,18 @@ ChaosRunResult adore::chaos::runShardedRtScenario(const RtRunOptions &Opts,
   T.FetchMap = [&](shard::ShardedKvClient::MapFn Done) {
     Done(Pool.committedMap());
   };
-  shard::ShardedKvClient Client(Pool.committedMap(), std::move(T));
+  // Perform runs synchronously on the harness thread, so a blocking
+  // sleep paces the retry loop without touching any worker thread.
+  T.Sleep = [](uint64_t DelayUs, std::function<void()> Resume) {
+    std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
+    Resume();
+  };
+  shard::BackoffOptions ClientBackoff;
+  ClientBackoff.Seed = WorkloadSeed ^ 0xBAC0FFULL;
+  ClientBackoff.BaseUs = 500;
+  ClientBackoff.MaxUs = 8000;
+  shard::ShardedKvClient Client(Pool.committedMap(), std::move(T),
+                                ClientBackoff);
 
   Rng W(WorkloadSeed);
   auto Submit = [&](size_t Count) {
@@ -176,6 +236,115 @@ ChaosRunResult adore::chaos::runShardedRtScenario(const RtRunOptions &Opts,
           ++Result.ReconfigsCommitted;
         Submit(2);
       }
+    } else if (Opts.Kind == Scenario::KillForever) {
+      // One permanent kill per data group, each healed before the next:
+      // the group's healer ejects the corpse and swaps a spare in via
+      // certified reconfigs, the replacement catches up (by snapshot
+      // when behind enough), and the corrected pool map is committed
+      // through the metadata group's generation-CAS.
+      auto FullyReplicated = [&](rt::RtCluster &Grp) -> bool {
+        NodeId L = Grp.waitForLeader(100);
+        if (L == InvalidNodeId)
+          return false;
+        rt::RtNodeStatus LS = Grp.nodeStatus(L);
+        NodeSet Members = Grp.scheme().mbrs(LS.Conf);
+        if (Members.size() < Opts.Members)
+          return false;
+        for (NodeId M : Members) {
+          rt::RtNodeStatus S = Grp.nodeStatus(M);
+          if (S.Crashed || S.Passive || S.LogSize < LS.CommitIndex)
+            return false;
+        }
+        return true;
+      };
+      auto HealStep = [&](shard::GroupId G) {
+        rt::RtCluster &Grp = Pool.group(G);
+        NodeId L = Grp.waitForLeader(100);
+        if (L == InvalidNodeId)
+          return;
+        Config Cur = Grp.nodeStatus(L).Conf;
+        std::optional<Config> P;
+        {
+          sync::MutexLock Lk(HealMu);
+          P = Healers[G]->tick(NowUs(), Cur, Grp.universe(), L);
+        }
+        if (!P)
+          return;
+        ++Result.ReconfigsRequested;
+        bool Ok = Grp.reconfigAndWait(*P, Opts.ConvergeTimeoutMs);
+        if (Ok)
+          ++Result.ReconfigsCommitted;
+        sync::MutexLock Lk(HealMu);
+        Healers[G]->onReconfigResult(Ok, NowUs());
+      };
+
+      uint64_t FirstKillUs = 0;
+      for (shard::GroupId G = 1; G <= Pool.dataGroups(); ++G) {
+        rt::RtCluster &Grp = Pool.group(G);
+        NodeId Leader = Grp.waitForLeader(Opts.ConvergeTimeoutMs);
+        if (Leader == InvalidNodeId) {
+          Result.Violations.push_back(
+              "rt self-healing: group " + std::to_string(G) +
+              " has no leader to observe the kill");
+          break;
+        }
+        NodeId Victim =
+            pickVictim(Grp.scheme().mbrs(Grp.nodeStatus(Leader).Conf),
+                       Leader);
+        if (Victim == InvalidNodeId)
+          continue;
+        Grp.crash(Victim);
+        ++Result.PermanentKills;
+        uint64_t KillUs = NowUs();
+        if (!FirstKillUs)
+          FirstKillUs = KillUs;
+        Submit(1);
+
+        bool Healed = false;
+        uint64_t Deadline = KillUs + 3 * Opts.ConvergeTimeoutMs * 1000;
+        while (NowUs() < Deadline) {
+          if (FullyReplicated(Grp)) {
+            Healed = true;
+            break;
+          }
+          HealStep(G);
+          sleepMs(20);
+        }
+        if (!Healed) {
+          Result.Violations.push_back(
+              "rt self-healing: group " + std::to_string(G) +
+              " never returned to full replication");
+          break;
+        }
+        Result.TimeToFullReplicationUs = NowUs() - KillUs;
+
+        // Routing state follows the heal: commit the corrected map, or
+        // flag the run if the generation-CAS never lands.
+        bool MapSynced = false;
+        for (int Try = 0; Try != 5 && !MapSynced; ++Try) {
+          NodeId L2 = Grp.waitForLeader(Opts.ConvergeTimeoutMs);
+          if (L2 == InvalidNodeId)
+            break;
+          NodeSet Live = Grp.scheme().mbrs(Grp.nodeStatus(L2).Conf);
+          shard::PoolMap M = Pool.committedMap();
+          if (M.GroupReplicas[G] == Live) {
+            MapSynced = true;
+            break;
+          }
+          MapSynced = Pool.proposeMap(
+              heal::withGroupReplicas(M, G, Live), Opts.ConvergeTimeoutMs);
+        }
+        if (!MapSynced)
+          Result.Violations.push_back(
+              "rt self-healing: pool map never caught up with group " +
+              std::to_string(G) + "'s healed configuration");
+        Submit(1);
+      }
+      {
+        sync::MutexLock Lk(HealMu);
+        if (FirstKillUs && FirstSuspectUs > FirstKillUs)
+          Result.TimeToDetectUs = FirstSuspectUs - FirstKillUs;
+      }
     } else {
       // Every other scenario maps onto per-group crash pressure, like
       // the single-group rt run: lose and recover one replica in each
@@ -204,6 +373,21 @@ ChaosRunResult adore::chaos::runShardedRtScenario(const RtRunOptions &Opts,
 
   Result.HealedAll = true;
   Pool.stop();
+
+  if (Healing) {
+    // Workers are joined: cores are safe to inspect for the metrics.
+    for (shard::GroupId G = 1; G <= Pool.dataGroups(); ++G) {
+      rt::RtCluster &Grp = Pool.group(G);
+      for (NodeId Id : Grp.universe()) {
+        const core::RaftCore &Core = Grp.coreForInspection(Id);
+        Result.SnapshotBytesTransferred += Core.snapshotBytesReceived();
+        Result.SnapshotsInstalled += Core.snapshotsInstalled();
+      }
+      sync::MutexLock Lk(HealMu);
+      Result.HealReconfigsCommitted += Healers[G]->heals();
+      Result.HealReconfigRetries += Healers[G]->retries();
+    }
+  }
 
   for (shard::GroupId G = 0; G <= Pool.dataGroups(); ++G) {
     rt::RtCluster &Grp = Pool.group(G);

@@ -17,6 +17,7 @@
 #include "chaos/History.h"
 #include "chaos/Ledger.h"
 #include "chaos/Linearizability.h"
+#include "heal/Healer.h"
 #include "kv/ShardedKv.h"
 #include "sim/ShardedCluster.h"
 
@@ -29,6 +30,23 @@ using adore::shard::GroupId;
 using sim::SimTime;
 
 namespace {
+
+/// Full strength for one group: the leader's configuration has at least
+/// \p Target members, all alive and holding the leader's commit prefix.
+bool groupFullyReplicated(const sim::Cluster &C,
+                          const ReconfigScheme &Scheme, NodeId Leader,
+                          size_t Target) {
+  NodeSet Members = Scheme.mbrs(C.node(Leader).config());
+  if (Members.size() < Target)
+    return false;
+  size_t Commit = C.node(Leader).commitIndex();
+  for (NodeId M : Members) {
+    const sim::RaftNode &Node = C.node(M);
+    if (Node.isCrashed() || Node.logSize() < Commit)
+      return false;
+  }
+  return true;
+}
 
 Config currentConfigOf(sim::Cluster &C) {
   if (std::optional<NodeId> L = C.leader())
@@ -171,6 +189,16 @@ adore::chaos::runShardedChaosScenario(const ChaosRunOptions &Opts,
   SCO.NumShards = Opts.Shards;
   SCO.Members = static_cast<uint32_t>(Opts.Members);
   SCO.Spares = static_cast<uint32_t>(Opts.Spares);
+  // Kill-forever: the self-healing scenario (see ChaosRun.cpp); every
+  // group runs with suspicion on and a low snapshot lag so replacement
+  // spares catch up via InstallSnapshot.
+  bool Healing = Opts.Nemesis.Kind == Scenario::KillForever;
+  Result.Healing = Healing;
+  if (Healing) {
+    SCO.Group.Node.EnableSuspicion = true;
+    SCO.Group.Node.EnableSnapshotCatchup = true;
+    SCO.Group.Node.SnapshotLagEntries = 8;
+  }
   sim::ShardedCluster Pool(*Scheme, SCO, ClusterSeed);
   uint32_t Groups = Pool.dataGroups();
 
@@ -209,6 +237,91 @@ adore::chaos::runShardedChaosScenario(const ChaosRunOptions &Opts,
           Pool.group(G), Opts.Nemesis, NemMaster.next()));
     for (auto &N : Nemeses)
       N->start();
+  }
+
+  // Self-healing drivers, one Healer per data group (kill-forever only).
+  // Each group heals itself with its own spares; whenever a group's live
+  // configuration diverges from the committed pool map, the driver also
+  // proposes the corrected map through the metadata group's
+  // generation-CAS (retried on a later tick if it loses the race), so
+  // routing state follows the certified reconfigs.
+  std::vector<std::unique_ptr<heal::Healer>> Healers;
+  SimTime FirstSuspectAt = 0;
+  SimTime FullyReplicatedAt = 0;
+  size_t KillsSeen = 0;
+  bool MapProposalInFlight = false;
+  std::function<void()> HealTick;
+  if (Healing) {
+    Rng HealMaster(Master.next());
+    Healers.resize(Groups + 1);
+    for (GroupId G = 1; G <= Groups; ++G) {
+      heal::HealerOptions HO;
+      HO.Seed = HealMaster.next();
+      HO.BaseBackoffUs = 100000;
+      HO.MaxBackoffUs = 1600000;
+      HO.CooldownUs = 400000;
+      Healers[G] = std::make_unique<heal::Healer>(*Scheme, HO);
+      heal::Healer *Doc = Healers[G].get();
+      sim::Cluster &C = Pool.group(G);
+      for (NodeId Id : C.universe())
+        C.node(Id).setSuspicionObserver(
+            [&, Doc](NodeId, NodeId Peer, bool SuspectedNow) {
+              if (!SuspectedNow) {
+                Doc->observeRecovered(Peer);
+                return;
+              }
+              Doc->observeSuspected(Peer);
+              if (!FirstSuspectAt)
+                FirstSuspectAt = Pool.queue().now();
+            });
+    }
+    const SimTime HealTickUs = 50000;
+    SimTime End = Start + Opts.Nemesis.HorizonUs + Opts.QuiescenceUs;
+    HealTick = [&, HealTickUs, End] {
+      SimTime Now = Pool.queue().now();
+      size_t Kills = 0;
+      for (auto &N : Nemeses)
+        Kills += N->killedForever().size();
+      if (Kills > KillsSeen) {
+        KillsSeen = Kills;
+        FullyReplicatedAt = 0;
+      }
+      bool AllFull = KillsSeen != 0;
+      for (GroupId G = 1; G <= Groups; ++G) {
+        sim::Cluster &C = Pool.group(G);
+        std::optional<NodeId> L = C.leader();
+        if (!L) {
+          AllFull = false;
+          continue;
+        }
+        if (!groupFullyReplicated(C, *Scheme, *L, Opts.Members))
+          AllFull = false;
+        heal::Healer *Doc = Healers[G].get();
+        if (std::optional<Config> P =
+                Doc->tick(Now, C.node(*L).config(), C.universe(), *L))
+          C.requestReconfig(
+              *P,
+              [&, Doc](bool Ok, SimTime) {
+                Doc->onReconfigResult(Ok, Pool.queue().now());
+              },
+              /*MaxTriesUs=*/1500000);
+        if (!MapProposalInFlight && !Doc->inFlight()) {
+          NodeSet Live = Scheme->mbrs(C.node(*L).config());
+          shard::PoolMap M = Pool.committedMap();
+          if (G < M.GroupReplicas.size() &&
+              !(M.GroupReplicas[G] == Live)) {
+            MapProposalInFlight = true;
+            Pool.proposeMap(heal::withGroupReplicas(M, G, Live),
+                            [&](bool) { MapProposalInFlight = false; });
+          }
+        }
+      }
+      if (AllFull && FullyReplicatedAt == 0)
+        FullyReplicatedAt = Now;
+      if (Now + HealTickUs < End)
+        Pool.queue().scheduleAfter(HealTickUs, HealTick);
+    };
+    Pool.queue().scheduleAfter(HealTickUs, HealTick);
   }
 
   // The workload, scheduled up front exactly like the single-group run;
@@ -282,9 +395,75 @@ adore::chaos::runShardedChaosScenario(const ChaosRunOptions &Opts,
   Result.WrongGroupNacks = Store.routeStats().WrongGroupNacks;
   Result.MapRefreshes = Store.routeStats().MapRefreshes;
 
+  if (Healing) {
+    // Sample once more at end-of-run: the last catch-up may have
+    // completed after the final 50ms tick.
+    if (FullyReplicatedAt == 0 && KillsSeen != 0) {
+      bool AllFull = true;
+      for (GroupId G = 1; G <= Groups; ++G) {
+        std::optional<NodeId> L = Pool.group(G).leader();
+        if (!L || !groupFullyReplicated(Pool.group(G), *Scheme, *L,
+                                        Opts.Members))
+          AllFull = false;
+      }
+      if (AllFull)
+        FullyReplicatedAt = Pool.queue().now();
+    }
+    SimTime FirstKillAt = 0;
+    SimTime FinalKillAt = 0;
+    for (const auto &N : Nemeses)
+      for (const NemesisAction &A : N->trace())
+        if (A.Desc.rfind("kill-forever", 0) == 0) {
+          if (!FirstKillAt || A.At < FirstKillAt)
+            FirstKillAt = A.At;
+          if (A.At > FinalKillAt)
+            FinalKillAt = A.At;
+        }
+    for (const auto &N : Nemeses)
+      Result.PermanentKills += N->killedForever().size();
+    for (GroupId G = 1; G <= Groups; ++G) {
+      Result.HealReconfigsCommitted += Healers[G]->heals();
+      Result.HealReconfigRetries += Healers[G]->retries();
+      for (NodeId Id : Pool.group(G).universe()) {
+        const core::RaftCore &Core = Pool.group(G).node(Id).core();
+        Result.SnapshotBytesTransferred += Core.snapshotBytesReceived();
+        Result.SnapshotsInstalled += Core.snapshotsInstalled();
+      }
+    }
+    if (FirstKillAt && FirstSuspectAt > FirstKillAt)
+      Result.TimeToDetectUs = FirstSuspectAt - FirstKillAt;
+    if (FullyReplicatedAt > FinalKillAt)
+      Result.TimeToFullReplicationUs = FullyReplicatedAt - FinalKillAt;
+  }
+
   // Invariants, per group first.
   if (!HealedAll)
     Result.Violations.push_back("nemesis did not heal all faults");
+  if (Healing && KillsSeen != 0) {
+    if (FullyReplicatedAt == 0)
+      Result.Violations.push_back(
+          "self-healing: some group never returned to full replication "
+          "after " +
+          std::to_string(KillsSeen) + " permanent kills");
+    for (GroupId G = 1; G <= Groups; ++G) {
+      std::optional<NodeId> L = Pool.group(G).leader();
+      if (!L)
+        continue; // Flagged as "no leader" by the per-group walk below.
+      NodeSet Final = Scheme->mbrs(Pool.group(G).node(*L).config());
+      for (NodeId Dead : Nemeses[G - 1]->killedForever())
+        if (Final.contains(Dead))
+          Result.Violations.push_back(
+              "self-healing: group " + std::to_string(G) +
+              " still lists permanently killed S" + std::to_string(Dead) +
+              " in its final configuration");
+      const shard::PoolMap &M = Pool.committedMap();
+      if (G < M.GroupReplicas.size() && !(M.GroupReplicas[G] == Final))
+        Result.Violations.push_back(
+            "self-healing: committed pool map for group " +
+            std::to_string(G) + " (" + M.GroupReplicas[G].str() +
+            ") does not match its healed configuration " + Final.str());
+    }
+  }
   for (GroupId G = 0; G <= Groups; ++G) {
     sim::Cluster &C = Pool.group(G);
     std::string Tag = "group " + std::to_string(G) + ": ";

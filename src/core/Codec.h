@@ -33,6 +33,7 @@ namespace codec {
 /// Sanity bounds: anything claiming more than this is malformed.
 constexpr uint64_t MaxEntries = 1 << 20;
 constexpr uint64_t MaxSetSize = 1 << 16;
+constexpr uint64_t MaxBlob = 1 << 26;
 
 inline void putU8(std::string &Out, uint8_t V) {
   Out.push_back(static_cast<char>(V));
@@ -67,6 +68,13 @@ inline void putEntry(std::string &Out, const core::LogEntry &E) {
   putU64(Out, E.Method);
   putConfig(Out, E.Conf);
   putU64(Out, E.ClientSeq);
+}
+
+/// Length-prefixed opaque byte string (InstallSnapshot chunks on the
+/// wire, blob fields in WAL records).
+inline void putBytes(std::string &Out, const std::string &B) {
+  putU64(Out, B.size());
+  Out += B;
 }
 
 /// Bounds-checked little-endian reader over a byte string.
@@ -128,9 +136,52 @@ struct Cursor {
     return Ok;
   }
 
+  bool bytes(std::string &B) {
+    uint64_t N = u64();
+    if (!Ok || N > MaxBlob || N > Bytes.size() - Pos)
+      return Ok = false;
+    B.assign(Bytes, Pos, static_cast<size_t>(N));
+    Pos += static_cast<size_t>(N);
+    return true;
+  }
+
   /// True when the whole buffer was consumed without violation.
   bool done() const { return Ok && Pos == Bytes.size(); }
 };
+
+//===----------------------------------------------------------------------===//
+// Snapshot payload
+//===----------------------------------------------------------------------===//
+//
+// The byte string an InstallSnapshot transfer carries, chunk by chunk:
+// an entry-count header followed by the leader's committed prefix
+// [1, Count] in the exact entry encoding the WAL and the wire share.
+// DESIGN.md pins this format with a golden file (tests/golden/).
+
+inline std::string encodeSnapshotPayload(const std::vector<core::LogEntry> &Log,
+                                         size_t Count) {
+  std::string Out;
+  putU64(Out, Count);
+  for (size_t I = 0; I != Count; ++I)
+    putEntry(Out, Log[I]);
+  return Out;
+}
+
+inline bool decodeSnapshotPayload(const std::string &Bytes,
+                                  std::vector<core::LogEntry> &Entries) {
+  Cursor C{Bytes};
+  uint64_t N = C.u64();
+  if (!C.Ok || N > MaxEntries)
+    return false;
+  Entries.clear();
+  for (uint64_t I = 0; I != N; ++I) {
+    core::LogEntry E;
+    if (!C.entry(E))
+      return false;
+    Entries.push_back(std::move(E));
+  }
+  return C.done();
+}
 
 } // namespace codec
 } // namespace adore

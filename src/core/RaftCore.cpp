@@ -15,6 +15,7 @@
 
 #include "core/RaftCore.h"
 
+#include "core/Codec.h"
 #include "support/Debug.h"
 
 #include <algorithm>
@@ -76,6 +77,17 @@ std::string Msg::str() const {
   case Kind::TimeoutNow:
     Out = "TimeoutNow(t=" + std::to_string(Term) + ")";
     break;
+  case Kind::InstallSnapshot:
+    Out = "InstallSnapshot(t=" + std::to_string(Term) +
+          " snap=" + std::to_string(SnapIndex) + "@" +
+          std::to_string(SnapTerm) + " off=" + std::to_string(Offset) +
+          " n=" + std::to_string(Chunk.size()) + (Done ? " done" : "") + ")";
+    break;
+  case Kind::InstallSnapshotReply:
+    Out = "InstallSnapshotReply(t=" + std::to_string(Term) +
+          (Success ? " ok" : " abort") + " off=" + std::to_string(Offset) +
+          (Done ? " done" : "") + ")";
+    break;
   }
   return "S" + std::to_string(From) + "->S" + std::to_string(To) + " " + Out;
 }
@@ -133,6 +145,20 @@ Effect Effect::leaderElected(Time Term) {
   return E;
 }
 
+Effect Effect::replicaSuspected(NodeId Peer) {
+  Effect E;
+  E.K = Kind::ReplicaSuspected;
+  E.Peer = Peer;
+  return E;
+}
+
+Effect Effect::replicaRecovered(NodeId Peer) {
+  Effect E;
+  E.K = Kind::ReplicaRecovered;
+  E.Peer = Peer;
+  return E;
+}
+
 std::string Effect::str() const {
   switch (K) {
   case Kind::Send:
@@ -152,6 +178,10 @@ std::string Effect::str() const {
            " log=" + std::to_string(LogLen);
   case Kind::LeaderElected:
     return "leader-elected t=" + std::to_string(Term);
+  case Kind::ReplicaSuspected:
+    return "replica-suspected S" + std::to_string(Peer);
+  case Kind::ReplicaRecovered:
+    return "replica-recovered S" + std::to_string(Peer);
   }
   ADORE_UNREACHABLE("unknown effect kind");
 }
@@ -185,6 +215,8 @@ Effects RaftCore::crash() {
   Votes.clear();
   NextIndex.clear();
   MatchIndex.clear();
+  clearLeaderHealthState();
+  Staging.reset();
   return Out;
 }
 
@@ -266,6 +298,10 @@ void RaftCore::updatePassivity() {
   if (Passive && MyRole != Role::Follower) {
     MyRole = Role::Follower;
     Votes.clear();
+    // Suspicion and snapshot-transfer state are leader-local; a node
+    // leaving leadership through passivity must drop them like any
+    // other leadership exit.
+    clearLeaderHealthState();
   }
 }
 
@@ -300,6 +336,9 @@ Effects RaftCore::onTimer(TimerId Timer, uint64_t Gen, uint64_t NowUs) {
   } else {
     if (Gen != HeartbeatGen || MyRole != Role::Leader)
       return Out;
+    // Account the round that just elapsed before opening the next one:
+    // any follower whose ack never arrived takes a suspicion hit here.
+    suspicionRound(Out);
     broadcastAppends(Out);
     armHeartbeatTimer(Out);
   }
@@ -320,6 +359,7 @@ void RaftCore::stepDown(Time NewTerm, Effects &Out) {
   if (MyRole != Role::Follower) {
     MyRole = Role::Follower;
     Votes.clear();
+    clearLeaderHealthState();
   }
   ++HeartbeatGen; // Cancel leader heartbeats.
   Out.push_back(Effect::cancelTimer(TimerId::Heartbeat));
@@ -361,6 +401,7 @@ void RaftCore::becomeLeader(Effects &Out) {
   Out.push_back(Effect::leaderElected(Term));
   NextIndex.clear();
   MatchIndex.clear();
+  clearLeaderHealthState(); // Suspicions are per-leadership observations.
   for (NodeId Peer : Scheme->mbrs(config()))
     if (Peer != Id)
       NextIndex[Peer] = lastLogIndex() + 1;
@@ -397,6 +438,12 @@ Effects RaftCore::onMessage(const Msg &M, uint64_t NowUs) {
     break;
   case Msg::Kind::TimeoutNow:
     onTimeoutNow(M, Out);
+    break;
+  case Msg::Kind::InstallSnapshot:
+    onInstallSnapshot(M, NowUs, Out);
+    break;
+  case Msg::Kind::InstallSnapshotReply:
+    onInstallSnapshotReply(M, Out);
     break;
   }
   finishStep(Out);
@@ -513,6 +560,7 @@ void RaftCore::onAppendReply(const Msg &M, Effects &Out) {
   }
   if (MyRole != Role::Leader || M.Term != Term)
     return;
+  noteAck(M.From); // Even a consistency NAK proves the replica is alive.
   if (M.Success) {
     size_t &Match = MatchIndex[M.From];
     Match = std::max(Match, M.MatchIndex);
@@ -527,6 +575,203 @@ void RaftCore::onAppendReply(const Msg &M, Effects &Out) {
   size_t &Next = NextIndex[M.From];
   Next = std::max<size_t>(1, std::min(Next - 1, M.MatchIndex + 1));
   replicateTo(M.From, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot catch-up
+//===----------------------------------------------------------------------===//
+
+void RaftCore::onInstallSnapshot(const Msg &M, uint64_t NowUs, Effects &Out) {
+  Msg Reply;
+  Reply.K = Msg::Kind::InstallSnapshotReply;
+  Reply.From = Id;
+  Reply.To = M.From;
+  Reply.SnapIndex = M.SnapIndex;
+  if (M.Term < Term) {
+    Reply.Term = Term;
+    Reply.Success = false;
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+  stepDown(M.Term, Out); // Also resets the election timer.
+  LeaderHint = M.From;
+  LastLeaderContactUs = NowUs;
+  Reply.Term = Term;
+
+  // Already caught up through the snapshot's coverage: committed
+  // prefixes agree entry-for-entry, so report the install as complete
+  // without touching the log (idempotent re-deliveries land here too).
+  if (M.SnapIndex <= CommitIndex) {
+    Staging.reset();
+    Reply.Success = true;
+    Reply.Done = true;
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+
+  // (Re-)open the staging buffer when the transfer identity changes: a
+  // new leader term, a different leader, or a different snapshot point
+  // all invalidate previously buffered bytes.
+  if (!Staging || Staging->From != M.From || Staging->LeaderTerm != Term ||
+      Staging->SnapIndex != M.SnapIndex || Staging->SnapTerm != M.SnapTerm) {
+    Staging.emplace();
+    Staging->From = M.From;
+    Staging->LeaderTerm = Term;
+    Staging->SnapIndex = M.SnapIndex;
+    Staging->SnapTerm = M.SnapTerm;
+  }
+  if (M.Offset != Staging->Buf.size()) {
+    // A drop or duplication desynced us: answer with the resume point
+    // and let the leader re-send from there.
+    Reply.Success = true;
+    Reply.Offset = Staging->Buf.size();
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+  Staging->Buf += M.Chunk;
+  SnapshotBytesReceivedCount += M.Chunk.size();
+  if (!M.Done) {
+    Reply.Success = true;
+    Reply.Offset = Staging->Buf.size();
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+
+  // Final chunk: decode the payload and install it exactly like an
+  // AppendEntries anchored at slot 0 — identical truncate/append and
+  // commit semantics, so log matching and committed agreement hold by
+  // construction rather than by a parallel code path.
+  std::vector<LogEntry> SnapLog;
+  bool Ok = codec::decodeSnapshotPayload(Staging->Buf, SnapLog) &&
+            SnapLog.size() == M.SnapIndex && !SnapLog.empty() &&
+            SnapLog.back().Term == M.SnapTerm;
+  Staging.reset();
+  if (!Ok) {
+    Reply.Success = false;
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+  size_t Idx = 0;
+  for (const LogEntry &E : SnapLog) {
+    ++Idx;
+    if (Idx <= Log.size()) {
+      if (Log[Idx - 1].Term == E.Term)
+        continue; // Already have it.
+      Log.resize(Idx - 1); // Conflict: drop our suffix.
+      Dirty = true;
+    }
+    Log.push_back(E);
+    Dirty = true;
+  }
+  updatePassivity();
+  // Everything the snapshot covers was committed at the leader.
+  applyUpTo(std::min(M.SnapIndex, Log.size()), Out);
+  ++SnapshotsInstalledCount;
+  Reply.Success = true;
+  Reply.Done = true;
+  Reply.Offset = M.Offset + M.Chunk.size();
+  Out.push_back(Effect::send(std::move(Reply)));
+}
+
+void RaftCore::onInstallSnapshotReply(const Msg &M, Effects &Out) {
+  if (M.Term > Term) {
+    stepDown(M.Term, Out);
+    return;
+  }
+  if (MyRole != Role::Leader || M.Term != Term)
+    return;
+  noteAck(M.From);
+  auto It = OutgoingSnaps.find(M.From);
+  if (It == OutgoingSnaps.end())
+    return; // Stale ack for a transfer we already closed.
+  SnapshotXfer &X = It->second;
+  if (!M.Success) {
+    // The follower refused (e.g. a torn decode): abort the transfer and
+    // fall back to ordinary incremental replication.
+    OutgoingSnaps.erase(It);
+    replicateTo(M.From, Out);
+    return;
+  }
+  if (M.Done) {
+    size_t &Match = MatchIndex[M.From];
+    Match = std::max(Match, X.SnapIndex);
+    NextIndex[M.From] = Match + 1;
+    OutgoingSnaps.erase(It);
+    advanceCommit(Out);
+    if (MatchIndex[M.From] < lastLogIndex())
+      replicateTo(M.From, Out);
+    return;
+  }
+  // Ack-clocked streaming: resume from the follower's next expected
+  // byte (which rewinds us after a dropped chunk) and ship the next.
+  X.Offset = std::min<uint64_t>(M.Offset, X.Payload.size());
+  sendSnapshotChunk(M.From, Out);
+}
+
+void RaftCore::sendSnapshotChunk(NodeId Peer, Effects &Out) {
+  const SnapshotXfer &X = OutgoingSnaps.at(Peer);
+  Msg M;
+  M.K = Msg::Kind::InstallSnapshot;
+  M.From = Id;
+  M.To = Peer;
+  M.Term = Term;
+  M.SnapIndex = X.SnapIndex;
+  M.SnapTerm = X.SnapTerm;
+  M.Offset = X.Offset;
+  size_t Len = static_cast<size_t>(
+      std::min<uint64_t>(Opts.SnapshotChunkBytes, X.Payload.size() - X.Offset));
+  M.Chunk = X.Payload.substr(static_cast<size_t>(X.Offset), Len);
+  M.Done = X.Offset + Len == X.Payload.size();
+  SnapshotBytesSentCount += Len;
+  Out.push_back(Effect::send(std::move(M)));
+}
+
+//===----------------------------------------------------------------------===//
+// Failure detection
+//===----------------------------------------------------------------------===//
+
+void RaftCore::noteAck(NodeId Peer) {
+  if (Opts.EnableSuspicion && MyRole == Role::Leader)
+    AckedSinceBeat.insert(Peer);
+}
+
+void RaftCore::suspicionRound(Effects &Out) {
+  if (!Opts.EnableSuspicion || MyRole != Role::Leader)
+    return;
+  NodeSet Members = Scheme->mbrs(config());
+  // Reconfigured-out replicas drop off the books entirely — a node we
+  // no longer replicate to must not stay suspected forever.
+  for (auto It = SuspicionScore.begin(); It != SuspicionScore.end();)
+    It = Members.contains(It->first) ? std::next(It)
+                                     : SuspicionScore.erase(It);
+  Suspected = Suspected.intersectWith(Members);
+  for (NodeId Peer : Members) {
+    if (Peer == Id)
+      continue;
+    uint32_t &Score = SuspicionScore[Peer];
+    if (AckedSinceBeat.contains(Peer)) {
+      Score /= 2;
+      if (Suspected.contains(Peer) && Score <= Opts.SuspicionRecoverScore) {
+        Suspected.erase(Peer);
+        Out.push_back(Effect::replicaRecovered(Peer));
+      }
+    } else {
+      if (Score < Opts.SuspicionSuspectScore)
+        ++Score;
+      if (Score >= Opts.SuspicionSuspectScore && !Suspected.contains(Peer)) {
+        Suspected.insert(Peer);
+        Out.push_back(Effect::replicaSuspected(Peer));
+      }
+    }
+  }
+  AckedSinceBeat.clear();
+}
+
+void RaftCore::clearLeaderHealthState() {
+  SuspicionScore.clear();
+  Suspected.clear();
+  AckedSinceBeat.clear();
+  OutgoingSnaps.clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -545,6 +790,27 @@ void RaftCore::replicateTo(NodeId Peer, Effects &Out) {
   size_t Next = NextIndex.count(Peer) ? NextIndex[Peer]
                                       : lastLogIndex() + 1;
   assert(Next >= 1 && "nextIndex must stay positive");
+  if (Opts.EnableSnapshotCatchup) {
+    // A transfer in flight owns this peer's replication stream until it
+    // completes or aborts (heartbeat rounds re-send the current chunk,
+    // which is what recovers a dropped one).
+    if (OutgoingSnaps.count(Peer)) {
+      sendSnapshotChunk(Peer, Out);
+      return;
+    }
+    // Far enough behind the commit point: ship the whole committed
+    // prefix as one resumable bulk transfer instead of grinding through
+    // MaxEntriesPerAppend-sized rounds.
+    if (CommitIndex >= Next + Opts.SnapshotLagEntries) {
+      SnapshotXfer X;
+      X.SnapIndex = CommitIndex;
+      X.SnapTerm = Log[CommitIndex - 1].Term;
+      X.Payload = codec::encodeSnapshotPayload(Log, CommitIndex);
+      OutgoingSnaps.emplace(Peer, std::move(X));
+      sendSnapshotChunk(Peer, Out);
+      return;
+    }
+  }
   Msg M;
   M.K = Msg::Kind::AppendEntries;
   M.From = Id;
@@ -641,10 +907,21 @@ bool RaftCore::requestReconfig(const Config &NewConf, Effects &Out) {
   E.Kind = EntryKind::Reconfig;
   E.Conf = NewConf;
   appendOwn(std::move(E), Out);
+  // The new configuration takes effect at append time, so drop failure-
+  // detection state for ejected peers here rather than waiting for the
+  // next heartbeat round: a leader must never suspect a non-member of
+  // its own configuration (the model checker holds us to this). No
+  // ReplicaRecovered is emitted — an ejected suspect is presumed dead,
+  // and the heal driver's blacklist must keep remembering it.
+  NodeSet NewMembers = Scheme->mbrs(NewConf);
+  for (auto It = SuspicionScore.begin(); It != SuspicionScore.end();)
+    It = NewMembers.contains(It->first) ? std::next(It)
+                                        : SuspicionScore.erase(It);
+  Suspected = Suspected.intersectWith(NewMembers);
   // Nodes leaving the configuration still receive this round so they
   // learn of their removal and go passive instead of campaigning
   // against the remaining members.
-  for (NodeId Peer : OldMembers.differenceWith(Scheme->mbrs(NewConf))) {
+  for (NodeId Peer : OldMembers.differenceWith(NewMembers)) {
     if (Peer == Id)
       continue;
     if (!NextIndex.count(Peer))

@@ -89,7 +89,9 @@ struct Msg {
     VoteReply,
     AppendEntries,
     AppendReply,
-    TimeoutNow, ///< Leadership transfer: start an election immediately.
+    TimeoutNow,      ///< Leadership transfer: start an election immediately.
+    InstallSnapshot, ///< One chunk of a committed-prefix bulk transfer.
+    InstallSnapshotReply, ///< Progress ack carrying the resume offset.
   };
 
   Kind K = Kind::RequestVote;
@@ -116,6 +118,18 @@ struct Msg {
   // AppendReply.
   bool Success = false;
   size_t MatchIndex = 0;
+
+  // InstallSnapshot / InstallSnapshotReply. The payload is the codec
+  // encoding of the leader's committed prefix [1, SnapIndex]; Chunk is
+  // its bytes [Offset, Offset + Chunk.size()). The reply's Offset is the
+  // follower's next expected byte (the resume point after a drop); Done
+  // marks the final chunk (request) / a completed install (reply), and
+  // the reply reuses Success for "keep streaming" vs "abort transfer".
+  size_t SnapIndex = 0;
+  Time SnapTerm = 0;
+  uint64_t Offset = 0;
+  std::string Chunk;
+  bool Done = false;
 
   std::string str() const;
 };
@@ -144,6 +158,10 @@ struct Effect {
                     ///< tolerant host must flush before acting on any
                     ///< *later* effect of this step.
     LeaderElected,  ///< This replica won the election for Term.
+    ReplicaSuspected, ///< Leader-observed liveness: Peer's missed-ack
+                      ///< accumulator crossed the suspect threshold.
+    ReplicaRecovered, ///< Peer acked again; the suspicion decayed below
+                      ///< the recovery threshold (hysteresis).
   };
 
   Kind K = Kind::Send;
@@ -155,6 +173,7 @@ struct Effect {
   LogEntry Entry;        // Apply.
   Time Term = 0;         // LeaderElected / Persist.
   size_t LogLen = 0;     // Persist.
+  NodeId Peer = InvalidNodeId; // ReplicaSuspected / ReplicaRecovered.
 
   static Effect send(Msg M);
   static Effect setTimer(TimerId Timer, uint64_t Gen, uint64_t DelayUs);
@@ -163,6 +182,8 @@ struct Effect {
   static Effect commitAdvanced(size_t Index);
   static Effect persist(Time Term, size_t LogLen);
   static Effect leaderElected(Time Term);
+  static Effect replicaSuspected(NodeId Peer);
+  static Effect replicaRecovered(NodeId Peer);
 
   std::string str() const;
 };
@@ -183,6 +204,29 @@ struct CoreOptions {
   /// the chaos suite and model checker catch the regression. Never
   /// enable outside tests.
   bool DisableVoteStickiness = false;
+
+  /// Leader-observed failure detection: a φ-style integer accumulator
+  /// per follower, clocked by heartbeat rounds. A round with no
+  /// AppendReply/InstallSnapshotReply from the peer adds one (saturating
+  /// at SuspicionSuspectScore); a round with an ack halves the score.
+  /// The peer is suspected at >= SuspicionSuspectScore and recovered at
+  /// <= SuspicionRecoverScore — the gap is the hysteresis band that
+  /// keeps a flapping link from toggling the healer every round.
+  /// Surfaced as ReplicaSuspected/ReplicaRecovered effects. Off by
+  /// default so pre-healing hosts keep byte-identical schedules.
+  bool EnableSuspicion = false;
+  uint32_t SuspicionSuspectScore = 8;
+  uint32_t SuspicionRecoverScore = 2;
+
+  /// Snapshot catch-up: when a follower's next index trails the commit
+  /// index by more than SnapshotLagEntries, replicate via a chunked
+  /// InstallSnapshot transfer of the whole committed prefix instead of
+  /// MaxEntriesPerAppend-sized AppendEntries rounds. Chunks resume from
+  /// the follower's acked offset after drops. Off by default for the
+  /// same schedule-stability reason.
+  bool EnableSnapshotCatchup = false;
+  size_t SnapshotLagEntries = 64;
+  size_t SnapshotChunkBytes = 4096;
 };
 
 //===----------------------------------------------------------------------===//
@@ -313,6 +357,18 @@ public:
   bool logSatisfiesR2() const;
   bool logSatisfiesR3() const;
   const CoreOptions &options() const { return Opts; }
+  /// Peers this leader currently suspects (empty on non-leaders).
+  const NodeSet &suspected() const { return Suspected; }
+  /// True while a chunked snapshot transfer to \p Peer is in flight.
+  bool snapshotInFlightTo(NodeId Peer) const {
+    return OutgoingSnaps.count(Peer) != 0;
+  }
+  /// Healing metrics: payload bytes shipped/accepted over InstallSnapshot
+  /// chunks and completed installs on this replica. Monotonic counters,
+  /// excluded from the fingerprint (they never influence behavior).
+  uint64_t snapshotBytesSent() const { return SnapshotBytesSentCount; }
+  uint64_t snapshotBytesReceived() const { return SnapshotBytesReceivedCount; }
+  uint64_t snapshotsInstalled() const { return SnapshotsInstalledCount; }
 
   std::string describe() const;
 
@@ -354,6 +410,32 @@ public:
     S.addU64(LastLeaderContactUs);
     S.addBool(Passive);
     S.addBool(Crashed);
+    // Failure-detection and snapshot-transfer state: both steer future
+    // effect emission, so the model checker must distinguish them. The
+    // scores saturate at the suspect threshold, which keeps this finite.
+    S.addU64(SuspicionScore.size());
+    for (const auto &[Peer, Score] : SuspicionScore) {
+      S.addU32(Peer);
+      S.addU32(Score);
+    }
+    S.addNodeSet(Suspected);
+    S.addNodeSet(AckedSinceBeat);
+    S.addU64(OutgoingSnaps.size());
+    for (const auto &[Peer, X] : OutgoingSnaps) {
+      S.addU32(Peer);
+      S.addU64(X.SnapIndex);
+      S.addU64(X.SnapTerm);
+      S.addU64(X.Offset);
+      S.addString(X.Payload);
+    }
+    S.addBool(Staging.has_value());
+    if (Staging) {
+      S.addU32(Staging->From);
+      S.addU64(Staging->LeaderTerm);
+      S.addU64(Staging->SnapIndex);
+      S.addU64(Staging->SnapTerm);
+      S.addString(Staging->Buf);
+    }
   }
 
 private:
@@ -372,12 +454,20 @@ private:
   void onVoteReply(const Msg &M, Effects &Out);
   void onAppendEntries(const Msg &M, uint64_t NowUs, Effects &Out);
   void onAppendReply(const Msg &M, Effects &Out);
+  void onInstallSnapshot(const Msg &M, uint64_t NowUs, Effects &Out);
+  void onInstallSnapshotReply(const Msg &M, Effects &Out);
 
   // Leader machinery.
   void replicateTo(NodeId Peer, Effects &Out);
   void broadcastAppends(Effects &Out);
   void advanceCommit(Effects &Out);
   void appendOwn(LogEntry Entry, Effects &Out);
+
+  // Failure detection and snapshot catch-up.
+  void noteAck(NodeId Peer);
+  void suspicionRound(Effects &Out);
+  void clearLeaderHealthState();
+  void sendSnapshotChunk(NodeId Peer, Effects &Out);
 
   // Log helpers (1-based).
   Time lastLogTerm() const { return raft::lastLogTerm(Log); }
@@ -414,6 +504,46 @@ private:
   uint64_t LastLeaderContactUs = 0;
   bool Passive = false;
   bool Crashed = false;
+
+  //===--------------------------------------------------------------===//
+  // Self-healing state (all volatile; leaders rebuild it from traffic)
+  //===--------------------------------------------------------------===//
+
+  /// Per-follower missed-ack accumulator, saturating at
+  /// SuspicionSuspectScore (keeps the model checker's state space
+  /// finite under unbounded heartbeat rounds).
+  std::map<NodeId, uint32_t> SuspicionScore;
+  /// Followers currently past the suspect threshold.
+  NodeSet Suspected;
+  /// Followers that acked since the last heartbeat round.
+  NodeSet AckedSinceBeat;
+
+  /// Leader-side outgoing chunked snapshot transfer, one per lagging
+  /// peer. Offset advances only on acks, so a dropped chunk is simply
+  /// re-sent from the follower's resume point.
+  struct SnapshotXfer {
+    size_t SnapIndex = 0;
+    Time SnapTerm = 0;
+    std::string Payload;
+    uint64_t Offset = 0;
+  };
+  std::map<NodeId, SnapshotXfer> OutgoingSnaps;
+
+  /// Follower-side staging buffer for an incoming transfer. Buf.size()
+  /// is the next expected offset; chunks from any other offset are
+  /// answered with the resume point instead of being buffered.
+  struct SnapshotStaging {
+    NodeId From = InvalidNodeId;
+    Time LeaderTerm = 0;
+    size_t SnapIndex = 0;
+    Time SnapTerm = 0;
+    std::string Buf;
+  };
+  std::optional<SnapshotStaging> Staging;
+
+  uint64_t SnapshotBytesSentCount = 0;
+  uint64_t SnapshotBytesReceivedCount = 0;
+  uint64_t SnapshotsInstalledCount = 0;
 
   uint64_t ElectionGen = 0;
   uint64_t HeartbeatGen = 0;

@@ -1,0 +1,135 @@
+//===- heal/Healer.cpp - Self-healing reconfiguration policy ----------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heal/Healer.h"
+
+#include <algorithm>
+
+using namespace adore;
+using namespace adore::heal;
+
+Healer::Healer(const ReconfigScheme &Scheme, HealerOptions Opts)
+    : Scheme(&Scheme), Opts(Opts), Jitter(Opts.Seed),
+      TargetSize(Opts.TargetReplication) {}
+
+void Healer::observeSuspected(NodeId Peer) { Suspected.insert(Peer); }
+
+void Healer::observeRecovered(NodeId Peer) { Suspected.erase(Peer); }
+
+std::optional<Config> Healer::tick(uint64_t NowUs, const Config &Cur,
+                                   const NodeSet &Universe,
+                                   NodeId LeaderId) {
+  if (InFlight || NowUs < NextEligibleUs || !Scheme->allowsReconfig())
+    return std::nullopt;
+
+  NodeSet Members = Scheme->mbrs(Cur);
+  if (TargetSize == 0)
+    TargetSize = Members.size();
+  NodeSet BadMembers = Members.intersectWith(Suspected);
+
+  // Healthy at target strength: nothing to do. (BadMembers empty but
+  // under strength means an earlier heal shrank the group — keep going
+  // and grow back toward TargetSize.)
+  if (BadMembers.empty() && Members.size() >= TargetSize)
+    return std::nullopt;
+
+  // Pick the candidate that ejects the most suspected members, then the
+  // one closest to target strength; candidates are scheme-generated so
+  // every option already satisfies R1+ and validity. First-best wins on
+  // ties, keeping the choice deterministic under a seed.
+  const Config *Best = nullptr;
+  size_t BestEjected = 0;
+  size_t BestDistance = 0;
+  std::vector<Config> Candidates = Scheme->candidateReconfigs(Cur, Universe);
+  for (const Config &Cand : Candidates) {
+    NodeSet M = Scheme->mbrs(Cand);
+    if (!M.contains(LeaderId))
+      continue; // The proposing leader must survive its own proposal.
+    if (M.differenceWith(Members).intersects(Suspected))
+      continue; // Never swap a blacklisted node back in.
+    size_t Ejected = BadMembers.size() - M.intersectWith(Suspected).size();
+    size_t Distance = M.size() > TargetSize ? M.size() - TargetSize
+                                            : TargetSize - M.size();
+    // Progress means ejecting a suspect, or growing a healthy
+    // under-strength group back toward target.
+    bool Grows = BadMembers.empty() && M.size() > Members.size() &&
+                 M.size() <= TargetSize;
+    if (Ejected == 0 && !Grows)
+      continue;
+    if (!Best || Ejected > BestEjected ||
+        (Ejected == BestEjected && Distance < BestDistance)) {
+      Best = &Cand;
+      BestEjected = Ejected;
+      BestDistance = Distance;
+    }
+  }
+  if (!Best)
+    return std::nullopt;
+
+  InFlight = true;
+  return *Best;
+}
+
+void Healer::onReconfigResult(bool Committed, uint64_t NowUs) {
+  InFlight = false;
+  if (Committed) {
+    ++Heals;
+    Attempt = 0;
+    NextEligibleUs = NowUs + Opts.CooldownUs;
+    return;
+  }
+  ++Retries;
+  ++Attempt;
+  // Randomized exponential backoff: double up to the cap, then draw
+  // uniformly from [B/2, B] so colliding healers desynchronize.
+  uint64_t Backoff = Opts.BaseBackoffUs;
+  for (uint32_t I = 1; I < Attempt && Backoff < Opts.MaxBackoffUs; ++I)
+    Backoff = std::min(Opts.MaxBackoffUs, Backoff * 2);
+  uint64_t Lo = Backoff / 2 ? Backoff / 2 : 1;
+  NextEligibleUs = NowUs + Jitter.nextInRange(Lo, std::max(Lo, Backoff));
+}
+
+shard::PoolMap heal::withGroupReplicas(const shard::PoolMap &M, shard::GroupId G,
+                                       const NodeSet &Replicas) {
+  shard::PoolMap Next = M;
+  ++Next.Generation;
+  if (G < Next.GroupReplicas.size())
+    Next.GroupReplicas[G] = Replicas;
+  Next.Roster = Next.Roster.unionWith(Replicas);
+  return Next;
+}
+
+std::optional<shard::PoolMap>
+heal::rebalanceShards(const shard::PoolMap &M,
+                      const std::vector<shard::GroupId> &DeadGroups) {
+  auto IsDead = [&](shard::GroupId G) {
+    return std::find(DeadGroups.begin(), DeadGroups.end(), G) !=
+           DeadGroups.end();
+  };
+
+  // Survivors, in group-id order so the round-robin deal is a pure
+  // function of (map, dead set).
+  std::vector<shard::GroupId> Survivors;
+  for (shard::GroupId G = 1; G <= M.dataGroups(); ++G)
+    if (!IsDead(G))
+      Survivors.push_back(G);
+  if (Survivors.empty())
+    return std::nullopt;
+
+  shard::PoolMap Next = M;
+  size_t Cursor = 0;
+  bool Moved = false;
+  for (uint32_t S = 0; S != Next.ShardToGroup.size(); ++S) {
+    if (!IsDead(Next.ShardToGroup[S]))
+      continue;
+    Next.ShardToGroup[S] = Survivors[Cursor++ % Survivors.size()];
+    Moved = true;
+  }
+  if (!Moved)
+    return std::nullopt;
+  ++Next.Generation;
+  return Next;
+}

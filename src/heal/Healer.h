@@ -1,0 +1,139 @@
+//===- heal/Healer.h - Self-healing reconfiguration policy ----*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The self-healing policy layer: pure decision code that turns
+/// leader-observed suspicion events (core::Effect::ReplicaSuspected /
+/// ReplicaRecovered) into certified reconfiguration proposals. The
+/// Healer never performs I/O and never touches a host — a driver feeds
+/// it observations and clock readings, and it answers "propose this
+/// configuration now" or "do nothing yet". That keeps the policy
+/// deterministic under a seed, unit-testable without a cluster, and —
+/// like core/ and shard/ — enforceable as a pure layer by the linter.
+///
+/// Policy shape:
+///  - Replacement set: (members \ suspected) ∪ healthy spares, chosen
+///    from the scheme's own candidateReconfigs so every proposal is
+///    R1+/valid by construction, and always keeping the current leader
+///    (the core refuses self-removal anyway).
+///  - Single in-flight rule: at most one proposed-but-unresolved
+///    reconfig; tick() returns nothing until onReconfigResult() lands.
+///  - Backoff: rejected proposals retry under randomized exponential
+///    backoff (uniform in [B/2, B], B doubling to a cap) so concurrent
+///    healers on a contended group desynchronize instead of storming.
+///  - Cooldown: committed heals start a quiet period before the next
+///    proposal, giving replication time to catch the new member up
+///    before the detector's opinion is trusted again.
+///
+/// Suspicion here is *sticky*: the core retracts a suspicion (emits
+/// ReplicaRecovered) only while the peer is still a member, so once a
+/// node has been healed out, the Healer keeps it on the blacklist and
+/// never swaps it back in. That is the right bias for the permanent
+/// failures this layer exists to survive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_HEAL_HEALER_H
+#define ADORE_HEAL_HEALER_H
+
+#include "adore/Config.h"
+#include "shard/PoolMap.h"
+#include "support/NodeSet.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace adore {
+namespace heal {
+
+/// Tuning knobs. The defaults suit the simulator's virtual-microsecond
+/// clock and the rt host's real microseconds alike.
+struct HealerOptions {
+  /// First-retry backoff ceiling after a rejected proposal.
+  uint64_t BaseBackoffUs = 200000;
+  /// Backoff stops doubling here.
+  uint64_t MaxBackoffUs = 5000000;
+  /// Quiet period after a committed heal.
+  uint64_t CooldownUs = 1000000;
+  /// Seeds the jitter stream; equal seeds replay identical decisions.
+  uint64_t Seed = 1;
+  /// Replica count the healer restores toward. 0 means "capture the
+  /// membership size seen on the first tick".
+  size_t TargetReplication = 0;
+};
+
+/// Pure auto-reconfiguration policy for one consensus group.
+class Healer {
+public:
+  explicit Healer(const ReconfigScheme &Scheme, HealerOptions Opts = {});
+
+  /// Observation inputs, wired to the host's suspicion callback.
+  void observeSuspected(NodeId Peer);
+  void observeRecovered(NodeId Peer);
+
+  /// The current blacklist (suspected now, or healed out while
+  /// suspected).
+  const NodeSet &suspected() const { return Suspected; }
+
+  /// Decide whether to propose a reconfiguration right now. \p Cur is
+  /// the group's current configuration, \p Universe every node the
+  /// group may legally run on (members + spares), \p LeaderId the
+  /// leader the proposal must keep. Returns the configuration to
+  /// propose, or nothing (healthy, in flight, backing off, or no
+  /// acceptable candidate). A returned proposal marks the healer in
+  /// flight until onReconfigResult().
+  std::optional<Config> tick(uint64_t NowUs, const Config &Cur,
+                             const NodeSet &Universe, NodeId LeaderId);
+
+  /// Resolution of the last proposal: \p Committed is true when the
+  /// reconfig was accepted and committed, false when it was rejected or
+  /// timed out (retried later under backoff).
+  void onReconfigResult(bool Committed, uint64_t NowUs);
+
+  /// True while a proposal is unresolved (single-in-flight rule).
+  bool inFlight() const { return InFlight; }
+
+  /// Committed heals and rejected-then-retried proposals, for metrics.
+  uint64_t heals() const { return Heals; }
+  uint64_t retries() const { return Retries; }
+
+private:
+  const ReconfigScheme *Scheme;
+  HealerOptions Opts;
+  Rng Jitter;
+
+  NodeSet Suspected;
+  bool InFlight = false;
+  uint64_t NextEligibleUs = 0;
+  uint32_t Attempt = 0;
+  size_t TargetSize = 0;
+  uint64_t Heals = 0;
+  uint64_t Retries = 0;
+};
+
+/// Successor pool map recording that group \p G now runs on
+/// \p Replicas (the outcome of a certified reconfig), with the
+/// generation bumped so the metadata group's generation-CAS accepts it
+/// exactly once. New replicas join the roster.
+shard::PoolMap withGroupReplicas(const shard::PoolMap &M, shard::GroupId G,
+                                 const NodeSet &Replicas);
+
+/// Successor pool map that moves every shard owned by a group in
+/// \p DeadGroups onto the surviving data groups, dealt round-robin by
+/// shard index, with the generation bumped. Returns nothing when no
+/// shard needs to move or when no data group survives. Dead groups keep
+/// their (unreachable) replica sets — the map records where shards are
+/// served, not an obituary.
+std::optional<shard::PoolMap>
+rebalanceShards(const shard::PoolMap &M,
+                const std::vector<shard::GroupId> &DeadGroups);
+
+} // namespace heal
+} // namespace adore
+
+#endif // ADORE_HEAL_HEALER_H

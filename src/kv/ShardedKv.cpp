@@ -64,8 +64,13 @@ ShardedKvStore::ShardedKvStore(sim::ShardedCluster &Pool) : Pool(Pool) {
   T.FetchMap = [this](shard::ShardedKvClient::MapFn Done) {
     this->Pool.fetchMap(std::move(Done));
   };
+  T.Sleep = [this](uint64_t DelayUs, std::function<void()> Resume) {
+    this->Pool.queue().scheduleAfter(DelayUs, std::move(Resume));
+  };
+  shard::BackoffOptions Backoff;
+  Backoff.Seed = Pool.clientSeed();
   Client = std::make_unique<shard::ShardedKvClient>(Pool.committedMap(),
-                                                    std::move(T));
+                                                    std::move(T), Backoff);
 }
 
 ReplicatedKvStore &ShardedKvStore::groupStore(GroupId G) {

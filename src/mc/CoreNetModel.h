@@ -133,6 +133,8 @@ public:
         return V;
       if (auto V = checkReconfigTermPrecedence(C))
         return V;
+      if (auto V = checkSuspicionSanity(C))
+        return V;
     }
     return std::nullopt;
   }
@@ -299,6 +301,12 @@ private:
       case core::Effect::Kind::CommitAdvanced:
       case core::Effect::Kind::Persist:
       case core::Effect::Kind::LeaderElected:
+      // Suspicion transitions are host-side notifications (the heal
+      // driver's input); the *state* behind them lives in the core and
+      // is fingerprinted there, so the model checker explores every
+      // suspect/recover interleaving without extra bookkeeping here.
+      case core::Effect::Kind::ReplicaSuspected:
+      case core::Effect::Kind::ReplicaRecovered:
         break;
       }
     }
@@ -319,6 +327,11 @@ private:
     S.addU64(M.LeaderCommit);
     S.addBool(M.Success);
     S.addU64(M.MatchIndex);
+    S.addU64(M.SnapIndex);
+    S.addU64(M.SnapTerm);
+    S.addU64(M.Offset);
+    S.addBool(M.Done);
+    S.addString(M.Chunk);
     S.addU64(M.Entries.size());
     for (const core::LogEntry &E : M.Entries) {
       S.addU64(E.Term);
@@ -416,6 +429,25 @@ private:
                " reconfig at index " + std::to_string(I) +
                " with no prior entry of that term";
     }
+    return std::nullopt;
+  }
+
+  /// Healing sanity: suspicion is leader-local soft state. A non-leader
+  /// holding suspicions, or a suspicion of a non-member, would let the
+  /// heal driver act on observations nobody is maintaining — both must
+  /// be unreachable (the core clears the set on every leadership exit
+  /// and prunes it against the new config the moment a reconfig entry
+  /// is appended, as well as each heartbeat round).
+  std::optional<std::string>
+  checkSuspicionSanity(const core::RaftCore &C) const {
+    if (C.suspected().empty())
+      return std::nullopt;
+    if (!C.isLeader() || C.isCrashed())
+      return "suspicion outside leadership: node " + std::to_string(C.id()) +
+             " holds suspicions but is not an active leader";
+    if (!C.suspected().isSubsetOf(Scheme->mbrs(C.config())))
+      return "node " + std::to_string(C.id()) +
+             " suspects a non-member of its own configuration";
     return std::nullopt;
   }
 

@@ -43,6 +43,10 @@ RtCluster::RtCluster(RtClusterOptions Opts)
     onApply(N, I, E);
   };
   Hooks.OnLeader = [this](NodeId N, Time T) { onLeader(N, T); };
+  Hooks.OnSuspicion = [this](NodeId N, NodeId Peer, bool SuspectedNow) {
+    if (this->Opts.OnSuspicion)
+      this->Opts.OnSuspicion(N, Peer, SuspectedNow);
+  };
   if (Opts.DurableStore) {
     store::Vfs *Backing = Opts.ExternalDisk;
     if (!Backing) {
@@ -222,6 +226,20 @@ void RtCluster::restart(NodeId Id) {
   for (auto &N : Nodes)
     if (N->id() == Id)
       N->restart();
+}
+
+RtNodeStatus RtCluster::nodeStatus(NodeId Id) const {
+  for (const auto &N : Nodes)
+    if (N->id() == Id)
+      return N->status();
+  return RtNodeStatus();
+}
+
+const core::RaftCore &RtCluster::coreForInspection(NodeId Id) const {
+  for (const auto &N : Nodes)
+    if (N->id() == Id)
+      return N->coreForInspection();
+  return Nodes.front()->coreForInspection();
 }
 
 size_t RtCluster::committedCount() const {

@@ -57,6 +57,11 @@ struct RtClusterOptions {
   /// internal hook, global node ids), OUTSIDE the cluster's locks — a
   /// sharded pool hangs its map state machine off the meta group here.
   std::function<void(NodeId, size_t, const core::LogEntry &)> OnApplyExtra;
+  /// Observation tap for suspicion transitions (observer, peer,
+  /// suspected-now), called from node worker threads outside the
+  /// cluster's locks. Requires Node.EnableSuspicion to ever fire; the
+  /// self-healing driver hangs its Healer off this.
+  std::function<void(NodeId, NodeId, bool)> OnSuspicion;
   uint64_t Seed = 1;
   core::CoreOptions Node = fastNodeOptions();
   /// Back every node with a WAL+snapshot store on a shared in-memory
@@ -126,6 +131,13 @@ public:
   /// running; see RtNode).
   void crash(NodeId Id);
   void restart(NodeId Id);
+
+  /// Point-in-time status snapshot of one node (any thread, advisory).
+  RtNodeStatus nodeStatus(NodeId Id) const;
+
+  /// Post-stop core access for metrics aggregation (see
+  /// RtNode::coreForInspection for the safety contract).
+  const core::RaftCore &coreForInspection(NodeId Id) const;
 
   const ReconfigScheme &scheme() const { return *Scheme; }
   Config initialConfig() const { return InitialConf; }

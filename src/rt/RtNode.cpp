@@ -291,6 +291,14 @@ void RtNode::dispatch(core::Effects Effs) {
       if (Hooks.OnLeader)
         Hooks.OnLeader(Id, E.Term);
       break;
+    case core::Effect::Kind::ReplicaSuspected:
+      if (Hooks.OnSuspicion)
+        Hooks.OnSuspicion(Id, E.Peer, /*Suspected=*/true);
+      break;
+    case core::Effect::Kind::ReplicaRecovered:
+      if (Hooks.OnSuspicion)
+        Hooks.OnSuspicion(Id, E.Peer, /*Suspected=*/false);
+      break;
     }
   }
   publishStatus();

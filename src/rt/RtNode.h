@@ -48,6 +48,10 @@ namespace rt {
 struct RtNodeHooks {
   std::function<void(NodeId, size_t, const core::LogEntry &)> OnApply;
   std::function<void(NodeId, Time)> OnLeader;
+  /// Leader-observed liveness transition: (observer, peer, suspected).
+  /// Fires only with core::CoreOptions::EnableSuspicion; the rt heal
+  /// driver subscribes.
+  std::function<void(NodeId, NodeId, bool)> OnSuspicion;
 };
 
 /// Lock-free-readable snapshot of a node, refreshed by its thread after

@@ -38,13 +38,19 @@ std::string rt::encodeMsg(const core::Msg &M) {
   codec::putU64(Out, M.Entries.size());
   for (const core::LogEntry &E : M.Entries)
     codec::putEntry(Out, E);
+  codec::putU64(Out, M.SnapIndex);
+  codec::putU64(Out, M.SnapTerm);
+  codec::putU64(Out, M.Offset);
+  codec::putU8(Out, M.Done ? 1 : 0);
+  codec::putBytes(Out, M.Chunk);
   return Out;
 }
 
 bool rt::decodeMsg(const std::string &Bytes, core::Msg &Out) {
   codec::Cursor C{Bytes};
   uint8_t Kind = C.u8();
-  if (!C.Ok || Kind > static_cast<uint8_t>(core::Msg::Kind::TimeoutNow))
+  if (!C.Ok ||
+      Kind > static_cast<uint8_t>(core::Msg::Kind::InstallSnapshotReply))
     return false;
   Out.K = static_cast<core::Msg::Kind>(Kind);
   Out.From = C.u32();
@@ -70,5 +76,11 @@ bool rt::decodeMsg(const std::string &Bytes, core::Msg &Out) {
       return false;
     Out.Entries.push_back(std::move(E));
   }
+  Out.SnapIndex = C.u64();
+  Out.SnapTerm = C.u64();
+  Out.Offset = C.u64();
+  Out.Done = C.u8() != 0;
+  if (!C.bytes(Out.Chunk))
+    return false;
   return C.done();
 }

@@ -58,8 +58,10 @@ bool decodeGroupReply(const std::string &Bytes, GroupReply &R) {
   return true;
 }
 
-ShardedKvClient::ShardedKvClient(PoolMap Initial, Transport T)
-    : Map(std::move(Initial)), Io(std::move(T)) {}
+ShardedKvClient::ShardedKvClient(PoolMap Initial, Transport T,
+                                 BackoffOptions Backoff)
+    : Map(std::move(Initial)), Io(std::move(T)), Backoff(Backoff),
+      BackoffRng(Backoff.Seed) {}
 
 bool ShardedKvClient::installMap(const PoolMap &M) {
   if (M.Generation <= Map.Generation)
@@ -71,11 +73,25 @@ bool ShardedKvClient::installMap(const PoolMap &M) {
 
 void ShardedKvClient::submit(uint64_t Key, MethodId Payload, bool IsRead,
                              ReplyFn Done, unsigned MaxAttempts) {
-  attempt(Key, Payload, IsRead, MaxAttempts, std::move(Done));
+  attempt(Key, Payload, IsRead, MaxAttempts, Backoff.BaseUs, std::move(Done));
+}
+
+void ShardedKvClient::retryAfter(uint64_t CeilingUs,
+                                 std::function<void()> Resume) {
+  if (!Io.Sleep || CeilingUs == 0) {
+    Resume();
+    return;
+  }
+  uint64_t Half = CeilingUs / 2;
+  uint64_t Delay = Half + BackoffRng.next() % (CeilingUs - Half + 1);
+  ++Stats.BackoffSleeps;
+  Stats.BackoffUsTotal += Delay;
+  Io.Sleep(Delay, std::move(Resume));
 }
 
 void ShardedKvClient::attempt(uint64_t Key, MethodId Payload, bool IsRead,
-                              unsigned Left, ReplyFn Done) {
+                              unsigned Left, uint64_t BackoffCeilingUs,
+                              ReplyFn Done) {
   if (Left == 0 || Map.NumShards == 0) {
     ++Stats.Exhausted;
     ++Stats.Completed;
@@ -90,7 +106,13 @@ void ShardedKvClient::attempt(uint64_t Key, MethodId Payload, bool IsRead,
   Req.Group = Map.groupForShard(Req.Shard);
   Req.MapGen = Map.Generation;
   ++Stats.Routed;
-  Io.Perform(Req, [this, Key, Payload, IsRead, Left,
+  // The delay ceiling for the retry after *this* send; doubles per
+  // consecutive NACK of one op, capped, reset per submit().
+  uint64_t NextCeiling = BackoffCeilingUs >= Backoff.MaxUs / 2
+                             ? Backoff.MaxUs
+                             : BackoffCeilingUs * 2;
+  Io.Perform(Req, [this, Key, Payload, IsRead, Left, BackoffCeilingUs,
+                   NextCeiling,
                    Done = std::move(Done)](const GroupReply &Reply) mutable {
     if (!Reply.HasNack) {
       ++Stats.Completed;
@@ -103,14 +125,32 @@ void ShardedKvClient::attempt(uint64_t Key, MethodId Payload, bool IsRead,
     // latency and (worse) could reinstall nothing and spin. Only fetch
     // when the NACK proves our cache is behind.
     if (Reply.Nack.CurrentGen <= Map.Generation) {
-      attempt(Key, Payload, IsRead, Left - 1, std::move(Done));
+      retryAfter(BackoffCeilingUs,
+                 [this, Key, Payload, IsRead, Left, NextCeiling,
+                  Done = std::move(Done)]() mutable {
+                   attempt(Key, Payload, IsRead, Left - 1, NextCeiling,
+                           std::move(Done));
+                 });
       return;
     }
     ++Stats.MapRefreshes;
-    Io.FetchMap([this, Key, Payload, IsRead, Left,
+    Io.FetchMap([this, Key, Payload, IsRead, Left, BackoffCeilingUs,
+                 NextCeiling,
                  Done = std::move(Done)](const PoolMap &Fresh) mutable {
-      installMap(Fresh);
-      attempt(Key, Payload, IsRead, Left - 1, std::move(Done));
+      // A newer map means the last send was doomed by staleness, not by
+      // pool churn: retry on the fresh route immediately and restart
+      // the backoff ladder. No progress (same map) keeps climbing it.
+      if (installMap(Fresh)) {
+        attempt(Key, Payload, IsRead, Left - 1, Backoff.BaseUs,
+                std::move(Done));
+        return;
+      }
+      retryAfter(BackoffCeilingUs,
+                 [this, Key, Payload, IsRead, Left, NextCeiling,
+                  Done = std::move(Done)]() mutable {
+                   attempt(Key, Payload, IsRead, Left - 1, NextCeiling,
+                           std::move(Done));
+                 });
     });
   });
 }

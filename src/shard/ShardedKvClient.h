@@ -34,6 +34,7 @@
 
 #include "shard/PoolMap.h"
 #include "support/Ids.h"
+#include "support/Rng.h"
 
 #include <cstdint>
 #include <functional>
@@ -90,6 +91,21 @@ struct RouteStats {
   uint64_t MapRefreshes = 0;    ///< map fetches triggered by NACKs
   uint64_t MapInstalls = 0;     ///< fetched maps that were newer
   uint64_t Exhausted = 0;       ///< ops that ran out of attempts
+  uint64_t BackoffSleeps = 0;   ///< retries delayed through Sleep
+  uint64_t BackoffUsTotal = 0;  ///< total delay requested from Sleep
+};
+
+/// Retry pacing for NACKed sends. Each consecutive retry of one op
+/// sleeps a jittered delay drawn uniformly from [ceiling/2, ceiling],
+/// with the ceiling starting at BaseUs and doubling up to MaxUs (the
+/// decorrelated-jitter shape: a flapping group sees retries spread out
+/// instead of a synchronized storm). Seeded so sim runs stay
+/// deterministic. Only engaged when the host supplies Transport::Sleep;
+/// without it retries fire immediately, as they always have.
+struct BackoffOptions {
+  uint64_t Seed = 1;
+  uint64_t BaseUs = 2000;
+  uint64_t MaxUs = 64000;
 };
 
 /// The sans-I/O routing client. Not thread-safe: hosts that drive it
@@ -108,9 +124,14 @@ public:
   struct Transport {
     std::function<void(const RouteRequest &, ReplyFn)> Perform;
     std::function<void(MapFn)> FetchMap;
+    /// Runs \p Resume after \p DelayUs host time (virtual in the sim,
+    /// wall in rt). Optional: unset means retries fire immediately.
+    /// The hook keeps this layer pure — the client decides *how long*,
+    /// the host decides *how* to wait.
+    std::function<void(uint64_t DelayUs, std::function<void()> Resume)> Sleep;
   };
 
-  ShardedKvClient(PoolMap Initial, Transport T);
+  ShardedKvClient(PoolMap Initial, Transport T, BackoffOptions Backoff = {});
 
   /// Routes \p Payload for \p Key and drives the NACK/refetch/retry loop
   /// until a non-NACK reply arrives or \p MaxAttempts routed sends are
@@ -128,10 +149,15 @@ public:
 
 private:
   void attempt(uint64_t Key, MethodId Payload, bool IsRead, unsigned Left,
-               ReplyFn Done);
+               uint64_t BackoffCeilingUs, ReplyFn Done);
+  /// Re-enters attempt() after a jittered delay drawn below
+  /// \p CeilingUs, or immediately when the host supplied no Sleep hook.
+  void retryAfter(uint64_t CeilingUs, std::function<void()> Resume);
 
   PoolMap Map;
   Transport Io;
+  BackoffOptions Backoff;
+  Rng BackoffRng;
   RouteStats Stats;
 };
 

@@ -23,6 +23,12 @@ core::CoreOptions toCoreOptions(const NodeOptions &Opts) {
   C.HeartbeatUs = Opts.HeartbeatUs;
   C.MaxEntriesPerAppend = Opts.MaxEntriesPerAppend;
   C.DisableVoteStickiness = Opts.DisableVoteStickiness;
+  C.EnableSuspicion = Opts.EnableSuspicion;
+  C.SuspicionSuspectScore = Opts.SuspicionSuspectScore;
+  C.SuspicionRecoverScore = Opts.SuspicionRecoverScore;
+  C.EnableSnapshotCatchup = Opts.EnableSnapshotCatchup;
+  C.SnapshotLagEntries = Opts.SnapshotLagEntries;
+  C.SnapshotChunkBytes = Opts.SnapshotChunkBytes;
   return C;
 }
 
@@ -167,6 +173,14 @@ void RaftNode::dispatch(core::Effects Effs) {
     case core::Effect::Kind::LeaderElected:
       if (OnLeader)
         OnLeader(Core.id(), E.Term);
+      break;
+    case core::Effect::Kind::ReplicaSuspected:
+      if (OnSuspicion)
+        OnSuspicion(Core.id(), E.Peer, /*Suspected=*/true);
+      break;
+    case core::Effect::Kind::ReplicaRecovered:
+      if (OnSuspicion)
+        OnSuspicion(Core.id(), E.Peer, /*Suspected=*/false);
       break;
     }
   }

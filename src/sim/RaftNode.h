@@ -64,6 +64,14 @@ struct NodeOptions {
   /// Forwarded to core::CoreOptions::DisableVoteStickiness — injectable
   /// §4.2.3 misbehavior, for regression tests only.
   bool DisableVoteStickiness = false;
+  /// Self-healing knobs, forwarded to the core (see core::CoreOptions).
+  /// Both default off so pre-healing seeds keep byte-identical schedules.
+  bool EnableSuspicion = false;
+  uint32_t SuspicionSuspectScore = 8;
+  uint32_t SuspicionRecoverScore = 2;
+  bool EnableSnapshotCatchup = false;
+  size_t SnapshotLagEntries = 64;
+  size_t SnapshotChunkBytes = 4096;
 };
 
 /// A single simulated replica: core::RaftCore + effect plumbing.
@@ -130,6 +138,13 @@ public:
     OnLeader = std::move(Fn);
   }
 
+  /// Observer for leader-observed liveness transitions: fired with this
+  /// node's id, the peer, and true (suspected) / false (recovered).
+  /// Requires NodeOptions::EnableSuspicion; the heal driver subscribes.
+  void setSuspicionObserver(std::function<void(NodeId, NodeId, bool)> Fn) {
+    OnSuspicion = std::move(Fn);
+  }
+
   //===--------------------------------------------------------------===//
   // Introspection (forwarded to the core)
   //===--------------------------------------------------------------===//
@@ -177,6 +192,7 @@ private:
   std::function<void(SimMsg)> SendFn;
   std::function<void(NodeId, size_t, const SimLogEntry &)> ApplyFn;
   std::function<void(NodeId, Time)> OnLeader;
+  std::function<void(NodeId, NodeId, bool)> OnSuspicion;
   store::NodeStore *Store = nullptr;
   std::vector<std::string> *StoreViolations = nullptr;
 };

@@ -43,6 +43,9 @@ ShardedCluster::ShardedCluster(const ReconfigScheme &Scheme,
     GroupClusters[G] = std::make_unique<Cluster>(
         Scheme, Initial, Universe, Opts.Group, GroupSeed, &Queue);
   }
+  // Drawn after every group fork so adding it left the per-group seed
+  // streams (and thus all pre-existing runs) bit-identical.
+  ClientSeed = Master.next();
 
   meta().addApplyHook(
       [this](NodeId, size_t Index, const SimLogEntry &E) {

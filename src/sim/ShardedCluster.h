@@ -131,6 +131,10 @@ public:
   /// Number of installed (effective) map changes past the initial map.
   uint64_t mapChangesCommitted() const { return MapChanges; }
 
+  /// A seed forked from this pool's master stream for client-side
+  /// randomness (retry jitter), independent of the group streams.
+  uint64_t clientSeed() const { return ClientSeed; }
+
 private:
   void onMetaApply(size_t Index, MethodId Method);
   void installCommitted(const shard::PoolMap &M);
@@ -154,6 +158,7 @@ private:
   /// First-apply-wins guard over the metadata ledger.
   size_t MetaIndexSeen = 0;
   uint64_t MapChanges = 0;
+  uint64_t ClientSeed = 1;
   std::vector<std::string> MapViolationsVec;
 };
 

@@ -17,6 +17,7 @@
 #include "chaos/History.h"
 #include "chaos/Linearizability.h"
 #include "kv/KvStore.h"
+#include "sim/ShardedCluster.h"
 #include "support/Hashing.h"
 
 #include <gtest/gtest.h>
@@ -393,6 +394,178 @@ TEST(ChaosRunTest, JsonReportIsWellFormedEnough) {
   EXPECT_NE(S.find("\"seed\":4"), std::string::npos);
   EXPECT_NE(S.find("\"scenario\":\"mixed\""), std::string::npos);
   EXPECT_NE(S.find("\"violations\":["), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Self-healing: kill-forever end to end
+//===----------------------------------------------------------------------===//
+
+TEST(SelfHealingTest, KillForeverHealsToFullReplication) {
+  // Victims never restart, so passing these runs requires the whole
+  // pipeline: suspicion detects the corpse, the healer ejects it and
+  // swaps a spare in via certified reconfigs, and the spare catches up
+  // (by snapshot when far enough behind). The runner's own invariant
+  // already fails any run that does not return to full replication; on
+  // top of that, assert the metrics show the pipeline actually ran.
+  size_t RunsWithKills = 0;
+  size_t RunsWithSnapshots = 0;
+  for (uint64_t Seed = 500; Seed != 516; ++Seed) {
+    ChaosRunOptions Opts;
+    Opts.Nemesis.Kind = Scenario::KillForever;
+    ChaosRunResult R = runChaosScenario(Opts, Seed);
+    EXPECT_TRUE(R.passed())
+        << R.summary() << "\nviolations:\n"
+        << [&] {
+             std::string All;
+             for (const std::string &V : R.Violations)
+               All += "  " + V + "\n";
+             return All;
+           }()
+        << "nemesis trace:\n"
+        << R.NemesisTrace;
+    EXPECT_TRUE(R.Healing);
+    if (R.PermanentKills != 0) {
+      ++RunsWithKills;
+      EXPECT_GT(R.TimeToDetectUs, 0u) << R.summary();
+      EXPECT_GT(R.TimeToFullReplicationUs, 0u) << R.summary();
+      EXPECT_GE(R.HealReconfigsCommitted, 2 * R.PermanentKills)
+          << "each kill needs an eject and a grow-back: " << R.summary();
+    }
+    if (R.SnapshotsInstalled != 0) {
+      ++RunsWithSnapshots;
+      EXPECT_GT(R.SnapshotBytesTransferred, 0u);
+    }
+  }
+  // The nemesis draws moves randomly, but killing is its only move: the
+  // overwhelming majority of seeds must actually kill, and at least one
+  // replacement across the sweep must have caught up via InstallSnapshot.
+  EXPECT_GE(RunsWithKills, 12u);
+  EXPECT_GE(RunsWithSnapshots, 1u);
+}
+
+TEST(SelfHealingTest, KillForeverIsSeedDeterministic) {
+  ChaosRunOptions Opts;
+  Opts.Nemesis.Kind = Scenario::KillForever;
+  ChaosRunResult A = runChaosScenario(Opts, 91);
+  ChaosRunResult B = runChaosScenario(Opts, 91);
+  EXPECT_EQ(A.NemesisTrace, B.NemesisTrace);
+  EXPECT_EQ(A.HistoryText, B.HistoryText);
+  EXPECT_EQ(A.HealReconfigsCommitted, B.HealReconfigsCommitted);
+  EXPECT_EQ(A.TimeToFullReplicationUs, B.TimeToFullReplicationUs);
+  EXPECT_EQ(A.SnapshotBytesTransferred, B.SnapshotBytesTransferred);
+}
+
+TEST(SelfHealingTest, HealingMetricsAppearOnlyForKillForever) {
+  ChaosRunOptions Opts;
+  Opts.Workload.NumOps = 10;
+  ChaosRunResult Legacy = runChaosScenario(Opts, 5);
+  JsonWriter WL;
+  Legacy.addToJson(WL);
+  EXPECT_EQ(WL.str().find("\"healing\""), std::string::npos)
+      << "legacy scenarios must keep their JSON layout byte-identical";
+
+  Opts.Nemesis.Kind = Scenario::KillForever;
+  ChaosRunResult Healed = runChaosScenario(Opts, 5);
+  JsonWriter WH;
+  Healed.addToJson(WH);
+  EXPECT_NE(WH.str().find("\"healing\""), std::string::npos);
+  EXPECT_NE(WH.str().find("\"time_to_full_replication_us\""),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Metadata-group recovery: leader killed mid-proposeMap on faulted disks
+//===----------------------------------------------------------------------===//
+
+TEST(MetaGroupRecoveryTest, LeaderKilledMidProposeMapWithDiskFaults) {
+  // Composes the two nemeses that never meet in the scenario matrix:
+  // the metadata group's leader dies (power cut on a fault-injecting
+  // disk — torn writes, garbage tails) while a pool-map proposal is in
+  // flight. Whatever side of the commit the crash lands on, the
+  // generation-CAS invariants must hold across WAL recovery: committed
+  // generation strictly monotone, exactly one installed change per
+  // generation step, and a lost proposal reported false — never
+  // half-installed.
+  auto Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  for (uint64_t Seed = 300; Seed != 308; ++Seed) {
+    sim::ShardedClusterOptions SCO;
+    SCO.Groups = 2;
+    SCO.NumShards = 8;
+    SCO.Members = 3;
+    SCO.Spares = 1;
+    SCO.Group.DurableStore = true;
+    SCO.Group.StoreFaults = ChaosRunOptions::defaultStoreFaults();
+    sim::ShardedCluster Pool(*Scheme, SCO, Seed);
+    Pool.start();
+    ASSERT_TRUE(Pool.runUntilAllLeaders(10000000));
+
+    auto RunFor = [&](SimTime Us) {
+      SimTime Deadline = Pool.queue().now() + Us;
+      while (Pool.queue().now() < Deadline && Pool.queue().runNext())
+        ;
+    };
+
+    // A generation-2 successor moving one of group 1's shards to 2.
+    shard::PoolMap Next = Pool.committedMap();
+    Next.Generation += 1;
+    for (shard::GroupId &G : Next.ShardToGroup)
+      if (G == 1) {
+        G = 2;
+        break;
+      }
+    std::optional<bool> First;
+    Pool.proposeMap(Next, [&](bool Ok) { First = Ok; }, 3000000);
+    // Kill the meta leader before the proposal's first event runs, so
+    // the ticket is genuinely mid-flight when power dies.
+    std::optional<NodeId> MetaLeader = Pool.meta().leader();
+    ASSERT_TRUE(MetaLeader.has_value());
+    Pool.meta().crash(*MetaLeader);
+    RunFor(500000);
+    Pool.meta().restart(*MetaLeader);
+    SimTime Deadline = Pool.queue().now() + 5000000;
+    while (!First.has_value() && Pool.queue().now() < Deadline &&
+           Pool.queue().runNext())
+      ;
+
+    // CAS invariants, however the race fell.
+    EXPECT_TRUE(Pool.mapViolations().empty())
+        << "seed " << Seed << ": " << Pool.mapViolations().front();
+    uint64_t Gen = Pool.committedMap().Generation;
+    EXPECT_EQ(Gen, 1 + Pool.mapChangesCommitted()) << "seed " << Seed;
+    ASSERT_TRUE(First.has_value()) << "seed " << Seed;
+    if (*First) {
+      EXPECT_EQ(Gen, 2u) << "seed " << Seed;
+    }
+
+    // The recovered meta group must still arbitrate a CAS duel: two
+    // proposals for the same successor generation — exactly one
+    // installs, the loser reports false.
+    shard::PoolMap Cur = Pool.committedMap();
+    shard::PoolMap A = Cur, B = Cur;
+    A.Generation += 1;
+    B.Generation += 1;
+    for (shard::GroupId &G : B.ShardToGroup)
+      if (G == 2) {
+        G = 1;
+        break;
+      }
+    std::optional<bool> OkA, OkB;
+    Pool.proposeMap(A, [&](bool Ok) { OkA = Ok; }, 3000000);
+    Pool.proposeMap(B, [&](bool Ok) { OkB = Ok; }, 3000000);
+    Deadline = Pool.queue().now() + 8000000;
+    while (!(OkA.has_value() && OkB.has_value()) &&
+           Pool.queue().now() < Deadline && Pool.queue().runNext())
+      ;
+    ASSERT_TRUE(OkA.has_value() && OkB.has_value()) << "seed " << Seed;
+    EXPECT_NE(*OkA, *OkB) << "seed " << Seed
+                          << ": generation CAS must pick exactly one";
+    EXPECT_EQ(Pool.committedMap().Generation, Cur.Generation + 1)
+        << "seed " << Seed;
+    EXPECT_EQ(Pool.committedMap().Generation,
+              1 + Pool.mapChangesCommitted())
+        << "seed " << Seed;
+    EXPECT_TRUE(Pool.mapViolations().empty()) << "seed " << Seed;
+  }
 }
 
 //===----------------------------------------------------------------------===//

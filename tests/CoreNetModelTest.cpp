@@ -119,6 +119,39 @@ TEST(CoreNetModelTest, SafetyHoldsEvenWithoutVoteStickiness) {
                                         << R.ViolatingState;
 }
 
+TEST(CoreNetModelTest, SelfHealingExtensionsStaySafe) {
+  // Suspicion scoring and chunked snapshot catch-up both extend the
+  // core's transition relation (new counters steer effect emission, a
+  // new message kind mutates follower logs wholesale). Explore the
+  // production core with both switched on and aggressive thresholds
+  // (suspect after 2 silent rounds, snapshot any follower 1 entry
+  // behind, 64-byte chunks so transfers take multiple round trips) and
+  // require every safety invariant — election safety, log matching,
+  // committed-prefix agreement, R2/R3, suspicion sanity — to hold on
+  // every visited state.
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 2;
+  Opts.MaxPending = 4;
+  Opts.WithReconfig = true;
+  core::CoreOptions CoreOpts;
+  CoreOpts.EnableSuspicion = true;
+  CoreOpts.SuspicionSuspectScore = 2;
+  CoreOpts.SuspicionRecoverScore = 1;
+  CoreOpts.EnableSnapshotCatchup = true;
+  CoreOpts.SnapshotLagEntries = 1;
+  CoreOpts.SnapshotChunkBytes = 64;
+  CoreNetModel M = H.make(3, Opts, CoreOpts);
+  Engine<CoreNetModel> E(M, ExploreOptions{/*MaxDepth=*/0,
+                                           /*MaxStates=*/150000,
+                                           /*Threads=*/0, {}});
+  ExploreResult R = E.run();
+  EXPECT_FALSE(R.Violation.has_value()) << *R.Violation << "\nstate:\n"
+                                        << R.ViolatingState;
+  EXPECT_GT(R.States, 10000u);
+}
+
 TEST(CoreNetModelTest, StickinessWindowChangesTheExploredGraph) {
   // The guard must be visible to the model checker: with it on, each
   // stickiness-sensitive RequestVote delivers both inside the contact

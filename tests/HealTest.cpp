@@ -1,0 +1,210 @@
+//===- tests/HealTest.cpp - Self-healing policy tests ------------------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the pure heal layer: the Healer's swap-in-a-spare
+/// policy, the single-in-flight rule, randomized-exponential backoff and
+/// post-heal cooldown, suspicion stickiness, and the pool-map rebalance
+/// helpers — all driven with hand-fed observations and clock readings,
+/// no cluster anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#include "heal/Healer.h"
+
+#include <gtest/gtest.h>
+
+using namespace adore;
+using namespace adore::heal;
+
+namespace {
+
+struct HealHarness {
+  std::unique_ptr<ReconfigScheme> Scheme;
+  Config Conf;
+  NodeSet Universe;
+
+  HealHarness() : Conf(NodeSet{1, 2, 3}), Universe{1, 2, 3, 4, 5} {
+    Scheme = makeScheme(SchemeKind::RaftSingleNode);
+  }
+};
+
+} // namespace
+
+TEST(HealerTest, HealthyGroupProposesNothing) {
+  HealHarness H;
+  Healer Doc(*H.Scheme);
+  EXPECT_FALSE(Doc.tick(0, H.Conf, H.Universe, 1).has_value());
+  EXPECT_FALSE(Doc.inFlight());
+}
+
+TEST(HealerTest, EjectsSuspectedMemberThenGrowsBackWithASpare) {
+  HealHarness H;
+  Healer Doc(*H.Scheme);
+  Doc.observeSuspected(3);
+
+  // Phase 1: eject the suspect. Single-node-delta schemes can only
+  // shrink first; the proposal must drop 3 and keep the leader.
+  auto P1 = Doc.tick(0, H.Conf, H.Universe, /*LeaderId=*/1);
+  ASSERT_TRUE(P1.has_value());
+  NodeSet M1 = H.Scheme->mbrs(*P1);
+  EXPECT_TRUE(M1.contains(1));
+  EXPECT_FALSE(M1.contains(3));
+  EXPECT_TRUE(Doc.inFlight());
+  Doc.onReconfigResult(/*Committed=*/true, /*NowUs=*/1000);
+  EXPECT_EQ(Doc.heals(), 1u);
+
+  // Phase 2: after the cooldown, grow back toward the original
+  // replication target with a healthy spare — never the blacklisted 3,
+  // even though nobody suspects it "now" (it is out of every config).
+  uint64_t AfterCooldown = 1000 + HealerOptions().CooldownUs;
+  auto P2 = Doc.tick(AfterCooldown, *P1, H.Universe, 1);
+  ASSERT_TRUE(P2.has_value());
+  NodeSet M2 = H.Scheme->mbrs(*P2);
+  EXPECT_EQ(M2.size(), 3u);
+  EXPECT_TRUE(M2.contains(1));
+  EXPECT_FALSE(M2.contains(3));
+  Doc.onReconfigResult(true, AfterCooldown + 1000);
+
+  // Phase 3: back at target strength — nothing more to do.
+  auto P3 = Doc.tick(AfterCooldown + 1000 + HealerOptions().CooldownUs, *P2,
+                     H.Universe, 1);
+  EXPECT_FALSE(P3.has_value());
+}
+
+TEST(HealerTest, SingleProposalInFlight) {
+  HealHarness H;
+  Healer Doc(*H.Scheme);
+  Doc.observeSuspected(2);
+  ASSERT_TRUE(Doc.tick(0, H.Conf, H.Universe, 1).has_value());
+  // Unresolved: every further tick is a no-op regardless of elapsed time.
+  EXPECT_FALSE(Doc.tick(1u << 30, H.Conf, H.Universe, 1).has_value());
+  Doc.onReconfigResult(false, 1u << 30);
+  EXPECT_FALSE(Doc.inFlight());
+}
+
+TEST(HealerTest, RejectionBacksOffExponentiallyWithJitter) {
+  HealHarness H;
+  HealerOptions Opts;
+  Opts.BaseBackoffUs = 1000;
+  Opts.MaxBackoffUs = 4000;
+  Healer Doc(*H.Scheme, Opts);
+  Doc.observeSuspected(2);
+
+  // Attempt N's retry delay is uniform in [B/2, B] with B doubling to
+  // the cap, so "before B/2" must always refuse and "at B" must always
+  // fire — regardless of the seed's jitter draw.
+  uint64_t Now = 0;
+  uint64_t ExpectedB = Opts.BaseBackoffUs;
+  for (int Attempt = 0; Attempt != 4; ++Attempt) {
+    ASSERT_TRUE(Doc.tick(Now, H.Conf, H.Universe, 1).has_value())
+        << "attempt " << Attempt;
+    Doc.onReconfigResult(/*Committed=*/false, Now);
+    EXPECT_FALSE(
+        Doc.tick(Now + ExpectedB / 2 - 1, H.Conf, H.Universe, 1).has_value())
+        << "attempt " << Attempt << " retried before its backoff floor";
+    Now += ExpectedB; // Upper bound of the jitter window: always eligible.
+    ExpectedB = std::min(Opts.MaxBackoffUs, ExpectedB * 2);
+  }
+  EXPECT_EQ(Doc.retries(), 4u);
+  EXPECT_EQ(Doc.heals(), 0u);
+}
+
+TEST(HealerTest, RecoveredPeerIsLeftAlone) {
+  HealHarness H;
+  Healer Doc(*H.Scheme);
+  Doc.observeSuspected(3);
+  Doc.observeRecovered(3);
+  EXPECT_FALSE(Doc.tick(0, H.Conf, H.Universe, 1).has_value());
+}
+
+TEST(HealerTest, NeverProposesRemovingTheLeader) {
+  HealHarness H;
+  Healer Doc(*H.Scheme);
+  // The leader itself is suspected (e.g. stale observations relayed
+  // from a deposed leader): no candidate may eject node 1 while node 1
+  // is the proposer.
+  Doc.observeSuspected(1);
+  auto P = Doc.tick(0, H.Conf, H.Universe, 1);
+  EXPECT_FALSE(P.has_value());
+}
+
+TEST(HealerTest, StaticSchemeNeverHeals) {
+  HealHarness H;
+  auto Static = makeScheme(SchemeKind::Static);
+  Healer Doc(*Static);
+  Doc.observeSuspected(3);
+  EXPECT_FALSE(Doc.tick(0, H.Conf, H.Universe, 1).has_value());
+}
+
+TEST(HealerTest, SameSeedReplaysIdenticalDecisions) {
+  HealHarness H;
+  HealerOptions Opts;
+  Opts.Seed = 42;
+  Healer A(*H.Scheme, Opts);
+  Healer B(*H.Scheme, Opts);
+  A.observeSuspected(3);
+  B.observeSuspected(3);
+  uint64_t Now = 0;
+  for (int Round = 0; Round != 6; ++Round) {
+    for (uint64_t Probe :
+         {Now + 1, Now + 400, Now + 900, Now + 1700, Now + 5000}) {
+      auto PA = A.tick(Probe, H.Conf, H.Universe, 1);
+      auto PB = B.tick(Probe, H.Conf, H.Universe, 1);
+      ASSERT_EQ(PA.has_value(), PB.has_value()) << "probe " << Probe;
+      if (PA) {
+        EXPECT_EQ(*PA, *PB);
+        A.onReconfigResult(false, Probe);
+        B.onReconfigResult(false, Probe);
+        Now = Probe;
+        break;
+      }
+    }
+    Now += 10000;
+  }
+  EXPECT_EQ(A.retries(), B.retries());
+}
+
+//===----------------------------------------------------------------------===//
+// Pool-map rebalance helpers
+//===----------------------------------------------------------------------===//
+
+TEST(RebalanceTest, MovesDeadGroupsShardsOntoSurvivors) {
+  shard::PoolMap M = shard::makeUniformPoolMap(/*Groups=*/3, /*NumShards=*/9,
+                                               /*MembersPerGroup=*/3,
+                                               /*SparesPerGroup=*/2,
+                                               /*MetaMembers=*/3);
+  auto Next = rebalanceShards(M, {2});
+  ASSERT_TRUE(Next.has_value());
+  EXPECT_EQ(Next->Generation, M.Generation + 1);
+  EXPECT_TRUE(Next->valid());
+  size_t PerGroup[4] = {0, 0, 0, 0};
+  for (shard::GroupId G : Next->ShardToGroup) {
+    ASSERT_NE(G, 2u) << "shard still routed to the dead group";
+    ++PerGroup[G];
+  }
+  // 9 shards over 2 survivors: 4/5 or 5/4, nothing pathological.
+  EXPECT_GE(PerGroup[1], 4u);
+  EXPECT_GE(PerGroup[3], 4u);
+}
+
+TEST(RebalanceTest, NoopAndTotalDeathReturnNothing) {
+  shard::PoolMap M = shard::makeUniformPoolMap(2, 8, 3, 1, 3);
+  EXPECT_FALSE(rebalanceShards(M, {}).has_value());
+  EXPECT_FALSE(rebalanceShards(M, {1, 2}).has_value());
+}
+
+TEST(RebalanceTest, WithGroupReplicasBumpsGenerationAndRoster) {
+  shard::PoolMap M = shard::makeUniformPoolMap(2, 8, 3, 2, 3);
+  NodeSet NewReplicas = M.GroupReplicas[1];
+  NodeId Fresh = 999;
+  NewReplicas.insert(Fresh);
+  shard::PoolMap Next = withGroupReplicas(M, 1, NewReplicas);
+  EXPECT_EQ(Next.Generation, M.Generation + 1);
+  EXPECT_EQ(Next.GroupReplicas[1], NewReplicas);
+  EXPECT_TRUE(Next.Roster.contains(Fresh));
+  EXPECT_EQ(Next.ShardToGroup, M.ShardToGroup);
+}

@@ -19,6 +19,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <thread>
 
 using namespace adore;
@@ -67,6 +69,19 @@ core::Msg sampleMsg(core::Msg::Kind K) {
     break;
   case core::Msg::Kind::TimeoutNow:
     break;
+  case core::Msg::Kind::InstallSnapshot:
+    M.SnapIndex = 23;
+    M.SnapTerm = 6;
+    M.Offset = 8192;
+    M.Chunk = std::string("snapshot-bytes\x00with-nul", 22);
+    M.Done = true;
+    break;
+  case core::Msg::Kind::InstallSnapshotReply:
+    M.Success = true;
+    M.SnapIndex = 23;
+    M.Offset = 8214;
+    M.Done = true;
+    break;
   }
   return M;
 }
@@ -85,6 +100,11 @@ void expectMsgEq(const core::Msg &A, const core::Msg &B) {
   EXPECT_EQ(A.LeaderCommit, B.LeaderCommit);
   EXPECT_EQ(A.Success, B.Success);
   EXPECT_EQ(A.MatchIndex, B.MatchIndex);
+  EXPECT_EQ(A.SnapIndex, B.SnapIndex);
+  EXPECT_EQ(A.SnapTerm, B.SnapTerm);
+  EXPECT_EQ(A.Offset, B.Offset);
+  EXPECT_EQ(A.Chunk, B.Chunk);
+  EXPECT_EQ(A.Done, B.Done);
   ASSERT_EQ(A.Entries.size(), B.Entries.size());
   for (size_t I = 0; I != A.Entries.size(); ++I)
     EXPECT_EQ(A.Entries[I], B.Entries[I]);
@@ -96,13 +116,53 @@ TEST(WireTest, RoundTripsEveryMessageKind) {
   for (auto K :
        {core::Msg::Kind::RequestVote, core::Msg::Kind::VoteReply,
         core::Msg::Kind::AppendEntries, core::Msg::Kind::AppendReply,
-        core::Msg::Kind::TimeoutNow}) {
+        core::Msg::Kind::TimeoutNow, core::Msg::Kind::InstallSnapshot,
+        core::Msg::Kind::InstallSnapshotReply}) {
     core::Msg In = sampleMsg(K);
     std::string Bytes = encodeMsg(In);
     core::Msg Out;
     ASSERT_TRUE(decodeMsg(Bytes, Out));
     expectMsgEq(In, Out);
   }
+}
+
+TEST(WireTest, GoldenInstallSnapshotFrameIsPinned) {
+  // The InstallSnapshot frame layout is an on-wire contract between
+  // mixed-version replicas: a fixed chunked-transfer message must
+  // encode to exactly the bytes pinned in the golden file (hex, one
+  // line). Any drift — field order, widths, endianness, a new field
+  // without a version bump — fails here before it can strand a
+  // catch-up transfer between peers that disagree on the layout.
+  core::Msg M;
+  M.K = core::Msg::Kind::InstallSnapshot;
+  M.From = 1;
+  M.To = 4;
+  M.Term = 3;
+  M.SnapIndex = 17;
+  M.SnapTerm = 2;
+  M.Offset = 256;
+  M.Done = false;
+  M.Chunk = std::string("chunk\x00payload", 13);
+  std::string Bytes = encodeMsg(M);
+  std::string Hex;
+  for (unsigned char C : Bytes) {
+    char Buf[3];
+    std::snprintf(Buf, sizeof(Buf), "%02x", C);
+    Hex += Buf;
+  }
+
+  std::ifstream In(std::string(ADORE_TEST_GOLDEN_DIR) +
+                   "/install_snapshot_frame.hex");
+  ASSERT_TRUE(In.good()) << "golden file missing";
+  std::string Golden;
+  In >> Golden;
+  EXPECT_EQ(Hex, Golden)
+      << "InstallSnapshot wire layout drifted from the golden frame";
+
+  // And the pinned bytes still decode to the same message.
+  core::Msg Out;
+  ASSERT_TRUE(decodeMsg(Bytes, Out));
+  expectMsgEq(M, Out);
 }
 
 TEST(WireTest, RejectsTruncatedFrames) {

@@ -380,6 +380,100 @@ TEST(ShardedKvClientTest, PersistentNacksExhaustAttempts) {
   EXPECT_EQ(C.stats().Exhausted, 1u);
 }
 
+TEST(ShardedKvClientTest, BackoffPacesRetriesAgainstAFlappingGroup) {
+  // A group that flaps (rejects a while, then serves) must see retries
+  // spread out by the jittered exponential backoff, not a storm of
+  // back-to-back resends. The Sleep hook records each requested delay
+  // on a virtual clock; the ladder must climb toward the cap.
+  PoolMap M = makeUniformPoolMap(2, 4, 3, 0, 3);
+  size_t Performs = 0;
+  std::vector<uint64_t> Delays;
+  ShardedKvClient::Transport T;
+  T.Perform = [&](const RouteRequest &, ShardedKvClient::ReplyFn Done) {
+    ++Performs;
+    GroupReply Rep;
+    if (Performs <= 5) {
+      Rep.HasNack = true;
+      Rep.Nack.CurrentGen = 1; // same generation: flapping, not stale
+    } else {
+      Rep.Ok = true;
+    }
+    Done(Rep);
+  };
+  T.FetchMap = [&](ShardedKvClient::MapFn Done) { Done(M); };
+  T.Sleep = [&](uint64_t DelayUs, std::function<void()> Resume) {
+    Delays.push_back(DelayUs);
+    Resume(); // virtual time: record and continue immediately
+  };
+  BackoffOptions B;
+  B.Seed = 42;
+  B.BaseUs = 1000;
+  B.MaxUs = 8000;
+  ShardedKvClient C(M, std::move(T), B);
+  bool Ok = false;
+  C.submit(3, 1, false, [&](const GroupReply &R) { Ok = R.Ok; },
+           /*MaxAttempts=*/8);
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Performs, 6u);
+  // Every retry (all 5 of them) slept first: no immediate resends.
+  ASSERT_EQ(Delays.size(), 5u);
+  EXPECT_EQ(C.stats().BackoffSleeps, 5u);
+  uint64_t Ceiling = B.BaseUs;
+  uint64_t Total = 0;
+  for (size_t I = 0; I != Delays.size(); ++I) {
+    // Jitter stays inside [ceiling/2, ceiling] for the I-th rung.
+    EXPECT_GE(Delays[I], Ceiling / 2) << "retry " << I;
+    EXPECT_LE(Delays[I], Ceiling) << "retry " << I;
+    Ceiling = Ceiling >= B.MaxUs / 2 ? B.MaxUs : Ceiling * 2;
+    Total += Delays[I];
+  }
+  EXPECT_EQ(C.stats().BackoffUsTotal, Total);
+  // The ladder reached the cap: the 5th rung's window is [4000, 8000].
+  EXPECT_GE(Delays.back(), B.MaxUs / 2);
+}
+
+TEST(ShardedKvClientTest, FreshMapResetsTheBackoffLadder) {
+  // A NACK explained by staleness (the refetched map is genuinely
+  // newer) is not the group's fault: the retry on the fresh route goes
+  // out immediately and the ladder restarts from BaseUs.
+  PoolMap Old = makeUniformPoolMap(4, 16, 3, 0, 3);
+  PoolMap New = Old;
+  New.Generation = 2;
+  for (GroupId &G : New.ShardToGroup)
+    if (G == 1)
+      G = 2;
+  size_t Performs = 0;
+  std::vector<uint64_t> Delays;
+  ShardedKvClient::Transport T;
+  T.Perform = [&](const RouteRequest &R, ShardedKvClient::ReplyFn Done) {
+    ++Performs;
+    GroupReply Rep;
+    if (New.groupForShard(R.Shard) != R.Group || R.MapGen < New.Generation) {
+      Rep.HasNack = true;
+      Rep.Nack.CurrentGen = New.Generation;
+    } else {
+      Rep.Ok = true;
+    }
+    Done(Rep);
+  };
+  T.FetchMap = [&](ShardedKvClient::MapFn Done) { Done(New); };
+  T.Sleep = [&](uint64_t DelayUs, std::function<void()> Resume) {
+    Delays.push_back(DelayUs);
+    Resume();
+  };
+  ShardedKvClient C(Old, std::move(T), BackoffOptions{});
+  uint64_t Key = 0;
+  while (Old.groupForKey(Key) != 1)
+    ++Key;
+  bool Ok = false;
+  C.submit(Key, 1, false, [&](const GroupReply &R) { Ok = R.Ok; });
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Performs, 2u);
+  // The one retry followed a map install — no sleep was taken.
+  EXPECT_TRUE(Delays.empty());
+  EXPECT_EQ(C.stats().BackoffSleeps, 0u);
+}
+
 TEST(ShardedKvClientTest, InstallMapIsStrictlyMonotone) {
   PoolMap M = makeUniformPoolMap(2, 4, 3, 0, 3);
   FakeTransport F;

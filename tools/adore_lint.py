@@ -2,10 +2,12 @@
 """adore_lint: layering and purity linter for the Adore reproduction.
 
 The repo's strongest guarantees are structural, not dynamic: the
-sans-I/O layers (src/core, src/adore, src/mc, src/audit, src/shard)
-must stay pure state machines the model checker can exhaust (shard is
-the placement/pool-map algebra: routing decisions must be computable by
-any client without touching a runtime), every wire/WAL decode must
+sans-I/O layers (src/core, src/adore, src/mc, src/audit, src/shard,
+src/heal) must stay pure state machines the model checker can exhaust
+(shard is the placement/pool-map algebra: routing decisions must be
+computable by any client without touching a runtime; heal is the
+self-healing policy: reconfig decisions must be replayable from a
+scripted clock), every wire/WAL decode must
 go through the bounds-checked readers in core/Codec.h, and switches over
 protocol enums must stay exhaustive so -Werror=switch keeps guarding
 effect handling. Sanitizers and chaos sweeps probe executed paths;
@@ -63,7 +65,10 @@ import sys
 # placement + pool map + sans-I/O routing client) earns its place here:
 # a router that secretly depended on rt/store/sim could not be embedded
 # in arbitrary clients or replayed deterministically by the chaos rig.
-PURE_LAYERS = {"core", "adore", "mc", "audit", "shard"}
+# heal (the self-healing reconfiguration policy) likewise: every heal
+# decision must be a function of (clock value, config, suspicions) so
+# the sim can replay it and tests can drive it with scripted time.
+PURE_LAYERS = {"core", "adore", "mc", "audit", "shard", "heal"}
 
 # Layers a pure layer may never include from.
 IMPURE_LAYERS = {"rt", "store", "sim", "chaos", "kv"}

@@ -1,0 +1,15 @@
+// Fixture: a healer reading the wall clock. Backoff and cooldown
+// decisions must be functions of the caller-supplied NowUs — a healer
+// that consults steady_clock itself could never be replayed by the
+// simulator or exhausted by the model checker.
+#include <chrono>
+
+namespace fixture {
+
+unsigned long healerPeeksAtTheWallClock() {
+  // LINT-EXPECT: purity-token
+  auto T = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<unsigned long>(T.count());
+}
+
+} // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: heal policy reaching into a runtime. The Healer proposes
+// configurations; hosts (sim, rt, chaos) observe suspicions and commit
+// reconfigs. A heal file that includes chaos/rt/sim has inverted that
+// dependency and welded the policy to one runtime.
+#include "chaos/Nemesis.h" // LINT-EXPECT: layering
+
+namespace fixture {
+
+int healerLeaksIntoChaos() { return 1; }
+
+} // namespace fixture
