@@ -31,6 +31,10 @@
 //                               always runs the sharded pool)
 //   bench_chaos --shards N      shards the keyspace splits into for
 //                               multi-group runs (default 16)
+//   bench_chaos --transport=T   bus (default: in-process message bus)
+//                               or tcp (real loopback sockets; requires
+//                               --runtime=rt — the simulator has no
+//                               kernel underneath it)
 //
 // Output: per-run lines for failures, a summary table, and
 // BENCH_chaos.json with machine-readable per-run records. With
@@ -64,12 +68,14 @@ struct SweepOptions {
   bool Durable = false;
   size_t Groups = 1;
   uint32_t Shards = 16;
+  rt::TransportKind Transport = rt::TransportKind::Bus;
 };
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--smoke] [--seeds N] [--scenario NAME] "
-               "[--runtime=sim|rt] [--durable] [--groups N] [--shards N]\n",
+               "[--runtime=sim|rt] [--durable] [--groups N] [--shards N] "
+               "[--transport=bus|tcp]\n",
                Prog);
   return 2;
 }
@@ -151,10 +157,25 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: unknown runtime '%s'\n", R);
         return usage(Argv[0]);
       }
+    } else if (std::strncmp(Argv[I], "--transport=", 12) == 0) {
+      const char *T = Argv[I] + 12;
+      if (std::strcmp(T, "tcp") == 0) {
+        Sweep.Transport = rt::TransportKind::Tcp;
+      } else if (std::strcmp(T, "bus") != 0) {
+        std::fprintf(stderr, "error: unknown transport '%s'\n", T);
+        return usage(Argv[0]);
+      }
     } else {
       std::fprintf(stderr, "error: unrecognized argument '%s'\n", Argv[I]);
       return usage(Argv[0]);
     }
+  }
+  // The simulator's virtual network has no kernel underneath it; real
+  // sockets only exist on the threaded runtime.
+  if (Sweep.Transport == rt::TransportKind::Tcp && !Sweep.RtRuntime) {
+    std::fprintf(stderr,
+                 "error: --transport=tcp requires --runtime=rt\n");
+    return usage(Argv[0]);
   }
   // Threaded runs cost real wall-clock seconds each; keep the default
   // sweep small unless the user sized it explicitly.
@@ -163,9 +184,12 @@ int main(int Argc, char **Argv) {
 
   std::printf("E8: chaos sweep — nemesis faults + linearizability and "
               "safety checks\n");
-  std::printf("%zu seeds per scenario%s, %s runtime%s",
+  std::printf("%zu seeds per scenario%s, %s runtime%s%s",
               Sweep.SeedsPerScenario, Sweep.Smoke ? " (smoke)" : "",
               Sweep.RtRuntime ? "rt" : "sim",
+              Sweep.Transport == rt::TransportKind::Tcp
+                  ? " over loopback tcp"
+                  : "",
               Sweep.Durable ? ", durable store" : "");
   if (Sweep.Groups > 1)
     std::printf(", %zu groups x %u shards", Sweep.Groups, Sweep.Shards);
@@ -175,6 +199,10 @@ int main(int Argc, char **Argv) {
   W.beginObject();
   W.key("experiment").value("chaos-sweep");
   W.key("runtime").value(Sweep.RtRuntime ? "rt" : "sim");
+  // Only non-default transports appear in the report: default-bus
+  // sweeps keep their layout (and bytes) unchanged across versions.
+  if (Sweep.Transport == rt::TransportKind::Tcp)
+    W.key("transport").value("tcp");
   W.key("seeds_per_scenario").value(uint64_t(Sweep.SeedsPerScenario));
   W.key("groups").value(uint64_t(Sweep.Groups));
   W.key("shards").value(uint64_t(Sweep.Shards));
@@ -211,6 +239,7 @@ int main(int Argc, char **Argv) {
         RO.DurableStore = Sweep.Durable;
         RO.Groups = Sweep.Groups;
         RO.Shards = Sweep.Shards;
+        RO.Transport = Sweep.Transport;
         R = runRtScenario(RO, Seed);
       } else {
         ChaosRunOptions RunOpts = Opts;

@@ -75,6 +75,7 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
   CO.Scheme = Opts.Scheme;
   CO.NumNodes = Opts.Members;
   CO.Seed = Seed;
+  CO.Transport = Opts.Transport;
   CO.DurableStore =
       Opts.DurableStore || Opts.Kind == Scenario::DiskFaults;
   if (CO.DurableStore)

@@ -20,6 +20,7 @@
 #define ADORE_CHAOS_RTRUN_H
 
 #include "chaos/ChaosRun.h"
+#include "rt/RtCluster.h"
 
 namespace adore {
 namespace chaos {
@@ -50,6 +51,11 @@ struct RtRunOptions {
   /// Back every node with the WAL+snapshot store on a fault-injecting
   /// in-memory disk (forced on for Scenario::DiskFaults).
   bool DurableStore = false;
+  /// Wire the nodes over the in-process bus (default) or real loopback
+  /// TCP sockets. Bus runs are unchanged byte-for-byte by this knob;
+  /// TCP runs add genuine kernel buffering, reconnects, and frame
+  /// reassembly underneath the same protocol core.
+  rt::TransportKind Transport = rt::TransportKind::Bus;
 };
 
 /// Runs one scenario on the threaded runtime. The result reuses the

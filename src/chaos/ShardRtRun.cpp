@@ -59,6 +59,7 @@ ChaosRunResult adore::chaos::runShardedRtScenario(const RtRunOptions &Opts,
 
   rt::ShardedRtOptions SO;
   SO.Group.Scheme = Opts.Scheme;
+  SO.Group.Transport = Opts.Transport;
   SO.Group.Seed = ClusterSeed;
   SO.Group.DurableStore =
       Opts.DurableStore || Opts.Kind == Scenario::DiskFaults;

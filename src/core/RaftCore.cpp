@@ -339,7 +339,7 @@ Effects RaftCore::onTimer(TimerId Timer, uint64_t Gen, uint64_t NowUs) {
     // Account the round that just elapsed before opening the next one:
     // any follower whose ack never arrived takes a suspicion hit here.
     suspicionRound(Out);
-    broadcastAppends(Out);
+    broadcastAppends(Out, /*ResetPipe=*/true);
     armHeartbeatTimer(Out);
   }
   finishStep(Out);
@@ -565,6 +565,15 @@ void RaftCore::onAppendReply(const Msg &M, Effects &Out) {
     size_t &Match = MatchIndex[M.From];
     Match = std::max(Match, M.MatchIndex);
     NextIndex[M.From] = Match + 1;
+    if (Opts.PipelineWindow > 1) {
+      // One frame acked: free its window slot (saturating — replies to
+      // empty keep-alive frames did not occupy one).
+      PeerPipe &PP = Pipe[M.From];
+      if (PP.InFlight > 0)
+        --PP.InFlight;
+      if (PP.SentNext < Match + 1)
+        PP.SentNext = Match + 1;
+    }
     advanceCommit(Out);
     // Keep streaming if the follower is still behind.
     if (Match < lastLogIndex())
@@ -574,6 +583,14 @@ void RaftCore::onAppendReply(const Msg &M, Effects &Out) {
   // Back up and retry.
   size_t &Next = NextIndex[M.From];
   Next = std::max<size_t>(1, std::min(Next - 1, M.MatchIndex + 1));
+  if (Opts.PipelineWindow > 1) {
+    // A consistency NAK invalidates everything past the probe point:
+    // frames still in flight carry the wrong PrevIndex anchor, so drop
+    // the window and rewind the cursor to re-stream from the backup.
+    PeerPipe &PP = Pipe[M.From];
+    PP.InFlight = 0;
+    PP.SentNext = Next;
+  }
   replicateTo(M.From, Out);
 }
 
@@ -772,6 +789,8 @@ void RaftCore::clearLeaderHealthState() {
   Suspected.clear();
   AckedSinceBeat.clear();
   OutgoingSnaps.clear();
+  Pipe.clear();
+  PendingBatch = 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -807,10 +826,40 @@ void RaftCore::replicateTo(NodeId Peer, Effects &Out) {
       X.SnapTerm = Log[CommitIndex - 1].Term;
       X.Payload = codec::encodeSnapshotPayload(Log, CommitIndex);
       OutgoingSnaps.emplace(Peer, std::move(X));
+      // The transfer owns this peer's stream; drop any stale pipeline
+      // bookkeeping so replication resumes cleanly after it completes.
+      Pipe.erase(Peer);
       sendSnapshotChunk(Peer, Out);
       return;
     }
   }
+  if (Opts.PipelineWindow <= 1) {
+    // Stop-and-wait: one frame per call, re-sent from NextIndex until
+    // the ack arrives.
+    sendAppendFrame(Peer, Next, Out);
+    return;
+  }
+  // Pipelined: stream entry-bearing frames until the window fills or
+  // the log runs dry. The send cursor runs ahead of NextIndex (which
+  // only acks advance); a heartbeat or NAK rewinds it.
+  PeerPipe &PP = Pipe[Peer];
+  if (PP.SentNext < Next)
+    PP.SentNext = Next; // Fresh pipe, or acks overtook the cursor.
+  bool SentEntries = false;
+  while (PP.InFlight < Opts.PipelineWindow && PP.SentNext <= lastLogIndex()) {
+    PP.SentNext = sendAppendFrame(Peer, PP.SentNext, Out);
+    ++PP.InFlight;
+    SentEntries = true;
+  }
+  // Caught up (or the cursor is parked past the log): an empty frame
+  // still carries LeaderCommit and proves leadership. It does not
+  // occupy a window slot — its ack harmlessly saturates at zero.
+  if (!SentEntries && PP.InFlight == 0)
+    sendAppendFrame(Peer, PP.SentNext, Out);
+}
+
+size_t RaftCore::sendAppendFrame(NodeId Peer, size_t Next, Effects &Out) {
+  assert(Next >= 1 && "append frames start at index 1");
   Msg M;
   M.K = Msg::Kind::AppendEntries;
   M.From = Id;
@@ -823,16 +872,26 @@ void RaftCore::replicateTo(NodeId Peer, Effects &Out) {
     M.Entries.push_back(Log[I - 1]);
   M.LeaderCommit = CommitIndex;
   Out.push_back(Effect::send(std::move(M)));
+  return std::max(Next, End + 1);
 }
 
-void RaftCore::broadcastAppends(Effects &Out) {
+void RaftCore::broadcastAppends(Effects &Out, bool ResetPipe) {
   if (MyRole != Role::Leader)
     return;
+  PendingBatch = 0; // Any broadcast flushes a deferred batch.
   for (NodeId Peer : Scheme->mbrs(config())) {
     if (Peer == Id)
       continue;
     if (!NextIndex.count(Peer))
       NextIndex[Peer] = lastLogIndex() + 1; // Node joined just now.
+    if (ResetPipe && Opts.PipelineWindow > 1) {
+      // Heartbeat round: rewind to the acked point and re-fill the
+      // window. This is how windowed frames lost in flight get
+      // retransmitted.
+      PeerPipe &PP = Pipe[Peer];
+      PP.InFlight = 0;
+      PP.SentNext = NextIndex[Peer];
+    }
     replicateTo(Peer, Out);
   }
 }
@@ -885,6 +944,22 @@ bool RaftCore::submit(MethodId Method, uint64_t ClientSeq, Effects &Out) {
   E.Kind = EntryKind::Method;
   E.Method = Method;
   E.ClientSeq = ClientSeq;
+  if (Opts.MaxAppendBatch > 1) {
+    // Coalesced path: append locally but defer the broadcast until the
+    // batch fills, so one AppendEntries frame carries the whole burst.
+    // Any other broadcast — heartbeat, noop, reconfig, commit-advance —
+    // flushes a partial batch first, bounding the added latency by one
+    // heartbeat interval.
+    Log.push_back(std::move(E));
+    Dirty = true;
+    updatePassivity();
+    if (++PendingBatch >= Opts.MaxAppendBatch) {
+      broadcastAppends(Out); // Resets PendingBatch.
+      advanceCommit(Out);    // Singleton configurations commit instantly.
+    }
+    finishStep(Out);
+    return true;
+  }
   appendOwn(std::move(E), Out);
   finishStep(Out);
   return true;

@@ -227,6 +227,23 @@ struct CoreOptions {
   bool EnableSnapshotCatchup = false;
   size_t SnapshotLagEntries = 64;
   size_t SnapshotChunkBytes = 4096;
+
+  /// Replication hot path. Both default to 1, which takes exactly the
+  /// legacy stop-and-wait code paths (the sim's byte-identical seed
+  /// schedules depend on this).
+  ///
+  /// MaxAppendBatch > 1 coalesces leader submits: a client entry is
+  /// appended locally but its broadcast is deferred until
+  /// MaxAppendBatch entries are pending (or any other broadcast — a
+  /// heartbeat, a noop, a reconfig — flushes the batch first), so one
+  /// AppendEntries carries the whole burst.
+  size_t MaxAppendBatch = 1;
+  /// PipelineWindow > 1 streams up to that many AppendEntries frames to
+  /// a follower without waiting for acks. Each heartbeat round rewinds
+  /// the send cursor to the acked point and re-fills the window, which
+  /// is also the retransmission path for frames lost in flight; a
+  /// consistency NAK rewinds immediately.
+  size_t PipelineWindow = 1;
 };
 
 //===----------------------------------------------------------------------===//
@@ -363,6 +380,15 @@ public:
   bool snapshotInFlightTo(NodeId Peer) const {
     return OutgoingSnaps.count(Peer) != 0;
   }
+  /// Unacked pipelined AppendEntries frames outstanding toward \p Peer
+  /// (always 0 with PipelineWindow <= 1). Test introspection.
+  size_t inFlightTo(NodeId Peer) const {
+    auto It = Pipe.find(Peer);
+    return It == Pipe.end() ? 0 : It->second.InFlight;
+  }
+  /// Leader entries appended but not yet broadcast (always 0 with
+  /// MaxAppendBatch <= 1). Test introspection.
+  size_t pendingBatch() const { return PendingBatch; }
   /// Healing metrics: payload bytes shipped/accepted over InstallSnapshot
   /// chunks and completed installs on this replica. Monotonic counters,
   /// excluded from the fingerprint (they never influence behavior).
@@ -436,6 +462,18 @@ public:
       S.addU64(Staging->SnapTerm);
       S.addString(Staging->Buf);
     }
+    // Pipelined-replication volatile state: the send cursor and window
+    // occupancy steer which AppendEntries frames a leader emits next,
+    // and a deferred batch steers when it emits them, so the model
+    // checker must distinguish them (both stay empty/zero under the
+    // default stop-and-wait options).
+    S.addU64(Pipe.size());
+    for (const auto &[Peer, PP] : Pipe) {
+      S.addU32(Peer);
+      S.addU64(PP.SentNext);
+      S.addU64(PP.InFlight);
+    }
+    S.addU64(PendingBatch);
   }
 
 private:
@@ -459,9 +497,17 @@ private:
 
   // Leader machinery.
   void replicateTo(NodeId Peer, Effects &Out);
-  void broadcastAppends(Effects &Out);
+  /// \p ResetPipe rewinds every peer's pipelined send cursor to its
+  /// acked point first — the heartbeat round passes true, making it the
+  /// retransmission path for windowed frames lost in flight.
+  void broadcastAppends(Effects &Out, bool ResetPipe = false);
   void advanceCommit(Effects &Out);
   void appendOwn(LogEntry Entry, Effects &Out);
+  /// Builds and emits one AppendEntries frame carrying
+  /// [Next, min(lastLogIndex, Next - 1 + MaxEntriesPerAppend)].
+  /// Returns one past the last index shipped (== Next for an empty
+  /// keep-alive frame).
+  size_t sendAppendFrame(NodeId Peer, size_t Next, Effects &Out);
 
   // Failure detection and snapshot catch-up.
   void noteAck(NodeId Peer);
@@ -544,6 +590,24 @@ private:
   uint64_t SnapshotBytesSentCount = 0;
   uint64_t SnapshotBytesReceivedCount = 0;
   uint64_t SnapshotsInstalledCount = 0;
+
+  //===--------------------------------------------------------------===//
+  // Pipelined-replication state (volatile, leader-only; stays empty
+  // under the default stop-and-wait options)
+  //===--------------------------------------------------------------===//
+
+  /// Per-follower pipeline: SentNext is the send cursor (first index
+  /// not yet shipped; may run ahead of NextIndex, which tracks acks),
+  /// InFlight counts unacked entry-bearing frames. A SentNext of 0
+  /// means "not yet initialized; adopt NextIndex on first use".
+  struct PeerPipe {
+    size_t SentNext = 0;
+    size_t InFlight = 0;
+  };
+  std::map<NodeId, PeerPipe> Pipe;
+  /// Leader entries appended locally whose broadcast is deferred until
+  /// the batch fills (MaxAppendBatch) or any broadcast flushes it.
+  size_t PendingBatch = 0;
 
   uint64_t ElectionGen = 0;
   uint64_t HeartbeatGen = 0;

@@ -1,0 +1,107 @@
+//===- net/Framing.h - Length framing for TCP byte streams ----*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stream framing the TCP transport wraps around rt/Wire.h frames:
+/// a little-endian u32 payload length followed by the payload bytes,
+/// written with the same codec the wire format and the WAL use — so a
+/// message travels over TCP byte-identical to how the in-process bus
+/// delivers it, plus exactly four prefix bytes.
+///
+/// The FrameSplitter reassembles frames from arbitrary read() chunk
+/// boundaries, using the codec's bounds-checked Cursor to parse each
+/// header; a frame claiming more than the codec's blob bound poisons
+/// the stream (the caller drops the connection), mirroring how a
+/// malformed bus frame is dropped rather than trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_NET_FRAMING_H
+#define ADORE_NET_FRAMING_H
+
+#include "core/Codec.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace adore {
+namespace net {
+
+/// Max payload one stream frame may claim; shares the codec's sanity
+/// bound, so nothing framed here can smuggle in what a wire decoder
+/// would reject as absurd anyway.
+constexpr uint64_t MaxFramePayload = codec::MaxBlob;
+
+/// Bytes the length prefix adds in front of every payload.
+constexpr size_t FrameHeaderBytes = 4;
+
+/// True iff \p Payload fits the framing bound.
+inline bool frameable(const std::string &Payload) {
+  return Payload.size() <= MaxFramePayload;
+}
+
+/// Appends the length-framed encoding of \p Payload to \p Out. The
+/// caller must have checked frameable() first; oversized payloads are
+/// dropped upstream, never truncated here.
+inline void appendFrame(std::string &Out, const std::string &Payload) {
+  codec::putU32(Out, static_cast<uint32_t>(Payload.size()));
+  Out += Payload;
+}
+
+/// Incremental reassembler: feed it raw stream bytes in whatever chunks
+/// the socket produces, get complete payloads out in order. Single
+/// connection, single thread.
+class FrameSplitter {
+public:
+  /// Consumes \p N bytes from \p Data, invoking \p OnFrame(payload) for
+  /// every completed frame. Returns false once the stream is poisoned
+  /// (a header claimed more than MaxFramePayload) — the connection must
+  /// be dropped, as no later byte can be trusted.
+  template <typename Fn> bool feed(const char *Data, size_t N, Fn &&OnFrame) {
+    if (Poisoned)
+      return false;
+    Buf.append(Data, N);
+    for (;;) {
+      if (Buf.size() - Pos < FrameHeaderBytes)
+        break;
+      codec::Cursor C{Buf, Pos};
+      uint64_t Len = C.u32();
+      if (Len > MaxFramePayload) {
+        Poisoned = true;
+        return false;
+      }
+      if (Buf.size() - C.Pos < Len)
+        break;
+      std::string Payload = Buf.substr(C.Pos, static_cast<size_t>(Len));
+      Pos = C.Pos + static_cast<size_t>(Len);
+      OnFrame(std::move(Payload));
+    }
+    // Compact lazily: only once the consumed prefix dominates, so
+    // steady-state streaming is amortized O(1) per byte.
+    if (Pos > 4096 && Pos * 2 >= Buf.size()) {
+      Buf.erase(0, Pos);
+      Pos = 0;
+    }
+    return true;
+  }
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t pendingBytes() const { return Buf.size() - Pos; }
+
+  bool poisoned() const { return Poisoned; }
+
+private:
+  std::string Buf;
+  size_t Pos = 0;
+  bool Poisoned = false;
+};
+
+} // namespace net
+} // namespace adore
+
+#endif // ADORE_NET_FRAMING_H

@@ -5,55 +5,59 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal thread-safe in-process message bus: nodes register a
-/// delivery handler once at setup, then any thread posts serialized
-/// frames to a node id. The bus carries opaque byte strings only (see
-/// rt/Wire.h), mirroring a datagram transport; frames to unknown ids are
-/// silently dropped, like packets to a dead host.
+/// A minimal thread-safe in-process transport: nodes register a
+/// delivery handler, then any thread posts serialized frames to a node
+/// id and the handler runs synchronously on the posting thread. The bus
+/// carries opaque byte strings only (see rt/Wire.h), mirroring a
+/// datagram transport; frames to unknown ids are silently dropped, like
+/// packets to a dead host.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ADORE_RT_BUS_H
 #define ADORE_RT_BUS_H
 
+#include "rt/Transport.h"
 #include "support/Ids.h"
 #include "support/Sync.h"
 
-#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 
 namespace adore {
 namespace rt {
 
-/// Byte-oriented point-to-point bus. attach() all handlers before any
-/// post() traffic starts; handlers must be internally thread-safe (they
-/// run on the posting thread).
-class Bus {
+/// Byte-oriented point-to-point bus; the in-process Transport
+/// implementation. Handlers run on the posting thread and must be
+/// internally thread-safe.
+class Bus final : public Transport {
 public:
-  using Handler = std::function<void(std::string Frame)>;
-
-  /// Registers the delivery handler for \p Id, replacing any previous
-  /// one.
-  void attach(NodeId Id, Handler H) {
+  void attach(NodeId Id, Handler H) override {
     sync::MutexLock Lock(Mu);
     Handlers[Id] = std::move(H);
   }
 
-  /// Delivers \p Frame to \p To; drops it if nobody is attached.
-  void post(NodeId To, std::string Frame) {
-    const Handler *H = nullptr;
+  void detach(NodeId Id) override {
+    sync::MutexLock Lock(Mu);
+    Handlers.erase(Id);
+  }
+
+  /// Delivers \p Frame to \p To; drops it if nobody is attached. The
+  /// handler is copied out under the lock: a pointer into Handlers
+  /// would dangle if a concurrent attach()/detach() touched the entry
+  /// between unlock and invocation. Invoking outside the lock keeps bus
+  /// and inbox lock scopes disjoint.
+  void post(NodeId To, std::string Frame) override {
+    Handler H;
     {
       sync::MutexLock Lock(Mu);
       auto It = Handlers.find(To);
       if (It != Handlers.end())
-        H = &It->second;
+        H = It->second;
     }
-    // Handlers are never detached while traffic flows, so the pointer
-    // stays valid past the lock; invoking outside it keeps bus and
-    // inbox lock scopes disjoint.
     if (H)
-      (*H)(std::move(Frame));
+      H(std::move(Frame));
   }
 
 private:

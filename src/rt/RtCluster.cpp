@@ -6,6 +6,7 @@
 
 #include "rt/RtCluster.h"
 
+#include "net/TcpTransport.h"
 #include "support/Rng.h"
 
 #include <chrono>
@@ -22,10 +23,20 @@ std::chrono::steady_clock::time_point deadlineIn(uint64_t Ms) {
 
 } // namespace
 
+std::unique_ptr<Transport> rt::makeTransport(TransportKind K) {
+  switch (K) {
+  case TransportKind::Bus:
+    return std::make_unique<Bus>();
+  case TransportKind::Tcp:
+    return std::make_unique<net::TcpTransport>();
+  }
+  return std::make_unique<Bus>();
+}
+
 RtCluster::RtCluster(RtClusterOptions Opts)
     : Opts(Opts), Scheme(makeScheme(Opts.Scheme)),
-      OwnNet(Opts.SharedBus ? nullptr : std::make_unique<Bus>()),
-      Net(Opts.SharedBus ? Opts.SharedBus : OwnNet.get()) {
+      OwnNet(Opts.SharedNet ? nullptr : makeTransport(Opts.Transport)),
+      Net(Opts.SharedNet ? Opts.SharedNet : OwnNet.get()) {
   size_t Total = Opts.NumNodes + Opts.NumSpares;
   NodeSet Members;
   for (size_t I = 1; I <= Opts.NumNodes; ++I)
@@ -72,7 +83,7 @@ RtCluster::RtCluster(RtClusterOptions Opts)
     store::NodeStore *St = Opts.DurableStore ? Stores[I - 1].get() : nullptr;
     Nodes.push_back(std::make_unique<RtNode>(
         Opts.IdBase + static_cast<NodeId>(I), *Scheme, InitialConf,
-        Opts.Node, SeedRng.next(), *Net, Hooks, St));
+        Opts.Node, SeedRng.next(), *Net, Hooks, St, Opts.Host));
   }
 }
 
@@ -178,6 +189,21 @@ bool RtCluster::submitAndWait(MethodId Method, uint64_t TimeoutMs) {
     if (std::chrono::steady_clock::now() >= Deadline)
       return false;
   }
+}
+
+void RtCluster::submitAsync(MethodId Method, uint64_t ClientSeq,
+                            size_t Rotor) {
+  RtNode *Target = nullptr;
+  for (const auto &N : Nodes) {
+    RtNodeStatus S = N->status();
+    if (!S.Crashed && S.Role == core::Role::Leader) {
+      Target = N.get();
+      break;
+    }
+  }
+  if (!Target)
+    Target = Nodes[Rotor % Nodes.size()].get();
+  Target->submit(Method, ClientSeq);
 }
 
 bool RtCluster::reconfigAndWait(const Config &NewConf, uint64_t TimeoutMs) {

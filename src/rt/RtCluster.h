@@ -21,6 +21,7 @@
 
 #include "rt/Bus.h"
 #include "rt/RtNode.h"
+#include "rt/Transport.h"
 #include "store/NodeStore.h"
 #include "support/Sync.h"
 
@@ -31,6 +32,13 @@
 
 namespace adore {
 namespace rt {
+
+/// Which Transport implementation an RtCluster (or sharded pool) wires
+/// its nodes to when it owns the fabric itself.
+enum class TransportKind : uint8_t {
+  Bus, ///< In-process rt::Bus, synchronous delivery (the default).
+  Tcp, ///< Loopback TCP via net::TcpTransport (epoll loop thread).
+};
 
 /// Knobs for an RtCluster run. Core timeouts default much faster than
 /// the simulator's so smoke tests converge in tens of milliseconds.
@@ -46,10 +54,16 @@ struct RtClusterOptions {
   /// what makes frames on a shared bus group-tagged: the endpoint id
   /// itself names the group.
   NodeId IdBase = 0;
-  /// Attach the nodes to this caller-owned bus instead of an internal
-  /// one; must outlive the cluster. This is the rt multiplexing seam: N
-  /// groups on one bus, kept apart purely by disjoint endpoint ids.
-  Bus *SharedBus = nullptr;
+  /// The fabric the cluster creates when it owns one (SharedNet unset).
+  TransportKind Transport = TransportKind::Bus;
+  /// Attach the nodes to this caller-owned transport instead of an
+  /// internal one; must outlive the cluster (Transport is then
+  /// ignored). This is the rt multiplexing seam: N groups on one
+  /// fabric, kept apart purely by disjoint endpoint ids.
+  rt::Transport *SharedNet = nullptr;
+  /// Host-side tuning applied to every node (inbox batch draining for
+  /// WAL group commit).
+  RtHostOptions Host;
   /// Prepended to every node's store directory ("g2/" makes node 2001
   /// persist under "g2/n2001"), so groups sharing one disk stay apart.
   std::string StoreDirPrefix;
@@ -77,6 +91,10 @@ struct RtClusterOptions {
   /// cluster; StoreFaults is ignored.
   store::Vfs *ExternalDisk = nullptr;
 
+  static const char *transportName(TransportKind K) {
+    return K == TransportKind::Tcp ? "tcp" : "bus";
+  }
+
   static core::CoreOptions fastNodeOptions() {
     core::CoreOptions O;
     O.ElectionTimeoutMinUs = 50000;
@@ -85,6 +103,11 @@ struct RtClusterOptions {
     return O;
   }
 };
+
+/// Creates an owned fabric of the given kind (rt::Bus or the TCP
+/// backend); the seam every harness that owns its transport goes
+/// through.
+std::unique_ptr<Transport> makeTransport(TransportKind K);
 
 /// Owns the bus, the nodes, and the cross-node observations.
 class RtCluster {
@@ -122,6 +145,14 @@ public:
   /// ledger check) to rotating targets until it shows up committed or
   /// \p TimeoutMs elapses. Returns true on observed commitment.
   bool submitAndWait(MethodId Method, uint64_t TimeoutMs);
+
+  /// Fire-and-forget client command with a caller-chosen sequence
+  /// number: posted once to the node currently claiming leadership
+  /// (round-robin fallback by \p Rotor), with NO commitment wait.
+  /// Open-loop load generators track completion through OnApplyExtra
+  /// by ClientSeq; caller-chosen sequence numbers must stay disjoint
+  /// from submitAndWait's internal allocator (which counts up from 1).
+  void submitAsync(MethodId Method, uint64_t ClientSeq, size_t Rotor = 0);
 
   /// Asks nodes to commit a membership change to \p NewConf; returns
   /// true once a Reconfig entry carrying it is observed committed.
@@ -168,10 +199,10 @@ private:
   RtClusterOptions Opts;
   std::unique_ptr<ReconfigScheme> Scheme;
   Config InitialConf;
-  /// Owned unless Opts.SharedBus points at a caller's bus (the sharded
-  /// pool seam); Net is the one actually wired to the nodes.
-  std::unique_ptr<Bus> OwnNet;
-  Bus *Net;
+  /// Owned unless Opts.SharedNet points at a caller's transport (the
+  /// sharded pool seam); Net is the one actually wired to the nodes.
+  std::unique_ptr<Transport> OwnNet;
+  Transport *Net;
   /// Declared before Nodes: stores must outlive the nodes holding
   /// pointers into them (destruction runs bottom-up, after stop()).
   std::unique_ptr<store::MemVfs> Disk;

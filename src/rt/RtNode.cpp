@@ -10,14 +10,15 @@
 #include "store/NodeStore.h"
 
 #include <algorithm>
+#include <vector>
 
 using namespace adore;
 using namespace adore::rt;
 
 RtNode::RtNode(NodeId Id, const ReconfigScheme &Scheme, Config InitialConf,
-               core::CoreOptions Opts, uint64_t Seed, Bus &Net,
-               RtNodeHooks Hooks, store::NodeStore *Store)
-    : Id(Id), Net(&Net), Hooks(std::move(Hooks)),
+               core::CoreOptions Opts, uint64_t Seed, Transport &Net,
+               RtNodeHooks Hooks, store::NodeStore *Store, RtHostOptions Host)
+    : Id(Id), Net(&Net), Hooks(std::move(Hooks)), Host(Host),
       Core(Id, Scheme, std::move(InitialConf), Opts, Seed),
       Epoch(Clock::now()), Store(Store) {
   // Adopt whatever the store's directory already holds, before the
@@ -53,7 +54,13 @@ void RtNode::recoverFromStore(bool CheckAgainstCore) {
                            RS.CommitIndex);
 }
 
-RtNode::~RtNode() { stop(); }
+RtNode::~RtNode() {
+  stop();
+  // End the endpoint's transport lifetime before members die: an
+  // asynchronous transport (TCP loop thread) may still hold buffered
+  // frames for this id, and must stop invoking enqueueFrame now.
+  Net->detach(Id);
+}
 
 void RtNode::start() {
   // LifeMu serializes whole lifecycle transitions; without it, a
@@ -177,10 +184,31 @@ void RtNode::run() {
       Cv.wait(Mu);
       continue;
     }
-    Item It = std::move(Inbox.front());
+    // Drain a batch: consecutive core-step items (frames, submits,
+    // reconfigs) coalesce into ONE effect batch, so a store-backed
+    // host's persist pre-pass fsyncs once for the whole burst (group
+    // commit). Crash/restart are barriers and run alone, preserving
+    // their store side-effect ordering. MaxInboxBatch=1 reproduces the
+    // legacy one-item-one-dispatch schedule exactly.
+    Item First = std::move(Inbox.front());
     Inbox.pop_front();
-    Lock.unlock();
-    process(It);
+    if (!isBatchable(First)) {
+      Lock.unlock();
+      processBarrier(First);
+    } else {
+      std::vector<Item> Batch;
+      Batch.push_back(std::move(First));
+      while (Batch.size() < Host.MaxInboxBatch && !Inbox.empty() &&
+             isBatchable(Inbox.front())) {
+        Batch.push_back(std::move(Inbox.front()));
+        Inbox.pop_front();
+      }
+      Lock.unlock();
+      core::Effects Effs;
+      for (Item &It : Batch)
+        step(It, Effs);
+      dispatch(std::move(Effs));
+    }
     // Timers may have come due while processing; handle them before
     // sleeping again.
     fireDueTimers();
@@ -188,7 +216,12 @@ void RtNode::run() {
   }
 }
 
-void RtNode::process(Item &It) {
+bool RtNode::isBatchable(const Item &It) {
+  return It.K == Item::Kind::Frame || It.K == Item::Kind::Submit ||
+         It.K == Item::Kind::Reconfig;
+}
+
+void RtNode::step(Item &It, core::Effects &Out) {
   switch (It.K) {
   case Item::Kind::Frame: {
     core::Msg M;
@@ -196,21 +229,26 @@ void RtNode::process(Item &It) {
       Malformed.fetch_add(1, std::memory_order_relaxed);
       return; // Malformed frame: dropped like a corrupt packet.
     }
-    dispatch(Core.onMessage(M, nowUs()));
+    core::Effects Step = Core.onMessage(M, nowUs());
+    for (core::Effect &E : Step)
+      Out.push_back(std::move(E));
     return;
   }
-  case Item::Kind::Submit: {
-    core::Effects Effs;
-    Core.submit(It.Method, It.ClientSeq, Effs);
-    dispatch(std::move(Effs));
+  case Item::Kind::Submit:
+    Core.submit(It.Method, It.ClientSeq, Out);
+    return;
+  case Item::Kind::Reconfig:
+    Core.requestReconfig(It.Conf, Out);
+    return;
+  case Item::Kind::Crash:
+  case Item::Kind::Restart:
+    // Barriers never reach here; run() routes them to processBarrier.
     return;
   }
-  case Item::Kind::Reconfig: {
-    core::Effects Effs;
-    Core.requestReconfig(It.Conf, Effs);
-    dispatch(std::move(Effs));
-    return;
-  }
+}
+
+void RtNode::processBarrier(Item &It) {
+  switch (It.K) {
   case Item::Kind::Crash:
     dispatch(Core.crash());
     if (Store)
@@ -222,6 +260,11 @@ void RtNode::process(Item &It) {
     if (Store && Core.isCrashed())
       recoverFromStore(/*CheckAgainstCore=*/true);
     dispatch(Core.restart());
+    return;
+  case Item::Kind::Frame:
+  case Item::Kind::Submit:
+  case Item::Kind::Reconfig:
+    // Batchable items never reach here; run() routes them to step().
     return;
   }
 }

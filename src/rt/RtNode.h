@@ -25,7 +25,7 @@
 #define ADORE_RT_RTNODE_H
 
 #include "core/RaftCore.h"
-#include "rt/Bus.h"
+#include "rt/Transport.h"
 #include "support/Sync.h"
 
 #include <atomic>
@@ -54,6 +54,17 @@ struct RtNodeHooks {
   std::function<void(NodeId, NodeId, bool)> OnSuspicion;
 };
 
+/// Host-side tuning, orthogonal to core::CoreOptions.
+struct RtHostOptions {
+  /// Max consecutive inbox items (frames / submits / reconfigs) drained
+  /// and stepped through the core as ONE effect batch. A store-backed
+  /// host fsyncs once per dispatched batch, so raising this makes one
+  /// WAL sync cover a whole pipelined burst of appends (group commit).
+  /// 1 = legacy one-item-one-dispatch behavior. Crash/restart items
+  /// never coalesce; they are batch barriers.
+  size_t MaxInboxBatch = 1;
+};
+
 /// Lock-free-readable snapshot of a node, refreshed by its thread after
 /// every step.
 struct RtNodeStatus {
@@ -77,8 +88,9 @@ public:
   /// disk down on crash, and recovers from it on restart (cross-checking
   /// the result against the in-memory copy).
   RtNode(NodeId Id, const ReconfigScheme &Scheme, Config InitialConf,
-         core::CoreOptions Opts, uint64_t Seed, Bus &Net,
-         RtNodeHooks Hooks, store::NodeStore *Store = nullptr);
+         core::CoreOptions Opts, uint64_t Seed, Transport &Net,
+         RtNodeHooks Hooks, store::NodeStore *Store = nullptr,
+         RtHostOptions Host = {});
   ~RtNode();
 
   RtNode(const RtNode &) = delete;
@@ -140,7 +152,13 @@ private:
   void run();
   void enqueue(Item It);
   uint64_t nowUs() const;
-  void process(Item &It);
+  /// True for items that may coalesce into one effect batch; false for
+  /// crash/restart barriers.
+  static bool isBatchable(const Item &It);
+  /// Steps one batchable item through the core, appending its effects.
+  void step(Item &It, core::Effects &Out);
+  /// Runs one crash/restart barrier item (its own dispatch inside).
+  void processBarrier(Item &It);
   void fireDueTimers();
   void dispatch(core::Effects Effs);
   void publishStatus();
@@ -159,8 +177,9 @@ private:
   std::optional<Clock::time_point> nextDeadline() const;
 
   NodeId Id;
-  Bus *Net;
+  Transport *Net;
   RtNodeHooks Hooks;
+  RtHostOptions Host;
   core::RaftCore Core; ///< Worker-thread only once start()ed.
   Clock::time_point Epoch;
 

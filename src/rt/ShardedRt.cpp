@@ -13,7 +13,8 @@
 using namespace adore;
 using namespace adore::rt;
 
-ShardedRtCluster::ShardedRtCluster(ShardedRtOptions O) : Opts(std::move(O)) {
+ShardedRtCluster::ShardedRtCluster(ShardedRtOptions O)
+    : Opts(std::move(O)), Net(makeTransport(Opts.Group.Transport)) {
   Committed = shard::makeUniformPoolMap(
       static_cast<uint32_t>(Opts.Groups), Opts.NumShards,
       static_cast<uint32_t>(Opts.Members), static_cast<uint32_t>(Opts.Spares),
@@ -26,7 +27,7 @@ ShardedRtCluster::ShardedRtCluster(ShardedRtOptions O) : Opts(std::move(O)) {
        ++G) {
     RtClusterOptions GO = Opts.Group;
     GO.IdBase = shard::groupIdBase(G);
-    GO.SharedBus = &Net;
+    GO.SharedNet = Net.get();
     GO.Seed = Master.next();
     GO.StoreDirPrefix = "g" + std::to_string(G) + "/";
     if (G == shard::MetaGroupId) {
@@ -38,7 +39,10 @@ ShardedRtCluster::ShardedRtCluster(ShardedRtOptions O) : Opts(std::move(O)) {
     } else {
       GO.NumNodes = Opts.Members;
       GO.NumSpares = Opts.Spares;
-      GO.OnApplyExtra = nullptr;
+      // Data groups keep the caller's tap (the meta group's slot is
+      // taken by the pool-map state machine above): open-loop load
+      // generators track completion through it.
+      GO.OnApplyExtra = Opts.Group.OnApplyExtra;
     }
     GroupClusters.push_back(std::make_unique<RtCluster>(GO));
   }

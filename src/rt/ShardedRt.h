@@ -46,9 +46,9 @@ namespace rt {
 /// Knobs for a threaded sharded pool.
 struct ShardedRtOptions {
   /// Template applied to every group (scheme, core timeouts, durable
-  /// store). NumNodes/NumSpares/IdBase/SharedBus/StoreDirPrefix/
-  /// OnApplyExtra are overwritten per group; Seed seeds the pool-wide
-  /// master stream.
+  /// store, transport kind). NumNodes/NumSpares/IdBase/SharedNet/
+  /// StoreDirPrefix/OnApplyExtra are overwritten per group; Seed seeds
+  /// the pool-wide master stream.
   RtClusterOptions Group;
   /// Data consensus groups (the metadata group is extra).
   size_t Groups = 2;
@@ -116,7 +116,8 @@ private:
 
   ShardedRtOptions Opts;
   /// Declared before the clusters: every node posts to it until stop().
-  Bus Net;
+  /// Kind chosen by Opts.Group.Transport (bus or loopback TCP).
+  std::unique_ptr<Transport> Net;
   /// Slot 0 = metadata group.
   std::vector<std::unique_ptr<RtCluster>> GroupClusters;
 

@@ -208,3 +208,29 @@ TEST(CoreNetModelTest, ResultsAreIdenticalAcrossThreadCounts) {
   EXPECT_EQ(Results[0].Depth, Results[1].Depth);
   EXPECT_EQ(Results[0].Truncated, Results[1].Truncated);
 }
+
+TEST(CoreNetModelTest, PipelinedAndBatchedTuningStaysSafe) {
+  // The replication hot path (PipelineWindow > 1, MaxAppendBatch > 1)
+  // runs through the model checker's invariants too: windowed frames
+  // with stale PrevIndex anchors, deferred batch flushes, and the
+  // heartbeat rewind all interleave with elections and message loss
+  // here. Safety must come from the consensus rules, not from the
+  // stop-and-wait schedule the defaults happen to take.
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 2;
+  Opts.MaxPending = 4;
+  Opts.WithReconfig = false;
+  core::CoreOptions CoreOpts;
+  CoreOpts.PipelineWindow = 2;
+  CoreOpts.MaxAppendBatch = 2;
+  CoreNetModel M = H.make(3, Opts, CoreOpts);
+  Engine<CoreNetModel> E(M, ExploreOptions{/*MaxDepth=*/0,
+                                           /*MaxStates=*/150000,
+                                           /*Threads=*/0, {}});
+  ExploreResult R = E.run();
+  EXPECT_FALSE(R.Violation.has_value()) << *R.Violation << "\nstate:\n"
+                                        << R.ViolatingState;
+  EXPECT_GT(R.States, 10000u);
+}

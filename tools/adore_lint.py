@@ -18,7 +18,9 @@ Rules (ids are stable; fixtures assert each one fires):
 
   layering          a pure-layer file includes (directly or through repo
                     headers) a header from an I/O layer (rt/, store/,
-                    sim/, chaos/, kv/).
+                    sim/, chaos/, kv/, net/); or a net/ file reaches up
+                    into the harness layers (sim/, chaos/, kv/) — the
+                    socket fabric must stay a neutral seam below them.
   purity-include    a pure-layer file pulls in a threading, clock, or
                     POSIX I/O system header (directly or transitively).
   purity-token      a pure-layer file calls a banned impurity: rand,
@@ -71,7 +73,14 @@ import sys
 PURE_LAYERS = {"core", "adore", "mc", "audit", "shard", "heal"}
 
 # Layers a pure layer may never include from.
-IMPURE_LAYERS = {"rt", "store", "sim", "chaos", "kv"}
+IMPURE_LAYERS = {"rt", "store", "sim", "chaos", "kv", "net"}
+
+# The socket layer sits below the runtimes: it may use rt's Transport
+# interface and the shared codec, but must never reach up into the
+# executable harnesses (sim's deterministic world or chaos's drivers).
+# A transport that knew about the test rigs above it could not be the
+# neutral seam the whole rt/chaos/bench stack swaps out.
+NET_FORBIDDEN_REACH = {"sim", "chaos", "kv"}
 
 # System headers that smuggle threads, clocks, or OS I/O into a pure
 # layer. <cstdio> is deliberately absent: snprintf-style formatting is
@@ -100,12 +109,12 @@ BANNED_TOKENS = [
     (re.compile(r"\bfopen\s*\("), "fopen()"),
 ]
 
-# Layers where reinterpret_cast is banned outright (pure layers plus the
-# two that decode untrusted bytes).
-NO_REINTERPRET_LAYERS = PURE_LAYERS | {"rt", "store"}
+# Layers where reinterpret_cast is banned outright (pure layers plus
+# those that decode untrusted bytes).
+NO_REINTERPRET_LAYERS = PURE_LAYERS | {"rt", "store", "net"}
 
 # Decoder-defining files in these layers must include core/Codec.h.
-CODEC_LAYERS = {"rt", "store"}
+CODEC_LAYERS = {"rt", "store", "net"}
 DECODER_DEF_RE = re.compile(
     r"^[ \t]*(?:static[ \t]+)?(?:bool|SegmentScan)[ \t]+"
     r"(?:\w+::)*(?:decode|parse|scan)\w*[ \t]*\([^;{}]*\)\s*\{",
@@ -125,6 +134,11 @@ ALLOWLIST = {
     # worker threads, barriers, and a progress clock by design. The
     # models it explores stay pure; the engine is the host seam.
     "mc/Engine.h": {"purity-include", "purity-token"},
+    # The socket syscall boundary: bind/connect/accept require the
+    # sockaddr aliasing dance the POSIX API forces. The casts are
+    # confined to the asSockaddr helpers; every byte that comes OFF the
+    # wire still parses through codec::Cursor (net/Framing.h).
+    "net/TcpTransport.cpp": {"decode-cast"},
 }
 
 SELF_TEST_EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([\w-]+)")
@@ -262,6 +276,9 @@ class Finding:
 
 
 def check_layering(src, files, findings):
+    if src.layer == "net":
+        _check_net_reach(src, files, findings)
+        return
     if src.layer not in PURE_LAYERS:
         return
     for line, inc in src.quoted_includes:
@@ -281,6 +298,27 @@ def check_layering(src, files, findings):
                 "layering", src.rel, 1,
                 "pure layer '%s' transitively includes \"%s\" (%s)"
                 % (src.layer, inc, chain_str(chain, inc, src.rel))))
+
+
+def _check_net_reach(src, files, findings):
+    """net sits below the runtimes: reaching up into sim/chaos/kv would
+    couple the neutral transport seam to the harnesses built on it."""
+    direct = {i for _, i in src.quoted_includes}
+    for line, inc in src.quoted_includes:
+        top = inc.split("/", 1)[0]
+        if top in NET_FORBIDDEN_REACH:
+            findings.append(Finding(
+                "layering", src.rel, line,
+                "net layer includes \"%s\" from harness layer '%s'"
+                % (inc, top)))
+    reach, chain = transitive_repo_includes(files, src.rel)
+    for inc in sorted(reach):
+        top = inc.split("/", 1)[0]
+        if top in NET_FORBIDDEN_REACH and inc not in direct:
+            findings.append(Finding(
+                "layering", src.rel, 1,
+                "net layer transitively includes \"%s\" (%s)"
+                % (inc, chain_str(chain, inc, src.rel))))
 
 
 def _direct_pairs(src):

@@ -1,0 +1,16 @@
+// Fixture: a pure consensus-layer header depending on the socket
+// fabric — the core must stay hostable by the model checker, which has
+// no network.
+#ifndef FIXTURE_CORE_BADNETREACH_H
+#define FIXTURE_CORE_BADNETREACH_H
+
+// LINT-EXPECT: layering
+#include "net/Framing.h"
+
+namespace fixture {
+
+inline int useNet() { return 0; }
+
+} // namespace fixture
+
+#endif // FIXTURE_CORE_BADNETREACH_H

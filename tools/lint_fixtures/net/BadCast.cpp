@@ -1,0 +1,13 @@
+// Fixture: reinterpreting raw buffer memory in the net layer outside
+// the allowlisted sockaddr seam.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+uint32_t peekHeader(const std::string &Bytes) {
+  // LINT-EXPECT: decode-cast
+  return *reinterpret_cast<const uint32_t *>(Bytes.data());
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: a net-layer frame parser that hand-rolls its byte reading
+// instead of going through the shared bounds-checked codec.
+#include <cstddef>
+#include <string>
+
+namespace fixture {
+
+// LINT-EXPECT: codec-discipline
+static bool parseFrameHeader(const std::string &Bytes, size_t &Len) {
+  if (Bytes.size() < 4)
+    return false;
+  Len = static_cast<unsigned char>(Bytes[0]) |
+        (static_cast<unsigned char>(Bytes[1]) << 8) |
+        (static_cast<unsigned char>(Bytes[2]) << 16) |
+        (static_cast<unsigned char>(Bytes[3]) << 24);
+  return true;
+}
+
+bool useParse(const std::string &B) {
+  size_t Len = 0;
+  return parseFrameHeader(B, Len);
+}
+
+} // namespace fixture

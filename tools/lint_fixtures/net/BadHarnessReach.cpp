@@ -1,0 +1,13 @@
+// Fixture: the socket layer reaching up into the harness layers it is
+// supposed to sit below.
+
+// LINT-EXPECT: layering
+#include "chaos/RtRun.h"
+// LINT-EXPECT: layering
+#include "sim/Cluster.h"
+
+namespace fixture {
+
+int useHarness() { return 0; }
+
+} // namespace fixture
