@@ -108,7 +108,7 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0) {
       Sweep.Smoke = true;
-      Sweep.SeedsPerScenario = 25; // 11 scenarios -> 275 runs.
+      Sweep.SeedsPerScenario = 25; // 12 scenarios -> 300 runs.
     } else if (std::strcmp(Argv[I], "--durable") == 0) {
       Sweep.Durable = true;
     } else if (std::strcmp(Argv[I], "--seeds") == 0 && I + 1 < Argc) {

@@ -37,6 +37,14 @@
 //                                    group-commit ratios
 //   bench_throughput --groups N      drive the sharded pool (N data
 //                                    groups, keyed round-robin)
+//   bench_throughput --read-ratio F  add a read-tier ladder: for each
+//                                    tier (log, read_index, lease,
+//                                    follower_lease) run a closed-loop
+//                                    mixed workload where fraction F of
+//                                    ops are linearizable reads, and
+//                                    report read ops/sec + p50/p99 per
+//                                    tier. F in [0,1]; 0 (default)
+//                                    skips the ladder entirely.
 //
 // Output: a per-run table, BENCH_throughput.json, and a baseline-vs-
 // pipelined summary. Exit is nonzero iff a run failed outright (no
@@ -46,6 +54,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "net/TcpTransport.h"
+#include "read/ReadPath.h"
 #include "rt/RtCluster.h"
 #include "rt/ShardedRt.h"
 #include "support/Json.h"
@@ -76,6 +85,10 @@ struct BenchOptions {
   size_t Batch = 16;
   bool Durable = false;
   size_t Groups = 1;
+  /// Fraction of ops served as linearizable reads in the read-tier
+  /// ladder; 0 keeps the ladder (and its JSON keys) out entirely, so
+  /// legacy reports stay byte-identical.
+  double ReadRatio = 0;
 };
 
 /// One (transport, tuning, mode) cell's knobs.
@@ -106,7 +119,7 @@ int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--smoke] [--ops N] [--transport=bus|tcp|both] "
                "[--mode=open|closed|both] [--window N] [--batch N] "
-               "[--durable] [--groups N]\n",
+               "[--durable] [--groups N] [--read-ratio F]\n",
                Prog);
   return 2;
 }
@@ -348,6 +361,116 @@ bool parseCount(const char *Arg, size_t &Out) {
   return true;
 }
 
+bool parseRatio(const char *Arg, double &Out) {
+  char *End = nullptr;
+  double R = std::strtod(Arg, &End);
+  if (End == Arg || *End != '\0' || !(R >= 0.0 && R <= 1.0))
+    return false;
+  Out = R;
+  return true;
+}
+
+/// One tier of the read ladder: a 3-node cluster with the tier's core
+/// knobs applied, driven closed-loop with \p Ratio of the ops issued
+/// as linearizable reads. The Off tier has no read machinery, so its
+/// "reads" replicate through the log like writes — that is the
+/// baseline the ladder is measured against.
+struct ReadRunResult {
+  bool Ok = false;
+  std::string Error;
+  size_t Reads = 0;
+  size_t Writes = 0;
+  double ElapsedS = 0;
+  double ReadOpsPerSec = 0;
+  SampleStats ReadLatencyUs;
+  size_t StaleReads = 0;
+};
+
+ReadRunResult runReadTier(const BenchOptions &Bench, rt::TransportKind T,
+                          read::ReadTier Tier, size_t Ops) {
+  ReadRunResult R;
+
+  // Stop-and-wait knobs, deliberately: a single closed-loop client
+  // never fills a pipeline window, and deep inbox batching makes the
+  // WAL group commit hold a solitary write until heartbeat traffic
+  // pads the batch — which would charge ~one heartbeat interval to
+  // every write and drown the tier effect this ladder isolates.
+  RunSpec Spec;
+  Spec.Transport = T;
+  rt::RtClusterOptions CO = clusterOptionsFor(Bench, Spec, /*Seed=*/0xEA);
+  read::ReadOptions RO;
+  RO.Tier = Tier;
+  // Lease shorter than the election-timeout floor, renewed by every
+  // 15ms heartbeat; the 10% declared drift derates it to 24ms, so the
+  // fast path stays hot for the whole run.
+  RO.LeaseDurationUs = 30000;
+  RO.MaxDriftPpm = 100000;
+  read::applyTier(RO, CO.Node);
+  std::unique_ptr<rt::Transport> Fabric = rt::makeTransport(T);
+  CO.SharedNet = Fabric.get();
+
+  rt::RtCluster Cluster(CO);
+  Cluster.start();
+  if (Cluster.waitForLeader(5000) == InvalidNodeId) {
+    R.Error = "no leader elected within 5s";
+    return R;
+  }
+  for (int I = 0; I != 3; ++I)
+    if (!Cluster.submitAndWait(/*Method=*/900 + I, /*TimeoutMs=*/3000)) {
+      R.Error = "warmup op timed out";
+      return R;
+    }
+
+  // Deterministic read/write interleaving by error accumulation: the
+  // read fraction converges on ReadRatio without any RNG, so two runs
+  // of the same tier issue the identical op sequence.
+  double Acc = 0;
+  uint64_t T0 = monoUs();
+  for (size_t I = 0; I != Ops; ++I) {
+    Acc += Bench.ReadRatio;
+    bool IsRead = Acc >= 1.0;
+    if (IsRead) {
+      Acc -= 1.0;
+      uint64_t OpStart = monoUs();
+      bool Done;
+      if (Tier == read::ReadTier::Off) {
+        // No read machinery: a linearizable read IS a log append.
+        Done = Cluster.submitAndWait(static_cast<MethodId>(I), 3000);
+      } else {
+        // The follower tier alternates targets so both the follower
+        // fast path and the leader path show up in the numbers.
+        bool AtFollower = Tier == read::ReadTier::FollowerLease && I % 2 == 0;
+        Done = Cluster.readAndWait(3000, AtFollower).has_value();
+      }
+      if (!Done) {
+        R.Error = "read timed out";
+        return R;
+      }
+      R.ReadLatencyUs.add(static_cast<double>(monoUs() - OpStart));
+      ++R.Reads;
+    } else {
+      if (!Cluster.submitAndWait(static_cast<MethodId>(I), 3000)) {
+        R.Error = "write timed out";
+        return R;
+      }
+      ++R.Writes;
+    }
+  }
+  R.ElapsedS = static_cast<double>(monoUs() - T0) / 1e6;
+  Cluster.stop();
+  // readAndWait checks every answer against the committed ledger; any
+  // stale read is a correctness failure, not a performance datum.
+  R.StaleReads = Cluster.violations().size();
+  if (R.StaleReads != 0) {
+    R.Error = "stale-read violations: " + Cluster.violations().front();
+    return R;
+  }
+  if (R.ElapsedS > 0 && R.Reads > 0)
+    R.ReadOpsPerSec = static_cast<double>(R.Reads) / R.ElapsedS;
+  R.Ok = true;
+  return R;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -376,6 +499,12 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Argv[I], "--groups") == 0 && I + 1 < Argc) {
       if (!parseCount(Argv[++I], Bench.Groups)) {
         std::fprintf(stderr, "error: --groups needs a positive integer\n");
+        return usage(Argv[0]);
+      }
+    } else if (std::strcmp(Argv[I], "--read-ratio") == 0 && I + 1 < Argc) {
+      if (!parseRatio(Argv[++I], Bench.ReadRatio)) {
+        std::fprintf(stderr,
+                     "error: --read-ratio needs a number in [0,1]\n");
         return usage(Argv[0]);
       }
     } else if (std::strncmp(Argv[I], "--transport=", 12) == 0) {
@@ -518,6 +647,58 @@ int main(int Argc, char **Argv) {
     W.endObject();
   }
   W.endArray();
+
+  // The read-tier ladder: same cluster shape, closed-loop mixed
+  // workload, one run per (transport, tier). Gated on --read-ratio so
+  // a legacy invocation's JSON is byte-identical to before the ladder
+  // existed.
+  if (Bench.ReadRatio > 0) {
+    size_t ReadOps = ClosedOps;
+    std::printf("\nread ladder: %.0f%% reads, %zu ops per tier\n",
+                Bench.ReadRatio * 100, ReadOps);
+    std::printf("%-4s %-14s %8s %8s %10s %9s %9s\n", "net", "tier",
+                "reads", "writes", "rd/sec", "rd-p50us", "rd-p99us");
+    W.key("read_ratio").value(Bench.ReadRatio);
+    W.key("read_runs").beginArray();
+    const read::ReadTier Tiers[] = {
+        read::ReadTier::Off, read::ReadTier::ReadIndex,
+        read::ReadTier::Lease, read::ReadTier::FollowerLease};
+    for (rt::TransportKind T : Transports)
+      for (read::ReadTier Tier : Tiers) {
+        ReadRunResult R = runReadTier(Bench, T, Tier, ReadOps);
+        const char *Net = rt::RtClusterOptions::transportName(T);
+        const char *Name = read::tierName(Tier);
+        if (!R.Ok) {
+          AnyFailed = true;
+          std::printf("%-4s %-14s FAILED: %s\n", Net, Name,
+                      R.Error.c_str());
+        } else {
+          std::printf("%-4s %-14s %8zu %8zu %10.0f %9.0f %9.0f\n", Net,
+                      Name, R.Reads, R.Writes, R.ReadOpsPerSec,
+                      R.ReadLatencyUs.percentile(50),
+                      R.ReadLatencyUs.percentile(99));
+        }
+        W.beginObject();
+        W.key("transport").value(Net);
+        W.key("tier").value(Name);
+        W.key("read_ratio").value(Bench.ReadRatio);
+        W.key("ok").value(R.Ok);
+        if (!R.Ok)
+          W.key("error").value(R.Error);
+        W.key("reads_completed").value(uint64_t(R.Reads));
+        W.key("writes_completed").value(uint64_t(R.Writes));
+        W.key("elapsed_s").value(R.ElapsedS);
+        W.key("read_ops_per_sec").value(R.ReadOpsPerSec);
+        if (!R.ReadLatencyUs.empty()) {
+          W.key("read_lat_us_mean").value(R.ReadLatencyUs.mean());
+          W.key("read_lat_us_p50").value(R.ReadLatencyUs.percentile(50));
+          W.key("read_lat_us_p99").value(R.ReadLatencyUs.percentile(99));
+        }
+        W.key("stale_read_violations").value(uint64_t(R.StaleReads));
+        W.endObject();
+      }
+    W.endArray();
+  }
   W.endObject();
   if (!W.writeFile("BENCH_throughput.json"))
     std::fprintf(stderr,

@@ -79,6 +79,21 @@ ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
     CO.Node.EnableSnapshotCatchup = true;
     CO.Node.SnapshotLagEntries = 8;
   }
+  // Clock-drift is the read-path scenario: every read tier is on, the
+  // nemesis wanders per-node clock skews, and gets go through the
+  // protocol read path (no log barrier). The parameters keep lease
+  // safety provable against the nemesis bound: effective lease =
+  // 100ms * (1 - 2*10%) = 80ms, and 80ms + 2*MaxSkewUs(20ms each way)
+  // stays under the 150ms minimum election timeout.
+  bool ReadPath = Opts.Nemesis.Kind == Scenario::ClockDrift;
+  Result.ReadPath = ReadPath;
+  if (ReadPath) {
+    CO.Node.EnableReadIndex = true;
+    CO.Node.EnableLease = true;
+    CO.Node.EnableFollowerReads = true;
+    CO.Node.LeaseDurationUs = 100000;
+    CO.Node.MaxDriftPpm = 100000;
+  }
   sim::Cluster C(*Scheme, Initial, Universe, CO, ClusterSeed);
 
   CommittedLedger Ledger;
@@ -168,12 +183,32 @@ ChaosRunResult adore::chaos::runChaosScenario(const ChaosRunOptions &Opts,
     uint32_t Key = static_cast<uint32_t>(W.nextBelow(WL.NumKeys));
     unsigned Draw = static_cast<unsigned>(W.nextBelow(1000));
     uint32_t Val = NextVal++;
-    C.queue().scheduleAt(At, [&Store, &WL, Key, Draw, Val] {
-      if (Draw < WL.GetPermille)
-        Store.get(
-            Key, [](bool, std::optional<uint32_t>, SimTime) {},
-            WL.OpTimeoutUs);
-      else if (Draw < WL.GetPermille + WL.DelPermille)
+    C.queue().scheduleAt(At, [&Store, &WL, &Result, Key, Draw, Val,
+                              ReadPath] {
+      if (Draw < WL.GetPermille) {
+        if (ReadPath) {
+          // Alternate leader-side and follower-side reads; the
+          // observer still records each as a Get, so the Wing & Gong
+          // check covers the read path end to end.
+          bool AtFollower = (Draw % 2) == 0;
+          ++Result.ReadsIssued;
+          if (AtFollower)
+            ++Result.ReadsAtFollower;
+          Store.getFast(
+              Key,
+              [&Result](bool Ok, std::optional<uint32_t>, SimTime) {
+                if (Ok)
+                  ++Result.ReadsOk;
+                else
+                  ++Result.ReadsFailed;
+              },
+              AtFollower, WL.OpTimeoutUs);
+        } else {
+          Store.get(
+              Key, [](bool, std::optional<uint32_t>, SimTime) {},
+              WL.OpTimeoutUs);
+        }
+      } else if (Draw < WL.GetPermille + WL.DelPermille)
         Store.del(Key, [](bool, SimTime) {}, WL.OpTimeoutUs);
       else
         Store.put(Key, Val, [](bool, SimTime) {}, WL.OpTimeoutUs);
@@ -348,6 +383,14 @@ void ChaosRunResult::addToJson(JsonWriter &W) const {
     W.key("heal_reconfig_retries").value(HealReconfigRetries);
     W.endObject();
   }
+  if (ReadPath) {
+    W.key("read_path").beginObject();
+    W.key("reads_issued").value(uint64_t(ReadsIssued));
+    W.key("reads_ok").value(uint64_t(ReadsOk));
+    W.key("reads_failed").value(uint64_t(ReadsFailed));
+    W.key("reads_at_follower").value(uint64_t(ReadsAtFollower));
+    W.endObject();
+  }
   W.key("committed_entries").value(uint64_t(CommittedEntries));
   if (!GroupStats.empty()) {
     W.key("pool_map").beginObject();
@@ -413,6 +456,10 @@ std::string ChaosRunResult::summary() const {
          " detect_us=" + std::to_string(TimeToDetectUs) +
          " refill_us=" + std::to_string(TimeToFullReplicationUs) +
          " snap_bytes=" + std::to_string(SnapshotBytesTransferred);
+  if (ReadPath)
+    S += " reads=" + std::to_string(ReadsOk) + "/" +
+         std::to_string(ReadsIssued) +
+         " follower_reads=" + std::to_string(ReadsAtFollower);
   if (DurableStore)
     S += " recoveries=" + std::to_string(Store.Recoveries) +
          " torn_tails=" + std::to_string(Store.TornTailsDetected);

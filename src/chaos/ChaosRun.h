@@ -147,6 +147,15 @@ struct ChaosRunResult {
   uint64_t HealReconfigsCommitted = 0;
   uint64_t HealReconfigRetries = 0;
 
+  // Read-path statistics (Scenario::ClockDrift runs only; the JSON keys
+  // are emitted only when ReadPath is set, which keeps every legacy
+  // report byte-identical).
+  bool ReadPath = false;
+  size_t ReadsIssued = 0;
+  size_t ReadsOk = 0;
+  size_t ReadsFailed = 0;
+  size_t ReadsAtFollower = 0;
+
   // Durable-store statistics (all zero unless the store was on).
   bool DurableStore = false;
   store::StoreStats Store;

@@ -38,6 +38,8 @@ const char *adore::chaos::scenarioName(Scenario S) {
     return "shard-reconfig";
   case Scenario::KillForever:
     return "kill-forever";
+  case Scenario::ClockDrift:
+    return "clock-drift";
   }
   ADORE_UNREACHABLE("unknown scenario");
 }
@@ -48,7 +50,7 @@ std::vector<Scenario> adore::chaos::allScenarios() {
           Scenario::NetChaos,  Scenario::Reconfigs,
           Scenario::SplitBrain, Scenario::CrashMidReconfig,
           Scenario::DiskFaults, Scenario::ShardReconfig,
-          Scenario::KillForever};
+          Scenario::KillForever, Scenario::ClockDrift};
 }
 
 static std::string nodeName(NodeId N) { return "S" + std::to_string(N); }
@@ -76,6 +78,7 @@ void Nemesis::start() {
   case Scenario::DiskFaults:
   case Scenario::ShardReconfig:
   case Scenario::KillForever:
+  case Scenario::ClockDrift:
     // Randomized scenarios: step() draws from the per-scenario move
     // set. Enumerated (no default) so a new Scenario must choose
     // scripted vs randomized explicitly. ShardReconfig is normally
@@ -148,6 +151,14 @@ void Nemesis::step() {
     break;
   case Scenario::KillForever:
     Moves = {&Nemesis::moveKillForever};
+    break;
+  case Scenario::ClockDrift:
+    // Skew churn is the point; crash/restart and reconfigs stress the
+    // lease's step-down and reconfig-append invalidation paths while
+    // clocks disagree.
+    Moves = {&Nemesis::moveClockDrift, &Nemesis::moveClockDrift,
+             &Nemesis::moveCrash, &Nemesis::moveRestart,
+             &Nemesis::moveReconfig};
     break;
   case Scenario::SplitBrain:
   case Scenario::CrashMidReconfig:
@@ -348,6 +359,18 @@ bool Nemesis::moveKillForever() {
   return true;
 }
 
+bool Nemesis::moveClockDrift() {
+  const NodeSet &U = C->universe();
+  NodeId Victim = U[R.nextBelow(U.size())];
+  int64_t Skew =
+      static_cast<int64_t>(R.nextInRange(0, 2 * Opts.MaxSkewUs)) -
+      static_cast<int64_t>(Opts.MaxSkewUs);
+  C->setClockSkew(Victim, Skew);
+  record("clock-skew " + nodeName(Victim) + " -> " +
+         std::to_string(Skew) + "us");
+  return true;
+}
+
 void Nemesis::healEverything() {
   // Invalidate every pending auto-heal so none fires on state installed
   // after this point.
@@ -363,6 +386,13 @@ void Nemesis::healEverything() {
   }
   StormActive = false;
   C->setLinkOptions(BaseLink);
+  // Skews only exist in clock-drift runs, so legacy traces gain no
+  // lines here.
+  for (NodeId N : C->universe())
+    if (C->clockSkew(N) != 0) {
+      C->setClockSkew(N, 0);
+      record("horizon: clock-skew " + nodeName(N) + " reset");
+    }
   std::vector<NodeId> ToRestart(Crashed.begin(), Crashed.end());
   Crashed.clear();
   for (NodeId N : ToRestart) {

@@ -64,6 +64,12 @@ enum class Scenario : uint8_t {
                ///< so only the self-healing pipeline — suspicion,
                ///< certified auto-reconfig, snapshot catch-up — can
                ///< bring the cluster back to full replication.
+  ClockDrift,  ///< The read-path scenario: per-node clock skews wander
+               ///< within NemesisOptions::MaxSkewUs (plus crash/restart
+               ///< and reconfig churn), while the workload reads through
+               ///< the ReadIndex/lease/follower tiers. Lease safety must
+               ///< survive any skew the declared MaxDriftPpm envelope
+               ///< admits; the horizon heal zeroes all skews.
 };
 
 const char *scenarioName(Scenario S);
@@ -84,6 +90,12 @@ struct NemesisOptions {
   /// KillForever budget: total permanent kills, normally the spare
   /// count (a kill beyond the spare budget is unhealable by design).
   unsigned MaxForeverKills = 2;
+  /// ClockDrift: bound on the per-node skew installed by a drift move
+  /// (drawn uniformly from [-MaxSkewUs, +MaxSkewUs]). Keep it small
+  /// enough that effective-lease + 2*MaxSkewUs stays below the minimum
+  /// election timeout, or the run *should* fail — pushing it beyond is
+  /// how tests demonstrate the declared drift bound is load-bearing.
+  sim::SimTime MaxSkewUs = 20000;
 };
 
 /// One entry of the nemesis action trace.
@@ -132,6 +144,7 @@ private:
   bool moveNetStorm();
   bool moveReconfig();
   bool moveKillForever();
+  bool moveClockDrift();
 
   void scriptSplitBrain();
   void scriptCrashMidReconfig();

@@ -76,6 +76,24 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
   CO.NumNodes = Opts.Members;
   CO.Seed = Seed;
   CO.Transport = Opts.Transport;
+  // The read-path scenario: the rt runtime lives on the real clock (no
+  // skew to inject — loopback clocks agree), so what it buys is the
+  // whole read ladder under genuine concurrency: ReadIndex rounds,
+  // lease renewal off real deadline timers, follower forwarding, and
+  // the retry-at-leader fallback, all with every read staleness-checked
+  // against the ledger snapshot taken at issue.
+  bool ReadPath = Opts.Kind == Scenario::ClockDrift;
+  Result.ReadPath = ReadPath;
+  if (ReadPath) {
+    CO.Node.EnableReadIndex = true;
+    CO.Node.EnableLease = true;
+    CO.Node.EnableFollowerReads = true;
+    // fastNodeOptions: ETmin 50ms, heartbeat 15ms. Effective lease =
+    // 30ms * (1 - 2*10%) = 24ms — longer than a heartbeat gap, so the
+    // lease stays continuously renewed, and well under ETmin.
+    CO.Node.LeaseDurationUs = 30000;
+    CO.Node.MaxDriftPpm = 100000;
+  }
   CO.DurableStore =
       Opts.DurableStore || Opts.Kind == Scenario::DiskFaults;
   if (CO.DurableStore)
@@ -257,6 +275,34 @@ ChaosRunResult adore::chaos::runRtScenario(const RtRunOptions &Opts,
         sync::MutexLock Lk(HealMu);
         if (FirstKillUs && FirstSuspectUs > FirstKillUs)
           Result.TimeToDetectUs = FirstSuspectUs - FirstKillUs;
+      }
+      break;
+    }
+    case Scenario::ClockDrift: {
+      auto Read = [&](bool AtFollower) {
+        ++Result.ReadsIssued;
+        if (AtFollower)
+          ++Result.ReadsAtFollower;
+        if (C.readAndWait(Opts.OpTimeoutMs, AtFollower))
+          ++Result.ReadsOk;
+        else
+          ++Result.ReadsFailed;
+      };
+      for (int Round = 0; Round != 2; ++Round) {
+        // Read-heavy phase: alternate leader- and follower-side reads
+        // with writes interleaved so safe indexes keep moving.
+        for (int I = 0; I != 6; ++I) {
+          Read(/*AtFollower=*/(I % 2) == 0);
+          Submit(1);
+        }
+        // Reads must keep resolving while a replica is down (the
+        // leader's quorum round and lease survive one crash of three).
+        C.crash(Victim);
+        Submit(1);
+        Read(/*AtFollower=*/false);
+        sleepMs(50);
+        C.restart(Victim);
+        sleepMs(50);
       }
       break;
     }

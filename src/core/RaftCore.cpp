@@ -88,6 +88,17 @@ std::string Msg::str() const {
           (Success ? " ok" : " abort") + " off=" + std::to_string(Offset) +
           (Done ? " done" : "") + ")";
     break;
+  case Kind::ReadIndexQuery:
+    Out = "ReadIndexQuery(t=" + std::to_string(Term) +
+          (Done ? " probe round=" : " fwd cookie=") +
+          std::to_string(ReadRound) + ")";
+    break;
+  case Kind::ReadIndexReply:
+    Out = "ReadIndexReply(t=" + std::to_string(Term) +
+          (Done ? " ack" : " answer") + (Success ? " ok" : " nak") +
+          (Done ? " round=" : " cookie=") + std::to_string(ReadRound) +
+          (Done ? "" : " safe=" + std::to_string(LeaderCommit)) + ")";
+    break;
   }
   return "S" + std::to_string(From) + "->S" + std::to_string(To) + " " + Out;
 }
@@ -159,6 +170,21 @@ Effect Effect::replicaRecovered(NodeId Peer) {
   return E;
 }
 
+Effect Effect::readReady(uint64_t ReadId, size_t Index) {
+  Effect E;
+  E.K = Kind::ReadReady;
+  E.ReadId = ReadId;
+  E.Index = Index;
+  return E;
+}
+
+Effect Effect::readFailed(uint64_t ReadId) {
+  Effect E;
+  E.K = Kind::ReadFailed;
+  E.ReadId = ReadId;
+  return E;
+}
+
 std::string Effect::str() const {
   switch (K) {
   case Kind::Send:
@@ -182,6 +208,11 @@ std::string Effect::str() const {
     return "replica-suspected S" + std::to_string(Peer);
   case Kind::ReplicaRecovered:
     return "replica-recovered S" + std::to_string(Peer);
+  case Kind::ReadReady:
+    return "read-ready id=" + std::to_string(ReadId) +
+           " safe#" + std::to_string(Index);
+  case Kind::ReadFailed:
+    return "read-failed id=" + std::to_string(ReadId);
   }
   ADORE_UNREACHABLE("unknown effect kind");
 }
@@ -217,6 +248,12 @@ Effects RaftCore::crash() {
   MatchIndex.clear();
   clearLeaderHealthState();
   Staging.reset();
+  // Reads pending at a crash die silently with the rest of volatile
+  // state; the host forgot them too, so no resolution effect is owed.
+  // NextReadCookie is deliberately NOT reset: a cookie must never be
+  // reused while a pre-crash answer could still be in flight.
+  FwdReads.clear();
+  ApplyWaiters.clear();
   return Out;
 }
 
@@ -340,6 +377,19 @@ Effects RaftCore::onTimer(TimerId Timer, uint64_t Gen, uint64_t NowUs) {
     // any follower whose ack never arrived takes a suspicion hit here.
     suspicionRound(Out);
     broadcastAppends(Out, /*ResetPipe=*/true);
+    if (RoundInFlight) {
+      // Probes lost in flight get retransmitted each heartbeat without
+      // bumping the round id — stale acks stay countable.
+      probeRound(Out);
+    } else if (Opts.EnableLease && logSatisfiesR2() &&
+               (!leaseLive(NowUs) || RoundStartUs < NowUs)) {
+      // Keep the lease warm: renew one heartbeat at a time so the
+      // expiry horizon keeps sliding while a quorum keeps answering.
+      // The RoundStartUs < NowUs guard stops back-to-back rounds when
+      // time cannot advance between them (the model checker's bounded
+      // clocks), which keeps exploration finite.
+      startReadRound(NowUs, Out);
+    }
     armHeartbeatTimer(Out);
   }
   finishStep(Out);
@@ -359,6 +409,7 @@ void RaftCore::stepDown(Time NewTerm, Effects &Out) {
   if (MyRole != Role::Follower) {
     MyRole = Role::Follower;
     Votes.clear();
+    failAllReads(Out); // Resolve waiters before the state is wiped.
     clearLeaderHealthState();
   }
   ++HeartbeatGen; // Cancel leader heartbeats.
@@ -444,6 +495,12 @@ Effects RaftCore::onMessage(const Msg &M, uint64_t NowUs) {
     break;
   case Msg::Kind::InstallSnapshotReply:
     onInstallSnapshotReply(M, Out);
+    break;
+  case Msg::Kind::ReadIndexQuery:
+    onReadIndexQuery(M, NowUs, Out);
+    break;
+  case Msg::Kind::ReadIndexReply:
+    onReadIndexReply(M, NowUs, Out);
     break;
   }
   finishStep(Out);
@@ -791,6 +848,294 @@ void RaftCore::clearLeaderHealthState() {
   OutgoingSnaps.clear();
   Pipe.clear();
   PendingBatch = 0;
+  // Confirmation rounds, the lease, and read waiters are leader-local
+  // too. Callers that owe the waiters a resolution (stepDown's
+  // leadership exit) run failAllReads first; here the drop is silent
+  // for the paths where no effect may be emitted (crash, passivity).
+  ReadWaiters.clear();
+  RemoteReads.clear();
+  RoundAcks.clear();
+  RoundInFlight = false;
+  clearLease();
+}
+
+//===----------------------------------------------------------------------===//
+// Linearizable reads: ReadIndex, leases, follower forwarding
+//===----------------------------------------------------------------------===//
+
+uint64_t RaftCore::effectiveLeaseUs() const {
+  // Each clock may run fast or slow by MaxDriftPpm, so over a nominal
+  // span D the leader's and a voter's measurements diverge by up to
+  // 2*D*MaxDriftPpm/1e6. Derating D by that much keeps the leader's
+  // expiry conservative against every correct clock; at >= 50% drift
+  // the bound collapses and no lease is safe.
+  if (Opts.MaxDriftPpm >= 500000)
+    return 0;
+  uint64_t Base = std::min(Opts.LeaseDurationUs, Opts.ElectionTimeoutMinUs);
+  return Base * (1000000 - 2 * Opts.MaxDriftPpm) / 1000000;
+}
+
+bool RaftCore::leaseLive(uint64_t NowUs) const {
+  if (MyRole != Role::Leader || LeaseTerm != Term || LeaseUntilUs == 0)
+    return false;
+  // The mutation hook skips only the expiry comparison: the lease must
+  // still have been granted, this term, to this leader.
+  return Opts.TestIgnoreLeaseExpiry || NowUs < LeaseUntilUs;
+}
+
+void RaftCore::startReadRound(uint64_t NowUs, Effects &Out) {
+  assert(MyRole == Role::Leader && !RoundInFlight &&
+         "rounds are leader-only and never nest");
+  ++ReadRound;
+  RoundStartUs = NowUs;
+  RoundAcks = NodeSet{Id};
+  RoundInFlight = true;
+  probeRound(Out);
+  // Singleton configurations self-quorum instantly.
+  if (Scheme->isQuorum(RoundAcks, config()))
+    completeReadRound(NowUs, Out);
+}
+
+void RaftCore::probeRound(Effects &Out) {
+  for (NodeId Peer : Scheme->mbrs(config())) {
+    if (Peer == Id)
+      continue;
+    Msg M;
+    M.K = Msg::Kind::ReadIndexQuery;
+    M.From = Id;
+    M.To = Peer;
+    M.Term = Term;
+    M.Done = true; // Probe, not a forwarded read.
+    M.ReadRound = ReadRound;
+    Out.push_back(Effect::send(std::move(M)));
+  }
+}
+
+void RaftCore::completeReadRound(uint64_t NowUs, Effects &Out) {
+  RoundInFlight = false;
+  if (Opts.EnableLease && logSatisfiesR2()) {
+    // Anchor at the round's *start*: every ack's follower-side promise
+    // (no votes for ElectionTimeoutMinUs after receipt) began no
+    // earlier than the probes left, so the derated window measured
+    // from there is covered by all of them. R2 gating mirrors the
+    // reconfig-append invalidation below: while an uncommitted config
+    // sits in the log, no lease may be (re)granted.
+    uint64_t D = effectiveLeaseUs();
+    if (D > 0) {
+      LeaseUntilUs = RoundStartUs + D;
+      LeaseTerm = Term;
+    }
+  }
+  // Release every waiter this round covers. A read that arrived while
+  // the round was already in flight needs the *next* one (its acks
+  // could predate the read), so it stays queued and a fresh round
+  // opens immediately.
+  for (auto It = ReadWaiters.begin(); It != ReadWaiters.end();) {
+    if (It->NeedRound <= ReadRound) {
+      Out.push_back(Effect::readReady(It->ReadId, It->Index));
+      It = ReadWaiters.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  for (auto It = RemoteReads.begin(); It != RemoteReads.end();) {
+    if (It->NeedRound <= ReadRound) {
+      Msg Reply;
+      Reply.K = Msg::Kind::ReadIndexReply;
+      Reply.From = Id;
+      Reply.To = It->From;
+      Reply.Term = Term;
+      Reply.Done = false;
+      Reply.ReadRound = It->Cookie;
+      Reply.Success = true;
+      Reply.LeaderCommit = It->Index;
+      Out.push_back(Effect::send(std::move(Reply)));
+      It = RemoteReads.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  if (!ReadWaiters.empty() || !RemoteReads.empty())
+    startReadRound(NowUs, Out);
+}
+
+void RaftCore::failAllReads(Effects &Out) {
+  // Local waiters learn failure; forwarded reads get a NACK so the
+  // remote client can retry at the real leader. Both imply the current
+  // round (if any) dies unanswered.
+  for (const ReadWaiter &W : ReadWaiters)
+    Out.push_back(Effect::readFailed(W.ReadId));
+  ReadWaiters.clear();
+  for (const RemoteRead &RR : RemoteReads) {
+    Msg Reply;
+    Reply.K = Msg::Kind::ReadIndexReply;
+    Reply.From = Id;
+    Reply.To = RR.From;
+    Reply.Term = Term;
+    Reply.Done = false;
+    Reply.ReadRound = RR.Cookie;
+    Reply.Success = false;
+    Out.push_back(Effect::send(std::move(Reply)));
+  }
+  RemoteReads.clear();
+  RoundAcks.clear();
+  RoundInFlight = false;
+}
+
+bool RaftCore::readQuery(uint64_t ReadId, uint64_t NowUs, Effects &Out) {
+  if (Crashed) {
+    Out.push_back(Effect::readFailed(ReadId));
+    return false;
+  }
+  if (MyRole == Role::Leader) {
+    if (Opts.EnableLease && leaseLive(NowUs)) {
+      // Sole-committer fast path: while the lease holds, no other
+      // leader can commit, so the current commit index is complete and
+      // the read is served with zero message delays.
+      Out.push_back(Effect::readReady(ReadId, CommitIndex));
+      finishStep(Out);
+      return true;
+    }
+    if (!Opts.EnableReadIndex) {
+      Out.push_back(Effect::readFailed(ReadId));
+      return false;
+    }
+    ReadWaiter W;
+    W.ReadId = ReadId;
+    W.Index = CommitIndex; // Captured now; confirmed by the round.
+    W.NeedRound = ReadRound + 1;
+    ReadWaiters.push_back(W);
+    if (!RoundInFlight)
+      startReadRound(NowUs, Out); // May complete synchronously.
+    finishStep(Out);
+    return true;
+  }
+  // Follower path: forward to the last known leader and wait for its
+  // safe index. Without a hint there is nowhere to forward — fail fast
+  // and let the client route to the leader itself.
+  if (Opts.EnableFollowerReads && LeaderHint && *LeaderHint != Id) {
+    uint64_t Cookie = ++NextReadCookie;
+    FwdRead F;
+    F.Cookie = Cookie;
+    F.ReadId = ReadId;
+    FwdReads.push_back(F);
+    Msg M;
+    M.K = Msg::Kind::ReadIndexQuery;
+    M.From = Id;
+    M.To = *LeaderHint;
+    M.Term = Term;
+    M.Done = false; // Forwarded read, not a probe.
+    M.ReadRound = Cookie;
+    Out.push_back(Effect::send(std::move(M)));
+    return true;
+  }
+  Out.push_back(Effect::readFailed(ReadId));
+  return false;
+}
+
+void RaftCore::onReadIndexQuery(const Msg &M, uint64_t NowUs, Effects &Out) {
+  if (M.Done) {
+    // A leader's confirmation probe. Acking doubles as the lease
+    // promise: stepDown re-arms our election timer and the contact
+    // stamp renews vote stickiness, so for ElectionTimeoutMinUs on our
+    // clock we neither stand for election nor vote — the probing
+    // leader stays unopposed by us for its (derated) lease window.
+    Msg Reply;
+    Reply.K = Msg::Kind::ReadIndexReply;
+    Reply.From = Id;
+    Reply.To = M.From;
+    Reply.Done = true;
+    Reply.ReadRound = M.ReadRound;
+    if (M.Term < Term) {
+      Reply.Term = Term;
+      Reply.Success = false;
+      Out.push_back(Effect::send(std::move(Reply)));
+      return;
+    }
+    stepDown(M.Term, Out); // Also resets the election timer.
+    LeaderHint = M.From;
+    LastLeaderContactUs = NowUs;
+    Reply.Term = Term;
+    Reply.Success = true;
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+  // A read forwarded by a follower; ReadRound carries its cookie.
+  if (M.Term > Term)
+    stepDown(M.Term, Out);
+  Msg Reply;
+  Reply.K = Msg::Kind::ReadIndexReply;
+  Reply.From = Id;
+  Reply.To = M.From;
+  Reply.Term = Term;
+  Reply.Done = false;
+  Reply.ReadRound = M.ReadRound;
+  if (MyRole != Role::Leader) {
+    Reply.Success = false; // Wrong-leader NACK: client retries at leader.
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+  if (Opts.EnableLease && leaseLive(NowUs)) {
+    Reply.Success = true;
+    Reply.LeaderCommit = CommitIndex;
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+  if (!Opts.EnableReadIndex) {
+    Reply.Success = false;
+    Out.push_back(Effect::send(std::move(Reply)));
+    return;
+  }
+  RemoteRead RR;
+  RR.From = M.From;
+  RR.Cookie = M.ReadRound;
+  RR.Index = CommitIndex;
+  RR.NeedRound = ReadRound + 1;
+  RemoteReads.push_back(RR);
+  if (!RoundInFlight)
+    startReadRound(NowUs, Out);
+}
+
+void RaftCore::onReadIndexReply(const Msg &M, uint64_t NowUs, Effects &Out) {
+  if (M.Done) {
+    // Probe ack (or its term-mismatch refusal).
+    if (M.Term > Term) {
+      stepDown(M.Term, Out);
+      return;
+    }
+    if (MyRole != Role::Leader || M.Term != Term || !M.Success ||
+        !RoundInFlight || M.ReadRound != ReadRound)
+      return; // Stale round, stale term, or refusal: ignore.
+    noteAck(M.From); // An ack proves the replica alive, like any other.
+    RoundAcks.insert(M.From);
+    if (Scheme->isQuorum(RoundAcks, config()))
+      completeReadRound(NowUs, Out);
+    return;
+  }
+  // Answer to a read this node forwarded as a follower.
+  if (M.Term > Term)
+    stepDown(M.Term, Out);
+  auto It = std::find_if(
+      FwdReads.begin(), FwdReads.end(),
+      [&](const FwdRead &F) { return F.Cookie == M.ReadRound; });
+  if (It == FwdReads.end())
+    return; // Duplicate or pre-crash answer: the cookie is gone.
+  uint64_t ReadId = It->ReadId;
+  FwdReads.erase(It);
+  if (!M.Success) {
+    Out.push_back(Effect::readFailed(ReadId));
+    return;
+  }
+  // The leader's safe index: serve once our applied prefix reaches it.
+  size_t Index = static_cast<size_t>(M.LeaderCommit);
+  if (Applied >= Index) {
+    Out.push_back(Effect::readReady(ReadId, Index));
+    return;
+  }
+  ApplyWaiter W;
+  W.ReadId = ReadId;
+  W.Index = Index;
+  ApplyWaiters.push_back(W);
 }
 
 //===----------------------------------------------------------------------===//
@@ -923,6 +1268,16 @@ void RaftCore::applyUpTo(size_t Index, Effects &Out) {
     ++Applied;
     Out.push_back(Effect::apply(Applied, Log[Applied - 1]));
   }
+  // Forwarded reads parked on the applied prefix become servable the
+  // moment it reaches their safe index.
+  for (auto It = ApplyWaiters.begin(); It != ApplyWaiters.end();) {
+    if (It->Index <= Applied) {
+      Out.push_back(Effect::readReady(It->ReadId, It->Index));
+      It = ApplyWaiters.erase(It);
+    } else {
+      ++It;
+    }
+  }
 }
 
 void RaftCore::finishStep(Effects &Out) {
@@ -982,6 +1337,15 @@ bool RaftCore::requestReconfig(const Config &NewConf, Effects &Out) {
   E.Kind = EntryKind::Reconfig;
   E.Conf = NewConf;
   appendOwn(std::move(E), Out);
+  // Lease invalidation at reconfig-APPEND time. The lease quorum was
+  // granted under the old configuration; the instant a new one exists
+  // in the log it could commit and elect a leader whose voters never
+  // promised us anything, so the lease dies now — not at commit, not
+  // at expiry. Pending confirmation rounds die with it (their acks are
+  // old-config promises too); clients simply retry. Until the entry
+  // commits, R2 fails, so completeReadRound cannot re-grant.
+  clearLease();
+  failAllReads(Out);
   // The new configuration takes effect at append time, so drop failure-
   // detection state for ejected peers here rather than waiting for the
   // next heartbeat round: a leader must never suspect a non-member of
@@ -1024,7 +1388,10 @@ bool RaftCore::transferLeadership(NodeId Target, Effects &Out) {
   M.Term = Term;
   Out.push_back(Effect::send(std::move(M)));
   // Step aside so we do not compete with the fresh candidate. Keep the
-  // term: the target's election will bump it past us.
+  // term: the target's election will bump it past us. The lease and
+  // any waiting reads are leadership-local and go with it.
+  clearLease();
+  failAllReads(Out);
   MyRole = Role::Follower;
   ++HeartbeatGen;
   Out.push_back(Effect::cancelTimer(TimerId::Heartbeat));

@@ -92,6 +92,13 @@ struct Msg {
     TimeoutNow,      ///< Leadership transfer: start an election immediately.
     InstallSnapshot, ///< One chunk of a committed-prefix bulk transfer.
     InstallSnapshotReply, ///< Progress ack carrying the resume offset.
+    ReadIndexQuery,  ///< Done=true: leader's read-round probe to a peer.
+                     ///< Done=false: follower-forwarded read (ReadRound is
+                     ///< the follower's cookie).
+    ReadIndexReply,  ///< Done=true: probe ack (Success = still follower of
+                     ///< this leader). Done=false: answer to a forwarded
+                     ///< read (Success + LeaderCommit = safe index, or a
+                     ///< NACK telling the client to retry at the leader).
   };
 
   Kind K = Kind::RequestVote;
@@ -131,6 +138,14 @@ struct Msg {
   std::string Chunk;
   bool Done = false;
 
+  // ReadIndexQuery / ReadIndexReply. For probes (Done=true) this is the
+  // leader's confirmation-round counter; acks echo it so a quorum is
+  // only ever assembled from acks of the *current* round. For forwarded
+  // reads (Done=false) it is the follower's per-read cookie, echoed by
+  // the leader's answer. The reply reuses Success (round still valid /
+  // read granted) and LeaderCommit (the granted safe index).
+  uint64_t ReadRound = 0;
+
   std::string str() const;
 };
 
@@ -162,6 +177,12 @@ struct Effect {
                       ///< accumulator crossed the suspect threshold.
     ReplicaRecovered, ///< Peer acked again; the suspicion decayed below
                       ///< the recovery threshold (hysteresis).
+    ReadReady,        ///< Read ReadId may be served once the local state
+                      ///< machine has applied through Index (already true
+                      ///< when emitted; see readQuery).
+    ReadFailed,       ///< Read ReadId cannot be served here (not leader /
+                      ///< no read tier enabled / leadership lost / NACKed
+                      ///< forward); the client should retry at the leader.
   };
 
   Kind K = Kind::Send;
@@ -174,6 +195,7 @@ struct Effect {
   Time Term = 0;         // LeaderElected / Persist.
   size_t LogLen = 0;     // Persist.
   NodeId Peer = InvalidNodeId; // ReplicaSuspected / ReplicaRecovered.
+  uint64_t ReadId = 0;   // ReadReady / ReadFailed (Index = safe index).
 
   static Effect send(Msg M);
   static Effect setTimer(TimerId Timer, uint64_t Gen, uint64_t DelayUs);
@@ -184,6 +206,8 @@ struct Effect {
   static Effect leaderElected(Time Term);
   static Effect replicaSuspected(NodeId Peer);
   static Effect replicaRecovered(NodeId Peer);
+  static Effect readReady(uint64_t ReadId, size_t Index);
+  static Effect readFailed(uint64_t ReadId);
 
   std::string str() const;
 };
@@ -244,6 +268,48 @@ struct CoreOptions {
   /// is also the retransmission path for frames lost in flight; a
   /// consistency NAK rewinds immediately.
   size_t PipelineWindow = 1;
+
+  /// Linearizable read path (src/read layers client policy on top of
+  /// these). All OFF by default: readQuery() then fails every read and
+  /// no ReadIndexQuery/ReadIndexReply traffic exists, keeping legacy
+  /// schedules byte-identical.
+  ///
+  /// Tier 1 — ReadIndex: a leader serving a read captures its commit
+  /// index and confirms it still leads via one probe round (a quorum of
+  /// ReadIndexQuery/Reply exchanges); reads arriving while a round is in
+  /// flight batch behind the *next* round (acks predating a read prove
+  /// nothing about it). No log append, no fsync.
+  bool EnableReadIndex = false;
+  /// Tier 2 — leader leases: a completed probe round also grants a
+  /// lease anchored at the round's *start* time; while the lease is
+  /// live the leader serves reads (and answers forwarded reads)
+  /// immediately, with no probe round at all. Safety rests on the vote
+  /// stickiness promise (followers refuse votes for ElectionTimeoutMinUs
+  /// after leader contact) shrunk by the declared clock-drift bound; a
+  /// lease is deliberately killed when a reconfiguration is *appended*
+  /// (not committed): a quorum granted under config C must never outlive
+  /// C's replacement. Implies the ReadIndex machinery for the rounds.
+  bool EnableLease = false;
+  /// Requested lease length; the effective lease is
+  /// min(LeaseDurationUs, ElectionTimeoutMinUs) derated by 2*MaxDriftPpm
+  /// (the granting quorum's clocks may run slow while ours runs fast).
+  uint64_t LeaseDurationUs = 0;
+  /// Declared worst-case clock drift, parts per million, symmetric.
+  /// The deployment promises |each clock's rate - 1| <= MaxDriftPpm/1e6;
+  /// the lease math consumes it. >= 500000 (50%) disables leases.
+  uint64_t MaxDriftPpm = 0;
+  /// Tier 3 — lease-protected follower reads: a follower forwards the
+  /// read to its leader hint (one small ReadIndexQuery, not a log
+  /// round); a lease-holding leader answers with its commit index and
+  /// the follower serves once applied through it. Wrong leader or no
+  /// live lease NACKs, and the client falls back to the leader.
+  bool EnableFollowerReads = false;
+  /// Injectable misbehavior: leaseLive() ignores lease *expiry* (it
+  /// still requires a lease to have been granted in the current term).
+  /// Exists so mutation tests can serve a provably stale read and
+  /// assert the chaos linearizability checker flags it. Never enable
+  /// outside tests.
+  bool TestIgnoreLeaseExpiry = false;
 };
 
 //===----------------------------------------------------------------------===//
@@ -331,6 +397,17 @@ public:
   /// out of the way. Returns false if not leader or the target lags.
   bool transferLeadership(NodeId Target, Effects &Out);
 
+  /// A linearizable read identified by the host-chosen \p ReadId.
+  /// Resolves — possibly within this call, possibly later — as exactly
+  /// one ReadReady{ReadId, Index} (serve from the applied state machine,
+  /// which has reached Index) or ReadFailed{ReadId} (retry elsewhere,
+  /// normally at the leader). Which tier answers depends on CoreOptions:
+  /// a lease-holding leader answers instantly, a ReadIndex leader after
+  /// a probe round, a follower (EnableFollowerReads) by forwarding to
+  /// its leader hint. With every tier off this always fails. Returns
+  /// false iff the read failed synchronously.
+  bool readQuery(uint64_t ReadId, uint64_t NowUs, Effects &Out);
+
   /// Overwrites the durable fields (term, vote, log, commit floor) with
   /// state recovered from a disk store. Only legal before start() or
   /// while crashed — a store-backed host installs this between crash()
@@ -389,6 +466,23 @@ public:
   /// Leader entries appended but not yet broadcast (always 0 with
   /// MaxAppendBatch <= 1). Test introspection.
   size_t pendingBatch() const { return PendingBatch; }
+  /// Lease introspection for the model checker's cross-node invariants
+  /// (no-two-live-leases, lease implies R2-clean log) and tests. A
+  /// LeaseUntilUs of 0 means no lease was ever granted this term.
+  uint64_t leaseUntilUs() const { return LeaseUntilUs; }
+  Time leaseTerm() const { return LeaseTerm; }
+  /// Whether this core would serve a lease read at \p NowUs (honors the
+  /// TestIgnoreLeaseExpiry mutation hook, like the serving path does).
+  bool leaseLiveAt(uint64_t NowUs) const { return leaseLive(NowUs); }
+  /// Reads queued behind a confirmation round on this node (leader
+  /// waiters + forwarded remote reads + follower-side forwards/apply
+  /// waiters). Test introspection.
+  size_t pendingReadCount() const {
+    return ReadWaiters.size() + RemoteReads.size() + FwdReads.size() +
+           ApplyWaiters.size();
+  }
+  /// Current confirmation-round counter (0 before any round).
+  uint64_t readRound() const { return ReadRound; }
   /// Healing metrics: payload bytes shipped/accepted over InstallSnapshot
   /// chunks and completed installs on this replica. Monotonic counters,
   /// excluded from the fingerprint (they never influence behavior).
@@ -474,6 +568,39 @@ public:
       S.addU64(PP.InFlight);
     }
     S.addU64(PendingBatch);
+    // Read-path state: rounds, leases, and queued reads all steer future
+    // effect emission. Everything here is constant (zero/empty) with the
+    // read tiers off, so legacy explorations keep their state counts.
+    S.addU64(ReadRound);
+    S.addU64(RoundStartUs);
+    S.addNodeSet(RoundAcks);
+    S.addBool(RoundInFlight);
+    S.addU64(LeaseUntilUs);
+    S.addU64(LeaseTerm);
+    S.addU64(ReadWaiters.size());
+    for (const ReadWaiter &W : ReadWaiters) {
+      S.addU64(W.ReadId);
+      S.addU64(W.Index);
+      S.addU64(W.NeedRound);
+    }
+    S.addU64(RemoteReads.size());
+    for (const RemoteRead &RR : RemoteReads) {
+      S.addU32(RR.From);
+      S.addU64(RR.Cookie);
+      S.addU64(RR.Index);
+      S.addU64(RR.NeedRound);
+    }
+    S.addU64(NextReadCookie);
+    S.addU64(FwdReads.size());
+    for (const FwdRead &F : FwdReads) {
+      S.addU64(F.Cookie);
+      S.addU64(F.ReadId);
+    }
+    S.addU64(ApplyWaiters.size());
+    for (const ApplyWaiter &W : ApplyWaiters) {
+      S.addU64(W.ReadId);
+      S.addU64(W.Index);
+    }
   }
 
 private:
@@ -494,6 +621,35 @@ private:
   void onAppendReply(const Msg &M, Effects &Out);
   void onInstallSnapshot(const Msg &M, uint64_t NowUs, Effects &Out);
   void onInstallSnapshotReply(const Msg &M, Effects &Out);
+  void onReadIndexQuery(const Msg &M, uint64_t NowUs, Effects &Out);
+  void onReadIndexReply(const Msg &M, uint64_t NowUs, Effects &Out);
+
+  // Linearizable read machinery (leader side unless noted).
+  /// True while this leader's lease covers \p NowUs (and the mutation
+  /// hook, which waives only expiry).
+  bool leaseLive(uint64_t NowUs) const;
+  /// min(LeaseDurationUs, ElectionTimeoutMinUs) derated by 2*MaxDriftPpm;
+  /// 0 when the drift bound makes any lease unsafe.
+  uint64_t effectiveLeaseUs() const;
+  /// Starts confirmation round ReadRound+1: resets the ack set to self,
+  /// probes every peer, and (single-node config) may complete at once.
+  void startReadRound(uint64_t NowUs, Effects &Out);
+  /// Re-emits the current round's probes (heartbeat retransmission).
+  void probeRound(Effects &Out);
+  /// A quorum acked round ReadRound: grant/extend the lease (EnableLease,
+  /// anchored at RoundStartUs), release every waiter whose round
+  /// requirement is met, and start the next round if any remain.
+  void completeReadRound(uint64_t NowUs, Effects &Out);
+  /// Fails every queued read (local waiters and follower-side state),
+  /// NACKs forwarded ones, and aborts any round in flight; called on any
+  /// leadership/liveness exit and at reconfig append (paired with
+  /// clearLease there — the lease must die the moment a new config
+  /// exists in the log).
+  void failAllReads(Effects &Out);
+  void clearLease() {
+    LeaseUntilUs = 0;
+    LeaseTerm = 0;
+  }
 
   // Leader machinery.
   void replicateTo(NodeId Peer, Effects &Out);
@@ -608,6 +764,64 @@ private:
   /// Leader entries appended locally whose broadcast is deferred until
   /// the batch fills (MaxAppendBatch) or any broadcast flushes it.
   size_t PendingBatch = 0;
+
+  //===--------------------------------------------------------------===//
+  // Linearizable-read state (volatile; empty with the read tiers off)
+  //===--------------------------------------------------------------===//
+
+  /// Leader-side confirmation rounds. ReadRound counts rounds this
+  /// leadership; RoundAcks collects echoes of the *current* round only.
+  /// RoundStartUs anchors the lease a completing round grants: the
+  /// stickiness promises backing it were made no earlier than the
+  /// probes, which left no earlier than the round started.
+  uint64_t ReadRound = 0;
+  uint64_t RoundStartUs = 0;
+  NodeSet RoundAcks;
+  bool RoundInFlight = false;
+
+  /// The lease (leader-side). LeaseUntilUs == 0 means none; LeaseTerm
+  /// must equal Term for the lease to mean anything (a stale value from
+  /// an earlier leadership is dead by definition).
+  uint64_t LeaseUntilUs = 0;
+  Time LeaseTerm = 0;
+
+  /// Local reads waiting for a confirmation round. Index is the commit
+  /// index captured at enqueue; NeedRound is the first round whose acks
+  /// all postdate the read (a round already in flight at enqueue proves
+  /// nothing — its acks may predate the read).
+  struct ReadWaiter {
+    uint64_t ReadId = 0;
+    size_t Index = 0;
+    uint64_t NeedRound = 0;
+  };
+  std::vector<ReadWaiter> ReadWaiters;
+
+  /// Forwarded follower reads waiting for a round, answered over the
+  /// wire instead of via ReadReady. Cookie echoes the follower's.
+  struct RemoteRead {
+    NodeId From = InvalidNodeId;
+    uint64_t Cookie = 0;
+    size_t Index = 0;
+    uint64_t NeedRound = 0;
+  };
+  std::vector<RemoteRead> RemoteReads;
+
+  /// Follower-side forwarded reads in flight to the leader hint, keyed
+  /// by a per-node cookie (echoed in the leader's answer).
+  uint64_t NextReadCookie = 0;
+  struct FwdRead {
+    uint64_t Cookie = 0;
+    uint64_t ReadId = 0;
+  };
+  std::vector<FwdRead> FwdReads;
+
+  /// Follower reads granted a safe index the local apply cursor has not
+  /// reached yet; released by applyUpTo.
+  struct ApplyWaiter {
+    uint64_t ReadId = 0;
+    size_t Index = 0;
+  };
+  std::vector<ApplyWaiter> ApplyWaiters;
 
   uint64_t ElectionGen = 0;
   uint64_t HeartbeatGen = 0;

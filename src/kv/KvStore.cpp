@@ -177,6 +177,28 @@ void ReplicatedKvStore::get(
       MaxTriesUs);
 }
 
+void ReplicatedKvStore::getFast(
+    uint32_t Key,
+    std::function<void(bool, std::optional<uint32_t>, SimTime)> Done,
+    bool AtFollower, SimTime MaxTriesUs) {
+  uint64_t OpId = NextOpId++;
+  if (Observer)
+    Observer->onInvoke(OpId, KvClientObserver::OpType::Get, Key, 0,
+                       Cluster.queue().now());
+  Cluster.read(
+      [this, Key, OpId, Done = std::move(Done)](
+          bool Ok, NodeId Server, size_t, SimTime Latency) {
+        std::optional<uint32_t> Value;
+        if (Ok)
+          Value = Replicas[Server].get(Key);
+        if (Observer)
+          Observer->onReturn(OpId, Ok, Value, Cluster.queue().now());
+        if (Done)
+          Done(Ok, Value, Latency);
+      },
+      AtFollower, MaxTriesUs);
+}
+
 const KvState &ReplicatedKvStore::replica(NodeId Id) const {
   static const KvState Empty;
   auto It = Replicas.find(Id);

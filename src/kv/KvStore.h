@@ -132,6 +132,19 @@ public:
                Done,
            sim::SimTime MaxTriesUs = 5000000);
 
+  /// Linearizable get through the protocol read path (requires a read
+  /// tier in the cluster's node options): no log append — the cluster
+  /// confirms a safe index (ReadIndex round, lease fast path, or
+  /// lease-protected follower read with \p AtFollower) and the value
+  /// is served from the confirming node's replica, whose applied state
+  /// covers that index by the time the read resolves. Ok=false means
+  /// the read path exhausted its retries.
+  void getFast(uint32_t Key,
+               std::function<void(bool Ok, std::optional<uint32_t> Value,
+                                  sim::SimTime LatencyUs)>
+                   Done,
+               bool AtFollower = false, sim::SimTime MaxTriesUs = 5000000);
+
   /// Installs the history observer (nullptr to detach). Not owned.
   void setObserver(KvClientObserver *O) { Observer = O; }
 

@@ -59,6 +59,15 @@ public:
   /// Per-routed-attempt budget handed to the owning group's store.
   void setOpTimeout(sim::SimTime TimeoutUs) { OpTimeoutUs = TimeoutUs; }
 
+  /// Serve un-pinned reads through the lease-protected fast path
+  /// (ReplicatedKvStore::getFast, at a follower) instead of the leader
+  /// commit barrier. Only meaningful when the pool's groups run with the
+  /// read tiers enabled; a fast read the group cannot prove safe comes
+  /// back as a GroupReply::ReadNack, which the routing client answers by
+  /// re-sending the read pinned to the leader. Default off: every legacy
+  /// sharded run keeps the barrier-read path byte-identical.
+  void setFollowerReads(bool On) { FollowerReads = On; }
+
   void put(uint32_t Key, uint32_t Value,
            std::function<void(bool Ok, sim::SimTime LatencyUs)> Done);
   void del(uint32_t Key,
@@ -94,6 +103,7 @@ private:
   std::vector<std::unique_ptr<ReplicatedKvStore>> GroupStores;
   std::unique_ptr<shard::ShardedKvClient> Client;
   sim::SimTime OpTimeoutUs = 1500000;
+  bool FollowerReads = false;
   uint64_t NextOpId = 1;
   ShardedKvObserver *Observer = nullptr;
 };

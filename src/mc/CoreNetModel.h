@@ -57,6 +57,37 @@ struct CoreNetModelOptions {
   bool WithReconfig = true;
   /// Explore crash/restart of single replicas.
   bool ExploreCrash = false;
+  /// Give every replica its own drifting clock: NowUs observations use
+  /// the per-node clock, and a tick transition advances one node's
+  /// clock by ClockQuantumUs — the adversary schedules drift, subject
+  /// only to the pairwise skew bound below. Off: the legacy two-instant
+  /// time abstraction (and its stickiness dual-delivery) is used.
+  bool WithClocks = false;
+  /// Max |clock_i - clock_j| the tick adversary may create. To model a
+  /// deployment that KEEPS its CoreOptions::MaxDriftPpm promise over
+  /// the explored horizon, pick EffectiveLease + 2*Bound <=
+  /// ElectionTimeoutMinUs; to model one that breaks it, pick a larger
+  /// bound than declared and watch the lease invariants fire.
+  uint64_t ClockSkewBoundUs = 1000;
+  /// Clocks start at one quantum (0 would collide with the core's
+  /// "never contacted" sentinel) and never tick past this, which keeps
+  /// the reachable set finite and eventually starves lease renewal.
+  uint64_t MaxClockUs = 6000;
+  uint64_t ClockQuantumUs = 1000;
+  /// Total linearizable-read submissions to explore (0 = none). Each
+  /// read records the maximum commit index across live replicas at
+  /// submission; a ReadReady below that is a stale read.
+  uint64_t MaxReads = 0;
+  /// Start the exploration from a converged prefix instead of cold
+  /// boot: the first member is driven to leadership deterministically
+  /// (election timer plus a synchronous-network drain), then through
+  /// one heartbeat round, which replicates the term-start no-op and —
+  /// with leases enabled — leaves it holding a fresh quorum-granted
+  /// lease. Every step taken is an ordinary model transition on one
+  /// fixed schedule, so the constructed state is reachable; the depth
+  /// budget is just spent on the interesting suffix (a rival election
+  /// under clock drift, say) instead of the boring election prefix.
+  bool StartEstablished = false;
 };
 
 /// The production-core transition system.
@@ -71,6 +102,20 @@ public:
     /// In-flight messages. Order is immaterial (any may deliver next);
     /// the encoding canonicalizes it as a multiset.
     std::vector<core::Msg> Pending;
+    /// Per-node clocks (WithClocks only; empty otherwise).
+    std::vector<uint64_t> ClockUs;
+    /// Reads submitted but not yet resolved (MaxReads only). MinCommit
+    /// is the linearizability floor captured at submission.
+    struct PendingRead {
+      uint32_t Node = 0; ///< Index into Cores of the submission target.
+      uint64_t ReadId = 0;
+      uint64_t MinCommit = 0;
+    };
+    std::vector<PendingRead> PendingReads;
+    uint64_t NextReadId = 0;
+    /// First stale read observed while folding effects, if any; the
+    /// invariant surfaces it.
+    std::string ReadViolation;
   };
 
   CoreNetModel(const ReconfigScheme &Scheme, Config InitialConf,
@@ -89,8 +134,14 @@ public:
       St.ElectionArmed.push_back(0);
       St.HeartbeatArmed.push_back(0);
     }
+    if (Opts.WithClocks)
+      // One quantum, not zero: a contact stamped at clock 0 would
+      // collide with LastLeaderContactUs's never-contacted sentinel.
+      St.ClockUs.assign(St.Cores.size(), Opts.ClockQuantumUs);
     for (size_t I = 0; I != St.Cores.size(); ++I)
       absorb(St, I, St.Cores[I].start());
+    if (Opts.StartEstablished)
+      establish(St);
     return {std::move(St)};
   }
 
@@ -111,6 +162,9 @@ public:
   }
 
   std::optional<std::string> invariant(const State &St) const {
+    // A stale read is recorded the moment its ReadReady folds in.
+    if (!St.ReadViolation.empty())
+      return St.ReadViolation;
     // Election safety, state-based: a deposed leader always observes a
     // higher term first, so two same-term leaders would coexist in some
     // reachable state.
@@ -123,6 +177,13 @@ public:
           return "election safety violated: nodes " +
                  std::to_string(CA.id()) + " and " + std::to_string(CB.id()) +
                  " both lead term " + std::to_string(CA.term());
+        // Single live lease: each holder judges liveness on its OWN
+        // clock — that is exactly the overlap drift could create.
+        if (leaseLiveHere(St, A) && leaseLiveHere(St, B))
+          return "two live leases: nodes " + std::to_string(CA.id()) +
+                 " (term " + std::to_string(CA.leaseTerm()) + ") and " +
+                 std::to_string(CB.id()) + " (term " +
+                 std::to_string(CB.leaseTerm()) + ")";
         if (auto V = checkLogMatching(CA, CB))
           return V;
         if (auto V = checkCommittedAgreement(CA, CB))
@@ -135,16 +196,24 @@ public:
         return V;
       if (auto V = checkSuspicionSanity(C))
         return V;
+      if (auto V = checkLeaseSanity(C))
+        return V;
     }
     return std::nullopt;
   }
 
   std::string describe(const State &St) const {
     std::ostringstream OS;
-    for (size_t I = 0; I != St.Cores.size(); ++I)
+    for (size_t I = 0; I != St.Cores.size(); ++I) {
       OS << St.Cores[I].describe()
          << (St.ElectionArmed[I] ? " [E]" : "")
-         << (St.HeartbeatArmed[I] ? " [H]" : "") << "\n";
+         << (St.HeartbeatArmed[I] ? " [H]" : "");
+      if (Opts.WithClocks)
+        OS << " clk=" << St.ClockUs[I];
+      OS << "\n";
+    }
+    if (!St.PendingReads.empty())
+      OS << "reads-in-flight: " << St.PendingReads.size() << "\n";
     OS << "pending(" << St.Pending.size() << "):";
     for (const core::Msg &M : St.Pending)
       OS << " " << M.str();
@@ -166,7 +235,7 @@ public:
         Next.ElectionArmed[I] = 0;
         absorb(Next, I,
                Next.Cores[I].onTimer(core::TimerId::Election,
-                                     C.electionGen(), NowRecent()));
+                                     C.electionGen(), nowFor(St, I)));
         Fn(std::move(Next), "electionTimeout(" + Nid + ")");
       }
       // Heartbeat fires.
@@ -176,8 +245,36 @@ public:
         Next.HeartbeatArmed[I] = 0;
         absorb(Next, I,
                Next.Cores[I].onTimer(core::TimerId::Heartbeat,
-                                     C.heartbeatGen(), NowRecent()));
+                                     C.heartbeatGen(), nowFor(St, I)));
         Fn(std::move(Next), "heartbeat(" + Nid + ")");
+      }
+      // One node's clock ticks: the adversary drifts clocks apart in
+      // quantum steps, constrained only by the pairwise skew bound and
+      // the horizon.
+      if (Opts.WithClocks && canTick(St, I)) {
+        State Next = St;
+        Next.ClockUs[I] += Opts.ClockQuantumUs;
+        Fn(std::move(Next), "tick(" + Nid + ")");
+      }
+      // Linearizable read submission. The floor is the max commit
+      // index across replicas NOW: everything committed anywhere
+      // before the read was invoked must be visible to it.
+      if (Opts.MaxReads != 0 && St.NextReadId < Opts.MaxReads &&
+          !C.isCrashed() && RoomToSend) {
+        State Next = St;
+        State::PendingRead PR;
+        PR.Node = static_cast<uint32_t>(I);
+        PR.ReadId = ++Next.NextReadId;
+        for (const core::RaftCore &Peer : St.Cores)
+          PR.MinCommit = std::max(PR.MinCommit,
+                                  static_cast<uint64_t>(Peer.commitIndex()));
+        // Registered before absorb: a lease-holding leader answers
+        // synchronously and the fold must find the pending record.
+        Next.PendingReads.push_back(PR);
+        core::Effects Effs;
+        Next.Cores[I].readQuery(PR.ReadId, nowFor(St, I), Effs);
+        absorb(Next, I, std::move(Effs));
+        Fn(std::move(Next), "read(" + Nid + ")");
       }
       // Client command (constant identity: it never affects guards).
       if (C.isLeader() && !C.isCrashed() &&
@@ -221,14 +318,16 @@ public:
 
     // Deliveries. Every pending message may arrive next; a RequestVote
     // whose fate hinges on the §4.2.3 stickiness window arrives both
-    // inside it (refused) and after it expired (considered).
+    // inside it (refused) and after it expired (considered). With real
+    // per-node clocks the window's passage is explored by tick
+    // transitions instead, so the dual delivery is redundant there.
     for (size_t MI = 0; MI != St.Pending.size(); ++MI) {
       const core::Msg &M = St.Pending[MI];
       size_t RI = indexOf(St, M.To);
       if (RI == St.Cores.size())
         continue; // Addressee outside the model: undeliverable.
-      deliver(St, MI, RI, NowRecent(), "deliver", Fn);
-      if (stickinessSensitive(St.Cores[RI], M))
+      deliver(St, MI, RI, nowFor(St, RI), "deliver", Fn);
+      if (!Opts.WithClocks && stickinessSensitive(St.Cores[RI], M))
         deliver(St, MI, RI, NowExpired(), "deliverLate", Fn);
     }
   }
@@ -240,6 +339,27 @@ private:
   /// The first instant past that window.
   uint64_t NowExpired() const {
     return NowRecent() + CoreOpts.ElectionTimeoutMinUs;
+  }
+  /// What node \p I's protocol clock reads in \p St.
+  uint64_t nowFor(const State &St, size_t I) const {
+    return Opts.WithClocks ? St.ClockUs[I] : NowRecent();
+  }
+  /// May node \p I's clock advance one quantum without leaving the
+  /// horizon or stretching any pairwise skew past the bound? (Only the
+  /// growing side can break the bound.)
+  bool canTick(const State &St, size_t I) const {
+    uint64_t Next = St.ClockUs[I] + Opts.ClockQuantumUs;
+    if (Next > Opts.MaxClockUs)
+      return false;
+    for (uint64_t Other : St.ClockUs)
+      if (Next > Other + Opts.ClockSkewBoundUs)
+        return false;
+    return true;
+  }
+  /// Is node \p I's lease live, judged on its own clock — the only
+  /// clock the node itself can consult before serving a read?
+  bool leaseLiveHere(const State &St, size_t I) const {
+    return St.Cores[I].leaseLiveAt(nowFor(St, I));
   }
 
   /// Client/admin appends in \p C's log (leader no-ops excluded), the
@@ -279,6 +399,43 @@ private:
     Fn(std::move(Next), std::string(Verb) + "(" + M.str() + ")");
   }
 
+  /// Initial-state construction only: deliver every pending message in
+  /// FIFO order until the network is quiet — one fixed schedule of
+  /// ordinary deliver transitions (a synchronous network).
+  void drainPending(State &St) const {
+    while (!St.Pending.empty()) {
+      core::Msg M = std::move(St.Pending.front());
+      St.Pending.erase(St.Pending.begin());
+      size_t RI = indexOf(St, M.To);
+      if (RI == St.Cores.size())
+        continue;
+      absorb(St, RI, St.Cores[RI].onMessage(M, nowFor(St, RI)));
+    }
+  }
+
+  /// StartEstablished: elect the first member and run one heartbeat
+  /// round on a synchronous network (see the option's comment).
+  void establish(State &St) const {
+    if (St.ElectionArmed[0]) {
+      St.ElectionArmed[0] = 0;
+      absorb(St, 0,
+             St.Cores[0].onTimer(core::TimerId::Election,
+                                 St.Cores[0].electionGen(), nowFor(St, 0)));
+      drainPending(St);
+    }
+    // The heartbeat replicates the term-start no-op (committing it on
+    // the next exchange) and, with leases enabled, opens the
+    // confirmation round whose acks grant the leader its lease.
+    if (St.Cores[0].isLeader() && St.HeartbeatArmed[0]) {
+      St.HeartbeatArmed[0] = 0;
+      absorb(St, 0,
+             St.Cores[0].onTimer(core::TimerId::Heartbeat,
+                                 St.Cores[0].heartbeatGen(),
+                                 nowFor(St, 0)));
+      drainPending(St);
+    }
+  }
+
   /// Folds a core's effect list into the model state: sends join the
   /// network (dropped as loss when full), timer effects maintain the
   /// armed bits, everything else is host-side and invisible here.
@@ -297,6 +454,30 @@ private:
         (E.Timer == core::TimerId::Election ? St.ElectionArmed
                                             : St.HeartbeatArmed)[I] = 0;
         break;
+      case core::Effect::Kind::ReadReady:
+      case core::Effect::Kind::ReadFailed: {
+        // Resolve the pending read this effect answers. A ReadReady
+        // below the linearizability floor captured at submission IS
+        // the stale read the lease/ReadIndex machinery must prevent.
+        auto It = std::find_if(St.PendingReads.begin(),
+                               St.PendingReads.end(),
+                               [&](const State::PendingRead &PR) {
+                                 return PR.Node == I &&
+                                        PR.ReadId == E.ReadId;
+                               });
+        if (It == St.PendingReads.end())
+          break; // E.g. dropped by a crash; nothing to resolve.
+        if (E.K == core::Effect::Kind::ReadReady &&
+            static_cast<uint64_t>(E.Index) < It->MinCommit &&
+            St.ReadViolation.empty())
+          St.ReadViolation =
+              "stale read: node " + std::to_string(St.Cores[I].id()) +
+              " served read " + std::to_string(E.ReadId) + " at index " +
+              std::to_string(E.Index) + " < committed floor " +
+              std::to_string(It->MinCommit);
+        St.PendingReads.erase(It);
+        break;
+      }
       case core::Effect::Kind::Apply:
       case core::Effect::Kind::CommitAdvanced:
       case core::Effect::Kind::Persist:
@@ -332,6 +513,7 @@ private:
     S.addU64(M.Offset);
     S.addBool(M.Done);
     S.addString(M.Chunk);
+    S.addU64(M.ReadRound);
     S.addU64(M.Entries.size());
     for (const core::LogEntry &E : M.Entries) {
       S.addU64(E.Term);
@@ -349,6 +531,21 @@ private:
       St.Cores[I].addToSink(S);
       S.addBool(St.ElectionArmed[I] != 0);
       S.addBool(St.HeartbeatArmed[I] != 0);
+    }
+    // Model-level read/clock bookkeeping, gated on the options that
+    // introduce it so legacy explorations encode byte-identically.
+    if (Opts.WithClocks)
+      for (uint64_t Clock : St.ClockUs)
+        S.addU64(Clock);
+    if (Opts.MaxReads != 0) {
+      S.addU64(St.NextReadId);
+      S.addU64(St.PendingReads.size());
+      for (const State::PendingRead &PR : St.PendingReads) {
+        S.addU32(PR.Node);
+        S.addU64(PR.ReadId);
+        S.addU64(PR.MinCommit);
+      }
+      S.addString(St.ReadViolation);
     }
     // The network is a multiset: sort per-message digests so states
     // differing only in arrival order coincide.
@@ -448,6 +645,30 @@ private:
     if (!C.suspected().isSubsetOf(Scheme->mbrs(C.config())))
       return "node " + std::to_string(C.id()) +
              " suspects a non-member of its own configuration";
+    return std::nullopt;
+  }
+
+  /// Lease structural invariants, liveness aside: (a) lease⊆term — a
+  /// lease only ever belongs to the current term's active leader (the
+  /// core clears it on every leadership or term exit); (b) lease dies
+  /// at reconfig-append — no lease may coexist with an uncommitted
+  /// reconfig entry, because the new config could elect a leader whose
+  /// voters never promised the lease holder anything.
+  static std::optional<std::string>
+  checkLeaseSanity(const core::RaftCore &C) {
+    if (C.leaseUntilUs() == 0)
+      return std::nullopt;
+    if (!C.isLeader() || C.isCrashed() || C.leaseTerm() != C.term())
+      return "lease outside leadership: node " + std::to_string(C.id()) +
+             " holds a term-" + std::to_string(C.leaseTerm()) +
+             " lease but is not the active term-" +
+             std::to_string(C.term()) + " leader";
+    for (size_t I = C.commitIndex() + 1; I <= C.logSize(); ++I)
+      if (C.entry(I).Kind == raft::EntryKind::Reconfig)
+        return "lease survived reconfig-append: node " +
+               std::to_string(C.id()) +
+               " holds a lease with an uncommitted reconfig at index " +
+               std::to_string(I);
     return std::nullopt;
   }
 

@@ -1,0 +1,101 @@
+//===- read/ReadPath.h - Linearizable read tier selection -------*- C++ -*-===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read-path configuration surface: one enum naming the three
+/// escalating linearizable-read tiers the core implements, plus the
+/// translation from a tier choice into the core::CoreOptions knobs that
+/// realize it. Hosts (sim, rt, chaos, bench) pick a tier; this header
+/// is the single place that knows which core switches a tier implies,
+/// so a host can never enable follower reads without the lease they
+/// depend on, or a lease without the ReadIndex machinery underneath.
+///
+/// Tier ladder (each includes everything below it):
+///
+///   Off           reads go through the log like writes (baseline).
+///   ReadIndex     leader reads: capture the commit index, confirm
+///                 leadership with one heartbeat-quorum round, serve
+///                 from the applied state machine. No log append.
+///   Lease         quorum-granted time lease: while it holds, the
+///                 leader skips the confirmation round entirely. The
+///                 lease duration is shrunk by the declared worst-case
+///                 clock drift (MaxDriftPpm) and dies the moment a
+///                 reconfiguration is appended.
+///   FollowerLease followers serve reads at a leader-supplied safe
+///                 index while the leader's lease covers it; a
+///                 wrong-leader or expired-lease NACK falls back to a
+///                 retry at the leader (read/ReadTracker.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ADORE_READ_READPATH_H
+#define ADORE_READ_READPATH_H
+
+#include "core/RaftCore.h"
+
+#include <cstdint>
+
+namespace adore {
+namespace read {
+
+/// The escalating read tiers. Ordered: a higher tier subsumes the
+/// machinery of every lower one.
+enum class ReadTier : uint8_t {
+  Off = 0,       ///< Reads replicate through the log (baseline).
+  ReadIndex = 1, ///< Leader reads behind one confirmation round.
+  Lease = 2,     ///< Lease-holding leader skips confirmation.
+  FollowerLease = 3, ///< Lease-protected follower reads.
+};
+
+/// A tier plus the timing parameters the lease tiers need. The
+/// defaults keep every tier OFF and the core's legacy schedule
+/// byte-identical.
+struct ReadOptions {
+  ReadTier Tier = ReadTier::Off;
+  /// Requested lease length; the core clamps it to the minimum
+  /// election timeout and shrinks it by drift (see effectiveLeaseUs).
+  uint64_t LeaseDurationUs = 0;
+  /// Declared worst-case clock drift, parts-per-million, used to bound
+  /// the adversary: the lease the leader trusts is shortened by
+  /// 2*MaxDriftPpm so a follower's faster clock cannot expire the
+  /// promise before the leader stops relying on it.
+  uint32_t MaxDriftPpm = 0;
+};
+
+/// Human-readable tier name (stable; used in bench JSON keys).
+inline const char *tierName(ReadTier T) {
+  switch (T) {
+  case ReadTier::Off:
+    return "log";
+  case ReadTier::ReadIndex:
+    return "read_index";
+  case ReadTier::Lease:
+    return "lease";
+  case ReadTier::FollowerLease:
+    return "follower_lease";
+  }
+  return "?";
+}
+
+/// Projects a tier choice onto the core's option set. Only ever turns
+/// switches ON relative to \p Opts defaults; an Off tier leaves the
+/// options untouched so legacy schedules stay byte-identical.
+inline void applyTier(const ReadOptions &RO, core::CoreOptions &Opts) {
+  if (RO.Tier >= ReadTier::ReadIndex)
+    Opts.EnableReadIndex = true;
+  if (RO.Tier >= ReadTier::Lease) {
+    Opts.EnableLease = true;
+    Opts.LeaseDurationUs = RO.LeaseDurationUs;
+    Opts.MaxDriftPpm = RO.MaxDriftPpm;
+  }
+  if (RO.Tier >= ReadTier::FollowerLease)
+    Opts.EnableFollowerReads = true;
+}
+
+} // namespace read
+} // namespace adore
+
+#endif // ADORE_READ_READPATH_H

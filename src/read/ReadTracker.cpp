@@ -1,0 +1,82 @@
+//===- read/ReadTracker.cpp - Client-side read routing policy -------------===//
+//
+// Part of the Adore reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "read/ReadTracker.h"
+
+#include <algorithm>
+
+using namespace adore;
+using namespace adore::read;
+
+ReadTarget ReadTracker::begin(uint64_t &ReadId, NodeId Leader,
+                              const std::vector<NodeId> &Members) {
+  ReadId = ++NextReadId;
+  Pending.push_back({ReadId, false});
+  ++Stats.Issued;
+
+  ReadTarget T{Leader, true};
+  if (Tier != ReadTier::FollowerLease)
+    return T;
+
+  // Round-robin over the non-leader members. The cursor walks the
+  // member list by position (not id) so membership changes between
+  // reads just re-wrap it.
+  size_t N = Members.size();
+  for (size_t Step = 0; Step != N; ++Step) {
+    NodeId Cand = Members[(NextFollower + Step) % N];
+    if (Cand != Leader) {
+      NextFollower = (NextFollower + Step + 1) % N;
+      return {Cand, false};
+    }
+  }
+  return T; // Singleton group: the leader is the only replica.
+}
+
+bool ReadTracker::resolve(uint64_t ReadId, PendingRead &Out) {
+  auto It = std::find_if(
+      Pending.begin(), Pending.end(),
+      [&](const PendingRead &P) { return P.ReadId == ReadId; });
+  if (It == Pending.end())
+    return false;
+  Out = *It;
+  Pending.erase(It);
+  return true;
+}
+
+bool ReadTracker::onNack(uint64_t ReadId, NodeId Leader,
+                         ReadTarget &Retry) {
+  auto It = std::find_if(
+      Pending.begin(), Pending.end(),
+      [&](const PendingRead &P) { return P.ReadId == ReadId; });
+  if (It == Pending.end())
+    return false;
+  if (It->RetriedAtLeader) {
+    // The leader fallback itself failed; give up on this read.
+    Pending.erase(It);
+    ++Stats.Failed;
+    return false;
+  }
+  It->RetriedAtLeader = true;
+  ++Stats.RetriedAtLeader;
+  Retry = {Leader, true};
+  return true;
+}
+
+void ReadTracker::onServed(uint64_t ReadId, bool AtLeader) {
+  PendingRead P;
+  if (!resolve(ReadId, P))
+    return;
+  if (AtLeader)
+    ++Stats.ServedAtLeader;
+  else
+    ++Stats.ServedAtFollower;
+}
+
+void ReadTracker::onFailed(uint64_t ReadId) {
+  PendingRead P;
+  if (resolve(ReadId, P))
+    ++Stats.Failed;
+}

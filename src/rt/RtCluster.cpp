@@ -58,6 +58,9 @@ RtCluster::RtCluster(RtClusterOptions Opts)
     if (this->Opts.OnSuspicion)
       this->Opts.OnSuspicion(N, Peer, SuspectedNow);
   };
+  Hooks.OnReadDone = [this](NodeId N, uint64_t Id, bool Ok, size_t Index) {
+    onReadDone(N, Id, Ok, Index);
+  };
   if (Opts.DurableStore) {
     store::Vfs *Backing = Opts.ExternalDisk;
     if (!Backing) {
@@ -235,6 +238,69 @@ bool RtCluster::reconfigAndWait(const Config &NewConf, uint64_t TimeoutMs) {
   }
 }
 
+std::optional<size_t> RtCluster::readAndWait(uint64_t TimeoutMs,
+                                             bool AtFollower) {
+  auto Deadline = deadlineIn(TimeoutMs);
+  size_t Rotor = 0;
+  for (;;) {
+    // Pick the target: the node claiming leadership, or (follower
+    // reads) some live non-leader; the leader's identity also feeds
+    // the fallback below.
+    RtNode *Leader = nullptr;
+    RtNode *Follower = nullptr;
+    for (const auto &N : Nodes) {
+      RtNodeStatus S = N->status();
+      if (S.Crashed)
+        continue;
+      if (S.Role == core::Role::Leader && !Leader)
+        Leader = N.get();
+      else if (S.Role != core::Role::Leader && !Follower)
+        Follower = N.get();
+    }
+    RtNode *Target = AtFollower && Follower ? Follower : Leader;
+    if (!Target)
+      Target = Nodes[Rotor++ % Nodes.size()].get();
+
+    uint64_t ReadId;
+    size_t LedgerLb;
+    {
+      sync::MutexLock Lock(ObsMu);
+      ReadId = NextReadId++;
+      // Snapshot BEFORE issuing: everything committed by now must be
+      // visible to a linearizable read that starts after now.
+      LedgerLb = Ledger.size();
+    }
+    Target->read(ReadId);
+
+    sync::MutexLock Lock(ObsMu);
+    auto Retry = deadlineIn(40);
+    while (ReadResults.count(ReadId) == 0) {
+      if (ObsCv.waitUntil(ObsMu, Retry) == std::cv_status::timeout)
+        break;
+    }
+    auto It = ReadResults.find(ReadId);
+    if (It != ReadResults.end()) {
+      ReadOutcome R = It->second;
+      ReadResults.erase(It);
+      if (R.Ok) {
+        if (R.Index < LedgerLb) {
+          std::ostringstream OS;
+          OS << "stale read: served at index " << R.Index << " but "
+             << LedgerLb << " entries were committed before issue";
+          Violations.push_back(OS.str());
+        }
+        return R.Index;
+      }
+      // ReadFailed: a follower NACK (wrong leader / lease lapsed) or a
+      // leader losing its role mid-read. Fall back to the leader on
+      // the next attempt, like the retry-at-leader client policy.
+      AtFollower = false;
+    }
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return std::nullopt;
+  }
+}
+
 bool RtCluster::confCommittedLocked(const Config &NewConf) const {
   for (const Config &C : CommittedConfs)
     if (C == NewConf)
@@ -306,6 +372,12 @@ void RtCluster::onLeader(NodeId Node, Time Term) {
        << Term;
     Violations.push_back(OS.str());
   }
+  ObsCv.notifyAll();
+}
+
+void RtCluster::onReadDone(NodeId, uint64_t ReadId, bool Ok, size_t Index) {
+  sync::MutexLock Lock(ObsMu);
+  ReadResults[ReadId] = ReadOutcome{Ok, Index};
   ObsCv.notifyAll();
 }
 

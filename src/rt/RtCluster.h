@@ -27,6 +27,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -158,6 +159,18 @@ public:
   /// true once a Reconfig entry carrying it is observed committed.
   bool reconfigAndWait(const Config &NewConf, uint64_t TimeoutMs);
 
+  /// Issues a linearizable read (requires a read tier in Opts.Node,
+  /// e.g. Node.EnableReadIndex) and blocks until it resolves or
+  /// \p TimeoutMs elapses. Targets the node currently claiming
+  /// leadership, or — with \p AtFollower and EnableFollowerReads — a
+  /// non-leader replica, falling back to the leader when the follower
+  /// NACKs. Returns the safe index the read was served at, or nullopt.
+  /// Every successful read is checked against the committed ledger
+  /// size snapshotted before issue; a safe index below it is recorded
+  /// as a stale-read violation.
+  std::optional<size_t> readAndWait(uint64_t TimeoutMs,
+                                    bool AtFollower = false);
+
   /// State-level fail-stop / recovery of one node (thread keeps
   /// running; see RtNode).
   void crash(NodeId Id);
@@ -193,6 +206,8 @@ private:
   void onApply(NodeId Node, size_t Index, const core::LogEntry &E)
       ADORE_EXCLUDES(ObsMu);
   void onLeader(NodeId Node, Time Term) ADORE_EXCLUDES(ObsMu);
+  void onReadDone(NodeId Node, uint64_t ReadId, bool Ok, size_t Index)
+      ADORE_EXCLUDES(ObsMu);
   bool confCommittedLocked(const Config &NewConf) const
       ADORE_REQUIRES(ObsMu);
 
@@ -227,6 +242,15 @@ private:
   std::map<Time, std::set<NodeId>> LeadersByTerm ADORE_GUARDED_BY(ObsMu);
   std::vector<std::string> Violations ADORE_GUARDED_BY(ObsMu);
   uint64_t NextClientSeq ADORE_GUARDED_BY(ObsMu) = 1;
+  /// Outcome of a resolved read: Ok plus the safe index it was served
+  /// at. Keyed by the cluster-allocated ReadId; each attempt uses a
+  /// fresh id so late answers from abandoned attempts stay distinct.
+  struct ReadOutcome {
+    bool Ok = false;
+    size_t Index = 0;
+  };
+  std::map<uint64_t, ReadOutcome> ReadResults ADORE_GUARDED_BY(ObsMu);
+  uint64_t NextReadId ADORE_GUARDED_BY(ObsMu) = 1;
 };
 
 } // namespace rt

@@ -125,6 +125,13 @@ void RtNode::requestReconfig(Config NewConf) {
   enqueue(std::move(It));
 }
 
+void RtNode::read(uint64_t ReadId) {
+  Item It;
+  It.K = Item::Kind::Read;
+  It.ReadId = ReadId;
+  enqueue(std::move(It));
+}
+
 void RtNode::crash() {
   Item It;
   It.K = Item::Kind::Crash;
@@ -218,7 +225,7 @@ void RtNode::run() {
 
 bool RtNode::isBatchable(const Item &It) {
   return It.K == Item::Kind::Frame || It.K == Item::Kind::Submit ||
-         It.K == Item::Kind::Reconfig;
+         It.K == Item::Kind::Reconfig || It.K == Item::Kind::Read;
 }
 
 void RtNode::step(Item &It, core::Effects &Out) {
@@ -239,6 +246,11 @@ void RtNode::step(Item &It, core::Effects &Out) {
     return;
   case Item::Kind::Reconfig:
     Core.requestReconfig(It.Conf, Out);
+    return;
+  case Item::Kind::Read:
+    // Lease expiry is checked lazily against the wall clock here; the
+    // heartbeat timer drives renewals and probe retransmission.
+    Core.readQuery(It.ReadId, nowUs(), Out);
     return;
   case Item::Kind::Crash:
   case Item::Kind::Restart:
@@ -264,6 +276,7 @@ void RtNode::processBarrier(Item &It) {
   case Item::Kind::Frame:
   case Item::Kind::Submit:
   case Item::Kind::Reconfig:
+  case Item::Kind::Read:
     // Batchable items never reach here; run() routes them to step().
     return;
   }
@@ -341,6 +354,14 @@ void RtNode::dispatch(core::Effects Effs) {
     case core::Effect::Kind::ReplicaRecovered:
       if (Hooks.OnSuspicion)
         Hooks.OnSuspicion(Id, E.Peer, /*Suspected=*/false);
+      break;
+    case core::Effect::Kind::ReadReady:
+      if (Hooks.OnReadDone)
+        Hooks.OnReadDone(Id, E.ReadId, /*Ok=*/true, E.Index);
+      break;
+    case core::Effect::Kind::ReadFailed:
+      if (Hooks.OnReadDone)
+        Hooks.OnReadDone(Id, E.ReadId, /*Ok=*/false, 0);
       break;
     }
   }

@@ -52,6 +52,11 @@ struct RtNodeHooks {
   /// Fires only with core::CoreOptions::EnableSuspicion; the rt heal
   /// driver subscribes.
   std::function<void(NodeId, NodeId, bool)> OnSuspicion;
+  /// Read outcome: (node, ReadId, ok, safe index). On ok the node's
+  /// applied state machine has reached the safe index, so serving the
+  /// read from this replica is linearizable. Fires only when a read
+  /// tier (core::CoreOptions::EnableReadIndex/...) is on.
+  std::function<void(NodeId, uint64_t, bool, size_t)> OnReadDone;
 };
 
 /// Host-side tuning, orthogonal to core::CoreOptions.
@@ -115,6 +120,10 @@ public:
   /// Enqueues an admin membership-change request (any thread).
   void requestReconfig(Config NewConf);
 
+  /// Enqueues a linearizable read (any thread); the outcome arrives via
+  /// RtNodeHooks::OnReadDone with the same host-chosen \p ReadId.
+  void read(uint64_t ReadId);
+
   /// State-level fail-stop / recovery (any thread).
   void crash();
   void restart();
@@ -139,11 +148,19 @@ public:
 
 private:
   struct Item {
-    enum class Kind : uint8_t { Frame, Submit, Reconfig, Crash, Restart };
+    enum class Kind : uint8_t {
+      Frame,
+      Submit,
+      Reconfig,
+      Read,
+      Crash,
+      Restart
+    };
     Kind K = Kind::Frame;
     std::string Frame;
     MethodId Method = 0;
     uint64_t ClientSeq = 0;
+    uint64_t ReadId = 0;
     Config Conf;
   };
 

@@ -43,6 +43,9 @@ std::string rt::encodeMsg(const core::Msg &M) {
   codec::putU64(Out, M.Offset);
   codec::putU8(Out, M.Done ? 1 : 0);
   codec::putBytes(Out, M.Chunk);
+  // Appended at the tail so every pre-read field keeps its offset (the
+  // golden-frame corpus and RtTest's count-offset probe rely on that).
+  codec::putU64(Out, M.ReadRound);
   return Out;
 }
 
@@ -50,7 +53,7 @@ bool rt::decodeMsg(const std::string &Bytes, core::Msg &Out) {
   codec::Cursor C{Bytes};
   uint8_t Kind = C.u8();
   if (!C.Ok ||
-      Kind > static_cast<uint8_t>(core::Msg::Kind::InstallSnapshotReply))
+      Kind > static_cast<uint8_t>(core::Msg::Kind::ReadIndexReply))
     return false;
   Out.K = static_cast<core::Msg::Kind>(Kind);
   Out.From = C.u32();
@@ -82,5 +85,6 @@ bool rt::decodeMsg(const std::string &Bytes, core::Msg &Out) {
   Out.Done = C.u8() != 0;
   if (!C.bytes(Out.Chunk))
     return false;
+  Out.ReadRound = C.u64();
   return C.done();
 }

@@ -20,6 +20,8 @@ void encodeRouteRequest(std::string &Out, const RouteRequest &R) {
   codec::putU32(Out, R.Shard);
   codec::putU32(Out, R.Group);
   codec::putU64(Out, R.MapGen);
+  // Appended at the tail so every pre-read field keeps its offset.
+  codec::putU8(Out, R.ReadAtLeader ? 1 : 0);
 }
 
 bool decodeRouteRequest(const std::string &Bytes, RouteRequest &R) {
@@ -33,6 +35,10 @@ bool decodeRouteRequest(const std::string &Bytes, RouteRequest &R) {
   R.Shard = C.u32();
   R.Group = C.u32();
   R.MapGen = C.u64();
+  uint8_t AtLeader = C.u8();
+  if (!C.Ok || AtLeader > 1)
+    return false;
+  R.ReadAtLeader = AtLeader != 0;
   return C.done();
 }
 
@@ -42,6 +48,8 @@ void encodeGroupReply(std::string &Out, const GroupReply &R) {
   codec::putU32(Out, R.Value);
   codec::putU8(Out, R.HasNack ? 1 : 0);
   codec::putU64(Out, R.Nack.CurrentGen);
+  // Appended at the tail so every pre-read field keeps its offset.
+  codec::putU8(Out, R.ReadNack ? 1 : 0);
 }
 
 bool decodeGroupReply(const std::string &Bytes, GroupReply &R) {
@@ -50,11 +58,13 @@ bool decodeGroupReply(const std::string &Bytes, GroupReply &R) {
   R.Value = C.u32();
   uint8_t HasNack = C.u8();
   R.Nack.CurrentGen = C.u64();
-  if (!C.done() || Ok > 1 || HasValue > 1 || HasNack > 1)
+  uint8_t ReadNack = C.u8();
+  if (!C.done() || Ok > 1 || HasValue > 1 || HasNack > 1 || ReadNack > 1)
     return false;
   R.Ok = Ok != 0;
   R.HasValue = HasValue != 0;
   R.HasNack = HasNack != 0;
+  R.ReadNack = ReadNack != 0;
   return true;
 }
 
@@ -73,7 +83,8 @@ bool ShardedKvClient::installMap(const PoolMap &M) {
 
 void ShardedKvClient::submit(uint64_t Key, MethodId Payload, bool IsRead,
                              ReplyFn Done, unsigned MaxAttempts) {
-  attempt(Key, Payload, IsRead, MaxAttempts, Backoff.BaseUs, std::move(Done));
+  attempt(Key, Payload, IsRead, /*ReadAtLeader=*/false, MaxAttempts,
+          Backoff.BaseUs, std::move(Done));
 }
 
 void ShardedKvClient::retryAfter(uint64_t CeilingUs,
@@ -90,8 +101,8 @@ void ShardedKvClient::retryAfter(uint64_t CeilingUs,
 }
 
 void ShardedKvClient::attempt(uint64_t Key, MethodId Payload, bool IsRead,
-                              unsigned Left, uint64_t BackoffCeilingUs,
-                              ReplyFn Done) {
+                              bool ReadAtLeader, unsigned Left,
+                              uint64_t BackoffCeilingUs, ReplyFn Done) {
   if (Left == 0 || Map.NumShards == 0) {
     ++Stats.Exhausted;
     ++Stats.Completed;
@@ -102,6 +113,7 @@ void ShardedKvClient::attempt(uint64_t Key, MethodId Payload, bool IsRead,
   Req.Key = Key;
   Req.Payload = Payload;
   Req.IsRead = IsRead;
+  Req.ReadAtLeader = IsRead && ReadAtLeader;
   Req.Shard = shardForKey(Key, Map.NumShards);
   Req.Group = Map.groupForShard(Req.Shard);
   Req.MapGen = Map.Generation;
@@ -111,9 +123,21 @@ void ShardedKvClient::attempt(uint64_t Key, MethodId Payload, bool IsRead,
   uint64_t NextCeiling = BackoffCeilingUs >= Backoff.MaxUs / 2
                              ? Backoff.MaxUs
                              : BackoffCeilingUs * 2;
-  Io.Perform(Req, [this, Key, Payload, IsRead, Left, BackoffCeilingUs,
-                   NextCeiling,
+  Io.Perform(Req, [this, Key, Payload, IsRead, ReadAtLeader, Left,
+                   BackoffCeilingUs, NextCeiling,
                    Done = std::move(Done)](const GroupReply &Reply) mutable {
+    if (Reply.ReadNack && IsRead) {
+      ++Stats.ReadNacks;
+      // Placement rejection, not congestion or staleness of the map:
+      // the follower could not prove the read safe (wrong leader, lease
+      // expired). Re-send pinned to the leader immediately; if even the
+      // leader NACKed (it lost leadership mid-flight), keep re-routing
+      // pinned — the attempt budget still bounds the loop.
+      ++Stats.ReadRetriesAtLeader;
+      attempt(Key, Payload, IsRead, /*ReadAtLeader=*/true, Left - 1,
+              BackoffCeilingUs, std::move(Done));
+      return;
+    }
     if (!Reply.HasNack) {
       ++Stats.Completed;
       Done(Reply);
@@ -126,30 +150,30 @@ void ShardedKvClient::attempt(uint64_t Key, MethodId Payload, bool IsRead,
     // when the NACK proves our cache is behind.
     if (Reply.Nack.CurrentGen <= Map.Generation) {
       retryAfter(BackoffCeilingUs,
-                 [this, Key, Payload, IsRead, Left, NextCeiling,
+                 [this, Key, Payload, IsRead, ReadAtLeader, Left, NextCeiling,
                   Done = std::move(Done)]() mutable {
-                   attempt(Key, Payload, IsRead, Left - 1, NextCeiling,
-                           std::move(Done));
+                   attempt(Key, Payload, IsRead, ReadAtLeader, Left - 1,
+                           NextCeiling, std::move(Done));
                  });
       return;
     }
     ++Stats.MapRefreshes;
-    Io.FetchMap([this, Key, Payload, IsRead, Left, BackoffCeilingUs,
-                 NextCeiling,
+    Io.FetchMap([this, Key, Payload, IsRead, ReadAtLeader, Left,
+                 BackoffCeilingUs, NextCeiling,
                  Done = std::move(Done)](const PoolMap &Fresh) mutable {
       // A newer map means the last send was doomed by staleness, not by
       // pool churn: retry on the fresh route immediately and restart
       // the backoff ladder. No progress (same map) keeps climbing it.
       if (installMap(Fresh)) {
-        attempt(Key, Payload, IsRead, Left - 1, Backoff.BaseUs,
+        attempt(Key, Payload, IsRead, ReadAtLeader, Left - 1, Backoff.BaseUs,
                 std::move(Done));
         return;
       }
       retryAfter(BackoffCeilingUs,
-                 [this, Key, Payload, IsRead, Left, NextCeiling,
+                 [this, Key, Payload, IsRead, ReadAtLeader, Left, NextCeiling,
                   Done = std::move(Done)]() mutable {
-                   attempt(Key, Payload, IsRead, Left - 1, NextCeiling,
-                           std::move(Done));
+                   attempt(Key, Payload, IsRead, ReadAtLeader, Left - 1,
+                           NextCeiling, std::move(Done));
                  });
     });
   });

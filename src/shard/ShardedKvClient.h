@@ -60,6 +60,10 @@ struct RouteRequest {
   uint32_t Shard = 0;
   GroupId Group = InvalidGroupId;
   uint64_t MapGen = 0;
+  /// Set by the client's retry-at-leader fallback after a ReadNack: the
+  /// server must serve this read at the leader (commit barrier or lease
+  /// fast path), never at a follower. Meaningless unless IsRead.
+  bool ReadAtLeader = false;
 };
 
 /// What a group answers: success with an optional value (reads), a
@@ -73,6 +77,12 @@ struct GroupReply {
   uint32_t Value = 0;
   bool HasNack = false;
   WrongGroupNack Nack;
+  /// Server-side rejection of a lease-protected read: the contacted
+  /// replica was the wrong leader or its lease had expired, so serving
+  /// would risk staleness. Distinct from WrongGroup — the *routing* was
+  /// right, the read *placement* was wrong — so the client retries at
+  /// the leader instead of refetching the map.
+  bool ReadNack = false;
 };
 
 /// Wire helpers for hosts that carry requests/replies as opaque frames
@@ -93,6 +103,8 @@ struct RouteStats {
   uint64_t Exhausted = 0;       ///< ops that ran out of attempts
   uint64_t BackoffSleeps = 0;   ///< retries delayed through Sleep
   uint64_t BackoffUsTotal = 0;  ///< total delay requested from Sleep
+  uint64_t ReadNacks = 0;       ///< lease/leader read rejections seen
+  uint64_t ReadRetriesAtLeader = 0; ///< reads re-sent pinned to leader
 };
 
 /// Retry pacing for NACKed sends. Each consecutive retry of one op
@@ -136,6 +148,10 @@ public:
   /// Routes \p Payload for \p Key and drives the NACK/refetch/retry loop
   /// until a non-NACK reply arrives or \p MaxAttempts routed sends are
   /// exhausted (then Done gets Ok=false). Calls \p Done at most once.
+  /// Reads start un-pinned (a host with follower reads enabled may serve
+  /// them anywhere); a ReadNack re-sends the read pinned to the leader
+  /// immediately — placement rejections signal staleness risk, not
+  /// congestion, so they skip the backoff ladder.
   void submit(uint64_t Key, MethodId Payload, bool IsRead, ReplyFn Done,
               unsigned MaxAttempts = 6);
 
@@ -148,8 +164,8 @@ public:
   const RouteStats &stats() const { return Stats; }
 
 private:
-  void attempt(uint64_t Key, MethodId Payload, bool IsRead, unsigned Left,
-               uint64_t BackoffCeilingUs, ReplyFn Done);
+  void attempt(uint64_t Key, MethodId Payload, bool IsRead, bool ReadAtLeader,
+               unsigned Left, uint64_t BackoffCeilingUs, ReplyFn Done);
   /// Re-enters attempt() after a jittered delay drawn below
   /// \p CeilingUs, or immediately when the host supplied no Sleep hook.
   void retryAfter(uint64_t CeilingUs, std::function<void()> Resume);

@@ -53,6 +53,10 @@ Cluster::Cluster(const ReconfigScheme &Scheme, Config InitialConf,
     Node->setLeaderObserver(
         [this](NodeId Leader, Time Term) { noteLeader(Leader, Term); });
     Node->setStoreViolationSink(&StoreViolationsVec);
+    Node->setReadObserver(
+        [this](NodeId Server, uint64_t ReadId, bool Ok, size_t Index) {
+          onReadDone(Server, ReadId, Ok, Index);
+        });
   }
 }
 
@@ -157,7 +161,7 @@ void Cluster::sendMsg(SimMsg M) {
 // Client and admin
 //===----------------------------------------------------------------------===//
 
-NodeId Cluster::pickTarget(const PendingOp &Op) {
+NodeId Cluster::pickTarget() {
   if (LastKnownLeader && Nodes.count(*LastKnownLeader))
     return *LastKnownLeader;
   // No hint: ask a random member of some node's current configuration.
@@ -203,7 +207,7 @@ void Cluster::attempt(uint64_t Seq) {
     return;
   }
   ++Op.Attempt;
-  NodeId Target = pickTarget(Op);
+  NodeId Target = pickTarget();
   // One network hop to reach the target.
   SimTime Hop = R.nextInRange(Opts.Link.LatencyMinUs,
                               Opts.Link.LatencyMaxUs);
@@ -258,6 +262,107 @@ void Cluster::attempt(uint64_t Seq) {
     Q->scheduleAfter(Opts.ClientRetryDelayUs,
                         [this, Seq] { attempt(Seq); });
   });
+}
+
+void Cluster::read(
+    std::function<void(bool, NodeId, size_t, SimTime)> Done,
+    bool AtFollower, SimTime MaxTriesUs) {
+  uint64_t Seq = NextReadSeq++;
+  PendingReadOp &Op = PendingReads[Seq];
+  Op.SubmittedAt = Q->now();
+  Op.Deadline = Q->now() + MaxTriesUs;
+  Op.AtFollower = AtFollower;
+  Op.Done = std::move(Done);
+  attemptRead(Seq);
+}
+
+void Cluster::attemptRead(uint64_t Seq) {
+  auto It = PendingReads.find(Seq);
+  if (It == PendingReads.end() || It->second.Settled)
+    return;
+  PendingReadOp &Op = It->second;
+  if (Q->now() >= Op.Deadline) {
+    settleRead(Seq, false, InvalidNodeId, 0);
+    return;
+  }
+  ++Op.Attempt;
+  // Tier-3 first choice: a live non-leader replica; otherwise the
+  // leader hint, like every other client request.
+  NodeId Target = InvalidNodeId;
+  if (Op.AtFollower) {
+    std::optional<NodeId> L = leader();
+    for (NodeId N : Universe) {
+      const RaftNode &Cand = node(N);
+      if (!Cand.isCrashed() && !Cand.isPassive() && (!L || *L != N)) {
+        Target = N;
+        break;
+      }
+    }
+  }
+  if (Target == InvalidNodeId)
+    Target = pickTarget();
+  SimTime Hop = R.nextInRange(Opts.Link.LatencyMinUs,
+                              Opts.Link.LatencyMaxUs);
+  Q->scheduleAfter(Hop, [this, Seq, Target] {
+    auto It = PendingReads.find(Seq);
+    if (It == PendingReads.end() || It->second.Settled)
+      return;
+    RaftNode &N = node(Target);
+    if (N.isCrashed()) {
+      if (LastKnownLeader == Target)
+        LastKnownLeader.reset();
+      Q->scheduleAfter(Opts.ClientRetryDelayUs,
+                       [this, Seq] { attemptRead(Seq); });
+      return;
+    }
+    uint64_t Rid = NextReadAttemptId++;
+    ReadAttemptToSeq[Rid] = Seq;
+    N.read(Rid);
+    // A crashed target silently swallows pending reads (a dead node
+    // sends nothing); arm a client-side timeout so the op retries.
+    Q->scheduleAfter(Opts.ClientTimeoutUs, [this, Seq, Rid] {
+      ReadAttemptToSeq.erase(Rid);
+      attemptRead(Seq);
+    });
+  });
+}
+
+void Cluster::onReadDone(NodeId Server, uint64_t ReadId, bool Ok,
+                         size_t Index) {
+  auto MapIt = ReadAttemptToSeq.find(ReadId);
+  if (MapIt == ReadAttemptToSeq.end())
+    return; // Outcome of an abandoned (timed-out) attempt.
+  uint64_t Seq = MapIt->second;
+  ReadAttemptToSeq.erase(MapIt);
+  auto It = PendingReads.find(Seq);
+  if (It == PendingReads.end() || It->second.Settled)
+    return;
+  if (Ok) {
+    // The response costs one more network hop back to the client.
+    SimTime Hop = R.nextInRange(Opts.Link.LatencyMinUs,
+                                Opts.Link.LatencyMaxUs);
+    Q->scheduleAfter(Hop, [this, Seq, Server, Index] {
+      settleRead(Seq, true, Server, Index);
+    });
+    return;
+  }
+  // NACK or mid-read leadership loss: fall back to the leader.
+  It->second.AtFollower = false;
+  Q->scheduleAfter(Opts.ClientRetryDelayUs,
+                   [this, Seq] { attemptRead(Seq); });
+}
+
+void Cluster::settleRead(uint64_t Seq, bool Ok, NodeId Server,
+                         size_t Index) {
+  auto It = PendingReads.find(Seq);
+  if (It == PendingReads.end() || It->second.Settled)
+    return;
+  It->second.Settled = true;
+  SimTime Latency = Q->now() - It->second.SubmittedAt;
+  auto Done = std::move(It->second.Done);
+  PendingReads.erase(It);
+  if (Done)
+    Done(Ok, Server, Index, Latency);
 }
 
 void Cluster::settle(uint64_t Seq, bool Ok) {

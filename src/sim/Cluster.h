@@ -129,6 +129,16 @@ public:
   void setLinkOptions(const LinkOptions &Link) { Opts.Link = Link; }
   const LinkOptions &linkOptions() const { return Opts.Link; }
 
+  /// Per-node clock skew (virtual microseconds, may be negative): the
+  /// node's protocol handlers see queue-now + skew. This is the lease
+  /// tiers' drift adversary — the clock-drift nemesis keeps skews
+  /// within the declared CoreOptions::MaxDriftPpm envelope (or pushes
+  /// beyond it to demonstrate the declared bound is load-bearing).
+  void setClockSkew(NodeId Id, int64_t SkewUs) {
+    node(Id).setClockSkew(SkewUs);
+  }
+  int64_t clockSkew(NodeId Id) const { return node(Id).clockSkew(); }
+
   //===--------------------------------------------------------------===//
   // Client and admin
   //===--------------------------------------------------------------===//
@@ -145,6 +155,19 @@ public:
   void requestReconfig(Config NewConf,
                        std::function<void(bool Ok, SimTime LatencyUs)> Done,
                        SimTime MaxTriesUs = 10000000);
+
+  /// Linearizable read through the protocol read path (requires a read
+  /// tier in Opts.Node, e.g. EnableReadIndex). \p Done fires with
+  /// success, the node that served the read, and the safe index it was
+  /// served at — by then that node's applied state machine covers the
+  /// index, so reading its replica is linearizable. With \p AtFollower
+  /// the first attempt targets a live non-leader replica (tier-3
+  /// follower reads); any failure falls back to the leader, mirroring
+  /// the NACK retry-at-leader client policy.
+  void read(std::function<void(bool Ok, NodeId Server, size_t SafeIndex,
+                               SimTime LatencyUs)>
+                Done,
+            bool AtFollower = false, SimTime MaxTriesUs = 5000000);
 
   /// Registers a hook observing every (node, index, entry) application;
   /// hooks fire in registration order. Used by the replicated KV store
@@ -203,12 +226,24 @@ private:
     std::function<void(bool, SimTime)> Done;
   };
 
+  struct PendingReadOp {
+    SimTime SubmittedAt = 0;
+    SimTime Deadline = 0;
+    bool AtFollower = false;
+    uint64_t Attempt = 0;
+    bool Settled = false;
+    std::function<void(bool, NodeId, size_t, SimTime)> Done;
+  };
+
   void sendMsg(SimMsg M);
   void onApply(NodeId Node, size_t Index, const SimLogEntry &E);
   void noteLeader(NodeId Leader, Time Term);
   void attempt(uint64_t Seq);
   void settle(uint64_t Seq, bool Ok);
-  NodeId pickTarget(const PendingOp &Op);
+  NodeId pickTarget();
+  void attemptRead(uint64_t Seq);
+  void settleRead(uint64_t Seq, bool Ok, NodeId Server, size_t Index);
+  void onReadDone(NodeId Server, uint64_t ReadId, bool Ok, size_t Index);
 
   const ReconfigScheme *Scheme;
   Config InitialConf;
@@ -227,6 +262,13 @@ private:
   std::map<NodeId, std::unique_ptr<RaftNode>> Nodes;
   std::map<uint64_t, PendingOp> Pending;
   uint64_t NextSeq = 1;
+  std::map<uint64_t, PendingReadOp> PendingReads;
+  /// Per-attempt core-level read id -> client read op. Each attempt
+  /// gets a fresh id so a late outcome from an abandoned attempt can
+  /// never settle a newer one.
+  std::map<uint64_t, uint64_t> ReadAttemptToSeq;
+  uint64_t NextReadSeq = 1;
+  uint64_t NextReadAttemptId = 1;
   size_t MessagesSent = 0;
   size_t DroppedByCut = 0;
   size_t DroppedByLoss = 0;

@@ -29,6 +29,12 @@ core::CoreOptions toCoreOptions(const NodeOptions &Opts) {
   C.EnableSnapshotCatchup = Opts.EnableSnapshotCatchup;
   C.SnapshotLagEntries = Opts.SnapshotLagEntries;
   C.SnapshotChunkBytes = Opts.SnapshotChunkBytes;
+  C.EnableReadIndex = Opts.EnableReadIndex;
+  C.EnableLease = Opts.EnableLease;
+  C.LeaseDurationUs = Opts.LeaseDurationUs;
+  C.MaxDriftPpm = Opts.MaxDriftPpm;
+  C.EnableFollowerReads = Opts.EnableFollowerReads;
+  C.TestIgnoreLeaseExpiry = Opts.TestIgnoreLeaseExpiry;
   return C;
 }
 
@@ -124,6 +130,13 @@ bool RaftNode::transferLeadership(NodeId Target) {
   return Accepted;
 }
 
+bool RaftNode::read(uint64_t ReadId) {
+  core::Effects Effs;
+  bool Accepted = Core.readQuery(ReadId, nowUs(), Effs);
+  dispatch(std::move(Effs));
+  return Accepted;
+}
+
 void RaftNode::dispatch(core::Effects Effs) {
   // Persist-before-act: the core emits Persist at the END of a step's
   // batch (after the Sends it must gate), so a store-backed host
@@ -149,7 +162,7 @@ void RaftNode::dispatch(core::Effects Effs) {
       core::TimerId Timer = E.Timer;
       uint64_t Gen = E.TimerGen;
       Queue->scheduleAfter(E.DelayUs, [this, Timer, Gen] {
-        dispatch(Core.onTimer(Timer, Gen, Queue->now()));
+        dispatch(Core.onTimer(Timer, Gen, nowUs()));
       });
       break;
     }
@@ -181,6 +194,14 @@ void RaftNode::dispatch(core::Effects Effs) {
     case core::Effect::Kind::ReplicaRecovered:
       if (OnSuspicion)
         OnSuspicion(Core.id(), E.Peer, /*Suspected=*/false);
+      break;
+    case core::Effect::Kind::ReadReady:
+      if (OnRead)
+        OnRead(Core.id(), E.ReadId, /*Ok=*/true, E.Index);
+      break;
+    case core::Effect::Kind::ReadFailed:
+      if (OnRead)
+        OnRead(Core.id(), E.ReadId, /*Ok=*/false, 0);
       break;
     }
   }

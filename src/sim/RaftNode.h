@@ -72,6 +72,15 @@ struct NodeOptions {
   bool EnableSnapshotCatchup = false;
   size_t SnapshotLagEntries = 64;
   size_t SnapshotChunkBytes = 4096;
+  /// Linearizable-read tiers, forwarded to the core (see
+  /// core::CoreOptions). All default off: legacy seeds draw the same
+  /// schedules byte-for-byte.
+  bool EnableReadIndex = false;
+  bool EnableLease = false;
+  uint64_t LeaseDurationUs = 0;
+  uint64_t MaxDriftPpm = 0;
+  bool EnableFollowerReads = false;
+  bool TestIgnoreLeaseExpiry = false;
 };
 
 /// A single simulated replica: core::RaftCore + effect plumbing.
@@ -95,7 +104,7 @@ public:
 
   /// Delivers a message to this node.
   void receive(const SimMsg &M) {
-    dispatch(Core.onMessage(M, Queue->now()));
+    dispatch(Core.onMessage(M, nowUs()));
   }
 
   /// Fail-stop: the node ignores messages and timers until restarted.
@@ -130,6 +139,27 @@ public:
   /// member and caught up — to elect immediately, and steps this leader
   /// out of the way. Returns false if not leader or the target lags.
   bool transferLeadership(NodeId Target);
+
+  /// Starts a linearizable read (core::RaftCore::readQuery). The read
+  /// observer fires with the outcome — possibly synchronously, before
+  /// this returns. Returns false if the core failed it synchronously.
+  bool read(uint64_t ReadId);
+
+  /// Observer for read outcomes: (node, ReadId, ok, safe index). On
+  /// ok the node's applied state machine has reached the safe index,
+  /// so serving the read from this replica is linearizable.
+  void setReadObserver(
+      std::function<void(NodeId, uint64_t, bool, size_t)> Fn) {
+    OnRead = std::move(Fn);
+  }
+
+  /// Skews this node's protocol clock: every NowUs the core observes
+  /// (message receipt, timer firing, read submission) is offset by
+  /// \p SkewUs from virtual time. Timers still *fire* on queue time —
+  /// drift misleads lease/stickiness arithmetic, it does not reorder
+  /// the event loop. The clock-drift nemesis drives this.
+  void setClockSkew(int64_t SkewUs) { ClockSkewUs = SkewUs; }
+  int64_t clockSkew() const { return ClockSkewUs; }
 
   /// Observer fired whenever this node wins an election, with the term it
   /// now leads. The chaos harness uses it to check election safety (at
@@ -182,6 +212,12 @@ private:
   /// may escape before the durable state backing it is on disk.
   void dispatch(core::Effects Effs);
 
+  /// The node's (possibly skewed) protocol clock, clamped at zero.
+  uint64_t nowUs() const {
+    int64_t Now = static_cast<int64_t>(Queue->now()) + ClockSkewUs;
+    return Now < 0 ? 0 : static_cast<uint64_t>(Now);
+  }
+
   /// Runs store recovery and installs the result into the (crashed or
   /// fresh) core. \p CheckAgainstCore enables the restart-time
   /// cross-check against the idealized in-memory state.
@@ -193,8 +229,10 @@ private:
   std::function<void(NodeId, size_t, const SimLogEntry &)> ApplyFn;
   std::function<void(NodeId, Time)> OnLeader;
   std::function<void(NodeId, NodeId, bool)> OnSuspicion;
+  std::function<void(NodeId, uint64_t, bool, size_t)> OnRead;
   store::NodeStore *Store = nullptr;
   std::vector<std::string> *StoreViolations = nullptr;
+  int64_t ClockSkewUs = 0;
 };
 
 } // namespace sim

@@ -474,6 +474,133 @@ TEST(SelfHealingTest, HealingMetricsAppearOnlyForKillForever) {
 }
 
 //===----------------------------------------------------------------------===//
+// Read path: the clock-drift scenario and the lease-expiry mutation
+//===----------------------------------------------------------------------===//
+
+TEST(ReadChaosTest, ClockDriftScenarioReadsThroughTheTiers) {
+  // The read-heavy scenario: skews wander, crashes and reconfigs churn,
+  // and the workload's gets flow through getFast (alternating follower
+  // targeting) into the Wing & Gong checker. The run must pass, and the
+  // read-path statistics must show both serving modes were exercised.
+  ChaosRunOptions Opts;
+  Opts.Nemesis.Kind = Scenario::ClockDrift;
+  ChaosRunResult R = runChaosScenario(Opts, 11);
+  EXPECT_TRUE(R.passed()) << R.summary() << "\nviolations:\n" << [&] {
+    std::string All;
+    for (const std::string &V : R.Violations)
+      All += "  " + V + "\n";
+    return All;
+  }();
+  EXPECT_TRUE(R.ReadPath);
+  EXPECT_GT(R.ReadsIssued, 0u);
+  EXPECT_GT(R.ReadsOk, 0u);
+  EXPECT_GT(R.ReadsAtFollower, 0u);
+  EXPECT_NE(R.NemesisTrace.find("clock-skew"), std::string::npos);
+
+  JsonWriter W;
+  R.addToJson(W);
+  EXPECT_NE(W.str().find("\"read_path\""), std::string::npos);
+}
+
+TEST(ReadChaosTest, ReadStatsAppearOnlyForClockDrift) {
+  ChaosRunOptions Opts;
+  Opts.Workload.NumOps = 10;
+  ChaosRunResult Legacy = runChaosScenario(Opts, 5);
+  JsonWriter WL;
+  Legacy.addToJson(WL);
+  EXPECT_EQ(WL.str().find("\"read_path\""), std::string::npos)
+      << "legacy scenarios must keep their JSON layout byte-identical";
+  EXPECT_FALSE(Legacy.ReadPath);
+  EXPECT_EQ(Legacy.ReadsIssued, 0u);
+}
+
+TEST(ReadChaosTest, LeaseExpiryMutationIsCaughtByTheChecker) {
+  // The protocol-level mutation test: TestIgnoreLeaseExpiry makes a
+  // leader keep serving lease reads after its lease lapsed. Partition
+  // that leader, commit a newer value through its successor, then read
+  // at the deposed leader — the hook serves the overwritten value, and
+  // feeding that read into the linearizability checker must fail the
+  // history. This proves the checker (not luck) guards the lease math.
+  sim::ClusterOptions Opts;
+  Opts.Node.EnableReadIndex = true;
+  Opts.Node.EnableLease = true;
+  Opts.Node.LeaseDurationUs = 100000;
+  Opts.Node.TestIgnoreLeaseExpiry = true;
+  TestCluster TC(3, 0, /*Seed=*/9, Opts);
+  kv::ReplicatedKvStore Store(*TC);
+  History H;
+  Store.setObserver(&H);
+  std::optional<NodeId> L0 = TC->runUntilLeader(2000000);
+  ASSERT_TRUE(L0.has_value());
+  NodeId Stale = *L0;
+
+  bool Put1 = false;
+  Store.put(5, 10, [&](bool Ok, SimTime) { Put1 = Ok; });
+  SimTime Deadline = TC->queue().now() + 5000000;
+  while (!Put1 && TC->queue().now() < Deadline && TC->queue().runNext())
+    ;
+  ASSERT_TRUE(Put1);
+
+  // Give the heartbeat-driven lease renewal a beat to grant, then strand
+  // the lease holder: it keeps its role and (thanks to the hook) its
+  // lease, while the majority moves on.
+  SimTime Settle = TC->queue().now() + 200000;
+  while (TC->queue().now() < Settle && TC->queue().runNext())
+    ;
+  TC->partition(NodeSet{Stale});
+  Deadline = TC->queue().now() + 10000000;
+  while (TC->queue().now() < Deadline && TC->queue().runNext()) {
+    std::optional<NodeId> L = TC->leader();
+    if (L && *L != Stale)
+      break;
+  }
+  std::optional<NodeId> L2 = TC->leader();
+  ASSERT_TRUE(L2.has_value());
+  ASSERT_NE(*L2, Stale);
+
+  bool Put2 = false;
+  Store.put(5, 20, [&](bool Ok, SimTime) { Put2 = Ok; });
+  Deadline = TC->queue().now() + 20000000;
+  while (!Put2 && TC->queue().now() < Deadline && TC->queue().runNext())
+    ;
+  ASSERT_TRUE(Put2);
+
+  // Read at the deposed leader. With the mutation hook it must answer
+  // from its dead lease (a probe round could never complete across the
+  // partition), serving the overwritten value.
+  bool ReadOk = false;
+  bool ReadSeen = false;
+  TC->node(Stale).setReadObserver(
+      [&](NodeId, uint64_t Id, bool Ok, size_t) {
+        if (Id == 777) {
+          ReadSeen = true;
+          ReadOk = Ok;
+        }
+      });
+  SimTime InvokedAt = TC->queue().now();
+  TC->node(Stale).read(777);
+  Deadline = TC->queue().now() + 1000000;
+  while (!ReadSeen && TC->queue().now() < Deadline && TC->queue().runNext())
+    ;
+  ASSERT_TRUE(ReadSeen);
+  ASSERT_TRUE(ReadOk) << "the mutation hook should have served the read "
+                         "from the expired lease";
+  std::optional<uint32_t> Served = Store.replica(Stale).get(5);
+  ASSERT_EQ(Served, std::optional<uint32_t>(10))
+      << "the deposed leader should still hold the overwritten value";
+
+  // The observed stale read, as the client would have recorded it.
+  H.finalize(TC->queue().now() + 100);
+  ClientOp StaleRead = op(OpKind::Get, 5, 0, InvokedAt, InvokedAt + 50,
+                          Outcome::Ok, Served);
+  H.inject(StaleRead);
+  LinearizabilityResult R = checkLinearizability(H);
+  EXPECT_FALSE(R.Ok) << "the checker must flag a lease read served past "
+                        "expiry";
+  EXPECT_NE(R.Explanation.find("key 5"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
 // Metadata-group recovery: leader killed mid-proposeMap on faulted disks
 //===----------------------------------------------------------------------===//
 

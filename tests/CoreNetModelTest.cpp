@@ -184,6 +184,128 @@ TEST(CoreNetModelTest, StickinessWindowChangesTheExploredGraph) {
   EXPECT_NE(RG.Transitions, RD.Transitions);
 }
 
+TEST(CoreNetModelTest, LeaseReadsUnderDriftingClocksStaySafe) {
+  // The read tiers under the clock adversary: every replica gets its
+  // own clock, the tick schedule is adversarial within the pairwise
+  // skew bound, reads flow through ReadIndex rounds and lease grants,
+  // and reconfigurations churn underneath. The declared-drift envelope
+  // is KEPT here — effective lease (4000 derated by 2*25% = 2000) plus
+  // 2*Bound (1000) stays at or below ElectionTimeoutMinUs (4000) — so
+  // no stale read, no two live leases, lease⊆term, and
+  // lease-dies-at-reconfig must all hold on every visited state.
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 1;
+  Opts.MaxPending = 4;
+  Opts.WithReconfig = true;
+  Opts.WithClocks = true;
+  Opts.ClockSkewBoundUs = 1000;
+  Opts.ClockQuantumUs = 1000;
+  Opts.MaxClockUs = 6000;
+  Opts.MaxReads = 2;
+  core::CoreOptions CoreOpts;
+  CoreOpts.ElectionTimeoutMinUs = 4000;
+  CoreOpts.ElectionTimeoutMaxUs = 8000;
+  CoreOpts.EnableReadIndex = true;
+  CoreOpts.EnableLease = true;
+  CoreOpts.LeaseDurationUs = 4000;
+  CoreOpts.MaxDriftPpm = 250000;
+  CoreOpts.EnableFollowerReads = true;
+  CoreNetModel M = H.make(2, Opts, CoreOpts);
+  Engine<CoreNetModel> E(M, ExploreOptions{/*MaxDepth=*/0,
+                                           /*MaxStates=*/150000,
+                                           /*Threads=*/0, {}});
+  ExploreResult R = E.run();
+  EXPECT_FALSE(R.Violation.has_value()) << *R.Violation << "\nstate:\n"
+                                        << R.ViolatingState;
+  EXPECT_GT(R.States, 10000u);
+}
+
+TEST(CoreNetModelTest, BrokenDriftPromiseIsCaughtByTheLeaseInvariant) {
+  // The negative control: let the clock adversary skew clocks as far
+  // as the full lease length while MaxDriftPpm=0 declares no drift at
+  // all (so no derating). Three nodes: the leader's clock stalls at
+  // the lease grant while a voter's clock races through the whole
+  // stickiness window, letting a third node elect and lease in a
+  // higher term — the exploration must FIND the two-live-leases (or
+  // stale-read) violation, proving the invariant and the clock
+  // adversary are both load-bearing. (Two nodes would not do: deposing
+  // a 2-node leader needs its own vote, which stickiness never grants.)
+  // The election-and-lease prefix is driven deterministically
+  // (StartEstablished) so the bounded search spends its depth on the
+  // drift-and-rival-election suffix, which is where the bug lives.
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 3;
+  Opts.MaxLog = 0;
+  Opts.MaxPending = 6;
+  Opts.StartEstablished = true;
+  Opts.WithReconfig = false;
+  Opts.WithClocks = true;
+  Opts.ClockSkewBoundUs = 4000;
+  Opts.ClockQuantumUs = 4000;
+  Opts.MaxClockUs = 8000;
+  Opts.MaxReads = 1;
+  core::CoreOptions CoreOpts;
+  CoreOpts.ElectionTimeoutMinUs = 4000;
+  CoreOpts.ElectionTimeoutMaxUs = 8000;
+  CoreOpts.EnableReadIndex = true;
+  CoreOpts.EnableLease = true;
+  CoreOpts.LeaseDurationUs = 4000;
+  CoreOpts.MaxDriftPpm = 0; // The lie: no derating at all.
+  CoreNetModel M = H.make(3, Opts, CoreOpts);
+  Engine<CoreNetModel> E(M, ExploreOptions{/*MaxDepth=*/0,
+                                           /*MaxStates=*/400000,
+                                           /*Threads=*/0, {}});
+  ExploreResult R = E.run();
+  ASSERT_TRUE(R.Violation.has_value())
+      << "exploration found no lease violation despite a broken drift "
+         "promise (states="
+      << R.States << ")";
+  EXPECT_TRUE(R.Violation->find("lease") != std::string::npos ||
+              R.Violation->find("stale read") != std::string::npos)
+      << *R.Violation;
+}
+
+TEST(CoreNetModelTest, SelfHealingAndLeasesComposeSafely) {
+  // The combined exploration the ISSUE calls out: suspicion-driven
+  // auto-reconfig (which appends Reconfig entries on its own) running
+  // with lease reads under drifting clocks. The healing path must hit
+  // the same lease-invalidation gate as admin reconfigs — if it ever
+  // grants or keeps a lease across its own append, the
+  // lease-dies-at-reconfig invariant fires here.
+  ModelHarness H;
+  CoreNetModelOptions Opts;
+  Opts.MaxTerm = 2;
+  Opts.MaxLog = 1;
+  Opts.MaxPending = 4;
+  Opts.WithReconfig = true;
+  Opts.WithClocks = true;
+  Opts.ClockSkewBoundUs = 1000;
+  Opts.ClockQuantumUs = 1000;
+  Opts.MaxClockUs = 6000;
+  Opts.MaxReads = 1;
+  core::CoreOptions CoreOpts;
+  CoreOpts.ElectionTimeoutMinUs = 4000;
+  CoreOpts.ElectionTimeoutMaxUs = 8000;
+  CoreOpts.EnableReadIndex = true;
+  CoreOpts.EnableLease = true;
+  CoreOpts.LeaseDurationUs = 4000;
+  CoreOpts.MaxDriftPpm = 250000;
+  CoreOpts.EnableSuspicion = true;
+  CoreOpts.SuspicionSuspectScore = 2;
+  CoreOpts.SuspicionRecoverScore = 1;
+  CoreNetModel M = H.make(2, Opts, CoreOpts);
+  Engine<CoreNetModel> E(M, ExploreOptions{/*MaxDepth=*/0,
+                                           /*MaxStates=*/150000,
+                                           /*Threads=*/0, {}});
+  ExploreResult R = E.run();
+  EXPECT_FALSE(R.Violation.has_value()) << *R.Violation << "\nstate:\n"
+                                        << R.ViolatingState;
+  EXPECT_GT(R.States, 10000u);
+}
+
 TEST(CoreNetModelTest, ResultsAreIdenticalAcrossThreadCounts) {
   // Level-synchronous BFS promises byte-identical results for any
   // worker count; CI runs at ADORE_MC_THREADS=4 relying on it.

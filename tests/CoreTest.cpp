@@ -1002,6 +1002,13 @@ std::string describeEffects(const Effects &Effs) {
     case Effect::Kind::ReplicaRecovered:
       S += "recov;";
       break;
+    case Effect::Kind::ReadReady:
+      S += "rdok(id=" + std::to_string(E.ReadId) +
+           ",i=" + std::to_string(E.Index) + ");";
+      break;
+    case Effect::Kind::ReadFailed:
+      S += "rdfail(id=" + std::to_string(E.ReadId) + ");";
+      break;
     }
   }
   return S;

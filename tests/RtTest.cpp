@@ -88,6 +88,16 @@ core::Msg sampleMsg(core::Msg::Kind K) {
     M.Offset = 8214;
     M.Done = true;
     break;
+  case core::Msg::Kind::ReadIndexQuery:
+    M.Done = true; // A confirmation-round probe.
+    M.ReadRound = 42;
+    break;
+  case core::Msg::Kind::ReadIndexReply:
+    M.Done = false; // An answer to a forwarded read.
+    M.Success = true;
+    M.ReadRound = 777; // The forwarding follower's cookie.
+    M.LeaderCommit = 19; // The safe index.
+    break;
   }
   return M;
 }
@@ -111,6 +121,7 @@ void expectMsgEq(const core::Msg &A, const core::Msg &B) {
   EXPECT_EQ(A.Offset, B.Offset);
   EXPECT_EQ(A.Chunk, B.Chunk);
   EXPECT_EQ(A.Done, B.Done);
+  EXPECT_EQ(A.ReadRound, B.ReadRound);
   ASSERT_EQ(A.Entries.size(), B.Entries.size());
   for (size_t I = 0; I != A.Entries.size(); ++I)
     EXPECT_EQ(A.Entries[I], B.Entries[I]);
@@ -123,7 +134,8 @@ TEST(WireTest, RoundTripsEveryMessageKind) {
        {core::Msg::Kind::RequestVote, core::Msg::Kind::VoteReply,
         core::Msg::Kind::AppendEntries, core::Msg::Kind::AppendReply,
         core::Msg::Kind::TimeoutNow, core::Msg::Kind::InstallSnapshot,
-        core::Msg::Kind::InstallSnapshotReply}) {
+        core::Msg::Kind::InstallSnapshotReply,
+        core::Msg::Kind::ReadIndexQuery, core::Msg::Kind::ReadIndexReply}) {
     core::Msg In = sampleMsg(K);
     std::string Bytes = encodeMsg(In);
     core::Msg Out;
@@ -157,8 +169,13 @@ TEST(WireTest, GoldenInstallSnapshotFrameIsPinned) {
     Hex += Buf;
   }
 
-  std::ifstream In(std::string(ADORE_TEST_GOLDEN_DIR) +
-                   "/install_snapshot_frame.hex");
+  std::string GoldenPath =
+      std::string(ADORE_TEST_GOLDEN_DIR) + "/install_snapshot_frame.hex";
+  if (std::getenv("ADORE_UPDATE_GOLDEN")) {
+    std::ofstream Out(GoldenPath);
+    Out << Hex << "\n";
+  }
+  std::ifstream In(GoldenPath);
   ASSERT_TRUE(In.good()) << "golden file missing";
   std::string Golden;
   In >> Golden;
@@ -371,6 +388,8 @@ TEST(WireTest, GoldenFramesForEveryKindArePinned) {
       {core::Msg::Kind::InstallSnapshot, "frame_install_snapshot.hex"},
       {core::Msg::Kind::InstallSnapshotReply,
        "frame_install_snapshot_reply.hex"},
+      {core::Msg::Kind::ReadIndexQuery, "frame_read_index_query.hex"},
+      {core::Msg::Kind::ReadIndexReply, "frame_read_index_reply.hex"},
   };
   for (const KindPin &P : Pins) {
     std::string Hex = hexOf(encodeMsg(sampleMsg(P.K)));
@@ -398,7 +417,8 @@ TEST(WireTest, TcpFramingPreservesBusBytesForEveryKind) {
        {core::Msg::Kind::RequestVote, core::Msg::Kind::VoteReply,
         core::Msg::Kind::AppendEntries, core::Msg::Kind::AppendReply,
         core::Msg::Kind::TimeoutNow, core::Msg::Kind::InstallSnapshot,
-        core::Msg::Kind::InstallSnapshotReply}) {
+        core::Msg::Kind::InstallSnapshotReply,
+        core::Msg::Kind::ReadIndexQuery, core::Msg::Kind::ReadIndexReply}) {
     std::string BusFrame = encodeMsg(sampleMsg(K));
     ASSERT_TRUE(net::frameable(BusFrame));
     std::string Framed;

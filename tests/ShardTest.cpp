@@ -203,6 +203,7 @@ TEST(RouteCodecTest, RequestAndReplyRoundTrip) {
   R.Shard = 9;
   R.Group = 3;
   R.MapGen = 12;
+  R.ReadAtLeader = true;
   std::string Bytes;
   encodeRouteRequest(Bytes, R);
   RouteRequest D;
@@ -213,6 +214,7 @@ TEST(RouteCodecTest, RequestAndReplyRoundTrip) {
   EXPECT_EQ(D.Shard, R.Shard);
   EXPECT_EQ(D.Group, R.Group);
   EXPECT_EQ(D.MapGen, R.MapGen);
+  EXPECT_EQ(D.ReadAtLeader, R.ReadAtLeader);
   for (size_t Len = 0; Len != Bytes.size(); ++Len)
     EXPECT_FALSE(decodeRouteRequest(Bytes.substr(0, Len), D));
   EXPECT_FALSE(decodeRouteRequest(Bytes + 'x', D));
@@ -228,9 +230,22 @@ TEST(RouteCodecTest, RequestAndReplyRoundTrip) {
   EXPECT_EQ(DRep.Ok, Rep.Ok);
   EXPECT_EQ(DRep.HasValue, Rep.HasValue);
   EXPECT_EQ(DRep.Value, Rep.Value);
+  EXPECT_FALSE(DRep.ReadNack);
   for (size_t Len = 0; Len != RepBytes.size(); ++Len)
     EXPECT_FALSE(decodeGroupReply(RepBytes.substr(0, Len), DRep));
   EXPECT_FALSE(decodeGroupReply(RepBytes + 'x', DRep));
+
+  GroupReply NackRep;
+  NackRep.ReadNack = true;
+  std::string NackBytes;
+  encodeGroupReply(NackBytes, NackRep);
+  GroupReply DNack;
+  ASSERT_TRUE(decodeGroupReply(NackBytes, DNack));
+  EXPECT_TRUE(DNack.ReadNack);
+  EXPECT_FALSE(DNack.Ok);
+  // The flag byte is validated, not just read.
+  NackBytes.back() = 2;
+  EXPECT_FALSE(decodeGroupReply(NackBytes, DNack));
 }
 
 //===----------------------------------------------------------------------===//
@@ -344,6 +359,115 @@ TEST(ShardedKvClientTest, NackFromThePastSkipsRefetch) {
   EXPECT_TRUE(Ok);
   EXPECT_EQ(Performs, 2u);
   EXPECT_EQ(Fetches, 0u);
+}
+
+TEST(ShardedKvClientTest, ReadNackRetriesPinnedToLeader) {
+  // A follower that cannot prove a lease-protected read safe answers
+  // ReadNack; the client must re-send the same read with ReadAtLeader
+  // set, immediately (no map refetch — the routing was fine).
+  PoolMap M = makeUniformPoolMap(2, 4, 3, 0, 3);
+  size_t Fetches = 0;
+  std::vector<RouteRequest> Seen;
+  ShardedKvClient::Transport T;
+  T.Perform = [&](const RouteRequest &R, ShardedKvClient::ReplyFn Done) {
+    Seen.push_back(R);
+    GroupReply Rep;
+    if (!R.ReadAtLeader) {
+      Rep.ReadNack = true;
+    } else {
+      Rep.Ok = true;
+      Rep.HasValue = true;
+      Rep.Value = 42;
+    }
+    Done(Rep);
+  };
+  T.FetchMap = [&](ShardedKvClient::MapFn) { ++Fetches; };
+  ShardedKvClient C(M, std::move(T));
+  bool Ok = false;
+  uint32_t Value = 0;
+  C.submit(3, 1, /*IsRead=*/true, [&](const GroupReply &R) {
+    Ok = R.Ok;
+    Value = R.Value;
+  });
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Value, 42u);
+  EXPECT_EQ(Fetches, 0u);
+  ASSERT_EQ(Seen.size(), 2u);
+  EXPECT_FALSE(Seen[0].ReadAtLeader);
+  EXPECT_TRUE(Seen[1].ReadAtLeader);
+  EXPECT_EQ(Seen[1].Group, Seen[0].Group);
+  EXPECT_EQ(C.stats().ReadNacks, 1u);
+  EXPECT_EQ(C.stats().ReadRetriesAtLeader, 1u);
+  EXPECT_EQ(C.stats().WrongGroupNacks, 0u);
+}
+
+TEST(ShardedKvClientTest, PersistentReadNacksExhaustAttempts) {
+  // Even a leader that keeps NACKing (leadership churn) must not loop:
+  // the attempt budget bounds the pinned retries too.
+  PoolMap M = makeUniformPoolMap(2, 4, 3, 0, 3);
+  size_t Performs = 0;
+  ShardedKvClient::Transport T;
+  T.Perform = [&](const RouteRequest &, ShardedKvClient::ReplyFn Done) {
+    ++Performs;
+    GroupReply Rep;
+    Rep.ReadNack = true;
+    Done(Rep);
+  };
+  T.FetchMap = [&](ShardedKvClient::MapFn) {};
+  ShardedKvClient C(M, std::move(T));
+  bool Completed = false, Ok = true;
+  C.submit(3, 1, /*IsRead=*/true,
+           [&](const GroupReply &R) {
+             Completed = true;
+             Ok = R.Ok;
+           },
+           /*MaxAttempts=*/4);
+  EXPECT_TRUE(Completed);
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(Performs, 4u);
+  EXPECT_EQ(C.stats().ReadNacks, 4u);
+  EXPECT_EQ(C.stats().Exhausted, 1u);
+}
+
+TEST(ShardedKvClientTest, ReadPinSurvivesMapRefresh) {
+  // A pinned read that crosses a map change keeps its pin: the refetch
+  // path must not silently un-pin and land back on a follower.
+  PoolMap Old = makeUniformPoolMap(4, 16, 3, 0, 3);
+  PoolMap New = Old;
+  New.Generation = 2;
+  for (GroupId &G : New.ShardToGroup)
+    if (G == 1)
+      G = 2;
+  uint64_t Key = 0;
+  while (Old.groupForKey(Key) != 1)
+    ++Key;
+  std::vector<RouteRequest> Seen;
+  ShardedKvClient::Transport T;
+  T.Perform = [&](const RouteRequest &R, ShardedKvClient::ReplyFn Done) {
+    Seen.push_back(R);
+    GroupReply Rep;
+    if (Seen.size() == 1) {
+      Rep.ReadNack = true; // follower can't serve: pin to leader
+    } else if (R.MapGen < 2) {
+      Rep.HasNack = true; // the pinned send hits a moved shard
+      Rep.Nack.CurrentGen = 2;
+    } else {
+      Rep.Ok = true;
+    }
+    Done(Rep);
+  };
+  T.FetchMap = [&](ShardedKvClient::MapFn Done) { Done(New); };
+  ShardedKvClient C(Old, std::move(T));
+  bool Ok = false;
+  C.submit(Key, 1, /*IsRead=*/true, [&](const GroupReply &R) { Ok = R.Ok; });
+  EXPECT_TRUE(Ok);
+  ASSERT_EQ(Seen.size(), 3u);
+  EXPECT_FALSE(Seen[0].ReadAtLeader);
+  EXPECT_TRUE(Seen[1].ReadAtLeader);
+  EXPECT_TRUE(Seen[2].ReadAtLeader);
+  EXPECT_EQ(Seen[2].Group, 2u);
+  EXPECT_EQ(C.stats().ReadNacks, 1u);
+  EXPECT_EQ(C.stats().WrongGroupNacks, 1u);
 }
 
 TEST(ShardedKvClientTest, PersistentNacksExhaustAttempts) {

@@ -3,7 +3,8 @@
 
 The repo's strongest guarantees are structural, not dynamic: the
 sans-I/O layers (src/core, src/adore, src/mc, src/audit, src/shard,
-src/heal) must stay pure state machines the model checker can exhaust
+src/heal, src/read) must stay pure state machines the model checker can
+exhaust
 (shard is the placement/pool-map algebra: routing decisions must be
 computable by any client without touching a runtime; heal is the
 self-healing policy: reconfig decisions must be replayable from a
@@ -70,7 +71,11 @@ import sys
 # heal (the self-healing reconfiguration policy) likewise: every heal
 # decision must be a function of (clock value, config, suspicions) so
 # the sim can replay it and tests can drive it with scripted time.
-PURE_LAYERS = {"core", "adore", "mc", "audit", "shard", "heal"}
+# read (the linearizable-read tier selection and client-side read
+# tracker) is pure for the same reason as shard: any client must be
+# able to run the retry/target policy without a runtime, and the chaos
+# rig must be able to replay it deterministically.
+PURE_LAYERS = {"core", "adore", "mc", "audit", "shard", "heal", "read"}
 
 # Layers a pure layer may never include from.
 IMPURE_LAYERS = {"rt", "store", "sim", "chaos", "kv", "net"}
